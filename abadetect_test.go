@@ -1,0 +1,264 @@
+package abadetect
+
+import (
+	"sync"
+	"testing"
+)
+
+func allRegisters(t *testing.T, n int) map[string]DetectingRegister {
+	t.Helper()
+	out := map[string]DetectingRegister{}
+	var err error
+	if out["Fig4"], err = NewDetectingRegister(n); err != nil {
+		t.Fatal(err)
+	}
+	if out["SingleCAS"], err = NewDetectingRegisterSingleCAS(n); err != nil {
+		t.Fatal(err)
+	}
+	if out["UnboundedTag"], err = NewDetectingRegisterUnboundedTag(n); err != nil {
+		t.Fatal(err)
+	}
+	llscObj, err := NewLLSCConstantTime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["Fig5/ConstantTime"], err = NewDetectingRegisterFromLLSC(llscObj); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPublicDetectingRegisters(t *testing.T) {
+	for name, reg := range allRegisters(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			if reg.NumProcs() != 4 {
+				t.Errorf("NumProcs = %d", reg.NumProcs())
+			}
+			w, err := reg.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := reg.Handle(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The headline behavior: write-back of the same value detected.
+			w.DWrite(5)
+			if v, dirty := r.DRead(); v != 5 || !dirty {
+				t.Fatalf("DRead = (%d,%v), want (5,true)", v, dirty)
+			}
+			w.DWrite(6)
+			w.DWrite(5)
+			v, dirty := r.DRead()
+			if v != 5 || !dirty {
+				t.Errorf("ABA missed: DRead = (%d,%v), want (5,true)", v, dirty)
+			}
+			if _, dirty := r.DRead(); dirty {
+				t.Error("spurious dirty on quiet read")
+			}
+		})
+	}
+}
+
+func TestPublicFootprints(t *testing.T) {
+	n := 8
+	fig4, err := NewDetectingRegister(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := fig4.Footprint(); fp.Registers != n+1 || fp.CASObjects != 0 {
+		t.Errorf("Fig4 footprint = %v, want %d registers", fp, n+1)
+	}
+	single, err := NewDetectingRegisterSingleCAS(n, WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := single.Footprint(); fp.Objects() != 1 || fp.CASObjects != 1 {
+		t.Errorf("SingleCAS footprint = %v, want 1 CAS", fp)
+	}
+	ll, err := NewLLSC(n, WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := ll.Footprint(); fp.Objects() != 1 {
+		t.Errorf("LLSC footprint = %v, want 1 object", fp)
+	}
+	ct, err := NewLLSCConstantTime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := ct.Footprint(); fp.CASObjects != 1 || fp.Registers != n {
+		t.Errorf("ConstantTime footprint = %v, want 1 CAS + %d registers", fp, n)
+	}
+	if got := ct.Footprint().String(); got != "m=9 (8 registers + 1 CAS)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPublicLLSC(t *testing.T) {
+	builders := map[string]func(n int, opts ...Option) (LLSC, error){
+		"Fig3":         NewLLSC,
+		"ConstantTime": NewLLSCConstantTime,
+		"UnboundedTag": NewLLSCUnboundedTag,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			obj, err := build(3, WithValueBits(16), WithInitialValue(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := obj.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := obj.Handle(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := p.LL(); v != 7 {
+				t.Fatalf("LL = %d, want initial 7", v)
+			}
+			if !p.SC(8) {
+				t.Fatal("uncontended SC failed")
+			}
+			q.LL()
+			p.LL()
+			if !q.SC(9) {
+				t.Fatal("q's SC failed")
+			}
+			if p.VL() {
+				t.Error("p's link should be invalid")
+			}
+			if p.SC(10) {
+				t.Error("p's stale SC succeeded")
+			}
+		})
+	}
+}
+
+func TestPublicOptionsValidation(t *testing.T) {
+	if _, err := NewDetectingRegister(0); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewLLSC(40, WithValueBits(32)); err == nil {
+		t.Error("want error when n + valueBits > 64")
+	}
+	if _, err := NewDetectingRegister(2, WithValueBits(8), WithInitialValue(300)); err == nil {
+		t.Error("want error for out-of-domain initial value")
+	}
+	if _, err := NewDetectingRegisterBoundedTag(2, 0); err == nil {
+		t.Error("want error for 0 tag bits")
+	}
+	reg, err := NewDetectingRegister(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Handle(2); err == nil {
+		t.Error("want error for pid out of range")
+	}
+	if _, err := NewDetectingRegisterFromLLSC(nil); err == nil {
+		t.Error("want error for nil LLSC")
+	}
+}
+
+func TestPublicBoundedTagIsHonestAboutItsFlaw(t *testing.T) {
+	const k = 3
+	reg, err := NewDetectingRegisterBoundedTag(2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := reg.Handle(0)
+	r, _ := reg.Handle(1)
+	w.DWrite(1)
+	r.DRead()
+	for i := 0; i < 1<<k; i++ {
+		w.DWrite(1)
+	}
+	if _, dirty := r.DRead(); dirty {
+		t.Error("expected the 2^k wraparound to be missed (that is the documented flaw)")
+	}
+}
+
+func TestPublicConcurrentUse(t *testing.T) {
+	// A writer and several readers hammering a Fig4 register; every reader
+	// must observe dirty=true at least once per writer burst.
+	const n = 6
+	reg, err := NewDetectingRegister(n, WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	w, _ := reg.Handle(0)
+	// One write up front guarantees every reader's first DRead is dirty,
+	// independent of goroutine scheduling.
+	w.DWrite(1)
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				w.DWrite(Word(i % 100))
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for pid := 1; pid < n; pid++ {
+		h, err := reg.Handle(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers.Add(1)
+		go func(h DetectHandle) {
+			defer readers.Done()
+			sawDirty := 0
+			for i := 0; i < 5000; i++ {
+				if _, dirty := h.DRead(); dirty {
+					sawDirty++
+				}
+			}
+			if sawDirty == 0 {
+				t.Error("reader never saw a dirty flag while writer was active")
+			}
+		}(h)
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+func TestPublicLLSCCounter(t *testing.T) {
+	const n = 8
+	const perProc = 300
+	obj, err := NewLLSC(n, WithValueBits(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		h, err := obj.Handle(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h LLSCHandle) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				for {
+					v := h.LL()
+					if h.SC(v + 1) {
+						break
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	h, _ := obj.Handle(0)
+	if got := h.LL(); got != Word(n*perProc) {
+		t.Errorf("counter = %d, want %d", got, n*perProc)
+	}
+}

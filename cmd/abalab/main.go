@@ -1,0 +1,82 @@
+// Command abalab runs the full experiment suite of the reproduction — one
+// experiment per paper artifact (see DESIGN.md's index, E1-E9) — and prints
+// the resulting tables.
+//
+// Usage:
+//
+//	abalab            # run everything
+//	abalab -run E2    # run one experiment
+//	abalab -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abadetect/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "abalab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
+	var (
+		only = fs.String("run", "", "run a single experiment (E1..E9)")
+		list = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := map[string]func() (*bench.Table, error){
+		"E1": bench.E1ModelCheck,
+		"E2": func() (*bench.Table, error) { return bench.E2TimeSpace([]int{2, 4, 8, 16, 32}) },
+		"E3": bench.E3Fig3,
+		"E4": bench.E4Fig4,
+		"E5": bench.E5Fig5,
+		"E6": bench.E6Stack,
+		"E7": bench.E7Separation,
+		"E8": bench.E8Ablations,
+		"E9": bench.E9ConstantTime,
+	}
+
+	if *list {
+		fmt.Fprintln(out, "E1  space lower bound via model checking (Thm 1(a), Lemma 1)")
+		fmt.Fprintln(out, "E2  time-space trade-off under the hiding adversary (Thm 1(b,c), Cor 1)")
+		fmt.Fprintln(out, "E3  LL/SC/VL from one bounded CAS (Thm 2, Fig 3)")
+		fmt.Fprintln(out, "E4  detecting register from n+1 registers (Thm 3, Fig 4)")
+		fmt.Fprintln(out, "E5  detecting register from one LL/SC/VL (Thm 4, Fig 5)")
+		fmt.Fprintln(out, "E6  Treiber-stack corruption & tag wraparound (§1)")
+		fmt.Fprintln(out, "E7  bounded vs unbounded domain growth (§1)")
+		fmt.Fprintln(out, "E8  Figure 4 ablations refuted (App. C)")
+		fmt.Fprintln(out, "E9  constant-time LL/SC from one CAS + n registers ([2,15])")
+		return nil
+	}
+
+	if *only != "" {
+		runner, ok := experiments[*only]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *only)
+		}
+		tbl, err := runner()
+		if err != nil {
+			return err
+		}
+		return tbl.Fprint(out)
+	}
+
+	tables, err := bench.Suite()
+	if err != nil {
+		// Print what we have; the error explains the rest.
+		_ = bench.FprintAll(out, tables)
+		return err
+	}
+	return bench.FprintAll(out, tables)
+}

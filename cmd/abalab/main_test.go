@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing lacks %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "time-space trade-off") {
+		t.Errorf("E2 output missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Figure 3 (1 CAS)") {
+		t.Errorf("E2 output missing rows:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E42"}, &buf); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nonsense"}, &buf); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}

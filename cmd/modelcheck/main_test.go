@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRefutesBoundedTag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "tag", "-tagvals", "2", "-n", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REFUTED") {
+		t.Errorf("expected refutation:\n%s", out)
+	}
+	if !strings.Contains(out, "clean schedule") || !strings.Contains(out, "dirty schedule") {
+		t.Errorf("witness schedules missing:\n%s", out)
+	}
+}
+
+func TestVerifiesFig4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "fig4", "-n", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "searched exhaustively") {
+		t.Errorf("expected exhaustive verification:\n%s", out)
+	}
+}
+
+func TestRefutesAblation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-system", "fig4", "-n", "2", "-usedlen", "1", "-picksmallest"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REFUTED") {
+		t.Errorf("expected ablation refutation:\n%s", buf.String())
+	}
+}
+
+func TestUnboundedWithinBudget(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "unbounded", "-n", "2", "-maxnodes", "5000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no witness found within the node budget") {
+		t.Errorf("expected budget exhaustion:\n%s", buf.String())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "nope"}, &buf); err == nil {
+		t.Error("want error for unknown system")
+	}
+	if err := run([]string{"-n", "1"}, &buf); err == nil {
+		t.Error("want error for n < 2")
+	}
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}

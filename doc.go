@@ -1,0 +1,51 @@
+// Package abadetect is a Go implementation of the algorithms and results of
+//
+//	Zahra Aghazadeh and Philipp Woelfel.
+//	"On the Time and Space Complexity of ABA Prevention and Detection."
+//	PODC 2015 (arXiv:1507.02722).
+//
+// The ABA problem: a process reads the same value twice from a shared
+// object and concludes nothing happened in between — although the value may
+// have changed and changed back.  The paper defines ABA-detecting registers
+// (reads additionally report whether *any* write occurred since the reader's
+// previous read), proves tight bounds on what detection costs when base
+// objects are bounded, and gives matching wait-free algorithms.  This
+// package exports those algorithms over 64-bit atomic words:
+//
+//   - NewDetectingRegister: the paper's Figure 4 — a linearizable wait-free
+//     multi-writer ABA-detecting register from n+1 bounded registers with
+//     O(1) step complexity (Theorem 3; space-optimal within two registers by
+//     Theorem 1(a)).
+//   - NewLLSC: the paper's Figure 3 — a linearizable wait-free LL/SC/VL
+//     object from a single bounded CAS word with O(n) step complexity
+//     (Theorem 2; time-optimal at this space by Corollary 1).
+//   - NewLLSCConstantTime: the other end of the trade-off — O(1) steps from
+//     one CAS word plus n registers (the Anderson–Moir / Jayanti–Petrovic
+//     style announcement construction).
+//   - NewDetectingRegisterFromLLSC: the paper's Figure 5 — an ABA-detecting
+//     register from any LL/SC/VL object at two steps per operation
+//     (Theorem 4); over NewLLSC this is Theorem 2's detecting register from
+//     a single bounded CAS.
+//   - NewDetectingRegisterSingleCAS: that composition, prebuilt.
+//   - Baselines: NewDetectingRegisterUnboundedTag (the trivial solution
+//     whose tag domain grows forever) and NewDetectingRegisterBoundedTag
+//     (the folklore k-bit tag scheme, deliberately unsound at wraparound).
+//
+// # Process model
+//
+// Every object is created for a fixed number of processes n; each process
+// (goroutine) obtains its own handle via Handle(pid) with a distinct pid in
+// [0, n).  Handles carry the paper's process-local state and must not be
+// shared between goroutines; distinct handles of one object may be used
+// concurrently.
+//
+// # Repository layout
+//
+// The exported API is a thin facade over internal packages that also power
+// the paper's experiments: a deterministic shared-memory simulator with
+// adversarial schedules (internal/sim), a linearizability checker
+// (internal/check), a configuration-space model checker reproducing the
+// lower-bound proofs as searches (internal/machine, internal/lowerbound),
+// and application workloads (internal/apps).  See DESIGN.md and
+// EXPERIMENTS.md.
+package abadetect

@@ -1,0 +1,100 @@
+package abadetect_test
+
+import (
+	"fmt"
+
+	abadetect "abadetect"
+)
+
+// The headline behavior: a write that restores the old value is detected.
+func ExampleNewDetectingRegister() {
+	reg, err := abadetect.NewDetectingRegister(2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	writer, _ := reg.Handle(0)
+	reader, _ := reg.Handle(1)
+
+	writer.DWrite(42)
+	v, dirty := reader.DRead()
+	fmt.Println(v, dirty)
+
+	v, dirty = reader.DRead() // nothing happened since
+	fmt.Println(v, dirty)
+
+	writer.DWrite(7)
+	writer.DWrite(42) // the ABA: value is 42 again
+	v, dirty = reader.DRead()
+	fmt.Println(v, dirty)
+	// Output:
+	// 42 true
+	// 42 false
+	// 42 true
+}
+
+// LL/SC from a single bounded CAS word (the paper's Figure 3): a stale SC
+// fails even when the value field looks unchanged.
+func ExampleNewLLSC() {
+	obj, err := abadetect.NewLLSC(2, abadetect.WithValueBits(16))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := obj.Handle(0)
+	q, _ := obj.Handle(1)
+
+	p.LL() // p links value 0
+
+	q.LL()
+	q.SC(1) // q changes 0 -> 1
+	q.LL()
+	q.SC(0) // ... and back: 1 -> 0
+
+	fmt.Println(p.VL())  // p's link is gone despite the value being 0 again
+	fmt.Println(p.SC(9)) // and its SC fails
+	fmt.Println(obj.Footprint())
+	// Output:
+	// false
+	// false
+	// m=1 (0 registers + 1 CAS)
+}
+
+// Figure 5: any LL/SC/VL object becomes an ABA-detecting register at two
+// steps per operation.
+func ExampleNewDetectingRegisterFromLLSC() {
+	obj, err := abadetect.NewLLSCConstantTime(3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reg, err := abadetect.NewDetectingRegisterFromLLSC(obj)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	w, _ := reg.Handle(0)
+	r, _ := reg.Handle(1)
+
+	w.DWrite(5)
+	w.DWrite(5) // same value twice: metadata, not the value, carries detection
+	_, dirty := r.DRead()
+	fmt.Println(dirty)
+	_, dirty = r.DRead()
+	fmt.Println(dirty)
+	// Output:
+	// true
+	// false
+}
+
+// The space footprints of the two optimal corners of the paper's
+// time-space trade-off.
+func ExampleFootprint() {
+	fig3, _ := abadetect.NewLLSC(8, abadetect.WithValueBits(16))
+	constant, _ := abadetect.NewLLSCConstantTime(8, abadetect.WithValueBits(16))
+	fmt.Println("Figure 3:     ", fig3.Footprint())
+	fmt.Println("ConstantTime: ", constant.Footprint())
+	// Output:
+	// Figure 3:      m=1 (0 registers + 1 CAS)
+	// ConstantTime:  m=9 (8 registers + 1 CAS)
+}

@@ -1,0 +1,88 @@
+// Command counter builds a wait-free-retry shared counter on top of the
+// library's LL/SC objects and races several goroutines against it — the
+// standard "no lost updates" exercise, shown at both ends of the paper's
+// time-space trade-off:
+//
+//   - Figure 3 (one bounded CAS word, O(n) steps per operation), and
+//   - the constant-time construction (one CAS word + n registers, O(1)).
+//
+// Run with: go run ./examples/counter
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	abadetect "abadetect"
+)
+
+const (
+	procs       = 8
+	incsPerProc = 20000
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	type build struct {
+		name string
+		fn   func(n int, opts ...abadetect.Option) (abadetect.LLSC, error)
+	}
+	for _, b := range []build{
+		{"Figure 3   (m=1, t=O(n))", abadetect.NewLLSC},
+		{"ConstTime  (m=n+1, t=O(1))", abadetect.NewLLSCConstantTime},
+	} {
+		obj, err := b.fn(procs, abadetect.WithValueBits(32))
+		if err != nil {
+			return err
+		}
+		elapsed, err := race(obj)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		fmt.Printf("%-28s footprint %-28s  %d increments in %v — none lost\n",
+			b.name, obj.Footprint().String(), procs*incsPerProc, elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// race hammers the object with LL;SC(v+1) retry loops and verifies the total.
+func race(obj abadetect.LLSC) (time.Duration, error) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < procs; pid++ {
+		h, err := obj.Handle(pid)
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(h abadetect.LLSCHandle) {
+			defer wg.Done()
+			for i := 0; i < incsPerProc; i++ {
+				for {
+					v := h.LL()
+					if h.SC(v + 1) {
+						break
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	h, err := obj.Handle(0)
+	if err != nil {
+		return 0, err
+	}
+	if got, want := h.LL(), uint64(procs*incsPerProc); got != want {
+		return 0, fmt.Errorf("counter = %d, want %d (lost updates!)", got, want)
+	}
+	return elapsed, nil
+}

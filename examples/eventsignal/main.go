@@ -1,0 +1,67 @@
+// Command eventsignal reproduces the paper's §1 busy-wait motivation: a
+// signaler raises a flag and later resets it for reuse; a waiter polling a
+// plain register can miss the whole pulse, while a waiter on an
+// ABA-detecting register cannot.
+//
+// Run with: go run ./examples/eventsignal
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	abadetect "abadetect"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("scenario: waiter polls; signaler pulses (set, then reset); waiter polls again")
+	fmt.Println()
+
+	// --- Plain register: the pulse is missed. ---
+	var plain atomic.Uint64
+	plainPoll := func() (set bool) { return plain.Load() == 1 }
+
+	_ = plainPoll() // waiter's first poll: flag down
+	plain.Store(1)  // signal
+	plain.Store(0)  // reset for reuse
+	if plainPoll() {
+		return fmt.Errorf("unexpected: plain register saw the pulse")
+	}
+	fmt.Println("plain register:       waiter polls -> flag down, no trace of the pulse (EVENT MISSED)")
+
+	// --- ABA-detecting register: the pulse is detected. ---
+	reg, err := abadetect.NewDetectingRegister(2, abadetect.WithValueBits(1))
+	if err != nil {
+		return err
+	}
+	signaler, err := reg.Handle(0)
+	if err != nil {
+		return err
+	}
+	waiter, err := reg.Handle(1)
+	if err != nil {
+		return err
+	}
+
+	waiter.DRead()     // waiter's first poll: flag down
+	signaler.DWrite(1) // signal
+	signaler.DWrite(0) // reset for reuse
+	v, dirty := waiter.DRead()
+	fmt.Printf("detecting register:   waiter polls -> value=%d dirty=%v (the pulse left a trace)\n", v, dirty)
+
+	if !dirty {
+		return fmt.Errorf("detecting register missed the pulse — this should be impossible")
+	}
+
+	fmt.Println()
+	fmt.Println("with signal-then-reset discipline, dirty=true tells the waiter an event fired")
+	fmt.Println("even though the flag value is back to 0 — no event is ever lost.")
+	return nil
+}

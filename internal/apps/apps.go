@@ -1,0 +1,56 @@
+// Package apps contains the application-level workloads the paper's
+// introduction motivates: lock-free data structures whose correctness hinges
+// on ABA prevention, built over this repository's base objects and LL/SC
+// objects so the three protection regimes can be compared head-to-head.
+//
+//   - Treiber stack (stack.go): the canonical ABA victim.  A pop reads the
+//     head node and its successor, then CASes the head; if the head node was
+//     popped, recycled, and re-pushed in between, the CAS succeeds and
+//     corrupts the structure.  The stack is built with raw CAS (vulnerable),
+//     k-bit tagged CAS (vulnerable at tag wraparound), or LL/SC (immune) —
+//     the paper's §1 story, executable.
+//   - Michael–Scott queue (queue.go): enqueue/dequeue over LL/SC objects,
+//     with node recycling that would be unsafe under raw CAS.
+//   - Resettable event flag (event.go): the busy-wait scenario of §1 — a
+//     waiter polls a register that a signaler sets and then resets for
+//     reuse; with a plain register the waiter can miss the event entirely,
+//     with an ABA-detecting register it cannot.
+//
+// All structures use index-based nodes from a fixed pool (no garbage
+// collector involvement), which is precisely what makes recycling — and
+// therefore ABA — real.
+package apps
+
+import "abadetect/internal/shmem"
+
+// Word is the element type of the data structures.
+type Word = shmem.Word
+
+// Protection selects how a structure's mutable references are guarded.
+type Protection int
+
+// Protection regimes.
+const (
+	// Raw uses bare CAS on node indices: vulnerable to ABA.
+	Raw Protection = iota + 1
+	// Tagged packs a k-bit wrap-around tag next to the index: vulnerable
+	// exactly when the tag wraps.
+	Tagged
+	// LLSC uses a load-linked/store-conditional object: immune by
+	// specification.
+	LLSC
+)
+
+// String names the protection regime.
+func (p Protection) String() string {
+	switch p {
+	case Raw:
+		return "raw-cas"
+	case Tagged:
+		return "tagged-cas"
+	case LLSC:
+		return "ll/sc"
+	default:
+		return "unknown"
+	}
+}

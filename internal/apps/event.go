@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"fmt"
+
+	"abadetect/internal/core"
+	"abadetect/internal/shmem"
+)
+
+// EventFlag is the paper's §1 busy-wait scenario: a signaler raises a flag
+// that waiters poll, and later *resets* it so the flag can be reused.  With
+// a plain register, a waiter that polls before the signal and again after
+// the reset sees 0 both times — the event is silently missed; this is the
+// ABA problem in its mutual-exclusion guise.  Built over an ABA-detecting
+// register, the second poll reports "the register was written since your
+// last poll", and under the signal-then-reset discipline that means an
+// event fired.
+//
+// The detecting flavor wraps any core.Detector; the plain flavor uses a bare
+// register for the head-to-head comparison.
+type EventFlag struct {
+	det core.Detector // nil for the plain variant
+	reg shmem.Register
+	n   int
+}
+
+// NewEventFlag builds a detecting event flag over det.
+func NewEventFlag(det core.Detector) (*EventFlag, error) {
+	if det == nil {
+		return nil, fmt.Errorf("apps: nil detector")
+	}
+	return &EventFlag{det: det, n: det.NumProcs()}, nil
+}
+
+// NewPlainEventFlag builds the unprotected comparison flag over a single
+// register from f.
+func NewPlainEventFlag(f shmem.Factory, n int) (*EventFlag, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("apps: event flag needs n >= 1, got %d", n)
+	}
+	return &EventFlag{reg: f.NewRegister("flag", 0), n: n}, nil
+}
+
+// Handle returns process pid's handle.
+func (e *EventFlag) Handle(pid int) (*EventHandle, error) {
+	if pid < 0 || pid >= e.n {
+		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, e.n)
+	}
+	h := &EventHandle{e: e, pid: pid}
+	if e.det != nil {
+		var err error
+		if h.det, err = e.det.Handle(pid); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// EventHandle is a per-process event-flag endpoint.
+type EventHandle struct {
+	e   *EventFlag
+	pid int
+	det core.Handle
+}
+
+// Signal raises the flag.
+func (h *EventHandle) Signal() {
+	if h.det != nil {
+		h.det.DWrite(1)
+		return
+	}
+	h.e.reg.Write(h.pid, 1)
+}
+
+// Reset lowers the flag for reuse.
+func (h *EventHandle) Reset() {
+	if h.det != nil {
+		h.det.DWrite(0)
+		return
+	}
+	h.e.reg.Write(h.pid, 0)
+}
+
+// Poll returns the flag's value and whether an event fired since this
+// handle's previous Poll.  Under the signal-then-reset discipline, fired is:
+//
+//   - for the detecting flavor: flag set now, or any write detected since
+//     the last poll (a reset implies a preceding signal);
+//   - for the plain flavor: flag set now — resets erase history, which is
+//     precisely the missed-event failure the experiments demonstrate.
+func (h *EventHandle) Poll() (set bool, fired bool) {
+	if h.det != nil {
+		v, dirty := h.det.DRead()
+		set = v == 1
+		return set, set || dirty
+	}
+	set = h.e.reg.Read(h.pid) == 1
+	return set, set
+}

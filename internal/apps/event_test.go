@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"testing"
+
+	"abadetect/internal/core"
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+)
+
+func detectingFlag(t *testing.T, build func(f shmem.Factory, n int) (core.Detector, error)) *EventFlag {
+	t.Helper()
+	det, err := build(shmem.NewNativeFactory(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEventFlag(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func eventHandles(t *testing.T, e *EventFlag) (signaler, waiter *EventHandle) {
+	t.Helper()
+	s, err := e.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w
+}
+
+func detectorBuilders() map[string]func(f shmem.Factory, n int) (core.Detector, error) {
+	return map[string]func(f shmem.Factory, n int) (core.Detector, error){
+		"RegisterBased": func(f shmem.Factory, n int) (core.Detector, error) {
+			return core.NewRegisterBased(f, n, 1, 0)
+		},
+		"Fig5/Fig3": func(f shmem.Factory, n int) (core.Detector, error) {
+			obj, err := llsc.NewCASBased(f, n, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewLLSCBased(obj)
+		},
+	}
+}
+
+func TestEventFlagMissedWithPlainRegister(t *testing.T) {
+	// The §1 failure: signal and reset both land between two polls; the
+	// plain register shows 0 both times and the waiter misses the event.
+	e, err := NewPlainEventFlag(shmem.NewNativeFactory(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signaler, waiter := eventHandles(t, e)
+
+	if set, fired := waiter.Poll(); set || fired {
+		t.Fatal("initial poll should be quiet")
+	}
+	signaler.Signal()
+	signaler.Reset()
+	if _, fired := waiter.Poll(); fired {
+		t.Fatal("plain register somehow detected the pulse?!")
+	}
+	// This is the bug being demonstrated, not the desired behavior.
+}
+
+func TestEventFlagDetectedWithABARegister(t *testing.T) {
+	for name, build := range detectorBuilders() {
+		t.Run(name, func(t *testing.T) {
+			e := detectingFlag(t, build)
+			signaler, waiter := eventHandles(t, e)
+
+			if set, fired := waiter.Poll(); set || fired {
+				t.Fatal("initial poll should be quiet")
+			}
+			signaler.Signal()
+			signaler.Reset()
+			set, fired := waiter.Poll()
+			if set {
+				t.Error("flag should be reset")
+			}
+			if !fired {
+				t.Error("pulse missed despite ABA detection")
+			}
+			// Quiet afterwards.
+			if _, fired := waiter.Poll(); fired {
+				t.Error("spurious fired on quiet poll")
+			}
+		})
+	}
+}
+
+func TestEventFlagSetVisible(t *testing.T) {
+	for name, build := range detectorBuilders() {
+		t.Run(name, func(t *testing.T) {
+			e := detectingFlag(t, build)
+			signaler, waiter := eventHandles(t, e)
+			signaler.Signal()
+			set, fired := waiter.Poll()
+			if !set || !fired {
+				t.Errorf("poll = (set=%v fired=%v), want both true", set, fired)
+			}
+		})
+	}
+}
+
+func TestEventFlagRepeatedPulses(t *testing.T) {
+	e := detectingFlag(t, detectorBuilders()["RegisterBased"])
+	signaler, waiter := eventHandles(t, e)
+	waiter.Poll()
+	for round := 0; round < 100; round++ {
+		signaler.Signal()
+		signaler.Reset()
+		if _, fired := waiter.Poll(); !fired {
+			t.Fatalf("round %d: pulse missed", round)
+		}
+		if _, fired := waiter.Poll(); fired {
+			t.Fatalf("round %d: spurious fired", round)
+		}
+	}
+}
+
+func TestEventFlagValidation(t *testing.T) {
+	if _, err := NewEventFlag(nil); err == nil {
+		t.Error("want error for nil detector")
+	}
+	if _, err := NewPlainEventFlag(shmem.NewNativeFactory(), 0); err == nil {
+		t.Error("want error for n=0")
+	}
+	e, err := NewPlainEventFlag(shmem.NewNativeFactory(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Handle(5); err == nil {
+		t.Error("want error for bad pid")
+	}
+}

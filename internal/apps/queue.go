@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"fmt"
+
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+)
+
+// Queue is a Michael–Scott FIFO queue whose mutable references — head, tail,
+// and every node's next pointer — are LL/SC objects (each built from a
+// single bounded CAS object, Theorem 2).
+//
+// The original Michael–Scott queue [24] is the poster child of the tagging
+// literature: with raw CAS and recycled nodes it suffers exactly the ABA the
+// paper describes, which is why the original used (unbounded) counted
+// pointers.  Replacing every CAS with LL/SC removes the problem by
+// specification — a stale SC fails no matter how the indices cycled — and
+// this queue recycles nodes through the allocator freely.
+type Queue struct {
+	n        int
+	capacity int
+
+	value []shmem.Register
+	next  []llsc.Object // next[i] holds the successor index of node i
+	head  llsc.Object
+	tail  llsc.Object
+	pool  *pool
+	dummy int // initial dummy node (allocated at construction)
+}
+
+// NewQueue builds a queue for n processes with the given capacity (usable
+// nodes beyond the mandatory dummy).
+func NewQueue(f shmem.Factory, n, capacity int) (*Queue, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("apps: queue needs n >= 1, got %d", n)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("apps: queue needs capacity >= 1, got %d", capacity)
+	}
+	total := capacity + 1 // one extra node so the dummy never starves callers
+	idxBits := shmem.BitsFor(total + 1)
+	q := &Queue{
+		n:        n,
+		capacity: total,
+		value:    make([]shmem.Register, total+1),
+		next:     make([]llsc.Object, total+1),
+		pool:     newPool(total),
+	}
+	var err error
+	for i := 1; i <= total; i++ {
+		q.value[i] = f.NewRegister(fmt.Sprintf("qvalue[%d]", i), 0)
+		q.next[i], err = llsc.NewCASBased(f, n, idxBits, 0)
+		if err != nil {
+			return nil, fmt.Errorf("apps: queue next[%d]: %w", i, err)
+		}
+	}
+	q.dummy = q.pool.alloc()
+	if q.head, err = llsc.NewCASBased(f, n, idxBits, Word(q.dummy)); err != nil {
+		return nil, fmt.Errorf("apps: queue head: %w", err)
+	}
+	if q.tail, err = llsc.NewCASBased(f, n, idxBits, Word(q.dummy)); err != nil {
+		return nil, fmt.Errorf("apps: queue tail: %w", err)
+	}
+	return q, nil
+}
+
+// Handle returns process pid's handle.  Handles are single-goroutine.
+func (q *Queue) Handle(pid int) (*QueueHandle, error) {
+	if pid < 0 || pid >= q.n {
+		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, q.n)
+	}
+	h := &QueueHandle{q: q, pid: pid, next: make([]llsc.Handle, len(q.next))}
+	var err error
+	if h.head, err = q.head.Handle(pid); err != nil {
+		return nil, err
+	}
+	if h.tail, err = q.tail.Handle(pid); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(q.next); i++ {
+		if h.next[i], err = q.next[i].Handle(pid); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// QueueHandle is a per-process queue endpoint.
+type QueueHandle struct {
+	q    *Queue
+	pid  int
+	head llsc.Handle
+	tail llsc.Handle
+	next []llsc.Handle
+}
+
+// Enq appends v.  It returns false when the node pool is exhausted.
+func (h *QueueHandle) Enq(v Word) bool {
+	idx := h.q.pool.alloc()
+	if idx == 0 {
+		return false
+	}
+	h.q.value[idx].Write(h.pid, v)
+	// Reset the recycled node's next pointer; only we touch a free node, so
+	// the LL;SC pair cannot be interfered with.
+	for {
+		h.next[idx].LL()
+		if h.next[idx].SC(0) {
+			break
+		}
+	}
+	for {
+		t := int(h.tail.LL())
+		nt := int(h.next[t].LL())
+		if !h.tail.VL() {
+			continue // t is no longer the tail: the snapshot is stale
+		}
+		if nt == 0 {
+			if h.next[t].SC(Word(idx)) {
+				// Linearized.  Help the tail forward; failure is fine.
+				h.tail.LL()
+				h.tail.SC(Word(idx))
+				return true
+			}
+			continue
+		}
+		// Tail is lagging: help it forward and retry.
+		h.tail.SC(Word(nt))
+	}
+}
+
+// Deq removes the oldest value.  It returns false when the queue is empty.
+func (h *QueueHandle) Deq() (Word, bool) {
+	for {
+		hd := int(h.head.LL())
+		t := int(h.tail.LL())
+		nh := int(h.next[hd].LL())
+		if !h.head.VL() {
+			continue // hd is no longer the head: the snapshot is stale
+		}
+		if nh == 0 {
+			return 0, false // consistent snapshot of an empty queue
+		}
+		if hd == t {
+			// Tail lagging behind a half-finished enqueue: help.
+			h.tail.SC(Word(nh))
+			continue
+		}
+		v := h.q.value[nh].Read(h.pid)
+		if h.head.SC(Word(nh)) {
+			// The old dummy retires; nh is the new dummy.
+			h.q.pool.release(hd)
+			return v, true
+		}
+	}
+}
+
+// QueueAudit is a quiescent-state structural check.
+type QueueAudit struct {
+	// Length is the number of values in the queue (nodes after the dummy).
+	Length int
+	// InFree is the number of nodes in the allocator's free queue.
+	InFree int
+	// Doubled lists nodes that are both reachable and free.
+	Doubled []int
+	// Lost is the number of unaccounted nodes.
+	Lost int
+	// Cycle reports whether the chain from head contains a cycle.
+	Cycle bool
+	// TailValid reports whether the tail points at a reachable node.
+	TailValid bool
+}
+
+// Corrupt reports whether the audit found structural damage.
+func (a QueueAudit) Corrupt() bool {
+	return len(a.Doubled) > 0 || a.Lost > 0 || a.Cycle || !a.TailValid
+}
+
+// String renders the audit result.
+func (a QueueAudit) String() string {
+	return fmt.Sprintf("length=%d inFree=%d doubled=%v lost=%d cycle=%v tailValid=%v",
+		a.Length, a.InFree, a.Doubled, a.Lost, a.Cycle, a.TailValid)
+}
+
+// Audit walks the chain and the free queue.  Call only at quiescence.
+func (q *Queue) Audit() QueueAudit {
+	var a QueueAudit
+	seen := make(map[int]int, q.capacity)
+	tailIdx := int(q.tail.Peek(-1))
+
+	cur := int(q.head.Peek(-1))
+	for hops := 0; cur != 0; hops++ {
+		if hops > q.capacity {
+			a.Cycle = true
+			break
+		}
+		seen[cur]++
+		if cur == tailIdx {
+			a.TailValid = true
+		}
+		if hops > 0 {
+			a.Length++
+		}
+		cur = int(q.next[cur].Peek(-1))
+	}
+	for _, idx := range q.pool.snapshot() {
+		seen[idx]++
+		a.InFree++
+	}
+	for idx, count := range seen {
+		if count > 1 {
+			a.Doubled = append(a.Doubled, idx)
+		}
+	}
+	a.Lost = q.capacity - len(seen)
+	return a
+}

@@ -1,0 +1,222 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"abadetect/internal/shmem"
+)
+
+func newQueue(t *testing.T, n, capacity int) *Queue {
+	t.Helper()
+	q, err := NewQueue(shmem.NewNativeFactory(), n, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func queueHandle(t *testing.T, q *Queue, pid int) *QueueHandle {
+	t.Helper()
+	h, err := q.Handle(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestQueueSequentialFIFO(t *testing.T) {
+	q := newQueue(t, 2, 8)
+	h := queueHandle(t, q, 0)
+	for i := 1; i <= 6; i++ {
+		if !h.Enq(Word(i * 10)) {
+			t.Fatalf("enq %d failed", i)
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		v, ok := h.Deq()
+		if !ok || v != Word(i*10) {
+			t.Fatalf("deq = (%d,%v), want (%d,true)", v, ok, i*10)
+		}
+	}
+	if _, ok := h.Deq(); ok {
+		t.Error("deq from empty queue succeeded")
+	}
+	if a := q.Audit(); a.Corrupt() {
+		t.Errorf("audit: %s", a)
+	}
+}
+
+func TestQueueEmptyThenReuse(t *testing.T) {
+	q := newQueue(t, 1, 3)
+	h := queueHandle(t, q, 0)
+	for round := 0; round < 30; round++ {
+		if !h.Enq(Word(round)) {
+			t.Fatalf("round %d: enq failed", round)
+		}
+		v, ok := h.Deq()
+		if !ok || v != Word(round) {
+			t.Fatalf("round %d: deq = (%d,%v)", round, v, ok)
+		}
+		if _, ok := h.Deq(); ok {
+			t.Fatalf("round %d: queue should be empty", round)
+		}
+	}
+	// Node recycling must have cycled through the pool several times.
+	if a := q.Audit(); a.Corrupt() {
+		t.Errorf("audit after reuse: %s", a)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := newQueue(t, 1, 3)
+	h := queueHandle(t, q, 0)
+	// capacity+1 nodes total, one consumed by the dummy: 3 usable.
+	pushed := 0
+	for i := 0; i < 10; i++ {
+		if h.Enq(Word(i)) {
+			pushed++
+		}
+	}
+	if pushed != 3 {
+		t.Errorf("enqueued %d values, want 3", pushed)
+	}
+	if _, ok := h.Deq(); !ok {
+		t.Error("deq failed")
+	}
+	if !h.Enq(99) {
+		t.Error("enq after deq should succeed (node recycled)")
+	}
+}
+
+func TestQueueConstructorValidation(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	if _, err := NewQueue(f, 0, 4); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewQueue(f, 2, 0); err == nil {
+		t.Error("want error for capacity=0")
+	}
+	q := newQueue(t, 2, 4)
+	if _, err := q.Handle(-1); err == nil {
+		t.Error("want error for bad pid")
+	}
+}
+
+func TestQueueInterleavedTwoHandles(t *testing.T) {
+	q := newQueue(t, 2, 8)
+	a := queueHandle(t, q, 0)
+	b := queueHandle(t, q, 1)
+	a.Enq(1)
+	b.Enq(2)
+	a.Enq(3)
+	if v, ok := b.Deq(); !ok || v != 1 {
+		t.Fatalf("deq = (%d,%v), want (1,true)", v, ok)
+	}
+	if v, ok := a.Deq(); !ok || v != 2 {
+		t.Fatalf("deq = (%d,%v), want (2,true)", v, ok)
+	}
+	if v, ok := b.Deq(); !ok || v != 3 {
+		t.Fatalf("deq = (%d,%v), want (3,true)", v, ok)
+	}
+}
+
+func TestQueueStressMPMC(t *testing.T) {
+	// Multi-producer multi-consumer accounting + per-producer FIFO order.
+	const producers = 4
+	const consumers = 4
+	const perProducer = 400
+	q := newQueue(t, producers+consumers, 32)
+
+	var wg sync.WaitGroup
+	consumed := make([][]Word, consumers)
+	for c := 0; c < consumers; c++ {
+		h := queueHandle(t, q, producers+c)
+		wg.Add(1)
+		go func(c int, h *QueueHandle) {
+			defer wg.Done()
+			misses := 0
+			for len(consumed[c]) < perProducer && misses < 2_000_000 {
+				if v, ok := h.Deq(); ok {
+					consumed[c] = append(consumed[c], v)
+					misses = 0
+				} else {
+					misses++
+				}
+			}
+		}(c, h)
+	}
+	for p := 0; p < producers; p++ {
+		h := queueHandle(t, q, p)
+		wg.Add(1)
+		go func(p int, h *QueueHandle) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := Word(p)<<32 | Word(i)
+				for !h.Enq(v) {
+					// pool momentarily exhausted; consumers will drain
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+
+	// Drain leftovers.
+	h := queueHandle(t, q, 0)
+	var drained []Word
+	for {
+		v, ok := h.Deq()
+		if !ok {
+			break
+		}
+		drained = append(drained, v)
+	}
+
+	// Accounting: every produced value consumed exactly once.
+	seen := map[Word]int{}
+	lastPerProducer := map[Word]int64{}
+	for p := 0; p < producers; p++ {
+		lastPerProducer[Word(p)] = -1
+	}
+	all := append([]Word{}, drained...)
+	for c := range consumed {
+		// Per-consumer, per-producer FIFO: indices from one producer must
+		// arrive in increasing order at any single consumer.
+		last := map[Word]int64{}
+		for _, v := range consumed[c] {
+			p, i := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[p]; ok && i <= prev {
+				t.Fatalf("consumer %d: producer %d's items out of order: %d after %d", c, p, i, prev)
+			}
+			last[p] = i
+		}
+		all = append(all, consumed[c]...)
+	}
+	for _, v := range all {
+		seen[v]++
+		if seen[v] > 1 {
+			t.Fatalf("value %#x consumed twice", v)
+		}
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("consumed %d values, want %d", len(all), producers*perProducer)
+	}
+	if a := q.Audit(); a.Corrupt() {
+		t.Errorf("audit: %s", a)
+	}
+}
+
+func TestQueueAuditStates(t *testing.T) {
+	q := newQueue(t, 1, 4)
+	h := queueHandle(t, q, 0)
+	a := q.Audit()
+	if a.Length != 0 || a.Corrupt() {
+		t.Errorf("fresh audit: %s", a)
+	}
+	h.Enq(5)
+	h.Enq(6)
+	a = q.Audit()
+	if a.Length != 2 || a.Corrupt() {
+		t.Errorf("after 2 enqs: %s", a)
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX — demo", "a", "bee", "333", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2TimeSpaceShape(t *testing.T) {
+	tbl, err := E2TimeSpace([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 2 implementations x 2 n values
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Figure 3 rows must show t = 2n+1.
+	found := 0
+	for _, row := range tbl.Rows {
+		if row[1] == "Figure 3 (1 CAS)" {
+			found++
+			switch row[0] {
+			case "2":
+				if row[3] != "5" {
+					t.Errorf("n=2: t = %s, want 5", row[3])
+				}
+			case "4":
+				if row[3] != "9" {
+					t.Errorf("n=4: t = %s, want 9", row[3])
+				}
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d Figure 3 rows, want 2", found)
+	}
+}
+
+func TestE7SeparationShape(t *testing.T) {
+	tbl, err := E7Separation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if first[1] >= last[1] && len(first[1]) >= len(last[1]) {
+		t.Errorf("unbounded bits did not grow: %s -> %s", first[1], last[1])
+	}
+	if first[2] != last[2] {
+		t.Errorf("Figure 4 bits changed: %s -> %s", first[2], last[2])
+	}
+}
+
+func TestE1AndE8Verdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking is slow in -short mode")
+	}
+	e1, err := E1ModelCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuted, survived := 0, 0
+	for _, row := range e1.Rows {
+		switch {
+		case strings.HasPrefix(row[3], "REFUTED"):
+			refuted++
+		case strings.HasPrefix(row[3], "no witness"):
+			survived++
+		}
+	}
+	if refuted < 4 {
+		t.Errorf("E1: only %d refutations", refuted)
+	}
+	if survived < 2 {
+		t.Errorf("E1: only %d survivals", survived)
+	}
+
+	e8, err := E8Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e8.Rows[0][4], "no witness") {
+		t.Errorf("E8: paper variant did not survive: %v", e8.Rows[0])
+	}
+	for i := 1; i < len(e8.Rows); i++ {
+		if !strings.HasPrefix(e8.Rows[i][4], "REFUTED") {
+			t.Errorf("E8: ablation %d not refuted: %v", i, e8.Rows[i])
+		}
+	}
+}
+
+func TestUpperBoundExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive checks are slow in -short mode")
+	}
+	for _, run := range []struct {
+		name string
+		fn   func() (*Table, error)
+	}{
+		{"E3", E3Fig3},
+		{"E4", E4Fig4},
+		{"E5", E5Fig5},
+		{"E6", E6Stack},
+		{"E9", E9ConstantTime},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			tbl, err := run.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("empty table")
+			}
+			var buf bytes.Buffer
+			if err := tbl.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

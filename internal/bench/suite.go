@@ -1,0 +1,25 @@
+package bench
+
+// Suite runs every experiment and returns the tables in E-number order.
+func Suite() ([]*Table, error) {
+	var tables []*Table
+	runners := []func() (*Table, error){
+		E1ModelCheck,
+		func() (*Table, error) { return E2TimeSpace([]int{2, 4, 8, 16, 32}) },
+		E3Fig3,
+		E4Fig4,
+		E5Fig5,
+		E6Stack,
+		E7Separation,
+		E8Ablations,
+		E9ConstantTime,
+	}
+	for _, run := range runners {
+		tbl, err := run()
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}

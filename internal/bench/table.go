@@ -1,0 +1,76 @@
+// Package bench is the experiment harness: one runner per experiment of
+// DESIGN.md's index (E1-E9), each regenerating the table that corresponds to
+// a paper claim — lower-bound witnesses, time-space products, step
+// complexities, space footprints, domain growth, and application-level
+// corruption.  cmd/abalab prints them all; bench_test.go at the repository
+// root exposes each as a testing.B benchmark; EXPERIMENTS.md records
+// paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E2".
+	ID string
+	// Title describes the experiment and names the paper artifact.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the data.
+	Rows [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	underline := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		underline[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// FprintAll renders a sequence of tables.
+func FprintAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"fmt"
+
+	"abadetect/internal/core"
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+	"abadetect/internal/sim"
+	"abadetect/internal/verify"
+)
+
+// smallExploreLimits bounds the exhaustive checks run by the upper-bound
+// experiments.
+func smallExploreLimits() sim.ExploreLimits {
+	return sim.ExploreLimits{MaxSteps: 200, MaxExecutions: 400000}
+}
+
+// E3Fig3 reproduces Theorem 2 / Figure 3 / Appendix D: the single-CAS
+// LL/SC/VL object is linearizable (checked exhaustively over every schedule
+// of a small workload and over seeded random schedules of a larger one), and
+// its step complexity is O(n): at most 2n+1 per operation, 1-2 when
+// uncontended.
+func E3Fig3() (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "LL/SC/VL from a single bounded CAS (Thm 2, Fig 3, App. D)",
+		Header: []string{"check", "result"},
+	}
+	build := func(f shmem.Factory, n int) (llsc.Object, error) {
+		return llsc.NewCASBased(f, n, 4, 0)
+	}
+
+	exh, err := verify.ExhaustiveLLSC(build, 0, verify.LLSCWorkload{
+		{verify.LL(), verify.SC(1), verify.VL()},
+		{verify.LL(), verify.SC(2)},
+	}, smallExploreLimits())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("exhaustive linearizability (n=2, 5 ops)",
+		fmt.Sprintf("PASS over %d executions", exh.Executions))
+	t.AddRow("worst-case LL steps over all schedules (n=2)",
+		fmt.Sprintf("%d (bound 2n+1 = 5)", exh.MaxOpSteps["LL"]))
+	t.AddRow("worst-case SC steps over all schedules (n=2)",
+		fmt.Sprintf("%d (bound 2n+1 = 5)", exh.MaxOpSteps["SC"]))
+	t.AddRow("worst-case VL steps over all schedules (n=2)",
+		fmt.Sprintf("%d (bound 1)", exh.MaxOpSteps["VL"]))
+
+	rnd, err := verify.RandomLLSC(build, 0, verify.LLSCWorkload{
+		{verify.LL(), verify.SC(1), verify.LL(), verify.SC(2), verify.VL()},
+		{verify.LL(), verify.SC(3), verify.VL(), verify.LL(), verify.SC(4)},
+		{verify.LL(), verify.VL(), verify.LL(), verify.SC(5), verify.VL()},
+	}, 200, 9000, 100000)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("random-schedule linearizability (n=3, 15 ops)",
+		fmt.Sprintf("PASS over %d executions", rnd.Executions))
+
+	// Uncontended step complexity on the native substrate.
+	for _, n := range []int{2, 8, 32} {
+		cf := shmem.NewCounting(shmem.NewNativeFactory(), n)
+		obj, err := llsc.NewCASBased(cf, n, 8, 0)
+		if err != nil {
+			return nil, err
+		}
+		h, err := obj.Handle(0)
+		if err != nil {
+			return nil, err
+		}
+		before := cf.Steps(0)
+		h.LL()
+		llSteps := cf.Steps(0) - before
+		before = cf.Steps(0)
+		h.SC(1)
+		scSteps := cf.Steps(0) - before
+		t.AddRow(fmt.Sprintf("uncontended steps (native, n=%d)", n),
+			fmt.Sprintf("LL=%d SC=%d (contention-free fast path is O(1))", llSteps, scSteps))
+	}
+	t.AddNote("footprint: m = 1 CAS object for any n; the O(n) cost appears only under contention (see E2).")
+	return t, nil
+}
+
+// E4Fig4 reproduces Theorem 3 / Figure 4 / Appendix C: the register-based
+// ABA-detecting register is linearizable, takes exactly 2 (DWrite) and 4
+// (DRead) shared steps under every schedule, and uses n+1 registers of
+// b + 2 log n + O(1) bits.
+func E4Fig4() (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "ABA-detecting register from n+1 bounded registers (Thm 3, Fig 4, App. C)",
+		Header: []string{"check", "result"},
+	}
+	build := func(f shmem.Factory, n int) (core.Detector, error) {
+		return core.NewRegisterBased(f, n, 4, 0)
+	}
+
+	exh, err := verify.ExhaustiveDetector(build, 0, verify.DetectorWorkload{
+		{verify.W(1), verify.W(2), verify.W(1)},
+		{verify.R(), verify.R()},
+	}, smallExploreLimits())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("exhaustive linearizability incl. write-back ABA (n=2)",
+		fmt.Sprintf("PASS over %d executions", exh.Executions))
+	t.AddRow("worst-case DWrite steps over all schedules",
+		fmt.Sprintf("%d (claimed 2)", exh.MaxOpSteps["DWrite"]))
+	t.AddRow("worst-case DRead steps over all schedules",
+		fmt.Sprintf("%d (claimed 4)", exh.MaxOpSteps["DRead"]))
+
+	rnd, err := verify.RandomDetector(build, 0, verify.DetectorWorkload{
+		{verify.W(1), verify.W(2), verify.W(3), verify.W(1), verify.W(2), verify.W(1)},
+		{verify.R(), verify.R(), verify.R(), verify.R(), verify.R(), verify.R()},
+		{verify.W(4), verify.R(), verify.W(5), verify.R(), verify.W(4), verify.R()},
+	}, 200, 9100, 100000)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("random-schedule linearizability (n=3, multi-writer)",
+		fmt.Sprintf("PASS over %d executions", rnd.Executions))
+
+	for _, n := range []int{2, 16, 256, 1024} {
+		f := shmem.NewNativeFactory()
+		reg, err := core.NewRegisterBased(f, n, 8, 0)
+		if err != nil {
+			return nil, err
+		}
+		fp := f.Footprint()
+		t.AddRow(fmt.Sprintf("space at n=%d (b=8)", n),
+			fmt.Sprintf("%d registers of %d bits (b + 2 log n + O(1) = %d)",
+				fp.Registers, reg.Codec().Bits(), 8+2*int(shmem.BitsFor(n))+4))
+	}
+	t.AddNote("Theorem 1(a) lower bound is n-1 registers; Figure 4 uses n+1 — optimal within two registers.")
+	return t, nil
+}
+
+// E5Fig5 reproduces Theorem 4 / Figure 5 / Appendix A: the LL/SC/VL-based
+// ABA-detecting register takes two shared steps per operation over an O(1)
+// LL/SC object, and composes with Figure 3 into Theorem 2's single-CAS
+// multi-writer detecting register.
+func E5Fig5() (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "ABA-detecting register from one LL/SC/VL object (Thm 4, Fig 5, App. A)",
+		Header: []string{"check", "result"},
+	}
+	type buildCase struct {
+		name  string
+		build verify.DetectorBuilder
+	}
+	cases := []buildCase{
+		{"Fig5 over Fig3 (Thm 2: 1 bounded CAS)", func(f shmem.Factory, n int) (core.Detector, error) {
+			obj, err := llsc.NewCASBased(f, n, 4, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewLLSCBased(obj)
+		}},
+		{"Fig5 over ConstantTime", func(f shmem.Factory, n int) (core.Detector, error) {
+			obj, err := llsc.NewConstantTime(f, n, 4, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewLLSCBased(obj)
+		}},
+		{"Fig5 over Moir (unbounded)", func(f shmem.Factory, n int) (core.Detector, error) {
+			obj, err := llsc.NewMoir(f, n, 4, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewLLSCBased(obj)
+		}},
+	}
+	for _, c := range cases {
+		exh, err := verify.ExhaustiveDetector(c.build, 0, verify.DetectorWorkload{
+			{verify.W(1), verify.W(1)},
+			{verify.R(), verify.R()},
+		}, smallExploreLimits())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, fmt.Sprintf("linearizable over %d executions; max DWrite=%d, DRead=%d steps",
+			exh.Executions, exh.MaxOpSteps["DWrite"], exh.MaxOpSteps["DRead"]))
+	}
+
+	// Step complexity over the O(1) object: LL/SC ops are single steps for
+	// Moir, so Figure 5's "two shared steps" is directly visible.
+	cf := shmem.NewCounting(shmem.NewNativeFactory(), 2)
+	obj, err := llsc.NewMoir(cf, 2, 8, 0)
+	if err != nil {
+		return nil, err
+	}
+	det, err := core.NewLLSCBased(obj)
+	if err != nil {
+		return nil, err
+	}
+	w, err := det.Handle(0)
+	if err != nil {
+		return nil, err
+	}
+	r, err := det.Handle(1)
+	if err != nil {
+		return nil, err
+	}
+	before := cf.Steps(0)
+	w.DWrite(3)
+	dwSteps := cf.Steps(0) - before
+	before = cf.Steps(1)
+	r.DRead()
+	drDirty := cf.Steps(1) - before
+	before = cf.Steps(1)
+	r.DRead()
+	drClean := cf.Steps(1) - before
+	t.AddRow("steps over an O(1) LL/SC object",
+		fmt.Sprintf("DWrite=%d (LL+SC), DRead=%d dirty / %d clean (claimed 2)", dwSteps, drDirty, drClean))
+	t.AddNote("over Figure 3 the composition inherits O(n) worst-case steps with m=1 — Theorem 2's register.")
+	return t, nil
+}
+
+// E9ConstantTime reproduces the matching upper bound at the other end of the
+// frontier: O(1) steps from one CAS + n registers, with correctness checked
+// the same way as E3.
+func E9ConstantTime() (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "constant-time LL/SC/VL from one CAS + n registers ([2,15]-style announcement construction)",
+		Header: []string{"check", "result"},
+	}
+	build := func(f shmem.Factory, n int) (llsc.Object, error) {
+		return llsc.NewConstantTime(f, n, 4, 0)
+	}
+	exh, err := verify.ExhaustiveLLSC(build, 0, verify.LLSCWorkload{
+		{verify.LL(), verify.SC(1), verify.VL()},
+		{verify.LL(), verify.SC(2)},
+	}, smallExploreLimits())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("exhaustive linearizability (n=2, 5 ops)",
+		fmt.Sprintf("PASS over %d executions", exh.Executions))
+	t.AddRow("worst-case steps over all schedules",
+		fmt.Sprintf("LL=%d (<=5), SC=%d (<=2), VL=%d (<=1)",
+			exh.MaxOpSteps["LL"], exh.MaxOpSteps["SC"], exh.MaxOpSteps["VL"]))
+
+	rnd, err := verify.RandomLLSC(build, 0, verify.LLSCWorkload{
+		{verify.LL(), verify.SC(1), verify.LL(), verify.SC(2), verify.VL()},
+		{verify.LL(), verify.SC(3), verify.VL(), verify.LL(), verify.SC(4)},
+		{verify.LL(), verify.VL(), verify.LL(), verify.SC(5), verify.VL()},
+	}, 200, 9200, 100000)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("random-schedule linearizability (n=3, 15 ops)",
+		fmt.Sprintf("PASS over %d executions", rnd.Executions))
+
+	for _, n := range []int{2, 16, 48} {
+		f := shmem.NewNativeFactory()
+		if _, err := llsc.NewConstantTime(f, n, 8, 0); err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("footprint at n=%d", n), f.Footprint().String())
+	}
+	t.AddNote("with E2/E3 this exhibits both optimal corners of m*t = Θ(n): (1, Θ(n)) and (n+1, O(1)).")
+	return t, nil
+}

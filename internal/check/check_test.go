@@ -1,0 +1,354 @@
+package check
+
+import (
+	"testing"
+
+	"abadetect/internal/sim"
+)
+
+// mkOp builds an op for hand-written histories.
+func mkOp(pid int, method string, inv, res int, args, rets []uint64) Op {
+	return Op{Pid: pid, Method: method, Args: args, Rets: rets, Inv: inv, Res: res}
+}
+
+func TestPairOps(t *testing.T) {
+	events := []sim.Event{
+		{Time: 1, Pid: 0, Kind: sim.Invoke, Method: "Write", Args: []uint64{5}},
+		{Time: 2, Pid: 1, Kind: sim.Invoke, Method: "Read"},
+		{Time: 3, Pid: 0, Kind: sim.Return},
+		{Time: 4, Pid: 1, Kind: sim.Return, Rets: []uint64{5}},
+		{Time: 5, Pid: 1, Kind: sim.Invoke, Method: "Read"},
+	}
+	ops, pending, err := PairOps(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || !pending[0].Pending || pending[0].Method != "Read" {
+		t.Errorf("pending = %+v, want one pending Read", pending)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(ops))
+	}
+	if ops[0].Method != "Write" || ops[0].Inv != 1 || ops[0].Res != 3 {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Method != "Read" || len(ops[1].Rets) != 1 || ops[1].Rets[0] != 5 {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+}
+
+func TestPendingOpsMayLinearizeOrDrop(t *testing.T) {
+	// A crashed writer's pending DWrite(5) explains a dirty read of 5...
+	pendingWrite := Op{Pid: 0, Method: MethodDWrite, Args: []uint64{5}, Inv: 1, Pending: true}
+	ops := []Op{
+		pendingWrite,
+		mkOp(1, MethodDRead, 2, 3, nil, []uint64{5, 1}),
+	}
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); !res.Ok {
+		t.Error("pending DWrite should be allowed to linearize")
+	}
+	// ...and may equally well never have happened.
+	ops[1] = mkOp(1, MethodDRead, 2, 3, nil, []uint64{0, 0})
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); !res.Ok {
+		t.Error("pending DWrite should be allowed to drop")
+	}
+	// But it cannot half-happen: value visible with a clean flag is no
+	// linearization of any subset.
+	ops[1] = mkOp(1, MethodDRead, 2, 3, nil, []uint64{5, 0})
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); res.Ok {
+		t.Error("inconsistent read accepted")
+	}
+}
+
+func TestPendingOpCannotLinearizeBeforeInvocation(t *testing.T) {
+	// The pending DWrite was invoked after the read responded; it cannot
+	// explain the dirty flag.
+	ops := []Op{
+		mkOp(1, MethodDRead, 1, 2, nil, []uint64{5, 1}),
+		{Pid: 0, Method: MethodDWrite, Args: []uint64{5}, Inv: 3, Pending: true},
+	}
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); res.Ok {
+		t.Error("pending op linearized before its invocation")
+	}
+}
+
+func TestPendingSCMayExplainInvalidLink(t *testing.T) {
+	// p1 crashed mid-SC; p0's subsequent SC failure is explained by
+	// linearizing the pending SC.
+	ops := []Op{
+		mkOp(0, MethodLL, 1, 2, nil, []uint64{0}),
+		{Pid: 1, Method: MethodSC, Args: []uint64{9}, Inv: 3, Pending: true},
+		mkOp(0, MethodSC, 4, 5, []uint64{7}, []uint64{0}), // failed
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("pending SC should explain the failed SC")
+	}
+	// And p0's SC succeeding is explained by dropping the pending SC.
+	ops[2] = mkOp(0, MethodSC, 4, 5, []uint64{7}, []uint64{1})
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("dropping the pending SC should explain the successful SC")
+	}
+}
+
+func TestPairOpsErrors(t *testing.T) {
+	_, _, err := PairOps([]sim.Event{
+		{Time: 1, Pid: 0, Kind: sim.Invoke, Method: "A"},
+		{Time: 2, Pid: 0, Kind: sim.Invoke, Method: "B"},
+	})
+	if err == nil {
+		t.Error("want error for double invoke")
+	}
+	_, _, err = PairOps([]sim.Event{{Time: 1, Pid: 0, Kind: sim.Return}})
+	if err == nil {
+		t.Error("want error for return without invoke")
+	}
+}
+
+func TestRegisterLinearizable(t *testing.T) {
+	// w(5) overlaps r; r may see 0 or 5.
+	for _, readVal := range []uint64{0, 5} {
+		ops := []Op{
+			mkOp(0, "Write", 1, 4, []uint64{5}, nil),
+			mkOp(1, "Read", 2, 3, nil, []uint64{readVal}),
+		}
+		res := Linearizable(RegisterSpec{}, ops)
+		if !res.Ok {
+			t.Errorf("readVal=%d: want linearizable", readVal)
+		}
+	}
+}
+
+func TestRegisterNotLinearizable(t *testing.T) {
+	// Write(5) fully precedes the read; reading 0 is illegal.
+	ops := []Op{
+		mkOp(0, "Write", 1, 2, []uint64{5}, nil),
+		mkOp(1, "Read", 3, 4, nil, []uint64{0}),
+	}
+	if res := Linearizable(RegisterSpec{}, ops); res.Ok {
+		t.Error("stale read accepted")
+	}
+	// The classic new/old inversion: r1 sees new, later r2 sees old.
+	ops = []Op{
+		mkOp(0, "Write", 1, 8, []uint64{5}, nil),
+		mkOp(1, "Read", 2, 3, nil, []uint64{5}),
+		mkOp(1, "Read", 4, 5, nil, []uint64{0}),
+	}
+	if res := Linearizable(RegisterSpec{}, ops); res.Ok {
+		t.Error("new/old inversion accepted")
+	}
+}
+
+func TestWitnessIsValidOrder(t *testing.T) {
+	ops := []Op{
+		mkOp(0, "Write", 1, 4, []uint64{5}, nil),
+		mkOp(1, "Read", 2, 3, nil, []uint64{5}),
+		mkOp(1, "Read", 5, 6, nil, []uint64{5}),
+	}
+	res := Linearizable(RegisterSpec{}, ops)
+	if !res.Ok {
+		t.Fatal("want linearizable")
+	}
+	if len(res.Witness) != len(ops) {
+		t.Fatalf("witness length %d, want %d", len(res.Witness), len(ops))
+	}
+	// Replaying the witness against the spec must succeed.
+	st := RegisterSpec{}.Initial()
+	seen := map[int]bool{}
+	for _, idx := range res.Witness {
+		if seen[idx] {
+			t.Fatalf("witness repeats index %d", idx)
+		}
+		seen[idx] = true
+		var ok bool
+		st, ok = st.Apply(ops[idx])
+		if !ok {
+			t.Fatalf("witness step %d illegal", idx)
+		}
+	}
+}
+
+func TestABADetectSpecSequential(t *testing.T) {
+	// Sequential history: w(1); r->(1,dirty); r->(1,clean); w(1); r->(1,dirty).
+	ops := []Op{
+		mkOp(0, MethodDWrite, 1, 2, []uint64{1}, nil),
+		mkOp(1, MethodDRead, 3, 4, nil, []uint64{1, 1}),
+		mkOp(1, MethodDRead, 5, 6, nil, []uint64{1, 0}),
+		mkOp(0, MethodDWrite, 7, 8, []uint64{1}, nil),
+		mkOp(1, MethodDRead, 9, 10, nil, []uint64{1, 1}),
+	}
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); !res.Ok {
+		t.Error("valid ABA-detecting history rejected")
+	}
+}
+
+func TestABADetectSpecCatchesMiss(t *testing.T) {
+	// The wraparound failure: writes happened strictly between the reads,
+	// yet the second read reports clean.  No linearization can explain it.
+	ops := []Op{
+		mkOp(0, MethodDWrite, 1, 2, []uint64{1}, nil),
+		mkOp(1, MethodDRead, 3, 4, nil, []uint64{1, 1}),
+		mkOp(0, MethodDWrite, 5, 6, []uint64{2}, nil),
+		mkOp(0, MethodDWrite, 7, 8, []uint64{1}, nil),
+		mkOp(1, MethodDRead, 9, 10, nil, []uint64{1, 0}), // MISSED
+	}
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); res.Ok {
+		t.Error("ABA miss accepted as linearizable")
+	}
+}
+
+func TestABADetectSpecConcurrentWriteMayGoEitherWay(t *testing.T) {
+	// A write overlapping the read: the read may linearize before or after.
+	for _, flag := range []uint64{0, 1} {
+		val := uint64(0)
+		if flag == 1 {
+			val = 9
+		}
+		ops := []Op{
+			mkOp(0, MethodDWrite, 1, 4, []uint64{9}, nil),
+			mkOp(1, MethodDRead, 2, 3, nil, []uint64{val, flag}),
+		}
+		if res := Linearizable(ABADetectSpec{N: 2}, ops); !res.Ok {
+			t.Errorf("flag=%d: want linearizable", flag)
+		}
+	}
+	// But value and flag must be consistent: new value with clean flag is
+	// impossible (the write linearized before the read, so dirty).
+	ops := []Op{
+		mkOp(0, MethodDWrite, 1, 4, []uint64{9}, nil),
+		mkOp(1, MethodDRead, 2, 3, nil, []uint64{9, 0}),
+	}
+	if res := Linearizable(ABADetectSpec{N: 2}, ops); res.Ok {
+		t.Error("new value with clean flag accepted")
+	}
+}
+
+func TestABADetectPerProcessFlags(t *testing.T) {
+	// Each reader has its own dirty bit.
+	ops := []Op{
+		mkOp(0, MethodDWrite, 1, 2, []uint64{3}, nil),
+		mkOp(1, MethodDRead, 3, 4, nil, []uint64{3, 1}),
+		mkOp(2, MethodDRead, 5, 6, nil, []uint64{3, 1}), // p2 still dirty
+		mkOp(1, MethodDRead, 7, 8, nil, []uint64{3, 0}),
+		mkOp(2, MethodDRead, 9, 10, nil, []uint64{3, 0}),
+	}
+	if res := Linearizable(ABADetectSpec{N: 3}, ops); !res.Ok {
+		t.Error("per-process flags rejected")
+	}
+}
+
+func TestLLSCSpec(t *testing.T) {
+	// p0: LL -> 0, SC(5) ok.  p1: LL -> 5 after, SC(6) ok.
+	ops := []Op{
+		mkOp(0, MethodLL, 1, 2, nil, []uint64{0}),
+		mkOp(0, MethodSC, 3, 4, []uint64{5}, []uint64{1}),
+		mkOp(1, MethodLL, 5, 6, nil, []uint64{5}),
+		mkOp(1, MethodSC, 7, 8, []uint64{6}, []uint64{1}),
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("valid LL/SC history rejected")
+	}
+}
+
+func TestLLSCSpecInterferenceMustFail(t *testing.T) {
+	// p0 links, p1's SC succeeds in between, p0's SC reports success: bogus.
+	ops := []Op{
+		mkOp(0, MethodLL, 1, 2, nil, []uint64{0}),
+		mkOp(1, MethodLL, 3, 4, nil, []uint64{0}),
+		mkOp(1, MethodSC, 5, 6, []uint64{7}, []uint64{1}),
+		mkOp(0, MethodSC, 7, 8, []uint64{9}, []uint64{1}), // must have failed
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); res.Ok {
+		t.Error("double-success SC accepted")
+	}
+	// The honest version (p0's SC fails) is linearizable.
+	ops[3].Rets = []uint64{0}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("honest failed SC rejected")
+	}
+}
+
+func TestLLSCSpecVL(t *testing.T) {
+	ops := []Op{
+		mkOp(0, MethodLL, 1, 2, nil, []uint64{0}),
+		mkOp(0, MethodVL, 3, 4, nil, []uint64{1}),
+		mkOp(1, MethodLL, 5, 6, nil, []uint64{0}),
+		mkOp(1, MethodSC, 7, 8, []uint64{3}, []uint64{1}),
+		mkOp(0, MethodVL, 9, 10, nil, []uint64{0}),
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("valid VL history rejected")
+	}
+	// VL=true after an intervening successful SC is a violation.
+	ops[4].Rets = []uint64{1}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); res.Ok {
+		t.Error("stale VL=true accepted")
+	}
+}
+
+func TestLLSCSpecSCWithoutLLUsesInitialLink(t *testing.T) {
+	// Figure 5 convention: processes start linked to the initial state.
+	ops := []Op{
+		mkOp(0, MethodSC, 1, 2, []uint64{4}, []uint64{1}),
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); !res.Ok {
+		t.Error("initial-link SC rejected")
+	}
+	ops = []Op{
+		mkOp(0, MethodSC, 1, 2, []uint64{4}, []uint64{1}),
+		mkOp(1, MethodSC, 3, 4, []uint64{5}, []uint64{1}), // link consumed by p0's SC
+	}
+	if res := Linearizable(LLSCSpec{N: 2}, ops); res.Ok {
+		t.Error("second initial-link SC accepted after a success")
+	}
+}
+
+func TestStackSpec(t *testing.T) {
+	ops := []Op{
+		mkOp(0, "Push", 1, 2, []uint64{10}, nil),
+		mkOp(0, "Push", 3, 4, []uint64{20}, nil),
+		mkOp(1, "Pop", 5, 6, nil, []uint64{20, 1}),
+		mkOp(1, "Pop", 7, 8, nil, []uint64{10, 1}),
+		mkOp(1, "Pop", 9, 10, nil, []uint64{0, 0}),
+	}
+	if res := Linearizable(StackSpec{}, ops); !res.Ok {
+		t.Error("valid stack history rejected")
+	}
+	// LIFO violation.
+	ops[2].Rets = []uint64{10, 1}
+	ops[3].Rets = []uint64{10, 1}
+	if res := Linearizable(StackSpec{}, ops); res.Ok {
+		t.Error("duplicate pop accepted")
+	}
+}
+
+func TestQueueSpec(t *testing.T) {
+	ops := []Op{
+		mkOp(0, "Enq", 1, 2, []uint64{10}, nil),
+		mkOp(0, "Enq", 3, 4, []uint64{20}, nil),
+		mkOp(1, "Deq", 5, 6, nil, []uint64{10, 1}),
+		mkOp(1, "Deq", 7, 8, nil, []uint64{20, 1}),
+		mkOp(1, "Deq", 9, 10, nil, []uint64{0, 0}),
+	}
+	if res := Linearizable(QueueSpec{}, ops); !res.Ok {
+		t.Error("valid queue history rejected")
+	}
+	// FIFO violation.
+	ops[2].Rets = []uint64{20, 1}
+	ops[3].Rets = []uint64{10, 1}
+	if res := Linearizable(QueueSpec{}, ops); res.Ok {
+		t.Error("LIFO order accepted by queue spec")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if res := Linearizable(RegisterSpec{}, nil); !res.Ok {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := mkOp(3, "DRead", 5, 9, nil, []uint64{7, 1})
+	if got := op.String(); got != "p3.DRead() -> (7,1) @[5,9]" {
+		t.Errorf("String() = %q", got)
+	}
+}

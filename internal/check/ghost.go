@@ -1,0 +1,82 @@
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ghost provides a sound online correctness check for ABA-detecting
+// registers under real (native) concurrency, where no total order of events
+// is observable.  Two atomic "ghost" counters — DWrite invocations and
+// DWrite completions — live outside the algorithm's memory and therefore
+// cannot perturb it.  From snapshots of these counters a reader derives two
+// sound (never false-positive) obligations for each DRead:
+//
+//   - must-dirty: some DWrite was invoked after the reader's previous DRead
+//     responded and completed before the current DRead was invoked.  Such a
+//     write linearizes strictly between the two reads, so the flag must be
+//     true.
+//   - must-clean: no DWrite was pending at the previous DRead's invocation
+//     and none was invoked up to the current DRead's response.  Then every
+//     write linearized before the previous read, so the flag must be false.
+//
+// Executions where neither obligation holds (a write overlaps one of the
+// reads) are not judged — that is the price of checking without a global
+// clock; the deterministic simulator plus the full linearizability checker
+// covers those cases.
+type Ghost struct {
+	started   atomic.Int64
+	completed atomic.Int64
+}
+
+// NewGhost returns a fresh ghost-epoch tracker.
+func NewGhost() *Ghost { return &Ghost{} }
+
+// WriteObserved brackets one DWrite: call the returned function after the
+// write completes.
+func (g *Ghost) WriteObserved() (done func()) {
+	g.started.Add(1)
+	return func() { g.completed.Add(1) }
+}
+
+// GhostReader is the per-reader state of the online check.  Like the
+// handles it polices, a GhostReader belongs to one goroutine.
+type GhostReader struct {
+	g *Ghost
+	// counters captured around the previous DRead
+	sPrevInv int64 // started at previous invocation
+	cPrevInv int64 // completed at previous invocation
+	sPrevRes int64 // started at previous response
+}
+
+// NewReader returns a reader-side checker.
+func (g *Ghost) NewReader() *GhostReader { return &GhostReader{g: g} }
+
+// Check brackets one DRead, performed by the supplied closure, and returns
+// an error if the observed dirty flag violates a sound obligation.
+func (r *GhostReader) Check(read func() (v uint64, dirty bool)) (uint64, bool, error) {
+	sInv := r.g.started.Load()
+	cInv := r.g.completed.Load()
+	v, dirty := read()
+	sRes := r.g.started.Load()
+
+	// must-dirty: completions by this invocation exceed starts by the
+	// previous response, so at least one write ran entirely in between.
+	mustDirty := cInv > r.sPrevRes
+	// must-clean: nothing pending at the previous invocation and nothing
+	// started since.
+	mustClean := r.sPrevInv == r.cPrevInv && sRes == r.sPrevInv
+
+	var err error
+	switch {
+	case mustDirty && !dirty:
+		err = fmt.Errorf("check: ghost violation: DRead returned clean, but a DWrite completed strictly between the reads (completed=%d > startedAtPrevRes=%d)", cInv, r.sPrevRes)
+	case mustClean && dirty:
+		err = fmt.Errorf("check: ghost violation: DRead returned dirty, but no DWrite overlapped (started=%d unchanged)", sRes)
+	}
+
+	r.sPrevInv = sInv
+	r.cPrevInv = cInv
+	r.sPrevRes = sRes
+	return v, dirty, err
+}

@@ -1,0 +1,299 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Method names used by the specifications in this package.
+const (
+	MethodDWrite = "DWrite"
+	MethodDRead  = "DRead"
+	MethodLL     = "LL"
+	MethodSC     = "SC"
+	MethodVL     = "VL"
+	MethodRead   = "Read"
+	MethodWrite  = "Write"
+)
+
+// boolWord converts a recorded Boolean return value.
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ABADetectSpec is the sequential specification of a multi-writer
+// ABA-detecting register for n processes (paper §1):
+//
+//	DWrite(x): value := x; mark every process dirty.
+//	DRead() by q: returns (value, dirty[q]); dirty[q] := false.
+//
+// A DRead's flag is true iff some DWrite linearized since q's previous
+// DRead linearized — exactly the "dirty since my last read" bit.
+type ABADetectSpec struct {
+	// N is the number of processes.
+	N int
+	// Initial is the register's initial value.
+	Initial0 uint64
+}
+
+var _ Spec = ABADetectSpec{}
+
+// Initial returns the clean initial state.
+func (s ABADetectSpec) Initial() State {
+	return abaState{v: s.Initial0, dirty: 0, n: s.N}
+}
+
+// abaState: dirty is a bitmask over pids (bit q = a DWrite linearized since
+// q's last DRead).  Initially clear: a DRead before any DWrite is clean.
+type abaState struct {
+	v     uint64
+	dirty uint64
+	n     int
+}
+
+func (st abaState) Apply(op Op) (State, bool) {
+	switch op.Method {
+	case MethodDWrite:
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		next := st
+		next.v = op.Args[0]
+		next.dirty = (1 << uint(st.n)) - 1
+		return next, true
+	case MethodDRead:
+		if !op.Pending {
+			if len(op.Rets) != 2 {
+				return nil, false
+			}
+			wantDirty := st.dirty >> uint(op.Pid) & 1
+			if op.Rets[0] != st.v || op.Rets[1] != wantDirty {
+				return nil, false
+			}
+		}
+		next := st
+		next.dirty &^= 1 << uint(op.Pid)
+		return next, true
+	default:
+		return nil, false
+	}
+}
+
+func (st abaState) Key() string {
+	return fmt.Sprintf("%d.%x", st.v, st.dirty)
+}
+
+// LLSCSpec is the sequential specification of an LL/SC/VL object for n
+// processes (paper §1):
+//
+//	LL() by p: returns value; p's link becomes valid.
+//	SC(x) by p: succeeds iff p's link is valid; on success value := x and
+//	            every link (including p's) is invalidated.
+//	VL() by p: returns whether p's link is valid.
+//
+// Initially every process is linked (the Figure 5 w.l.o.g. convention that
+// the history starts with one complete LL per process).
+type LLSCSpec struct {
+	// N is the number of processes.
+	N int
+	// Initial0 is the object's initial value.
+	Initial0 uint64
+}
+
+var _ Spec = LLSCSpec{}
+
+// Initial returns the all-linked initial state.
+func (s LLSCSpec) Initial() State {
+	return llscState{v: s.Initial0, valid: (1 << uint(s.N)) - 1, n: s.N}
+}
+
+type llscState struct {
+	v     uint64
+	valid uint64
+	n     int
+}
+
+func (st llscState) Apply(op Op) (State, bool) {
+	bit := uint64(1) << uint(op.Pid)
+	switch op.Method {
+	case MethodLL:
+		if !op.Pending && (len(op.Rets) != 1 || op.Rets[0] != st.v) {
+			return nil, false
+		}
+		next := st
+		next.valid |= bit
+		return next, true
+	case MethodSC:
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		want := boolWord(st.valid&bit != 0)
+		if !op.Pending && (len(op.Rets) != 1 || op.Rets[0] != want) {
+			return nil, false
+		}
+		next := st
+		if want == 1 {
+			next.v = op.Args[0]
+			next.valid = 0
+		}
+		return next, true
+	case MethodVL:
+		if !op.Pending && (len(op.Rets) != 1 || op.Rets[0] != boolWord(st.valid&bit != 0)) {
+			return nil, false
+		}
+		return st, true
+	default:
+		return nil, false
+	}
+}
+
+func (st llscState) Key() string {
+	return fmt.Sprintf("%d.%x", st.v, st.valid)
+}
+
+// RegisterSpec is the sequential specification of a plain read/write
+// register, used to sanity-check the checker itself.
+type RegisterSpec struct {
+	// Initial0 is the register's initial value.
+	Initial0 uint64
+}
+
+var _ Spec = RegisterSpec{}
+
+// Initial returns the initial state.
+func (s RegisterSpec) Initial() State { return regState{v: s.Initial0} }
+
+type regState struct{ v uint64 }
+
+func (st regState) Apply(op Op) (State, bool) {
+	switch op.Method {
+	case MethodWrite:
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		return regState{v: op.Args[0]}, true
+	case MethodRead:
+		if !op.Pending && (len(op.Rets) != 1 || op.Rets[0] != st.v) {
+			return nil, false
+		}
+		return st, true
+	default:
+		return nil, false
+	}
+}
+
+func (st regState) Key() string { return fmt.Sprintf("%d", st.v) }
+
+// StackSpec is the sequential specification of a stack of words.  Push(x)
+// returns nothing; Pop returns (value, ok) with ok=0 on empty.  Used by the
+// application-level experiments (Treiber stack).
+type StackSpec struct{}
+
+var _ Spec = StackSpec{}
+
+// Initial returns the empty stack.
+func (StackSpec) Initial() State { return stackState{} }
+
+type stackState struct {
+	items string // encoded as comma-joined decimal, top last
+}
+
+func (st stackState) Apply(op Op) (State, bool) {
+	switch op.Method {
+	case "Push":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		next := st
+		if next.items == "" {
+			next.items = fmt.Sprintf("%d", op.Args[0])
+		} else {
+			next.items += fmt.Sprintf(",%d", op.Args[0])
+		}
+		return next, true
+	case "Pop":
+		if !op.Pending && len(op.Rets) != 2 {
+			return nil, false
+		}
+		if st.items == "" {
+			if !op.Pending && op.Rets[1] != 0 {
+				return nil, false
+			}
+			return st, true
+		}
+		idx := strings.LastIndexByte(st.items, ',')
+		var top string
+		next := st
+		if idx < 0 {
+			top, next.items = st.items, ""
+		} else {
+			top, next.items = st.items[idx+1:], st.items[:idx]
+		}
+		if !op.Pending && (op.Rets[1] != 1 || fmt.Sprintf("%d", op.Rets[0]) != top) {
+			return nil, false
+		}
+		return next, true
+	default:
+		return nil, false
+	}
+}
+
+func (st stackState) Key() string { return st.items }
+
+// QueueSpec is the sequential specification of a FIFO queue of words.
+// Enq(x) returns nothing; Deq returns (value, ok) with ok=0 on empty.
+type QueueSpec struct{}
+
+var _ Spec = QueueSpec{}
+
+// Initial returns the empty queue.
+func (QueueSpec) Initial() State { return queueState{} }
+
+type queueState struct {
+	items string // comma-joined decimal, head first
+}
+
+func (st queueState) Apply(op Op) (State, bool) {
+	switch op.Method {
+	case "Enq":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		next := st
+		if next.items == "" {
+			next.items = fmt.Sprintf("%d", op.Args[0])
+		} else {
+			next.items += fmt.Sprintf(",%d", op.Args[0])
+		}
+		return next, true
+	case "Deq":
+		if !op.Pending && len(op.Rets) != 2 {
+			return nil, false
+		}
+		if st.items == "" {
+			if !op.Pending && op.Rets[1] != 0 {
+				return nil, false
+			}
+			return st, true
+		}
+		idx := strings.IndexByte(st.items, ',')
+		var head string
+		next := st
+		if idx < 0 {
+			head, next.items = st.items, ""
+		} else {
+			head, next.items = st.items[:idx], st.items[idx+1:]
+		}
+		if !op.Pending && (op.Rets[1] != 1 || fmt.Sprintf("%d", op.Rets[0]) != head) {
+			return nil, false
+		}
+		return next, true
+	default:
+		return nil, false
+	}
+}
+
+func (st queueState) Key() string { return st.items }

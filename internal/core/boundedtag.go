@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// BoundedTag is the folklore tagging scheme with a bounded, wrap-around
+// k-bit tag (paper §1; IBM System/370 [14]).  It uses a single bounded
+// register — far fewer than the n-1 registers Theorem 1(a) proves necessary
+// — and therefore it *cannot* be a correct ABA-detecting register.
+//
+// The flaw is concrete: the writer bumps the tag modulo 2^k on every write,
+// so after exactly 2^k writes the stored word repeats and a reader that was
+// poised across the wraparound misses all of them.  The repository's
+// lower-bound experiments (E1, E6, E8) extract this miss as an executable
+// witness; the model checker finds it from the state space without knowing
+// about tags at all.
+//
+// DWrite is two shared steps (read tag, write new pair); DRead is one.
+type BoundedTag struct {
+	n     int
+	codec shmem.TagCodec
+	x     shmem.Register
+	init  Word
+}
+
+var _ Detector = (*BoundedTag)(nil)
+
+// NewBoundedTag builds the k-bit-tag scheme for n processes, tagBits = k.
+func NewBoundedTag(f shmem.Factory, n int, valueBits, tagBits uint, initial Word) (*BoundedTag, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: BoundedTag needs n >= 1, got %d", n)
+	}
+	codec, err := shmem.NewTagCodec(valueBits, tagBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: BoundedTag: %w", err)
+	}
+	if initial > codec.MaxValue() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit domain", initial, valueBits)
+	}
+	b := &BoundedTag{n: n, codec: codec, init: codec.Encode(initial, 0)}
+	b.x = f.NewRegister("X", b.init)
+	return b, nil
+}
+
+// NumProcs returns n.
+func (b *BoundedTag) NumProcs() int { return b.n }
+
+// TagVals returns the size of the tag domain, 2^k.  A single writer that
+// performs exactly TagVals writes of one value brings the register word back
+// to its starting point — the wraparound ABA.
+func (b *BoundedTag) TagVals() Word { return b.codec.TagVals() }
+
+// Handle returns process pid's handle.
+func (b *BoundedTag) Handle(pid int) (Handle, error) {
+	if pid < 0 || pid >= b.n {
+		return nil, fmt.Errorf("core: pid %d out of range [0,%d)", pid, b.n)
+	}
+	return &boundedTagHandle{b: b, pid: pid, last: b.init}, nil
+}
+
+type boundedTagHandle struct {
+	b    *BoundedTag
+	pid  int
+	last Word
+}
+
+var _ Handle = (*boundedTagHandle)(nil)
+
+// DWrite reads the current tag and writes (v, tag+1 mod 2^k).
+func (h *boundedTagHandle) DWrite(v Word) {
+	b := h.b
+	w := b.x.Read(h.pid)
+	b.x.Write(h.pid, b.codec.Encode(v, b.codec.Tag(w)+1))
+}
+
+// DRead reads X once; "dirty" is word inequality, which wraparound defeats.
+func (h *boundedTagHandle) DRead() (Word, bool) {
+	w := h.b.x.Read(h.pid)
+	dirty := w != h.last
+	h.last = w
+	return h.b.codec.Value(w), dirty
+}

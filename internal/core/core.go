@@ -1,0 +1,58 @@
+// Package core implements the paper's primary contribution: ABA-detecting
+// registers.
+//
+// An ABA-detecting register (paper, §1) supports two operations.  DWrite(x)
+// writes the value x.  DRead() by process q returns the register's value
+// together with a Boolean flag that is true if and only if some process
+// executed a DWrite() that linearized since q's previous DRead() linearized.
+// Reading the same value twice therefore no longer hides intervening writes:
+// the ABA is detected.
+//
+// The package provides four implementations:
+//
+//   - RegisterBased (Figure 4, Theorem 3): a linearizable wait-free
+//     multi-writer b-bit register from n+1 bounded registers of
+//     b + 2·log n + O(1) bits, with O(1) step complexity.  This is
+//     asymptotically optimal: Theorem 1(a) shows n-1 bounded registers are
+//     necessary.
+//   - LLSCBased (Figure 5, Theorem 4): a register from a single LL/SC/VL
+//     object, two shared-memory steps per operation.  Composed over the
+//     single-CAS LL/SC of package llsc it yields Theorem 2's multi-writer
+//     ABA-detecting register from one bounded CAS object with O(n) steps.
+//   - Unbounded (§1): the trivial baseline from a single *unbounded*
+//     register carrying a never-repeating stamp; O(1) steps, but the used
+//     domain grows without bound (see shmem.Audited and experiment E7).
+//   - BoundedTag (§1, IBM tagging): the folklore k-bit tag scheme.  It is
+//     *deliberately flawed*: after exactly 2^k writes the tag wraps around
+//     and a reader misses the ABA.  The lower-bound experiments (E1, E6)
+//     extract that miss as a concrete execution.
+//
+// Every implementation hands out per-process handles; a handle owns the
+// paper's process-local variables (b, usedQ, na, c, old, ...) and must be
+// used by at most one goroutine at a time.  Distinct handles of the same
+// register are safe to use concurrently.
+package core
+
+import "abadetect/internal/shmem"
+
+// Word is the value type of all registers in this package.
+type Word = shmem.Word
+
+// Handle is the per-process access point to an ABA-detecting register.
+// A Handle is not safe for concurrent use; each process (goroutine) must
+// obtain its own via Detector.Handle.
+type Handle interface {
+	// DWrite writes v to the register.
+	DWrite(v Word)
+	// DRead returns the register's current value and whether some process
+	// performed a DWrite since this handle's previous DRead.
+	DRead() (v Word, dirty bool)
+}
+
+// Detector is an ABA-detecting register shared by n processes.
+type Detector interface {
+	// Handle returns the access handle for process pid in [0, n).
+	Handle(pid int) (Handle, error)
+	// NumProcs returns the number of processes the register was built for.
+	NumProcs() int
+}

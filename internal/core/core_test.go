@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+)
+
+// detectorCase builds each Detector implementation for table-driven tests.
+type detectorCase struct {
+	name  string
+	exact bool // detection is exact (correct implementation)
+	build func(t *testing.T, n int) Detector
+}
+
+func allDetectors() []detectorCase {
+	return []detectorCase{
+		{
+			name:  "RegisterBased(Fig4)",
+			exact: true,
+			build: func(t *testing.T, n int) Detector {
+				r, err := NewRegisterBased(shmem.NewNativeFactory(), n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+		{
+			name:  "LLSCBased(Fig5/Fig3)",
+			exact: true,
+			build: func(t *testing.T, n int) Detector {
+				obj, err := llsc.NewCASBased(shmem.NewNativeFactory(), n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := NewLLSCBased(obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+		{
+			name:  "LLSCBased(Fig5/ConstantTime)",
+			exact: true,
+			build: func(t *testing.T, n int) Detector {
+				obj, err := llsc.NewConstantTime(shmem.NewNativeFactory(), n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := NewLLSCBased(obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+		{
+			name:  "LLSCBased(Fig5/Moir)",
+			exact: true,
+			build: func(t *testing.T, n int) Detector {
+				obj, err := llsc.NewMoir(shmem.NewNativeFactory(), n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := NewLLSCBased(obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+		{
+			name:  "Unbounded",
+			exact: true,
+			build: func(t *testing.T, n int) Detector {
+				r, err := NewUnbounded(shmem.NewNativeFactory(), n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+		{
+			name:  "BoundedTag(k=16)",
+			exact: false, // correct only until the tag wraps
+			build: func(t *testing.T, n int) Detector {
+				r, err := NewBoundedTag(shmem.NewNativeFactory(), n, 8, 16, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+		},
+	}
+}
+
+func handleOf(t *testing.T, d Detector, pid int) Handle {
+	t.Helper()
+	h, err := d.Handle(pid)
+	if err != nil {
+		t.Fatalf("Handle(%d): %v", pid, err)
+	}
+	return h
+}
+
+func TestFirstReadBeforeAnyWriteIsClean(t *testing.T) {
+	for _, tc := range allDetectors() {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 2)
+			r := handleOf(t, d, 1)
+			v, dirty := r.DRead()
+			if v != 0 || dirty {
+				t.Errorf("DRead = (%d, %v), want (0, false)", v, dirty)
+			}
+		})
+	}
+}
+
+func TestSelfWriteIsDetected(t *testing.T) {
+	for _, tc := range allDetectors() {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 2)
+			h := handleOf(t, d, 0)
+			h.DWrite(42)
+			v, dirty := h.DRead()
+			if v != 42 || !dirty {
+				t.Errorf("DRead = (%d, %v), want (42, true)", v, dirty)
+			}
+			v, dirty = h.DRead()
+			if v != 42 || dirty {
+				t.Errorf("second DRead = (%d, %v), want (42, false)", v, dirty)
+			}
+		})
+	}
+}
+
+func TestCrossProcessDetection(t *testing.T) {
+	for _, tc := range allDetectors() {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 3)
+			w := handleOf(t, d, 0)
+			r := handleOf(t, d, 1)
+
+			w.DWrite(7)
+			if v, dirty := r.DRead(); v != 7 || !dirty {
+				t.Fatalf("after write: DRead = (%d, %v), want (7, true)", v, dirty)
+			}
+			if v, dirty := r.DRead(); v != 7 || dirty {
+				t.Fatalf("quiet repeat: DRead = (%d, %v), want (7, false)", v, dirty)
+			}
+			w.DWrite(8)
+			w.DWrite(9)
+			if v, dirty := r.DRead(); v != 9 || !dirty {
+				t.Fatalf("after two writes: DRead = (%d, %v), want (9, true)", v, dirty)
+			}
+		})
+	}
+}
+
+func TestABAWriteBackSameValueIsDetected(t *testing.T) {
+	// The defining scenario: the value returns to what the reader saw, yet
+	// the reader must still learn that writes happened.
+	for _, tc := range allDetectors() {
+		if !tc.exact {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 2)
+			w := handleOf(t, d, 0)
+			r := handleOf(t, d, 1)
+
+			w.DWrite(5)
+			if v, dirty := r.DRead(); v != 5 || !dirty {
+				t.Fatalf("setup read = (%d, %v)", v, dirty)
+			}
+			w.DWrite(6) // A -> B
+			w.DWrite(5) // B -> A
+			v, dirty := r.DRead()
+			if v != 5 {
+				t.Fatalf("value = %d, want 5", v)
+			}
+			if !dirty {
+				t.Error("ABA missed: dirty = false after write-back")
+			}
+		})
+	}
+}
+
+func TestManyWritesAlwaysDetected(t *testing.T) {
+	// Exact detectors must detect across any number of writes, in
+	// particular far beyond their bounded seq domains (the point of GetSeq).
+	for _, tc := range allDetectors() {
+		if !tc.exact {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			n := 3
+			d := tc.build(t, n)
+			w := handleOf(t, d, 0)
+			r := handleOf(t, d, 1)
+			for round := 0; round < 500; round++ {
+				w.DWrite(Word(round % 7))
+				if _, dirty := r.DRead(); !dirty {
+					t.Fatalf("round %d: write missed", round)
+				}
+				if _, dirty := r.DRead(); dirty {
+					t.Fatalf("round %d: spurious dirty on quiet read", round)
+				}
+			}
+		})
+	}
+}
+
+func TestTwoWritersOneReader(t *testing.T) {
+	for _, tc := range allDetectors() {
+		if !tc.exact {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 3)
+			w0 := handleOf(t, d, 0)
+			w2 := handleOf(t, d, 2)
+			r := handleOf(t, d, 1)
+			for round := 0; round < 200; round++ {
+				w0.DWrite(1)
+				w2.DWrite(2)
+				if v, dirty := r.DRead(); v != 2 || !dirty {
+					t.Fatalf("round %d: DRead = (%d, %v), want (2, true)", round, v, dirty)
+				}
+				w2.DWrite(1)
+				w0.DWrite(2)
+				if v, dirty := r.DRead(); v != 2 || !dirty {
+					t.Fatalf("round %d: DRead = (%d, %v), want (2, true)", round, v, dirty)
+				}
+			}
+		})
+	}
+}
+
+func TestReaderIsAlsoWriter(t *testing.T) {
+	// Multi-writer: the same process may both write and read.
+	for _, tc := range allDetectors() {
+		if !tc.exact {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 2)
+			a := handleOf(t, d, 0)
+			b := handleOf(t, d, 1)
+			for round := 0; round < 100; round++ {
+				a.DWrite(Word(round % 5))
+				if _, dirty := b.DRead(); !dirty {
+					t.Fatalf("round %d: b missed a's write", round)
+				}
+				b.DWrite(Word(round % 3))
+				if _, dirty := a.DRead(); !dirty {
+					t.Fatalf("round %d: a missed b's write", round)
+				}
+				if _, dirty := a.DRead(); dirty {
+					t.Fatalf("round %d: spurious dirty for a", round)
+				}
+				if _, dirty := b.DRead(); !dirty {
+					t.Fatalf("round %d: b missed b's own write", round)
+				}
+			}
+		})
+	}
+}
+
+func TestBoundedTagWraparoundMiss(t *testing.T) {
+	// The flaw the paper's lower bound says is unavoidable at this space:
+	// after exactly 2^k writes the word repeats and the reader misses.
+	const k = 4
+	d, err := NewBoundedTag(shmem.NewNativeFactory(), 2, 8, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := handleOf(t, d, 0)
+	r := handleOf(t, d, 1)
+
+	w.DWrite(9)
+	if _, dirty := r.DRead(); !dirty {
+		t.Fatal("setup read should be dirty")
+	}
+	for i := 0; i < 1<<k; i++ {
+		w.DWrite(9)
+	}
+	v, dirty := r.DRead()
+	if v != 9 {
+		t.Fatalf("value = %d, want 9", v)
+	}
+	if dirty {
+		t.Fatalf("expected the wraparound ABA to be MISSED at 2^%d writes", k)
+	}
+	// One more write makes the word differ again.
+	w.DWrite(9)
+	if _, dirty := r.DRead(); !dirty {
+		t.Error("off-cycle write should be detected")
+	}
+}
+
+func TestRegisterBasedSurvivesWraparoundScenario(t *testing.T) {
+	// The same adversarial pattern that breaks BoundedTag must not break
+	// Figure 4, for any number of writes up to several seq-domain cycles.
+	n := 2
+	d, err := NewRegisterBased(shmem.NewNativeFactory(), n, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := handleOf(t, d, 0)
+	r := handleOf(t, d, 1)
+	w.DWrite(9)
+	r.DRead()
+	for cycle := 1; cycle <= 6*(2*n+2); cycle++ {
+		w.DWrite(9)
+		if _, dirty := r.DRead(); !dirty {
+			t.Fatalf("write %d missed", cycle)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	if _, err := NewRegisterBased(f, 0, 8, 0); err == nil {
+		t.Error("RegisterBased: want error for n=0")
+	}
+	if _, err := NewRegisterBased(f, 2, 8, 256); err == nil {
+		t.Error("RegisterBased: want error for out-of-domain initial")
+	}
+	if _, err := NewUnbounded(f, 0, 8, 0); err == nil {
+		t.Error("Unbounded: want error for n=0")
+	}
+	if _, err := NewUnbounded(f, 2, 33, 0); err == nil {
+		t.Error("Unbounded: want error for valueBits>32")
+	}
+	if _, err := NewUnbounded(f, 2, 8, 300); err == nil {
+		t.Error("Unbounded: want error for out-of-domain initial")
+	}
+	if _, err := NewBoundedTag(f, 0, 8, 4, 0); err == nil {
+		t.Error("BoundedTag: want error for n=0")
+	}
+	if _, err := NewBoundedTag(f, 2, 8, 4, 999); err == nil {
+		t.Error("BoundedTag: want error for out-of-domain initial")
+	}
+	if _, err := NewLLSCBased(nil); err == nil {
+		t.Error("LLSCBased: want error for nil object")
+	}
+}
+
+func TestHandleValidation(t *testing.T) {
+	for _, tc := range allDetectors() {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t, 2)
+			if _, err := d.Handle(-1); err == nil {
+				t.Error("want error for pid -1")
+			}
+			if _, err := d.Handle(2); err == nil {
+				t.Error("want error for pid == n")
+			}
+			if d.NumProcs() != 2 {
+				t.Errorf("NumProcs = %d, want 2", d.NumProcs())
+			}
+		})
+	}
+}
+
+func TestNonZeroInitialValue(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(f shmem.Factory) (Detector, error)
+	}{
+		{"RegisterBased", func(f shmem.Factory) (Detector, error) { return NewRegisterBased(f, 2, 8, 77) }},
+		{"Unbounded", func(f shmem.Factory) (Detector, error) { return NewUnbounded(f, 2, 8, 77) }},
+		{"BoundedTag", func(f shmem.Factory) (Detector, error) { return NewBoundedTag(f, 2, 8, 8, 77) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.build(shmem.NewNativeFactory())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := handleOf(t, d, 1)
+			if v, dirty := r.DRead(); v != 77 || dirty {
+				t.Errorf("DRead = (%d, %v), want (77, false)", v, dirty)
+			}
+		})
+	}
+}
+
+func TestRegisterBasedFootprint(t *testing.T) {
+	// Theorem 3: n+1 registers of b + 2 log n + O(1) bits.
+	for _, n := range []int{2, 4, 16, 48} {
+		f := shmem.NewNativeFactory()
+		r, err := NewRegisterBased(f, n, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := f.Footprint()
+		if fp.Registers != n+1 || fp.CASObjects != 0 {
+			t.Errorf("n=%d: footprint %v, want %d registers", n, fp, n+1)
+		}
+		if r.Codec().Bits() > 8+2*int(shmem.BitsFor(n))+4 {
+			t.Errorf("n=%d: register width %d exceeds b+2logn+O(1)", n, r.Codec().Bits())
+		}
+	}
+}
+
+func TestStepComplexityConstant(t *testing.T) {
+	// Theorem 3's O(1): DWrite takes exactly 2 shared steps and DRead
+	// exactly 4, independent of n and of history length.
+	for _, n := range []int{2, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cf := shmem.NewCounting(shmem.NewNativeFactory(), n)
+			d, err := NewRegisterBased(cf, n, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := handleOf(t, d, 0)
+			r := handleOf(t, d, 1)
+			for i := 0; i < 100; i++ {
+				before := cf.Steps(0)
+				w.DWrite(Word(i % 9))
+				if got := cf.Steps(0) - before; got != 2 {
+					t.Fatalf("DWrite took %d steps, want 2", got)
+				}
+				before = cf.Steps(1)
+				r.DRead()
+				if got := cf.Steps(1) - before; got != 4 {
+					t.Fatalf("DRead took %d steps, want 4", got)
+				}
+			}
+		})
+	}
+}
+
+func TestLLSCBasedStepComplexity(t *testing.T) {
+	// Theorem 4: two shared steps per operation over the LL/SC/VL object
+	// ... when the object's own operations are single steps.  Over Moir
+	// (O(1) LL/SC from unbounded CAS), DWrite = LL+SC = 2 steps and a clean
+	// DRead = VL = 1 step; a dirty DRead = VL+LL = 2 steps.
+	cf := shmem.NewCounting(shmem.NewNativeFactory(), 2)
+	obj, err := llsc.NewMoir(cf, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewLLSCBased(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := handleOf(t, d, 0)
+	r := handleOf(t, d, 1)
+
+	before := cf.Steps(0)
+	w.DWrite(3)
+	if got := cf.Steps(0) - before; got != 2 {
+		t.Errorf("DWrite took %d steps, want 2", got)
+	}
+	before = cf.Steps(1)
+	r.DRead() // dirty: VL + LL
+	if got := cf.Steps(1) - before; got != 2 {
+		t.Errorf("dirty DRead took %d steps, want 2", got)
+	}
+	before = cf.Steps(1)
+	r.DRead() // clean: VL only
+	if got := cf.Steps(1) - before; got != 1 {
+		t.Errorf("clean DRead took %d steps, want 1", got)
+	}
+}
+
+func TestUnboundedDomainGrows(t *testing.T) {
+	// E7 separation, the unbounded half: the used domain keeps growing.
+	audit := shmem.NewAudited(shmem.NewNativeFactory())
+	d, err := NewUnbounded(audit, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := handleOf(t, d, 0)
+	w.DWrite(1)
+	bitsAfter1 := audit.MaxBitsUsed()
+	for i := 0; i < 1<<12; i++ {
+		w.DWrite(1)
+	}
+	bitsAfter4k := audit.MaxBitsUsed()
+	if bitsAfter4k <= bitsAfter1 {
+		t.Errorf("unbounded domain did not grow: %d -> %d bits", bitsAfter1, bitsAfter4k)
+	}
+}
+
+func TestRegisterBasedDomainBounded(t *testing.T) {
+	// E7 separation, the bounded half: Figure 4 stays inside its declared
+	// domain forever, no matter how many operations run.
+	n := 3
+	audit := shmem.NewAudited(shmem.NewNativeFactory())
+	d, err := NewRegisterBased(audit, n, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := d.Codec().Bits()
+	w := handleOf(t, d, 0)
+	r := handleOf(t, d, 1)
+	for i := 0; i < 20000; i++ {
+		w.DWrite(Word(i % 200))
+		if i%3 == 0 {
+			r.DRead()
+		}
+	}
+	if got := audit.MaxBitsUsed(); got > declared {
+		t.Errorf("used %d bits, declared bound %d", got, declared)
+	}
+}

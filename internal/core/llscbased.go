@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+)
+
+// LLSCBased is the paper's Figure 5 (Theorem 4): an ABA-detecting register
+// from a single LL/SC/VL object, with exactly two shared-memory steps per
+// operation.
+//
+// DWrite performs LL();SC(x); the SC either installs x or fails because a
+// concurrent SC installed something — either way a write linearized.  DRead
+// performs VL(): if the link is still valid, no successful SC — hence no
+// DWrite — linearized since the previous DRead's link was taken, so it
+// returns the cached value and a clean flag; otherwise it re-links with
+// LL(), returning the fresh value and a dirty flag.
+//
+// Composed over llsc.CASBased (Figure 3) this is Theorem 2's multi-writer
+// ABA-detecting register from a single bounded CAS object with O(n) step
+// complexity; composed over llsc.ConstantTime it gives an O(1) register
+// from one CAS and n registers.
+type LLSCBased struct {
+	obj llsc.Object
+}
+
+var _ Detector = (*LLSCBased)(nil)
+
+// NewLLSCBased wraps an LL/SC/VL object as an ABA-detecting register.
+func NewLLSCBased(obj llsc.Object) (*LLSCBased, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("core: LLSCBased needs a non-nil LL/SC/VL object")
+	}
+	return &LLSCBased{obj: obj}, nil
+}
+
+// NumProcs returns the underlying object's process count.
+func (r *LLSCBased) NumProcs() int { return r.obj.NumProcs() }
+
+// Handle returns process pid's handle.
+func (r *LLSCBased) Handle(pid int) (Handle, error) {
+	h, err := r.obj.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &llscBasedHandle{ll: h, old: r.obj.Initial()}, nil
+}
+
+// llscBasedHandle carries the paper's local variable old.
+type llscBasedHandle struct {
+	ll  llsc.Handle
+	old shmem.Word
+}
+
+var _ Handle = (*llscBasedHandle)(nil)
+
+// DWrite implements Figure 5 lines 51-52.
+func (h *llscBasedHandle) DWrite(v Word) {
+	h.ll.LL()
+	h.ll.SC(v)
+}
+
+// DRead implements Figure 5 lines 53-54.
+func (h *llscBasedHandle) DRead() (Word, bool) {
+	if h.ll.VL() {
+		return h.old, false
+	}
+	h.old = h.ll.LL()
+	return h.old, true
+}

@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+import "abadetect/internal/shmem"
+
+// Unbounded is the trivial ABA-detecting register the paper describes in §1:
+// a single register whose value is augmented with a tag that never repeats.
+// Every operation takes one shared-memory step; detection is exact because
+// stored words are globally unique per write.
+//
+// The catch — and the entire point of the paper — is that the tag domain is
+// unbounded.  We model the unbounded register with a 64-bit word whose
+// stamp field is wide enough to never wrap in any feasible execution
+// (2^(64-valueBits) writes); the shmem.Audited wrapper shows its used domain
+// growing without bound, in contrast with the bounded implementations
+// (experiment E7).
+type Unbounded struct {
+	n         int
+	valueBits uint
+	stampBits uint
+	x         shmem.Register
+	initWord  Word
+}
+
+var _ Detector = (*Unbounded)(nil)
+
+// NewUnbounded builds the unbounded-tag baseline for n processes.
+func NewUnbounded(f shmem.Factory, n int, valueBits uint, initial Word) (*Unbounded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: Unbounded needs n >= 1, got %d", n)
+	}
+	if valueBits < 1 || valueBits > 32 {
+		return nil, fmt.Errorf("core: Unbounded needs 1 <= valueBits <= 32, got %d", valueBits)
+	}
+	if initial > (Word(1)<<valueBits)-1 {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit domain", initial, valueBits)
+	}
+	u := &Unbounded{
+		n:         n,
+		valueBits: valueBits,
+		stampBits: 64 - valueBits,
+	}
+	// Layout [stamp][value], stamp in the high bits: the word's magnitude
+	// grows with the stamp, so shmem.Audited sees the domain growing.
+	u.initWord = initial // stamp 0
+	u.x = f.NewRegister("X", u.initWord)
+	return u, nil
+}
+
+// NumProcs returns n.
+func (u *Unbounded) NumProcs() int { return u.n }
+
+// Handle returns process pid's handle.
+func (u *Unbounded) Handle(pid int) (Handle, error) {
+	if pid < 0 || pid >= u.n {
+		return nil, fmt.Errorf("core: pid %d out of range [0,%d)", pid, u.n)
+	}
+	return &unboundedHandle{u: u, pid: pid, last: u.initWord}, nil
+}
+
+type unboundedHandle struct {
+	u      *Unbounded
+	pid    int
+	writes uint64 // local write counter; stamps are writes*n + pid + 1
+	last   Word   // word observed by the previous DRead
+}
+
+var _ Handle = (*unboundedHandle)(nil)
+
+// DWrite writes v with a fresh, globally unique stamp: one shared step.
+func (h *unboundedHandle) DWrite(v Word) {
+	u := h.u
+	if v > (Word(1)<<u.valueBits)-1 {
+		panic(fmt.Sprintf("core: value %d exceeds %d-bit domain", v, u.valueBits))
+	}
+	h.writes++
+	stamp := h.writes*uint64(u.n) + uint64(h.pid) + 1
+	if stamp >= 1<<u.stampBits {
+		panic("core: Unbounded stamp domain exhausted (modeling limit reached)")
+	}
+	u.x.Write(h.pid, stamp<<u.valueBits|v)
+}
+
+// DRead reads X once and compares against the previously observed word;
+// stamps never repeat, so inequality is exactly "some DWrite happened".
+func (h *unboundedHandle) DRead() (Word, bool) {
+	w := h.u.x.Read(h.pid)
+	dirty := w != h.last
+	h.last = w
+	return w & ((Word(1) << h.u.valueBits) - 1), dirty
+}

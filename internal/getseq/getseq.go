@@ -1,0 +1,152 @@
+// Package getseq implements the bounded sequence-number recycling helper
+// GetSeq() from Figure 4 of the paper (lines 28-37).
+//
+// A writer process p augments each value it installs into the shared object
+// X with a sequence number s drawn from the bounded domain {0, ..., 2n+1}.
+// Readers announce the (pid, seq) pair they last observed in X.  GetSeq
+// guarantees the property the paper's Claim 3 is built on:
+//
+//	If there is any point at which X = (·, p, s) and A[q] = (p, s) for some
+//	process q, then p will not use sequence number s again in any following
+//	install until A[q] ≠ (p, s).
+//
+// It achieves this with two bounded mechanisms:
+//
+//   - usedQ, a queue of the n+1 most recently returned sequence numbers: two
+//     returns of the same s are separated by at least n+1 complete GetSeq
+//     calls, which is long enough for a full scan of the announce array;
+//   - na, the "not available" set: each GetSeq call reads exactly one
+//     announce-array entry (round-robin over all n entries) and remembers any
+//     entry announcing p's own pid until a later scan of the same entry sees
+//     something else.
+//
+// The domain size 2n+2 is exactly large enough: at most n entries can be
+// blocked by na and n+1 by usedQ, so at least one sequence number is always
+// available.
+//
+// Each call to Next performs exactly one shared-memory step (the read of one
+// announce-array entry); everything else is process-local state.
+package getseq
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// Picker is the per-process GetSeq state: local variables usedQ, na and c of
+// Figure 4.  A Picker belongs to a single process and must not be shared
+// between goroutines.
+type Picker struct {
+	pid   int
+	n     int
+	codec shmem.TripleCodec
+	a     []shmem.Register
+
+	c       int   // next announce-array slot to scan
+	na      []int // na[q] = seq announced in A[q] for my pid, or -1
+	used    []int // ring buffer of the n+1 most recently returned seqs
+	usedPos int   // next slot of used to overwrite (its current occupant is the oldest)
+	nextTry int   // rotation cursor over the seq domain (line 34's "arbitrary")
+
+	forbidden []bool // scratch, indexed by sequence number
+}
+
+// New returns a Picker for process pid over announce array a.  The codec
+// defines the (pid, seq) pair encoding of the announce entries and the
+// sequence-number domain, which must have at least 2n+2 values.
+func New(pid, n int, codec shmem.TripleCodec, a []shmem.Register) (*Picker, error) {
+	if len(a) != n {
+		return nil, fmt.Errorf("getseq: announce array has %d entries, want n=%d", len(a), n)
+	}
+	if pid < 0 || pid >= n {
+		return nil, fmt.Errorf("getseq: pid %d out of range [0,%d)", pid, n)
+	}
+	if codec.SeqVals() < 2*n+2 {
+		return nil, fmt.Errorf("getseq: seq domain %d too small, want >= 2n+2 = %d", codec.SeqVals(), 2*n+2)
+	}
+	p := &Picker{
+		pid:       pid,
+		n:         n,
+		codec:     codec,
+		a:         a,
+		na:        make([]int, n),
+		used:      make([]int, n+1),
+		forbidden: make([]bool, codec.SeqVals()),
+	}
+	for i := range p.na {
+		p.na[i] = -1
+	}
+	for i := range p.used {
+		p.used[i] = -1 // ⊥
+	}
+	return p, nil
+}
+
+// NewUnchecked is New for callers that have already validated the
+// parameters; it panics on invalid input.
+func NewUnchecked(pid, n int, codec shmem.TripleCodec, a []shmem.Register) *Picker {
+	p, err := New(pid, n, codec, a)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Next performs one GetSeq() call: it reads one announce-array entry
+// (exactly one shared-memory step), updates na, and returns a sequence
+// number that is neither announced for this process (as far as na knows) nor
+// among the n+1 most recently returned ones.
+func (p *Picker) Next() int {
+	// Lines 28-32: scan one announce entry.
+	w := p.a[p.c].Read(p.pid)
+	if !p.codec.IsBottom(w) {
+		if q, s := p.codec.DecodePair(w); q == p.pid {
+			p.na[p.c] = s
+		} else {
+			p.na[p.c] = -1
+		}
+	} else {
+		p.na[p.c] = -1
+	}
+	// Line 33: advance the scan cursor.
+	p.c = (p.c + 1) % p.n
+
+	// Line 34: choose s outside na ∪ usedQ.  The paper allows an arbitrary
+	// choice; we rotate through the domain so every value gets exercised.
+	for i := range p.forbidden {
+		p.forbidden[i] = false
+	}
+	for _, s := range p.na {
+		if s >= 0 {
+			p.forbidden[s] = true
+		}
+	}
+	for _, s := range p.used {
+		if s >= 0 {
+			p.forbidden[s] = true
+		}
+	}
+	s := -1
+	for i := 0; i < len(p.forbidden); i++ {
+		cand := (p.nextTry + i) % len(p.forbidden)
+		if !p.forbidden[cand] {
+			s = cand
+			break
+		}
+	}
+	if s < 0 {
+		// Unreachable: |na| + |usedQ| <= 2n+1 < seqVals.
+		panic("getseq: no available sequence number (domain invariant violated)")
+	}
+	p.nextTry = (s + 1) % len(p.forbidden)
+
+	// Lines 35-36: enq(s), deq() -- replace the oldest entry.
+	p.used[p.usedPos] = s
+	p.usedPos = (p.usedPos + 1) % len(p.used)
+	return s
+}
+
+// Cursor returns the announce-array index the next call will scan.  It is
+// exposed for white-box tests.
+func (p *Picker) Cursor() int { return p.c }

@@ -1,0 +1,203 @@
+package getseq
+
+import (
+	"testing"
+
+	"abadetect/internal/shmem"
+)
+
+func newEnv(t *testing.T, n int) (shmem.TripleCodec, []shmem.Register) {
+	t.Helper()
+	codec, err := shmem.NewTripleCodec(n, 1, 2*n+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := shmem.NewNativeFactory()
+	a := make([]shmem.Register, n)
+	for i := range a {
+		a[i] = f.NewRegister("A", codec.Bottom())
+	}
+	return codec, a
+}
+
+func TestNewValidation(t *testing.T) {
+	codec, a := newEnv(t, 3)
+	if _, err := New(-1, 3, codec, a); err == nil {
+		t.Error("want error for negative pid")
+	}
+	if _, err := New(3, 3, codec, a); err == nil {
+		t.Error("want error for pid == n")
+	}
+	if _, err := New(0, 3, codec, a[:2]); err == nil {
+		t.Error("want error for short announce array")
+	}
+	small, err := shmem.NewTripleCodec(3, 1, 4) // 4 < 2n+2 = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(0, 3, small, a); err == nil {
+		t.Error("want error for too-small seq domain")
+	}
+	if _, err := New(0, 3, codec, a); err != nil {
+		t.Errorf("valid New failed: %v", err)
+	}
+}
+
+func TestNewUncheckedPanics(t *testing.T) {
+	codec, a := newEnv(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic from NewUnchecked with bad pid")
+		}
+	}()
+	NewUnchecked(99, 3, codec, a)
+}
+
+func TestNextStaysInDomain(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		codec, a := newEnv(t, n)
+		p, err := New(0, n, codec, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10*n+50; i++ {
+			s := p.Next()
+			if s < 0 || s >= 2*n+2 {
+				t.Fatalf("n=%d: Next() = %d outside [0,%d)", n, s, 2*n+2)
+			}
+		}
+	}
+}
+
+func TestNoReuseWithinWindow(t *testing.T) {
+	// Claim 2: two returns of the same sequence number are separated by at
+	// least n complete GetSeq calls.  Our ring gives n+1.
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		codec, a := newEnv(t, n)
+		p, err := New(0, n, codec, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastAt := make(map[int]int)
+		for i := 0; i < 50*(n+1); i++ {
+			s := p.Next()
+			if prev, seen := lastAt[s]; seen {
+				if gap := i - prev - 1; gap < n {
+					t.Fatalf("n=%d: seq %d reused after only %d intervening calls", n, s, gap)
+				}
+			}
+			lastAt[s] = i
+		}
+	}
+}
+
+func TestCursorRotates(t *testing.T) {
+	n := 4
+	codec, a := newEnv(t, n)
+	p, err := New(1, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*n; i++ {
+		if got, want := p.Cursor(), i%n; got != want {
+			t.Fatalf("call %d: cursor = %d, want %d", i, got, want)
+		}
+		p.Next()
+	}
+}
+
+func TestAnnouncedSeqAvoided(t *testing.T) {
+	// Once a scan observes A[q] = (pid, s), Next must not return s until a
+	// later scan of A[q] sees a different announcement.
+	n := 3
+	codec, a := newEnv(t, n)
+	const me = 0
+	p, err := New(me, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const blocked = 5
+	a[1].Write(1, codec.EncodePair(me, blocked))
+
+	// Run enough calls for several full scans; blocked must never appear.
+	for i := 0; i < 10*n; i++ {
+		if s := p.Next(); s == blocked {
+			// Only acceptable before the first scan of A[1] completes.
+			if i >= 1 { // cursor 0 scanned at call 0, A[1] scanned at call 1
+				t.Fatalf("call %d returned announced seq %d", i, blocked)
+			}
+		}
+	}
+
+	// Clear the announcement; after the next scan of A[1] the seq becomes
+	// available again (once it also leaves the usedQ window).
+	a[1].Write(1, codec.Bottom())
+	seen := false
+	for i := 0; i < 10*(n+1); i++ {
+		if p.Next() == blocked {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Error("seq never became available after announcement cleared")
+	}
+}
+
+func TestAnnouncementsOfOthersIgnored(t *testing.T) {
+	// Announcements naming a different writer must not block this picker.
+	n := 2
+	codec, a := newEnv(t, n)
+	p, err := New(0, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0].Write(0, codec.EncodePair(1, 2)) // pid 1's pair
+	a[1].Write(1, codec.EncodePair(1, 3))
+	returned := make(map[int]bool)
+	for i := 0; i < 4*(n+1); i++ {
+		returned[p.Next()] = true
+	}
+	if !returned[2] || !returned[3] {
+		t.Errorf("seqs announced for another pid were avoided: returned=%v", returned)
+	}
+}
+
+func TestAllSeqValuesEventuallyUsed(t *testing.T) {
+	// With no announcements, the picker cycles through the whole domain.
+	n := 4
+	codec, a := newEnv(t, n)
+	p, err := New(2, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returned := make(map[int]bool)
+	for i := 0; i < 10*(2*n+2); i++ {
+		returned[p.Next()] = true
+	}
+	if len(returned) != 2*n+2 {
+		t.Errorf("used %d distinct seqs, want %d", len(returned), 2*n+2)
+	}
+}
+
+func TestDomainNeverExhausted(t *testing.T) {
+	// Even with every announce slot blocking a distinct seq for this pid,
+	// Next always finds a value (domain 2n+2 > n + n+1).
+	n := 5
+	codec, a := newEnv(t, n)
+	p, err := New(0, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < n; q++ {
+		a[q].Write(q, codec.EncodePair(0, q)) // block seqs 0..n-1
+	}
+	for i := 0; i < 5*(2*n+2); i++ {
+		s := p.Next()
+		if i >= n && s < n {
+			// After one full scan all announced seqs are known-blocked.
+			t.Fatalf("call %d returned blocked seq %d", i, s)
+		}
+	}
+}

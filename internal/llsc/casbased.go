@@ -1,0 +1,122 @@
+package llsc
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// CASBased is the paper's Figure 3: a linearizable wait-free LL/SC/VL object
+// built from a single bounded CAS object, with O(n) step complexity
+// (Theorem 2).
+//
+// The CAS object X holds a pair (x, a) where x is the object's value and a
+// is an n-bit string with one bit per process.  A successful SC installs its
+// value with *all* bits set; process p's LL tries to clear p's own bit with
+// a CAS.  p's bit therefore means "an SC linearized since p's last LL".  If
+// p's CAS fails n times in a row, a counting argument (paper, Claim 6) shows
+// at least one of the interfering successful CASes belonged to an SC — other
+// LLs can only clear bits, and there are only n of them — so p may linearize
+// its LL early and remember in the local flag b that its link is already
+// invalid.
+type CASBased struct {
+	n       int
+	codec   shmem.MaskCodec
+	x       shmem.CAS
+	initial Word
+}
+
+var _ Object = (*CASBased)(nil)
+
+// NewCASBased builds the Figure 3 object for n processes over base objects
+// from f.  Values are valueBits wide; valueBits + n must fit in one 64-bit
+// word (the price of a genuinely bounded single-word CAS object).
+func NewCASBased(f shmem.Factory, n int, valueBits uint, initial Word) (*CASBased, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("llsc: CASBased needs n >= 1, got %d", n)
+	}
+	codec, err := shmem.NewMaskCodec(n, valueBits)
+	if err != nil {
+		return nil, fmt.Errorf("llsc: CASBased: %w", err)
+	}
+	if initial > codec.MaxValue() {
+		return nil, fmt.Errorf("llsc: initial value %d exceeds %d-bit domain", initial, valueBits)
+	}
+	return &CASBased{
+		n:       n,
+		codec:   codec,
+		x:       f.NewCAS("X", codec.Encode(initial, 0)),
+		initial: initial,
+	}, nil
+}
+
+// NumProcs returns n.
+func (o *CASBased) NumProcs() int { return o.n }
+
+// Initial returns the value held before any successful SC.
+func (o *CASBased) Initial() Word { return o.initial }
+
+// Peek returns the current value without linking.
+func (o *CASBased) Peek(pid int) Word { return o.codec.Value(o.x.Read(pid)) }
+
+// Handle returns process pid's handle.
+func (o *CASBased) Handle(pid int) (Handle, error) {
+	if pid < 0 || pid >= o.n {
+		return nil, fmt.Errorf("llsc: pid %d out of range [0,%d)", pid, o.n)
+	}
+	return &casBasedHandle{o: o, pid: pid}, nil
+}
+
+// casBasedHandle carries the paper's local flag b.
+type casBasedHandle struct {
+	o   *CASBased
+	pid int
+	b   bool
+}
+
+var _ Handle = (*casBasedHandle)(nil)
+
+// LL implements Figure 3 lines 14-25.
+func (h *casBasedHandle) LL() Word {
+	o := h.o
+	w := o.x.Read(h.pid)        // line 14
+	if !o.codec.Bit(w, h.pid) { // line 15: p's bit is 0
+		h.b = false             // line 16
+		return o.codec.Value(w) // line 17
+	}
+	for i := 0; i < o.n; i++ { // line 19
+		w2 := o.x.Read(h.pid)                                           // line 20
+		if o.x.CompareAndSwap(h.pid, w2, o.codec.ClearBit(w2, h.pid)) { // line 21
+			h.b = false              // line 22
+			return o.codec.Value(w2) // line 23
+		}
+	}
+	// n CAS failures: some SC succeeded while we spun (Claim 6).  Linearize
+	// at the line 14 read and remember the link is already invalid.
+	h.b = true              // line 24
+	return o.codec.Value(w) // line 25
+}
+
+// SC implements Figure 3 lines 1-8.
+func (h *casBasedHandle) SC(v Word) bool {
+	o := h.o
+	if h.b { // line 1
+		return false
+	}
+	for i := 0; i < o.n; i++ { // line 2
+		w := o.x.Read(h.pid)       // line 3
+		if o.codec.Bit(w, h.pid) { // line 4: p's bit is 1
+			return false // line 5
+		}
+		if o.x.CompareAndSwap(h.pid, w, o.codec.Encode(v, o.codec.AllSet())) { // line 6
+			return true // line 7
+		}
+	}
+	return false // line 8
+}
+
+// VL implements Figure 3 lines 9-13.
+func (h *casBasedHandle) VL() bool {
+	w := h.o.x.Read(h.pid)                  // line 9
+	return !h.o.codec.Bit(w, h.pid) && !h.b // lines 10-13
+}

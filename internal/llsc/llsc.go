@@ -1,0 +1,67 @@
+// Package llsc implements load-linked/store-conditional/validate (LL/SC/VL)
+// objects from CAS objects and registers.
+//
+// An LL/SC/VL object (paper §1) holds a value and supports three operations
+// per process p:
+//
+//   - LL() returns the current value and establishes a link for p.
+//   - SC(x) succeeds — atomically writing x — if and only if no other
+//     successful SC linearized since p's last LL; it reports success.
+//   - VL() reports whether p's link is still valid, i.e. whether no
+//     successful SC linearized since p's last LL.
+//
+// LL/SC is immune to ABA by specification, which is why it is the
+// methodological answer to the ABA problem; the paper's question is what it
+// costs to build it from bounded CAS objects and registers.  This package
+// provides the three answers:
+//
+//   - CASBased (Figure 3, Theorem 2): one bounded CAS object, O(n) step
+//     complexity.  Optimal by Corollary 1: with m = 1 object, any
+//     implementation needs t = Ω(n) steps.
+//   - ConstantTime: one bounded CAS + n bounded registers, O(1) step
+//     complexity — the announcement/sequence-recycling construction in the
+//     style of Anderson–Moir [2] and Jayanti–Petrovic [15], which the
+//     paper's lower bound proves space-optimal for constant-time
+//     implementations (m·t = Θ(n) at both ends).
+//   - Moir: one *unbounded* CAS object, O(1) steps [26] — the baseline
+//     showing the lower bounds evaporate when base objects are unbounded.
+//
+// A VL before the handle's first LL returns true as long as no successful SC
+// has been executed, matching the convention of the paper's Figure 5 (see
+// Appendix A).
+//
+// Handles are per-process and not safe for concurrent use; distinct handles
+// are.
+package llsc
+
+import "abadetect/internal/shmem"
+
+// Word is the value type of the implemented objects.
+type Word = shmem.Word
+
+// Handle is the per-process access point to an LL/SC/VL object.
+type Handle interface {
+	// LL returns the object's current value and links it for this process.
+	LL() Word
+	// SC writes v and returns true iff no successful SC linearized since
+	// this handle's last LL.
+	SC(v Word) bool
+	// VL returns true iff no successful SC linearized since this handle's
+	// last LL.
+	VL() bool
+}
+
+// Object is an LL/SC/VL object shared by n processes.
+type Object interface {
+	// Handle returns the access handle for process pid in [0, n).
+	Handle(pid int) (Handle, error)
+	// NumProcs returns the number of processes the object was built for.
+	NumProcs() int
+	// Initial returns the value held before any successful SC.
+	Initial() Word
+	// Peek returns the object's current value without establishing a link.
+	// With a negative pid it reads as the observer (no scheduled step under
+	// the simulator); it is intended for audits and experiments, not for
+	// algorithm code.
+	Peek(pid int) Word
+}

@@ -1,0 +1,460 @@
+package llsc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"abadetect/internal/shmem"
+)
+
+type objectCase struct {
+	name  string
+	build func(t *testing.T, f shmem.Factory, n int) Object
+}
+
+func allObjects() []objectCase {
+	return []objectCase{
+		{
+			name: "CASBased(Fig3)",
+			build: func(t *testing.T, f shmem.Factory, n int) Object {
+				o, err := NewCASBased(f, n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o
+			},
+		},
+		{
+			name: "ConstantTime",
+			build: func(t *testing.T, f shmem.Factory, n int) Object {
+				o, err := NewConstantTime(f, n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o
+			},
+		},
+		{
+			name: "Moir",
+			build: func(t *testing.T, f shmem.Factory, n int) Object {
+				o, err := NewMoir(f, n, 8, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o
+			},
+		},
+	}
+}
+
+func handleOf(t *testing.T, o Object, pid int) Handle {
+	t.Helper()
+	h, err := o.Handle(pid)
+	if err != nil {
+		t.Fatalf("Handle(%d): %v", pid, err)
+	}
+	return h
+}
+
+func TestInitialValueAndFirstVL(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			h := handleOf(t, o, 0)
+			if !h.VL() {
+				t.Error("VL before any SC should be true (Figure 5 convention)")
+			}
+			if got := h.LL(); got != 0 {
+				t.Errorf("LL = %d, want initial 0", got)
+			}
+		})
+	}
+}
+
+func TestBasicLLSCCycle(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			h := handleOf(t, o, 0)
+			if v := h.LL(); v != 0 {
+				t.Fatalf("LL = %d, want 0", v)
+			}
+			if !h.SC(5) {
+				t.Fatal("uncontended SC should succeed")
+			}
+			if v := h.LL(); v != 5 {
+				t.Fatalf("LL = %d, want 5", v)
+			}
+			if !h.VL() {
+				t.Error("VL right after LL should be true")
+			}
+			if !h.SC(6) {
+				t.Fatal("second uncontended SC should succeed")
+			}
+			if v := h.LL(); v != 6 {
+				t.Fatalf("LL = %d, want 6", v)
+			}
+		})
+	}
+}
+
+func TestSCWithoutFreshLinkFails(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			h := handleOf(t, o, 0)
+			h.LL()
+			if !h.SC(5) {
+				t.Fatal("first SC should succeed")
+			}
+			// The link was consumed by our own successful SC.
+			if h.SC(7) {
+				t.Error("SC without a fresh LL must fail after a successful SC")
+			}
+			if v := h.LL(); v != 5 {
+				t.Errorf("LL = %d, want 5 (failed SC must not write)", v)
+			}
+		})
+	}
+}
+
+func TestInterveningSCInvalidatesLink(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			p := handleOf(t, o, 0)
+			q := handleOf(t, o, 1)
+
+			p.LL()
+			q.LL()
+			if !q.SC(9) {
+				t.Fatal("q's SC should succeed")
+			}
+			if p.VL() {
+				t.Error("p's VL should be false after q's successful SC")
+			}
+			if p.SC(10) {
+				t.Error("p's SC should fail after q's successful SC")
+			}
+			if v := p.LL(); v != 9 {
+				t.Errorf("LL = %d, want 9", v)
+			}
+		})
+	}
+}
+
+func TestFailedSCDoesNotInvalidateOthers(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 3)
+			p := handleOf(t, o, 0)
+			q := handleOf(t, o, 1)
+
+			q.LL()
+			if !q.SC(1) {
+				t.Fatal("setup SC failed")
+			}
+			p.LL()
+			// q's SC now fails (no fresh LL)...
+			if q.SC(2) {
+				t.Fatal("q's stale SC should fail")
+			}
+			// ...and must not disturb p's link.
+			if !p.VL() {
+				t.Error("p's VL should remain true after q's failed SC")
+			}
+			if !p.SC(3) {
+				t.Error("p's SC should succeed: only failed SCs intervened")
+			}
+		})
+	}
+}
+
+func TestVLDoesNotConsumeLink(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			h := handleOf(t, o, 0)
+			h.LL()
+			for i := 0; i < 5; i++ {
+				if !h.VL() {
+					t.Fatalf("VL #%d should be true", i)
+				}
+			}
+			if !h.SC(4) {
+				t.Error("SC should still succeed after VLs")
+			}
+		})
+	}
+}
+
+func TestLinkSurvivesManySCCyclesByOthers(t *testing.T) {
+	// Exercise the bounded machinery (bit mask, seq recycling) far past its
+	// domain size: p's stale link must keep failing, fresh links succeeding.
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 3
+			o := tc.build(t, shmem.NewNativeFactory(), n)
+			p := handleOf(t, o, 0)
+			q := handleOf(t, o, 1)
+
+			p.LL()
+			for i := 0; i < 30*(2*n+2); i++ {
+				q.LL()
+				if !q.SC(Word(i % 13)) {
+					t.Fatalf("iteration %d: q's SC failed", i)
+				}
+			}
+			if p.VL() {
+				t.Error("p's ancient link should be invalid")
+			}
+			if p.SC(99) {
+				t.Error("p's ancient SC should fail")
+			}
+			v := p.LL()
+			if !p.SC(200) {
+				t.Errorf("p's fresh SC should succeed (had value %d)", v)
+			}
+			if got := p.LL(); got != 200 {
+				t.Errorf("LL = %d, want 200", got)
+			}
+		})
+	}
+}
+
+func TestSameValueReinstallIsNotABA(t *testing.T) {
+	// The heart of the matter: q SCs the *same value* back; p's stale link
+	// must still be invalid even though the value field looks unchanged.
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			p := handleOf(t, o, 0)
+			q := handleOf(t, o, 1)
+
+			q.LL()
+			q.SC(5)
+			p.LL() // p links value 5
+			q.LL()
+			q.SC(6) // A -> B
+			q.LL()
+			q.SC(5) // B -> A: value is 5 again
+			if p.VL() {
+				t.Error("VL must be false: two SCs linearized")
+			}
+			if p.SC(7) {
+				t.Error("SC must fail: two SCs linearized since p's LL")
+			}
+		})
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	if _, err := NewCASBased(f, 0, 8, 0); err == nil {
+		t.Error("CASBased: want error for n=0")
+	}
+	if _, err := NewCASBased(f, 60, 8, 0); err == nil {
+		t.Error("CASBased: want error for n + valueBits > 64")
+	}
+	if _, err := NewCASBased(f, 2, 8, 999); err == nil {
+		t.Error("CASBased: want error for out-of-domain initial")
+	}
+	if _, err := NewConstantTime(f, 0, 8, 0); err == nil {
+		t.Error("ConstantTime: want error for n=0")
+	}
+	if _, err := NewConstantTime(f, 2, 8, 999); err == nil {
+		t.Error("ConstantTime: want error for out-of-domain initial")
+	}
+	if _, err := NewMoir(f, 0, 8, 0); err == nil {
+		t.Error("Moir: want error for n=0")
+	}
+	if _, err := NewMoir(f, 2, 40, 0); err == nil {
+		t.Error("Moir: want error for valueBits > 32")
+	}
+	if _, err := NewMoirTagged(f, 2, 8, 4, 300); err == nil {
+		t.Error("MoirTagged: want error for out-of-domain initial")
+	}
+}
+
+func TestHandleValidation(t *testing.T) {
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.build(t, shmem.NewNativeFactory(), 2)
+			if _, err := o.Handle(-1); err == nil {
+				t.Error("want error for pid -1")
+			}
+			if _, err := o.Handle(2); err == nil {
+				t.Error("want error for pid == n")
+			}
+			if o.NumProcs() != 2 {
+				t.Errorf("NumProcs = %d, want 2", o.NumProcs())
+			}
+			if o.Initial() != 0 {
+				t.Errorf("Initial = %d, want 0", o.Initial())
+			}
+		})
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	// The two ends of the paper's time-space frontier, plus the unbounded
+	// baseline: Fig3 uses one CAS; ConstantTime uses one CAS + n registers.
+	for _, n := range []int{2, 8, 32} {
+		f := shmem.NewNativeFactory()
+		if _, err := NewCASBased(f, n, 8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if fp := f.Footprint(); fp.CASObjects != 1 || fp.Registers != 0 {
+			t.Errorf("CASBased n=%d: footprint %v, want 1 CAS", n, fp)
+		}
+
+		f = shmem.NewNativeFactory()
+		if _, err := NewConstantTime(f, n, 8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if fp := f.Footprint(); fp.CASObjects != 1 || fp.Registers != n {
+			t.Errorf("ConstantTime n=%d: footprint %v, want 1 CAS + %d registers", n, fp, n)
+		}
+
+		f = shmem.NewNativeFactory()
+		if _, err := NewMoir(f, n, 8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if fp := f.Footprint(); fp.Objects() != 1 {
+			t.Errorf("Moir n=%d: footprint %v, want 1 object", n, fp)
+		}
+	}
+}
+
+func TestConstantTimeStepComplexity(t *testing.T) {
+	// O(1) regardless of n: LL <= 5 steps, SC <= 2, VL <= 1.
+	for _, n := range []int{2, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cf := shmem.NewCounting(shmem.NewNativeFactory(), n)
+			o, err := NewConstantTime(cf, n, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := handleOf(t, o, 0)
+			for i := 0; i < 50; i++ {
+				before := cf.Steps(0)
+				h.LL()
+				if got := cf.Steps(0) - before; got > 5 {
+					t.Fatalf("LL took %d steps, want <= 5", got)
+				}
+				before = cf.Steps(0)
+				h.SC(Word(i % 9))
+				if got := cf.Steps(0) - before; got > 2 {
+					t.Fatalf("SC took %d steps, want <= 2", got)
+				}
+				before = cf.Steps(0)
+				h.VL()
+				if got := cf.Steps(0) - before; got > 1 {
+					t.Fatalf("VL took %d steps, want <= 1", got)
+				}
+			}
+		})
+	}
+}
+
+func TestCASBasedStepComplexityBound(t *testing.T) {
+	// Theorem 2's O(n): every operation takes at most 2n+1 shared steps.
+	for _, n := range []int{2, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cf := shmem.NewCounting(shmem.NewNativeFactory(), n)
+			o, err := NewCASBased(cf, n, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := handleOf(t, o, 0)
+			q := handleOf(t, o, 1)
+			bound := int64(2*n + 1)
+			for i := 0; i < 50; i++ {
+				for _, h := range []Handle{p, q} {
+					pid := 0
+					if h == q {
+						pid = 1
+					}
+					before := cf.Steps(pid)
+					h.LL()
+					if got := cf.Steps(pid) - before; got > bound {
+						t.Fatalf("LL took %d steps, bound %d", got, bound)
+					}
+					before = cf.Steps(pid)
+					h.SC(Word(i % 9))
+					if got := cf.Steps(pid) - before; got > bound {
+						t.Fatalf("SC took %d steps, bound %d", got, bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	// The classic strong test: an LL/SC-based counter must not lose
+	// increments — each process retries until its SC succeeds.
+	for _, tc := range allObjects() {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 8
+			const perProc = 500
+			o := tc.build(t, shmem.NewNativeFactory(), n)
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h := handleOf(t, o, pid)
+				wg.Add(1)
+				go func(h Handle) {
+					defer wg.Done()
+					for i := 0; i < perProc; i++ {
+						for {
+							v := h.LL()
+							if h.SC((v + 1) % 256) {
+								break
+							}
+						}
+					}
+				}(h)
+			}
+			wg.Wait()
+			// 8 bits of value: count modulo 256 must match.
+			h := handleOf(t, o, 0)
+			want := Word(n*perProc) % 256
+			if got := h.LL() % 256; got != want {
+				t.Errorf("counter = %d, want %d (lost or duplicated SCs)", got, want)
+			}
+		})
+	}
+}
+
+func TestConcurrentCounterManyValuesBits(t *testing.T) {
+	// Same test with a wider value so no wraparound ambiguity at all.
+	const n = 6
+	const perProc = 400
+	f := shmem.NewNativeFactory()
+	o, err := NewCASBased(f, n, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		h := handleOf(t, o, pid)
+		wg.Add(1)
+		go func(h Handle) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				for {
+					v := h.LL()
+					if h.SC(v + 1) {
+						break
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	h := handleOf(t, o, 0)
+	if got := h.LL(); got != Word(n*perProc) {
+		t.Errorf("counter = %d, want %d", got, n*perProc)
+	}
+}

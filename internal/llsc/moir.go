@@ -1,0 +1,101 @@
+package llsc
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// Moir is the classic LL/SC from a single *unbounded* CAS object with O(1)
+// step complexity (Moir [26]; paper §1).  The CAS object holds (value, tag);
+// every successful SC increments the tag, so stored words never repeat and a
+// plain CAS against the linked word cannot suffer an ABA.
+//
+// The tag field is tagBits wide.  With the default 64 - valueBits it models
+// an unbounded object (it cannot wrap in any feasible execution); with a
+// small tagBits it becomes a deliberately flawed bounded variant whose tag
+// wraps — used by the experiments to show that the construction's
+// correctness genuinely depends on unboundedness, which is exactly the
+// separation the paper's lower bounds formalize.
+type Moir struct {
+	n       int
+	codec   shmem.TagCodec
+	x       shmem.CAS
+	initial Word
+}
+
+var _ Object = (*Moir)(nil)
+
+// NewMoir builds the unbounded-tag LL/SC for n processes with a
+// 64-valueBits-bit tag.
+func NewMoir(f shmem.Factory, n int, valueBits uint, initial Word) (*Moir, error) {
+	if valueBits < 1 || valueBits > 32 {
+		return nil, fmt.Errorf("llsc: Moir needs 1 <= valueBits <= 32, got %d", valueBits)
+	}
+	return NewMoirTagged(f, n, valueBits, 64-valueBits, initial)
+}
+
+// NewMoirTagged builds the tag-based LL/SC with an explicit tag width.
+func NewMoirTagged(f shmem.Factory, n int, valueBits, tagBits uint, initial Word) (*Moir, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("llsc: Moir needs n >= 1, got %d", n)
+	}
+	codec, err := shmem.NewTagCodec(valueBits, tagBits)
+	if err != nil {
+		return nil, fmt.Errorf("llsc: Moir: %w", err)
+	}
+	if initial > codec.MaxValue() {
+		return nil, fmt.Errorf("llsc: initial value %d exceeds %d-bit domain", initial, valueBits)
+	}
+	return &Moir{
+		n:       n,
+		codec:   codec,
+		x:       f.NewCAS("X", codec.Encode(initial, 0)),
+		initial: initial,
+	}, nil
+}
+
+// NumProcs returns n.
+func (o *Moir) NumProcs() int { return o.n }
+
+// Initial returns the value held before any successful SC.
+func (o *Moir) Initial() Word { return o.initial }
+
+// Peek returns the current value without linking.
+func (o *Moir) Peek(pid int) Word { return o.codec.Value(o.x.Read(pid)) }
+
+// TagVals returns the size of the tag domain.
+func (o *Moir) TagVals() Word { return o.codec.TagVals() }
+
+// Handle returns process pid's handle.
+func (o *Moir) Handle(pid int) (Handle, error) {
+	if pid < 0 || pid >= o.n {
+		return nil, fmt.Errorf("llsc: pid %d out of range [0,%d)", pid, o.n)
+	}
+	return &moirHandle{o: o, pid: pid, link: o.codec.Encode(o.initial, 0)}, nil
+}
+
+type moirHandle struct {
+	o    *Moir
+	pid  int
+	link Word
+}
+
+var _ Handle = (*moirHandle)(nil)
+
+// LL reads X once and links the observed (value, tag) word.
+func (h *moirHandle) LL() Word {
+	h.link = h.o.x.Read(h.pid)
+	return h.o.codec.Value(h.link)
+}
+
+// SC CASes the linked word to (v, tag+1): one shared step.
+func (h *moirHandle) SC(v Word) bool {
+	c := h.o.codec
+	return h.o.x.CompareAndSwap(h.pid, h.link, c.Encode(v, c.Tag(h.link)+1))
+}
+
+// VL reads X once and compares against the linked word.
+func (h *moirHandle) VL() bool {
+	return h.o.x.Read(h.pid) == h.link
+}

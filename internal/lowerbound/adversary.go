@@ -1,0 +1,157 @@
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+	"abadetect/internal/sim"
+)
+
+// AdversaryResult reports one adversarial LL measurement.
+type AdversaryResult struct {
+	// N is the number of processes the object was built for.
+	N int
+	// VictimSteps is the number of shared-memory steps the victim's single
+	// LL() took under the hiding adversary.
+	VictimSteps int64
+	// Objects is the implementation's space footprint m.
+	Objects int
+	// TimeSpaceProduct is m * VictimSteps, to compare against the paper's
+	// (n-1)/2 <= m*t bound (Corollary 1).
+	TimeSpaceProduct int64
+}
+
+// AdversarialLL runs the paper's Figure 2 "hiding" construction as a
+// concrete schedule: a victim process executes a single LL() while an
+// interfering process is scheduled to complete successful CAS steps between
+// every two victim steps, so each of the victim's own CAS attempts fails.
+//
+// Against the Figure 3 object (one CAS, O(n) steps) this forces the victim
+// to spend exactly 2n+1 steps — the worst case Theorem 2 allows and the
+// Ω(n) the m·t >= (n-1)/2 trade-off demands at m = 1.  Against the
+// constant-time announcement object the same adversary cannot stretch the
+// LL beyond its constant bound: with m = n+1 objects, t need not grow.
+func AdversarialLL(build func(f shmem.Factory, n int) (llsc.Object, error), n int) (*AdversaryResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("lowerbound: adversary needs n >= 2, got %d", n)
+	}
+	const victimValue = 1
+	runner := sim.NewRunner(n)
+	capture := &captureFactory{inner: runner.Factory()}
+	counting := shmem.NewCounting(capture, n)
+	obj, err := build(counting, n)
+	if err != nil {
+		runner.Close()
+		return nil, err
+	}
+	if capture.firstCAS == nil {
+		runner.Close()
+		return nil, errors.New("lowerbound: implementation allocated no CAS object")
+	}
+	x := capture.firstCAS
+	initialWord := x.Read(sim.Observer)
+
+	victim := n - 1
+	helper := 0
+
+	// The victim performs exactly one LL.
+	err = runner.SetProgram(victim, func(p *sim.Proc) {
+		h, herr := obj.Handle(victim)
+		if herr != nil {
+			panic(herr)
+		}
+		h.LL()
+	})
+	if err != nil {
+		runner.Close()
+		return nil, err
+	}
+	// The helper performs successful SCs forever.
+	err = runner.SetProgram(helper, func(p *sim.Proc) {
+		h, herr := obj.Handle(helper)
+		if herr != nil {
+			panic(herr)
+		}
+		for i := 0; ; i++ {
+			h.LL()
+			h.SC(victimValue + shmem.Word(i%2))
+		}
+	})
+	if err != nil {
+		runner.Close()
+		return nil, err
+	}
+	if err := runner.Start(); err != nil {
+		runner.Close()
+		return nil, err
+	}
+	defer runner.Close()
+
+	// Setup: let the helper complete its first successful SC, so the
+	// victim's LL starts with its bit set / link machinery armed.
+	for i := 0; i < 64 && x.Read(sim.Observer) == initialWord; i++ {
+		if err := runner.Step(helper); err != nil {
+			return nil, err
+		}
+	}
+	if x.Read(sim.Observer) == initialWord {
+		return nil, errors.New("lowerbound: helper failed to perform a successful SC during setup")
+	}
+
+	// Hiding phase: after every victim step, run the helper until X has
+	// actually changed.  (A fixed step count would not do: the helper's own
+	// value/bit cycle can return X to the exact word the victim read — an
+	// ABA against the adversary — letting the victim's CAS succeed.)
+	maxInterference := 4*n + 10
+	for !runner.Done(victim) {
+		if err := runner.Step(victim); err != nil {
+			return nil, err
+		}
+		if runner.Done(victim) {
+			break
+		}
+		w := x.Read(sim.Observer)
+		for i := 0; x.Read(sim.Observer) == w; i++ {
+			if i > maxInterference {
+				return nil, errors.New("lowerbound: helper failed to change X during interference")
+			}
+			if err := runner.Step(helper); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	fp := capture.inner.Footprint()
+	res := &AdversaryResult{
+		N:           n,
+		VictimSteps: counting.Steps(victim),
+		Objects:     fp.Objects(),
+	}
+	res.TimeSpaceProduct = int64(res.Objects) * res.VictimSteps
+	return res, nil
+}
+
+// captureFactory passes allocations through while remembering the first CAS
+// object (the X of the implementations under test) for observer access.
+type captureFactory struct {
+	inner    shmem.Factory
+	firstCAS shmem.WritableCAS
+}
+
+var _ shmem.Factory = (*captureFactory)(nil)
+
+func (f *captureFactory) NewRegister(name string, init shmem.Word) shmem.Register {
+	return f.inner.NewRegister(name, init)
+}
+
+func (f *captureFactory) NewCAS(name string, init shmem.Word) shmem.WritableCAS {
+	c := f.inner.NewCAS(name, init)
+	if f.firstCAS == nil {
+		f.firstCAS = c
+	}
+	return c
+}
+
+func (f *captureFactory) Footprint() shmem.Footprint { return f.inner.Footprint() }

@@ -1,0 +1,120 @@
+package lowerbound
+
+import (
+	"sort"
+
+	"abadetect/internal/machine"
+)
+
+// Cover describes which processes are poised to modify which object in a
+// configuration — the vocabulary of the paper's covering arguments.
+//
+//   - WCov(C, R): processes poised to Write object R (Lemma 2/3).
+//   - CCov(C, R): processes poised to CAS object R.
+//
+// Lemma 3(iii) states that for a wait-free implementation with step
+// complexity t, the adversary can reach configurations where up to t
+// processes cover each object; conversely no configuration ever needs more
+// than that for the bound.  The experiments audit these sets on real
+// configurations of the paper's algorithms.
+type Cover struct {
+	// Writers maps object index to the pids poised to Write it.
+	Writers map[int][]int
+	// CASers maps object index to the pids poised to CAS it.
+	CASers map[int][]int
+}
+
+// CoverOf computes the cover sets of a configuration.
+func CoverOf(c *machine.Config) Cover {
+	cov := Cover{Writers: map[int][]int{}, CASers: map[int][]int{}}
+	for pid, p := range c.Progs {
+		op := p.Poised()
+		switch op.Kind {
+		case machine.OpWrite:
+			cov.Writers[op.Obj] = append(cov.Writers[op.Obj], pid)
+		case machine.OpCAS:
+			cov.CASers[op.Obj] = append(cov.CASers[op.Obj], pid)
+		case machine.OpRead:
+			// reads cover nothing
+		}
+	}
+	for _, s := range cov.Writers {
+		sort.Ints(s)
+	}
+	for _, s := range cov.CASers {
+		sort.Ints(s)
+	}
+	return cov
+}
+
+// MaxCover returns the largest |WCov| and |CCov| over all objects.
+func (c Cover) MaxCover() (maxW, maxC int) {
+	for _, s := range c.Writers {
+		if len(s) > maxW {
+			maxW = len(s)
+		}
+	}
+	for _, s := range c.CASers {
+		if len(s) > maxC {
+			maxC = len(s)
+		}
+	}
+	return maxW, maxC
+}
+
+// CoveredObjects returns the objects covered by at least one poised Write,
+// the paper's "set R of covered registers".
+func (c Cover) CoveredObjects() []int {
+	objs := make([]int, 0, len(c.Writers))
+	for obj := range c.Writers {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	return objs
+}
+
+// BlockWrite executes the paper's block-write: each process in pids takes
+// exactly one step, which must be a poised Write, each to a distinct object.
+// It returns the objects written, or false if the steps are not a block
+// write (some process not poised to write, or a duplicate object).
+func BlockWrite(c *machine.Config, pids []int) ([]int, bool) {
+	seen := map[int]bool{}
+	objs := make([]int, 0, len(pids))
+	for _, pid := range pids {
+		op := c.Progs[pid].Poised()
+		if op.Kind != machine.OpWrite || seen[op.Obj] {
+			return nil, false
+		}
+		seen[op.Obj] = true
+		objs = append(objs, op.Obj)
+	}
+	for _, pid := range pids {
+		c.Step(pid)
+	}
+	return objs, true
+}
+
+// MaxCoverSeen drives a configuration along a schedule and reports the
+// largest write- and CAS-cover any object attains at any point — the
+// empirical side of Lemma 3(iii).
+func MaxCoverSeen(c *machine.Config, schedule []int) (maxW, maxC int) {
+	cur := c.Clone()
+	for _, pid := range schedule {
+		w, cc := CoverOf(cur).MaxCover()
+		if w > maxW {
+			maxW = w
+		}
+		if cc > maxC {
+			maxC = cc
+		}
+		cur.Step(pid)
+	}
+	w, cc := CoverOf(cur).MaxCover()
+	if w > maxW {
+		maxW = w
+	}
+	if cc > maxC {
+		maxC = cc
+	}
+	return maxW, maxC
+}

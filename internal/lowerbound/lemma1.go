@@ -1,0 +1,137 @@
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"abadetect/internal/machine"
+)
+
+// Lemma1Result is the outcome of the constructive covering adversary.
+type Lemma1Result struct {
+	// Covered maps each recruited reader to the register it was left
+	// covering (poised to write).  The paper's Lemma 1 grows this set to
+	// k = n-1 for any correct implementation — materializing the m >= n-1
+	// space bound.
+	Covered map[int]int
+	// Contradiction is non-nil if some reader completed its WeakRead
+	// without covering a fresh register, and the writer's bounded registers
+	// then repeated a configuration (the pigeonhole of Lemma 1): a clean
+	// and a dirty configuration indistinguishable to that reader.
+	Contradiction *Witness
+	// PigeonholeWrites counts the writer's complete WeakWrites performed in
+	// pigeonhole mode before the register configuration repeated.
+	PigeonholeWrites int
+}
+
+// Lemma1Adversary runs the covering construction of the paper's Lemma 1
+// (Figure 1) against a candidate implementation:
+//
+//   - readers are recruited one at a time and run solo; the moment a reader
+//     is poised to write a register outside the covered set, it is frozen
+//     there — the cover grows by one (the λ ≠ λ' case of the proof);
+//   - if instead a reader finishes its WeakRead without covering anything
+//     new, the adversary enters the pigeonhole phase (the λ = λ' case):
+//     the writer performs complete WeakWrites; since the registers are
+//     bounded, their contents must eventually repeat the post-read
+//     configuration — producing a dirty configuration the frozen reader
+//     cannot distinguish from its clean one, i.e. the Lemma 1 contradiction.
+//
+// Against the bounded-tag register (whose readers never write), the very
+// first reader falls into the pigeonhole and the contradiction appears
+// after exactly tagVals writes.  Against the paper's Figure 4, every reader
+// covers its own announce register and the cover grows to n-1 distinct
+// registers — the space lower bound made visible.
+func Lemma1Adversary(init *machine.Config, writer int) (*Lemma1Result, error) {
+	if init == nil {
+		return nil, errors.New("lowerbound: nil initial configuration")
+	}
+	n := len(init.Progs)
+	if writer < 0 || writer >= n {
+		return nil, fmt.Errorf("lowerbound: writer %d out of range", writer)
+	}
+	cfg := init.Clone()
+	res := &Lemma1Result{Covered: map[int]int{}}
+	coveredRegs := map[int]bool{}
+
+	// A schedule trace for reproducibility of the contradiction.
+	var trace []int
+
+	completeWrite := func() error {
+		for steps := 0; ; steps++ {
+			if steps > 100000 {
+				return errors.New("lowerbound: writer's WeakWrite did not terminate")
+			}
+			comp := cfg.Step(writer)
+			trace = append(trace, writer)
+			if comp != nil {
+				if comp.Method != machine.MethodWeakWrite {
+					return fmt.Errorf("lowerbound: writer completed %q", comp.Method)
+				}
+				return nil
+			}
+		}
+	}
+
+	// Give the system one initial write so the first reads are non-trivial.
+	if err := completeWrite(); err != nil {
+		return nil, err
+	}
+
+	for q := 0; q < n; q++ {
+		if q == writer {
+			continue
+		}
+		covered := false
+		for steps := 0; steps <= 100000; steps++ {
+			op := cfg.Progs[q].Poised()
+			if op.Kind == machine.OpWrite && !coveredRegs[op.Obj] {
+				// λ ≠ λ': freeze q here; the cover grows.
+				coveredRegs[op.Obj] = true
+				res.Covered[q] = op.Obj
+				covered = true
+				break
+			}
+			comp := cfg.Step(q)
+			trace = append(trace, q)
+			if comp != nil && comp.Method == machine.MethodWeakRead {
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		// λ = λ': q completed a WeakRead writing only covered registers.
+		// Pigeonhole phase: q is idle, its view is fixed; every additional
+		// complete WeakWrite leaves q's state untouched, and the bounded
+		// registers must eventually repeat the current configuration.
+		cleanMem := cfg.MemKey()
+		cleanKey := cfg.Progs[q].Key()
+		cleanTrace := append([]int(nil), trace...)
+		const maxWrites = 1 << 20
+		for w := 1; w <= maxWrites; w++ {
+			if err := completeWrite(); err != nil {
+				return nil, err
+			}
+			if cfg.MemKey() == cleanMem && cfg.Progs[q].Key() == cleanKey {
+				// The dirty twin of the clean configuration.
+				res.PigeonholeWrites = w
+				flag, _, err := soloRead(cfg, q)
+				if err != nil {
+					return nil, err
+				}
+				res.Contradiction = &Witness{
+					CleanSchedule: cleanTrace,
+					DirtySchedule: append([]int(nil), trace...),
+					SoloFlag:      flag,
+					MemKey:        cleanMem,
+				}
+				return res, nil
+			}
+		}
+		// Bounded registers did not repeat within the budget: give up on
+		// this reader (can happen only for effectively unbounded systems).
+		return res, nil
+	}
+	return res, nil
+}

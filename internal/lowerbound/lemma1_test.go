@@ -1,0 +1,102 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"abadetect/internal/machine"
+)
+
+func TestLemma1PigeonholesBoundedTag(t *testing.T) {
+	// The tag register's readers never write, so the very first recruited
+	// reader completes its read without covering anything; the writer's
+	// bounded register then repeats after exactly tagVals writes.
+	for _, tagVals := range []machine.Word{2, 4, 8} {
+		cfg := machine.TagSystem{TagVals: tagVals}.NewConfig(2)
+		res, err := Lemma1Adversary(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Contradiction == nil {
+			t.Fatalf("tagVals=%d: no contradiction found", tagVals)
+		}
+		if res.PigeonholeWrites != int(tagVals) {
+			t.Errorf("tagVals=%d: pigeonhole after %d writes, want %d",
+				tagVals, res.PigeonholeWrites, tagVals)
+		}
+		// Replay both schedules: the reader's solo read must return the
+		// same flag from the clean and the dirty configuration.
+		init := machine.TagSystem{TagVals: tagVals}.NewConfig(2)
+		cleanFlag, err := ReplaySolo(init, res.Contradiction.CleanSchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyFlag, err := ReplaySolo(init, res.Contradiction.DirtySchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cleanFlag != dirtyFlag {
+			t.Error("replayed flags differ — schedules are not indistinguishable")
+		}
+	}
+}
+
+func TestLemma1CoversFig4AnnounceRegisters(t *testing.T) {
+	// Against Figure 4, every recruited reader ends up covering its own
+	// announce register: the cover grows to n-1 distinct registers — the
+	// m >= n-1 space bound materialized.  No contradiction appears.
+	for _, n := range []int{2, 3, 5, 8} {
+		cfg, err := machine.PaperFig4(n).NewConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Lemma1Adversary(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Contradiction != nil {
+			t.Fatalf("n=%d: Figure 4 'refuted' by Lemma 1 adversary?!", n)
+		}
+		if len(res.Covered) != n-1 {
+			t.Fatalf("n=%d: covered %d registers, want n-1 = %d", n, len(res.Covered), n-1)
+		}
+		// Each reader covers a distinct register, and it is its own
+		// announce slot (object index 1+pid in the Fig4 memory layout).
+		seen := map[int]bool{}
+		for q, obj := range res.Covered {
+			if seen[obj] {
+				t.Errorf("n=%d: register %d covered twice", n, obj)
+			}
+			seen[obj] = true
+			if obj != 1+q {
+				t.Errorf("n=%d: reader %d covers object %d, want its announce slot %d", n, q, obj, 1+q)
+			}
+		}
+	}
+}
+
+func TestLemma1UnboundedEscapes(t *testing.T) {
+	// The unbounded register's reader never covers anything AND the
+	// register never repeats: the pigeonhole budget runs out with neither a
+	// cover nor a contradiction — boundedness is essential to the lemma.
+	cfg := machine.UnboundedSystem{}.NewConfig(2)
+	res, err := Lemma1Adversary(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contradiction != nil {
+		t.Fatal("unbounded register pigeonholed?!")
+	}
+	if len(res.Covered) != 0 {
+		t.Fatalf("unbounded reader covered %v", res.Covered)
+	}
+}
+
+func TestLemma1Validation(t *testing.T) {
+	if _, err := Lemma1Adversary(nil, 0); err == nil {
+		t.Error("want error for nil config")
+	}
+	cfg := machine.TagSystem{TagVals: 2}.NewConfig(2)
+	if _, err := Lemma1Adversary(cfg, 9); err == nil {
+		t.Error("want error for bad writer pid")
+	}
+}

@@ -1,0 +1,80 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"abadetect/internal/machine"
+)
+
+// Corollary 1 made executable: the Figure 5 reduction turns any LL/SC
+// object into an ABA-detecting register, so the Observation-1 search
+// applies to LL/SC implementations too.  A tag-based LL/SC from one bounded
+// CAS word is refuted; the search cannot refute the unbounded variant.
+
+func TestObs1RefutesBoundedTagLLSC(t *testing.T) {
+	for _, tagVals := range []machine.Word{2, 4, 8} {
+		g := Game{
+			Init:   machine.LLSCTagSystem{TagVals: tagVals}.NewConfig(2),
+			Writer: 0,
+			Target: 1,
+		}
+		res, err := FindObservation1Violation(g, Options{MaxNodes: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Witness == nil {
+			t.Fatalf("tagVals=%d: bounded-tag LL/SC not refuted in %d nodes", tagVals, res.Nodes)
+		}
+		// The dirty schedule must contain a full wraparound: TagVals
+		// complete writes at 2 steps each.
+		if got, want := len(res.Witness.DirtySchedule), 2*int(tagVals); got < want {
+			t.Errorf("tagVals=%d: dirty schedule of %d steps is shorter than a wraparound (%d)",
+				tagVals, got, want)
+		}
+		// Witnesses replay.
+		init := machine.LLSCTagSystem{TagVals: tagVals}.NewConfig(2)
+		cleanFlag, err := ReplaySolo(init, res.Witness.CleanSchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyFlag, err := ReplaySolo(init, res.Witness.DirtySchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cleanFlag != dirtyFlag {
+			t.Error("replayed flags differ")
+		}
+		t.Logf("tagVals=%d: refuted in %d nodes\n%s", tagVals, res.Nodes, res.Witness)
+	}
+}
+
+func TestObs1LLSCWithMoreReaders(t *testing.T) {
+	g := Game{
+		Init:   machine.LLSCTagSystem{TagVals: 2}.NewConfig(3),
+		Writer: 0,
+		Target: 2,
+	}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness == nil {
+		t.Fatalf("no witness in %d nodes", res.Nodes)
+	}
+}
+
+func TestLemma1PigeonholesBoundedTagLLSC(t *testing.T) {
+	// The constructive variant for LL/SC: the reader never writes, so the
+	// pigeonhole fires after exactly TagVals writer cycles.
+	cfg := machine.LLSCTagSystem{TagVals: 4}.NewConfig(2)
+	res, err := Lemma1Adversary(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contradiction == nil {
+		t.Fatal("no contradiction found")
+	}
+	if res.PigeonholeWrites != 4 {
+		t.Errorf("pigeonhole after %d writes, want 4", res.PigeonholeWrites)
+	}
+}

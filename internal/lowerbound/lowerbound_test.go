@@ -1,0 +1,292 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"abadetect/internal/llsc"
+	"abadetect/internal/machine"
+	"abadetect/internal/shmem"
+)
+
+func TestObs1FindsTagWraparound(t *testing.T) {
+	// One bounded register with a 2-value tag: Theorem 1(a) says this
+	// cannot work for n=2, and the search produces the witness.
+	for _, tagVals := range []machine.Word{2, 4} {
+		g := Game{
+			Init:   machine.TagSystem{TagVals: tagVals}.NewConfig(2),
+			Writer: 0,
+			Target: 1,
+		}
+		res, err := FindObservation1Violation(g, Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Witness == nil {
+			t.Fatalf("tagVals=%d: no witness found in %d nodes", tagVals, res.Nodes)
+		}
+		w := res.Witness
+		t.Logf("tagVals=%d nodes=%d\n%s", tagVals, res.Nodes, w)
+
+		// Replay both schedules: the solo read must return the same flag,
+		// although the specification demands different answers.
+		init := machine.TagSystem{TagVals: tagVals}.NewConfig(2)
+		cleanFlag, err := ReplaySolo(init, w.CleanSchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyFlag, err := ReplaySolo(init, w.DirtySchedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cleanFlag != dirtyFlag || cleanFlag != w.SoloFlag {
+			t.Errorf("replay flags clean=%v dirty=%v, witness says %v", cleanFlag, dirtyFlag, w.SoloFlag)
+		}
+	}
+}
+
+func TestObs1TagWithThreeProcs(t *testing.T) {
+	g := Game{
+		Init:   machine.TagSystem{TagVals: 2}.NewConfig(3),
+		Writer: 0,
+		Target: 2,
+	}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness == nil {
+		t.Fatalf("no witness found in %d nodes", res.Nodes)
+	}
+}
+
+func TestObs1UnboundedFindsNothing(t *testing.T) {
+	// The unbounded-stamp register escapes the lower bound: the search can
+	// exhaust its budget without ever finding indistinguishable clean/dirty
+	// configurations (stored words never repeat).
+	g := Game{
+		Init:   machine.UnboundedSystem{}.NewConfig(2),
+		Writer: 0,
+		Target: 1,
+	}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness != nil {
+		t.Fatalf("unbounded register refuted?!\n%s", res.Witness)
+	}
+	if res.Exhausted {
+		t.Log("note: unbounded system unexpectedly exhausted (finite budgeted walk)")
+	}
+}
+
+func TestObs1PaperFig4Survives(t *testing.T) {
+	// The paper's exact construction: no witness within the search budget.
+	cfg, err := machine.PaperFig4(2).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Game{Init: cfg, Writer: 0, Target: 1}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness != nil {
+		t.Fatalf("Figure 4 refuted?! This would be a bug in the implementation:\n%s", res.Witness)
+	}
+	t.Logf("no witness in %d nodes (exhausted=%v)", res.Nodes, res.Exhausted)
+}
+
+func TestObs1AblationShortUsedQ(t *testing.T) {
+	// E8(a): shrink usedQ to 1 entry and pick sequence numbers eagerly; the
+	// recycler hands a sequence number back while it is still announced.
+	sys := machine.PaperFig4(2)
+	sys.UsedLen = 1
+	sys.PickSmallest = true
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Game{Init: cfg, Writer: 0, Target: 1}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness == nil {
+		t.Fatalf("ablated Fig4 (usedQ=1) not refuted in %d nodes", res.Nodes)
+	}
+	t.Logf("refuted in %d nodes:\n%s", res.Nodes, res.Witness)
+}
+
+func TestObs1AblationNoDoubleRead(t *testing.T) {
+	// E8(b): skip the second read of X (lines 41, 46-49).  The reader can
+	// no longer bridge the announce race, and the checker finds the miss.
+	sys := machine.PaperFig4(2)
+	sys.DoubleRead = false
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Game{Init: cfg, Writer: 0, Target: 1}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness == nil {
+		t.Fatalf("ablated Fig4 (no double read) not refuted in %d nodes", res.Nodes)
+	}
+	t.Logf("refuted in %d nodes:\n%s", res.Nodes, res.Witness)
+}
+
+func TestObs1AblationTinySeqDomain(t *testing.T) {
+	// E8(c): shrink the sequence domain below 2n+2; the picker is forced to
+	// reuse announced numbers.
+	sys := machine.PaperFig4(2)
+	sys.SeqVals = 3 // < 2n+2 = 6
+	sys.PickSmallest = true
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Game{Init: cfg, Writer: 0, Target: 1}
+	res, err := FindObservation1Violation(g, Options{MaxNodes: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witness == nil {
+		t.Fatalf("ablated Fig4 (seq domain 3) not refuted in %d nodes", res.Nodes)
+	}
+	t.Logf("refuted in %d nodes:\n%s", res.Nodes, res.Witness)
+}
+
+func TestObs1Validation(t *testing.T) {
+	if _, err := FindObservation1Violation(Game{}, Options{}); err == nil {
+		t.Error("want error for nil config")
+	}
+	cfg := machine.TagSystem{TagVals: 2}.NewConfig(2)
+	if _, err := FindObservation1Violation(Game{Init: cfg, Writer: 0, Target: 0}, Options{}); err == nil {
+		t.Error("want error for writer == target")
+	}
+	if _, err := FindObservation1Violation(Game{Init: cfg, Writer: 0, Target: 5}, Options{}); err == nil {
+		t.Error("want error for out-of-range target")
+	}
+}
+
+func TestCoverOf(t *testing.T) {
+	cfg, err := machine.PaperFig4(2).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the writer to its X-write and the reader to its announce
+	// write: both cover distinct registers.
+	cfg.Step(0) // writer: GetSeq scan done, poised to write X (obj 0)
+	cfg.Step(1)
+	cfg.Step(1) // reader: poised to write A[1] (obj 2)
+	cov := CoverOf(cfg)
+	if got := cov.Writers[0]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("WCov(X) = %v, want [0]", got)
+	}
+	if got := cov.Writers[2]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("WCov(A[1]) = %v, want [1]", got)
+	}
+	maxW, maxC := cov.MaxCover()
+	if maxW != 1 || maxC != 0 {
+		t.Errorf("MaxCover = (%d,%d), want (1,0)", maxW, maxC)
+	}
+	if objs := cov.CoveredObjects(); len(objs) != 2 {
+		t.Errorf("CoveredObjects = %v", objs)
+	}
+}
+
+func TestBlockWrite(t *testing.T) {
+	cfg, err := machine.PaperFig4(2).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Step(0)
+	cfg.Step(1)
+	cfg.Step(1)
+	// Writer covers X, reader covers A[1]: a block write to {X, A[1]}.
+	cp := cfg.Clone()
+	objs, ok := BlockWrite(cp, []int{0, 1})
+	if !ok || len(objs) != 2 {
+		t.Fatalf("BlockWrite failed: objs=%v ok=%v", objs, ok)
+	}
+	// A non-write-poised process breaks the block write.
+	cp2 := cfg.Clone()
+	cp2.Step(0) // writer completed its write; now poised to read
+	if _, ok := BlockWrite(cp2, []int{0, 1}); ok {
+		t.Error("BlockWrite should reject a process poised to read")
+	}
+}
+
+func TestMaxCoverSeenFig4IsBounded(t *testing.T) {
+	// Lemma 3(iii) flavor: under a long schedule, at most one process ever
+	// covers any single register of Figure 4 with a pending write (writer
+	// writes X, each reader writes only its own announce slot).
+	cfg, err := machine.PaperFig4(3).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := make([]int, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		schedule = append(schedule, 0, 1+(i%2), (i*7)%3)
+	}
+	maxW, maxC := MaxCoverSeen(cfg, schedule)
+	if maxW > 1 {
+		t.Errorf("max write cover = %d, want <= 1", maxW)
+	}
+	if maxC != 0 {
+		t.Errorf("max CAS cover = %d, want 0 (register-only algorithm)", maxC)
+	}
+}
+
+func TestAdversarialLLForcesLinearStepsOnFig3(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		res, err := AdversarialLL(func(f shmem.Factory, n int) (llsc.Object, error) {
+			return llsc.NewCASBased(f, n, 8, 0)
+		}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(2*n + 1)
+		if res.VictimSteps != want {
+			t.Errorf("n=%d: victim steps = %d, want %d", n, res.VictimSteps, want)
+		}
+		if res.Objects != 1 {
+			t.Errorf("n=%d: footprint = %d objects, want 1", n, res.Objects)
+		}
+		// Corollary 1: m*t >= (n-1)/2.
+		if res.TimeSpaceProduct < int64(n-1)/2 {
+			t.Errorf("n=%d: time-space product %d below lower bound %d", n, res.TimeSpaceProduct, (n-1)/2)
+		}
+	}
+}
+
+func TestAdversarialLLCannotStretchConstantTime(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		res, err := AdversarialLL(func(f shmem.Factory, n int) (llsc.Object, error) {
+			return llsc.NewConstantTime(f, n, 8, 0)
+		}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VictimSteps > 5 {
+			t.Errorf("n=%d: victim steps = %d, want <= 5 (O(1) construction)", n, res.VictimSteps)
+		}
+		if res.Objects != n+1 {
+			t.Errorf("n=%d: footprint = %d, want n+1 = %d", n, res.Objects, n+1)
+		}
+		if res.TimeSpaceProduct < int64(n-1)/2 {
+			t.Errorf("n=%d: time-space product %d below lower bound", n, res.TimeSpaceProduct)
+		}
+	}
+}
+
+func TestAdversarialLLValidation(t *testing.T) {
+	if _, err := AdversarialLL(func(f shmem.Factory, n int) (llsc.Object, error) {
+		return llsc.NewCASBased(f, n, 8, 0)
+	}, 1); err == nil {
+		t.Error("want error for n < 2")
+	}
+}

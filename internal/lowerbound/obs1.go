@@ -1,0 +1,323 @@
+// Package lowerbound makes the paper's lower-bound arguments executable.
+//
+// Three artifacts are reproduced:
+//
+//   - obs1.go: Observation 1 as a model-checking search.  The paper's
+//     Theorem 1 proofs construct two reachable configurations — one p-clean,
+//     one p-dirty — that process p cannot distinguish, contradicting
+//     correctness.  FindObservation1Violation explores the configuration
+//     space of a candidate implementation (expressed as step machines,
+//     package machine) breadth-first, tracking clean/dirty reachability
+//     along paths, and either returns the exact witness pair with replayable
+//     schedules, or reports that no witness exists within the explored
+//     space.  Under-resourced implementations (the bounded-tag register, the
+//     ablated Figure 4 variants) are refuted with concrete executions; the
+//     paper's construction survives.
+//
+//   - cover.go: the covering-argument vocabulary of Lemmas 1-3 — which
+//     processes are poised to write to (WCov) or CAS (CCov) which object,
+//     and block writes — so tests can audit statement (iii) of Lemma 3
+//     (at most t processes poised per object) on real configurations.
+//
+//   - adversary.go: the Figure 2 "hiding" adversary as a concrete schedule
+//     against the Figure 3 LL/SC object: interleaving a victim's LL with
+//     other processes' successful SCs forces the victim to spend Θ(n) steps,
+//     demonstrating that the m·t = Ω(n) trade-off of Corollary 1 is tight at
+//     m = 1.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"abadetect/internal/machine"
+)
+
+// Game configures the lower-bound game of the paper's §2: one process runs
+// WeakWrite in a loop, the others run WeakRead, and we attack one reader.
+type Game struct {
+	// Init is the initial configuration (writer and readers as machines).
+	Init *machine.Config
+	// Writer is the pid of the WeakWrite looper (paper: process 0).
+	Writer int
+	// Target is the reader whose clean/dirty views we try to confuse.
+	Target int
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of augmented states explored (0 = 200000).
+	MaxNodes int
+	// MaxDepth caps schedule length (0 = unlimited).
+	MaxDepth int
+}
+
+// Witness is a concrete Observation-1 violation: two schedules leading to
+// configurations that the target cannot distinguish, one clean (the target's
+// next solo WeakRead must return false) and one dirty (it must return true).
+// Because the configurations agree on all of shared memory and the target's
+// state, the solo read returns the same flag in both — the contradiction.
+type Witness struct {
+	// CleanSchedule reaches the target-clean configuration from Init.
+	CleanSchedule []int
+	// DirtySchedule reaches the target-dirty configuration from Init.
+	DirtySchedule []int
+	// SoloFlag is the flag the target's solo WeakRead actually returns in
+	// both configurations.
+	SoloFlag bool
+	// SoloSteps is the number of solo steps that read took.
+	SoloSteps int
+	// MemKey is the shared-memory content both configurations agree on.
+	MemKey string
+}
+
+// String renders the witness.
+func (w *Witness) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observation-1 violation (indistinguishable clean/dirty configurations)\n")
+	fmt.Fprintf(&b, "  clean schedule: %v  (solo WeakRead must return false)\n", w.CleanSchedule)
+	fmt.Fprintf(&b, "  dirty schedule: %v  (solo WeakRead must return true)\n", w.DirtySchedule)
+	fmt.Fprintf(&b, "  shared memory in both: [%s]\n", w.MemKey)
+	fmt.Fprintf(&b, "  target's solo WeakRead returns %v in both -> one answer is wrong", w.SoloFlag)
+	return b.String()
+}
+
+// SearchResult reports the outcome of the configuration-space search.
+type SearchResult struct {
+	// Witness is non-nil if a violation was found.
+	Witness *Witness
+	// Nodes is the number of augmented states explored.
+	Nodes int
+	// Exhausted is true if the entire reachable (bounded-depth) space was
+	// covered without finding a witness.
+	Exhausted bool
+}
+
+// pathFlags tracks clean/dirty reachability along one path (see the package
+// comment of machine for the lazy-invocation convention).
+type pathFlags struct {
+	dirty     bool // a qualifying WeakWrite completed; no target read invoked since
+	clean     bool // a qualifying target WeakRead completed; no writer step since
+	wOK       bool // writer mid-write, invoked with target idle, target quiet since
+	cleanCand bool // target mid-read, invoked with writer idle, writer quiet since
+}
+
+func (f pathFlags) key() uint8 {
+	var k uint8
+	if f.dirty {
+		k |= 1
+	}
+	if f.clean {
+		k |= 2
+	}
+	if f.wOK {
+		k |= 4
+	}
+	if f.cleanCand {
+		k |= 8
+	}
+	return k
+}
+
+// node is one augmented state of the BFS.
+type node struct {
+	cfg    *machine.Config
+	flags  pathFlags
+	parent int32
+	pid    int16 // step taken from parent
+	depth  int32
+}
+
+// FindObservation1Violation searches for a witness in the game's reachable
+// configuration space.
+func FindObservation1Violation(g Game, opts Options) (*SearchResult, error) {
+	if g.Init == nil {
+		return nil, errors.New("lowerbound: nil initial configuration")
+	}
+	n := len(g.Init.Progs)
+	if g.Writer < 0 || g.Writer >= n || g.Target < 0 || g.Target >= n || g.Writer == g.Target {
+		return nil, fmt.Errorf("lowerbound: invalid writer=%d target=%d for %d processes", g.Writer, g.Target, n)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	type obsEntry struct {
+		clean int32 // node index or -1
+		dirty int32
+	}
+
+	nodes := []node{{cfg: g.Init.Clone(), parent: -1, pid: -1}}
+	visited := map[string]bool{augKey(nodes[0]): true}
+	obs := map[string]*obsEntry{}
+	res := &SearchResult{}
+
+	// register records node i under its indistinguishability class and
+	// returns a witness pair when both polarities are present.
+	register := func(i int32) (int32, int32, bool) {
+		nd := nodes[i]
+		if !nd.flags.clean && !nd.flags.dirty {
+			return 0, 0, false
+		}
+		key := nd.cfg.MemKey() + "|" + nd.cfg.Progs[g.Target].Key()
+		e := obs[key]
+		if e == nil {
+			e = &obsEntry{clean: -1, dirty: -1}
+			obs[key] = e
+		}
+		if nd.flags.clean && e.clean < 0 {
+			e.clean = i
+		}
+		if nd.flags.dirty && e.dirty < 0 {
+			e.dirty = i
+		}
+		if e.clean >= 0 && e.dirty >= 0 {
+			return e.clean, e.dirty, true
+		}
+		return 0, 0, false
+	}
+
+	if _, _, found := register(0); found {
+		return nil, errors.New("lowerbound: initial configuration both clean and dirty (broken game)")
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		if len(nodes) > maxNodes {
+			res.Nodes = len(nodes)
+			return res, nil // budget exhausted, no witness
+		}
+		cur := nodes[head]
+		if opts.MaxDepth > 0 && int(cur.depth) >= opts.MaxDepth {
+			continue
+		}
+		for pid := 0; pid < n; pid++ {
+			next := cur.cfg.Clone()
+			targetIdle := cur.cfg.Progs[g.Target].AtBoundary()
+			writerIdle := cur.cfg.Progs[g.Writer].AtBoundary()
+			comp := next.Step(pid)
+
+			f := cur.flags
+			switch pid {
+			case g.Writer:
+				f.clean = false
+				f.cleanCand = false
+				if writerIdle { // this step invoked a new WeakWrite
+					f.wOK = targetIdle
+				}
+				if comp != nil { // the WeakWrite completed
+					if f.wOK {
+						f.dirty = true
+					}
+					f.wOK = false
+				}
+			case g.Target:
+				if targetIdle { // this step invoked a new WeakRead
+					f.dirty = false
+					f.wOK = false
+					f.cleanCand = writerIdle
+				}
+				if comp != nil { // the WeakRead completed
+					if f.cleanCand {
+						f.clean = true
+					}
+					f.cleanCand = false
+				}
+			default:
+				// Steps by other readers affect no flags.
+			}
+
+			nd := node{cfg: next, flags: f, parent: int32(head), pid: int16(pid), depth: cur.depth + 1}
+			k := augKey(nd)
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			nodes = append(nodes, nd)
+			i := int32(len(nodes) - 1)
+			if ci, di, found := register(i); found {
+				w, err := buildWitness(g, nodes, ci, di)
+				if err != nil {
+					return nil, err
+				}
+				res.Witness = w
+				res.Nodes = len(nodes)
+				return res, nil
+			}
+		}
+	}
+	res.Nodes = len(nodes)
+	res.Exhausted = true
+	return res, nil
+}
+
+func augKey(nd node) string {
+	return fmt.Sprintf("%d;%s", nd.flags.key(), nd.cfg.Key())
+}
+
+// buildWitness reconstructs the two schedules and validates the solo run.
+func buildWitness(g Game, nodes []node, cleanIdx, dirtyIdx int32) (*Witness, error) {
+	scheduleOf := func(i int32) []int {
+		var rev []int
+		for j := i; nodes[j].parent >= 0; j = nodes[j].parent {
+			rev = append(rev, int(nodes[j].pid))
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		return rev
+	}
+
+	cleanFlag, stepsC, err := soloRead(nodes[cleanIdx].cfg, g.Target)
+	if err != nil {
+		return nil, err
+	}
+	dirtyFlag, _, err := soloRead(nodes[dirtyIdx].cfg, g.Target)
+	if err != nil {
+		return nil, err
+	}
+	if cleanFlag != dirtyFlag {
+		// Should be impossible: the configurations are indistinguishable to
+		// the target, and the solo run touches only shared memory and the
+		// target's state.
+		return nil, errors.New("lowerbound: solo runs diverged on indistinguishable configurations")
+	}
+	return &Witness{
+		CleanSchedule: scheduleOf(cleanIdx),
+		DirtySchedule: scheduleOf(dirtyIdx),
+		SoloFlag:      cleanFlag,
+		SoloSteps:     stepsC,
+		MemKey:        nodes[cleanIdx].cfg.MemKey(),
+	}, nil
+}
+
+// soloRead runs the target alone until it completes a WeakRead and returns
+// the flag.
+func soloRead(cfg *machine.Config, target int) (bool, int, error) {
+	c := cfg.Clone()
+	for steps := 1; steps <= 10000; steps++ {
+		if comp := c.Step(target); comp != nil {
+			if comp.Method != machine.MethodWeakRead {
+				return false, 0, fmt.Errorf("lowerbound: target completed %q, want WeakRead", comp.Method)
+			}
+			return comp.Flag, steps, nil
+		}
+	}
+	return false, 0, errors.New("lowerbound: target's solo WeakRead did not terminate (not solo-terminating)")
+}
+
+// ReplaySolo re-executes a witness schedule from a fresh configuration and
+// returns the target's subsequent solo WeakRead flag; tests use it to
+// confirm witnesses are genuinely replayable.
+func ReplaySolo(init *machine.Config, schedule []int, target int) (bool, error) {
+	c := init.Clone()
+	for i, pid := range schedule {
+		if pid < 0 || pid >= len(c.Progs) {
+			return false, fmt.Errorf("lowerbound: schedule step %d has invalid pid %d", i, pid)
+		}
+		c.Step(pid)
+	}
+	flag, _, err := soloRead(c, target)
+	return flag, err
+}

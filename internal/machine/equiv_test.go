@@ -1,0 +1,185 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"abadetect/internal/core"
+	"abadetect/internal/sim"
+)
+
+// TestFig4MachineEquivalentToRealImplementation cross-validates the model
+// checker's step machines against the production implementation: both run
+// the *same* schedule (the lower-bound game: pid 0 writes the constant 0 in
+// a loop, everyone else reads in a loop), and every reader must report the
+// exact same sequence of detection flags.  This is what justifies trusting
+// the model checker's verdicts about Figure 4.
+func TestFig4MachineEquivalentToRealImplementation(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for seed := int64(0); seed < 8; seed++ {
+			const steps = 600
+			schedule := make([]int, steps)
+			rng := rand.New(rand.NewSource(seed))
+			for i := range schedule {
+				schedule[i] = rng.Intn(n)
+			}
+
+			machineFlags := runMachineGame(t, n, schedule)
+			realFlags := runRealGame(t, n, schedule)
+
+			for pid := 1; pid < n; pid++ {
+				if len(machineFlags[pid]) != len(realFlags[pid]) {
+					t.Fatalf("n=%d seed=%d pid=%d: machine completed %d reads, real %d",
+						n, seed, pid, len(machineFlags[pid]), len(realFlags[pid]))
+				}
+				for i := range machineFlags[pid] {
+					if machineFlags[pid][i] != realFlags[pid][i] {
+						t.Fatalf("n=%d seed=%d pid=%d read #%d: machine=%v real=%v",
+							n, seed, pid, i, machineFlags[pid][i], realFlags[pid][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// runMachineGame drives the Fig4 step machines along the schedule and
+// collects each reader's flags.
+func runMachineGame(t *testing.T, n int, schedule []int) [][]bool {
+	t.Helper()
+	cfg, err := PaperFig4(n).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := make([][]bool, n)
+	for _, pid := range schedule {
+		if comp := cfg.Step(pid); comp != nil && comp.Method == MethodWeakRead {
+			flags[pid] = append(flags[pid], comp.Flag)
+		}
+	}
+	return flags
+}
+
+// runRealGame drives the production core.RegisterBased implementation under
+// the simulator along the same schedule.
+func runRealGame(t *testing.T, n int, schedule []int) [][]bool {
+	t.Helper()
+	runner := sim.NewRunner(n)
+	runner.SetRecording(false)
+	reg, err := core.NewRegisterBased(runner.Factory(), n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := make([][]bool, n)
+	if err := runner.SetProgram(0, func(p *sim.Proc) {
+		h, herr := reg.Handle(0)
+		if herr != nil {
+			panic(herr)
+		}
+		for {
+			h.DWrite(0) // the game's constant-value WeakWrite
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 1; pid < n; pid++ {
+		pid := pid
+		if err := runner.SetProgram(pid, func(p *sim.Proc) {
+			h, herr := reg.Handle(pid)
+			if herr != nil {
+				panic(herr)
+			}
+			for {
+				_, dirty := h.DRead()
+				flags[pid] = append(flags[pid], dirty)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	for _, pid := range schedule {
+		if err := runner.Step(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return flags
+}
+
+// TestTagMachineEquivalentToRealImplementation does the same for the
+// bounded-tag machines vs core.BoundedTag — including the wraparound miss,
+// which must occur at exactly the same schedule positions.
+func TestTagMachineEquivalentToRealImplementation(t *testing.T) {
+	const n = 2
+	const k = 2 // 4 tag values
+	for seed := int64(0); seed < 8; seed++ {
+		const steps = 400
+		schedule := make([]int, steps)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range schedule {
+			schedule[i] = rng.Intn(n)
+		}
+
+		// Machine side.
+		cfg := TagSystem{TagVals: 4}.NewConfig(n)
+		var machineFlags []bool
+		for _, pid := range schedule {
+			if comp := cfg.Step(pid); comp != nil && comp.Method == MethodWeakRead {
+				machineFlags = append(machineFlags, comp.Flag)
+			}
+		}
+
+		// Real side.
+		runner := sim.NewRunner(n)
+		runner.SetRecording(false)
+		reg, err := core.NewBoundedTag(runner.Factory(), n, 1, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var realFlags []bool
+		if err := runner.SetProgram(0, func(p *sim.Proc) {
+			h, herr := reg.Handle(0)
+			if herr != nil {
+				panic(herr)
+			}
+			for {
+				h.DWrite(0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.SetProgram(1, func(p *sim.Proc) {
+			h, herr := reg.Handle(1)
+			if herr != nil {
+				panic(herr)
+			}
+			for {
+				_, dirty := h.DRead()
+				realFlags = append(realFlags, dirty)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pid := range schedule {
+			if err := runner.Step(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runner.Close()
+
+		if len(machineFlags) != len(realFlags) {
+			t.Fatalf("seed=%d: machine %d reads, real %d", seed, len(machineFlags), len(realFlags))
+		}
+		for i := range machineFlags {
+			if machineFlags[i] != realFlags[i] {
+				t.Fatalf("seed=%d read #%d: machine=%v real=%v", seed, i, machineFlags[i], realFlags[i])
+			}
+		}
+	}
+}

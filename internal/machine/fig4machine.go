@@ -1,0 +1,262 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"abadetect/internal/shmem"
+)
+
+// Fig4System builds step machines for the paper's Figure 4 ABA-detecting
+// register, with its critical parameters exposed so the model checker can
+// refute ablated variants (experiment E8):
+//
+//   - SeqVals: the sequence-number domain (paper: 2n+2).
+//   - UsedLen: the recently-used queue length (paper: n+1).
+//   - DoubleRead: whether DRead re-reads X and maintains the flag b
+//     (paper: yes, lines 41 and 46-49).
+//
+// Memory layout: object 0 is X; objects 1..n are the announce array A[0..n-1].
+// The writer (pid 0) writes the constant value 0 — in the lower-bound game
+// WeakWrite takes no argument, and detection must work even when the value
+// never changes.
+type Fig4System struct {
+	// N is the number of processes.
+	N int
+	// SeqVals is the sequence-number domain size.
+	SeqVals int
+	// UsedLen is the usedQ length.
+	UsedLen int
+	// DoubleRead enables the second read of X (lines 41, 46-49).
+	DoubleRead bool
+	// PickSmallest makes GetSeq resolve line 34's "choose arbitrary s" as
+	// "smallest available" instead of rotating through the domain.  The
+	// paper allows any choice; eager reuse makes the ablated variants fail
+	// faster, which is exactly what the refutation experiments want.
+	PickSmallest bool
+}
+
+// Paper returns the exact Figure 4 parameters for n processes.
+func PaperFig4(n int) Fig4System {
+	return Fig4System{N: n, SeqVals: 2*n + 2, UsedLen: n + 1, DoubleRead: true}
+}
+
+// Codec returns the triple codec the machines use.  SeqVals below 2n+2 is
+// allowed here (that is the point of the ablations); shmem.NewTripleCodec
+// only requires the fields to fit in a word.
+func (s Fig4System) Codec() (shmem.TripleCodec, error) {
+	return shmem.NewTripleCodec(s.N, 1, s.SeqVals)
+}
+
+// NewConfig returns the initial configuration: writer pid 0, readers 1..n-1,
+// X and all announce entries ⊥.
+func (s Fig4System) NewConfig() (*Config, error) {
+	codec, err := s.Codec()
+	if err != nil {
+		return nil, err
+	}
+	if s.UsedLen < 1 {
+		return nil, fmt.Errorf("machine: Fig4 UsedLen must be >= 1, got %d", s.UsedLen)
+	}
+	c := &Config{Mem: make([]Word, 1+s.N), Progs: make([]Program, s.N)}
+	w := &fig4Writer{sys: s, codec: codec, na: make([]int, s.N), used: make([]int, s.UsedLen)}
+	for i := range w.na {
+		w.na[i] = -1
+	}
+	for i := range w.used {
+		w.used[i] = -1
+	}
+	c.Progs[0] = w
+	for pid := 1; pid < s.N; pid++ {
+		c.Progs[pid] = &fig4Reader{sys: s, codec: codec, pid: pid}
+	}
+	return c, nil
+}
+
+// fig4Writer is the Figure 4 DWrite loop (GetSeq + write X) for pid 0.
+type fig4Writer struct {
+	sys   Fig4System
+	codec shmem.TripleCodec
+
+	phase   int // 0: read A[c] (GetSeq); 1: write X
+	c       int
+	na      []int
+	used    []int
+	usedPos int
+	nextTry int
+	chosen  int // seq picked for the pending write
+}
+
+var _ Program = (*fig4Writer)(nil)
+
+func (w *fig4Writer) Poised() Op {
+	if w.phase == 0 {
+		return Op{Kind: OpRead, Obj: 1 + w.c}
+	}
+	return Op{Kind: OpWrite, Obj: 0, A: w.codec.Encode(0, 0, w.chosen)}
+}
+
+func (w *fig4Writer) Advance(result Word, ok bool) *Completion {
+	if w.phase == 0 {
+		// GetSeq lines 28-33: scan one announce entry.
+		if !w.codec.IsBottom(result) {
+			if q, sr := w.codec.DecodePair(result); q == 0 {
+				w.na[w.c] = sr
+			} else {
+				w.na[w.c] = -1
+			}
+		} else {
+			w.na[w.c] = -1
+		}
+		w.c = (w.c + 1) % w.sys.N
+		w.chosen = w.pick()
+		w.used[w.usedPos] = w.chosen
+		w.usedPos = (w.usedPos + 1) % len(w.used)
+		w.phase = 1
+		return nil
+	}
+	w.phase = 0
+	return &Completion{Method: MethodWeakWrite}
+}
+
+// pick chooses a sequence number avoiding na ∪ used when possible.  Ablated
+// systems whose domain is too small fall back to ignoring na, then to a bare
+// rotation — exactly the kind of "it will probably be fine" reuse the paper
+// proves unsound.
+func (w *fig4Writer) pick() int {
+	inUsed := func(s int) bool {
+		for _, u := range w.used {
+			if u == s {
+				return true
+			}
+		}
+		return false
+	}
+	inNA := func(s int) bool {
+		for _, u := range w.na {
+			if u == s {
+				return true
+			}
+		}
+		return false
+	}
+	start := w.nextTry
+	if w.sys.PickSmallest {
+		start = 0
+	}
+	take := func(s int) int {
+		if !w.sys.PickSmallest {
+			w.nextTry = (s + 1) % w.sys.SeqVals
+		}
+		return s
+	}
+	for i := 0; i < w.sys.SeqVals; i++ {
+		s := (start + i) % w.sys.SeqVals
+		if !inUsed(s) && !inNA(s) {
+			return take(s)
+		}
+	}
+	for i := 0; i < w.sys.SeqVals; i++ {
+		s := (start + i) % w.sys.SeqVals
+		if !inUsed(s) {
+			return take(s)
+		}
+	}
+	return take(start % w.sys.SeqVals)
+}
+
+func (w *fig4Writer) AtBoundary() bool { return w.phase == 0 }
+
+func (w *fig4Writer) Clone() Program {
+	c := *w
+	c.na = append([]int(nil), w.na...)
+	c.used = append([]int(nil), w.used...)
+	return &c
+}
+
+func (w *fig4Writer) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fw%d.%d.%d.%d.%d", w.phase, w.c, w.chosen, w.usedPos, w.nextTry)
+	b.WriteByte(':')
+	for _, v := range w.na {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	b.WriteByte(':')
+	for _, v := range w.used {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// fig4Reader is the Figure 4 DRead loop for pid >= 1.
+type fig4Reader struct {
+	sys   Fig4System
+	codec shmem.TripleCodec
+	pid   int
+
+	phase int  // 0: read X; 1: read A[q]; 2: write A[q]; 3: read X again
+	w1    Word // triple from line 38
+	old   Word // announcement from line 39
+	b     bool // the local flag
+}
+
+var _ Program = (*fig4Reader)(nil)
+
+func (r *fig4Reader) Poised() Op {
+	switch r.phase {
+	case 0:
+		return Op{Kind: OpRead, Obj: 0}
+	case 1:
+		return Op{Kind: OpRead, Obj: 1 + r.pid}
+	case 2:
+		return Op{Kind: OpWrite, Obj: 1 + r.pid, A: r.codec.Pair(r.w1)}
+	default:
+		return Op{Kind: OpRead, Obj: 0}
+	}
+}
+
+func (r *fig4Reader) Advance(result Word, ok bool) *Completion {
+	switch r.phase {
+	case 0:
+		r.w1 = result
+		r.phase = 1
+		return nil
+	case 1:
+		r.old = result
+		r.phase = 2
+		return nil
+	case 2:
+		if !r.sys.DoubleRead {
+			// Ablated variant: skip line 41; complete after announcing.
+			r.phase = 0
+			return &Completion{Method: MethodWeakRead, Flag: r.flagValue()}
+		}
+		r.phase = 3
+		return nil
+	default:
+		flag := r.flagValue()
+		r.b = r.w1 != result // lines 46-49
+		r.phase = 0
+		return &Completion{Method: MethodWeakRead, Flag: flag}
+	}
+}
+
+// flagValue evaluates lines 42-45.
+func (r *fig4Reader) flagValue() bool {
+	if r.codec.Pair(r.w1) == r.old {
+		return r.b
+	}
+	return true
+}
+
+func (r *fig4Reader) AtBoundary() bool { return r.phase == 0 }
+
+func (r *fig4Reader) Clone() Program { c := *r; return &c }
+
+func (r *fig4Reader) Key() string {
+	bb := 0
+	if r.b {
+		bb = 1
+	}
+	return fmt.Sprintf("fr%d.%x.%x.%d", r.phase, r.w1, r.old, bb)
+}

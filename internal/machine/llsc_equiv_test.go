@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"abadetect/internal/core"
+	"abadetect/internal/llsc"
+	"abadetect/internal/sim"
+)
+
+// TestLLSCTagMachineEquivalentToRealImplementation cross-validates the
+// LL/SC-game machines against the production composition
+// core.LLSCBased(llsc.MoirTagged): same schedule, same flags — including
+// the positions of the wraparound misses.
+func TestLLSCTagMachineEquivalentToRealImplementation(t *testing.T) {
+	const n = 2
+	const k = 1 // 2 tag values: wraps fastest
+	for seed := int64(0); seed < 10; seed++ {
+		const steps = 500
+		schedule := make([]int, steps)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range schedule {
+			schedule[i] = rng.Intn(n)
+		}
+
+		// Machine side.
+		cfg := LLSCTagSystem{TagVals: 2}.NewConfig(n)
+		var machineFlags []bool
+		for _, pid := range schedule {
+			if comp := cfg.Step(pid); comp != nil && comp.Method == MethodWeakRead {
+				machineFlags = append(machineFlags, comp.Flag)
+			}
+		}
+
+		// Real side: Figure 5 over MoirTagged with 1-bit values, writing 0.
+		runner := sim.NewRunner(n)
+		runner.SetRecording(false)
+		obj, err := llsc.NewMoirTagged(runner.Factory(), n, 1, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := core.NewLLSCBased(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var realFlags []bool
+		if err := runner.SetProgram(0, func(p *sim.Proc) {
+			h, herr := reg.Handle(0)
+			if herr != nil {
+				panic(herr)
+			}
+			for {
+				h.DWrite(0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.SetProgram(1, func(p *sim.Proc) {
+			h, herr := reg.Handle(1)
+			if herr != nil {
+				panic(herr)
+			}
+			for {
+				_, dirty := h.DRead()
+				realFlags = append(realFlags, dirty)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pid := range schedule {
+			if err := runner.Step(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runner.Close()
+
+		if len(machineFlags) != len(realFlags) {
+			t.Fatalf("seed=%d: machine %d reads, real %d", seed, len(machineFlags), len(realFlags))
+		}
+		for i := range machineFlags {
+			if machineFlags[i] != realFlags[i] {
+				t.Fatalf("seed=%d read #%d: machine=%v real=%v", seed, i, machineFlags[i], realFlags[i])
+			}
+		}
+	}
+}
+
+func TestLLSCTagSystemBasics(t *testing.T) {
+	cfg := LLSCTagSystem{TagVals: 4}.NewConfig(2)
+	// Writer: LL (1 step) + SC (1 step) per WeakWrite, always succeeding.
+	if comp := cfg.Step(0); comp != nil {
+		t.Fatal("LL step must not complete the write")
+	}
+	comp := cfg.Step(0)
+	if comp == nil || comp.Method != MethodWeakWrite {
+		t.Fatalf("SC step completion = %+v", comp)
+	}
+	if cfg.Mem[0] != 1 {
+		t.Errorf("X = %d after one write, want tag 1", cfg.Mem[0])
+	}
+	// Reader: dirty read takes 2 steps (failed VL + LL).
+	if comp := cfg.Step(1); comp != nil {
+		t.Fatal("failed VL must not complete the read")
+	}
+	comp = cfg.Step(1)
+	if comp == nil || !comp.Flag {
+		t.Fatalf("read completion = %+v, want dirty", comp)
+	}
+	// Clean read takes 1 step (successful VL).
+	comp = cfg.Step(1)
+	if comp == nil || comp.Flag {
+		t.Fatalf("quiet read completion = %+v, want clean in one step", comp)
+	}
+}
+
+func TestLLSCTagWraparoundMiss(t *testing.T) {
+	// After exactly TagVals writer cycles, the reader's VL spuriously
+	// validates: the missed detection, deterministically.
+	cfg := LLSCTagSystem{TagVals: 2}.NewConfig(2)
+	// Reader links the initial word.
+	if comp := cfg.Step(1); comp == nil || comp.Flag {
+		t.Fatal("initial read should be clean")
+	}
+	// Two full writer cycles wrap the tag back.
+	for i := 0; i < 2; i++ {
+		cfg.Step(0)
+		cfg.Step(0)
+	}
+	comp := cfg.Step(1)
+	if comp == nil {
+		t.Fatal("VL read did not complete")
+	}
+	if comp.Flag {
+		t.Fatal("expected the wraparound miss (flag=false), got a detection")
+	}
+}

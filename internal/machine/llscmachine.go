@@ -1,0 +1,111 @@
+package machine
+
+import "fmt"
+
+// LLSCTagSystem builds step machines for the Figure 5 reduction over a
+// tag-based LL/SC object (llsc.Moir with a bounded tag): object 0 is the
+// CAS word holding (value, tag) with the tag wrapping modulo TagVals.
+//
+//   - The writer's WeakWrite is LL();SC(x): one read of X, then one CAS
+//     installing (x, tag+1 mod TagVals) — exactly Figure 5's DWrite.
+//   - The reader's WeakRead is Figure 5's DRead: a VL() (one read, compare
+//     against the link) and, if the link is broken, an LL() (one more read)
+//     to re-link.
+//
+// With an unbounded tag this is Moir's correct construction [26]; with a
+// bounded tag it is the LL/SC variant of the tagging fallacy, and the model
+// checker extracts the Corollary 1 witness: after TagVals successful SCs
+// the CAS word returns to the reader's linked word, VL spuriously
+// validates, and the WeakRead misses every write in between.
+type LLSCTagSystem struct {
+	// TagVals is the tag domain size.
+	TagVals Word
+}
+
+// NewConfig returns the initial configuration for one writer (pid 0) and
+// n-1 readers over the single CAS word.
+func (s LLSCTagSystem) NewConfig(n int) *Config {
+	c := &Config{Mem: []Word{0}, Progs: make([]Program, n)}
+	c.Progs[0] = &llscTagWriter{sys: s}
+	for pid := 1; pid < n; pid++ {
+		c.Progs[pid] = &llscTagReader{}
+	}
+	return c
+}
+
+// llscTagWriter repeatedly executes LL();SC(0): read X, CAS (value 0,
+// tag+1).  The solo writer's SC always succeeds in the lower-bound game
+// (readers never SC), so each WeakWrite is exactly two steps.
+type llscTagWriter struct {
+	sys     LLSCTagSystem
+	phase   int  // 0: LL (read X); 1: SC (CAS X)
+	link    Word // word read by the LL
+	stalled int  // failed-SC count (diagnostics; stays 0 in the game)
+}
+
+var _ Program = (*llscTagWriter)(nil)
+
+func (w *llscTagWriter) Poised() Op {
+	if w.phase == 0 {
+		return Op{Kind: OpRead, Obj: 0}
+	}
+	next := (w.link + 1) % w.sys.TagVals // value field is constant 0
+	return Op{Kind: OpCAS, Obj: 0, A: w.link, B: next}
+}
+
+func (w *llscTagWriter) Advance(result Word, ok bool) *Completion {
+	if w.phase == 0 {
+		w.link = result
+		w.phase = 1
+		return nil
+	}
+	w.phase = 0
+	if !ok {
+		w.stalled++
+	}
+	// Figure 5's DWrite completes whether or not its SC succeeded: a
+	// failed SC means another write linearized, so a write happened anyway.
+	return &Completion{Method: MethodWeakWrite}
+}
+
+func (w *llscTagWriter) AtBoundary() bool { return w.phase == 0 }
+
+func (w *llscTagWriter) Clone() Program { c := *w; return &c }
+
+func (w *llscTagWriter) Key() string {
+	return fmt.Sprintf("lw%d.%x.%d", w.phase, w.link, w.stalled)
+}
+
+// llscTagReader is Figure 5's DRead over the tag-based object: VL (one
+// read), then LL (one more read) only when the link is broken.
+type llscTagReader struct {
+	phase int  // 0: VL read; 1: LL read (only after a failed VL)
+	link  Word // the linked word (old value's carrier)
+}
+
+var _ Program = (*llscTagReader)(nil)
+
+func (r *llscTagReader) Poised() Op { return Op{Kind: OpRead, Obj: 0} }
+
+func (r *llscTagReader) Advance(result Word, ok bool) *Completion {
+	if r.phase == 0 {
+		if result == r.link {
+			// VL succeeded: no (detectable) SC since our link.
+			return &Completion{Method: MethodWeakRead, Flag: false}
+		}
+		r.phase = 1
+		return nil
+	}
+	// LL: re-link and report the write.
+	r.link = result
+	r.phase = 0
+	return &Completion{Method: MethodWeakRead, Flag: true}
+}
+
+func (r *llscTagReader) AtBoundary() bool { return r.phase == 0 }
+
+func (r *llscTagReader) Clone() Program { c := *r; return &c }
+
+func (r *llscTagReader) Key() string {
+	return fmt.Sprintf("lr%d.%x", r.phase, r.link)
+}

@@ -1,0 +1,169 @@
+// Package machine provides cloneable, hashable step machines for the
+// lower-bound experiments.
+//
+// The paper's lower bounds (Theorem 1, Lemmas 1-3) are statements about the
+// space of reachable configurations: they construct executions leading to a
+// p-clean and a p-dirty configuration that process p cannot distinguish
+// (Observation 1), which contradicts correctness.  To make those arguments
+// executable, the candidate implementations are expressed a second time as
+// explicit step machines — deterministic automata whose transitions are
+// exactly the shared-memory steps — so that configurations (shared memory +
+// all process states) can be cloned, canonically encoded, and explored
+// exhaustively by package lowerbound.
+//
+// A machine models one process running the paper's infinite loop: process 0
+// repeatedly calls WeakWrite() and every other process repeatedly calls
+// WeakRead() (paper §2).  Method invocations are lazy: a method is invoked
+// by its first shared-memory step, so "at a boundary" means idle.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"abadetect/internal/shmem"
+)
+
+// Word is the base-object value type.
+type Word = shmem.Word
+
+// OpKind enumerates shared-memory operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpRead reads an object.
+	OpRead OpKind = iota + 1
+	// OpWrite writes A to an object.
+	OpWrite
+	// OpCAS compares against A and swaps to B.
+	OpCAS
+)
+
+// Op is a poised shared-memory operation.
+type Op struct {
+	// Kind is the operation kind.
+	Kind OpKind
+	// Obj is the target object's index in the configuration's memory.
+	Obj int
+	// A is the written value (OpWrite) or expected value (OpCAS).
+	A Word
+	// B is the new value (OpCAS).
+	B Word
+}
+
+// String renders the op.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		return fmt.Sprintf("read(M%d)", o.Obj)
+	case OpWrite:
+		return fmt.Sprintf("write(M%d,%d)", o.Obj, o.A)
+	case OpCAS:
+		return fmt.Sprintf("cas(M%d,%d,%d)", o.Obj, o.A, o.B)
+	default:
+		return fmt.Sprintf("op?%d", int(o.Kind))
+	}
+}
+
+// Completion reports that a step finished a method call.
+type Completion struct {
+	// Method is the completed method's name (WeakWrite or WeakRead).
+	Method string
+	// Flag is the WeakRead return value.
+	Flag bool
+}
+
+// Method names of the lower-bound game.
+const (
+	// MethodWeakWrite is the writer's repeated method.
+	MethodWeakWrite = "WeakWrite"
+	// MethodWeakRead is the readers' repeated method.
+	MethodWeakRead = "WeakRead"
+)
+
+// Program is a deterministic step machine for one process.
+type Program interface {
+	// Poised returns the next shared-memory operation.
+	Poised() Op
+	// Advance consumes the result of the executed poised operation (the
+	// read value, or the CAS success flag and old value) and returns a
+	// non-nil Completion if the step finished the current method call.
+	Advance(result Word, ok bool) *Completion
+	// AtBoundary reports whether the poised operation would start a new
+	// method call, i.e. the process is idle.
+	AtBoundary() bool
+	// Clone returns an independent deep copy.
+	Clone() Program
+	// Key returns a canonical encoding of the local state.
+	Key() string
+}
+
+// Config is a system configuration: the shared memory and every process's
+// local state.  It corresponds exactly to the paper's "configuration".
+type Config struct {
+	// Mem holds the base objects' values.
+	Mem []Word
+	// Progs holds one step machine per process.
+	Progs []Program
+}
+
+// Clone returns an independent deep copy.
+func (c *Config) Clone() *Config {
+	next := &Config{
+		Mem:   append([]Word(nil), c.Mem...),
+		Progs: make([]Program, len(c.Progs)),
+	}
+	for i, p := range c.Progs {
+		next.Progs[i] = p.Clone()
+	}
+	return next
+}
+
+// Step executes process pid's poised operation against the shared memory and
+// advances its machine.  It returns the completion, if the step finished a
+// method call.
+func (c *Config) Step(pid int) *Completion {
+	p := c.Progs[pid]
+	op := p.Poised()
+	switch op.Kind {
+	case OpRead:
+		return p.Advance(c.Mem[op.Obj], true)
+	case OpWrite:
+		c.Mem[op.Obj] = op.A
+		return p.Advance(0, true)
+	case OpCAS:
+		old := c.Mem[op.Obj]
+		if old == op.A {
+			c.Mem[op.Obj] = op.B
+			return p.Advance(old, true)
+		}
+		return p.Advance(old, false)
+	default:
+		panic(fmt.Sprintf("machine: unknown op kind %d", op.Kind))
+	}
+}
+
+// MemKey returns a canonical encoding of the shared memory only (the
+// paper's register configuration reg(C)).
+func (c *Config) MemKey() string {
+	var b strings.Builder
+	for i, w := range c.Mem {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%x", w)
+	}
+	return b.String()
+}
+
+// Key returns a canonical encoding of the full configuration.
+func (c *Config) Key() string {
+	var b strings.Builder
+	b.WriteString(c.MemKey())
+	for _, p := range c.Progs {
+		b.WriteByte('|')
+		b.WriteString(p.Key())
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTagSystemStepSemantics(t *testing.T) {
+	cfg := TagSystem{TagVals: 4}.NewConfig(2)
+	if len(cfg.Mem) != 1 || len(cfg.Progs) != 2 {
+		t.Fatalf("unexpected shape: %d mem, %d progs", len(cfg.Mem), len(cfg.Progs))
+	}
+
+	// Writer: read then write increments the tag.
+	if comp := cfg.Step(0); comp != nil {
+		t.Fatal("read step must not complete the write")
+	}
+	comp := cfg.Step(0)
+	if comp == nil || comp.Method != MethodWeakWrite {
+		t.Fatalf("write step completion = %+v", comp)
+	}
+	if cfg.Mem[0] != 1 {
+		t.Errorf("mem = %d, want 1", cfg.Mem[0])
+	}
+
+	// Reader: one step, flag true (word changed).
+	comp = cfg.Step(1)
+	if comp == nil || comp.Method != MethodWeakRead || !comp.Flag {
+		t.Fatalf("reader completion = %+v", comp)
+	}
+	// Second read with no writes: clean.
+	comp = cfg.Step(1)
+	if comp == nil || comp.Flag {
+		t.Fatalf("second reader completion = %+v, want clean", comp)
+	}
+}
+
+func TestTagWriterWrapsAround(t *testing.T) {
+	cfg := TagSystem{TagVals: 4}.NewConfig(2)
+	for i := 0; i < 4; i++ {
+		cfg.Step(0)
+		cfg.Step(0)
+	}
+	if cfg.Mem[0] != 0 {
+		t.Errorf("after 4 writes mem = %d, want wrap to 0", cfg.Mem[0])
+	}
+}
+
+func TestUnboundedWriterNeverRepeats(t *testing.T) {
+	cfg := UnboundedSystem{}.NewConfig(2)
+	seen := map[Word]bool{cfg.Mem[0]: true}
+	for i := 0; i < 200; i++ {
+		cfg.Step(0)
+		if seen[cfg.Mem[0]] {
+			t.Fatalf("register word %d repeated at write %d", cfg.Mem[0], i)
+		}
+		seen[cfg.Mem[0]] = true
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	cfg := TagSystem{TagVals: 4}.NewConfig(2)
+	cfg.Step(0) // writer mid-method
+	cp := cfg.Clone()
+	if cp.Key() != cfg.Key() {
+		t.Fatal("clone key differs")
+	}
+	cp.Step(0)
+	cp.Step(1)
+	if cp.Key() == cfg.Key() {
+		t.Fatal("stepping the clone mutated the original")
+	}
+	if cfg.Progs[0].AtBoundary() {
+		t.Error("original writer should still be mid-method")
+	}
+}
+
+func TestConfigKeyDistinguishesMemAndState(t *testing.T) {
+	a := TagSystem{TagVals: 4}.NewConfig(2)
+	b := TagSystem{TagVals: 4}.NewConfig(2)
+	if a.Key() != b.Key() {
+		t.Fatal("fresh configs should have equal keys")
+	}
+	b.Mem[0] = 3
+	if a.Key() == b.Key() {
+		t.Error("mem difference not reflected in key")
+	}
+	b.Mem[0] = 0
+	b.Step(0) // local state difference only
+	if a.Key() == b.Key() {
+		t.Error("program state difference not reflected in key")
+	}
+	if a.MemKey() != b.MemKey() {
+		t.Error("MemKey must ignore program state")
+	}
+}
+
+func TestCASStepSemantics(t *testing.T) {
+	// Drive a tiny custom program through Config.Step to cover OpCAS.
+	cfg := &Config{Mem: []Word{5}, Progs: []Program{&casProbe{old: 5, new: 9}}}
+	if comp := cfg.Step(0); comp != nil {
+		t.Fatal("unexpected completion")
+	}
+	if cfg.Mem[0] != 9 {
+		t.Errorf("mem = %d, want 9 (CAS should succeed)", cfg.Mem[0])
+	}
+	p := cfg.Progs[0].(*casProbe)
+	if !p.lastOK {
+		t.Error("CAS success not reported")
+	}
+	// Second CAS with stale expectation fails.
+	cfg.Step(0)
+	if p.lastOK {
+		t.Error("stale CAS should fail")
+	}
+	if cfg.Mem[0] != 9 {
+		t.Errorf("failed CAS must not write: mem = %d", cfg.Mem[0])
+	}
+}
+
+// casProbe is a minimal Program exercising OpCAS.
+type casProbe struct {
+	old, new Word
+	lastOK   bool
+}
+
+func (p *casProbe) Poised() Op { return Op{Kind: OpCAS, Obj: 0, A: p.old, B: p.new} }
+func (p *casProbe) Advance(result Word, ok bool) *Completion {
+	p.lastOK = ok
+	return nil
+}
+func (p *casProbe) AtBoundary() bool { return true }
+func (p *casProbe) Clone() Program   { c := *p; return &c }
+func (p *casProbe) Key() string      { return "probe" }
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: OpRead, Obj: 2}, "read(M2)"},
+		{Op{Kind: OpWrite, Obj: 0, A: 7}, "write(M0,7)"},
+		{Op{Kind: OpCAS, Obj: 1, A: 3, B: 4}, "cas(M1,3,4)"},
+	}
+	for _, tc := range cases {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFig4SystemConfig(t *testing.T) {
+	sys := PaperFig4(3)
+	if sys.SeqVals != 8 || sys.UsedLen != 4 || !sys.DoubleRead {
+		t.Fatalf("PaperFig4(3) = %+v", sys)
+	}
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Mem) != 4 { // X + A[0..2]
+		t.Errorf("mem size = %d, want 4", len(cfg.Mem))
+	}
+	if len(cfg.Progs) != 3 {
+		t.Errorf("progs = %d, want 3", len(cfg.Progs))
+	}
+	if _, err := (Fig4System{N: 2, SeqVals: 6, UsedLen: 0, DoubleRead: true}).NewConfig(); err == nil {
+		t.Error("want error for UsedLen 0")
+	}
+}
+
+func TestFig4WriterStepsAndBoundary(t *testing.T) {
+	cfg, err := PaperFig4(2).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cfg.Progs[0]
+	if !w.AtBoundary() {
+		t.Fatal("writer should start at a boundary")
+	}
+	if comp := cfg.Step(0); comp != nil || w.AtBoundary() {
+		t.Fatal("GetSeq scan must not complete the write")
+	}
+	comp := cfg.Step(0)
+	if comp == nil || comp.Method != MethodWeakWrite || !w.AtBoundary() {
+		t.Fatalf("X write completion = %+v", comp)
+	}
+	if cfg.Mem[0] == 0 {
+		t.Error("X still bottom after a write")
+	}
+}
+
+func TestFig4ReaderFourSteps(t *testing.T) {
+	cfg, err := PaperFig4(2).NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete one write so the first read is dirty.
+	cfg.Step(0)
+	cfg.Step(0)
+	for i := 0; i < 3; i++ {
+		if comp := cfg.Step(1); comp != nil {
+			t.Fatalf("reader completed after %d steps", i+1)
+		}
+	}
+	comp := cfg.Step(1)
+	if comp == nil || comp.Method != MethodWeakRead || !comp.Flag {
+		t.Fatalf("4th step completion = %+v, want dirty read", comp)
+	}
+	// Quiet repeat: clean.
+	for i := 0; i < 3; i++ {
+		cfg.Step(1)
+	}
+	if comp := cfg.Step(1); comp == nil || comp.Flag {
+		t.Fatalf("quiet read completion = %+v, want clean", comp)
+	}
+}
+
+func TestFig4NoDoubleReadIsThreeSteps(t *testing.T) {
+	sys := PaperFig4(2)
+	sys.DoubleRead = false
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Step(1)
+	cfg.Step(1)
+	if comp := cfg.Step(1); comp == nil || comp.Method != MethodWeakRead {
+		t.Fatalf("ablated reader should complete in 3 steps, got %+v", comp)
+	}
+}
+
+func TestFig4MachineMatchesRandomWalk(t *testing.T) {
+	// Sanity under long random schedules: flags behave like an
+	// ABA-detecting register driven sequentially whenever ops don't overlap.
+	// Here we only assert the machinery never panics and X stays in domain.
+	sys := PaperFig4(3)
+	cfg, err := sys.NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := sys.Codec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		cfg.Step(rng.Intn(3))
+		if w := cfg.Mem[0]; !codec.IsBottom(w) {
+			if _, pid, seq := codec.Decode(w); pid != 0 || seq >= sys.SeqVals {
+				t.Fatalf("X out of domain: pid=%d seq=%d", pid, seq)
+			}
+		}
+	}
+}

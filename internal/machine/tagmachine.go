@@ -1,0 +1,119 @@
+package machine
+
+import "fmt"
+
+// TagSystem builds the step machines of the bounded-tag register scheme
+// (core.BoundedTag) for the lower-bound game: one shared register (object 0)
+// holding a (value, tag) word where the tag wraps modulo tagVals.  The
+// writer writes a constant value; detection is word inequality.
+//
+// With m = 1 bounded register and n >= 2 this is exactly the kind of
+// implementation Theorem 1(a) rules out, and the model checker finds the
+// wraparound witness.
+type TagSystem struct {
+	// TagVals is the tag domain size (the scheme wraps after TagVals
+	// writes).
+	TagVals Word
+}
+
+// NewConfig returns the initial configuration for one writer (pid 0) and
+// n-1 readers.
+func (s TagSystem) NewConfig(n int) *Config {
+	c := &Config{Mem: []Word{0}, Progs: make([]Program, n)}
+	c.Progs[0] = &tagWriter{sys: s}
+	for pid := 1; pid < n; pid++ {
+		c.Progs[pid] = &tagReader{}
+	}
+	return c
+}
+
+// tagWriter repeatedly executes WeakWrite: read the tag, write tag+1.
+type tagWriter struct {
+	sys     TagSystem
+	phase   int  // 0: poised to read X; 1: poised to write X
+	latched Word // word read in phase 0
+}
+
+var _ Program = (*tagWriter)(nil)
+
+func (w *tagWriter) Poised() Op {
+	if w.phase == 0 {
+		return Op{Kind: OpRead, Obj: 0}
+	}
+	next := (w.latched + 1) % w.sys.TagVals
+	return Op{Kind: OpWrite, Obj: 0, A: next}
+}
+
+func (w *tagWriter) Advance(result Word, ok bool) *Completion {
+	if w.phase == 0 {
+		w.latched = result
+		w.phase = 1
+		return nil
+	}
+	w.phase = 0
+	return &Completion{Method: MethodWeakWrite}
+}
+
+func (w *tagWriter) AtBoundary() bool { return w.phase == 0 }
+
+func (w *tagWriter) Clone() Program { c := *w; return &c }
+
+func (w *tagWriter) Key() string { return fmt.Sprintf("tw%d.%x", w.phase, w.latched) }
+
+// tagReader repeatedly executes WeakRead: one read, flag = word changed.
+type tagReader struct {
+	last Word
+}
+
+var _ Program = (*tagReader)(nil)
+
+func (r *tagReader) Poised() Op { return Op{Kind: OpRead, Obj: 0} }
+
+func (r *tagReader) Advance(result Word, ok bool) *Completion {
+	flag := result != r.last
+	r.last = result
+	return &Completion{Method: MethodWeakRead, Flag: flag}
+}
+
+func (r *tagReader) AtBoundary() bool { return true }
+
+func (r *tagReader) Clone() Program { c := *r; return &c }
+
+func (r *tagReader) Key() string { return fmt.Sprintf("tr%x", r.last) }
+
+// UnboundedSystem builds the step machines of the unbounded-stamp register
+// (core.Unbounded): the writer's state (its stamp counter) never repeats, so
+// neither does the register word, and the model checker can find no
+// violation — the lower bound genuinely needs bounded base objects (§1).
+type UnboundedSystem struct{}
+
+// NewConfig returns the initial configuration for one writer and n-1
+// readers over one (unbounded) register.
+func (UnboundedSystem) NewConfig(n int) *Config {
+	c := &Config{Mem: []Word{0}, Progs: make([]Program, n)}
+	c.Progs[0] = &unboundedWriter{}
+	for pid := 1; pid < n; pid++ {
+		c.Progs[pid] = &tagReader{} // same single-read detection
+	}
+	return c
+}
+
+// unboundedWriter writes a fresh stamp each WeakWrite: a single step.
+type unboundedWriter struct {
+	stamp Word
+}
+
+var _ Program = (*unboundedWriter)(nil)
+
+func (w *unboundedWriter) Poised() Op { return Op{Kind: OpWrite, Obj: 0, A: w.stamp + 1} }
+
+func (w *unboundedWriter) Advance(result Word, ok bool) *Completion {
+	w.stamp++
+	return &Completion{Method: MethodWeakWrite}
+}
+
+func (w *unboundedWriter) AtBoundary() bool { return true }
+
+func (w *unboundedWriter) Clone() Program { c := *w; return &c }
+
+func (w *unboundedWriter) Key() string { return fmt.Sprintf("uw%x", w.stamp) }

@@ -1,0 +1,141 @@
+package shmem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Audited wraps a Factory and records, per object, the largest word value
+// ever stored in it.  Because all codecs in this package pack values
+// low-aligned, the bit-length of the maximum stored word is the size of the
+// domain the object actually used.
+//
+// This makes the paper's bounded/unbounded distinction measurable: the
+// unbounded-tag baselines keep growing their used domain as operations
+// accumulate, while the paper's algorithms stay inside a fixed domain
+// forever (experiment E7).
+type Audited struct {
+	inner Factory
+
+	mu   sync.Mutex
+	objs []*auditedObject
+}
+
+var _ Factory = (*Audited)(nil)
+
+// NewAudited wraps inner with domain auditing.
+func NewAudited(inner Factory) *Audited { return &Audited{inner: inner} }
+
+// ObjectReport describes the domain one audited object has used.
+type ObjectReport struct {
+	// Name is the allocation name of the object.
+	Name string
+	// MaxWord is the largest word ever stored.
+	MaxWord Word
+	// BitsUsed is the bit-length of MaxWord: the object's used domain is a
+	// subset of [0, 2^BitsUsed).
+	BitsUsed int
+}
+
+// Report returns one entry per allocated object, sorted by name.
+func (a *Audited) Report() []ObjectReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ObjectReport, 0, len(a.objs))
+	for _, o := range a.objs {
+		m := o.max.Load()
+		out = append(out, ObjectReport{Name: o.name, MaxWord: m, BitsUsed: bits.Len64(m)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MaxBitsUsed returns the largest used domain across all objects.
+func (a *Audited) MaxBitsUsed() int {
+	maxBits := 0
+	for _, r := range a.Report() {
+		if r.BitsUsed > maxBits {
+			maxBits = r.BitsUsed
+		}
+	}
+	return maxBits
+}
+
+// NewRegister allocates a domain-audited register.
+func (a *Audited) NewRegister(name string, init Word) Register {
+	o := a.track(name, init)
+	o.reg = a.inner.NewRegister(name, init)
+	return o
+}
+
+// NewCAS allocates a domain-audited writable CAS object.
+func (a *Audited) NewCAS(name string, init Word) WritableCAS {
+	o := a.track(name, init)
+	o.cas = a.inner.NewCAS(name, init)
+	return o
+}
+
+// Footprint reports the objects allocated through the wrapped factory.
+func (a *Audited) Footprint() Footprint { return a.inner.Footprint() }
+
+func (a *Audited) track(name string, init Word) *auditedObject {
+	o := &auditedObject{name: name}
+	o.max.Store(init)
+	a.mu.Lock()
+	if name == "" {
+		name = fmt.Sprintf("obj%d", len(a.objs))
+		o.name = name
+	}
+	a.objs = append(a.objs, o)
+	a.mu.Unlock()
+	return o
+}
+
+// auditedObject records the maximum word stored into the underlying object.
+type auditedObject struct {
+	name string
+	max  atomic.Uint64
+	reg  Register
+	cas  WritableCAS
+}
+
+var (
+	_ Register    = (*auditedObject)(nil)
+	_ WritableCAS = (*auditedObject)(nil)
+)
+
+func (o *auditedObject) observe(v Word) {
+	for {
+		cur := o.max.Load()
+		if v <= cur || o.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (o *auditedObject) Read(pid int) Word {
+	if o.reg != nil {
+		return o.reg.Read(pid)
+	}
+	return o.cas.Read(pid)
+}
+
+func (o *auditedObject) Write(pid int, v Word) {
+	o.observe(v)
+	if o.reg != nil {
+		o.reg.Write(pid, v)
+		return
+	}
+	o.cas.Write(pid, v)
+}
+
+func (o *auditedObject) CompareAndSwap(pid int, old, new Word) bool {
+	ok := o.cas.CompareAndSwap(pid, old, new)
+	if ok {
+		o.observe(new)
+	}
+	return ok
+}

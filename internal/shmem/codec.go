@@ -1,0 +1,238 @@
+package shmem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BitsFor returns the minimum number of bits needed to represent the values
+// 0..count-1.  BitsFor(1) is 1 (a field of width zero would be degenerate).
+func BitsFor(count int) uint {
+	if count <= 2 {
+		return 1
+	}
+	return uint(bits.Len(uint(count - 1)))
+}
+
+// TripleCodec packs the (value, pid, seq) triples stored in register X of
+// the paper's Figure 4 algorithm (and in the CAS object of the
+// announcement-based constant-time LL/SC).  A distinguished bottom word
+// (all zeros) encodes the initial (⊥,⊥,⊥) triple.
+//
+// Layout, from most to least significant:
+//
+//	[present:1][value:valueBits][pid:pidBits][seq:seqBits]
+//
+// The announcement pairs (pid, seq) stored in the array A share the low
+// pidBits+seqBits of the layout plus the present bit, so Pair(x) == Pair(y)
+// exactly when x and y carry the same (pid, seq) and the same ⊥-ness.
+type TripleCodec struct {
+	valueBits uint
+	pidBits   uint
+	seqBits   uint
+	n         int
+	seqVals   int
+}
+
+// NewTripleCodec builds a codec for n processes, valueBits-bit values, and
+// sequence numbers in {0, ..., seqVals-1}.  It returns an error if the
+// triple does not fit in a 64-bit word.
+func NewTripleCodec(n int, valueBits uint, seqVals int) (TripleCodec, error) {
+	if n < 1 {
+		return TripleCodec{}, fmt.Errorf("shmem: triple codec needs n >= 1, got %d", n)
+	}
+	if valueBits < 1 {
+		return TripleCodec{}, fmt.Errorf("shmem: triple codec needs valueBits >= 1, got %d", valueBits)
+	}
+	if seqVals < 1 {
+		return TripleCodec{}, fmt.Errorf("shmem: triple codec needs seqVals >= 1, got %d", seqVals)
+	}
+	c := TripleCodec{
+		valueBits: valueBits,
+		pidBits:   BitsFor(n),
+		seqBits:   BitsFor(seqVals),
+		n:         n,
+		seqVals:   seqVals,
+	}
+	if total := 1 + c.valueBits + c.pidBits + c.seqBits; total > 64 {
+		return TripleCodec{}, fmt.Errorf("shmem: triple (1+%d+%d+%d = %d bits) exceeds 64-bit word",
+			c.valueBits, c.pidBits, c.seqBits, total)
+	}
+	return c, nil
+}
+
+// Bits returns the width of the packed triple in bits, the paper's
+// "b + 2 log n + O(1)" register size.
+func (c TripleCodec) Bits() int { return int(1 + c.valueBits + c.pidBits + c.seqBits) }
+
+// SeqVals returns the size of the sequence-number domain.
+func (c TripleCodec) SeqVals() int { return c.seqVals }
+
+// ValueBits returns the width of the value field.
+func (c TripleCodec) ValueBits() uint { return c.valueBits }
+
+// MaxValue returns the largest encodable value.
+func (c TripleCodec) MaxValue() Word { return (Word(1) << c.valueBits) - 1 }
+
+func (c TripleCodec) presentBit() Word { return Word(1) << (c.valueBits + c.pidBits + c.seqBits) }
+
+// Encode packs (v, pid, seq).  It panics if any field is out of range;
+// callers are responsible for staying inside the bounded domains they
+// declared, exactly as the paper's algorithms are.
+func (c TripleCodec) Encode(v Word, pid, seq int) Word {
+	if v > c.MaxValue() {
+		panic(fmt.Sprintf("shmem: value %d exceeds %d-bit domain", v, c.valueBits))
+	}
+	if pid < 0 || pid >= c.n {
+		panic(fmt.Sprintf("shmem: pid %d out of range [0,%d)", pid, c.n))
+	}
+	if seq < 0 || seq >= c.seqVals {
+		panic(fmt.Sprintf("shmem: seq %d out of range [0,%d)", seq, c.seqVals))
+	}
+	return c.presentBit() |
+		v<<(c.pidBits+c.seqBits) |
+		Word(pid)<<c.seqBits |
+		Word(seq)
+}
+
+// Bottom returns the word encoding (⊥,⊥,⊥).
+func (c TripleCodec) Bottom() Word { return 0 }
+
+// IsBottom reports whether w encodes (⊥,⊥,⊥).
+func (c TripleCodec) IsBottom(w Word) bool { return w&c.presentBit() == 0 }
+
+// Decode unpacks a non-bottom triple.
+func (c TripleCodec) Decode(w Word) (v Word, pid, seq int) {
+	v = (w >> (c.pidBits + c.seqBits)) & c.MaxValue()
+	pid = int((w >> c.seqBits) & ((1 << c.pidBits) - 1))
+	seq = int(w & ((1 << c.seqBits) - 1))
+	return v, pid, seq
+}
+
+// Value returns the value field of a non-bottom triple.
+func (c TripleCodec) Value(w Word) Word {
+	return (w >> (c.pidBits + c.seqBits)) & c.MaxValue()
+}
+
+// Pair projects a triple word onto its (present, pid, seq) announcement
+// pair, dropping the value field.  Pair(Bottom()) == Bottom().
+func (c TripleCodec) Pair(w Word) Word {
+	low := w & ((Word(1) << (c.pidBits + c.seqBits)) - 1)
+	return (w & c.presentBit()) | low
+}
+
+// EncodePair packs an announcement pair (pid, seq) directly.
+func (c TripleCodec) EncodePair(pid, seq int) Word {
+	return c.Pair(c.Encode(0, pid, seq))
+}
+
+// DecodePair unpacks a non-bottom announcement pair.
+func (c TripleCodec) DecodePair(w Word) (pid, seq int) {
+	pid = int((w >> c.seqBits) & ((1 << c.pidBits) - 1))
+	seq = int(w & ((1 << c.seqBits) - 1))
+	return pid, seq
+}
+
+// PairBits returns the width of a packed announcement pair in bits.
+func (c TripleCodec) PairBits() int { return int(1 + c.pidBits + c.seqBits) }
+
+// MaskCodec packs the (value, bitmask) pairs stored in the CAS object X of
+// the paper's Figure 3 algorithm: an n-bit string with one bit per process,
+// and the object's value above it.
+//
+// Layout: [value:valueBits][mask:n].
+type MaskCodec struct {
+	n         int
+	valueBits uint
+}
+
+// NewMaskCodec builds a codec for n processes and valueBits-bit values.
+// It returns an error if value + mask exceed a 64-bit word.
+func NewMaskCodec(n int, valueBits uint) (MaskCodec, error) {
+	if n < 1 {
+		return MaskCodec{}, fmt.Errorf("shmem: mask codec needs n >= 1, got %d", n)
+	}
+	if valueBits < 1 {
+		return MaskCodec{}, fmt.Errorf("shmem: mask codec needs valueBits >= 1, got %d", valueBits)
+	}
+	if uint(n)+valueBits > 64 {
+		return MaskCodec{}, fmt.Errorf("shmem: mask pair (%d+%d bits) exceeds 64-bit word", valueBits, n)
+	}
+	return MaskCodec{n: n, valueBits: valueBits}, nil
+}
+
+// Bits returns the width of the packed pair in bits.
+func (c MaskCodec) Bits() int { return int(c.valueBits) + c.n }
+
+// MaxValue returns the largest encodable value.
+func (c MaskCodec) MaxValue() Word { return (Word(1) << c.valueBits) - 1 }
+
+// Encode packs (v, mask).  It panics if v exceeds the value domain.
+func (c MaskCodec) Encode(v, mask Word) Word {
+	if v > c.MaxValue() {
+		panic(fmt.Sprintf("shmem: value %d exceeds %d-bit domain", v, c.valueBits))
+	}
+	return v<<uint(c.n) | (mask & c.AllSet())
+}
+
+// Value returns the value field.
+func (c MaskCodec) Value(w Word) Word { return w >> uint(c.n) }
+
+// Mask returns the n-bit process mask.
+func (c MaskCodec) Mask(w Word) Word { return w & c.AllSet() }
+
+// AllSet returns the mask with every process bit set, the paper's 2^n - 1.
+func (c MaskCodec) AllSet() Word { return (Word(1) << uint(c.n)) - 1 }
+
+// Bit reports whether process pid's bit is set in w.
+func (c MaskCodec) Bit(w Word, pid int) bool { return w>>uint(pid)&1 == 1 }
+
+// ClearBit returns w with process pid's bit cleared (the paper's a - 2^p).
+func (c MaskCodec) ClearBit(w Word, pid int) Word { return w &^ (Word(1) << uint(pid)) }
+
+// TagCodec packs the (value, tag) pairs used by the tag-based baselines:
+// the flawed bounded-tag register (tag wraps around) and the unbounded-tag
+// register and LL/SC (tag modeled by a wide field).
+//
+// Layout: [value:valueBits][tag:tagBits].
+type TagCodec struct {
+	valueBits uint
+	tagBits   uint
+}
+
+// NewTagCodec builds a codec with the given field widths.  It returns an
+// error if the pair does not fit in a 64-bit word.
+func NewTagCodec(valueBits, tagBits uint) (TagCodec, error) {
+	if valueBits < 1 || tagBits < 1 {
+		return TagCodec{}, fmt.Errorf("shmem: tag codec needs positive widths, got value=%d tag=%d", valueBits, tagBits)
+	}
+	if valueBits+tagBits > 64 {
+		return TagCodec{}, fmt.Errorf("shmem: tag pair (%d+%d bits) exceeds 64-bit word", valueBits, tagBits)
+	}
+	return TagCodec{valueBits: valueBits, tagBits: tagBits}, nil
+}
+
+// Bits returns the width of the packed pair in bits.
+func (c TagCodec) Bits() int { return int(c.valueBits + c.tagBits) }
+
+// MaxValue returns the largest encodable value.
+func (c TagCodec) MaxValue() Word { return (Word(1) << c.valueBits) - 1 }
+
+// TagVals returns the size of the tag domain, 2^tagBits.
+func (c TagCodec) TagVals() Word { return Word(1) << c.tagBits }
+
+// Encode packs (v, tag).  The tag is reduced modulo the tag domain (that is
+// precisely the wraparound the bounded-tag baseline suffers from); the value
+// must fit, or Encode panics.
+func (c TagCodec) Encode(v, tag Word) Word {
+	if v > c.MaxValue() {
+		panic(fmt.Sprintf("shmem: value %d exceeds %d-bit domain", v, c.valueBits))
+	}
+	return v<<c.tagBits | (tag & (c.TagVals() - 1))
+}
+
+// Value returns the value field.
+func (c TagCodec) Value(w Word) Word { return w >> c.tagBits }
+
+// Tag returns the tag field.
+func (c TagCodec) Tag(w Word) Word { return w & (c.TagVals() - 1) }

@@ -1,0 +1,286 @@
+package shmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		count int
+		want  uint
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, tc := range cases {
+		if got := BitsFor(tc.count); got != tc.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", tc.count, got, tc.want)
+		}
+	}
+}
+
+func TestTripleCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		n         int
+		valueBits uint
+		seqVals   int
+	}{
+		{1, 1, 4},
+		{2, 1, 6},
+		{3, 8, 8},
+		{16, 16, 34},
+		{1024, 32, 2050},
+	}
+	for _, tc := range cases {
+		c, err := NewTripleCodec(tc.n, tc.valueBits, tc.seqVals)
+		if err != nil {
+			t.Fatalf("NewTripleCodec(%d,%d,%d): %v", tc.n, tc.valueBits, tc.seqVals, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			v := Word(rand.Int63()) & c.MaxValue()
+			pid := rand.Intn(tc.n)
+			seq := rand.Intn(tc.seqVals)
+			w := c.Encode(v, pid, seq)
+			if c.IsBottom(w) {
+				t.Fatalf("Encode(%d,%d,%d) looks like bottom", v, pid, seq)
+			}
+			gv, gp, gs := c.Decode(w)
+			if gv != v || gp != pid || gs != seq {
+				t.Fatalf("Decode(Encode(%d,%d,%d)) = (%d,%d,%d)", v, pid, seq, gv, gp, gs)
+			}
+			if got := c.Value(w); got != v {
+				t.Fatalf("Value = %d, want %d", got, v)
+			}
+		}
+	}
+}
+
+func TestTripleCodecBottom(t *testing.T) {
+	c, err := NewTripleCodec(4, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsBottom(c.Bottom()) {
+		t.Error("Bottom() not IsBottom")
+	}
+	if c.Pair(c.Bottom()) != c.Bottom() {
+		t.Error("Pair(Bottom()) != Bottom()")
+	}
+	// No encoded triple may collide with bottom, even (0, 0, 0).
+	if c.IsBottom(c.Encode(0, 0, 0)) {
+		t.Error("Encode(0,0,0) collides with bottom")
+	}
+}
+
+func TestTripleCodecPairProjection(t *testing.T) {
+	c, err := NewTripleCodec(8, 16, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair must ignore the value and preserve (pid, seq).
+	f := func(v1, v2 uint16, pidRaw, seqRaw uint8) bool {
+		pid := int(pidRaw) % 8
+		seq := int(seqRaw) % 18
+		w1 := c.Encode(Word(v1), pid, seq)
+		w2 := c.Encode(Word(v2), pid, seq)
+		if c.Pair(w1) != c.Pair(w2) {
+			return false
+		}
+		if c.Pair(w1) != c.EncodePair(pid, seq) {
+			return false
+		}
+		gp, gs := c.DecodePair(c.Pair(w1))
+		return gp == pid && gs == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Distinct (pid, seq) pairs must have distinct projections.
+	seen := make(map[Word]struct{})
+	for pid := 0; pid < 8; pid++ {
+		for seq := 0; seq < 18; seq++ {
+			p := c.EncodePair(pid, seq)
+			if _, dup := seen[p]; dup {
+				t.Fatalf("pair collision at (%d,%d)", pid, seq)
+			}
+			seen[p] = struct{}{}
+		}
+	}
+}
+
+func TestTripleCodecErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		valueBits uint
+		seqVals   int
+	}{
+		{"zero procs", 0, 1, 4},
+		{"zero value bits", 2, 0, 4},
+		{"zero seq vals", 2, 1, 0},
+		{"overflow", 1 << 30, 60, 1 << 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewTripleCodec(tc.n, tc.valueBits, tc.seqVals); err == nil {
+				t.Errorf("NewTripleCodec(%d,%d,%d): want error", tc.n, tc.valueBits, tc.seqVals)
+			}
+		})
+	}
+}
+
+func TestTripleCodecEncodePanics(t *testing.T) {
+	c, err := NewTripleCodec(2, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"value too big", func() { c.Encode(2, 0, 0) }},
+		{"pid negative", func() { c.Encode(0, -1, 0) }},
+		{"pid too big", func() { c.Encode(0, 2, 0) }},
+		{"seq too big", func() { c.Encode(0, 0, 6) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestTripleCodecBitsBound(t *testing.T) {
+	// Theorem 3 promises registers of b + 2*log n + O(1) bits.  Verify the
+	// codec stays within b + 2*ceil(log2 n) + 4.
+	for _, n := range []int{2, 3, 7, 16, 100, 1024} {
+		for _, b := range []uint{1, 8, 16} {
+			c, err := NewTripleCodec(n, b, 2*n+2)
+			if err != nil {
+				t.Fatalf("n=%d b=%d: %v", n, b, err)
+			}
+			logn := int(BitsFor(n))
+			if c.Bits() > int(b)+2*logn+4 {
+				t.Errorf("n=%d b=%d: %d bits > b+2logn+4 = %d", n, b, c.Bits(), int(b)+2*logn+4)
+			}
+		}
+	}
+}
+
+func TestMaskCodec(t *testing.T) {
+	c, err := NewMaskCodec(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bits() != 24 {
+		t.Errorf("Bits = %d, want 24", c.Bits())
+	}
+	if c.AllSet() != 0xff {
+		t.Errorf("AllSet = %#x, want 0xff", c.AllSet())
+	}
+	f := func(v uint16, mask uint8) bool {
+		w := c.Encode(Word(v), Word(mask))
+		if c.Value(w) != Word(v) || c.Mask(w) != Word(mask) {
+			return false
+		}
+		for pid := 0; pid < 8; pid++ {
+			if c.Bit(w, pid) != (mask>>uint(pid)&1 == 1) {
+				return false
+			}
+			cleared := c.ClearBit(w, pid)
+			if c.Bit(cleared, pid) {
+				return false
+			}
+			if c.Value(cleared) != Word(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskCodecClearBitMatchesPaperArithmetic(t *testing.T) {
+	// The paper writes the bit reset as a' - 2^p; verify ClearBit agrees
+	// whenever the bit is set.
+	c, err := NewMaskCodec(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := Word(0); mask < 1024; mask++ {
+		for pid := 0; pid < 10; pid++ {
+			w := c.Encode(3, mask)
+			if c.Bit(w, pid) {
+				if got, want := c.ClearBit(w, pid), w-(Word(1)<<uint(pid)); got != want {
+					t.Fatalf("mask=%#x pid=%d: ClearBit=%#x, want %#x", mask, pid, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskCodecErrors(t *testing.T) {
+	if _, err := NewMaskCodec(0, 8); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewMaskCodec(60, 8); err == nil {
+		t.Error("want error for 68-bit pair")
+	}
+	if _, err := NewMaskCodec(8, 0); err == nil {
+		t.Error("want error for 0 value bits")
+	}
+}
+
+func TestTagCodec(t *testing.T) {
+	c, err := NewTagCodec(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TagVals() != 256 {
+		t.Errorf("TagVals = %d, want 256", c.TagVals())
+	}
+	f := func(v uint16, tag uint32) bool {
+		w := c.Encode(Word(v), Word(tag))
+		return c.Value(w) == Word(v) && c.Tag(w) == Word(tag)%256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagCodecWraparound(t *testing.T) {
+	// The defining flaw of bounded tags: tag and tag + 2^k encode
+	// identically.  This is the ABA the paper's lower bound says cannot be
+	// avoided in bounded space without more objects.
+	c, err := NewTagCodec(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Encode(5, 2) != c.Encode(5, 2+8) {
+		t.Error("tag wraparound should alias")
+	}
+	if c.Encode(5, 2) == c.Encode(5, 3) {
+		t.Error("distinct in-domain tags must not alias")
+	}
+}
+
+func TestTagCodecErrors(t *testing.T) {
+	if _, err := NewTagCodec(0, 8); err == nil {
+		t.Error("want error for 0 value bits")
+	}
+	if _, err := NewTagCodec(8, 0); err == nil {
+		t.Error("want error for 0 tag bits")
+	}
+	if _, err := NewTagCodec(40, 40); err == nil {
+		t.Error("want error for 80-bit pair")
+	}
+}

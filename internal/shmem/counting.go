@@ -1,0 +1,104 @@
+package shmem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counting wraps a Factory so that every shared-memory step (Read, Write, or
+// CompareAndSwap on any object it allocated) is counted per process.  This
+// is the paper's step-complexity measure: the number of shared-memory steps
+// a process takes during a method call.
+//
+// Counters are atomic, so counting is accurate even on the native substrate
+// where processes are real goroutines.  A handle measuring its own method's
+// step complexity reads Steps(pid) before and after the call; since a
+// process is a single goroutine, the difference is exact.
+type Counting struct {
+	inner Factory
+	steps []atomic.Int64
+	mu    sync.Mutex
+}
+
+var _ Factory = (*Counting)(nil)
+
+// NewCounting wraps inner with per-process step counters for processes
+// 0..n-1.
+func NewCounting(inner Factory, n int) *Counting {
+	return &Counting{inner: inner, steps: make([]atomic.Int64, n)}
+}
+
+// Steps returns the number of shared-memory steps process pid has taken on
+// objects allocated through this factory.
+func (c *Counting) Steps(pid int) int64 { return c.steps[pid].Load() }
+
+// TotalSteps returns the number of shared-memory steps taken by all
+// processes.
+func (c *Counting) TotalSteps() int64 {
+	var t int64
+	for i := range c.steps {
+		t += c.steps[i].Load()
+	}
+	return t
+}
+
+// Reset zeroes all step counters.
+func (c *Counting) Reset() {
+	for i := range c.steps {
+		c.steps[i].Store(0)
+	}
+}
+
+// NewRegister allocates a step-counted register.
+func (c *Counting) NewRegister(name string, init Word) Register {
+	return &countedObject{obj: nil, reg: c.inner.NewRegister(name, init), c: c}
+}
+
+// NewCAS allocates a step-counted writable CAS object.
+func (c *Counting) NewCAS(name string, init Word) WritableCAS {
+	return &countedObject{obj: c.inner.NewCAS(name, init), c: c}
+}
+
+// Footprint reports the objects allocated through the wrapped factory.
+func (c *Counting) Footprint() Footprint { return c.inner.Footprint() }
+
+// countedObject wraps either a register (reg) or a writable CAS (obj) and
+// bumps the per-process step counter on every operation.
+type countedObject struct {
+	obj WritableCAS // non-nil for CAS objects
+	reg Register    // non-nil for registers
+	c   *Counting
+}
+
+var (
+	_ Register    = (*countedObject)(nil)
+	_ WritableCAS = (*countedObject)(nil)
+)
+
+func (o *countedObject) count(pid int) {
+	if pid >= 0 && pid < len(o.c.steps) {
+		o.c.steps[pid].Add(1)
+	}
+}
+
+func (o *countedObject) Read(pid int) Word {
+	o.count(pid)
+	if o.reg != nil {
+		return o.reg.Read(pid)
+	}
+	return o.obj.Read(pid)
+}
+
+func (o *countedObject) Write(pid int, v Word) {
+	o.count(pid)
+	if o.reg != nil {
+		o.reg.Write(pid, v)
+		return
+	}
+	o.obj.Write(pid, v)
+}
+
+func (o *countedObject) CompareAndSwap(pid int, old, new Word) bool {
+	o.count(pid)
+	return o.obj.CompareAndSwap(pid, old, new)
+}

@@ -1,0 +1,86 @@
+// Package shmem provides the bounded shared-memory base objects that every
+// algorithm in this repository is written against.
+//
+// The paper's model is a system of n asynchronous processes communicating
+// through atomic base objects: read/write registers, CAS objects, and
+// writable CAS objects.  Base objects are *bounded*: they hold values from a
+// finite domain.  This package defines those base objects as small
+// interfaces, plus:
+//
+//   - a native implementation backed by sync/atomic 64-bit words (every base
+//     object is one machine word, so boundedness is physical);
+//   - instrumentation wrappers that count shared-memory steps per process
+//     (the paper's step-complexity measure) and audit the value domain each
+//     object actually uses (to exhibit the bounded/unbounded separation);
+//   - bit-packing codecs for the compound values the paper's algorithms
+//     store in a single word: (value, pid, seq) triples, (pid, seq)
+//     announcement pairs, (value, n-bit mask) pairs, and (value, tag) pairs.
+//
+// Every operation takes the calling process's ID.  The native objects ignore
+// it, but the instrumented wrappers and the deterministic simulator
+// (package internal/sim) use it for per-process accounting and scheduling.
+package shmem
+
+import "fmt"
+
+// Word is the contents of a base object.  All base objects in this
+// repository hold a single 64-bit word; compound values are bit-packed with
+// the codecs in this package.
+type Word = uint64
+
+// Register is an atomic read/write register base object.
+type Register interface {
+	// Read returns the current value.  pid identifies the calling process.
+	Read(pid int) Word
+	// Write unconditionally replaces the value.
+	Write(pid int, v Word)
+}
+
+// CAS is an atomic compare-and-swap base object.  It supports Read and
+// CompareAndSwap, the two operations of the paper's CAS objects.
+type CAS interface {
+	// Read returns the current value.
+	Read(pid int) Word
+	// CompareAndSwap replaces the value with new if it currently equals old,
+	// and reports whether it did.
+	CompareAndSwap(pid int, old, new Word) bool
+}
+
+// WritableCAS is a CAS object that additionally supports an unconditional
+// Write, i.e. the paper's "writable CAS" (the canonical conditional
+// read-modify-write primitive of Theorem 1(c)).
+type WritableCAS interface {
+	CAS
+	Write(pid int, v Word)
+}
+
+// Footprint records how many base objects of each kind an implementation
+// allocated.  The paper's space complexity m is Objects().
+type Footprint struct {
+	// Registers is the number of read/write register base objects.
+	Registers int
+	// CASObjects is the number of CAS base objects.
+	CASObjects int
+}
+
+// Objects returns the total number of base objects, the paper's space
+// measure m.
+func (f Footprint) Objects() int { return f.Registers + f.CASObjects }
+
+// String renders the footprint as "m=K (R registers + C CAS)".
+func (f Footprint) String() string {
+	return fmt.Sprintf("m=%d (%d registers + %d CAS)", f.Objects(), f.Registers, f.CASObjects)
+}
+
+// Factory allocates base objects.  Algorithms receive a Factory so the same
+// algorithm code runs on the native substrate, on the instrumented
+// substrates, and under the deterministic simulator.
+type Factory interface {
+	// NewRegister allocates a register base object initialized to init.
+	// The name is used by auditing and debugging output.
+	NewRegister(name string, init Word) Register
+	// NewCAS allocates a (writable) CAS base object initialized to init.
+	NewCAS(name string, init Word) WritableCAS
+	// Footprint reports the objects allocated through this factory so far.
+	Footprint() Footprint
+}

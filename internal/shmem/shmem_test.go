@@ -1,0 +1,215 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNativeRegister(t *testing.T) {
+	f := NewNativeFactory()
+	r := f.NewRegister("r", 7)
+	if got := r.Read(0); got != 7 {
+		t.Errorf("initial Read = %d, want 7", got)
+	}
+	r.Write(1, 42)
+	if got := r.Read(2); got != 42 {
+		t.Errorf("Read after Write = %d, want 42", got)
+	}
+}
+
+func TestNativeCAS(t *testing.T) {
+	f := NewNativeFactory()
+	c := f.NewCAS("c", 1)
+	if !c.CompareAndSwap(0, 1, 2) {
+		t.Fatal("CAS(1,2) on value 1 should succeed")
+	}
+	if c.CompareAndSwap(0, 1, 3) {
+		t.Fatal("CAS(1,3) on value 2 should fail")
+	}
+	if got := c.Read(0); got != 2 {
+		t.Errorf("Read = %d, want 2", got)
+	}
+	c.Write(0, 9)
+	if got := c.Read(0); got != 9 {
+		t.Errorf("Read after Write = %d, want 9", got)
+	}
+}
+
+func TestNativeFactoryFootprint(t *testing.T) {
+	f := NewNativeFactory()
+	for i := 0; i < 5; i++ {
+		f.NewRegister("r", 0)
+	}
+	for i := 0; i < 3; i++ {
+		f.NewCAS("c", 0)
+	}
+	fp := f.Footprint()
+	if fp.Registers != 5 || fp.CASObjects != 3 || fp.Objects() != 8 {
+		t.Errorf("footprint = %+v, want 5 registers + 3 CAS", fp)
+	}
+	if fp.String() != "m=8 (5 registers + 3 CAS)" {
+		t.Errorf("String() = %q", fp.String())
+	}
+}
+
+func TestNativeCASAtomicity(t *testing.T) {
+	// Concurrent increments through CAS must not lose updates.
+	f := NewNativeFactory()
+	c := f.NewCAS("ctr", 0)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					old := c.Read(pid)
+					if c.CompareAndSwap(pid, old, old+1) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Read(0); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCountingSteps(t *testing.T) {
+	cf := NewCounting(NewNativeFactory(), 4)
+	r := cf.NewRegister("r", 0)
+	c := cf.NewCAS("c", 0)
+
+	r.Read(0)
+	r.Write(0, 1)
+	c.Read(1)
+	c.CompareAndSwap(1, 0, 5)
+	c.Write(2, 7)
+
+	if got := cf.Steps(0); got != 2 {
+		t.Errorf("Steps(0) = %d, want 2", got)
+	}
+	if got := cf.Steps(1); got != 2 {
+		t.Errorf("Steps(1) = %d, want 2", got)
+	}
+	if got := cf.Steps(2); got != 1 {
+		t.Errorf("Steps(2) = %d, want 1", got)
+	}
+	if got := cf.Steps(3); got != 0 {
+		t.Errorf("Steps(3) = %d, want 0", got)
+	}
+	if got := cf.TotalSteps(); got != 5 {
+		t.Errorf("TotalSteps = %d, want 5", got)
+	}
+	cf.Reset()
+	if got := cf.TotalSteps(); got != 0 {
+		t.Errorf("TotalSteps after Reset = %d, want 0", got)
+	}
+}
+
+func TestCountingIgnoresOutOfRangePid(t *testing.T) {
+	cf := NewCounting(NewNativeFactory(), 2)
+	r := cf.NewRegister("r", 0)
+	r.Read(-1) // e.g. instrumentation probes; must not panic
+	r.Read(99)
+	if got := cf.TotalSteps(); got != 0 {
+		t.Errorf("TotalSteps = %d, want 0", got)
+	}
+}
+
+func TestCountingSemanticsPreserved(t *testing.T) {
+	cf := NewCounting(NewNativeFactory(), 2)
+	c := cf.NewCAS("c", 3)
+	if !c.CompareAndSwap(0, 3, 4) {
+		t.Error("CAS should succeed")
+	}
+	if c.CompareAndSwap(0, 3, 5) {
+		t.Error("CAS should fail")
+	}
+	if got := c.Read(1); got != 4 {
+		t.Errorf("Read = %d, want 4", got)
+	}
+	r := cf.NewRegister("r", 0)
+	r.Write(0, 11)
+	if got := r.Read(1); got != 11 {
+		t.Errorf("register Read = %d, want 11", got)
+	}
+}
+
+func TestAuditedTracksDomain(t *testing.T) {
+	a := NewAudited(NewNativeFactory())
+	r := a.NewRegister("X", 0)
+	c := a.NewCAS("Y", 0)
+
+	r.Write(0, 0b1011)            // 4 bits
+	c.CompareAndSwap(0, 0, 255)   // 8 bits, succeeds
+	c.CompareAndSwap(0, 0, 1<<40) // fails: must not count
+
+	reports := a.Report()
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	byName := map[string]ObjectReport{}
+	for _, rep := range reports {
+		byName[rep.Name] = rep
+	}
+	if got := byName["X"].BitsUsed; got != 4 {
+		t.Errorf("X bits = %d, want 4", got)
+	}
+	if got := byName["Y"].BitsUsed; got != 8 {
+		t.Errorf("Y bits = %d, want 8", got)
+	}
+	if got := a.MaxBitsUsed(); got != 8 {
+		t.Errorf("MaxBitsUsed = %d, want 8", got)
+	}
+}
+
+func TestAuditedSemanticsPreserved(t *testing.T) {
+	a := NewAudited(NewNativeFactory())
+	c := a.NewCAS("c", 1)
+	if !c.CompareAndSwap(0, 1, 2) || c.CompareAndSwap(0, 1, 3) {
+		t.Error("CAS semantics changed by auditing")
+	}
+	c.Write(0, 6)
+	if got := c.Read(0); got != 6 {
+		t.Errorf("Read = %d, want 6", got)
+	}
+	r := a.NewRegister("r", 5)
+	if got := r.Read(0); got != 5 {
+		t.Errorf("register initial Read = %d, want 5", got)
+	}
+}
+
+func TestAuditedAnonymousNames(t *testing.T) {
+	a := NewAudited(NewNativeFactory())
+	a.NewRegister("", 0)
+	a.NewRegister("", 0)
+	reports := a.Report()
+	if len(reports) != 2 || reports[0].Name == reports[1].Name {
+		t.Errorf("anonymous objects must get distinct names: %+v", reports)
+	}
+}
+
+func TestStackedWrappers(t *testing.T) {
+	// Counting over Audited over Native: all layers must compose.
+	a := NewAudited(NewNativeFactory())
+	cf := NewCounting(a, 2)
+	r := cf.NewRegister("X", 0)
+	r.Write(0, 1000)
+	if got := r.Read(1); got != 1000 {
+		t.Errorf("Read = %d, want 1000", got)
+	}
+	if got := cf.TotalSteps(); got != 2 {
+		t.Errorf("TotalSteps = %d, want 2", got)
+	}
+	if got := a.MaxBitsUsed(); got != 10 {
+		t.Errorf("MaxBitsUsed = %d, want 10", got)
+	}
+	if got := cf.Footprint().Objects(); got != 1 {
+		t.Errorf("footprint objects = %d, want 1", got)
+	}
+}

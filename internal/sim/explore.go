@@ -1,0 +1,89 @@
+package sim
+
+import "fmt"
+
+// ExploreLimits bounds an exhaustive schedule enumeration.
+type ExploreLimits struct {
+	// MaxSteps bounds the length of a single execution; exceeding it is an
+	// error (an unexplored suffix would make the enumeration silently
+	// incomplete).
+	MaxSteps int
+	// MaxExecutions, if positive, bounds the number of complete executions;
+	// exceeding it is an error rather than a silent truncation.
+	MaxExecutions int
+}
+
+// Explore enumerates every schedule of the system produced by build and
+// calls visit on each completed execution (all programs finished) with the
+// schedule that produced it.  The runner passed to visit is closed by
+// Explore afterwards.
+//
+// The walk is replay-based stateless search: simulator determinism
+// guarantees that re-running a schedule prefix reproduces the same
+// configuration, so each leaf of the schedule tree costs one fresh runner
+// plus one replay.  It returns the number of complete executions visited.
+func Explore(build func() (*Runner, error), limits ExploreLimits, visit func(r *Runner, schedule []int) error) (int, error) {
+	type level struct {
+		choice int // index into the poised set at this depth
+		width  int // size of the poised set at this depth
+	}
+	var path []level
+	visited := 0
+	schedule := make([]int, 0, limits.MaxSteps)
+
+	for {
+		r, err := build()
+		if err != nil {
+			return visited, err
+		}
+		schedule = schedule[:0]
+		depth := 0
+		for {
+			poised := r.Poised()
+			if len(poised) == 0 {
+				break
+			}
+			if depth >= limits.MaxSteps {
+				r.Close()
+				return visited, fmt.Errorf("sim: explore exceeded %d steps with processes still running", limits.MaxSteps)
+			}
+			if depth == len(path) {
+				path = append(path, level{choice: 0, width: len(poised)})
+			}
+			lv := &path[depth]
+			lv.width = len(poised)
+			pid := poised[lv.choice]
+			if err := r.Step(pid); err != nil {
+				r.Close()
+				return visited, fmt.Errorf("sim: explore step: %w", err)
+			}
+			schedule = append(schedule, pid)
+			depth++
+		}
+		visited++
+		if limits.MaxExecutions > 0 && visited > limits.MaxExecutions {
+			r.Close()
+			return visited, fmt.Errorf("sim: explore exceeded %d executions", limits.MaxExecutions)
+		}
+		if visit != nil {
+			if err := visit(r, schedule); err != nil {
+				r.Close()
+				return visited, err
+			}
+		}
+		r.Close()
+
+		// Backtrack to the deepest level with an unexplored sibling.
+		for len(path) > 0 {
+			last := &path[len(path)-1]
+			if last.choice+1 < last.width {
+				last.choice++
+				break
+			}
+			path = path[:len(path)-1]
+		}
+		if len(path) == 0 {
+			return visited, nil
+		}
+	}
+}

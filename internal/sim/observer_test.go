@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+func TestObserverBypassesGate(t *testing.T) {
+	r := NewRunner(1)
+	reg := r.Factory().NewRegister("x", 5)
+	cas := r.Factory().NewCAS("y", 1)
+	if err := r.SetProgram(0, func(p *Proc) {
+		reg.Read(p.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Observer accesses take no scheduled steps and work while the program
+	// is paused at its gate.
+	if got := reg.Read(Observer); got != 5 {
+		t.Errorf("observer read = %d, want 5", got)
+	}
+	reg.Write(Observer, 9)
+	if got := reg.Read(Observer); got != 9 {
+		t.Errorf("observer read after write = %d, want 9", got)
+	}
+	if !cas.CompareAndSwap(Observer, 1, 2) {
+		t.Error("observer CAS failed")
+	}
+	if r.Steps() != 0 {
+		t.Errorf("observer accesses counted as %d steps", r.Steps())
+	}
+	// The program still takes its own gated step afterwards and sees the
+	// observer's write.
+	if err := r.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 1 {
+		t.Errorf("steps = %d, want 1", r.Steps())
+	}
+}
+
+func TestRoundRobinWraps(t *testing.T) {
+	s := &RoundRobin{}
+	poised := []int{1, 3, 5}
+	got := []int{
+		s.Next(poised, 0), s.Next(poised, 1), s.Next(poised, 2),
+		s.Next(poised, 3), // wraps back to 1
+	}
+	want := []int{1, 3, 5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScriptStopsOnUnpoisedPid(t *testing.T) {
+	s := NewScript([]int{2})
+	if got := s.Next([]int{0, 1}, 0); got != -1 {
+		t.Errorf("Next = %d, want -1 for unpoised scripted pid", got)
+	}
+}
+
+func TestStrategyFunc(t *testing.T) {
+	calls := 0
+	s := StrategyFunc(func(poised []int, step int) int {
+		calls++
+		return poised[len(poised)-1]
+	})
+	if got := s.Next([]int{0, 7}, 0); got != 7 || calls != 1 {
+		t.Errorf("Next = %d calls = %d", got, calls)
+	}
+}

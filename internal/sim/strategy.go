@@ -1,0 +1,78 @@
+package sim
+
+import "math/rand"
+
+// Strategy chooses which poised process takes the next shared-memory step.
+// Next receives the poised pids (sorted ascending) and the number of steps
+// granted so far; it returns the chosen pid, or a negative value to stop.
+type Strategy interface {
+	Next(poised []int, step int) int
+}
+
+// StrategyFunc adapts a function to the Strategy interface.
+type StrategyFunc func(poised []int, step int) int
+
+// Next calls f.
+func (f StrategyFunc) Next(poised []int, step int) int { return f(poised, step) }
+
+// RoundRobin cycles through the poised processes.
+type RoundRobin struct {
+	next int
+}
+
+// Next picks the smallest poised pid strictly greater than the previous
+// choice, wrapping around.
+func (s *RoundRobin) Next(poised []int, step int) int {
+	for _, pid := range poised {
+		if pid >= s.next {
+			s.next = pid + 1
+			return pid
+		}
+	}
+	s.next = poised[0] + 1
+	return poised[0]
+}
+
+// Random picks uniformly among poised processes with a seeded generator, so
+// runs are reproducible.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random strategy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next picks a uniformly random poised pid.
+func (s *Random) Next(poised []int, step int) int {
+	return poised[s.rng.Intn(len(poised))]
+}
+
+// Script replays a fixed schedule; it stops when the script is exhausted or
+// the scripted pid is not poised.
+type Script struct {
+	pids []int
+	pos  int
+}
+
+// NewScript returns a strategy that replays pids in order.
+func NewScript(pids []int) *Script { return &Script{pids: pids} }
+
+// Next returns the next scripted pid if it is poised, and -1 otherwise.
+func (s *Script) Next(poised []int, step int) int {
+	if s.pos >= len(s.pids) {
+		return -1
+	}
+	pid := s.pids[s.pos]
+	s.pos++
+	for _, q := range poised {
+		if q == pid {
+			return pid
+		}
+	}
+	return -1
+}
+
+// Remaining returns how many scripted steps were not consumed.
+func (s *Script) Remaining() int { return len(s.pids) - s.pos }

@@ -1,0 +1,122 @@
+package verify
+
+import (
+	"testing"
+)
+
+// Heavy randomized campaigns for the bounded LL/SC constructions, aimed at
+// their specific hazards:
+//
+//   - ConstantTime's announcement race: a reader's link triple can be
+//     retired and re-installed between its first read and its announcement;
+//     correctness rests on the GetSeq recycling discipline (reservation +
+//     usedQ + announce scans).  Long same-value workloads drive the tiny
+//     sequence domain (2n+2 = 6 values at n=2) through many full cycles
+//     while ABA-shaped SC patterns hammer the link.
+//   - Figure 3's bit counting (Claim 6): interleaved LLs clearing bits and
+//     SCs setting all of them.
+//
+// Every execution is checked for linearizability, so any schedule that
+// slips a stale SC through fails the test with a replayable seed.
+
+func TestCampaignConstantTimeSameValueCycles(t *testing.T) {
+	// All SCs install the same value: only (pid, seq) metadata can protect
+	// the links.  45 ops per process, ~20 SCs each: several domain cycles.
+	mk := func() LLSCWorkload {
+		procOps := func() []LLOp {
+			var ops []LLOp
+			for i := 0; i < 15; i++ {
+				ops = append(ops, LL(), SC(1), VL())
+			}
+			return ops
+		}
+		return LLSCWorkload{procOps(), procOps()}
+	}
+	rep, err := RandomLLSC(buildConstantTimeLLSC, 0, mk(), 400, 31000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 400 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	if got := rep.MaxOpSteps["LL"]; got > 5 {
+		t.Errorf("LL exceeded its constant bound: %d steps", got)
+	}
+	if got := rep.MaxOpSteps["SC"]; got > 2 {
+		t.Errorf("SC exceeded its constant bound: %d steps", got)
+	}
+}
+
+func TestCampaignConstantTimeThreeProcs(t *testing.T) {
+	mk := func() LLSCWorkload {
+		procOps := func(v Word) []LLOp {
+			var ops []LLOp
+			for i := 0; i < 8; i++ {
+				ops = append(ops, LL(), SC(v), LL(), VL(), SC(v))
+			}
+			return ops
+		}
+		return LLSCWorkload{procOps(1), procOps(1), procOps(2)}
+	}
+	rep, err := RandomLLSC(buildConstantTimeLLSC, 0, mk(), 250, 32000, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 250 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+}
+
+func TestCampaignFig3BitJuggling(t *testing.T) {
+	// Dense LL/SC/VL mixes at n=3: every LL clears a bit, every successful
+	// SC sets all of them; Claim 6's counting argument is what keeps the
+	// n-failure exits honest.
+	mk := func() LLSCWorkload {
+		procOps := func(v Word) []LLOp {
+			var ops []LLOp
+			for i := 0; i < 10; i++ {
+				ops = append(ops, LL(), VL(), SC(v))
+			}
+			return ops
+		}
+		return LLSCWorkload{procOps(1), procOps(2), procOps(1)}
+	}
+	rep, err := RandomLLSC(buildCASBasedLLSC, 0, mk(), 250, 33000, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 250 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	// n=3: every op within 2n+1 = 7 steps.
+	for _, m := range []string{"LL", "SC"} {
+		if got := rep.MaxOpSteps[m]; got > 7 {
+			t.Errorf("%s exceeded 2n+1: %d steps", m, got)
+		}
+	}
+}
+
+func TestCampaignFig4MultiWriterStorm(t *testing.T) {
+	// Every process both writes and reads; sequence numbers recycle dozens
+	// of times; announcements chase a moving X.
+	mk := func() DetectorWorkload {
+		procOps := func(v Word) []DetOp {
+			var ops []DetOp
+			for i := 0; i < 12; i++ {
+				ops = append(ops, W(v), R(), W(v))
+			}
+			return ops
+		}
+		return DetectorWorkload{procOps(1), procOps(1), procOps(2)}
+	}
+	rep, err := RandomDetector(buildRegisterBased, 0, mk(), 250, 34000, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != 250 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	if rep.MaxOpSteps["DWrite"] != 2 || rep.MaxOpSteps["DRead"] != 4 {
+		t.Errorf("step complexity drifted: %v", rep.MaxOpSteps)
+	}
+}

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"fmt"
+
+	"abadetect/internal/check"
+	"abadetect/internal/shmem"
+)
+
+// Sequential conformance: run a script of non-overlapping operations against
+// the implementation and the sequential specification in lockstep.  With no
+// concurrency, the linearization order is the execution order, so every
+// response must match the spec exactly — a cheap, property-test-friendly
+// oracle that exercises long arbitrary operation mixes.
+
+// ConformDetector interprets script against a fresh detector built by b for
+// n processes and the ABADetectSpec.  Each script byte encodes one
+// operation: pid = byte mod n; bit 4 selects DWrite; the top three bits are
+// the written value.
+func ConformDetector(b DetectorBuilder, n int, script []byte) error {
+	d, err := b(shmem.NewNativeFactory(), n)
+	if err != nil {
+		return err
+	}
+	handles := make([]interface {
+		DWrite(Word)
+		DRead() (Word, bool)
+	}, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := d.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	st := check.ABADetectSpec{N: n}.Initial()
+	for i, code := range script {
+		pid := int(code) % n
+		if code&0x10 != 0 {
+			v := Word(code >> 5)
+			handles[pid].DWrite(v)
+			next, ok := st.Apply(check.Op{Pid: pid, Method: check.MethodDWrite, Args: []uint64{v}})
+			if !ok {
+				return fmt.Errorf("verify: op %d: spec rejected DWrite(%d)", i, v)
+			}
+			st = next
+		} else {
+			v, dirty := handles[pid].DRead()
+			next, ok := st.Apply(check.Op{
+				Pid: pid, Method: check.MethodDRead,
+				Rets: []uint64{v, boolWord(dirty)},
+			})
+			if !ok {
+				return fmt.Errorf("verify: op %d: p%d.DRead() = (%d,%v) contradicts the sequential spec (state %s)",
+					i, pid, v, dirty, st.Key())
+			}
+			st = next
+		}
+	}
+	return nil
+}
+
+// ConformLLSC interprets script against a fresh LL/SC/VL object built by b
+// and the LLSCSpec.  Each script byte: pid = byte mod n; bits 3-4 select
+// LL / SC / VL; the top three bits are the SC value.
+func ConformLLSC(b LLSCBuilder, n int, script []byte) error {
+	obj, err := b(shmem.NewNativeFactory(), n)
+	if err != nil {
+		return err
+	}
+	handles := make([]interface {
+		LL() Word
+		SC(Word) bool
+		VL() bool
+	}, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := obj.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	st := check.LLSCSpec{N: n}.Initial()
+	for i, code := range script {
+		pid := int(code) % n
+		var op check.Op
+		var desc string
+		switch (code >> 3) & 0x3 {
+		case 0, 3:
+			v := handles[pid].LL()
+			op = check.Op{Pid: pid, Method: check.MethodLL, Rets: []uint64{v}}
+			desc = fmt.Sprintf("LL() = %d", v)
+		case 1:
+			v := Word(code >> 5)
+			ok := handles[pid].SC(v)
+			op = check.Op{Pid: pid, Method: check.MethodSC, Args: []uint64{v}, Rets: []uint64{boolWord(ok)}}
+			desc = fmt.Sprintf("SC(%d) = %v", v, ok)
+		case 2:
+			ok := handles[pid].VL()
+			op = check.Op{Pid: pid, Method: check.MethodVL, Rets: []uint64{boolWord(ok)}}
+			desc = fmt.Sprintf("VL() = %v", ok)
+		}
+		next, ok := st.Apply(op)
+		if !ok {
+			return fmt.Errorf("verify: op %d: p%d.%s contradicts the sequential spec (state %s)",
+				i, pid, desc, st.Key())
+		}
+		st = next
+	}
+	return nil
+}

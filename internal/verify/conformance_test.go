@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abadetect/internal/core"
+	"abadetect/internal/shmem"
+)
+
+func TestConformanceDetectorsQuick(t *testing.T) {
+	// Property: every correct detector agrees with the sequential spec on
+	// every non-overlapping operation script.
+	for _, tc := range correctDetectors {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 5} {
+				n := n
+				prop := func(script []byte) bool {
+					if err := ConformDetector(tc.build, n, script); err != nil {
+						t.Log(err)
+						return false
+					}
+					return true
+				}
+				cfg := &quick.Config{MaxCount: 60}
+				if err := quick.Check(prop, cfg); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceLLSCQuick(t *testing.T) {
+	for _, tc := range correctLLSC {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 5} {
+				n := n
+				prop := func(script []byte) bool {
+					if err := ConformLLSC(tc.build, n, script); err != nil {
+						t.Log(err)
+						return false
+					}
+					return true
+				}
+				cfg := &quick.Config{MaxCount: 60}
+				if err := quick.Check(prop, cfg); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceLongScripts(t *testing.T) {
+	// Push the bounded machinery through many domain cycles with fixed long
+	// pseudo-random scripts.
+	script := make([]byte, 4000)
+	x := uint32(0x9e3779b9)
+	for i := range script {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		script[i] = byte(x)
+	}
+	for _, tc := range correctDetectors {
+		if err := ConformDetector(tc.build, 3, script); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	for _, tc := range correctLLSC {
+		if err := ConformLLSC(tc.build, 3, script); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestConformanceCatchesBoundedTag(t *testing.T) {
+	// The conformance oracle must reject the bounded-tag register on the
+	// wraparound script: writes of value 0, 2^k of them, between two reads
+	// by the same process.
+	build := func(f shmem.Factory, n int) (core.Detector, error) {
+		return core.NewBoundedTag(f, n, 4, 1, 0) // wraps every 2 writes
+	}
+	// pid layout for n=2: even bytes -> pid 0, odd -> pid 1.
+	// read by p1, write, write (value 0), read by p1.
+	script := []byte{
+		0x01,       // p1.DRead
+		0x10, 0x10, // p0.DWrite(0) twice: tag wraps
+		0x01, // p1.DRead — sees the same word, reports clean: WRONG
+	}
+	if err := ConformDetector(build, 2, script); err == nil {
+		t.Fatal("conformance accepted the bounded-tag wraparound miss")
+	}
+}

@@ -1,0 +1,74 @@
+package verify
+
+import (
+	"testing"
+)
+
+// The paper's processes may stall forever at any point (the adversary simply
+// stops scheduling them); wait-freedom means the survivors are unaffected,
+// and linearizability must hold for the observed history with the crashed
+// process's operation pending.  These tests crash each process of a
+// workload at several points and check every resulting history.
+
+func TestCrashWriterMidOperation(t *testing.T) {
+	wl := DetectorWorkload{
+		{W(1), W(2), W(3)},
+		{R(), R(), R()},
+		{R(), W(4), R()},
+	}
+	for _, tc := range correctDetectors {
+		t.Run(tc.name, func(t *testing.T) {
+			// Crash the writer after 0, 1, 2, 3 shared steps: 0 = before
+			// anything, 1 = mid-DWrite (between GetSeq and the X write for
+			// Fig4 — the nastiest point).
+			for crashAfter := 0; crashAfter <= 3; crashAfter++ {
+				rep, err := CrashRandomDetector(tc.build, 0, wl, 0, crashAfter, 60, 4000+int64(crashAfter), 100000)
+				if err != nil {
+					t.Fatalf("crashAfter=%d: %v", crashAfter, err)
+				}
+				if rep.Executions != 60 {
+					t.Fatalf("crashAfter=%d: executions = %d", crashAfter, rep.Executions)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashReaderMidOperation(t *testing.T) {
+	wl := DetectorWorkload{
+		{W(1), W(2), W(1)},
+		{R(), R(), R()},
+		{R(), R()},
+	}
+	for _, tc := range correctDetectors {
+		t.Run(tc.name, func(t *testing.T) {
+			// Crash reader pid 1 mid-DRead (after 2 of its 4 steps for
+			// Fig4: it has announced but not re-read).
+			for crashAfter := 1; crashAfter <= 2; crashAfter++ {
+				rep, err := CrashRandomDetector(tc.build, 0, wl, 1, crashAfter, 60, 5000+int64(crashAfter), 100000)
+				if err != nil {
+					t.Fatalf("crashAfter=%d: %v", crashAfter, err)
+				}
+				if rep.Executions != 60 {
+					t.Fatalf("crashAfter=%d: executions = %d", crashAfter, rep.Executions)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashDoesNotBlockSurvivors(t *testing.T) {
+	// Wait-freedom under a crashed peer: even with the writer frozen while
+	// poised to write X, every reader completes in its usual step count.
+	wl := DetectorWorkload{
+		{W(1), W(2)},
+		{R(), R(), R(), R()},
+	}
+	rep, err := CrashRandomDetector(buildRegisterBased, 0, wl, 0, 1, 40, 6000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxOpSteps["DRead"]; got != 4 {
+		t.Errorf("reader step complexity changed under a crashed writer: %d", got)
+	}
+}

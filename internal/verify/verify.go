@@ -1,0 +1,462 @@
+// Package verify ties the deterministic simulator (package sim) and the
+// linearizability checker (package check) together into reusable harnesses:
+//
+//   - build an ABA-detecting register or LL/SC/VL object over the simulator's
+//     gated base objects,
+//   - run a fixed per-process workload under every schedule (exhaustive) or
+//     under seeded random schedules,
+//   - check each complete execution's history against the sequential
+//     specification, and
+//   - measure, across all explored schedules, the worst-case number of
+//     shared-memory steps any single operation took (the paper's
+//     step-complexity measure, verified rather than assumed).
+//
+// A failed check produces a ViolationError carrying the exact schedule and
+// the concurrent history, so flawed implementations (BoundedTag, ablated
+// variants) yield replayable counterexamples.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"abadetect/internal/check"
+	"abadetect/internal/core"
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+	"abadetect/internal/sim"
+)
+
+// Word is the register/object value type.
+type Word = shmem.Word
+
+// ViolationError reports a non-linearizable execution.
+type ViolationError struct {
+	// Schedule is the sequence of pids that produced the execution (empty
+	// for random runs, where the seed identifies the schedule instead).
+	Schedule []int
+	// Seed is the random-schedule seed, if the schedule is not recorded.
+	Seed int64
+	// Ops is the complete concurrent history that has no linearization.
+	Ops []check.Op
+}
+
+// Error renders the counterexample.
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	b.WriteString("verify: execution is not linearizable\n")
+	if len(e.Schedule) > 0 {
+		fmt.Fprintf(&b, "  schedule: %v\n", e.Schedule)
+	} else {
+		fmt.Fprintf(&b, "  random seed: %d\n", e.Seed)
+	}
+	b.WriteString("  history:\n")
+	for _, op := range e.Ops {
+		fmt.Fprintf(&b, "    %s\n", op)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Report aggregates the outcome of a batch of checked executions.
+type Report struct {
+	// Executions is the number of complete executions checked.
+	Executions int
+	// MaxOpSteps maps method name to the maximum number of shared-memory
+	// steps a single call took across all executions.
+	MaxOpSteps map[string]int
+	// CheckStates is the total number of search states the linearizability
+	// checker explored, a cost metric.
+	CheckStates int
+}
+
+func newReport() *Report { return &Report{MaxOpSteps: map[string]int{}} }
+
+func (r *Report) observeOp(method string, steps int) {
+	if steps > r.MaxOpSteps[method] {
+		r.MaxOpSteps[method] = steps
+	}
+}
+
+func (r *Report) merge(other *Report) {
+	r.Executions += other.Executions
+	r.CheckStates += other.CheckStates
+	for m, s := range other.MaxOpSteps {
+		r.observeOp(m, s)
+	}
+}
+
+// DetOp is one operation of a detector workload.
+type DetOp struct {
+	// Write selects DWrite (with Value) over DRead.
+	Write bool
+	// Value is the DWrite argument.
+	Value Word
+}
+
+// W returns a DWrite(v) workload op.
+func W(v Word) DetOp { return DetOp{Write: true, Value: v} }
+
+// R returns a DRead workload op.
+func R() DetOp { return DetOp{} }
+
+// DetectorWorkload assigns each pid (index) its operation sequence.
+type DetectorWorkload [][]DetOp
+
+// DetectorBuilder constructs the detector under test over factory f.
+type DetectorBuilder func(f shmem.Factory, n int) (core.Detector, error)
+
+// detRun is one simulated execution of a detector workload.
+type detRun struct {
+	runner *sim.Runner
+	report *Report
+}
+
+// newDetectorRun builds a fresh, started runner executing wl against the
+// detector built by b.
+func newDetectorRun(b DetectorBuilder, wl DetectorWorkload) (*detRun, error) {
+	n := len(wl)
+	runner := sim.NewRunner(n)
+	counting := shmem.NewCounting(runner.Factory(), n)
+	d, err := b(counting, n)
+	if err != nil {
+		runner.Close()
+		return nil, err
+	}
+	run := &detRun{runner: runner, report: newReport()}
+	for pid := range wl {
+		pid := pid
+		ops := wl[pid]
+		if len(ops) == 0 {
+			continue
+		}
+		err := runner.SetProgram(pid, func(p *sim.Proc) {
+			h, herr := d.Handle(pid)
+			if herr != nil {
+				panic(herr)
+			}
+			for _, op := range ops {
+				before := counting.Steps(pid)
+				if op.Write {
+					p.Invoke(check.MethodDWrite, op.Value)
+					h.DWrite(op.Value)
+					p.Return()
+				} else {
+					p.Invoke(check.MethodDRead)
+					v, dirty := h.DRead()
+					var flag Word
+					if dirty {
+						flag = 1
+					}
+					p.Return(v, flag)
+				}
+				method := check.MethodDRead
+				if op.Write {
+					method = check.MethodDWrite
+				}
+				run.report.observeOp(method, int(counting.Steps(pid)-before))
+			}
+		})
+		if err != nil {
+			runner.Close()
+			return nil, err
+		}
+	}
+	if err := runner.Start(); err != nil {
+		runner.Close()
+		return nil, err
+	}
+	return run, nil
+}
+
+// checkRun verifies one completed run against the spec and merges its
+// measurements into total.
+func checkRun(runner *sim.Runner, spec check.Spec, runReport, total *Report, schedule []int, seed int64) error {
+	ops, pending, err := check.PairOps(runner.History())
+	if err != nil {
+		return err
+	}
+	if len(pending) != 0 {
+		return fmt.Errorf("verify: %d operations still pending in a completed run", len(pending))
+	}
+	res := check.Linearizable(spec, ops)
+	runReport.Executions = 1
+	runReport.CheckStates = res.StatesExplored
+	total.merge(runReport)
+	if !res.Ok {
+		sched := append([]int(nil), schedule...)
+		return &ViolationError{Schedule: sched, Seed: seed, Ops: ops}
+	}
+	return nil
+}
+
+// CrashRandomDetector drives the workload under seeded random schedules but
+// stops scheduling process crashPid forever after it has taken crashAfter
+// shared-memory steps — the paper's crash/stopped-process model.  The
+// surviving processes must still complete (wait-freedom does not depend on
+// others making progress) and the history, including the crashed process's
+// pending operation, must remain linearizable.
+func CrashRandomDetector(b DetectorBuilder, initial Word, wl DetectorWorkload, crashPid, crashAfter, runs int, seedBase int64, maxSteps int) (*Report, error) {
+	total := newReport()
+	spec := check.ABADetectSpec{N: len(wl), Initial0: initial}
+	for i := 0; i < runs; i++ {
+		seed := seedBase + int64(i)
+		run, err := newDetectorRun(b, wl)
+		if err != nil {
+			return total, err
+		}
+		err = runCrashSchedule(run.runner, crashPid, crashAfter, seed, maxSteps)
+		if err == nil {
+			err = checkCrashRun(run.runner, spec, crashPid, total, seed)
+		}
+		run.runner.Close()
+		if err != nil {
+			return total, err
+		}
+		total.merge(run.report) // survivors' step measurements
+		total.Executions++
+	}
+	return total, nil
+}
+
+// runCrashSchedule randomly schedules all processes, never scheduling
+// crashPid again once it has taken crashAfter steps, until all survivors
+// finished.
+func runCrashSchedule(runner *sim.Runner, crashPid, crashAfter int, seed int64, maxSteps int) error {
+	rng := sim.NewRandom(seed)
+	crashSteps := 0
+	for steps := 0; steps < maxSteps; steps++ {
+		poised := runner.Poised()
+		alive := poised[:0:0]
+		for _, pid := range poised {
+			if pid == crashPid && crashSteps >= crashAfter {
+				continue // crashed: never scheduled again
+			}
+			alive = append(alive, pid)
+		}
+		if len(alive) == 0 {
+			return nil // all survivors done
+		}
+		pid := rng.Next(alive, steps)
+		if err := runner.Step(pid); err != nil {
+			return err
+		}
+		if pid == crashPid {
+			crashSteps++
+		}
+	}
+	return fmt.Errorf("verify: crash run with seed %d did not finish within %d steps", seed, maxSteps)
+}
+
+// checkCrashRun verifies a history that may contain the crashed process's
+// pending operation.
+func checkCrashRun(runner *sim.Runner, spec check.Spec, crashPid int, total *Report, seed int64) error {
+	ops, pending, err := check.PairOps(runner.History())
+	if err != nil {
+		return err
+	}
+	for _, p := range pending {
+		if p.Pid != crashPid {
+			return fmt.Errorf("verify: unexpected pending op by surviving process %d", p.Pid)
+		}
+	}
+	all := append(append([]check.Op(nil), ops...), pending...)
+	res := check.Linearizable(spec, all)
+	total.CheckStates += res.StatesExplored
+	if !res.Ok {
+		return &ViolationError{Seed: seed, Ops: all}
+	}
+	return nil
+}
+
+// ExhaustiveDetector checks the detector built by b under *every* schedule
+// of workload wl (n = len(wl) processes, initial value initial).  The limits
+// bound execution length and (optionally) the number of schedules; exceeding
+// them is an error, never a silent truncation.
+func ExhaustiveDetector(b DetectorBuilder, initial Word, wl DetectorWorkload, limits sim.ExploreLimits) (*Report, error) {
+	total := newReport()
+	spec := check.ABADetectSpec{N: len(wl), Initial0: initial}
+	var current *detRun
+	build := func() (*sim.Runner, error) {
+		run, err := newDetectorRun(b, wl)
+		if err != nil {
+			return nil, err
+		}
+		current = run
+		return run.runner, nil
+	}
+	_, err := sim.Explore(build, limits, func(r *sim.Runner, schedule []int) error {
+		return checkRun(r, spec, current.report, total, schedule, 0)
+	})
+	return total, err
+}
+
+// RandomDetector checks the detector under `runs` seeded random schedules
+// (seeds seedBase, seedBase+1, ...).
+func RandomDetector(b DetectorBuilder, initial Word, wl DetectorWorkload, runs int, seedBase int64, maxSteps int) (*Report, error) {
+	total := newReport()
+	spec := check.ABADetectSpec{N: len(wl), Initial0: initial}
+	for i := 0; i < runs; i++ {
+		seed := seedBase + int64(i)
+		run, err := newDetectorRun(b, wl)
+		if err != nil {
+			return total, err
+		}
+		_, err = run.runner.Run(sim.NewRandom(seed), maxSteps)
+		if err == nil && !run.runner.AllDone() {
+			err = fmt.Errorf("verify: run with seed %d did not finish within %d steps", seed, maxSteps)
+		}
+		if err == nil {
+			err = checkRun(run.runner, spec, run.report, total, nil, seed)
+		}
+		run.runner.Close()
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// LLOpKind selects the LL/SC/VL operation of a workload entry.
+type LLOpKind byte
+
+// Workload operation kinds.
+const (
+	// OpLL is an LL().
+	OpLL LLOpKind = 'L'
+	// OpSC is an SC(value).
+	OpSC LLOpKind = 'S'
+	// OpVL is a VL().
+	OpVL LLOpKind = 'V'
+)
+
+// LLOp is one operation of an LL/SC/VL workload.
+type LLOp struct {
+	// Kind selects the operation.
+	Kind LLOpKind
+	// Value is the SC argument.
+	Value Word
+}
+
+// LL returns an LL() workload op.
+func LL() LLOp { return LLOp{Kind: OpLL} }
+
+// SC returns an SC(v) workload op.
+func SC(v Word) LLOp { return LLOp{Kind: OpSC, Value: v} }
+
+// VL returns a VL() workload op.
+func VL() LLOp { return LLOp{Kind: OpVL} }
+
+// LLSCWorkload assigns each pid (index) its operation sequence.
+type LLSCWorkload [][]LLOp
+
+// LLSCBuilder constructs the LL/SC/VL object under test over factory f.
+type LLSCBuilder func(f shmem.Factory, n int) (llsc.Object, error)
+
+// newLLSCRun builds a fresh, started runner executing wl against the object
+// built by b.
+func newLLSCRun(b LLSCBuilder, wl LLSCWorkload) (*detRun, error) {
+	n := len(wl)
+	runner := sim.NewRunner(n)
+	counting := shmem.NewCounting(runner.Factory(), n)
+	obj, err := b(counting, n)
+	if err != nil {
+		runner.Close()
+		return nil, err
+	}
+	run := &detRun{runner: runner, report: newReport()}
+	for pid := range wl {
+		pid := pid
+		ops := wl[pid]
+		if len(ops) == 0 {
+			continue
+		}
+		err := runner.SetProgram(pid, func(p *sim.Proc) {
+			h, herr := obj.Handle(pid)
+			if herr != nil {
+				panic(herr)
+			}
+			for _, op := range ops {
+				before := counting.Steps(pid)
+				var method string
+				switch op.Kind {
+				case OpLL:
+					method = check.MethodLL
+					p.Invoke(method)
+					p.Return(h.LL())
+				case OpSC:
+					method = check.MethodSC
+					p.Invoke(method, op.Value)
+					p.Return(boolWord(h.SC(op.Value)))
+				case OpVL:
+					method = check.MethodVL
+					p.Invoke(method)
+					p.Return(boolWord(h.VL()))
+				default:
+					panic(fmt.Sprintf("verify: unknown LL/SC op kind %q", op.Kind))
+				}
+				run.report.observeOp(method, int(counting.Steps(pid)-before))
+			}
+		})
+		if err != nil {
+			runner.Close()
+			return nil, err
+		}
+	}
+	if err := runner.Start(); err != nil {
+		runner.Close()
+		return nil, err
+	}
+	return run, nil
+}
+
+func boolWord(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExhaustiveLLSC checks the LL/SC/VL object built by b under every schedule
+// of workload wl.
+func ExhaustiveLLSC(b LLSCBuilder, initial Word, wl LLSCWorkload, limits sim.ExploreLimits) (*Report, error) {
+	total := newReport()
+	spec := check.LLSCSpec{N: len(wl), Initial0: initial}
+	var current *detRun
+	build := func() (*sim.Runner, error) {
+		run, err := newLLSCRun(b, wl)
+		if err != nil {
+			return nil, err
+		}
+		current = run
+		return run.runner, nil
+	}
+	_, err := sim.Explore(build, limits, func(r *sim.Runner, schedule []int) error {
+		return checkRun(r, spec, current.report, total, schedule, 0)
+	})
+	return total, err
+}
+
+// RandomLLSC checks the LL/SC/VL object under seeded random schedules.
+func RandomLLSC(b LLSCBuilder, initial Word, wl LLSCWorkload, runs int, seedBase int64, maxSteps int) (*Report, error) {
+	total := newReport()
+	spec := check.LLSCSpec{N: len(wl), Initial0: initial}
+	for i := 0; i < runs; i++ {
+		seed := seedBase + int64(i)
+		run, err := newLLSCRun(b, wl)
+		if err != nil {
+			return total, err
+		}
+		_, err = run.runner.Run(sim.NewRandom(seed), maxSteps)
+		if err == nil && !run.runner.AllDone() {
+			err = fmt.Errorf("verify: run with seed %d did not finish within %d steps", seed, maxSteps)
+		}
+		if err == nil {
+			err = checkRun(run.runner, spec, run.report, total, nil, seed)
+		}
+		run.runner.Close()
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

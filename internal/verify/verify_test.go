@@ -1,0 +1,357 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"abadetect/internal/core"
+	"abadetect/internal/llsc"
+	"abadetect/internal/shmem"
+	"abadetect/internal/sim"
+)
+
+// Builders for the detectors under verification.
+
+func buildRegisterBased(f shmem.Factory, n int) (core.Detector, error) {
+	return core.NewRegisterBased(f, n, 4, 0)
+}
+
+func buildUnbounded(f shmem.Factory, n int) (core.Detector, error) {
+	return core.NewUnbounded(f, n, 4, 0)
+}
+
+func buildFig5OverFig3(f shmem.Factory, n int) (core.Detector, error) {
+	obj, err := llsc.NewCASBased(f, n, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLLSCBased(obj)
+}
+
+func buildFig5OverConstantTime(f shmem.Factory, n int) (core.Detector, error) {
+	obj, err := llsc.NewConstantTime(f, n, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLLSCBased(obj)
+}
+
+func buildFig5OverMoir(f shmem.Factory, n int) (core.Detector, error) {
+	obj, err := llsc.NewMoir(f, n, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLLSCBased(obj)
+}
+
+func buildBoundedTag1(f shmem.Factory, n int) (core.Detector, error) {
+	return core.NewBoundedTag(f, n, 4, 1, 0) // 1-bit tag: wraps every 2 writes
+}
+
+var correctDetectors = []struct {
+	name  string
+	build DetectorBuilder
+}{
+	{"RegisterBased(Fig4)", buildRegisterBased},
+	{"Fig5/Fig3", buildFig5OverFig3},
+	{"Fig5/ConstantTime", buildFig5OverConstantTime},
+	{"Fig5/Moir", buildFig5OverMoir},
+	{"Unbounded", buildUnbounded},
+}
+
+// limits generous enough for the workloads below, tight enough to catch a
+// combinatorial mistake instead of hanging the test suite.
+func smallLimits() sim.ExploreLimits {
+	return sim.ExploreLimits{MaxSteps: 200, MaxExecutions: 400000}
+}
+
+func TestExhaustiveDetectorTwoProcs(t *testing.T) {
+	// One writer (2 writes), one reader (2 reads): every interleaving.
+	wl := DetectorWorkload{
+		{W(1), W(2)},
+		{R(), R()},
+	}
+	for _, tc := range correctDetectors {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveDetector(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Executions < 6 {
+				t.Errorf("only %d executions explored", rep.Executions)
+			}
+			t.Logf("executions=%d maxSteps=%v", rep.Executions, rep.MaxOpSteps)
+		})
+	}
+}
+
+func TestExhaustiveDetectorABAWriteBack(t *testing.T) {
+	// The ABA pattern under every schedule: value returns to 1 while the
+	// reader is poised.  Kept small for the loop-prone implementations.
+	fixedStep := DetectorWorkload{
+		{W(1), W(2), W(1)},
+		{R(), R()},
+	}
+	small := DetectorWorkload{
+		{W(1), W(1)}, // same value twice: only metadata can reveal it
+		{R(), R()},
+	}
+	for _, tc := range correctDetectors {
+		wl := small
+		if tc.name == "RegisterBased(Fig4)" || tc.name == "Unbounded" {
+			wl = fixedStep
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveDetector(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("executions=%d", rep.Executions)
+		})
+	}
+}
+
+func TestExhaustiveDetectorThreeProcs(t *testing.T) {
+	// Two writers (one of them also reads) and a reader, for the detectors
+	// with schedule-independent step counts.
+	wl := DetectorWorkload{
+		{W(1)},
+		{R(), W(2)},
+		{R()},
+	}
+	for _, tc := range correctDetectors {
+		if tc.name != "RegisterBased(Fig4)" && tc.name != "Unbounded" {
+			continue // loop-prone: covered by random schedules below
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveDetector(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("executions=%d", rep.Executions)
+		})
+	}
+}
+
+func TestExhaustiveFindsBoundedTagViolation(t *testing.T) {
+	// Negative control for the whole pipeline: with a 1-bit tag, two writes
+	// wrap the tag; some schedule must produce a missed detection.  This is
+	// Theorem 1(a) made concrete: one bounded register cannot suffice.
+	// Two writes of the initial value: the stored word walks
+	// (0,tag0) -> (0,tag1) -> (0,tag0) and is back exactly where the reader
+	// saw it.
+	wl := DetectorWorkload{
+		{W(0), W(0)},
+		{R(), R()},
+	}
+	_, err := ExhaustiveDetector(buildBoundedTag1, 0, wl, smallLimits())
+	if err == nil {
+		t.Fatal("expected a linearizability violation for the 1-bit tag register")
+	}
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("want ViolationError, got %v", err)
+	}
+	if len(v.Schedule) == 0 || len(v.Ops) == 0 {
+		t.Errorf("violation lacks schedule or history: %v", v)
+	}
+	t.Logf("counterexample found:\n%v", v)
+}
+
+func TestRegisterBasedStepComplexityUnderAllSchedules(t *testing.T) {
+	// Theorem 3's O(1) verified across every explored schedule: DWrite = 2
+	// steps, DRead = 4 steps, no schedule can stretch them.
+	wl := DetectorWorkload{
+		{W(1)},
+		{R()},
+		{W(2), R()},
+	}
+	rep, err := ExhaustiveDetector(buildRegisterBased, 0, wl, smallLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxOpSteps["DWrite"]; got != 2 {
+		t.Errorf("worst-case DWrite steps = %d, want 2", got)
+	}
+	if got := rep.MaxOpSteps["DRead"]; got != 4 {
+		t.Errorf("worst-case DRead steps = %d, want 4", got)
+	}
+}
+
+func TestRandomDetectorLongerWorkloads(t *testing.T) {
+	wl := DetectorWorkload{
+		{W(1), W(2), W(3), W(1), W(2), W(1)},
+		{R(), R(), R(), R(), R(), R()},
+		{W(4), R(), W(5), R(), W(4), R()},
+	}
+	for _, tc := range correctDetectors {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := RandomDetector(tc.build, 0, wl, 300, 1000, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Executions != 300 {
+				t.Errorf("executions = %d, want 300", rep.Executions)
+			}
+		})
+	}
+}
+
+// LL/SC/VL verification.
+
+func buildCASBasedLLSC(f shmem.Factory, n int) (llsc.Object, error) {
+	return llsc.NewCASBased(f, n, 4, 0)
+}
+
+func buildConstantTimeLLSC(f shmem.Factory, n int) (llsc.Object, error) {
+	return llsc.NewConstantTime(f, n, 4, 0)
+}
+
+func buildMoirLLSC(f shmem.Factory, n int) (llsc.Object, error) {
+	return llsc.NewMoir(f, n, 4, 0)
+}
+
+var correctLLSC = []struct {
+	name  string
+	build LLSCBuilder
+}{
+	{"CASBased(Fig3)", buildCASBasedLLSC},
+	{"ConstantTime", buildConstantTimeLLSC},
+	{"Moir", buildMoirLLSC},
+}
+
+func TestExhaustiveLLSCTwoProcs(t *testing.T) {
+	wl := LLSCWorkload{
+		{LL(), SC(1)},
+		{LL(), SC(2)},
+	}
+	for _, tc := range correctLLSC {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveLLSC(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("executions=%d maxSteps=%v", rep.Executions, rep.MaxOpSteps)
+		})
+	}
+}
+
+func TestExhaustiveLLSCWithVL(t *testing.T) {
+	wl := LLSCWorkload{
+		{LL(), VL(), SC(1)},
+		{LL(), SC(2)},
+	}
+	for _, tc := range correctLLSC {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveLLSC(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("executions=%d", rep.Executions)
+		})
+	}
+}
+
+func TestExhaustiveLLSCSameValueReinstall(t *testing.T) {
+	// SCs that reinstall the same value: the bit/announcement machinery,
+	// not the value, must carry the detection.
+	wl := LLSCWorkload{
+		{LL(), SC(1), SC(1)},
+		{LL(), VL(), SC(1)},
+	}
+	for _, tc := range correctLLSC {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExhaustiveLLSC(tc.build, 0, wl, smallLimits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("executions=%d", rep.Executions)
+		})
+	}
+}
+
+func TestRandomLLSCThreeProcs(t *testing.T) {
+	wl := LLSCWorkload{
+		{LL(), SC(1), LL(), SC(2), VL()},
+		{LL(), SC(3), VL(), LL(), SC(4)},
+		{LL(), VL(), LL(), SC(5), VL()},
+	}
+	for _, tc := range correctLLSC {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := RandomLLSC(tc.build, 0, wl, 300, 2000, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Executions != 300 {
+				t.Errorf("executions = %d, want 300", rep.Executions)
+			}
+		})
+	}
+}
+
+func TestFig3StepComplexityBoundUnderAllSchedules(t *testing.T) {
+	// Theorem 2's O(n): for n=2, LL <= 2n+1 = 5 steps, SC <= 2n+1, VL = 1,
+	// under every explored schedule.
+	wl := LLSCWorkload{
+		{LL(), SC(1), VL()},
+		{LL(), SC(2)},
+	}
+	rep, err := ExhaustiveLLSC(buildCASBasedLLSC, 0, wl, smallLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2
+	bound := 2*n + 1
+	for _, m := range []string{"LL", "SC"} {
+		if got := rep.MaxOpSteps[m]; got > bound {
+			t.Errorf("worst-case %s steps = %d, exceeds 2n+1 = %d", m, got, bound)
+		}
+	}
+	if got := rep.MaxOpSteps["VL"]; got != 1 {
+		t.Errorf("worst-case VL steps = %d, want 1", got)
+	}
+}
+
+func TestConstantTimeStepBoundUnderAllSchedules(t *testing.T) {
+	// The announcement construction's O(1): LL <= 5, SC <= 2, VL <= 1,
+	// regardless of schedule.
+	wl := LLSCWorkload{
+		{LL(), SC(1), VL()},
+		{LL(), SC(2)},
+	}
+	rep, err := ExhaustiveLLSC(buildConstantTimeLLSC, 0, wl, smallLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxOpSteps["LL"]; got > 5 {
+		t.Errorf("worst-case LL steps = %d, want <= 5", got)
+	}
+	if got := rep.MaxOpSteps["SC"]; got > 2 {
+		t.Errorf("worst-case SC steps = %d, want <= 2", got)
+	}
+	if got := rep.MaxOpSteps["VL"]; got > 1 {
+		t.Errorf("worst-case VL steps = %d, want <= 1", got)
+	}
+}
+
+func TestMoirBoundedTagIsBroken(t *testing.T) {
+	// A Moir object with a 1-bit tag is the bounded-tag fallacy for LL/SC:
+	// two successful same-value SCs restore the linked word exactly, and
+	// some schedule lets a stale SC/VL succeed.
+	build := func(f shmem.Factory, n int) (llsc.Object, error) {
+		return llsc.NewMoirTagged(f, n, 4, 1, 0)
+	}
+	wl := LLSCWorkload{
+		{LL(), VL(), VL(), SC(9)},
+		{LL(), SC(0), LL(), SC(0)}, // two wrapping SCs of the initial value
+	}
+	_, err := ExhaustiveLLSC(build, 0, wl, smallLimits())
+	if err == nil {
+		t.Fatal("expected a violation for 1-bit-tag Moir LL/SC")
+	}
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("want ViolationError, got %v", err)
+	}
+	t.Logf("counterexample found:\n%v", v)
+}

@@ -1,0 +1,44 @@
+package verify
+
+import "math/rand"
+
+// RandomDetectorWorkload generates a reproducible mixed DWrite/DRead
+// workload: n processes, opsPerProc operations each, writes drawing values
+// from [0, 16).
+func RandomDetectorWorkload(seed int64, n, opsPerProc int) DetectorWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	wl := make(DetectorWorkload, n)
+	for pid := range wl {
+		ops := make([]DetOp, opsPerProc)
+		for i := range ops {
+			if rng.Intn(2) == 0 {
+				ops[i] = W(Word(rng.Intn(16)))
+			} else {
+				ops[i] = R()
+			}
+		}
+		wl[pid] = ops
+	}
+	return wl
+}
+
+// RandomLLSCWorkload generates a reproducible mixed LL/SC/VL workload.
+func RandomLLSCWorkload(seed int64, n, opsPerProc int) LLSCWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	wl := make(LLSCWorkload, n)
+	for pid := range wl {
+		ops := make([]LLOp, opsPerProc)
+		for i := range ops {
+			switch rng.Intn(4) {
+			case 0, 1:
+				ops[i] = LL()
+			case 2:
+				ops[i] = SC(Word(rng.Intn(16)))
+			default:
+				ops[i] = VL()
+			}
+		}
+		wl[pid] = ops
+	}
+	return wl
+}
