@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/core"
 	"abadetect/internal/llsc"
+	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
 
@@ -77,6 +78,8 @@ type LLSC interface {
 type options struct {
 	valueBits uint
 	initial   Word
+	backend   Backend
+	shardImpl string
 }
 
 // Option configures a constructor.
@@ -102,6 +105,16 @@ func buildOptions(opts []Option) options {
 		fn(&o)
 	}
 	return o
+}
+
+// factory returns the fresh per-object factory the selected backend
+// provides (default: NativeBackend).
+func (o options) factory() shmem.Factory {
+	b := o.backend
+	if b == nil {
+		b = NativeBackend()
+	}
+	return b.newFactory()
 }
 
 // detReg adapts an internal detector to the public interface.
@@ -142,9 +155,31 @@ func (o *llscObj) Handle(pid int) (LLSCHandle, error) {
 func (o *llscObj) NumProcs() int        { return o.inner.NumProcs() }
 func (o *llscObj) Footprint() Footprint { return o.fp }
 
-func footprintOf(f *shmem.NativeFactory) Footprint {
+func footprintOf(f shmem.Factory) Footprint {
 	fp := f.Footprint()
 	return Footprint{Registers: fp.Registers, CASObjects: fp.CASObjects}
+}
+
+// newDetectorByImpl builds a registered detector implementation over the
+// options' backend; every public detector constructor funnels through it.
+func newDetectorByImpl(im registry.Impl, n int, o options) (DetectingRegister, error) {
+	f := o.factory()
+	inner, err := im.NewDetector(f, n, o.valueBits, o.initial)
+	if err != nil {
+		return nil, err
+	}
+	return &detReg{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// newLLSCByImpl builds a registered LL/SC/VL implementation over the
+// options' backend; every public LL/SC constructor funnels through it.
+func newLLSCByImpl(im registry.Impl, n int, o options) (LLSC, error) {
+	f := o.factory()
+	inner, err := im.NewLLSC(f, n, o.valueBits, o.initial)
+	if err != nil {
+		return nil, err
+	}
+	return &llscObj{inner: inner, fp: footprintOf(f)}, nil
 }
 
 // NewDetectingRegister builds the paper's Figure 4 register for n processes:
@@ -152,13 +187,7 @@ func footprintOf(f *shmem.NativeFactory) Footprint {
 // bounded registers with constant step complexity (two shared steps per
 // DWrite, four per DRead) — Theorem 3.
 func NewDetectingRegister(n int, opts ...Option) (DetectingRegister, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	inner, err := core.NewRegisterBased(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	return &detReg{inner: inner, fp: footprintOf(f)}, nil
+	return newDetectorByImpl(registry.MustLookup("fig4"), n, buildOptions(opts))
 }
 
 // NewDetectingRegisterSingleCAS builds Theorem 2's multi-writer
@@ -166,17 +195,7 @@ func NewDetectingRegister(n int, opts ...Option) (DetectingRegister, error) {
 // complexity: the paper's Figure 5 over its Figure 3.  valueBits + n must be
 // at most 64.
 func NewDetectingRegisterSingleCAS(n int, opts ...Option) (DetectingRegister, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	obj, err := llsc.NewCASBased(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.NewLLSCBased(obj)
-	if err != nil {
-		return nil, err
-	}
-	return &detReg{inner: inner, fp: footprintOf(f)}, nil
+	return newDetectorByImpl(registry.MustLookup("fig5-fig3"), n, buildOptions(opts))
 }
 
 // NewDetectingRegisterUnboundedTag builds the trivial baseline of §1: one
@@ -186,13 +205,7 @@ func NewDetectingRegisterSingleCAS(n int, opts ...Option) (DetectingRegister, er
 // (Modeled with a 64-bit word whose stamp field cannot realistically wrap;
 // valueBits is capped at 32.)
 func NewDetectingRegisterUnboundedTag(n int, opts ...Option) (DetectingRegister, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	inner, err := core.NewUnbounded(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	return &detReg{inner: inner, fp: footprintOf(f)}, nil
+	return newDetectorByImpl(registry.MustLookup("unbounded"), n, buildOptions(opts))
 }
 
 // NewDetectingRegisterBoundedTag builds the folklore k-bit tag scheme
@@ -203,7 +216,7 @@ func NewDetectingRegisterUnboundedTag(n int, opts ...Option) (DetectingRegister,
 // automatically.
 func NewDetectingRegisterBoundedTag(n int, tagBits uint, opts ...Option) (DetectingRegister, error) {
 	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
+	f := o.factory()
 	inner, err := core.NewBoundedTag(f, n, o.valueBits, tagBits, o.initial)
 	if err != nil {
 		return nil, err
@@ -231,13 +244,7 @@ func NewDetectingRegisterFromLLSC(obj LLSC) (DetectingRegister, error) {
 // proves optimal — any implementation from m bounded objects needs
 // m·t ≥ (n-1)/2.  valueBits + n must be at most 64.
 func NewLLSC(n int, opts ...Option) (LLSC, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	inner, err := llsc.NewCASBased(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	return &llscObj{inner: inner, fp: footprintOf(f)}, nil
+	return newLLSCByImpl(registry.MustLookup("fig3"), n, buildOptions(opts))
 }
 
 // NewLLSCConstantTime builds the O(1)-step LL/SC/VL object from one bounded
@@ -246,24 +253,12 @@ func NewLLSC(n int, opts ...Option) (LLSC, error) {
 // Jayanti–Petrovic, the other optimal point of the paper's time–space
 // trade-off (m·t = Θ(n) at m = n+1, t = O(1)).
 func NewLLSCConstantTime(n int, opts ...Option) (LLSC, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	inner, err := llsc.NewConstantTime(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	return &llscObj{inner: inner, fp: footprintOf(f)}, nil
+	return newLLSCByImpl(registry.MustLookup("constant"), n, buildOptions(opts))
 }
 
 // NewLLSCUnboundedTag builds Moir's classic LL/SC from a single CAS word
 // with an (effectively) unbounded tag: O(1) steps, one object — possible
 // only because the object is unbounded (§1, [26]).
 func NewLLSCUnboundedTag(n int, opts ...Option) (LLSC, error) {
-	o := buildOptions(opts)
-	f := shmem.NewNativeFactory()
-	inner, err := llsc.NewMoir(f, n, o.valueBits, o.initial)
-	if err != nil {
-		return nil, err
-	}
-	return &llscObj{inner: inner, fp: footprintOf(f)}, nil
+	return newLLSCByImpl(registry.MustLookup("moir"), n, buildOptions(opts))
 }

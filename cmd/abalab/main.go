@@ -1,21 +1,31 @@
-// Command abalab runs the full experiment suite of the reproduction — one
-// experiment per paper artifact (see DESIGN.md's index, E1-E9) — and prints
-// the resulting tables.
+// Command abalab runs the experiment suite of the reproduction — one
+// experiment per paper artifact (E1-E10) — and reports on the registered
+// implementations.  Experiments and implementations are both enumerated
+// from their registries (internal/bench.Experiments, internal/registry), so
+// this command never needs editing when either grows.
 //
 // Usage:
 //
-//	abalab            # run everything
-//	abalab -run E2    # run one experiment
-//	abalab -list      # list experiments
+//	abalab                  # run every experiment
+//	abalab -run E2          # run one experiment
+//	abalab -list            # list experiments and implementations
+//	abalab -impl fig4 -n 8  # inspect one implementation at n processes
+//	abalab -impl all -n 8   # ... or every implementation
+//	abalab -json ...        # any of the above, as machine-readable JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"text/tabwriter"
+	"time"
 
 	"abadetect/internal/bench"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
 )
 
 func main() {
@@ -28,55 +38,161 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only = fs.String("run", "", "run a single experiment (E1..E9)")
-		list = fs.Bool("list", false, "list experiments and exit")
+		only   = fs.String("run", "", "run a single experiment (E1..E10)")
+		list   = fs.Bool("list", false, "list experiments and implementations, then exit")
+		impl   = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
+		n      = fs.Int("n", 8, "process count for -impl")
+		asJSON = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	experiments := map[string]func() (*bench.Table, error){
-		"E1": bench.E1ModelCheck,
-		"E2": func() (*bench.Table, error) { return bench.E2TimeSpace([]int{2, 4, 8, 16, 32}) },
-		"E3": bench.E3Fig3,
-		"E4": bench.E4Fig4,
-		"E5": bench.E5Fig5,
-		"E6": bench.E6Stack,
-		"E7": bench.E7Separation,
-		"E8": bench.E8Ablations,
-		"E9": bench.E9ConstantTime,
+	emit := func(tables []*bench.Table) error {
+		if *asJSON {
+			return bench.WriteJSON(out, tables)
+		}
+		return bench.FprintAll(out, tables)
 	}
 
 	if *list {
-		fmt.Fprintln(out, "E1  space lower bound via model checking (Thm 1(a), Lemma 1)")
-		fmt.Fprintln(out, "E2  time-space trade-off under the hiding adversary (Thm 1(b,c), Cor 1)")
-		fmt.Fprintln(out, "E3  LL/SC/VL from one bounded CAS (Thm 2, Fig 3)")
-		fmt.Fprintln(out, "E4  detecting register from n+1 registers (Thm 3, Fig 4)")
-		fmt.Fprintln(out, "E5  detecting register from one LL/SC/VL (Thm 4, Fig 5)")
-		fmt.Fprintln(out, "E6  Treiber-stack corruption & tag wraparound (§1)")
-		fmt.Fprintln(out, "E7  bounded vs unbounded domain growth (§1)")
-		fmt.Fprintln(out, "E8  Figure 4 ablations refuted (App. C)")
-		fmt.Fprintln(out, "E9  constant-time LL/SC from one CAS + n registers ([2,15])")
-		return nil
+		if *asJSON {
+			return printIndexJSON(out)
+		}
+		return printIndex(out)
 	}
 
-	if *only != "" {
-		runner, ok := experiments[*only]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", *only)
-		}
-		tbl, err := runner()
+	if *impl != "" {
+		tables, err := implTables(*impl, *n)
 		if err != nil {
 			return err
 		}
-		return tbl.Fprint(out)
+		return emit(tables)
+	}
+
+	if *only != "" {
+		e, ok := bench.Lookup(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *only)
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	tables, err := bench.Suite()
 	if err != nil {
 		// Print what we have; the error explains the rest.
-		_ = bench.FprintAll(out, tables)
+		_ = emit(tables)
 		return err
 	}
-	return bench.FprintAll(out, tables)
+	return emit(tables)
+}
+
+// printIndex lists the experiment index and the implementation registry.
+func printIndex(out io.Writer) error {
+	fmt.Fprintln(out, "experiments:")
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "implementations (use with -impl):")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  id\tkind\tm(n)\tt(n)\tbounded\tcorrect\ttheorem")
+	for _, im := range registry.All() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%v\t%v\t%s\n",
+			im.ID, im.Kind, im.Space, im.Steps, im.Bounded, im.Correct, im.Theorem)
+	}
+	return tw.Flush()
+}
+
+// printIndexJSON emits the same index machine-readably.
+func printIndexJSON(out io.Writer) error {
+	type experiment struct {
+		ID    string
+		Title string
+	}
+	type implementation struct {
+		ID      string
+		Kind    string
+		Summary string
+		Theorem string
+		Space   string
+		Steps   string
+		Bounded bool
+		Correct bool
+	}
+	index := struct {
+		Experiments     []experiment
+		Implementations []implementation
+	}{}
+	for _, e := range bench.Experiments() {
+		index.Experiments = append(index.Experiments, experiment{e.ID, e.Title})
+	}
+	for _, im := range registry.All() {
+		index.Implementations = append(index.Implementations, implementation{
+			ID: im.ID, Kind: string(im.Kind), Summary: im.Summary, Theorem: im.Theorem,
+			Space: im.Space, Steps: im.Steps, Bounded: im.Bounded, Correct: im.Correct,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(index)
+}
+
+// implTables reports one (or every) registered implementation at n
+// processes: metadata, measured footprint, and a quick throughput probe.
+func implTables(id string, n int) ([]*bench.Table, error) {
+	var impls []registry.Impl
+	if id == "all" {
+		impls = registry.All()
+	} else {
+		im, ok := registry.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown implementation %q (try -list)", id)
+		}
+		impls = []registry.Impl{im}
+	}
+	var tables []*bench.Table
+	for _, im := range impls {
+		tbl, err := implTable(im, n)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+func implTable(im registry.Impl, n int) (*bench.Table, error) {
+	t := &bench.Table{
+		ID:     im.ID,
+		Title:  im.Summary,
+		Header: []string{"property", "value"},
+	}
+	t.AddRow("kind", string(im.Kind))
+	t.AddRow("theorem", im.Theorem)
+	t.AddRow("space m(n)", fmt.Sprintf("%s (= %d at n=%d)", im.Space, im.SpaceFn(n), n))
+	t.AddRow("steps t(n)", im.Steps)
+	t.AddRow("bounded", fmt.Sprintf("%v", im.Bounded))
+	t.AddRow("correct", fmt.Sprintf("%v", im.Correct))
+
+	const valueBits = 16
+	const pairs = 100_000
+	f := shmem.NewNativeFactory()
+	workload, elapsed, err := bench.SequentialProbe(im, f, n, valueBits, pairs)
+	if err != nil {
+		return nil, fmt.Errorf("%s at n=%d: %w", im.ID, n, err)
+	}
+	t.AddRow("measured footprint", f.Footprint().String())
+	t.AddRow("throughput probe",
+		fmt.Sprintf("%s: %d ops in %v (%.1f ns/op)",
+			workload, pairs, elapsed.Round(time.Microsecond),
+			float64(elapsed.Nanoseconds())/float64(pairs)))
+	if !im.Correct {
+		t.AddNote("deliberate foil: its word repeats after 2^%d writes and a poised reader misses them.", im.TagBits)
+	}
+	return t, nil
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"abadetect/internal/registry"
 )
 
 func TestList(t *testing.T) {
@@ -12,10 +15,34 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		if !strings.Contains(out, id) {
-			t.Errorf("listing lacks %s", id)
+			t.Errorf("listing lacks experiment %s", id)
 		}
+	}
+	// Every registered implementation appears in the listing.
+	for _, id := range registry.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing lacks implementation %s", id)
+		}
+	}
+}
+
+func TestListJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var index struct {
+		Experiments     []struct{ ID string }
+		Implementations []struct{ ID string }
+	}
+	if err := json.Unmarshal(buf.Bytes(), &index); err != nil {
+		t.Fatalf("-list -json is not valid JSON: %v", err)
+	}
+	if len(index.Experiments) != 10 || len(index.Implementations) != len(registry.IDs()) {
+		t.Errorf("index has %d experiments and %d implementations",
+			len(index.Experiments), len(index.Implementations))
 	}
 }
 
@@ -28,7 +55,7 @@ func TestRunSingleExperiment(t *testing.T) {
 	if !strings.Contains(out, "time-space trade-off") {
 		t.Errorf("E2 output missing title:\n%s", out)
 	}
-	if !strings.Contains(out, "Figure 3 (1 CAS)") {
+	if !strings.Contains(out, "fig3 (1 CAS)") {
 		t.Errorf("E2 output missing rows:\n%s", out)
 	}
 }
@@ -44,5 +71,62 @@ func TestRunBadFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-nonsense"}, &buf); err == nil {
 		t.Error("want error for unknown flag")
+	}
+}
+
+func TestImplFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-impl", "fig4", "-n", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Theorem 3 (Figure 4)", "n+1 registers (= 5 at n=4)", "m=5 (5 registers + 0 CAS)", "throughput probe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-impl fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestImplAllCoversRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-impl", "all", "-n", "4", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct{ ID string }
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-impl all -json is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		seen[tbl.ID] = true
+	}
+	for _, id := range registry.IDs() {
+		if !seen[id] {
+			t.Errorf("-impl all lacks %s", id)
+		}
+	}
+}
+
+func TestImplUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-impl", "no-such-impl"}, &buf); err == nil {
+		t.Error("want error for unknown implementation")
+	}
+}
+
+func TestJSONExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E2" || len(tables[0].Rows) == 0 {
+		t.Errorf("unexpected JSON shape: %+v", tables)
 	}
 }

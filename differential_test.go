@@ -1,0 +1,247 @@
+package abadetect
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Differential testing across the registry: every registered implementation
+// of the same object kind must produce identical observable behavior on the
+// same (sequential, hence deterministically linearized) operation schedule.
+// The schedules are long pseudo-random mixes, so the bounded machinery —
+// sequence recycling, announcement discipline, mask clearing — cycles
+// through its whole domain many times.  The bounded-tag foil is exempt from
+// agreement and instead *asserted* to disagree: past 2^k writes its word
+// wraps and it must miss a detection the correct implementations report.
+
+// xorshift is the deterministic schedule generator.
+type xorshift uint32
+
+func (x *xorshift) next() uint32 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = v
+	return uint32(v)
+}
+
+// detOp is one step of a detector schedule.
+type detOp struct {
+	pid   int
+	write bool
+	value Word
+}
+
+func randomDetectorSchedule(seed xorshift, n, ops int) []detOp {
+	sched := make([]detOp, ops)
+	for i := range sched {
+		r := seed.next()
+		sched[i] = detOp{
+			pid:   int(r % uint32(n)),
+			write: r&(1<<8) != 0,
+			value: Word((r >> 9) & 0xf),
+		}
+	}
+	return sched
+}
+
+// runDetectorSchedule replays sched and returns the trace of every DRead's
+// (value, dirty) observation.
+func runDetectorSchedule(reg DetectingRegister, n int, sched []detOp) ([]string, error) {
+	handles := make([]DetectHandle, n)
+	for pid := range handles {
+		h, err := reg.Handle(pid)
+		if err != nil {
+			return nil, err
+		}
+		handles[pid] = h
+	}
+	var trace []string
+	for i, op := range sched {
+		if op.write {
+			handles[op.pid].DWrite(op.value)
+		} else {
+			v, dirty := handles[op.pid].DRead()
+			trace = append(trace, fmt.Sprintf("op%d p%d.DRead=(%d,%v)", i, op.pid, v, dirty))
+		}
+	}
+	return trace, nil
+}
+
+func TestDifferentialDetectors(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			sched := randomDetectorSchedule(xorshift(0x9e3779b9+uint32(n)), n, 3000)
+			var refID string
+			var ref []string
+			for _, info := range Implementations() {
+				if info.Kind != "detector" || !info.Correct {
+					continue
+				}
+				reg, err := NewDetectingRegisterByID(info.ID, n, WithValueBits(4))
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				trace, err := runDetectorSchedule(reg, n, sched)
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				if ref == nil {
+					refID, ref = info.ID, trace
+					continue
+				}
+				if len(trace) != len(ref) {
+					t.Fatalf("%s returned %d reads, %s returned %d", info.ID, len(trace), refID, len(ref))
+				}
+				for i := range trace {
+					if trace[i] != ref[i] {
+						t.Fatalf("%s diverges from %s at read %d:\n  %s: %s\n  %s: %s",
+							info.ID, refID, i, refID, ref[i], info.ID, trace[i])
+					}
+				}
+			}
+			if ref == nil {
+				t.Fatal("no correct detector implementations registered")
+			}
+		})
+	}
+}
+
+// llOp is one step of an LL/SC/VL schedule.
+type llOp struct {
+	pid   int
+	kind  byte // 0 = LL, 1 = SC, 2 = VL
+	value Word
+}
+
+func randomLLSCSchedule(seed xorshift, n, ops int) []llOp {
+	sched := make([]llOp, ops)
+	for i := range sched {
+		r := seed.next()
+		sched[i] = llOp{
+			pid:   int(r % uint32(n)),
+			kind:  byte((r >> 8) % 3),
+			value: Word((r >> 10) & 0xf),
+		}
+	}
+	return sched
+}
+
+func runLLSCSchedule(obj LLSC, n int, sched []llOp) ([]string, error) {
+	handles := make([]LLSCHandle, n)
+	for pid := range handles {
+		h, err := obj.Handle(pid)
+		if err != nil {
+			return nil, err
+		}
+		handles[pid] = h
+	}
+	var trace []string
+	for i, op := range sched {
+		switch op.kind {
+		case 0:
+			trace = append(trace, fmt.Sprintf("op%d p%d.LL=%d", i, op.pid, handles[op.pid].LL()))
+		case 1:
+			trace = append(trace, fmt.Sprintf("op%d p%d.SC(%d)=%v", i, op.pid, op.value, handles[op.pid].SC(op.value)))
+		case 2:
+			trace = append(trace, fmt.Sprintf("op%d p%d.VL=%v", i, op.pid, handles[op.pid].VL()))
+		}
+	}
+	return trace, nil
+}
+
+func TestDifferentialLLSC(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			sched := randomLLSCSchedule(xorshift(0x7f4a7c15+uint32(n)), n, 3000)
+			var refID string
+			var ref []string
+			for _, info := range Implementations() {
+				if info.Kind != "llsc" || !info.Correct {
+					continue
+				}
+				obj, err := NewLLSCByID(info.ID, n, WithValueBits(4))
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				trace, err := runLLSCSchedule(obj, n, sched)
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				if ref == nil {
+					refID, ref = info.ID, trace
+					continue
+				}
+				for i := range trace {
+					if trace[i] != ref[i] {
+						t.Fatalf("%s diverges from %s at op %d:\n  %s: %s\n  %s: %s",
+							info.ID, refID, i, refID, ref[i], info.ID, trace[i])
+					}
+				}
+			}
+			if ref == nil {
+				t.Fatal("no correct LL/SC implementations registered")
+			}
+		})
+	}
+}
+
+func TestDifferentialBoundedTagFoilFails(t *testing.T) {
+	// The foil must construct through the same public path...
+	var foil ImplInfo
+	for _, info := range Implementations() {
+		if info.Kind == "detector" && !info.Correct {
+			foil = info
+		}
+	}
+	if foil.ID == "" {
+		t.Fatal("no detector foil registered")
+	}
+
+	// ...and must DISAGREE with a correct implementation on the wraparound
+	// schedule: a poised reader, exactly 2^k same-value writes, a read.
+	// boundedtag1 has k=1, so 2 writes wrap the tag.
+	const wrapWrites = 2
+	schedule := func(reg DetectingRegister) (bool, error) {
+		w, err := reg.Handle(0)
+		if err != nil {
+			return false, err
+		}
+		r, err := reg.Handle(1)
+		if err != nil {
+			return false, err
+		}
+		w.DWrite(1)
+		r.DRead() // the reader is now poised on the pre-wrap word
+		for i := 0; i < wrapWrites; i++ {
+			w.DWrite(1)
+		}
+		_, dirty := r.DRead()
+		return dirty, nil
+	}
+
+	correct, err := NewDetectingRegisterByID("fig4", 2, WithValueBits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := schedule(correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("fig4 missed real writes — the reference itself is broken")
+	}
+
+	foilReg, err := NewDetectingRegisterByID(foil.ID, 2, WithValueBits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err = schedule(foilReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty {
+		t.Errorf("%s detected the wraparound burst; the foil is supposed to miss it past 2^k writes", foil.ID)
+	}
+}

@@ -31,6 +31,33 @@
 //     whose tag domain grows forever) and NewDetectingRegisterBoundedTag
 //     (the folklore k-bit tag scheme, deliberately unsound at wraparound).
 //
+// # Implementation registry
+//
+// Every implementation is registered under a stable ID; Implementations
+// lists the catalog (ID, theorem, footprint formula m(n), step bound t(n),
+// bounded/unbounded, correct/foil) and NewDetectingRegisterByID /
+// NewLLSCByID construct by ID.  The same registry drives the experiment
+// harness, the verification tests, and the abalab CLI, so the catalog and
+// the coverage cannot drift apart.
+//
+// # Backends
+//
+// Constructors allocate their base objects from a Backend, selected with
+// WithBackend: NativeBackend (plain atomic words, the default),
+// PaddedBackend (one cache line per object — no false sharing),
+// NewCountingBackend (per-process shared-memory step counts, the paper's
+// time measure), and NewAuditBackend (the used value domain per object, the
+// paper's bounded/unbounded separation).  The algorithms are identical on
+// every backend; only the substrate changes.
+//
+// # Scaling out
+//
+// NewShardedDetectingArray builds an array of independent detecting
+// registers — per key, per queue head, per session slot — with per-shard
+// detection state, cache-line striped layout by default, an aggregate
+// Footprint, and any registered implementation as the shard type
+// (WithShardImpl).
+//
 // # Process model
 //
 // Every object is created for a fixed number of processes n; each process

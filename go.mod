@@ -1,0 +1,3 @@
+module abadetect
+
+go 1.24

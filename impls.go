@@ -1,0 +1,89 @@
+package abadetect
+
+import (
+	"fmt"
+
+	"abadetect/internal/registry"
+)
+
+// ImplInfo describes one registered implementation: a named point of the
+// paper's time–space trade-off.
+type ImplInfo struct {
+	// ID is the stable identifier, usable with NewDetectingRegisterByID /
+	// NewLLSCByID and the abalab -impl flag.
+	ID string
+	// Kind is "detector" (DWrite/DRead) or "llsc" (LL/SC/VL).
+	Kind string
+	// Summary is a one-line description.
+	Summary string
+	// Theorem names the paper artifact the implementation realizes.
+	Theorem string
+	// Space is the footprint formula m(n).
+	Space string
+	// Steps is the step bound t(n).
+	Steps string
+	// Bounded reports whether only bounded base objects are used.
+	Bounded bool
+	// Correct is false for the deliberate foils (the folklore bounded-tag
+	// scheme), which are registered so experiments can exhibit their
+	// failure.
+	Correct bool
+}
+
+// Objects evaluates the footprint formula m(n).
+func (i ImplInfo) Objects(n int) int {
+	im, ok := registry.Lookup(i.ID)
+	if !ok {
+		return 0
+	}
+	return im.SpaceFn(n)
+}
+
+// Implementations lists every registered implementation.  The same table
+// drives the experiment harness, the verification tests, and cmd/abalab;
+// anything constructible here is coverable there.
+func Implementations() []ImplInfo {
+	all := registry.All()
+	out := make([]ImplInfo, 0, len(all))
+	for _, im := range all {
+		out = append(out, ImplInfo{
+			ID:      im.ID,
+			Kind:    string(im.Kind),
+			Summary: im.Summary,
+			Theorem: im.Theorem,
+			Space:   im.Space,
+			Steps:   im.Steps,
+			Bounded: im.Bounded,
+			Correct: im.Correct,
+		})
+	}
+	return out
+}
+
+// NewDetectingRegisterByID builds the registered detector implementation
+// named id for n processes.  IDs are listed by Implementations (Kind
+// "detector").  Foils construct too — their flaw is the point of having
+// them.
+func NewDetectingRegisterByID(id string, n int, opts ...Option) (DetectingRegister, error) {
+	im, ok := registry.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("abadetect: unknown implementation %q (see Implementations)", id)
+	}
+	if im.Kind != registry.KindDetector {
+		return nil, fmt.Errorf("abadetect: implementation %q is %s, not a detecting register", id, im.Kind)
+	}
+	return newDetectorByImpl(im, n, buildOptions(opts))
+}
+
+// NewLLSCByID builds the registered LL/SC/VL implementation named id for n
+// processes.  IDs are listed by Implementations (Kind "llsc").
+func NewLLSCByID(id string, n int, opts ...Option) (LLSC, error) {
+	im, ok := registry.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("abadetect: unknown implementation %q (see Implementations)", id)
+	}
+	if im.Kind != registry.KindLLSC {
+		return nil, fmt.Errorf("abadetect: implementation %q is %s, not an LL/SC object", id, im.Kind)
+	}
+	return newLLSCByImpl(im, n, buildOptions(opts))
+}

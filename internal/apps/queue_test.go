@@ -1,8 +1,11 @@
 package apps
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"abadetect/internal/shmem"
 )
@@ -123,11 +126,18 @@ func TestQueueInterleavedTwoHandles(t *testing.T) {
 
 func TestQueueStressMPMC(t *testing.T) {
 	// Multi-producer multi-consumer accounting + per-producer FIFO order.
+	// Consumers run until every producer has finished AND the queue reads
+	// empty — never on a fixed quota or miss budget, which can strand the
+	// producers spinning on an exhausted pool with nobody left to drain it
+	// (the deadline converts any genuine loss of progress into a clean
+	// failure instead of a hang).
 	const producers = 4
 	const consumers = 4
 	const perProducer = 400
 	q := newQueue(t, producers+consumers, 32)
+	deadline := time.Now().Add(2 * time.Minute)
 
+	var producersDone atomic.Int32
 	var wg sync.WaitGroup
 	consumed := make([][]Word, consumers)
 	for c := 0; c < consumers; c++ {
@@ -135,14 +145,20 @@ func TestQueueStressMPMC(t *testing.T) {
 		wg.Add(1)
 		go func(c int, h *QueueHandle) {
 			defer wg.Done()
-			misses := 0
-			for len(consumed[c]) < perProducer && misses < 2_000_000 {
+			for {
 				if v, ok := h.Deq(); ok {
 					consumed[c] = append(consumed[c], v)
-					misses = 0
-				} else {
-					misses++
+					continue
 				}
+				// Empty right now.  Only quit once no producer can refill.
+				if producersDone.Load() == producers {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Error("consumer timed out waiting for producers")
+					return
+				}
+				runtime.Gosched()
 			}
 		}(c, h)
 	}
@@ -151,15 +167,24 @@ func TestQueueStressMPMC(t *testing.T) {
 		wg.Add(1)
 		go func(p int, h *QueueHandle) {
 			defer wg.Done()
+			defer producersDone.Add(1)
 			for i := 0; i < perProducer; i++ {
 				v := Word(p)<<32 | Word(i)
 				for !h.Enq(v) {
-					// pool momentarily exhausted; consumers will drain
+					// Pool momentarily exhausted; consumers will drain.
+					if time.Now().After(deadline) {
+						t.Errorf("producer %d timed out at item %d", p, i)
+						return
+					}
+					runtime.Gosched()
 				}
 			}
 		}(p, h)
 	}
 	wg.Wait()
+	if t.Failed() {
+		return
+	}
 
 	// Drain leftovers.
 	h := queueHandle(t, q, 0)

@@ -6,6 +6,7 @@ import (
 
 	"abadetect/internal/apps"
 	"abadetect/internal/core"
+	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
 
@@ -152,10 +153,12 @@ func E7Separation() (*Table, error) {
 	n := 4
 	auditU := shmem.NewAudited(shmem.NewNativeFactory())
 	auditF := shmem.NewAudited(shmem.NewNativeFactory())
-	unb, err := core.NewUnbounded(auditU, n, 8, 0)
+	unb, err := registry.MustLookup("unbounded").NewDetector(auditU, n, 8, 0)
 	if err != nil {
 		return nil, err
 	}
+	// Concrete construction: the declared-bound column needs the codec,
+	// which only the concrete type exposes.
 	fig4, err := core.NewRegisterBased(auditF, n, 8, 0)
 	if err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ func TestE2TimeSpaceShape(t *testing.T) {
 	// Figure 3 rows must show t = 2n+1.
 	found := 0
 	for _, row := range tbl.Rows {
-		if row[1] == "Figure 3 (1 CAS)" {
+		if row[1] == "fig3 (1 CAS)" {
 			found++
 			switch row[0] {
 			case "2":
@@ -108,6 +108,64 @@ func TestE1AndE8Verdicts(t *testing.T) {
 	for i := 1; i < len(e8.Rows); i++ {
 		if !strings.HasPrefix(e8.Rows[i][4], "REFUTED") {
 			t.Errorf("E8: ablation %d not refuted: %v", i, e8.Rows[i])
+		}
+	}
+}
+
+func TestExperimentIndex(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 10 {
+		t.Fatalf("index has %d experiments, want 10", len(exps))
+	}
+	for i, e := range exps {
+		if want := "E" + string(rune('1'+i)); i < 9 && e.ID != want {
+			t.Errorf("experiment %d is %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete entry", e.ID)
+		}
+	}
+	if exps[9].ID != "E10" {
+		t.Errorf("last experiment is %q, want E10", exps[9].ID)
+	}
+	if _, ok := Lookup("E2"); !ok {
+		t.Error("Lookup(E2) failed")
+	}
+	if _, ok := Lookup("E42"); ok {
+		t.Error("Lookup accepted an unknown ID")
+	}
+}
+
+func TestE10ThroughputShape(t *testing.T) {
+	tbl, err := E10Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per registered implementation plus two sharded rows.
+	if len(tbl.Rows) < 9+2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	ids := map[string]bool{}
+	for _, row := range tbl.Rows {
+		ids[row[0]] = true
+	}
+	for _, want := range []string{"fig4", "fig3", "constant", "moir", "unbounded", "sharded[fig4] K=1"} {
+		if !ids[want] {
+			t.Errorf("throughput table lacks %q", want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := &Table{ID: "EX", Title: "demo", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Table{tbl}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ID": "EX"`, `"Title": "demo"`, `"Rows"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"abadetect/internal/llsc"
 	"abadetect/internal/lowerbound"
 	"abadetect/internal/machine"
+	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
 
@@ -175,26 +176,24 @@ func E2TimeSpace(ns []int) (*Table, error) {
 		Title:  "time-space trade-off under the hiding adversary (Thm 1(b,c), Cor 1, Fig 2)",
 		Header: []string{"n", "implementation", "m", "victim LL steps t", "m*t", "lower bound (n-1)/2"},
 	}
-	builders := []struct {
-		name  string
-		build func(f shmem.Factory, n int) (llsc.Object, error)
-	}{
-		{"Figure 3 (1 CAS)", func(f shmem.Factory, n int) (llsc.Object, error) {
-			return llsc.NewCASBased(f, n, 8, 0)
-		}},
-		{"ConstantTime (1 CAS + n regs)", func(f shmem.Factory, n int) (llsc.Object, error) {
-			return llsc.NewConstantTime(f, n, 8, 0)
-		}},
-	}
+	// Every registered bounded LL/SC implementation sits on the m·t = Θ(n)
+	// frontier; the unbounded ones are outside the lower bound's regime.
 	for _, n := range ns {
-		for _, b := range builders {
-			res, err := lowerbound.AdversarialLL(b.build, n)
+		for _, im := range registry.LLSCs() {
+			if !im.Bounded {
+				continue
+			}
+			im := im
+			build := func(f shmem.Factory, n int) (llsc.Object, error) {
+				return im.NewLLSC(f, n, 8, 0)
+			}
+			res, err := lowerbound.AdversarialLL(build, n)
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(
 				fmt.Sprintf("%d", n),
-				b.name,
+				fmt.Sprintf("%s (%s)", im.ID, im.Space),
 				fmt.Sprintf("%d", res.Objects),
 				fmt.Sprintf("%d", res.VictimSteps),
 				fmt.Sprintf("%d", res.TimeSpaceProduct),
@@ -202,7 +201,7 @@ func E2TimeSpace(ns []int) (*Table, error) {
 			)
 		}
 	}
-	t.AddNote("Figure 3: t grows as 2n+1 with m=1; ConstantTime: t stays <= 5 with m=n+1; both satisfy m*t >= (n-1)/2.")
+	t.AddNote("fig3: t grows as 2n+1 with m=1; constant: t stays <= 5 with m=n+1; both satisfy m*t >= (n-1)/2.")
 	t.AddNote("the adversary interleaves successful SCs between every two victim steps, exactly the Lemma 2/3 hiding construction.")
 	return t, nil
 }

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -73,4 +74,12 @@ func FprintAll(w io.Writer, tables []*Table) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders tables as an indented JSON array — the machine-readable
+// form behind abalab -json and the BENCH_baseline.json snapshot.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

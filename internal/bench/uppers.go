@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/core"
 	"abadetect/internal/llsc"
+	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 	"abadetect/internal/sim"
 	"abadetect/internal/verify"
@@ -14,6 +15,21 @@ import (
 // experiments.
 func smallExploreLimits() sim.ExploreLimits {
 	return sim.ExploreLimits{MaxSteps: 200, MaxExecutions: 400000}
+}
+
+// llscBuilder adapts a registered LL/SC implementation to the verify
+// harness's builder signature at the given value width.
+func llscBuilder(im registry.Impl, valueBits uint) verify.LLSCBuilder {
+	return func(f shmem.Factory, n int) (llsc.Object, error) {
+		return im.NewLLSC(f, n, valueBits, 0)
+	}
+}
+
+// detectorBuilder adapts a registered detector implementation likewise.
+func detectorBuilder(im registry.Impl, valueBits uint) verify.DetectorBuilder {
+	return func(f shmem.Factory, n int) (core.Detector, error) {
+		return im.NewDetector(f, n, valueBits, 0)
+	}
 }
 
 // E3Fig3 reproduces Theorem 2 / Figure 3 / Appendix D: the single-CAS
@@ -27,9 +43,8 @@ func E3Fig3() (*Table, error) {
 		Title:  "LL/SC/VL from a single bounded CAS (Thm 2, Fig 3, App. D)",
 		Header: []string{"check", "result"},
 	}
-	build := func(f shmem.Factory, n int) (llsc.Object, error) {
-		return llsc.NewCASBased(f, n, 4, 0)
-	}
+	fig3 := registry.MustLookup("fig3")
+	build := llscBuilder(fig3, 4)
 
 	exh, err := verify.ExhaustiveLLSC(build, 0, verify.LLSCWorkload{
 		{verify.LL(), verify.SC(1), verify.VL()},
@@ -61,7 +76,7 @@ func E3Fig3() (*Table, error) {
 	// Uncontended step complexity on the native substrate.
 	for _, n := range []int{2, 8, 32} {
 		cf := shmem.NewCounting(shmem.NewNativeFactory(), n)
-		obj, err := llsc.NewCASBased(cf, n, 8, 0)
+		obj, err := fig3.NewLLSC(cf, n, 8, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -92,9 +107,8 @@ func E4Fig4() (*Table, error) {
 		Title:  "ABA-detecting register from n+1 bounded registers (Thm 3, Fig 4, App. C)",
 		Header: []string{"check", "result"},
 	}
-	build := func(f shmem.Factory, n int) (core.Detector, error) {
-		return core.NewRegisterBased(f, n, 4, 0)
-	}
+	fig4 := registry.MustLookup("fig4")
+	build := detectorBuilder(fig4, 4)
 
 	exh, err := verify.ExhaustiveDetector(build, 0, verify.DetectorWorkload{
 		{verify.W(1), verify.W(2), verify.W(1)},
@@ -123,6 +137,8 @@ func E4Fig4() (*Table, error) {
 
 	for _, n := range []int{2, 16, 256, 1024} {
 		f := shmem.NewNativeFactory()
+		// Concrete construction: the declared-bits report needs the codec,
+		// which only the concrete type exposes.
 		reg, err := core.NewRegisterBased(f, n, 8, 0)
 		if err != nil {
 			return nil, err
@@ -146,49 +162,33 @@ func E5Fig5() (*Table, error) {
 		Title:  "ABA-detecting register from one LL/SC/VL object (Thm 4, Fig 5, App. A)",
 		Header: []string{"check", "result"},
 	}
-	type buildCase struct {
-		name  string
-		build verify.DetectorBuilder
-	}
-	cases := []buildCase{
-		{"Fig5 over Fig3 (Thm 2: 1 bounded CAS)", func(f shmem.Factory, n int) (core.Detector, error) {
-			obj, err := llsc.NewCASBased(f, n, 4, 0)
+	// Figure 5 composes over *any* LL/SC object: enumerate every registered
+	// one rather than keeping a private list of compositions.
+	for _, im := range registry.LLSCs() {
+		im := im
+		build := func(f shmem.Factory, n int) (core.Detector, error) {
+			obj, err := im.NewLLSC(f, n, 4, 0)
 			if err != nil {
 				return nil, err
 			}
 			return core.NewLLSCBased(obj)
-		}},
-		{"Fig5 over ConstantTime", func(f shmem.Factory, n int) (core.Detector, error) {
-			obj, err := llsc.NewConstantTime(f, n, 4, 0)
-			if err != nil {
-				return nil, err
-			}
-			return core.NewLLSCBased(obj)
-		}},
-		{"Fig5 over Moir (unbounded)", func(f shmem.Factory, n int) (core.Detector, error) {
-			obj, err := llsc.NewMoir(f, n, 4, 0)
-			if err != nil {
-				return nil, err
-			}
-			return core.NewLLSCBased(obj)
-		}},
-	}
-	for _, c := range cases {
-		exh, err := verify.ExhaustiveDetector(c.build, 0, verify.DetectorWorkload{
+		}
+		exh, err := verify.ExhaustiveDetector(build, 0, verify.DetectorWorkload{
 			{verify.W(1), verify.W(1)},
 			{verify.R(), verify.R()},
 		}, smallExploreLimits())
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(c.name, fmt.Sprintf("linearizable over %d executions; max DWrite=%d, DRead=%d steps",
-			exh.Executions, exh.MaxOpSteps["DWrite"], exh.MaxOpSteps["DRead"]))
+		t.AddRow(fmt.Sprintf("Fig5 over %s (%s)", im.ID, im.Theorem),
+			fmt.Sprintf("linearizable over %d executions; max DWrite=%d, DRead=%d steps",
+				exh.Executions, exh.MaxOpSteps["DWrite"], exh.MaxOpSteps["DRead"]))
 	}
 
 	// Step complexity over the O(1) object: LL/SC ops are single steps for
 	// Moir, so Figure 5's "two shared steps" is directly visible.
 	cf := shmem.NewCounting(shmem.NewNativeFactory(), 2)
-	obj, err := llsc.NewMoir(cf, 2, 8, 0)
+	obj, err := registry.MustLookup("moir").NewLLSC(cf, 2, 8, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -228,9 +228,8 @@ func E9ConstantTime() (*Table, error) {
 		Title:  "constant-time LL/SC/VL from one CAS + n registers ([2,15]-style announcement construction)",
 		Header: []string{"check", "result"},
 	}
-	build := func(f shmem.Factory, n int) (llsc.Object, error) {
-		return llsc.NewConstantTime(f, n, 4, 0)
-	}
+	constant := registry.MustLookup("constant")
+	build := llscBuilder(constant, 4)
 	exh, err := verify.ExhaustiveLLSC(build, 0, verify.LLSCWorkload{
 		{verify.LL(), verify.SC(1), verify.VL()},
 		{verify.LL(), verify.SC(2)},
@@ -257,7 +256,7 @@ func E9ConstantTime() (*Table, error) {
 
 	for _, n := range []int{2, 16, 48} {
 		f := shmem.NewNativeFactory()
-		if _, err := llsc.NewConstantTime(f, n, 8, 0); err != nil {
+		if _, err := constant.NewLLSC(f, n, 8, 0); err != nil {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("footprint at n=%d", n), f.Footprint().String())

@@ -1,0 +1,106 @@
+package core
+
+import "fmt"
+
+// ShardedArray is an array of K independent ABA-detecting registers
+// ("shards") behind one object and one per-process handle.
+//
+// The paper's registers are single cells; a system serving heavy traffic
+// needs many of them — per key, per queue head, per session slot.  Building
+// K separate registers multiplies constructor boilerplate and, worse, tempts
+// callers into sharing one register across unrelated keys, where every
+// writer dirties every reader.  A ShardedArray keeps the shards fully
+// independent: a DWrite to shard i never affects the dirty flag of a DRead
+// on shard j, detection state is tracked per (process, shard) pair, and the
+// aggregate footprint is just the sum of the shards' footprints (K·m(n)
+// base objects — the paper's per-register bounds apply shard-wise).
+//
+// Shards are built by a caller-supplied constructor, so any registered
+// implementation (and any factory: native, padded, counting, audit,
+// simulator) can back the array.  Allocating shards through a padded
+// factory stripes them across cache lines, which is what makes per-shard
+// independence real on hardware and not just in the model.
+type ShardedArray struct {
+	n      int
+	shards []Detector
+}
+
+// NewShardedArray builds an array of shards independent detecting registers
+// for n processes, constructing each with build (called with the shard
+// index, so the builder can name or place shards individually).
+func NewShardedArray(n, shards int, build func(shard int) (Detector, error)) (*ShardedArray, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: ShardedArray needs n >= 1, got %d", n)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: ShardedArray needs shards >= 1, got %d", shards)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("core: ShardedArray needs a shard builder")
+	}
+	a := &ShardedArray{n: n, shards: make([]Detector, shards)}
+	for i := range a.shards {
+		d, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: ShardedArray shard %d: %w", i, err)
+		}
+		if d.NumProcs() != n {
+			return nil, fmt.Errorf("core: ShardedArray shard %d built for %d processes, want %d", i, d.NumProcs(), n)
+		}
+		a.shards[i] = d
+	}
+	return a, nil
+}
+
+// NumProcs returns n.
+func (a *ShardedArray) NumProcs() int { return a.n }
+
+// Shards returns the number of shards K.
+func (a *ShardedArray) Shards() int { return len(a.shards) }
+
+// Shard returns shard i, for per-shard experiments and audits.
+func (a *ShardedArray) Shard(i int) (Detector, error) {
+	if i < 0 || i >= len(a.shards) {
+		return nil, fmt.Errorf("core: shard %d out of range [0,%d)", i, len(a.shards))
+	}
+	return a.shards[i], nil
+}
+
+// Handle returns process pid's handle over every shard.  Per-shard handles
+// are created eagerly: a handle owns the paper's process-local detection
+// state for each shard, so Handle is O(K) and the operations are O(1) in K.
+func (a *ShardedArray) Handle(pid int) (*ShardedHandle, error) {
+	if pid < 0 || pid >= a.n {
+		return nil, fmt.Errorf("core: pid %d out of range [0,%d)", pid, a.n)
+	}
+	h := &ShardedHandle{hs: make([]Handle, len(a.shards))}
+	for i, d := range a.shards {
+		sh, err := d.Handle(pid)
+		if err != nil {
+			return nil, fmt.Errorf("core: ShardedArray shard %d: %w", i, err)
+		}
+		h.hs[i] = sh
+	}
+	return h, nil
+}
+
+// ShardedHandle is a per-process endpoint to every shard.  Like all handles
+// in this repository it must be used by at most one goroutine at a time;
+// distinct handles operate on all shards concurrently.
+type ShardedHandle struct {
+	hs []Handle
+}
+
+// Shards returns the number of shards K.
+func (h *ShardedHandle) Shards() int { return len(h.hs) }
+
+// DWrite writes v to shard i.
+func (h *ShardedHandle) DWrite(i int, v Word) {
+	h.hs[i].DWrite(v)
+}
+
+// DRead returns shard i's value and whether any process performed a DWrite
+// on shard i since this handle's previous DRead of shard i.
+func (h *ShardedHandle) DRead(i int) (Word, bool) {
+	return h.hs[i].DRead()
+}

@@ -1,0 +1,111 @@
+package registry
+
+import (
+	"testing"
+
+	"abadetect/internal/shmem"
+)
+
+func TestTableWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, im := range All() {
+		if im.ID == "" || im.Summary == "" || im.Theorem == "" || im.Space == "" || im.Steps == "" {
+			t.Errorf("%q: incomplete metadata: %+v", im.ID, im)
+		}
+		if seen[im.ID] {
+			t.Errorf("duplicate ID %q", im.ID)
+		}
+		seen[im.ID] = true
+		switch im.Kind {
+		case KindDetector:
+			if im.NewDetector == nil || im.NewLLSC != nil {
+				t.Errorf("%q: detector entry must set exactly NewDetector", im.ID)
+			}
+		case KindLLSC:
+			if im.NewLLSC == nil || im.NewDetector != nil {
+				t.Errorf("%q: llsc entry must set exactly NewLLSC", im.ID)
+			}
+		default:
+			t.Errorf("%q: unknown kind %q", im.ID, im.Kind)
+		}
+		if im.SpaceFn == nil {
+			t.Errorf("%q: missing SpaceFn", im.ID)
+		}
+		if !im.Correct && im.TagBits == 0 {
+			t.Errorf("%q: foil must declare its tag width", im.ID)
+		}
+	}
+	if len(Detectors())+len(LLSCs()) != len(All()) {
+		t.Error("kinds do not partition the registry")
+	}
+}
+
+func TestEveryImplConstructsAndMatchesFootprint(t *testing.T) {
+	for _, im := range All() {
+		for _, n := range []int{1, 2, 8} {
+			f := shmem.NewNativeFactory()
+			var err error
+			if im.Kind == KindDetector {
+				_, err = im.NewDetector(f, n, 8, 0)
+			} else {
+				_, err = im.NewLLSC(f, n, 8, 0)
+			}
+			if err != nil {
+				t.Errorf("%s: n=%d: %v", im.ID, n, err)
+				continue
+			}
+			if got, want := f.Footprint().Objects(), im.SpaceFn(n); got != want {
+				t.Errorf("%s: n=%d: footprint %d, SpaceFn says %d", im.ID, n, got, want)
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range IDs() {
+		im, ok := Lookup(id)
+		if !ok || im.ID != id {
+			t.Errorf("Lookup(%q) = (%q, %v)", id, im.ID, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-impl"); ok {
+		t.Error("Lookup accepted an unknown ID")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup did not panic on unknown ID")
+		}
+	}()
+	MustLookup("no-such-impl")
+}
+
+func TestDetectorsBehaveOnSmoke(t *testing.T) {
+	// Cheap behavioral smoke so a registry entry pointing at the wrong
+	// constructor fails here, close to the table.
+	for _, im := range Detectors() {
+		if !im.Correct {
+			continue
+		}
+		d, err := im.NewDetector(shmem.NewNativeFactory(), 2, 8, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", im.ID, err)
+		}
+		w, err := d.Handle(0)
+		if err != nil {
+			t.Fatalf("%s: %v", im.ID, err)
+		}
+		r, err := d.Handle(1)
+		if err != nil {
+			t.Fatalf("%s: %v", im.ID, err)
+		}
+		w.DWrite(3)
+		if v, dirty := r.DRead(); v != 3 || !dirty {
+			t.Errorf("%s: DRead = (%d,%v), want (3,true)", im.ID, v, dirty)
+		}
+		w.DWrite(5)
+		w.DWrite(3)
+		if v, dirty := r.DRead(); v != 3 || !dirty {
+			t.Errorf("%s: ABA missed: DRead = (%d,%v), want (3,true)", im.ID, v, dirty)
+		}
+	}
+}

@@ -3,9 +3,6 @@ package verify
 import (
 	"testing"
 	"testing/quick"
-
-	"abadetect/internal/core"
-	"abadetect/internal/shmem"
 )
 
 func TestConformanceDetectorsQuick(t *testing.T) {
@@ -79,9 +76,7 @@ func TestConformanceCatchesBoundedTag(t *testing.T) {
 	// The conformance oracle must reject the bounded-tag register on the
 	// wraparound script: writes of value 0, 2^k of them, between two reads
 	// by the same process.
-	build := func(f shmem.Factory, n int) (core.Detector, error) {
-		return core.NewBoundedTag(f, n, 4, 1, 0) // wraps every 2 writes
-	}
+	build := buildBoundedTag1 // wraps every 2 writes
 	// pid layout for n=2: even bytes -> pid 0, odd -> pid 1.
 	// read by p1, write, write (value 0), read by p1.
 	script := []byte{

@@ -6,58 +6,50 @@ import (
 
 	"abadetect/internal/core"
 	"abadetect/internal/llsc"
+	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 	"abadetect/internal/sim"
 )
 
-// Builders for the detectors under verification.
+// The implementations under verification come from the registry: anything
+// registered as correct is checked by every harness in this package, so a
+// new implementation is covered by adding its registry entry.  All builders
+// use a 4-bit value domain to keep the exhaustive state spaces small.
 
-func buildRegisterBased(f shmem.Factory, n int) (core.Detector, error) {
-	return core.NewRegisterBased(f, n, 4, 0)
-}
-
-func buildUnbounded(f shmem.Factory, n int) (core.Detector, error) {
-	return core.NewUnbounded(f, n, 4, 0)
-}
-
-func buildFig5OverFig3(f shmem.Factory, n int) (core.Detector, error) {
-	obj, err := llsc.NewCASBased(f, n, 4, 0)
-	if err != nil {
-		return nil, err
+func registryDetectorBuilder(id string) DetectorBuilder {
+	im := registry.MustLookup(id)
+	return func(f shmem.Factory, n int) (core.Detector, error) {
+		return im.NewDetector(f, n, 4, 0)
 	}
-	return core.NewLLSCBased(obj)
 }
 
-func buildFig5OverConstantTime(f shmem.Factory, n int) (core.Detector, error) {
-	obj, err := llsc.NewConstantTime(f, n, 4, 0)
-	if err != nil {
-		return nil, err
+func registryLLSCBuilder(id string) LLSCBuilder {
+	im := registry.MustLookup(id)
+	return func(f shmem.Factory, n int) (llsc.Object, error) {
+		return im.NewLLSC(f, n, 4, 0)
 	}
-	return core.NewLLSCBased(obj)
 }
 
-func buildFig5OverMoir(f shmem.Factory, n int) (core.Detector, error) {
-	obj, err := llsc.NewMoir(f, n, 4, 0)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewLLSCBased(obj)
-}
+// Named builders for the tests that target one specific implementation.
+var (
+	buildRegisterBased = registryDetectorBuilder("fig4")
+	buildBoundedTag1   = registryDetectorBuilder("boundedtag1") // wraps every 2 writes
+)
 
-func buildBoundedTag1(f shmem.Factory, n int) (core.Detector, error) {
-	return core.NewBoundedTag(f, n, 4, 1, 0) // 1-bit tag: wraps every 2 writes
-}
-
-var correctDetectors = []struct {
+type implCase struct {
 	name  string
 	build DetectorBuilder
-}{
-	{"RegisterBased(Fig4)", buildRegisterBased},
-	{"Fig5/Fig3", buildFig5OverFig3},
-	{"Fig5/ConstantTime", buildFig5OverConstantTime},
-	{"Fig5/Moir", buildFig5OverMoir},
-	{"Unbounded", buildUnbounded},
 }
+
+var correctDetectors = func() []implCase {
+	var cases []implCase
+	for _, im := range registry.Detectors() {
+		if im.Correct {
+			cases = append(cases, implCase{im.ID, registryDetectorBuilder(im.ID)})
+		}
+	}
+	return cases
+}()
 
 // limits generous enough for the workloads below, tight enough to catch a
 // combinatorial mistake instead of hanging the test suite.
@@ -98,7 +90,7 @@ func TestExhaustiveDetectorABAWriteBack(t *testing.T) {
 	}
 	for _, tc := range correctDetectors {
 		wl := small
-		if tc.name == "RegisterBased(Fig4)" || tc.name == "Unbounded" {
+		if tc.name == "fig4" || tc.name == "unbounded" {
 			wl = fixedStep
 		}
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,7 +112,7 @@ func TestExhaustiveDetectorThreeProcs(t *testing.T) {
 		{R()},
 	}
 	for _, tc := range correctDetectors {
-		if tc.name != "RegisterBased(Fig4)" && tc.name != "Unbounded" {
+		if tc.name != "fig4" && tc.name != "unbounded" {
 			continue // loop-prone: covered by random schedules below
 		}
 		t.Run(tc.name, func(t *testing.T) {
@@ -199,26 +191,25 @@ func TestRandomDetectorLongerWorkloads(t *testing.T) {
 
 // LL/SC/VL verification.
 
-func buildCASBasedLLSC(f shmem.Factory, n int) (llsc.Object, error) {
-	return llsc.NewCASBased(f, n, 4, 0)
-}
+var (
+	buildCASBasedLLSC     = registryLLSCBuilder("fig3")
+	buildConstantTimeLLSC = registryLLSCBuilder("constant")
+)
 
-func buildConstantTimeLLSC(f shmem.Factory, n int) (llsc.Object, error) {
-	return llsc.NewConstantTime(f, n, 4, 0)
-}
-
-func buildMoirLLSC(f shmem.Factory, n int) (llsc.Object, error) {
-	return llsc.NewMoir(f, n, 4, 0)
-}
-
-var correctLLSC = []struct {
+type llscCase struct {
 	name  string
 	build LLSCBuilder
-}{
-	{"CASBased(Fig3)", buildCASBasedLLSC},
-	{"ConstantTime", buildConstantTimeLLSC},
-	{"Moir", buildMoirLLSC},
 }
+
+var correctLLSC = func() []llscCase {
+	var cases []llscCase
+	for _, im := range registry.LLSCs() {
+		if im.Correct {
+			cases = append(cases, llscCase{im.ID, registryLLSCBuilder(im.ID)})
+		}
+	}
+	return cases
+}()
 
 func TestExhaustiveLLSCTwoProcs(t *testing.T) {
 	wl := LLSCWorkload{

@@ -1,0 +1,101 @@
+package abadetect
+
+import (
+	"fmt"
+
+	"abadetect/internal/core"
+	"abadetect/internal/registry"
+)
+
+// ShardedDetectingArray is an array of independent ABA-detecting registers
+// ("shards") — the scale-out form of the paper's register for systems that
+// guard many hot references at once (per key, per queue head, per session
+// slot).
+//
+// Shards are fully independent: a DWrite to shard i never dirties a DRead
+// of shard j, and detection state is per (process, shard) pair.  By default
+// shards are the paper's Figure 4 registers (O(1) steps each) allocated
+// through PaddedBackend, which stripes every base object onto its own cache
+// line so concurrent traffic on different shards does not false-share.
+// Both choices are options: WithShardImpl selects any registered detector
+// implementation and WithBackend any substrate.
+//
+// Footprint reports the aggregate: shards × m(n) base objects, the paper's
+// per-register space bound applied shard-wise.
+type ShardedDetectingArray struct {
+	inner *core.ShardedArray
+	fp    Footprint
+}
+
+// WithShardImpl selects the registered detector implementation backing each
+// shard of a ShardedDetectingArray (default "fig4"; see Implementations for
+// the catalog).  Other constructors ignore it.
+func WithShardImpl(id string) Option {
+	return func(o *options) { o.shardImpl = id }
+}
+
+// NewShardedDetectingArray builds an array of shards independent
+// ABA-detecting registers shared by n processes.
+func NewShardedDetectingArray(n, shards int, opts ...Option) (*ShardedDetectingArray, error) {
+	o := buildOptions(opts)
+	id := o.shardImpl
+	if id == "" {
+		id = "fig4"
+	}
+	im, ok := registry.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("abadetect: unknown shard implementation %q (see Implementations)", id)
+	}
+	if im.Kind != registry.KindDetector {
+		return nil, fmt.Errorf("abadetect: shard implementation %q is %s, not a detecting register", id, im.Kind)
+	}
+	if o.backend == nil {
+		o.backend = PaddedBackend()
+	}
+	// One factory for the whole array: Footprint aggregates across shards.
+	f := o.factory()
+	inner, err := core.NewShardedArray(n, shards, func(int) (core.Detector, error) {
+		return im.NewDetector(f, n, o.valueBits, o.initial)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDetectingArray{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// NumProcs returns n.
+func (a *ShardedDetectingArray) NumProcs() int { return a.inner.NumProcs() }
+
+// Shards returns the number of shards.
+func (a *ShardedDetectingArray) Shards() int { return a.inner.Shards() }
+
+// Footprint returns the base objects used by all shards together.
+func (a *ShardedDetectingArray) Footprint() Footprint { return a.fp }
+
+// Handle returns the endpoint for process pid in [0, n).  A handle must be
+// used by at most one goroutine at a time; distinct handles may operate on
+// all shards concurrently.
+func (a *ShardedDetectingArray) Handle(pid int) (*ShardedArrayHandle, error) {
+	h, err := a.inner.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedArrayHandle{inner: h}, nil
+}
+
+// ShardedArrayHandle is a process's endpoint to every shard of a
+// ShardedDetectingArray.
+type ShardedArrayHandle struct {
+	inner *core.ShardedHandle
+}
+
+// Shards returns the number of shards.
+func (h *ShardedArrayHandle) Shards() int { return h.inner.Shards() }
+
+// DWrite writes v to shard i.  It panics if i is out of [0, Shards()).
+func (h *ShardedArrayHandle) DWrite(i int, v Word) { h.inner.DWrite(i, v) }
+
+// DRead returns shard i's value and whether any process performed a DWrite
+// on shard i since this handle's previous DRead of shard i.  It panics if i
+// is out of [0, Shards()).
+func (h *ShardedArrayHandle) DRead(i int) (Word, bool) { return h.inner.DRead(i) }

@@ -1,0 +1,278 @@
+package abadetect
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedArrayBasics(t *testing.T) {
+	const n, shards = 4, 8
+	a, err := NewShardedDetectingArray(n, shards, WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumProcs() != n || a.Shards() != shards {
+		t.Fatalf("NumProcs=%d Shards=%d", a.NumProcs(), a.Shards())
+	}
+	// Aggregate footprint: shards x (n+1) Figure 4 registers.
+	if fp := a.Footprint(); fp.Registers != shards*(n+1) || fp.CASObjects != 0 {
+		t.Errorf("footprint = %v, want %d registers", fp, shards*(n+1))
+	}
+
+	w, err := a.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shards() != shards {
+		t.Errorf("handle Shards = %d", w.Shards())
+	}
+	// Independence: traffic on shard 3 is invisible on every other shard,
+	// and the shard-local ABA is still detected.
+	for s := 0; s < shards; s++ {
+		r.DRead(s)
+	}
+	w.DWrite(3, 9)
+	w.DWrite(3, 5)
+	w.DWrite(3, 9)
+	for s := 0; s < shards; s++ {
+		v, dirty := r.DRead(s)
+		if s == 3 && (v != 9 || !dirty) {
+			t.Errorf("shard 3: DRead = (%d,%v), want (9,true)", v, dirty)
+		}
+		if s != 3 && dirty {
+			t.Errorf("shard %d dirtied by shard 3 traffic", s)
+		}
+	}
+}
+
+func TestShardedArrayValidation(t *testing.T) {
+	if _, err := NewShardedDetectingArray(0, 4); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewShardedDetectingArray(2, 0); err == nil {
+		t.Error("want error for shards=0")
+	}
+	if _, err := NewShardedDetectingArray(2, 4, WithShardImpl("no-such-impl")); err == nil {
+		t.Error("want error for unknown shard implementation")
+	}
+	if _, err := NewShardedDetectingArray(2, 4, WithShardImpl("fig3")); err == nil {
+		t.Error("want error for an llsc-kind shard implementation")
+	}
+	a, err := NewShardedDetectingArray(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Handle(5); err == nil {
+		t.Error("want error for pid out of range")
+	}
+}
+
+func TestShardedArrayShardImplOption(t *testing.T) {
+	// Every registered correct detector must work as the shard type.
+	for _, info := range Implementations() {
+		if info.Kind != "detector" || !info.Correct {
+			continue
+		}
+		a, err := NewShardedDetectingArray(2, 3, WithShardImpl(info.ID), WithValueBits(8))
+		if err != nil {
+			t.Fatalf("%s: %v", info.ID, err)
+		}
+		if got, want := a.Footprint().Objects(), 3*info.Objects(2); got != want {
+			t.Errorf("%s: footprint %d objects, want 3 x m(2) = %d", info.ID, got, want)
+		}
+		w, err := a.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.Handle(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.DWrite(2, 5)
+		w.DWrite(2, 5) // same value: only metadata reveals the second write
+		if v, dirty := r.DRead(2); v != 5 || !dirty {
+			t.Errorf("%s: DRead = (%d,%v), want (5,true)", info.ID, v, dirty)
+		}
+		if _, dirty := r.DRead(2); dirty {
+			t.Errorf("%s: spurious dirty on quiet shard", info.ID)
+		}
+	}
+}
+
+func TestShardedArrayConcurrent(t *testing.T) {
+	const n, shards = 4, 4
+	a, err := NewShardedDetectingArray(n, shards, WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		h, err := a.Handle(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(pid int, h *ShardedArrayHandle) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s := (pid + i) % shards
+				if pid%2 == 0 {
+					h.DWrite(s, Word(i&0xffff))
+				} else if _, dirty := h.DRead(s); dirty {
+					_ = dirty
+				}
+			}
+		}(pid, h)
+	}
+	wg.Wait()
+}
+
+func TestCountingBackend(t *testing.T) {
+	be := NewCountingBackend(4)
+	reg, err := NewDetectingRegister(4, WithBackend(be))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DWrite(1)
+	if got := be.Steps(0); got != 2 {
+		t.Errorf("DWrite took %d counted steps, claimed 2 (Fig 4)", got)
+	}
+	h.DRead()
+	if got := be.Steps(0); got != 6 {
+		t.Errorf("DWrite+DRead took %d counted steps, claimed 2+4 (Fig 4)", got)
+	}
+	// Aggregation across objects built through the same backend.
+	obj, err := NewLLSC(4, WithBackend(be), WithValueBits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := obj.Handle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh.LL()
+	if be.Steps(1) == 0 {
+		t.Error("steps on a second object not aggregated")
+	}
+	if be.TotalSteps() != be.Steps(0)+be.Steps(1) {
+		t.Error("TotalSteps does not sum per-pid counts")
+	}
+	be.Reset()
+	if be.TotalSteps() != 0 {
+		t.Error("Reset did not zero the counters")
+	}
+	if be.Steps(-1) != 0 || be.Steps(99) != 0 {
+		t.Error("out-of-range pids must read zero")
+	}
+}
+
+func TestAuditBackend(t *testing.T) {
+	be := NewAuditBackend()
+	unbounded, err := NewDetectingRegisterUnboundedTag(2, WithBackend(be), WithValueBits(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := unbounded.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		w.DWrite(Word(i % 5))
+	}
+	grown := be.MaxBitsUsed()
+	if grown <= 8 {
+		t.Errorf("unbounded baseline used only %d bits after 1000 writes", grown)
+	}
+
+	// Figure 4 through a fresh audit backend stays within its declared
+	// bounded domain no matter how many writes happen.
+	be2 := NewAuditBackend()
+	fig4, err := NewDetectingRegister(2, WithBackend(be2), WithValueBits(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := fig4.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		w2.DWrite(Word(i % 5))
+	}
+	if be2.MaxBitsUsed() >= grown {
+		t.Errorf("Fig 4 used %d bits, not separated from unbounded's %d", be2.MaxBitsUsed(), grown)
+	}
+}
+
+func TestPaddedBackend(t *testing.T) {
+	reg, err := NewDetectingRegister(4, WithBackend(PaddedBackend()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := reg.Footprint(); fp.Registers != 5 {
+		t.Errorf("padding changed the footprint: %v", fp)
+	}
+	w, _ := reg.Handle(0)
+	r, _ := reg.Handle(1)
+	w.DWrite(3)
+	if v, dirty := r.DRead(); v != 3 || !dirty {
+		t.Errorf("DRead over padded backend = (%d,%v)", v, dirty)
+	}
+}
+
+func TestImplementationsCatalog(t *testing.T) {
+	infos := Implementations()
+	if len(infos) == 0 {
+		t.Fatal("empty catalog")
+	}
+	byID := map[string]ImplInfo{}
+	for _, info := range infos {
+		byID[info.ID] = info
+	}
+	for _, id := range []string{"fig4", "fig5-fig3", "fig5-constant", "unbounded", "fig3", "constant", "moir", "boundedtag1"} {
+		if _, ok := byID[id]; !ok {
+			t.Errorf("catalog lacks %q", id)
+		}
+	}
+	if byID["fig4"].Objects(8) != 9 {
+		t.Errorf("fig4 m(8) = %d, want 9", byID["fig4"].Objects(8))
+	}
+	if byID["boundedtag1"].Correct {
+		t.Error("the foil is marked correct")
+	}
+
+	// Every catalog entry is constructible through its ByID constructor.
+	for _, info := range infos {
+		switch info.Kind {
+		case "detector":
+			if _, err := NewDetectingRegisterByID(info.ID, 3, WithValueBits(8)); err != nil {
+				t.Errorf("NewDetectingRegisterByID(%q): %v", info.ID, err)
+			}
+			if _, err := NewLLSCByID(info.ID, 3); err == nil {
+				t.Errorf("NewLLSCByID(%q) accepted a detector ID", info.ID)
+			}
+		case "llsc":
+			if _, err := NewLLSCByID(info.ID, 3, WithValueBits(8)); err != nil {
+				t.Errorf("NewLLSCByID(%q): %v", info.ID, err)
+			}
+			if _, err := NewDetectingRegisterByID(info.ID, 3); err == nil {
+				t.Errorf("NewDetectingRegisterByID(%q) accepted an llsc ID", info.ID)
+			}
+		default:
+			t.Errorf("%s: unknown kind %q", info.ID, info.Kind)
+		}
+	}
+	if _, err := NewDetectingRegisterByID("no-such-impl", 2); err == nil {
+		t.Error("want error for unknown detector ID")
+	}
+	if _, err := NewLLSCByID("no-such-impl", 2); err == nil {
+		t.Error("want error for unknown llsc ID")
+	}
+}
