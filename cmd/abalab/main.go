@@ -12,6 +12,13 @@
 //	abalab -impl fig4 -n 8  # inspect one implementation at n processes
 //	abalab -impl all -n 8   # ... or every implementation
 //	abalab -json ...        # any of the above, as machine-readable JSON
+//
+// Benchmark regression check: re-run the E10 throughput experiment and diff
+// it against a committed snapshot (BENCH_baseline.json is the seed,
+// BENCH_pr2.json the slab/devirtualized substrate):
+//
+//	abalab -bench-compare BENCH_baseline.json
+//	abalab -json > BENCH_pr3.json   # record a new snapshot
 package main
 
 import (
@@ -38,11 +45,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only   = fs.String("run", "", "run a single experiment (E1..E10)")
-		list   = fs.Bool("list", false, "list experiments and implementations, then exit")
-		impl   = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
-		n      = fs.Int("n", 8, "process count for -impl")
-		asJSON = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		only    = fs.String("run", "", "run a single experiment (E1..E10)")
+		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
+		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
+		n       = fs.Int("n", 8, "process count for -impl")
+		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		compare = fs.String("bench-compare", "", "diff a fresh E10 run against a benchmark snapshot (e.g. BENCH_baseline.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +68,18 @@ func run(args []string, out io.Writer) error {
 			return printIndexJSON(out)
 		}
 		return printIndex(out)
+	}
+
+	if *compare != "" {
+		snapshot, err := bench.LoadTables(*compare)
+		if err != nil {
+			return err
+		}
+		tbl, _, err := bench.CompareE10(snapshot)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	if *impl != "" {

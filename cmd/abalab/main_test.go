@@ -114,6 +114,46 @@ func TestImplUnknown(t *testing.T) {
 	}
 }
 
+func TestBenchCompare(t *testing.T) {
+	// The committed PR2 snapshot must be loadable and comparable: every E10
+	// row of the snapshot reappears in a fresh run with a parsed speedup.
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr2.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E10-compare" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Error("comparison has no rows")
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) != 5 {
+			t.Errorf("comparison row %v has %d cells, want 5", row, len(row))
+		}
+		if row[4] == "new" {
+			t.Errorf("row %v missing from the committed snapshot", row)
+		}
+		if row[4] == "removed" {
+			t.Errorf("snapshot row %v no longer produced by a fresh run", row)
+		}
+	}
+}
+
+func TestBenchCompareMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "no-such-snapshot.json"}, &buf); err == nil {
+		t.Error("want error for missing snapshot file")
+	}
+}
+
 func TestJSONExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-run", "E2", "-json"}, &buf); err != nil {

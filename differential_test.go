@@ -108,6 +108,62 @@ func TestDifferentialDetectors(t *testing.T) {
 	}
 }
 
+func TestDifferentialSlabBackend(t *testing.T) {
+	// The slab substrate changes only the layout, never the semantics:
+	// every correct detector must produce, over SlabBackend, exactly the
+	// read trace it produces over NativeBackend on the same schedule.
+	for _, n := range []int{1, 2, 5} {
+		sched := randomDetectorSchedule(xorshift(0x51ab51ab+uint32(n)), n, 3000)
+		for _, info := range Implementations() {
+			if info.Kind != "detector" || !info.Correct {
+				continue
+			}
+			var traces [2][]string
+			for i, be := range []Backend{NativeBackend(), SlabBackend()} {
+				reg, err := NewDetectingRegisterByID(info.ID, n, WithValueBits(4), WithBackend(be))
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				traces[i], err = runDetectorSchedule(reg, n, sched)
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+			}
+			for i := range traces[0] {
+				if traces[0][i] != traces[1][i] {
+					t.Fatalf("n=%d %s: slab diverges from native at read %d:\n  native: %s\n  slab:   %s",
+						n, info.ID, i, traces[0][i], traces[1][i])
+				}
+			}
+		}
+		// Same layout-independence requirement for the LL/SC objects, whose
+		// hot paths were devirtualized the same way.
+		llSched := randomLLSCSchedule(xorshift(0x51abcc+uint32(n)), n, 3000)
+		for _, info := range Implementations() {
+			if info.Kind != "llsc" || !info.Correct {
+				continue
+			}
+			var traces [2][]string
+			for i, be := range []Backend{NativeBackend(), SlabBackend()} {
+				obj, err := NewLLSCByID(info.ID, n, WithValueBits(4), WithBackend(be))
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+				traces[i], err = runLLSCSchedule(obj, n, llSched)
+				if err != nil {
+					t.Fatalf("%s: %v", info.ID, err)
+				}
+			}
+			for i := range traces[0] {
+				if traces[0][i] != traces[1][i] {
+					t.Fatalf("n=%d %s: slab diverges from native at op %d:\n  native: %s\n  slab:   %s",
+						n, info.ID, i, traces[0][i], traces[1][i])
+				}
+			}
+		}
+	}
+}
+
 // llOp is one step of an LL/SC/VL schedule.
 type llOp struct {
 	pid   int

@@ -43,12 +43,20 @@
 // # Backends
 //
 // Constructors allocate their base objects from a Backend, selected with
-// WithBackend: NativeBackend (plain atomic words, the default),
-// PaddedBackend (one cache line per object — no false sharing),
+// WithBackend: NativeBackend (plain atomic words, the default), SlabBackend
+// (all of an object's base objects contiguous in one slab of atomic words —
+// best cache behavior for sequential and read-mostly traffic), PaddedBackend
+// (one cache line per object — no false sharing under concurrent writes),
 // NewCountingBackend (per-process shared-memory step counts, the paper's
 // time measure), and NewAuditBackend (the used value domain per object, the
 // paper's bounded/unbounded separation).  The algorithms are identical on
 // every backend; only the substrate changes.
+//
+// The direct substrates (native, slab, padded) devirtualize the hot paths:
+// algorithms bind raw atomic-word accessors at construction and Handle()
+// time, so every shared step is one inlined atomic instruction and every
+// operation runs allocation-free.  The instrumented backends keep the
+// dynamic-call path so their measurements stay exact.
 //
 // # Scaling out
 //

@@ -1,0 +1,206 @@
+package abadetect
+
+// Hot-path micro-benchmarks and zero-allocation guards for every registered
+// implementation on the direct substrates (native and slab).  These are the
+// per-operation costs behind the paper's t(n): BenchmarkHotPath isolates
+// each operation, TestHotPathAllocs pins every one of them to 0 allocs/op
+// so an accidental interface boxing or slice growth on a hot path fails CI
+// instead of quietly eating throughput.
+//
+// Run with: go test -bench HotPath -benchmem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hotBackends are the direct substrates the devirtualized fast paths bind
+// on; the instrumented backends intentionally stay on the interface path
+// and are exempt from these guards.
+func hotBackends() map[string]Backend {
+	return map[string]Backend{
+		"native": NativeBackend(),
+		"slab":   SlabBackend(),
+		"padded": PaddedBackend(),
+	}
+}
+
+const hotProcs = 8
+
+// TestHotPathAllocs asserts that every hot operation of every registered
+// implementation — DWrite and DRead for detectors, LL, SC, and VL for
+// LL/SC/VL objects — performs zero heap allocations per call on both direct
+// substrates.
+func TestHotPathAllocs(t *testing.T) {
+	for beName, be := range hotBackends() {
+		for _, info := range Implementations() {
+			t.Run(beName+"/"+info.ID, func(t *testing.T) {
+				switch info.Kind {
+				case "detector":
+					reg, err := NewDetectingRegisterByID(info.ID, hotProcs, WithValueBits(16), WithBackend(be))
+					if err != nil {
+						t.Fatal(err)
+					}
+					w, err := reg.Handle(0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r, err := reg.Handle(1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var i Word
+					if got := testing.AllocsPerRun(200, func() {
+						w.DWrite(i & 0xffff)
+						i++
+					}); got != 0 {
+						t.Errorf("DWrite allocates %.1f/op, want 0", got)
+					}
+					if got := testing.AllocsPerRun(200, func() {
+						r.DRead()
+					}); got != 0 {
+						t.Errorf("DRead allocates %.1f/op, want 0", got)
+					}
+				case "llsc":
+					obj, err := NewLLSCByID(info.ID, hotProcs, WithValueBits(16), WithBackend(be))
+					if err != nil {
+						t.Fatal(err)
+					}
+					h, err := obj.Handle(0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := testing.AllocsPerRun(200, func() {
+						v := h.LL()
+						if !h.SC((v + 1) & 0xffff) {
+							t.Fatal("uncontended SC failed")
+						}
+					}); got != 0 {
+						t.Errorf("LL+SC allocates %.1f/op, want 0", got)
+					}
+					if got := testing.AllocsPerRun(200, func() {
+						h.VL()
+					}); got != 0 {
+						t.Errorf("VL allocates %.1f/op, want 0", got)
+					}
+				default:
+					t.Fatalf("unknown kind %q", info.Kind)
+				}
+			})
+		}
+	}
+}
+
+// TestHotPathAllocsSharded extends the zero-allocation guard to the sharded
+// array's per-shard operations.
+func TestHotPathAllocsSharded(t *testing.T) {
+	for beName, be := range hotBackends() {
+		t.Run(beName, func(t *testing.T) {
+			arr, err := NewShardedDetectingArray(hotProcs, 4, WithValueBits(16), WithBackend(be))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := arr.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var i Word
+			if got := testing.AllocsPerRun(200, func() {
+				h.DWrite(int(i)%4, i&0xffff)
+				h.DRead(int(i) % 4)
+				i++
+			}); got != 0 {
+				t.Errorf("sharded DWrite+DRead allocates %.1f/op, want 0", got)
+			}
+		})
+	}
+}
+
+// BenchmarkHotPath measures each hot operation of each registered
+// implementation in isolation, plus the interleaved write+read pair the E10
+// throughput experiment times, on both direct substrates.
+func BenchmarkHotPath(b *testing.B) {
+	for _, beName := range []string{"native", "slab"} {
+		be := hotBackends()[beName]
+		for _, info := range Implementations() {
+			switch info.Kind {
+			case "detector":
+				benchDetectorOps(b, beName, info.ID, be)
+			case "llsc":
+				benchLLSCOps(b, beName, info.ID, be)
+			}
+		}
+	}
+}
+
+func benchDetectorOps(b *testing.B, beName, id string, be Backend) {
+	newReg := func(b *testing.B) (DetectHandle, DetectHandle) {
+		reg, err := NewDetectingRegisterByID(id, hotProcs, WithValueBits(16), WithBackend(be))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := reg.Handle(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := reg.Handle(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w, r
+	}
+	b.Run(fmt.Sprintf("%s/%s/DWrite", beName, id), func(b *testing.B) {
+		w, _ := newReg(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.DWrite(Word(i & 0xffff))
+		}
+	})
+	b.Run(fmt.Sprintf("%s/%s/DRead", beName, id), func(b *testing.B) {
+		_, r := newReg(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.DRead()
+		}
+	})
+	b.Run(fmt.Sprintf("%s/%s/pair", beName, id), func(b *testing.B) {
+		w, r := newReg(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.DWrite(Word(i & 0xffff))
+			r.DRead()
+		}
+	})
+}
+
+func benchLLSCOps(b *testing.B, beName, id string, be Backend) {
+	newObj := func(b *testing.B) LLSCHandle {
+		obj, err := NewLLSCByID(id, hotProcs, WithValueBits(16), WithBackend(be))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := obj.Handle(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	b.Run(fmt.Sprintf("%s/%s/LL+SC", beName, id), func(b *testing.B) {
+		h := newObj(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := h.LL()
+			if !h.SC((v + 1) & 0xffff) {
+				b.Fatal("uncontended SC failed")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("%s/%s/VL", beName, id), func(b *testing.B) {
+		h := newObj(b)
+		h.LL()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.VL()
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// This file is the benchmark regression harness: it re-runs the E10
+// throughput experiment and diffs it against a committed snapshot
+// (BENCH_baseline.json at the seed, BENCH_pr2.json after the slab/devirt
+// work), so "did the hot paths get slower?" is one abalab invocation
+// instead of archaeology.  cmd/abalab exposes it as -bench-compare.
+
+// LoadTables reads a JSON snapshot written by WriteJSON (the format behind
+// abalab -json and the committed BENCH_*.json files).
+func LoadTables(path string) ([]*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var tables []*Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return tables, nil
+}
+
+// FindTable returns the table with the given experiment ID.
+func FindTable(tables []*Table, id string) (*Table, bool) {
+	for _, t := range tables {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// CompareResult is one benchmark comparison row plus its verdict.
+type CompareResult struct {
+	// Implementation and Workload identify the benchmark row.
+	Implementation, Workload string
+	// BaseNs and CurNs are ns/op in the snapshot and in the fresh run.
+	BaseNs, CurNs float64
+	// Speedup is BaseNs / CurNs: > 1 got faster, < 1 regressed.
+	Speedup float64
+}
+
+// CompareE10 runs a fresh E10 throughput experiment and diffs every row
+// that also appears in the snapshot (matched on implementation + workload).
+// It returns the rendered comparison table plus the raw results for
+// programmatic thresholds.
+func CompareE10(snapshot []*Table) (*Table, []CompareResult, error) {
+	base, ok := FindTable(snapshot, "E10")
+	if !ok {
+		return nil, nil, fmt.Errorf("bench: snapshot has no E10 table")
+	}
+	baseNs, err := e10NsPerOp(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	fresh, err := E10Throughput()
+	if err != nil {
+		return nil, nil, err
+	}
+	curNs, err := e10NsPerOp(fresh)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &Table{
+		ID:     "E10-compare",
+		Title:  "benchmark regression check: fresh E10 run vs committed snapshot",
+		Header: []string{"implementation", "workload", "snapshot ns/op", "current ns/op", "speedup"},
+	}
+	var results []CompareResult
+	var faster, slower int
+	seen := make(map[string]bool, len(fresh.Rows))
+	for _, row := range fresh.Rows {
+		key := e10Key(row)
+		seen[key] = true
+		b, inBase := baseNs[key]
+		c := curNs[key]
+		if !inBase {
+			t.AddRow(row[0], row[2], "-", fmt.Sprintf("%.1f", c), "new")
+			continue
+		}
+		r := CompareResult{
+			Implementation: row[0],
+			Workload:       row[2],
+			BaseNs:         b,
+			CurNs:          c,
+			Speedup:        b / c,
+		}
+		results = append(results, r)
+		switch {
+		case r.Speedup >= 1.05:
+			faster++
+		case r.Speedup <= 0.95:
+			slower++
+		}
+		t.AddRow(row[0], row[2],
+			fmt.Sprintf("%.1f", b), fmt.Sprintf("%.1f", c), fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	// Snapshot rows with no fresh counterpart would otherwise vanish
+	// silently, shrinking the regression surface without a signal — render
+	// them as "removed" (this also catches renamed implementations and
+	// relabeled workloads).
+	for _, row := range base.Rows {
+		if !seen[e10Key(row)] {
+			t.AddRow(row[0], row[2], fmt.Sprintf("%.1f", baseNs[e10Key(row)]), "-", "removed")
+		}
+	}
+	t.AddNote("speedup = snapshot / current: above 1.00x is faster than the snapshot.")
+	t.AddNote("%d rows ≥1.05x faster, %d rows ≤0.95x slower (runs are single-shot; treat ±5%% as noise).", faster, slower)
+	return t, results, nil
+}
+
+// e10Key identifies an E10 row across runs.
+func e10Key(row []string) string { return row[0] + "|" + row[2] }
+
+// e10NsPerOp indexes an E10 table's ns/op column by implementation+workload.
+func e10NsPerOp(t *Table) (map[string]float64, error) {
+	col := -1
+	for i, h := range t.Header {
+		if h == "ns/op" {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("bench: table %s has no ns/op column", t.ID)
+	}
+	out := make(map[string]float64, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			return nil, fmt.Errorf("bench: table %s has a short row %v", t.ID, row)
+		}
+		ns, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table %s row %v: %w", t.ID, row, err)
+		}
+		out[e10Key(row)] = ns
+	}
+	return out, nil
+}

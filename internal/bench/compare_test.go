@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLoadTablesRoundTrip(t *testing.T) {
+	tables := []*Table{{
+		ID:     "E10",
+		Title:  "t",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
+		Rows:   [][]string{{"fig4", "detector", "DWrite+DRead pair", "1000", "42.0", "23.81"}},
+		Notes:  []string{"n"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTables(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "E10" || got[0].Rows[0][4] != "42.0" {
+		t.Errorf("round trip mangled the snapshot: %+v", got)
+	}
+}
+
+func TestLoadTablesErrors(t *testing.T) {
+	if _, err := LoadTables(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTables(bad); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}
+
+func TestCompareE10(t *testing.T) {
+	// Snapshot = one real run; comparing a second real run against it must
+	// match every row (same registry, same workloads) and parse every ns/op.
+	snapTable, err := E10Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, results, err := CompareE10([]*Table{snapTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(snapTable.Rows) {
+		t.Errorf("compared %d rows, snapshot has %d", len(results), len(snapTable.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "-" {
+			t.Errorf("row %v missing from same-registry snapshot", row)
+		}
+		if !strings.HasSuffix(row[4], "x") {
+			t.Errorf("row %v speedup not rendered: %q", row, row[4])
+		}
+	}
+	for _, r := range results {
+		if r.BaseNs <= 0 || r.CurNs <= 0 || r.Speedup <= 0 {
+			t.Errorf("degenerate comparison %+v", r)
+		}
+	}
+}
+
+func TestCompareE10ReportsRemovedRows(t *testing.T) {
+	// A snapshot row with no fresh counterpart must surface as "removed",
+	// not silently shrink the comparison.
+	snapTable, err := E10Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapTable.AddRow("ghost-impl", "detector", "DWrite+DRead pair", "1000", "10.0", "100.00")
+	tbl, _, err := CompareE10([]*Table{snapTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "ghost-impl" && row[4] == "removed" && row[2] == "10.0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("removed snapshot row not reported:\n%+v", tbl.Rows)
+	}
+}
+
+func TestCompareE10MissingTable(t *testing.T) {
+	if _, _, err := CompareE10([]*Table{{ID: "E1"}}); err == nil {
+		t.Error("want error for snapshot without E10")
+	}
+}
+
+func TestE10NsPerOpErrors(t *testing.T) {
+	if _, err := e10NsPerOp(&Table{ID: "x", Header: []string{"a", "b"}}); err == nil {
+		t.Error("want error for missing ns/op column")
+	}
+	bad := &Table{
+		ID:     "x",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
+		Rows:   [][]string{{"fig4", "detector", "w", "1", "not-a-number", "0"}},
+	}
+	if _, err := e10NsPerOp(bad); err == nil {
+		t.Error("want error for unparsable ns/op")
+	}
+	short := &Table{
+		ID:     "x",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
+		Rows:   [][]string{{"fig4"}},
+	}
+	if _, err := e10NsPerOp(short); err == nil {
+		t.Error("want error for short row")
+	}
+	good := &Table{
+		ID:     "x",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
+		Rows:   [][]string{{"fig4", "detector", "w", "1", "12.5", "0"}},
+	}
+	m, err := e10NsPerOp(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["fig4|w"]; got != 12.5 {
+		t.Errorf("ns/op = %s, want 12.5", strconv.FormatFloat(got, 'f', -1, 64))
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"abadetect/internal/getseq"
 	"abadetect/internal/shmem"
@@ -20,12 +21,21 @@ import (
 // observed and announced by a reader is not reused by its writer until the
 // announcement changes, so comparing X against the previous announcement
 // detects every intervening write (paper, Appendix C).
+//
+// On the direct substrates (native, slab, padded) the construction binds raw
+// *atomic.Uint64 accessors to X and A at build time, so each of those shared
+// steps compiles to one inlined atomic instruction; on instrumented or
+// simulated substrates every step stays a dynamic call the wrapper can
+// count, audit, or schedule.
 type RegisterBased struct {
 	n       int
 	codec   shmem.TripleCodec
 	initial Word
 	x       shmem.Register
 	a       []shmem.Register
+
+	xd *atomic.Uint64   // devirtualized X, nil on indirect substrates
+	ad []*atomic.Uint64 // devirtualized A, nil on indirect substrates
 }
 
 var _ Detector = (*RegisterBased)(nil)
@@ -54,6 +64,11 @@ func NewRegisterBased(f shmem.Factory, n int, valueBits uint, initial Word) (*Re
 	for q := range r.a {
 		r.a[q] = f.NewRegister(fmt.Sprintf("A[%d]", q), codec.Bottom())
 	}
+	if ad := shmem.DirectRegisters(r.a); ad != nil {
+		if xd := shmem.Direct(r.x); xd != nil {
+			r.xd, r.ad = xd, ad
+		}
+	}
 	return r, nil
 }
 
@@ -72,16 +87,33 @@ func (r *RegisterBased) Handle(pid int) (Handle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &registerBasedHandle{r: r, pid: pid, picker: picker}, nil
+	h := &registerBasedHandle{
+		r:      r,
+		pid:    pid,
+		picker: picker,
+		layout: r.codec.Bind(pid),
+	}
+	if r.xd != nil {
+		h.xd = r.xd
+		h.myA = r.ad[pid]
+	}
+	return h, nil
 }
 
 // registerBasedHandle carries the paper's process-local variables: the flag
-// b and the GetSeq state (usedQ, na, c, inside picker).
+// b and the GetSeq state (usedQ, na, c, inside picker).  When the substrate
+// devirtualizes, xd and myA are the handle's direct accessors to X and its
+// own announce slot, bound once at Handle() time; layout binds the codec's
+// constants alongside them so the per-operation encode, pair projection,
+// and value extraction are raw word arithmetic with no codec copy.
 type registerBasedHandle struct {
 	r      *RegisterBased
 	pid    int
 	b      bool
 	picker *getseq.Picker
+	xd     *atomic.Uint64
+	myA    *atomic.Uint64
+	layout shmem.BoundTriple
 }
 
 var _ Handle = (*registerBasedHandle)(nil)
@@ -90,32 +122,41 @@ var _ Handle = (*registerBasedHandle)(nil)
 // inside GetSeq, one write of X).  It panics if v exceeds the value domain
 // declared at construction.
 func (h *registerBasedHandle) DWrite(v Word) {
-	s := h.picker.Next()                              // line 26 (1 shared step)
-	h.r.x.Write(h.pid, h.r.codec.Encode(v, h.pid, s)) // line 27
+	if v > h.layout.MaxValue() {
+		h.r.codec.CheckValue(v) // cold: renders the panic
+	}
+	s := h.picker.Next()       // line 26 (1 shared step)
+	w := h.layout.Encode(v, s) // line 27's triple, pid/seq in range by construction
+	if h.xd != nil {
+		h.xd.Store(w) // line 27, devirtualized
+		return
+	}
+	h.r.x.Write(h.pid, w) // line 27
 }
 
 // DRead implements Figure 4 lines 38-50: four shared-memory steps.
 func (h *registerBasedHandle) DRead() (Word, bool) {
 	r := h.r
-	w1 := r.x.Read(h.pid)                     // line 38: (x, p, s)
-	old := r.a[h.pid].Read(h.pid)             // line 39: (r, sr)
-	r.a[h.pid].Write(h.pid, r.codec.Pair(w1)) // line 40: announce (p, s)
-	w2 := r.x.Read(h.pid)                     // line 41: (x', p', s')
+	var w1, old, w2 Word
+	if h.xd != nil {
+		w1 = h.xd.Load()               // line 38: (x, p, s)
+		old = h.myA.Load()             // line 39: (r, sr)
+		h.myA.Store(h.layout.Pair(w1)) // line 40: announce (p, s)
+		w2 = h.xd.Load()               // line 41: (x', p', s')
+	} else {
+		w1 = r.x.Read(h.pid)                       // line 38
+		old = r.a[h.pid].Read(h.pid)               // line 39
+		r.a[h.pid].Write(h.pid, h.layout.Pair(w1)) // line 40
+		w2 = r.x.Read(h.pid)                       // line 41
+	}
 
 	var dirty bool
-	if r.codec.Pair(w1) == old { // line 42: (p, s) = (r, sr)?
+	if h.layout.Pair(w1) == old { // line 42: (p, s) = (r, sr)?
 		dirty = h.b // line 43
 	} else {
 		dirty = true // line 45
 	}
-	h.b = w1 != w2            // lines 46-49: (x, p, s) = (x', p', s')?
-	return r.value(w1), dirty // line 50 (value read at line 38)
-}
-
-// value maps a stored word to the register value it represents.
-func (r *RegisterBased) value(w Word) Word {
-	if r.codec.IsBottom(w) {
-		return r.initial
-	}
-	return r.codec.Value(w)
+	h.b = w1 != w2 // lines 46-49: (x, p, s) = (x', p', s')?
+	// Line 50: the value read at line 38, ⊥ mapping to the initial value.
+	return h.layout.Value(w1, r.initial), dirty
 }

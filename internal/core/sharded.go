@@ -69,6 +69,11 @@ func (a *ShardedArray) Shard(i int) (Detector, error) {
 // Handle returns process pid's handle over every shard.  Per-shard handles
 // are created eagerly: a handle owns the paper's process-local detection
 // state for each shard, so Handle is O(K) and the operations are O(1) in K.
+//
+// When every shard is a Figure 4 register (the default shard type), the
+// handle additionally binds the concrete per-shard handles, so per-shard
+// operations skip the Handle interface dispatch and call the devirtualized
+// register methods directly.
 func (a *ShardedArray) Handle(pid int) (*ShardedHandle, error) {
 	if pid < 0 || pid >= a.n {
 		return nil, fmt.Errorf("core: pid %d out of range [0,%d)", pid, a.n)
@@ -81,6 +86,17 @@ func (a *ShardedArray) Handle(pid int) (*ShardedHandle, error) {
 		}
 		h.hs[i] = sh
 	}
+	// All shards or nothing: a partially concrete fast path would change
+	// dispatch semantics mid-array.
+	fig4 := make([]*registerBasedHandle, len(h.hs))
+	for i, sh := range h.hs {
+		rb, ok := sh.(*registerBasedHandle)
+		if !ok {
+			return h, nil
+		}
+		fig4[i] = rb
+	}
+	h.fig4 = fig4
 	return h, nil
 }
 
@@ -88,7 +104,8 @@ func (a *ShardedArray) Handle(pid int) (*ShardedHandle, error) {
 // in this repository it must be used by at most one goroutine at a time;
 // distinct handles operate on all shards concurrently.
 type ShardedHandle struct {
-	hs []Handle
+	hs   []Handle
+	fig4 []*registerBasedHandle // concrete fast path; nil unless every shard is Figure 4
 }
 
 // Shards returns the number of shards K.
@@ -96,11 +113,18 @@ func (h *ShardedHandle) Shards() int { return len(h.hs) }
 
 // DWrite writes v to shard i.
 func (h *ShardedHandle) DWrite(i int, v Word) {
+	if h.fig4 != nil {
+		h.fig4[i].DWrite(v)
+		return
+	}
 	h.hs[i].DWrite(v)
 }
 
 // DRead returns shard i's value and whether any process performed a DWrite
 // on shard i since this handle's previous DRead of shard i.
 func (h *ShardedHandle) DRead(i int) (Word, bool) {
+	if h.fig4 != nil {
+		return h.fig4[i].DRead()
+	}
 	return h.hs[i].DRead()
 }

@@ -181,6 +181,97 @@ func TestAllSeqValuesEventuallyUsed(t *testing.T) {
 	}
 }
 
+// genRecount recomputes the forbidden multiset from na and used into marks,
+// reusing the scratch across calls via a generation counter instead of a
+// full clear (the slow-path technique: one int bump replaces an O(domain)
+// reset).  Returns the per-seq counts for the current generation.
+type genRecount struct {
+	gen   uint64
+	stamp []uint64
+	count []int32
+}
+
+func newGenRecount(seqVals int) *genRecount {
+	return &genRecount{stamp: make([]uint64, seqVals), count: make([]int32, seqVals)}
+}
+
+func (g *genRecount) at(s int) int32 {
+	if g.stamp[s] != g.gen {
+		return 0
+	}
+	return g.count[s]
+}
+
+func (g *genRecount) add(s int) {
+	if g.stamp[s] != g.gen {
+		g.stamp[s] = g.gen
+		g.count[s] = 0
+	}
+	g.count[s]++
+}
+
+func (g *genRecount) recount(p *Picker) {
+	g.gen++
+	for _, s := range p.na {
+		if s >= 0 {
+			g.add(s)
+		}
+	}
+	for _, s := range p.used {
+		if s >= 0 {
+			g.add(s)
+		}
+	}
+}
+
+func TestIncrementalForbiddenMatchesRecount(t *testing.T) {
+	// The incremental refcounts must agree, after every Next, with a from-
+	// scratch recount of na ∪ usedQ, under announcements that appear, move,
+	// and vanish; and every unblocked number must sit in the candidate ring.
+	n := 4
+	codec, a := newEnv(t, n)
+	const me = 1
+	p, err := New(me, n, codec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newGenRecount(codec.SeqVals())
+	rng := uint32(0x1234567)
+	for i := 0; i < 40*(2*n+2); i++ {
+		// Churn one announce slot pseudo-randomly: ours, another pid's, or ⊥.
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		q := int(rng) & (n - 1)
+		switch (rng >> 8) % 3 {
+		case 0:
+			a[q].Write(q, codec.EncodePair(me, int((rng>>10))%codec.SeqVals()))
+		case 1:
+			a[q].Write(q, codec.EncodePair((me+1)%n, int((rng>>10))%codec.SeqVals()))
+		case 2:
+			a[q].Write(q, codec.Bottom())
+		}
+
+		s := p.Next()
+		rec.recount(p)
+		for v := 0; v < codec.SeqVals(); v++ {
+			if p.refcnt[v] != rec.at(v) {
+				t.Fatalf("call %d: refcnt[%d] = %d, recount = %d", i, v, p.refcnt[v], rec.at(v))
+			}
+			if p.refcnt[v] == 0 && !p.inFree[v] {
+				t.Fatalf("call %d: free seq %d missing from candidate ring", i, v)
+			}
+		}
+		// The returned number was forbidden by nothing but its own fresh
+		// usedQ slot, and never by a scanned announcement of our pid.
+		for _, nas := range p.na {
+			if nas == s {
+				t.Fatalf("call %d: returned seq %d is na-blocked", i, s)
+			}
+		}
+	}
+}
+
 func TestDomainNeverExhausted(t *testing.T) {
 	// Even with every announce slot blocking a distinct seq for this pid,
 	// Next always finds a value (domain 2n+2 > n + n+1).

@@ -2,6 +2,7 @@ package llsc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"abadetect/internal/shmem"
 )
@@ -19,10 +20,14 @@ import (
 // LLs can only clear bits, and there are only n of them — so p may linearize
 // its LL early and remember in the local flag b that its link is already
 // invalid.
+// On the direct substrates (native, slab, padded) every read and CAS of X
+// binds to a raw *atomic.Uint64 at construction time; on instrumented or
+// simulated substrates each step stays a dynamic call.
 type CASBased struct {
 	n       int
 	codec   shmem.MaskCodec
 	x       shmem.CAS
+	xd      *atomic.Uint64 // devirtualized X, nil on indirect substrates
 	initial Word
 }
 
@@ -42,12 +47,14 @@ func NewCASBased(f shmem.Factory, n int, valueBits uint, initial Word) (*CASBase
 	if initial > codec.MaxValue() {
 		return nil, fmt.Errorf("llsc: initial value %d exceeds %d-bit domain", initial, valueBits)
 	}
-	return &CASBased{
+	o := &CASBased{
 		n:       n,
 		codec:   codec,
 		x:       f.NewCAS("X", codec.Encode(initial, 0)),
 		initial: initial,
-	}, nil
+	}
+	o.xd = shmem.Direct(o.x)
+	return o, nil
 }
 
 // NumProcs returns n.
@@ -64,29 +71,47 @@ func (o *CASBased) Handle(pid int) (Handle, error) {
 	if pid < 0 || pid >= o.n {
 		return nil, fmt.Errorf("llsc: pid %d out of range [0,%d)", pid, o.n)
 	}
-	return &casBasedHandle{o: o, pid: pid}, nil
+	return &casBasedHandle{o: o, pid: pid, xd: o.xd}, nil
 }
 
-// casBasedHandle carries the paper's local flag b.
+// casBasedHandle carries the paper's local flag b plus the direct accessor
+// to X, bound at Handle() time when the substrate devirtualizes.
 type casBasedHandle struct {
 	o   *CASBased
 	pid int
 	b   bool
+	xd  *atomic.Uint64
 }
 
 var _ Handle = (*casBasedHandle)(nil)
 
+// read performs one shared read of X.
+func (h *casBasedHandle) read() Word {
+	if h.xd != nil {
+		return h.xd.Load()
+	}
+	return h.o.x.Read(h.pid)
+}
+
+// cas performs one shared CAS of X.
+func (h *casBasedHandle) cas(old, new Word) bool {
+	if h.xd != nil {
+		return h.xd.CompareAndSwap(old, new)
+	}
+	return h.o.x.CompareAndSwap(h.pid, old, new)
+}
+
 // LL implements Figure 3 lines 14-25.
 func (h *casBasedHandle) LL() Word {
 	o := h.o
-	w := o.x.Read(h.pid)        // line 14
+	w := h.read()               // line 14
 	if !o.codec.Bit(w, h.pid) { // line 15: p's bit is 0
 		h.b = false             // line 16
 		return o.codec.Value(w) // line 17
 	}
 	for i := 0; i < o.n; i++ { // line 19
-		w2 := o.x.Read(h.pid)                                           // line 20
-		if o.x.CompareAndSwap(h.pid, w2, o.codec.ClearBit(w2, h.pid)) { // line 21
+		w2 := h.read()                              // line 20
+		if h.cas(w2, o.codec.ClearBit(w2, h.pid)) { // line 21
 			h.b = false              // line 22
 			return o.codec.Value(w2) // line 23
 		}
@@ -104,11 +129,11 @@ func (h *casBasedHandle) SC(v Word) bool {
 		return false
 	}
 	for i := 0; i < o.n; i++ { // line 2
-		w := o.x.Read(h.pid)       // line 3
+		w := h.read()              // line 3
 		if o.codec.Bit(w, h.pid) { // line 4: p's bit is 1
 			return false // line 5
 		}
-		if o.x.CompareAndSwap(h.pid, w, o.codec.Encode(v, o.codec.AllSet())) { // line 6
+		if h.cas(w, o.codec.Encode(v, o.codec.AllSet())) { // line 6
 			return true // line 7
 		}
 	}
@@ -117,6 +142,6 @@ func (h *casBasedHandle) SC(v Word) bool {
 
 // VL implements Figure 3 lines 9-13.
 func (h *casBasedHandle) VL() bool {
-	w := h.o.x.Read(h.pid)                  // line 9
+	w := h.read()                           // line 9
 	return !h.o.codec.Bit(w, h.pid) && !h.b // lines 10-13
 }

@@ -2,6 +2,7 @@ package llsc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"abadetect/internal/getseq"
 	"abadetect/internal/shmem"
@@ -51,6 +52,9 @@ type ConstantTime struct {
 	x       shmem.CAS
 	a       []shmem.Register
 	initial Word
+
+	xd *atomic.Uint64   // devirtualized X, nil on indirect substrates
+	ad []*atomic.Uint64 // devirtualized A, nil on indirect substrates
 }
 
 var _ Object = (*ConstantTime)(nil)
@@ -78,6 +82,11 @@ func NewConstantTime(f shmem.Factory, n int, valueBits uint, initial Word) (*Con
 	for q := range o.a {
 		o.a[q] = f.NewRegister(fmt.Sprintf("A[%d]", q), codec.Bottom())
 	}
+	if ad := shmem.DirectRegisters(o.a); ad != nil {
+		if xd := shmem.Direct(o.x); xd != nil {
+			o.xd, o.ad = xd, ad
+		}
+	}
 	return o, nil
 }
 
@@ -99,9 +108,26 @@ func (o *ConstantTime) Handle(pid int) (Handle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("llsc: %w", err)
 	}
-	return &constantTimeHandle{o: o, pid: pid, picker: picker, link: o.codec.Bottom(), reserved: -1}, nil
+	h := &constantTimeHandle{
+		o:        o,
+		pid:      pid,
+		picker:   picker,
+		link:     o.codec.Bottom(),
+		reserved: -1,
+		layout:   o.codec.Bind(pid),
+	}
+	if o.xd != nil {
+		h.xd = o.xd
+		h.myA = o.ad[pid]
+	}
+	return h, nil
 }
 
+// constantTimeHandle carries the process-local link, flag b, and GetSeq
+// state; xd and myA are the direct accessors to X and this process's
+// announce slot, bound at Handle() time when the substrate devirtualizes,
+// and layout binds the codec's constants alongside them so the
+// per-operation pair projection and encode are raw word arithmetic.
 type constantTimeHandle struct {
 	o        *ConstantTime
 	pid      int
@@ -109,33 +135,52 @@ type constantTimeHandle struct {
 	link     Word
 	picker   *getseq.Picker
 	reserved int // sequence number drawn but not yet installed, or -1
+	xd       *atomic.Uint64
+	myA      *atomic.Uint64
+	layout   shmem.BoundTriple
 }
 
 var _ Handle = (*constantTimeHandle)(nil)
 
+// readX performs one shared read of X.
+func (h *constantTimeHandle) readX() Word {
+	if h.xd != nil {
+		return h.xd.Load()
+	}
+	return h.o.x.Read(h.pid)
+}
+
+// announce performs one shared write of this process's announce slot.
+func (h *constantTimeHandle) announce(w Word) {
+	if h.myA != nil {
+		h.myA.Store(w)
+		return
+	}
+	h.o.a[h.pid].Write(h.pid, w)
+}
+
 // LL performs the double-collect with one retry: at most 5 shared steps.
 func (h *constantTimeHandle) LL() Word {
-	o := h.o
-	t1 := o.x.Read(h.pid)
-	o.a[h.pid].Write(h.pid, o.codec.Pair(t1))
-	t2 := o.x.Read(h.pid)
-	if o.codec.Pair(t2) == o.codec.Pair(t1) {
+	t1 := h.readX()
+	h.announce(h.layout.Pair(t1))
+	t2 := h.readX()
+	if h.layout.Pair(t2) == h.layout.Pair(t1) {
 		h.link = t2
 		h.b = false
-		return o.value(t2)
+		return h.layout.Value(t2, h.o.initial)
 	}
-	o.a[h.pid].Write(h.pid, o.codec.Pair(t2))
-	t3 := o.x.Read(h.pid)
-	if o.codec.Pair(t3) == o.codec.Pair(t2) {
+	h.announce(h.layout.Pair(t2))
+	t3 := h.readX()
+	if h.layout.Pair(t3) == h.layout.Pair(t2) {
 		h.link = t3
 		h.b = false
-		return o.value(t3)
+		return h.layout.Value(t3, h.o.initial)
 	}
 	// Two pair changes: a successful SC linearized after the second read.
 	// Linearize there; the link is born invalid.
 	h.link = t2
 	h.b = true
-	return o.value(t2)
+	return h.layout.Value(t2, h.o.initial)
 }
 
 // SC draws (or reuses) a sequence number and CASes the link: at most 2
@@ -145,10 +190,19 @@ func (h *constantTimeHandle) SC(v Word) bool {
 		return false
 	}
 	o := h.o
+	if v > h.layout.MaxValue() {
+		o.codec.CheckValue(v) // cold: renders the panic
+	}
 	if h.reserved < 0 {
 		h.reserved = h.picker.Next()
 	}
-	ok := o.x.CompareAndSwap(h.pid, h.link, o.codec.Encode(v, h.pid, h.reserved))
+	next := h.layout.Encode(v, h.reserved)
+	var ok bool
+	if h.xd != nil {
+		ok = h.xd.CompareAndSwap(h.link, next)
+	} else {
+		ok = o.x.CompareAndSwap(h.pid, h.link, next)
+	}
 	if ok {
 		h.reserved = -1
 	}
@@ -160,7 +214,7 @@ func (h *constantTimeHandle) VL() bool {
 	if h.b {
 		return false
 	}
-	return h.o.x.Read(h.pid) == h.link
+	return h.readX() == h.link
 }
 
 // value maps a stored word to the object value it represents.

@@ -2,6 +2,7 @@ package llsc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"abadetect/internal/shmem"
 )
@@ -21,6 +22,7 @@ type Moir struct {
 	n       int
 	codec   shmem.TagCodec
 	x       shmem.CAS
+	xd      *atomic.Uint64 // devirtualized X, nil on indirect substrates
 	initial Word
 }
 
@@ -47,12 +49,14 @@ func NewMoirTagged(f shmem.Factory, n int, valueBits, tagBits uint, initial Word
 	if initial > codec.MaxValue() {
 		return nil, fmt.Errorf("llsc: initial value %d exceeds %d-bit domain", initial, valueBits)
 	}
-	return &Moir{
+	o := &Moir{
 		n:       n,
 		codec:   codec,
 		x:       f.NewCAS("X", codec.Encode(initial, 0)),
 		initial: initial,
-	}, nil
+	}
+	o.xd = shmem.Direct(o.x)
+	return o, nil
 }
 
 // NumProcs returns n.
@@ -72,30 +76,44 @@ func (o *Moir) Handle(pid int) (Handle, error) {
 	if pid < 0 || pid >= o.n {
 		return nil, fmt.Errorf("llsc: pid %d out of range [0,%d)", pid, o.n)
 	}
-	return &moirHandle{o: o, pid: pid, link: o.codec.Encode(o.initial, 0)}, nil
+	return &moirHandle{o: o, pid: pid, link: o.codec.Encode(o.initial, 0), xd: o.xd}, nil
 }
 
+// moirHandle carries the linked word plus the direct accessor to X, bound
+// at Handle() time when the substrate devirtualizes.
 type moirHandle struct {
 	o    *Moir
 	pid  int
 	link Word
+	xd   *atomic.Uint64
 }
 
 var _ Handle = (*moirHandle)(nil)
 
 // LL reads X once and links the observed (value, tag) word.
 func (h *moirHandle) LL() Word {
-	h.link = h.o.x.Read(h.pid)
+	if h.xd != nil {
+		h.link = h.xd.Load()
+	} else {
+		h.link = h.o.x.Read(h.pid)
+	}
 	return h.o.codec.Value(h.link)
 }
 
 // SC CASes the linked word to (v, tag+1): one shared step.
 func (h *moirHandle) SC(v Word) bool {
 	c := h.o.codec
-	return h.o.x.CompareAndSwap(h.pid, h.link, c.Encode(v, c.Tag(h.link)+1))
+	next := c.Encode(v, c.Tag(h.link)+1)
+	if h.xd != nil {
+		return h.xd.CompareAndSwap(h.link, next)
+	}
+	return h.o.x.CompareAndSwap(h.pid, h.link, next)
 }
 
 // VL reads X once and compares against the linked word.
 func (h *moirHandle) VL() bool {
+	if h.xd != nil {
+		return h.xd.Load() == h.link
+	}
 	return h.o.x.Read(h.pid) == h.link
 }

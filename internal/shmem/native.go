@@ -1,20 +1,19 @@
 package shmem
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync/atomic"
 
 // NativeFactory allocates base objects backed by sync/atomic 64-bit words.
 // Every base-object step is a single hardware atomic operation, so the
 // native substrate is what a downstream user runs in production.
 //
-// The zero value is ready to use.  Allocation is safe for concurrent use;
-// the allocated objects are safe for concurrent use by any number of
-// goroutines.
+// The zero value is ready to use.  Allocation is safe for concurrent use and
+// lock-free — the footprint is kept in atomic counters, so goroutines
+// building objects in parallel (e.g. the shards of a sharded array) never
+// serialize on a mutex.  The allocated objects are safe for concurrent use
+// by any number of goroutines.
 type NativeFactory struct {
-	mu sync.Mutex
-	fp Footprint
+	registers  atomic.Int64
+	casObjects atomic.Int64
 }
 
 var _ Factory = (*NativeFactory)(nil)
@@ -24,9 +23,7 @@ func NewNativeFactory() *NativeFactory { return &NativeFactory{} }
 
 // NewRegister allocates an atomic-word register.
 func (f *NativeFactory) NewRegister(name string, init Word) Register {
-	f.mu.Lock()
-	f.fp.Registers++
-	f.mu.Unlock()
+	f.registers.Add(1)
 	r := &nativeWord{}
 	r.v.Store(init)
 	return r
@@ -34,9 +31,7 @@ func (f *NativeFactory) NewRegister(name string, init Word) Register {
 
 // NewCAS allocates an atomic-word writable CAS object.
 func (f *NativeFactory) NewCAS(name string, init Word) WritableCAS {
-	f.mu.Lock()
-	f.fp.CASObjects++
-	f.mu.Unlock()
+	f.casObjects.Add(1)
 	c := &nativeWord{}
 	c.v.Store(init)
 	return c
@@ -44,9 +39,10 @@ func (f *NativeFactory) NewCAS(name string, init Word) WritableCAS {
 
 // Footprint reports the objects allocated so far.
 func (f *NativeFactory) Footprint() Footprint {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.fp
+	return Footprint{
+		Registers:  int(f.registers.Load()),
+		CASObjects: int(f.casObjects.Load()),
+	}
 }
 
 // nativeWord is a single atomic 64-bit word serving as both a register and a

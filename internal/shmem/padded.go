@@ -1,21 +1,20 @@
 package shmem
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
-// PaddedFactory allocates base objects backed by cache-line padded atomic
-// words.  Semantically identical to NativeFactory, it spends 64 bytes per
-// base object so that two objects never share a cache line: under heavy
-// multi-core traffic, operations on unrelated objects (e.g. distinct shards
-// of a ShardedArray) stop invalidating each other's lines.
+// PaddedFactory allocates base objects so that two objects never share a
+// cache line: under heavy multi-core traffic, operations on unrelated
+// objects (e.g. distinct shards of a ShardedArray) stop invalidating each
+// other's lines.
+//
+// It is the cache-line striped preset of SlabFactory — one slab, one object
+// per 64-byte line — so padded objects live in contiguous slabs, cost no
+// per-object heap allocation, and devirtualize through Direct exactly like
+// native and packed-slab objects.  The stride is fixed by the methods, not
+// stored, so the zero value keeps the padding guarantee.
 //
 // The paper's space measure m counts base objects, not bytes, so padding is
 // free in the model — it is purely a hardware-throughput choice.
 type PaddedFactory struct {
-	mu sync.Mutex
-	fp Footprint
+	slab SlabFactory
 }
 
 var _ Factory = (*PaddedFactory)(nil)
@@ -25,50 +24,19 @@ func NewPaddedFactory() *PaddedFactory { return &PaddedFactory{} }
 
 // NewRegister allocates a padded register.
 func (f *PaddedFactory) NewRegister(name string, init Word) Register {
-	f.mu.Lock()
-	f.fp.Registers++
-	f.mu.Unlock()
-	return newPaddedWord(init)
+	f.slab.registers.Add(1)
+	return f.slab.allocStride(cacheLineWords, init)
 }
 
 // NewCAS allocates a padded writable CAS object.
 func (f *PaddedFactory) NewCAS(name string, init Word) WritableCAS {
-	f.mu.Lock()
-	f.fp.CASObjects++
-	f.mu.Unlock()
-	return newPaddedWord(init)
+	f.slab.casObjects.Add(1)
+	return f.slab.allocStride(cacheLineWords, init)
 }
 
 // Footprint reports the objects allocated so far.
-func (f *PaddedFactory) Footprint() Footprint {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.fp
-}
+func (f *PaddedFactory) Footprint() Footprint { return f.slab.Footprint() }
 
 // cacheLineBytes is the assumed coherence granularity.  64 bytes covers
 // x86-64 and most AArch64 parts; oversizing merely wastes a little memory.
 const cacheLineBytes = 64
-
-// paddedWord is one atomic word alone on its cache line.
-type paddedWord struct {
-	v atomic.Uint64
-	_ [cacheLineBytes - 8]byte
-}
-
-var (
-	_ Register    = (*paddedWord)(nil)
-	_ WritableCAS = (*paddedWord)(nil)
-)
-
-func newPaddedWord(init Word) *paddedWord {
-	w := &paddedWord{}
-	w.v.Store(init)
-	return w
-}
-
-func (w *paddedWord) Read(pid int) Word     { return w.v.Load() }
-func (w *paddedWord) Write(pid int, x Word) { w.v.Store(x) }
-func (w *paddedWord) CompareAndSwap(pid int, old, new Word) bool {
-	return w.v.CompareAndSwap(old, new)
-}
