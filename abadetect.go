@@ -80,6 +80,13 @@ type options struct {
 	initial   Word
 	backend   Backend
 	shardImpl string
+
+	// Structure options (structures.go); base-object constructors ignore
+	// them.
+	protection  Protection
+	tagBits     uint
+	guardImpl   string
+	guardedPool bool
 }
 
 // Option configures a constructor.

@@ -11,14 +11,17 @@
 //	abalab -list            # list experiments and implementations
 //	abalab -impl fig4 -n 8  # inspect one implementation at n processes
 //	abalab -impl all -n 8   # ... or every implementation
+//	abalab -app all         # application matrix: every structure × guard
+//	abalab -app queue       # ... or one structure across every guard
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
-// Benchmark regression check: re-run the E10 throughput experiment and diff
-// it against a committed snapshot (BENCH_baseline.json is the seed,
-// BENCH_pr2.json the slab/devirtualized substrate):
+// Benchmark regression check: re-run the throughput experiments (E10 base
+// objects, E11 application matrix) and diff them against a committed
+// snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
+// slab/devirtualized substrate, BENCH_pr3.json adds the application matrix):
 //
-//	abalab -bench-compare BENCH_baseline.json
-//	abalab -json > BENCH_pr3.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr3.json
+//	abalab -json > BENCH_pr4.json   # record a new snapshot
 package main
 
 import (
@@ -45,12 +48,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only    = fs.String("run", "", "run a single experiment (E1..E10)")
+		only    = fs.String("run", "", "run a single experiment (E1..E11)")
 		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
 		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
+		app     = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
 		n       = fs.Int("n", 8, "process count for -impl")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
-		compare = fs.String("bench-compare", "", "diff a fresh E10 run against a benchmark snapshot (e.g. BENCH_baseline.json)")
+		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11) against a benchmark snapshot (e.g. BENCH_pr3.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +79,15 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tbl, _, err := bench.CompareE10(snapshot)
+		tables, _, err := bench.CompareThroughput(snapshot)
+		if err != nil {
+			return err
+		}
+		return emit(tables)
+	}
+
+	if *app != "" {
+		tbl, err := bench.E11Apps(*app)
 		if err != nil {
 			return err
 		}
@@ -118,14 +130,26 @@ func printIndex(out io.Writer) error {
 		fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)
 	}
 	fmt.Fprintln(out)
-	fmt.Fprintln(out, "implementations (use with -impl):")
+	fmt.Fprintln(out, "implementations (use with -impl; structures also run the guard matrix with -app):")
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  id\tkind\tm(n)\tt(n)\tbounded\tcorrect\ttheorem")
 	for _, im := range registry.All() {
 		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%v\t%v\t%s\n",
 			im.ID, im.Kind, im.Space, im.Steps, im.Bounded, im.Correct, im.Theorem)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "guard regimes (structure protection, -app matrix):")
+	for _, spec := range registry.GuardSpecs(false) {
+		kind := "conditional"
+		if !spec.Conditional() {
+			kind = "detection-only (event flag)"
+		}
+		fmt.Fprintf(out, "  %-22s %s\n", spec, kind)
+	}
+	return nil
 }
 
 // printIndexJSON emits the same index machine-readably.
@@ -194,7 +218,11 @@ func implTable(im registry.Impl, n int) (*bench.Table, error) {
 	}
 	t.AddRow("kind", string(im.Kind))
 	t.AddRow("theorem", im.Theorem)
-	t.AddRow("space m(n)", fmt.Sprintf("%s (= %d at n=%d)", im.Space, im.SpaceFn(n), n))
+	if im.Kind == registry.KindStructure {
+		t.AddRow("space", im.Space+" (capacity-dependent)")
+	} else {
+		t.AddRow("space m(n)", fmt.Sprintf("%s (= %d at n=%d)", im.Space, im.SpaceFn(n), n))
+	}
 	t.AddRow("steps t(n)", im.Steps)
 	t.AddRow("bounded", fmt.Sprintf("%v", im.Bounded))
 	t.AddRow("correct", fmt.Sprintf("%v", im.Correct))

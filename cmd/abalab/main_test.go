@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"abadetect/internal/bench"
 	"abadetect/internal/registry"
 )
 
@@ -15,7 +16,7 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("listing lacks experiment %s", id)
 		}
@@ -24,6 +25,12 @@ func TestList(t *testing.T) {
 	for _, id := range registry.IDs() {
 		if !strings.Contains(out, id) {
 			t.Errorf("listing lacks implementation %s", id)
+		}
+	}
+	// The guard matrix is listed too.
+	for _, spec := range registry.GuardSpecs(false) {
+		if !strings.Contains(out, spec.String()) {
+			t.Errorf("listing lacks guard spec %s", spec)
 		}
 	}
 }
@@ -40,7 +47,7 @@ func TestListJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &index); err != nil {
 		t.Fatalf("-list -json is not valid JSON: %v", err)
 	}
-	if len(index.Experiments) != 10 || len(index.Implementations) != len(registry.IDs()) {
+	if len(index.Experiments) != len(bench.Experiments()) || len(index.Implementations) != len(registry.IDs()) {
 		t.Errorf("index has %d experiments and %d implementations",
 			len(index.Experiments), len(index.Implementations))
 	}
@@ -168,5 +175,95 @@ func TestJSONExperiment(t *testing.T) {
 	}
 	if len(tables) != 1 || tables[0].ID != "E2" || len(tables[0].Rows) == 0 {
 		t.Errorf("unexpected JSON shape: %+v", tables)
+	}
+}
+
+func TestAppMatrix(t *testing.T) {
+	// The acceptance criterion of the guard refactor: -app runs every
+	// structure over every protection regime in the registry matrix.
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "all", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-app all -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E11" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	rowFor := map[string]bool{}
+	for _, row := range tables[0].Rows {
+		rowFor[row[0]] = true
+	}
+	for _, im := range registry.Structures() {
+		for _, spec := range registry.GuardSpecs(im.ID != "event") {
+			key := im.ID + "/" + spec.String()
+			if !rowFor[key] {
+				t.Errorf("matrix lacks %s", key)
+			}
+		}
+	}
+}
+
+func TestAppSingleStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "queue"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "queue/llsc:fig3") || strings.Contains(out, "stack/raw") {
+		t.Errorf("-app queue output wrong:\n%s", out)
+	}
+}
+
+func TestAppUnknownStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "no-such-structure"}, &buf); err == nil {
+		t.Error("want error for unknown structure")
+	}
+}
+
+func TestBenchComparePR3CoversApps(t *testing.T) {
+	// The PR3 snapshot carries both throughput tables, so the comparison
+	// must too — E10 for base objects and E11 for the application matrix.
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr3.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E10-compare" || tables[1].ID != "E11-compare" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			if row[4] == "new" || row[4] == "removed" {
+				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
+			}
+		}
+	}
+}
+
+func TestImplAllAtNOne(t *testing.T) {
+	// n=1 is a supported registry point; the structure probes must degrade
+	// (the event probe clamps to a signaler + poller) instead of failing
+	// the whole report.
+	var buf bytes.Buffer
+	if err := run([]string{"-impl", "all", "-n", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"stack", "queue", "event"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("-impl all -n 1 report lacks %s", id)
+		}
 	}
 }

@@ -58,6 +58,26 @@
 // operation runs allocation-free.  The instrumented backends keep the
 // dynamic-call path so their measurements stay exact.
 //
+// # Application structures and guards
+//
+// The paper's §1 motivation ships as a public application layer: NewStack
+// (Treiber stack), NewQueue (Michael–Scott queue), and NewEventFlag (the
+// resettable busy-wait flag).  Each structure's mutable references — stack
+// head, queue head/tail and per-node next pointers, the flag itself — are
+// Guards (internal/guard): a unified Load / conditional-Commit / Validate
+// abstraction whose regime is a constructor option.  WithProtection selects
+// the §1 ladder (ProtectionRaw, the ABA victim; ProtectionTagged with
+// WithTagBits; ProtectionLLSC, the immune default; ProtectionDetector, the
+// Figure 5 detecting view that also counts every prevented ABA),
+// WithGuardImpl puts any registered implementation behind the guard, and
+// WithGuardedPool routes the node allocator's free list through a guard of
+// the same regime, making free-list ABA observable.  GuardMetrics exposes
+// commits, rejections, near-misses (detected-and-prevented ABAs), and dirty
+// loads; Audit checks structural integrity at quiescence; the StackHandle's
+// PopBegin/PopCommit hooks replay the deterministic corruption scripts.
+// The abalab -app command runs the whole structure × guard × implementation
+// matrix (experiment E11).
+//
 // # Scaling out
 //
 // NewShardedDetectingArray builds an array of independent detecting

@@ -87,6 +87,66 @@ func ExampleNewDetectingRegisterFromLLSC() {
 	// false
 }
 
+// A guarded structure end to end: a Treiber stack under the default LL/SC
+// protection survives the exact recycling schedule that corrupts a raw one.
+func ExampleNewStack() {
+	script := func(p abadetect.Protection) (fooled bool, corrupt bool) {
+		s, err := abadetect.NewStack(2, 3, abadetect.WithProtection(p))
+		if err != nil {
+			panic(err)
+		}
+		adversary, _ := s.Handle(0)
+		victim, _ := s.Handle(1)
+
+		// Chain 3 -> 2 -> 1; the victim loads head node 3 and its
+		// successor 2, then stalls inside the ABA window.
+		for i := 1; i <= 3; i++ {
+			adversary.Push(uint64(100 + i))
+		}
+		victim.PopBegin()
+
+		// Meanwhile every node recycles and the head *index* is 3 again.
+		for i := 0; i < 3; i++ {
+			adversary.Pop()
+		}
+		adversary.Push(104)
+
+		// The victim resumes its pop: does the stale commit go through?
+		_, fooled = victim.PopCommit()
+		return fooled, s.Audit().Corrupt
+	}
+	fooled, corrupt := script(abadetect.ProtectionRaw)
+	fmt.Printf("raw:   stale commit accepted=%v corrupt=%v\n", fooled, corrupt)
+	fooled, corrupt = script(abadetect.ProtectionLLSC)
+	fmt.Printf("llsc:  stale commit accepted=%v corrupt=%v\n", fooled, corrupt)
+	// Output:
+	// raw:   stale commit accepted=true corrupt=true
+	// llsc:  stale commit accepted=false corrupt=false
+}
+
+// The busy-wait flag of §1: a pulse that lands entirely between two polls
+// is invisible to a raw flag and detected by a guarded one.
+func ExampleNewEventFlag() {
+	pulseSeen := func(p abadetect.Protection) bool {
+		e, err := abadetect.NewEventFlag(2, abadetect.WithProtection(p))
+		if err != nil {
+			panic(err)
+		}
+		signaler, _ := e.Handle(0)
+		waiter, _ := e.Handle(1)
+		waiter.Poll() // baseline
+		signaler.Signal()
+		signaler.Reset()
+		_, fired := waiter.Poll()
+		return fired
+	}
+	fmt.Println("raw flag saw the pulse:     ", pulseSeen(abadetect.ProtectionRaw))
+	fmt.Println("detector flag saw the pulse:", pulseSeen(abadetect.ProtectionDetector))
+	// Output:
+	// raw flag saw the pulse:      false
+	// detector flag saw the pulse: true
+}
+
 // The space footprints of the two optimal corners of the paper's
 // time-space trade-off.
 func ExampleFootprint() {

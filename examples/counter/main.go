@@ -1,10 +1,12 @@
-// Command counter builds a wait-free-retry shared counter on top of the
-// library's LL/SC objects and races several goroutines against it — the
-// standard "no lost updates" exercise, shown at both ends of the paper's
-// time-space trade-off:
+// Command counter races several goroutines against the library at both
+// layers of its API:
 //
-//   - Figure 3 (one bounded CAS word, O(n) steps per operation), and
-//   - the constant-time construction (one CAS word + n registers, O(1)).
+//   - a wait-free-retry shared counter over the base LL/SC objects, at both
+//     ends of the paper's time-space trade-off (Figure 3's one bounded CAS
+//     word at O(n) steps vs the constant-time construction at m = n+1), and
+//   - a token ring over the public guarded Queue: every token that enters
+//     the ring must come out exactly as many times, which a raw-CAS queue
+//     cannot promise under recycling but the guarded ones do.
 //
 // Run with: go run ./examples/counter
 package main
@@ -49,6 +51,16 @@ func run() error {
 		fmt.Printf("%-28s footprint %-28s  %d increments in %v — none lost\n",
 			b.name, obj.Footprint().String(), procs*incsPerProc, elapsed.Round(time.Millisecond))
 	}
+
+	fmt.Println()
+	for _, p := range []abadetect.Protection{abadetect.ProtectionLLSC, abadetect.ProtectionDetector} {
+		circulated, elapsed, err := tokenRing(p)
+		if err != nil {
+			return fmt.Errorf("token ring (%s): %w", p, err)
+		}
+		fmt.Printf("token ring over Queue(%-8s)  %d circulations in %v — every token conserved\n",
+			p, circulated, elapsed.Round(time.Millisecond))
+	}
 	return nil
 }
 
@@ -85,4 +97,68 @@ func race(obj abadetect.LLSC) (time.Duration, error) {
 		return 0, fmt.Errorf("counter = %d, want %d (lost updates!)", got, want)
 	}
 	return elapsed, nil
+}
+
+// tokenRing circulates `procs` tokens through one guarded queue: every
+// worker dequeues a token and immediately re-enqueues it, `rounds` times.
+// At the end exactly the original tokens must remain — a raw queue's
+// recycling ABA would duplicate or lose some.
+func tokenRing(p abadetect.Protection) (circulations int, elapsed time.Duration, err error) {
+	const rounds = 5000
+	q, err := abadetect.NewQueue(procs, procs*2,
+		abadetect.WithProtection(p), abadetect.WithGuardedPool())
+	if err != nil {
+		return 0, 0, err
+	}
+	seed, err := q.Handle(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	for tok := 1; tok <= procs; tok++ {
+		if !seed.Enq(uint64(tok)) {
+			return 0, 0, fmt.Errorf("seeding token %d failed", tok)
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < procs; pid++ {
+		h, err := q.Handle(pid)
+		if err != nil {
+			return 0, 0, err
+		}
+		wg.Add(1)
+		go func(h *abadetect.QueueHandle) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if v, ok := h.Deq(); ok {
+					for !h.Enq(v) {
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+
+	// Drain: exactly the original token multiset must come back.
+	counts := map[uint64]int{}
+	for {
+		v, ok := seed.Deq()
+		if !ok {
+			break
+		}
+		counts[v]++
+	}
+	for tok := 1; tok <= procs; tok++ {
+		if counts[uint64(tok)] != 1 {
+			return 0, 0, fmt.Errorf("token %d seen %d times, want exactly 1", tok, counts[uint64(tok)])
+		}
+	}
+	if len(counts) != procs {
+		return 0, 0, fmt.Errorf("%d distinct tokens drained, want %d", len(counts), procs)
+	}
+	if a := q.Audit(); a.Corrupt {
+		return 0, 0, fmt.Errorf("audit: %s", a.Detail)
+	}
+	return procs * rounds, elapsed, nil
 }

@@ -1,13 +1,14 @@
 // Command treiberstack demonstrates the classic ABA corruption of a Treiber
-// stack with recycled nodes, and how guarding the head with an LL/SC object
-// (built from a single bounded CAS word, the paper's Figure 3) eliminates
-// it.
+// stack with recycled nodes — and how the library's guarded structures make
+// the whole §1 protection ladder a constructor argument.
 //
-// The script is the textbook interleaving: a victim reads the head node and
-// its successor, stalls, and meanwhile an adversary pops several nodes and
-// pushes a recycled one so the head *index* is restored.  A raw CAS is
-// fooled and swings the head onto a freed node; the LL/SC-guarded commit
-// fails and the victim simply retries.
+// The script is the textbook interleaving, driven through the public
+// Stack's experiment hooks (PopBegin / PopCommit): a victim reads the head
+// node and its successor, stalls, and meanwhile an adversary pops several
+// nodes and pushes a recycled one so the head *index* is restored.  A
+// raw-CAS stack accepts the victim's stale commit and corrupts; the tagged,
+// LL/SC, and detector stacks reject it, and the detector stack additionally
+// counts the prevented ABA in its guard metrics.
 //
 // Run with: go run ./examples/treiberstack
 package main
@@ -15,111 +16,44 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
 
 	abadetect "abadetect"
 )
 
-const capacity = 3
-
-// stack is a minimal index-based Treiber stack: head names a node in a
-// small pool, next links the chain, and freed nodes go back to a FIFO free
-// queue (the "allocator").  The head guard is pluggable.
-type stack struct {
-	next  [capacity + 1]uint64
-	value [capacity + 1]uint64
-	free  []int
-}
-
-func newStack() *stack {
-	s := &stack{}
-	for i := 1; i <= capacity; i++ {
-		s.free = append(s.free, i)
+// scenario plays the §1 interleaving against a stack built with p and
+// reports whether the victim's stale commit was accepted.
+func scenario(p abadetect.Protection) (fooled bool, audit abadetect.StructureAudit, metrics abadetect.GuardMetrics, err error) {
+	s, err := abadetect.NewStack(2, 3, abadetect.WithProtection(p))
+	if err != nil {
+		return false, abadetect.StructureAudit{}, abadetect.GuardMetrics{}, err
 	}
-	return s
-}
-
-func (s *stack) alloc() int {
-	idx := s.free[0]
-	s.free = s.free[1:]
-	return idx
-}
-
-func (s *stack) release(idx int) { s.free = append(s.free, idx) }
-
-// guard abstracts the head reference: raw CAS vs LL/SC.
-type guard interface {
-	load() int
-	commit(newIdx int) bool
-	name() string
-}
-
-type rawGuard struct {
-	head *atomic.Uint64 // shared by all guards of one stack
-	last uint64         // this process's snapshot
-}
-
-func (g *rawGuard) load() int { g.last = g.head.Load(); return int(g.last) }
-func (g *rawGuard) commit(newIdx int) bool {
-	return g.head.CompareAndSwap(g.last, uint64(newIdx))
-}
-func (g *rawGuard) name() string { return "raw CAS" }
-
-type llscGuard struct {
-	h abadetect.LLSCHandle
-}
-
-func (g *llscGuard) load() int              { return int(g.h.LL()) }
-func (g *llscGuard) commit(newIdx int) bool { return g.h.SC(uint64(newIdx)) }
-func (g *llscGuard) name() string           { return "LL/SC (Figure 3, one bounded CAS word)" }
-
-func push(s *stack, g guard, v uint64) {
-	idx := s.alloc()
-	s.value[idx] = v
-	for {
-		top := g.load()
-		s.next[idx] = uint64(top)
-		if g.commit(idx) {
-			return
-		}
+	adversary, err := s.Handle(0)
+	if err != nil {
+		return false, abadetect.StructureAudit{}, abadetect.GuardMetrics{}, err
 	}
-}
-
-func pop(s *stack, g guard) uint64 {
-	for {
-		top := g.load()
-		next := s.next[top]
-		if g.commit(int(next)) {
-			v := s.value[top]
-			s.release(top)
-			return v
-		}
+	victim, err := s.Handle(1)
+	if err != nil {
+		return false, abadetect.StructureAudit{}, abadetect.GuardMetrics{}, err
 	}
-}
 
-// scenario plays the interleaving against one guard and reports whether the
-// victim's stale commit was accepted.
-func scenario(victimGuard, adversaryGuard guard) (fooled bool, headAfter int) {
-	s := newStack()
 	// Setup: chain 3(103) -> 2(102) -> 1(101).
 	for i := 1; i <= 3; i++ {
-		push(s, adversaryGuard, uint64(100+i))
+		adversary.Push(uint64(100 + i))
 	}
 
 	// Victim: reads head (node 3) and its successor (node 2)... and stalls.
-	victimTop := victimGuard.load()
-	victimNext := s.next[victimTop]
+	victim.PopBegin()
 
 	// Adversary: pops everything and pushes one value.  The FIFO allocator
 	// hands node 3 back, so the head index is 3 again — but node 2 is free.
-	pop(s, adversaryGuard)
-	pop(s, adversaryGuard)
-	pop(s, adversaryGuard)
-	push(s, adversaryGuard, 104)
+	for i := 0; i < 3; i++ {
+		adversary.Pop()
+	}
+	adversary.Push(104)
 
-	// Victim resumes and tries to swing head from node 3 to node 2.
-	fooled = victimGuard.commit(int(victimNext))
-	return fooled, victimGuard.load()
+	// Victim resumes and tries to swing the head to the freed node 2.
+	_, fooled = victim.PopCommit()
+	return fooled, s.Audit(), s.GuardMetrics(), nil
 }
 
 func main() {
@@ -132,42 +66,36 @@ func run() error {
 	fmt.Println("Treiber stack ABA scenario: victim stalls mid-pop while nodes recycle")
 	fmt.Println()
 
-	// Raw CAS: fooled.  Victim and adversary get separate per-process
-	// guards over one shared head word.
-	var rawHead atomic.Uint64
-	rawVictim := &rawGuard{head: &rawHead}
-	rawAdversary := &rawGuard{head: &rawHead}
-	fooled, head := scenario(rawVictim, rawAdversary)
-	fmt.Printf("%-45s fooled=%-5v head now points at node %d — a FREED node (corrupt!)\n",
-		rawVictim.name()+":", fooled, head)
-	if !fooled {
-		return fmt.Errorf("raw CAS unexpectedly survived")
+	ladder := []struct {
+		name       string
+		prot       abadetect.Protection
+		wantFooled bool
+	}{
+		{"raw CAS", abadetect.ProtectionRaw, true},
+		{"LL/SC (Figure 3, one bounded CAS word)", abadetect.ProtectionLLSC, false},
+		{"detector (Figure 5 over Figure 3)", abadetect.ProtectionDetector, false},
 	}
-
-	// LL/SC: immune.  Both victim and adversary use handles of one object.
-	obj, err := abadetect.NewLLSC(2, abadetect.WithValueBits(8))
-	if err != nil {
-		return err
-	}
-	vh, err := obj.Handle(0)
-	if err != nil {
-		return err
-	}
-	ah, err := obj.Handle(1)
-	if err != nil {
-		return err
-	}
-	victim := &llscGuard{h: vh}
-	adversary := &llscGuard{h: ah}
-	fooled, head = scenario(victim, adversary)
-	fmt.Printf("%-45s fooled=%-5v head still at node %d — victim's SC failed, it retries safely\n",
-		victim.name()+":", fooled, head)
-	if fooled {
-		return fmt.Errorf("LL/SC guard was fooled — this should be impossible")
+	for _, l := range ladder {
+		fooled, audit, metrics, err := scenario(l.prot)
+		if err != nil {
+			return err
+		}
+		switch {
+		case fooled:
+			fmt.Printf("%-42s fooled=%-5v head swung onto a FREED node — audit: %s\n", l.name+":", fooled, audit.Detail)
+		default:
+			fmt.Printf("%-42s fooled=%-5v victim's commit rejected (prevented ABAs counted: %d), it retries safely\n",
+				l.name+":", fooled, metrics.NearMisses)
+		}
+		if fooled != l.wantFooled {
+			return fmt.Errorf("%s: fooled=%v, expected %v", l.name, fooled, l.wantFooled)
+		}
+		if fooled != audit.Corrupt {
+			return fmt.Errorf("%s: commit acceptance and audit disagree", l.name)
+		}
 	}
 
 	fmt.Println()
-	fmt.Printf("footprint of the LL/SC guard: %s\n", obj.Footprint())
-	fmt.Println("(Theorem 2: one bounded CAS word suffices, at O(n) steps per operation.)")
+	fmt.Println("(same structure, same schedule — only the Guard regime changed.)")
 	return nil
 }

@@ -83,11 +83,82 @@ func TestHotPathAllocs(t *testing.T) {
 					}); got != 0 {
 						t.Errorf("VL allocates %.1f/op, want 0", got)
 					}
+				case "structure":
+					structureAllocs(t, info.ID, be)
 				default:
 					t.Fatalf("unknown kind %q", info.Kind)
 				}
 			})
 		}
+	}
+}
+
+// structureAllocs pins the guarded structures' steady-state operations to
+// zero allocations: push/pop and enq/deq pairs over the guarded (lock-free)
+// pool, signal/reset/poll for the event flag.  The mutex FIFO pool is
+// exempt — its free queue reslices — which is why the guarded pool is used
+// here.
+func structureAllocs(t *testing.T, id string, be Backend) {
+	t.Helper()
+	opts := []Option{WithBackend(be), WithGuardedPool()}
+	switch id {
+	case "stack":
+		s, err := NewStack(hotProcs, 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var i Word
+		if got := testing.AllocsPerRun(200, func() {
+			h.Push(i)
+			h.Pop()
+			i++
+		}); got != 0 {
+			t.Errorf("Push+Pop allocates %.1f/op, want 0", got)
+		}
+	case "queue":
+		q, err := NewQueue(hotProcs, 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := q.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var i Word
+		if got := testing.AllocsPerRun(200, func() {
+			h.Enq(i)
+			h.Deq()
+			i++
+		}); got != 0 {
+			t.Errorf("Enq+Deq allocates %.1f/op, want 0", got)
+		}
+	case "event":
+		e, err := NewEventFlag(hotProcs, WithBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := e.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poll, err := e.Handle(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			sig.Signal()
+			poll.Poll()
+			sig.Reset()
+			poll.Poll()
+		}); got != 0 {
+			t.Errorf("pulse+poll allocates %.1f/op, want 0", got)
+		}
+	default:
+		t.Fatalf("unknown structure %q", id)
 	}
 }
 

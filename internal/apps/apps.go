@@ -1,56 +1,100 @@
 // Package apps contains the application-level workloads the paper's
 // introduction motivates: lock-free data structures whose correctness hinges
-// on ABA prevention, built over this repository's base objects and LL/SC
-// objects so the three protection regimes can be compared head-to-head.
+// on ABA prevention, rebuilt over the unified Guard abstraction of
+// internal/guard so every structure runs under every protection regime —
+// and, through guard.Maker, over any registered implementation and any
+// shared-memory substrate.
 //
 //   - Treiber stack (stack.go): the canonical ABA victim.  A pop reads the
-//     head node and its successor, then CASes the head; if the head node was
-//     popped, recycled, and re-pushed in between, the CAS succeeds and
-//     corrupts the structure.  The stack is built with raw CAS (vulnerable),
-//     k-bit tagged CAS (vulnerable at tag wraparound), or LL/SC (immune) —
-//     the paper's §1 story, executable.
-//   - Michael–Scott queue (queue.go): enqueue/dequeue over LL/SC objects,
-//     with node recycling that would be unsafe under raw CAS.
+//     head node and its successor, then conditionally swings the head; if
+//     the head node was popped, recycled, and re-pushed in between, a raw
+//     commit succeeds and corrupts the structure.
+//   - Michael–Scott queue (queue.go): enqueue/dequeue with node recycling.
+//     Its head, tail, and per-node next references are all Guards, so the
+//     queue runs raw (the historical ABA victim the tagging literature was
+//     invented for), tagged, LL/SC, or detector-guarded.
 //   - Resettable event flag (event.go): the busy-wait scenario of §1 — a
-//     waiter polls a register that a signaler sets and then resets for
-//     reuse; with a plain register the waiter can miss the event entirely,
-//     with an ABA-detecting register it cannot.
+//     waiter polls a reference that a signaler sets and then resets for
+//     reuse.  Poll rides the guard's dirty-load detection: a raw guard
+//     misses in-window pulses entirely, a k-bit tag misses exactly at
+//     wraparound, LL/SC- and detector-backed guards never miss.
 //
-// All structures use index-based nodes from a fixed pool (no garbage
-// collector involvement), which is precisely what makes recycling — and
-// therefore ABA — real.
+// The layering is uniform: a structure owns plain value registers plus one
+// Guard per mutable reference, all allocated through a single guard.Maker,
+// so the protection regime is a constructor argument rather than a
+// per-structure reimplementation.  Node recycling goes through a pool —
+// either the mutex FIFO allocator model (deterministic recycling order for
+// the corruption scripts) or, with WithGuardedPool, a lock-free free list
+// whose head is itself a Guard of the same regime: the free list is exactly
+// as ABA-vulnerable as the structure above it, and its guard's near-miss
+// counters make free-list ABA observable.
 package apps
 
-import "abadetect/internal/shmem"
+import (
+	"abadetect/internal/guard"
+	"abadetect/internal/shmem"
+)
 
 // Word is the element type of the data structures.
 type Word = shmem.Word
 
-// Protection selects how a structure's mutable references are guarded.
-type Protection int
+// Protection selects how a structure's mutable references are guarded.  It
+// is the guard package's Regime: Raw (bare CAS, vulnerable), Tagged (k-bit
+// wrap-around tag, vulnerable at wraparound), LLSC (immune by
+// specification), and Detector (the Figure 5 detecting view, immune and
+// counting every detected ABA).
+type Protection = guard.Regime
 
 // Protection regimes.
 const (
 	// Raw uses bare CAS on node indices: vulnerable to ABA.
-	Raw Protection = iota + 1
+	Raw = guard.Raw
 	// Tagged packs a k-bit wrap-around tag next to the index: vulnerable
 	// exactly when the tag wraps.
-	Tagged
+	Tagged = guard.Tagged
 	// LLSC uses a load-linked/store-conditional object: immune by
 	// specification.
-	LLSC
+	LLSC = guard.LLSC
+	// Detector guards through an ABA-detecting register view (Figure 5 over
+	// LL/SC for structures that commit; any detector for the event flag).
+	Detector = guard.Detector
 )
 
-// String names the protection regime.
-func (p Protection) String() string {
-	switch p {
-	case Raw:
-		return "raw-cas"
-	case Tagged:
-		return "tagged-cas"
-	case LLSC:
-		return "ll/sc"
-	default:
-		return "unknown"
+// StructOption configures a structure constructor.
+type StructOption func(*structOptions)
+
+type structOptions struct {
+	maker       guard.Maker
+	guardedPool bool
+}
+
+// WithMaker makes the structure allocate its guards from mk instead of the
+// default construction for its Protection argument — the hook the registry
+// and the public API use to put any registered implementation, over any
+// backend, behind a structure.  The Protection and tagBits constructor
+// arguments are ignored when a maker is supplied.
+func WithMaker(mk guard.Maker) StructOption {
+	return func(o *structOptions) { o.maker = mk }
+}
+
+// WithGuardedPool replaces the mutex FIFO node allocator with a lock-free
+// LIFO free list whose head is a Guard from the same maker: the free list
+// becomes exactly as ABA-(in)vulnerable as the structure it feeds, and its
+// guard metrics expose free-list near-misses.  The deterministic corruption
+// scripts rely on FIFO recycling order, so they use the default pool.
+func WithGuardedPool() StructOption {
+	return func(o *structOptions) { o.guardedPool = true }
+}
+
+// buildStructOptions resolves options, defaulting the maker to the guard
+// package's stock construction of prot over f.
+func buildStructOptions(f shmem.Factory, n int, prot Protection, tagBits uint, opts []StructOption) structOptions {
+	var o structOptions
+	for _, fn := range opts {
+		fn(&o)
 	}
+	if o.maker == nil {
+		o.maker = guard.NewMaker(f, n, prot, tagBits)
+	}
+	return o
 }

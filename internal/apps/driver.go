@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+
+	"abadetect/internal/guard"
+	"abadetect/internal/shmem"
+)
+
+// Instance is one constructed structure plus its fixed benchmark workload —
+// the uniform driver behind the application-throughput matrix (experiment
+// E11, abalab -app).  The registry's KindStructure entries construct
+// Instances, so the harness enumerates structures the same way it
+// enumerates detectors and LL/SC objects.
+type Instance interface {
+	// Worker returns pid's workload step; the argument is the op index.
+	// Workers are single-goroutine, like all handles.
+	Worker(pid int) (func(i int), error)
+	// Audit reports structural damage at quiescence.
+	Audit() (corrupt bool, detail string)
+	// GuardMetrics aggregates the structure's reference-guard counters.
+	GuardMetrics() guard.Metrics
+	// FreelistMetrics reports the node pool's guard counters (zero without
+	// a guarded pool).
+	FreelistMetrics() guard.Metrics
+}
+
+// maxSpin bounds the queue's retry loops in matrix runs: a raw-guarded
+// queue that has been ABA-corrupted can cycle its next chain, and a bounded
+// spin turns the resulting livelock into failed operations.
+const maxSpin = 10_000
+
+// NewStackInstance builds a stack of the given capacity whose workload is a
+// push/pop pair per op.
+func NewStackInstance(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (Instance, error) {
+	opts := []StructOption{WithMaker(mk)}
+	if guardedPool {
+		opts = append(opts, WithGuardedPool())
+	}
+	s, err := NewStack(f, n, capacity, 0, 0, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return stackInstance{s}, nil
+}
+
+type stackInstance struct{ s *Stack }
+
+func (in stackInstance) Worker(pid int) (func(i int), error) {
+	h, err := in.s.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) {
+		h.Push(Word(pid)<<32 | Word(i))
+		h.Pop()
+	}, nil
+}
+
+func (in stackInstance) Audit() (bool, string) {
+	a := in.s.Audit()
+	return a.Corrupt(), a.String()
+}
+
+func (in stackInstance) GuardMetrics() guard.Metrics    { return in.s.GuardMetrics() }
+func (in stackInstance) FreelistMetrics() guard.Metrics { return in.s.FreelistMetrics() }
+
+// NewQueueInstance builds a queue of the given capacity whose workload is
+// an enq/deq pair per op, with bounded retry loops (see QueueHandle.MaxSpin).
+func NewQueueInstance(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (Instance, error) {
+	opts := []StructOption{WithMaker(mk)}
+	if guardedPool {
+		opts = append(opts, WithGuardedPool())
+	}
+	q, err := NewQueue(f, n, capacity, 0, 0, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return queueInstance{q}, nil
+}
+
+type queueInstance struct{ q *Queue }
+
+func (in queueInstance) Worker(pid int) (func(i int), error) {
+	h, err := in.q.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	h.MaxSpin = maxSpin
+	return func(i int) {
+		h.Enq(Word(pid)<<32 | Word(i))
+		h.Deq()
+	}, nil
+}
+
+func (in queueInstance) Audit() (bool, string) {
+	a := in.q.Audit()
+	return a.Corrupt(), a.String()
+}
+
+func (in queueInstance) GuardMetrics() guard.Metrics    { return in.q.GuardMetrics() }
+func (in queueInstance) FreelistMetrics() guard.Metrics { return in.q.FreelistMetrics() }
+
+// NewEventInstance builds an event flag whose workload makes pid 0 the
+// signaler (alternating Signal/Reset) and every other pid a poller.  The
+// event flag has no node pool, so guardedPool is ignored.
+func NewEventInstance(f shmem.Factory, n, _ int, mk guard.Maker, _ bool) (Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("apps: event instance needs n >= 2 (a signaler and a poller), got %d", n)
+	}
+	e, err := NewProtectedEventFlag(f, n, 0, 0, WithMaker(mk))
+	if err != nil {
+		return nil, err
+	}
+	return eventInstance{e}, nil
+}
+
+type eventInstance struct{ e *EventFlag }
+
+func (in eventInstance) Worker(pid int) (func(i int), error) {
+	h, err := in.e.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	if pid == 0 {
+		return func(i int) {
+			if i%2 == 0 {
+				h.Signal()
+			} else {
+				h.Reset()
+			}
+		}, nil
+	}
+	return func(int) { h.Poll() }, nil
+}
+
+func (in eventInstance) Audit() (bool, string) {
+	// The flag has no linked structure to damage; missed pulses are a
+	// semantic failure the deterministic experiments exhibit instead.
+	return false, fmt.Sprintf("flag=%d", in.e.g.Peek(-1))
+}
+
+func (in eventInstance) GuardMetrics() guard.Metrics    { return in.e.GuardMetrics() }
+func (in eventInstance) FreelistMetrics() guard.Metrics { return guard.Metrics{} }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abadetect/internal/core"
+	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
 )
 
@@ -11,17 +12,27 @@ import (
 // that waiters poll, and later *resets* it so the flag can be reused.  With
 // a plain register, a waiter that polls before the signal and again after
 // the reset sees 0 both times — the event is silently missed; this is the
-// ABA problem in its mutual-exclusion guise.  Built over an ABA-detecting
-// register, the second poll reports "the register was written since your
-// last poll", and under the signal-then-reset discipline that means an
-// event fired.
+// ABA problem in its mutual-exclusion guise.
 //
-// The detecting flavor wraps any core.Detector; the plain flavor uses a bare
-// register for the head-to-head comparison.
+// The flag is a Guard, and Poll rides the guard's dirty-load detection, so
+// the flag runs the full protection ladder:
+//
+//   - Raw: a plain register.  A pulse (signal, then reset) that lands
+//     entirely between two polls leaves no trace — the §1 failure.
+//   - Tagged: every write bumps a k-bit tag, so an in-window pulse is
+//     visible — until a burst of exactly 2^k writes wraps the tag and the
+//     packed word repeats.  With k=1 a single pulse (two writes) is already
+//     invisible.
+//   - LLSC / Detector: the flag lives behind an ABA-detecting view (the
+//     Figure 5 composition over LL/SC, or — detection-only — any registered
+//     detector, including the register-only Figure 4).  No write is ever
+//     missed.
+//
+// The event flag never conditionally swings its reference, so it is the one
+// structure that accepts detection-only guards.
 type EventFlag struct {
-	det core.Detector // nil for the plain variant
-	reg shmem.Register
-	n   int
+	g guard.Guard
+	n int
 }
 
 // NewEventFlag builds a detecting event flag over det.
@@ -29,71 +40,75 @@ func NewEventFlag(det core.Detector) (*EventFlag, error) {
 	if det == nil {
 		return nil, fmt.Errorf("apps: nil detector")
 	}
-	return &EventFlag{det: det, n: det.NumProcs()}, nil
+	g, err := guard.NewDetectionOnly(det, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &EventFlag{g: g, n: det.NumProcs()}, nil
 }
 
 // NewPlainEventFlag builds the unprotected comparison flag over a single
 // register from f.
 func NewPlainEventFlag(f shmem.Factory, n int) (*EventFlag, error) {
+	return NewProtectedEventFlag(f, n, Raw, 0)
+}
+
+// NewProtectedEventFlag builds an event flag whose reference is guarded by
+// prot (tagBits applies to the Tagged regime; both are ignored when
+// WithMaker supplies the guard).
+func NewProtectedEventFlag(f shmem.Factory, n int, prot Protection, tagBits uint, opts ...StructOption) (*EventFlag, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("apps: event flag needs n >= 1, got %d", n)
 	}
-	return &EventFlag{reg: f.NewRegister("flag", 0), n: n}, nil
+	o := buildStructOptions(f, n, prot, tagBits, opts)
+	g, err := o.maker("flag", 1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("apps: event flag guard: %w", err)
+	}
+	return &EventFlag{g: g, n: n}, nil
 }
+
+// NumProcs returns n.
+func (e *EventFlag) NumProcs() int { return e.n }
+
+// Protection returns the flag-guard regime.
+func (e *EventFlag) Protection() Protection { return e.g.Regime() }
+
+// GuardMetrics returns the flag guard's audit counters.
+func (e *EventFlag) GuardMetrics() guard.Metrics { return e.g.Metrics() }
 
 // Handle returns process pid's handle.
 func (e *EventFlag) Handle(pid int) (*EventHandle, error) {
 	if pid < 0 || pid >= e.n {
 		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, e.n)
 	}
-	h := &EventHandle{e: e, pid: pid}
-	if e.det != nil {
-		var err error
-		if h.det, err = e.det.Handle(pid); err != nil {
-			return nil, err
-		}
+	g, err := e.g.Handle(pid)
+	if err != nil {
+		return nil, err
 	}
-	return h, nil
+	return &EventHandle{g: g}, nil
 }
 
 // EventHandle is a per-process event-flag endpoint.
 type EventHandle struct {
-	e   *EventFlag
-	pid int
-	det core.Handle
+	g guard.Handle
 }
 
 // Signal raises the flag.
-func (h *EventHandle) Signal() {
-	if h.det != nil {
-		h.det.DWrite(1)
-		return
-	}
-	h.e.reg.Write(h.pid, 1)
-}
+func (h *EventHandle) Signal() { h.g.Store(1) }
 
 // Reset lowers the flag for reuse.
-func (h *EventHandle) Reset() {
-	if h.det != nil {
-		h.det.DWrite(0)
-		return
-	}
-	h.e.reg.Write(h.pid, 0)
-}
+func (h *EventHandle) Reset() { h.g.Store(0) }
 
 // Poll returns the flag's value and whether an event fired since this
-// handle's previous Poll.  Under the signal-then-reset discipline, fired is:
-//
-//   - for the detecting flavor: flag set now, or any write detected since
-//     the last poll (a reset implies a preceding signal);
-//   - for the plain flavor: flag set now — resets erase history, which is
-//     precisely the missed-event failure the experiments demonstrate.
+// handle's previous Poll.  Under the signal-then-reset discipline, fired is
+// "flag set now, or any write the guard could detect since the last poll"
+// (a reset implies a preceding signal).  For the raw and tagged regimes the
+// detection is exactly as porous as the regime: a raw guard only notices a
+// *visibly changed* value, a k-bit tag misses a write burst that wraps it —
+// precisely the missed-event failures the experiments demonstrate.
 func (h *EventHandle) Poll() (set bool, fired bool) {
-	if h.det != nil {
-		v, dirty := h.det.DRead()
-		set = v == 1
-		return set, set || dirty
-	}
-	set = h.e.reg.Read(h.pid) == 1
-	return set, set
+	v, dirty := h.g.Load()
+	set = v == 1
+	return set, set || dirty
 }

@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"abadetect/internal/guard"
+	"abadetect/internal/shmem"
+)
+
+// pool is the node allocator behind every structure.  Nodes are 1-based
+// indices; alloc returns 0 when the pool is exhausted.
+//
+// Two implementations exist because the allocator plays two roles in the
+// paper's story.  The fifoPool models the *system* allocator: a FIFO queue
+// under a mutex, deliberately outside the shared-memory cost model, whose
+// FIFO reuse maximizes the realism of the ABA window (a freed node comes
+// back exactly when an adversary wants it to).  The guardedPool brings the
+// allocator *into* the model: a lock-free LIFO free list whose head is a
+// Guard, making the free list itself exactly as ABA-vulnerable — or
+// protected — as the structure above it.
+type pool interface {
+	// handle returns process pid's allocator endpoint.
+	handle(pid int) (poolHandle, error)
+	// snapshot copies the current free set for auditing (quiescence only).
+	snapshot() []int
+	// metrics returns the free-list guard's audit counters (zero for the
+	// unguarded FIFO model).
+	metrics() guard.Metrics
+}
+
+// poolHandle is a per-process allocator endpoint.
+type poolHandle interface {
+	// alloc takes a free node, or 0 when exhausted.
+	alloc() int
+	// release returns a node to the pool.
+	release(idx int)
+}
+
+// newPoolFor builds the pool selected by the structure options: nodes
+// 1..capacity, chain links of idxBits bits.
+func newPoolFor(f shmem.Factory, o structOptions, name string, capacity int, idxBits uint) (pool, error) {
+	if o.guardedPool {
+		return newGuardedPool(f, o.maker, name, capacity, idxBits)
+	}
+	return newFIFOPool(capacity), nil
+}
+
+// fifoPool is the mutex FIFO allocator model.
+type fifoPool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+func newFIFOPool(capacity int) *fifoPool {
+	p := &fifoPool{free: make([]int, 0, capacity)}
+	for i := 1; i <= capacity; i++ {
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+func (p *fifoPool) handle(int) (poolHandle, error) { return p, nil }
+
+func (p *fifoPool) metrics() guard.Metrics { return guard.Metrics{} }
+
+// alloc takes the oldest free node, or 0 when exhausted.
+func (p *fifoPool) alloc() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0
+	}
+	idx := p.free[0]
+	p.free = p.free[1:]
+	return idx
+}
+
+// release returns a node to the back of the queue.
+func (p *fifoPool) release(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, idx)
+}
+
+// snapshot copies the free queue for auditing.
+func (p *fifoPool) snapshot() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.free...)
+}
+
+// guardedPool is a Treiber-style free list: head is a Guard, chain links are
+// registers (a free node is owned by the allocator, so its link needs no
+// guard of its own).  With a raw head guard this free list reproduces the
+// textbook allocator ABA — alloc reads the head and its link, and a stale
+// commit can hand out a node that was re-freed in between; the guard's
+// NearMisses counter records every such ABA a stronger regime caught.
+type guardedPool struct {
+	head     guard.Guard
+	next     []shmem.Register // next[i] links free node i; 0 ends the list
+	capacity int
+}
+
+func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, idxBits uint) (*guardedPool, error) {
+	p := &guardedPool{
+		next:     make([]shmem.Register, capacity+1),
+		capacity: capacity,
+	}
+	// Initial chain 1 -> 2 -> ... -> capacity, so the first allocations come
+	// out in index order like the FIFO model's.
+	for i := 1; i <= capacity; i++ {
+		init := Word(i + 1)
+		if i == capacity {
+			init = 0
+		}
+		p.next[i] = f.NewRegister(fmt.Sprintf("%s.free[%d]", name, i), init)
+	}
+	head, err := mk(name+".freelist", idxBits, 1)
+	if err != nil {
+		return nil, fmt.Errorf("apps: free-list guard: %w", err)
+	}
+	if !head.Conditional() {
+		return nil, fmt.Errorf("apps: free-list needs a conditional guard; %s guard is detection-only", head.Regime())
+	}
+	p.head = head
+	return p, nil
+}
+
+func (p *guardedPool) handle(pid int) (poolHandle, error) {
+	h, err := p.head.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &guardedPoolHandle{p: p, h: h, pid: pid}, nil
+}
+
+func (p *guardedPool) metrics() guard.Metrics { return p.head.Metrics() }
+
+// snapshot walks the free chain as the observer.  A cycle (possible only
+// after a raw-guard ABA) is truncated at capacity hops; the structure audit
+// surfaces the damage as doubled or lost nodes.
+func (p *guardedPool) snapshot() []int {
+	var out []int
+	cur := int(p.head.Peek(-1))
+	for hops := 0; cur != 0 && hops < p.capacity; hops++ {
+		out = append(out, cur)
+		cur = int(p.next[cur].Read(-1))
+	}
+	return out
+}
+
+type guardedPoolHandle struct {
+	p   *guardedPool
+	h   guard.Handle
+	pid int
+}
+
+// alloc pops the free-list head.  This is the vulnerable shape: between
+// loading the head and committing its successor, the head node can be
+// allocated, released, and re-chained — under a raw guard the stale commit
+// still succeeds and installs a dangling link.
+func (h *guardedPoolHandle) alloc() int {
+	for {
+		top, _ := h.h.Load()
+		if top == 0 {
+			return 0
+		}
+		next := h.p.next[top].Read(h.pid)
+		if h.h.Commit(next) {
+			return int(top)
+		}
+	}
+}
+
+// release pushes idx back onto the free list.
+func (h *guardedPoolHandle) release(idx int) {
+	for {
+		top, _ := h.h.Load()
+		h.p.next[idx].Write(h.pid, top)
+		if h.h.Commit(Word(idx)) {
+			return
+		}
+	}
+}

@@ -3,74 +3,115 @@ package apps
 import (
 	"fmt"
 
-	"abadetect/internal/llsc"
+	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
 )
 
 // Queue is a Michael–Scott FIFO queue whose mutable references — head, tail,
-// and every node's next pointer — are LL/SC objects (each built from a
-// single bounded CAS object, Theorem 2).
+// and every node's next pointer — are Guards.
 //
 // The original Michael–Scott queue [24] is the poster child of the tagging
 // literature: with raw CAS and recycled nodes it suffers exactly the ABA the
 // paper describes, which is why the original used (unbounded) counted
-// pointers.  Replacing every CAS with LL/SC removes the problem by
-// specification — a stale SC fails no matter how the indices cycled — and
-// this queue recycles nodes through the allocator freely.
+// pointers.  With Guards, the queue runs the whole §1 ladder:
+//
+//   - Raw: the historical victim.  The deterministic recycling schedule in
+//     the foil tests dequeues the same value twice and strands the head on
+//     a free node.
+//   - Tagged: the IBM-tag fix — sound until the tag wraps inside a victim's
+//     window.
+//   - LLSC: every commit is an SC; a stale swing fails no matter how the
+//     indices cycled (the regime the seed hardwired).
+//   - Detector: the Figure 5 detecting view over LL/SC, counting every
+//     prevented ABA.
 type Queue struct {
 	n        int
 	capacity int
 
 	value []shmem.Register
-	next  []llsc.Object // next[i] holds the successor index of node i
-	head  llsc.Object
-	tail  llsc.Object
-	pool  *pool
+	next  []guard.Guard // next[i] holds the successor index of node i
+	head  guard.Guard
+	tail  guard.Guard
+	pool  pool
 	dummy int // initial dummy node (allocated at construction)
 }
 
 // NewQueue builds a queue for n processes with the given capacity (usable
-// nodes beyond the mandatory dummy).
-func NewQueue(f shmem.Factory, n, capacity int) (*Queue, error) {
+// nodes beyond the mandatory dummy), its references guarded by prot.
+// tagBits is only used by the Tagged regime; both are ignored when
+// WithMaker supplies the guards.
+func NewQueue(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, opts ...StructOption) (*Queue, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("apps: queue needs n >= 1, got %d", n)
 	}
 	if capacity < 1 {
 		return nil, fmt.Errorf("apps: queue needs capacity >= 1, got %d", capacity)
 	}
+	o := buildStructOptions(f, n, prot, tagBits, opts)
 	total := capacity + 1 // one extra node so the dummy never starves callers
 	idxBits := shmem.BitsFor(total + 1)
 	q := &Queue{
 		n:        n,
 		capacity: total,
 		value:    make([]shmem.Register, total+1),
-		next:     make([]llsc.Object, total+1),
-		pool:     newPool(total),
+		next:     make([]guard.Guard, total+1),
 	}
 	var err error
 	for i := 1; i <= total; i++ {
 		q.value[i] = f.NewRegister(fmt.Sprintf("qvalue[%d]", i), 0)
-		q.next[i], err = llsc.NewCASBased(f, n, idxBits, 0)
-		if err != nil {
-			return nil, fmt.Errorf("apps: queue next[%d]: %w", i, err)
+		if q.next[i], err = o.maker(fmt.Sprintf("qnext[%d]", i), idxBits, 0); err != nil {
+			return nil, fmt.Errorf("apps: queue next[%d] guard: %w", i, err)
 		}
 	}
-	q.dummy = q.pool.alloc()
-	if q.head, err = llsc.NewCASBased(f, n, idxBits, Word(q.dummy)); err != nil {
-		return nil, fmt.Errorf("apps: queue head: %w", err)
+	if q.pool, err = newPoolFor(f, o, "queue", total, idxBits); err != nil {
+		return nil, err
 	}
-	if q.tail, err = llsc.NewCASBased(f, n, idxBits, Word(q.dummy)); err != nil {
-		return nil, fmt.Errorf("apps: queue tail: %w", err)
+	boot, err := q.pool.handle(0)
+	if err != nil {
+		return nil, err
+	}
+	q.dummy = boot.alloc()
+	if q.head, err = o.maker("qhead", idxBits, Word(q.dummy)); err != nil {
+		return nil, fmt.Errorf("apps: queue head guard: %w", err)
+	}
+	if q.tail, err = o.maker("qtail", idxBits, Word(q.dummy)); err != nil {
+		return nil, fmt.Errorf("apps: queue tail guard: %w", err)
+	}
+	if !q.head.Conditional() {
+		return nil, fmt.Errorf("apps: queue needs conditional guards; %s guard is detection-only", q.head.Regime())
 	}
 	return q, nil
 }
+
+// NumProcs returns n.
+func (q *Queue) NumProcs() int { return q.n }
+
+// Capacity returns the number of usable nodes (beyond the dummy).
+func (q *Queue) Capacity() int { return q.capacity - 1 }
+
+// Protection returns the reference-guard regime.
+func (q *Queue) Protection() Protection { return q.head.Regime() }
+
+// GuardMetrics returns the aggregated audit counters of every reference
+// guard (head, tail, and all next pointers).
+func (q *Queue) GuardMetrics() guard.Metrics {
+	m := q.head.Metrics().Add(q.tail.Metrics())
+	for i := 1; i < len(q.next); i++ {
+		m = m.Add(q.next[i].Metrics())
+	}
+	return m
+}
+
+// FreelistMetrics returns the node pool's guard counters (zero unless the
+// queue was built WithGuardedPool).
+func (q *Queue) FreelistMetrics() guard.Metrics { return q.pool.metrics() }
 
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 	if pid < 0 || pid >= q.n {
 		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, q.n)
 	}
-	h := &QueueHandle{q: q, pid: pid, next: make([]llsc.Handle, len(q.next))}
+	h := &QueueHandle{q: q, pid: pid, next: make([]guard.Handle, len(q.next))}
 	var err error
 	if h.head, err = q.head.Handle(pid); err != nil {
 		return nil, err
@@ -83,6 +124,9 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 			return nil, err
 		}
 	}
+	if h.pool, err = q.pool.handle(pid); err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 
@@ -90,70 +134,144 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 type QueueHandle struct {
 	q    *Queue
 	pid  int
-	head llsc.Handle
-	tail llsc.Handle
-	next []llsc.Handle
+	head guard.Handle
+	tail guard.Handle
+	next []guard.Handle
+	pool poolHandle
+
+	// MaxSpin bounds the retry/helping loops of Enq and Deq; 0 means
+	// unbounded (the lock-free default).  A raw-guarded queue that has been
+	// ABA-corrupted can acquire a cycle through its next chain, turning the
+	// tail-helping loop into a livelock — benchmark and race harnesses set a
+	// bound so a corrupted foil fails operations instead of hanging.
+	MaxSpin int
+
+	pendingHead int // head loaded by DeqBegin
+	pendingNext int // its successor, as read by DeqBegin
 }
 
-// Enq appends v.  It returns false when the node pool is exhausted.
+// spent reports whether a bounded handle has used up its spin budget.
+func (h *QueueHandle) spent(spins int) bool { return h.MaxSpin > 0 && spins >= h.MaxSpin }
+
+// Enq appends v.  It returns false when the node pool is exhausted (or a
+// MaxSpin budget ran out).
 func (h *QueueHandle) Enq(v Word) bool {
-	idx := h.q.pool.alloc()
+	idx := h.pool.alloc()
 	if idx == 0 {
 		return false
 	}
 	h.q.value[idx].Write(h.pid, v)
-	// Reset the recycled node's next pointer; only we touch a free node, so
-	// the LL;SC pair cannot be interfered with.
-	for {
-		h.next[idx].LL()
-		if h.next[idx].SC(0) {
-			break
+	// Reset the recycled node's next pointer; only we touch a free node.
+	h.next[idx].Store(0)
+	for spins := 0; ; spins++ {
+		if h.spent(spins) {
+			h.pool.release(idx)
+			return false
 		}
-	}
-	for {
-		t := int(h.tail.LL())
-		nt := int(h.next[t].LL())
-		if !h.tail.VL() {
+		t, _ := h.tail.Load()
+		nt, _ := h.next[t].Load()
+		if !h.tail.Validate() {
 			continue // t is no longer the tail: the snapshot is stale
 		}
 		if nt == 0 {
-			if h.next[t].SC(Word(idx)) {
+			if h.next[t].Commit(Word(idx)) {
 				// Linearized.  Help the tail forward; failure is fine.
-				h.tail.LL()
-				h.tail.SC(Word(idx))
+				h.tail.Load()
+				h.tail.Commit(Word(idx))
 				return true
 			}
 			continue
 		}
 		// Tail is lagging: help it forward and retry.
-		h.tail.SC(Word(nt))
+		h.tail.Commit(nt)
 	}
 }
 
-// Deq removes the oldest value.  It returns false when the queue is empty.
+// Deq removes the oldest value.  It returns false when the queue is empty
+// (or a MaxSpin budget ran out).
 func (h *QueueHandle) Deq() (Word, bool) {
-	for {
-		hd := int(h.head.LL())
-		t := int(h.tail.LL())
-		nh := int(h.next[hd].LL())
-		if !h.head.VL() {
-			continue // hd is no longer the head: the snapshot is stale
+	for spins := 0; ; spins++ {
+		if h.spent(spins) {
+			return 0, false
 		}
-		if nh == 0 {
-			return 0, false // consistent snapshot of an empty queue
-		}
-		if hd == t {
-			// Tail lagging behind a half-finished enqueue: help.
-			h.tail.SC(Word(nh))
+		hd, nh, empty, ok := h.deqSnapshot()
+		if !ok {
 			continue
 		}
-		v := h.q.value[nh].Read(h.pid)
-		if h.head.SC(Word(nh)) {
-			// The old dummy retires; nh is the new dummy.
-			h.q.pool.release(hd)
+		if empty {
+			return 0, false
+		}
+		if v, ok := h.deqCommit(hd, nh); ok {
 			return v, true
 		}
 	}
+}
+
+// DeqBegin performs the vulnerable first half of a dequeue — snapshot the
+// head, tail, and the head's successor — and stops right before the head
+// commit, exposing the ABA window for the deterministic corruption
+// experiments.  It returns empty=true on a consistent empty snapshot (or an
+// exhausted MaxSpin budget), in which case there is nothing to commit.
+func (h *QueueHandle) DeqBegin() (head, next int, empty bool) {
+	for spins := 0; ; spins++ {
+		if h.spent(spins) {
+			h.pendingHead, h.pendingNext = 0, 0
+			return 0, 0, true
+		}
+		hd, nh, empty, ok := h.deqSnapshot()
+		if !ok {
+			continue
+		}
+		if empty {
+			h.pendingHead, h.pendingNext = 0, 0
+			return 0, 0, true
+		}
+		h.pendingHead, h.pendingNext = hd, nh
+		return hd, nh, false
+	}
+}
+
+// DeqCommit performs the second half of the dequeue begun by DeqBegin: the
+// conditional swing of the head past the old dummy.  On failure nothing
+// changes; the caller may retry with a fresh DeqBegin.  With no pending
+// dequeue (an empty DeqBegin, or none at all) it reports failure.
+func (h *QueueHandle) DeqCommit() (Word, bool) {
+	if h.pendingNext == 0 {
+		return 0, false
+	}
+	return h.deqCommit(h.pendingHead, h.pendingNext)
+}
+
+// deqSnapshot reads (head, tail, next[head]) and validates the head.  It
+// returns ok=false when the snapshot was stale and must be retried, and
+// empty=true on a consistent empty queue; as a side effect it helps a
+// lagging tail forward.
+func (h *QueueHandle) deqSnapshot() (hd, nh int, empty, ok bool) {
+	hdW, _ := h.head.Load()
+	tW, _ := h.tail.Load()
+	nhW, _ := h.next[hdW].Load()
+	if !h.head.Validate() {
+		return 0, 0, false, false // hd is no longer the head: stale snapshot
+	}
+	if nhW == 0 {
+		return 0, 0, true, true // consistent snapshot of an empty queue
+	}
+	if hdW == tW {
+		// Tail lagging behind a half-finished enqueue: help.
+		h.tail.Commit(nhW)
+		return 0, 0, false, false
+	}
+	return int(hdW), int(nhW), false, true
+}
+
+func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
+	v := h.q.value[nh].Read(h.pid)
+	if h.head.Commit(Word(nh)) {
+		// The old dummy retires; nh is the new dummy.
+		h.pool.release(hd)
+		return v, true
+	}
+	return 0, false
 }
 
 // QueueAudit is a quiescent-state structural check.

@@ -12,7 +12,7 @@ import (
 
 func newQueue(t *testing.T, n, capacity int) *Queue {
 	t.Helper()
-	q, err := NewQueue(shmem.NewNativeFactory(), n, capacity)
+	q, err := NewQueue(shmem.NewNativeFactory(), n, capacity, LLSC, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,17 @@ func TestQueueCapacity(t *testing.T) {
 
 func TestQueueConstructorValidation(t *testing.T) {
 	f := shmem.NewNativeFactory()
-	if _, err := NewQueue(f, 0, 4); err == nil {
+	if _, err := NewQueue(f, 0, 4, LLSC, 0); err == nil {
 		t.Error("want error for n=0")
 	}
-	if _, err := NewQueue(f, 2, 0); err == nil {
+	if _, err := NewQueue(f, 2, 0, LLSC, 0); err == nil {
 		t.Error("want error for capacity=0")
+	}
+	if _, err := NewQueue(f, 2, 4, Tagged, 0); err == nil {
+		t.Error("want error for tagged with 0 tag bits")
+	}
+	if _, err := NewQueue(f, 2, 4, Protection(99), 0); err == nil {
+		t.Error("want error for unknown protection")
 	}
 	q := newQueue(t, 2, 4)
 	if _, err := q.Handle(-1); err == nil {

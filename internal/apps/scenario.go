@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// This file holds the deterministic §1 corruption scripts, shared by the
+// experiment harness (internal/bench E6) and the differential foil tests.
+// Both rely on the FIFO allocator model's recycling order, so they always
+// run on the default pool.
+
+// StackABAScenario plays the paper's §1 corruption script against a stack:
+// the victim stops between reading the head's successor and the commit,
+// while the adversary performs exactly 4 successful head swings (3 pops + 1
+// push) that bring the head index back to the victim's loaded node.  It
+// returns whether the victim's stale commit was accepted and the audit.
+func StackABAScenario(f shmem.Factory, prot Protection, tagBits uint) (fooled bool, audit StackAudit, err error) {
+	s, err := NewStack(f, 2, 3, prot, tagBits)
+	if err != nil {
+		return false, StackAudit{}, err
+	}
+	adversary, err := s.Handle(0)
+	if err != nil {
+		return false, StackAudit{}, err
+	}
+	victim, err := s.Handle(1)
+	if err != nil {
+		return false, StackAudit{}, err
+	}
+	// Setup: chain 3(103) -> 2(102) -> 1(101).
+	for i := 1; i <= 3; i++ {
+		if !adversary.Push(Word(100 + i)) {
+			return false, StackAudit{}, fmt.Errorf("apps: scenario setup push %d failed", i)
+		}
+	}
+	// Victim: loads head (node 3) and its successor (node 2), then stalls.
+	if _, _, empty := victim.PopBegin(); empty {
+		return false, StackAudit{}, fmt.Errorf("apps: scenario stack unexpectedly empty")
+	}
+	// Adversary: three pops (frees 3, 2, 1) and one push.  The FIFO
+	// allocator hands node 3 back, so the head *index* is 3 again — but
+	// node 2 is free and node 3's successor is now nil.
+	for i := 0; i < 3; i++ {
+		if _, ok := adversary.Pop(); !ok {
+			return false, StackAudit{}, fmt.Errorf("apps: scenario adversary pop %d failed", i)
+		}
+	}
+	if !adversary.Push(104) {
+		return false, StackAudit{}, fmt.Errorf("apps: scenario adversary push failed")
+	}
+	// Victim resumes: the commit swings head to the freed node 2 iff the
+	// guard is fooled.
+	_, fooled = victim.PopCommit()
+	return fooled, s.Audit(), nil
+}
+
+// QueueABAScenario plays the classic Michael–Scott recycling ABA: the
+// victim snapshots (head, next[head]) and stalls before the head commit;
+// the adversary drains the queue, enqueues through the recycled nodes, and
+// dequeues again so the head *index* is restored (3 successful head swings)
+// while the chain underneath has moved on.  A raw-guarded queue accepts the
+// victim's stale commit — dequeuing a value a second time and stranding the
+// head on a free node; tag, LL/SC, and detector guards reject it.  It
+// returns whether the stale commit was accepted and the audit.
+func QueueABAScenario(f shmem.Factory, prot Protection, tagBits uint) (fooled bool, audit QueueAudit, err error) {
+	q, err := NewQueue(f, 2, 2, prot, tagBits) // 3 nodes: dummy 1, free 2 and 3
+	if err != nil {
+		return false, QueueAudit{}, err
+	}
+	adversary, err := q.Handle(0)
+	if err != nil {
+		return false, QueueAudit{}, err
+	}
+	victim, err := q.Handle(1)
+	if err != nil {
+		return false, QueueAudit{}, err
+	}
+	step := func(cond bool, format string, args ...any) error {
+		if !cond {
+			return fmt.Errorf("apps: queue scenario: "+format, args...)
+		}
+		return nil
+	}
+	// Setup: dummy node 1, then A in node 2 and B in node 3.
+	if err := step(adversary.Enq(601), "setup enq A failed"); err != nil {
+		return false, QueueAudit{}, err
+	}
+	if err := step(adversary.Enq(602), "setup enq B failed"); err != nil {
+		return false, QueueAudit{}, err
+	}
+	// Victim: snapshots head (dummy 1) and its successor (node 2), stalls.
+	hd, nh, empty := victim.DeqBegin()
+	if err := step(!empty && hd == 1 && nh == 2, "DeqBegin = (%d,%d,%v), want (1,2,false)", hd, nh, empty); err != nil {
+		return false, QueueAudit{}, err
+	}
+	// Adversary: drain both values (head swings 1->2->3, nodes 1 and 2
+	// retire to the FIFO free list), enqueue C through recycled node 1, and
+	// dequeue it (head swings 3->1).  The head index is 1 again, but node 2
+	// is free and node 1's next is nil.
+	if _, ok := adversary.Deq(); !ok {
+		return false, QueueAudit{}, fmt.Errorf("apps: queue scenario: drain A failed")
+	}
+	if _, ok := adversary.Deq(); !ok {
+		return false, QueueAudit{}, fmt.Errorf("apps: queue scenario: drain B failed")
+	}
+	if err := step(adversary.Enq(603), "enq C failed"); err != nil {
+		return false, QueueAudit{}, err
+	}
+	if _, ok := adversary.Deq(); !ok {
+		return false, QueueAudit{}, fmt.Errorf("apps: queue scenario: deq C failed")
+	}
+	// Victim resumes: committing head 1 -> 2 re-dequeues the long-gone A
+	// and parks the head on free node 2 iff the guard is fooled.
+	_, fooled = victim.DeqCommit()
+	return fooled, q.Audit(), nil
+}

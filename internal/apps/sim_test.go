@@ -115,7 +115,7 @@ func queueWorkloadRun(t *testing.T, ops []string) *sim.Runner {
 	t.Helper()
 	n := len(ops)
 	runner := sim.NewRunner(n)
-	q, err := NewQueue(runner.Factory(), n, 8)
+	q, err := NewQueue(runner.Factory(), n, 8, LLSC, 0)
 	if err != nil {
 		runner.Close()
 		t.Fatal(err)

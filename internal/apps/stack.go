@@ -2,125 +2,118 @@ package apps
 
 import (
 	"fmt"
-	"sync"
 
-	"abadetect/internal/llsc"
+	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
 )
 
 // Stack is a Treiber stack over a fixed pool of index-based nodes, the
 // canonical ABA victim of the paper's §1.
 //
-// A pop reads the head index, reads the head node's successor, and CASes the
-// head to the successor.  If, between the two reads and the CAS, other
-// processes popped the head node, recycled it through the allocator, and
-// pushed it back, a raw CAS still succeeds — and swings the head to a node
-// that may long since have been freed.  The stack's head reference can be
-// guarded by any Protection regime:
+// A pop reads the head index, reads the head node's successor, and commits
+// the head to the successor.  If, between the two reads and the commit,
+// other processes popped the head node, recycled it through the allocator,
+// and pushed it back, a raw commit still succeeds — and swings the head to
+// a node that may long since have been freed.  The head is a Guard, so the
+// same code runs under every Protection regime:
 //
 //   - Raw: bare CAS on the index.  The deterministic corruption scenario in
 //     stack_test.go (and the paper's motivation) breaks it.
 //   - Tagged: a k-bit wrap-around tag beside the index.  Safe until exactly
-//     2^k head-CASes occur inside the victim's window, then broken.
+//     2^k head commits occur inside the victim's window, then broken.
 //   - LLSC: an LL/SC object (built from a single bounded CAS, Theorem 2).
-//     Immune: SC fails after any intervening successful SC.
+//     Immune: a stale commit fails after any intervening successful commit.
+//   - Detector: the Figure 5 detecting view over LL/SC.  Immune, and every
+//     prevented ABA shows up in the guard's NearMisses counter.
 //
-// Node allocation models a memory allocator: a FIFO free queue under a
-// mutex.  It is deliberately *not* part of the shared-memory cost model —
-// the ABA problem exists precisely because allocators hand memory back.
+// Node allocation goes through the pool: by default the mutex FIFO
+// allocator model (see pool.go), or — with WithGuardedPool — a lock-free
+// free list whose head is a Guard of the same regime.
 type Stack struct {
 	n        int
 	capacity int
-	prot     Protection
 
 	value []shmem.Register // value[i] of node i (1-based)
 	next  []shmem.Register // next[i] of node i; 0 = nil
 
-	pool *pool
-
-	// head in one of three guises:
-	rawHead  shmem.WritableCAS
-	tagHead  shmem.WritableCAS
-	tagCodec shmem.TagCodec
-	llscHead llsc.Object
+	pool pool
+	head guard.Guard
 }
 
 // NewStack builds a stack for n processes with the given node capacity.
-// tagBits is only used by the Tagged regime.
-func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint) (*Stack, error) {
+// tagBits is only used by the Tagged regime; both prot and tagBits are
+// ignored when WithMaker supplies the guards.
+func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, opts ...StructOption) (*Stack, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("apps: stack needs n >= 1, got %d", n)
 	}
 	if capacity < 1 {
 		return nil, fmt.Errorf("apps: stack needs capacity >= 1, got %d", capacity)
 	}
+	o := buildStructOptions(f, n, prot, tagBits, opts)
 	idxBits := shmem.BitsFor(capacity + 1)
 	s := &Stack{
 		n:        n,
 		capacity: capacity,
-		prot:     prot,
 		value:    make([]shmem.Register, capacity+1),
 		next:     make([]shmem.Register, capacity+1),
-		pool:     newPool(capacity),
 	}
 	for i := 1; i <= capacity; i++ {
 		s.value[i] = f.NewRegister(fmt.Sprintf("value[%d]", i), 0)
 		s.next[i] = f.NewRegister(fmt.Sprintf("next[%d]", i), 0)
 	}
-	switch prot {
-	case Raw:
-		s.rawHead = f.NewCAS("head", 0)
-	case Tagged:
-		codec, err := shmem.NewTagCodec(idxBits, tagBits)
-		if err != nil {
-			return nil, fmt.Errorf("apps: stack tag codec: %w", err)
-		}
-		s.tagCodec = codec
-		s.tagHead = f.NewCAS("head", codec.Encode(0, 0))
-	case LLSC:
-		obj, err := llsc.NewCASBased(f, n, idxBits, 0)
-		if err != nil {
-			return nil, fmt.Errorf("apps: stack LL/SC head: %w", err)
-		}
-		s.llscHead = obj
-	default:
-		return nil, fmt.Errorf("apps: unknown protection %d", prot)
+	head, err := o.maker("head", idxBits, 0)
+	if err != nil {
+		return nil, fmt.Errorf("apps: stack head guard: %w", err)
+	}
+	if !head.Conditional() {
+		return nil, fmt.Errorf("apps: stack head needs a conditional guard; %s guard is detection-only", head.Regime())
+	}
+	s.head = head
+	if s.pool, err = newPoolFor(f, o, "stack", capacity, idxBits); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
+
+// NumProcs returns n.
+func (s *Stack) NumProcs() int { return s.n }
 
 // Capacity returns the node-pool capacity.
 func (s *Stack) Capacity() int { return s.capacity }
 
 // Protection returns the head-guard regime.
-func (s *Stack) Protection() Protection { return s.prot }
+func (s *Stack) Protection() Protection { return s.head.Regime() }
+
+// GuardMetrics returns the head guard's audit counters.
+func (s *Stack) GuardMetrics() guard.Metrics { return s.head.Metrics() }
+
+// FreelistMetrics returns the node pool's guard counters (zero unless the
+// stack was built WithGuardedPool).
+func (s *Stack) FreelistMetrics() guard.Metrics { return s.pool.metrics() }
 
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (s *Stack) Handle(pid int) (*StackHandle, error) {
 	if pid < 0 || pid >= s.n {
 		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, s.n)
 	}
-	h := &StackHandle{s: s, pid: pid}
-	switch s.prot {
-	case Raw:
-		h.head = &rawRef{obj: s.rawHead, pid: pid}
-	case Tagged:
-		h.head = &taggedRef{obj: s.tagHead, codec: s.tagCodec, pid: pid}
-	case LLSC:
-		lh, err := s.llscHead.Handle(pid)
-		if err != nil {
-			return nil, err
-		}
-		h.head = &llscRef{h: lh}
+	head, err := s.head.Handle(pid)
+	if err != nil {
+		return nil, err
 	}
-	return h, nil
+	ph, err := s.pool.handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &StackHandle{s: s, pid: pid, head: head, pool: ph}, nil
 }
 
 // StackHandle is a per-process stack endpoint.
 type StackHandle struct {
 	s    *Stack
 	pid  int
-	head guardedRef
+	head guard.Handle
+	pool poolHandle
 
 	pending int // node loaded by PopBegin
 	next    int // its successor, as read by PopBegin
@@ -128,15 +121,15 @@ type StackHandle struct {
 
 // Push pushes v.  It returns false when the node pool is exhausted.
 func (h *StackHandle) Push(v Word) bool {
-	idx := h.s.pool.alloc()
+	idx := h.pool.alloc()
 	if idx == 0 {
 		return false
 	}
 	h.s.value[idx].Write(h.pid, v)
 	for {
-		top := h.head.load()
-		h.s.next[idx].Write(h.pid, Word(top))
-		if h.head.commit(idx) {
+		top, _ := h.head.Load()
+		h.s.next[idx].Write(h.pid, top)
+		if h.head.Commit(Word(idx)) {
 			return true
 		}
 	}
@@ -156,12 +149,14 @@ func (h *StackHandle) Pop() (Word, bool) {
 }
 
 // PopBegin performs the vulnerable first half of a pop — load the head and
-// read its successor — and stops right before the CAS, exposing the ABA
+// read its successor — and stops right before the commit, exposing the ABA
 // window for the deterministic corruption experiments.  It returns
 // empty=true if the stack was empty.
 func (h *StackHandle) PopBegin() (top, next int, empty bool) {
-	top = h.head.load()
+	topW, _ := h.head.Load()
+	top = int(topW)
 	if top == 0 {
+		h.pending, h.next = 0, 0
 		return 0, 0, true
 	}
 	next = int(h.s.next[top].Read(h.pid))
@@ -173,71 +168,23 @@ func (h *StackHandle) PopBegin() (top, next int, empty bool) {
 // conditional swing of the head.  On success it returns the popped value
 // (read *after* the swing, as the classic implementation does) and recycles
 // the node.  On failure nothing changes; the caller may retry with a fresh
-// PopBegin.
+// PopBegin.  With no pending pop (an empty PopBegin, or none at all) it
+// reports failure.
 func (h *StackHandle) PopCommit() (Word, bool) {
+	if h.pending == 0 {
+		return 0, false
+	}
 	return h.popCommit(h.pending, h.next)
 }
 
 func (h *StackHandle) popCommit(top, next int) (Word, bool) {
-	if !h.head.commit(next) {
+	if !h.head.Commit(Word(next)) {
 		return 0, false
 	}
 	v := h.s.value[top].Read(h.pid)
-	h.s.pool.release(top)
+	h.pool.release(top)
 	return v, true
 }
-
-// guardedRef abstracts the protected head reference.  load returns the
-// current node index and arms the guard; commit atomically swings the head
-// to newIdx iff the reference is unchanged (in the regime's sense) since the
-// last load by this handle.
-type guardedRef interface {
-	load() int
-	commit(newIdx int) bool
-}
-
-// rawRef guards nothing: the classic vulnerable CAS on an index.
-type rawRef struct {
-	obj  shmem.CAS
-	pid  int
-	last Word
-}
-
-func (r *rawRef) load() int {
-	r.last = r.obj.Read(r.pid)
-	return int(r.last)
-}
-
-func (r *rawRef) commit(newIdx int) bool {
-	return r.obj.CompareAndSwap(r.pid, r.last, Word(newIdx))
-}
-
-// taggedRef bumps a k-bit tag on every successful swing.
-type taggedRef struct {
-	obj   shmem.CAS
-	codec shmem.TagCodec
-	pid   int
-	last  Word
-}
-
-func (r *taggedRef) load() int {
-	r.last = r.obj.Read(r.pid)
-	return int(r.codec.Value(r.last))
-}
-
-func (r *taggedRef) commit(newIdx int) bool {
-	next := r.codec.Encode(Word(newIdx), r.codec.Tag(r.last)+1)
-	return r.obj.CompareAndSwap(r.pid, r.last, next)
-}
-
-// llscRef delegates the guard to an LL/SC object.
-type llscRef struct {
-	h llsc.Handle
-}
-
-func (r *llscRef) load() int { return int(r.h.LL()) }
-
-func (r *llscRef) commit(newIdx int) bool { return r.h.SC(Word(newIdx)) }
 
 // StackAudit is a quiescent-state structural check.
 type StackAudit struct {
@@ -294,55 +241,4 @@ func (s *Stack) Audit() StackAudit {
 }
 
 // headIndex reads the head node index with the observer pid.
-func (s *Stack) headIndex() int {
-	switch s.prot {
-	case Raw:
-		return int(s.rawHead.Read(-1))
-	case Tagged:
-		return int(s.tagCodec.Value(s.tagHead.Read(-1)))
-	default:
-		return int(s.llscHead.Peek(-1))
-	}
-}
-
-// pool is the node allocator: a FIFO free queue under a mutex, modeling the
-// system allocator.  FIFO reuse maximizes the realism of the ABA window (a
-// freed node comes back exactly when an adversary wants it to).
-type pool struct {
-	mu   sync.Mutex
-	free []int
-}
-
-func newPool(capacity int) *pool {
-	p := &pool{free: make([]int, 0, capacity)}
-	for i := 1; i <= capacity; i++ {
-		p.free = append(p.free, i)
-	}
-	return p
-}
-
-// alloc takes the oldest free node, or 0 when exhausted.
-func (p *pool) alloc() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.free) == 0 {
-		return 0
-	}
-	idx := p.free[0]
-	p.free = p.free[1:]
-	return idx
-}
-
-// release returns a node to the back of the queue.
-func (p *pool) release(idx int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.free = append(p.free, idx)
-}
-
-// snapshot copies the free queue for auditing.
-func (p *pool) snapshot() []int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]int(nil), p.free...)
-}
+func (s *Stack) headIndex() int { return int(s.head.Peek(-1)) }

@@ -39,6 +39,7 @@ func allProtections() []struct {
 		{"raw", Raw, 0},
 		{"tagged16", Tagged, 16},
 		{"llsc", LLSC, 0},
+		{"detector", Detector, 0},
 	}
 }
 
@@ -165,6 +166,7 @@ func TestStackABACorruptionLadder(t *testing.T) {
 		{"tag2", Tagged, 2, true},  // 4 ≡ 0 (mod 4)
 		{"tag3", Tagged, 3, false}, // 4 ≢ 0 (mod 8)
 		{"llsc", LLSC, 0, false},
+		{"detector", Detector, 0, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -330,7 +332,7 @@ func TestProtectionString(t *testing.T) {
 	for _, tc := range []struct {
 		p    Protection
 		want string
-	}{{Raw, "raw-cas"}, {Tagged, "tagged-cas"}, {LLSC, "ll/sc"}, {Protection(0), "unknown"}} {
+	}{{Raw, "raw-cas"}, {Tagged, "tagged-cas"}, {LLSC, "ll/sc"}, {Detector, "detector"}, {Protection(0), "unknown"}} {
 		if got := tc.p.String(); got != tc.want {
 			t.Errorf("String(%d) = %q, want %q", int(tc.p), got, tc.want)
 		}

@@ -12,12 +12,13 @@ import (
 
 // E6Stack reproduces the §1 motivation: the deterministic Treiber-stack
 // corruption ladder (raw CAS fooled, k-bit tags fooled exactly at tag
-// wraparound, LL/SC immune), the bounded-tag miss schedule at register
-// level, and a concurrent stress comparison.
+// wraparound, LL/SC and detector guards immune), the Michael–Scott queue
+// twin of the same script, the bounded-tag miss schedule at register level,
+// and a concurrent stress comparison.
 func E6Stack() (*Table, error) {
 	t := &Table{
 		ID:     "E6",
-		Title:  "ABA in applications: Treiber stack corruption and tag wraparound (§1)",
+		Title:  "ABA in applications: stack and queue corruption, tag wraparound (§1)",
 		Header: []string{"scenario", "protection", "outcome"},
 	}
 
@@ -34,9 +35,10 @@ func E6Stack() (*Table, error) {
 		{"tag k=2 (4 ≡ 0 mod 4)", apps.Tagged, 2, true},
 		{"tag k=3 (4 ≢ 0 mod 8)", apps.Tagged, 3, false},
 		{"LL/SC (Fig 3)", apps.LLSC, 0, false},
+		{"detector (Fig 5 over Fig 3)", apps.Detector, 0, false},
 	}
 	for _, l := range ladder {
-		fooled, audit, err := stackScenario(l.prot, l.tagBits)
+		fooled, audit, err := apps.StackABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +49,36 @@ func E6Stack() (*Table, error) {
 		if fooled != l.fooled {
 			return nil, fmt.Errorf("bench: ladder %q: fooled=%v, expected %v", l.name, fooled, l.fooled)
 		}
-		t.AddRow("deterministic window (4 swings)", l.name, outcome)
+		t.AddRow("stack: deterministic window (4 swings)", l.name, outcome)
+	}
+
+	// The queue twin: 3 head swings restore the head index through the
+	// recycler; only the raw guard accepts the victim's stale commit (and
+	// dequeues a long-gone value a second time).
+	queueLadder := []struct {
+		name    string
+		prot    apps.Protection
+		tagBits uint
+		fooled  bool
+	}{
+		{"raw CAS", apps.Raw, 0, true},
+		{"tag k=1 (3 ≢ 0 mod 2)", apps.Tagged, 1, false},
+		{"LL/SC (Fig 3)", apps.LLSC, 0, false},
+		{"detector (Fig 5 over Fig 3)", apps.Detector, 0, false},
+	}
+	for _, l := range queueLadder {
+		fooled, audit, err := apps.QueueABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
+		if err != nil {
+			return nil, err
+		}
+		outcome := "victim's commit rejected; queue intact"
+		if fooled {
+			outcome = fmt.Sprintf("stale value dequeued TWICE; audit: %s", audit)
+		}
+		if fooled != l.fooled {
+			return nil, fmt.Errorf("bench: queue ladder %q: fooled=%v, expected %v", l.name, fooled, l.fooled)
+		}
+		t.AddRow("queue: deterministic window (3 swings)", l.name, outcome)
 	}
 
 	// Register-level wraparound: after exactly 2^k same-value writes, the
@@ -77,41 +108,6 @@ func E6Stack() (*Table, error) {
 	t.AddNote("the ladder is fully deterministic: PopBegin stalls the victim inside the ABA window.")
 	t.AddNote("raw-CAS stress corruption is probabilistic by nature — precisely the paper's point about tagging 'in practice'.")
 	return t, nil
-}
-
-// stackScenario plays the deterministic corruption script (see
-// apps/stack_test.go for the annotated version).
-func stackScenario(prot apps.Protection, tagBits uint) (bool, apps.StackAudit, error) {
-	s, err := apps.NewStack(shmem.NewNativeFactory(), 2, 3, prot, tagBits)
-	if err != nil {
-		return false, apps.StackAudit{}, err
-	}
-	adversary, err := s.Handle(0)
-	if err != nil {
-		return false, apps.StackAudit{}, err
-	}
-	victim, err := s.Handle(1)
-	if err != nil {
-		return false, apps.StackAudit{}, err
-	}
-	for i := 1; i <= 3; i++ {
-		if !adversary.Push(uint64(100 + i)) {
-			return false, apps.StackAudit{}, fmt.Errorf("bench: setup push failed")
-		}
-	}
-	if _, _, empty := victim.PopBegin(); empty {
-		return false, apps.StackAudit{}, fmt.Errorf("bench: unexpected empty stack")
-	}
-	for i := 0; i < 3; i++ {
-		if _, ok := adversary.Pop(); !ok {
-			return false, apps.StackAudit{}, fmt.Errorf("bench: adversary pop failed")
-		}
-	}
-	if !adversary.Push(104) {
-		return false, apps.StackAudit{}, fmt.Errorf("bench: adversary push failed")
-	}
-	_, committed := victim.PopCommit()
-	return committed, s.Audit(), nil
 }
 
 // stackStress hammers a small-pool stack from 8 goroutines.

@@ -39,6 +39,8 @@ func FindTable(tables []*Table, id string) (*Table, bool) {
 
 // CompareResult is one benchmark comparison row plus its verdict.
 type CompareResult struct {
+	// Table is the experiment the row came from ("E10" or "E11").
+	Table string
 	// Implementation and Workload identify the benchmark row.
 	Implementation, Workload string
 	// BaseNs and CurNs are ns/op in the snapshot and in the fresh run.
@@ -47,38 +49,68 @@ type CompareResult struct {
 	Speedup float64
 }
 
-// CompareE10 runs a fresh E10 throughput experiment and diffs every row
-// that also appears in the snapshot (matched on implementation + workload).
-// It returns the rendered comparison table plus the raw results for
-// programmatic thresholds.
-func CompareE10(snapshot []*Table) (*Table, []CompareResult, error) {
-	base, ok := FindTable(snapshot, "E10")
-	if !ok {
-		return nil, nil, fmt.Errorf("bench: snapshot has no E10 table")
+// throughputExperiments maps each comparable experiment ID to its runner;
+// every table here shares the implementation/workload/ns-op row shape.
+var throughputExperiments = []struct {
+	id  string
+	run func() (*Table, error)
+}{
+	{"E10", E10Throughput},
+	{"E11", func() (*Table, error) { return E11Apps("all") }},
+}
+
+// CompareThroughput re-runs every throughput experiment the snapshot
+// contains — E10 (base objects) and E11 (the application matrix) — and
+// diffs each against its snapshot table, matched on implementation +
+// workload.  It returns one rendered comparison table per experiment plus
+// the raw results for programmatic thresholds.  Snapshots that predate E11
+// simply compare E10 alone, so old BENCH_*.json files stay usable.
+func CompareThroughput(snapshot []*Table) ([]*Table, []CompareResult, error) {
+	var tables []*Table
+	var results []CompareResult
+	for _, exp := range throughputExperiments {
+		base, ok := FindTable(snapshot, exp.id)
+		if !ok {
+			continue
+		}
+		tbl, res, err := compareOne(exp.id, base, exp.run)
+		if err != nil {
+			return nil, nil, err
+		}
+		tables = append(tables, tbl)
+		results = append(results, res...)
 	}
-	baseNs, err := e10NsPerOp(base)
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("bench: snapshot has no comparable throughput table (E10/E11)")
+	}
+	return tables, results, nil
+}
+
+// compareOne diffs one fresh throughput run against its snapshot table.
+func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []CompareResult, error) {
+	baseNs, err := nsPerOp(base)
 	if err != nil {
 		return nil, nil, err
 	}
-	fresh, err := E10Throughput()
+	fresh, err := run()
 	if err != nil {
 		return nil, nil, err
 	}
-	curNs, err := e10NsPerOp(fresh)
+	curNs, err := nsPerOp(fresh)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	t := &Table{
-		ID:     "E10-compare",
-		Title:  "benchmark regression check: fresh E10 run vs committed snapshot",
+		ID:     id + "-compare",
+		Title:  fmt.Sprintf("benchmark regression check: fresh %s run vs committed snapshot", id),
 		Header: []string{"implementation", "workload", "snapshot ns/op", "current ns/op", "speedup"},
 	}
 	var results []CompareResult
 	var faster, slower int
 	seen := make(map[string]bool, len(fresh.Rows))
 	for _, row := range fresh.Rows {
-		key := e10Key(row)
+		key := rowKey(row)
 		seen[key] = true
 		b, inBase := baseNs[key]
 		c := curNs[key]
@@ -87,6 +119,7 @@ func CompareE10(snapshot []*Table) (*Table, []CompareResult, error) {
 			continue
 		}
 		r := CompareResult{
+			Table:          id,
 			Implementation: row[0],
 			Workload:       row[2],
 			BaseNs:         b,
@@ -108,8 +141,8 @@ func CompareE10(snapshot []*Table) (*Table, []CompareResult, error) {
 	// them as "removed" (this also catches renamed implementations and
 	// relabeled workloads).
 	for _, row := range base.Rows {
-		if !seen[e10Key(row)] {
-			t.AddRow(row[0], row[2], fmt.Sprintf("%.1f", baseNs[e10Key(row)]), "-", "removed")
+		if !seen[rowKey(row)] {
+			t.AddRow(row[0], row[2], fmt.Sprintf("%.1f", baseNs[rowKey(row)]), "-", "removed")
 		}
 	}
 	t.AddNote("speedup = snapshot / current: above 1.00x is faster than the snapshot.")
@@ -117,11 +150,11 @@ func CompareE10(snapshot []*Table) (*Table, []CompareResult, error) {
 	return t, results, nil
 }
 
-// e10Key identifies an E10 row across runs.
-func e10Key(row []string) string { return row[0] + "|" + row[2] }
+// rowKey identifies a throughput row across runs.
+func rowKey(row []string) string { return row[0] + "|" + row[2] }
 
-// e10NsPerOp indexes an E10 table's ns/op column by implementation+workload.
-func e10NsPerOp(t *Table) (map[string]float64, error) {
+// nsPerOp indexes a throughput table's ns/op column by its row key.
+func nsPerOp(t *Table) (map[string]float64, error) {
 	col := -1
 	for i, h := range t.Header {
 		if h == "ns/op" {
@@ -140,7 +173,7 @@ func e10NsPerOp(t *Table) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: table %s row %v: %w", t.ID, row, err)
 		}
-		out[e10Key(row)] = ns
+		out[rowKey(row)] = ns
 	}
 	return out, nil
 }

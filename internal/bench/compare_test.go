@@ -47,17 +47,21 @@ func TestLoadTablesErrors(t *testing.T) {
 	}
 }
 
-func TestCompareE10(t *testing.T) {
+func TestCompareThroughput(t *testing.T) {
 	// Snapshot = one real run; comparing a second real run against it must
 	// match every row (same registry, same workloads) and parse every ns/op.
 	snapTable, err := E10Throughput()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, results, err := CompareE10([]*Table{snapTable})
+	tables, results, err := CompareThroughput([]*Table{snapTable})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(tables) != 1 || tables[0].ID != "E10-compare" {
+		t.Fatalf("E10-only snapshot produced %d tables: %+v", len(tables), tables)
+	}
+	tbl := tables[0]
 	if len(results) != len(snapTable.Rows) {
 		t.Errorf("compared %d rows, snapshot has %d", len(results), len(snapTable.Rows))
 	}
@@ -76,7 +80,7 @@ func TestCompareE10(t *testing.T) {
 	}
 }
 
-func TestCompareE10ReportsRemovedRows(t *testing.T) {
+func TestCompareReportsRemovedRows(t *testing.T) {
 	// A snapshot row with no fresh counterpart must surface as "removed",
 	// not silently shrink the comparison.
 	snapTable, err := E10Throughput()
@@ -84,10 +88,11 @@ func TestCompareE10ReportsRemovedRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	snapTable.AddRow("ghost-impl", "detector", "DWrite+DRead pair", "1000", "10.0", "100.00")
-	tbl, _, err := CompareE10([]*Table{snapTable})
+	tables, _, err := CompareThroughput([]*Table{snapTable})
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := tables[0]
 	found := false
 	for _, row := range tbl.Rows {
 		if row[0] == "ghost-impl" && row[4] == "removed" && row[2] == "10.0" {
@@ -99,14 +104,51 @@ func TestCompareE10ReportsRemovedRows(t *testing.T) {
 	}
 }
 
-func TestCompareE10MissingTable(t *testing.T) {
-	if _, _, err := CompareE10([]*Table{{ID: "E1"}}); err == nil {
-		t.Error("want error for snapshot without E10")
+func TestCompareMissingTable(t *testing.T) {
+	if _, _, err := CompareThroughput([]*Table{{ID: "E1"}}); err == nil {
+		t.Error("want error for snapshot without a throughput table")
 	}
 }
 
-func TestE10NsPerOpErrors(t *testing.T) {
-	if _, err := e10NsPerOp(&Table{ID: "x", Header: []string{"a", "b"}}); err == nil {
+func TestCompareBothThroughputTables(t *testing.T) {
+	// A snapshot carrying E10 and E11 yields one comparison per table, with
+	// the application rows matched by their structure/guard keys.
+	e10, err := E10Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e11, err := E11Apps("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, results, err := CompareThroughput([]*Table{e10, e11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E10-compare" || tables[1].ID != "E11-compare" {
+		t.Fatalf("unexpected comparison tables: %+v", tables)
+	}
+	sawApp := false
+	for _, r := range results {
+		if r.Table == "E11" {
+			sawApp = true
+			if r.BaseNs <= 0 || r.CurNs <= 0 {
+				t.Errorf("degenerate E11 comparison %+v", r)
+			}
+		}
+	}
+	if !sawApp {
+		t.Error("no application rows compared")
+	}
+	for _, row := range tables[1].Rows {
+		if row[4] == "new" || row[4] == "removed" {
+			t.Errorf("same-registry E11 row %v did not match", row)
+		}
+	}
+}
+
+func TestNsPerOpErrors(t *testing.T) {
+	if _, err := nsPerOp(&Table{ID: "x", Header: []string{"a", "b"}}); err == nil {
 		t.Error("want error for missing ns/op column")
 	}
 	bad := &Table{
@@ -114,7 +156,7 @@ func TestE10NsPerOpErrors(t *testing.T) {
 		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
 		Rows:   [][]string{{"fig4", "detector", "w", "1", "not-a-number", "0"}},
 	}
-	if _, err := e10NsPerOp(bad); err == nil {
+	if _, err := nsPerOp(bad); err == nil {
 		t.Error("want error for unparsable ns/op")
 	}
 	short := &Table{
@@ -122,7 +164,7 @@ func TestE10NsPerOpErrors(t *testing.T) {
 		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
 		Rows:   [][]string{{"fig4"}},
 	}
-	if _, err := e10NsPerOp(short); err == nil {
+	if _, err := nsPerOp(short); err == nil {
 		t.Error("want error for short row")
 	}
 	good := &Table{
@@ -130,7 +172,7 @@ func TestE10NsPerOpErrors(t *testing.T) {
 		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s"},
 		Rows:   [][]string{{"fig4", "detector", "w", "1", "12.5", "0"}},
 	}
-	m, err := e10NsPerOp(good)
+	m, err := nsPerOp(good)
 	if err != nil {
 		t.Fatal(err)
 	}

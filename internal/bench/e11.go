@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"abadetect/internal/guard"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
+)
+
+// E11Apps measures the application layer across the whole structure × guard
+// matrix: every registered structure (stack, queue, event flag) driven by a
+// fixed MPMC workload under every guard spec the registry enumerates for it.
+// Each row reports throughput plus the post-run audit and the guard's
+// near-miss counter — so the table shows, in one sweep, both what each
+// protection regime costs and what it catches.  abalab exposes it as
+// `-app all` (or `-app stack|queue|event`); filter narrows to one structure.
+func E11Apps(filter string) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "application throughput over the structure × guard matrix (§1, registry-driven)",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s", "outcome"},
+	}
+	const workers = 4
+	const perWorker = 20_000
+	const capacity = 16
+
+	matched := false
+	for _, im := range registry.Structures() {
+		if filter != "" && filter != "all" && filter != im.ID {
+			continue
+		}
+		matched = true
+		conditionalOnly := im.ID != "event"
+		for _, spec := range registry.GuardSpecs(conditionalOnly) {
+			elapsed, outcome, err := appRun(im, spec, workers, perWorker, capacity)
+			if err != nil {
+				return nil, fmt.Errorf("bench: E11 %s/%s: %w", im.ID, spec, err)
+			}
+			ops := workers * perWorker
+			t.AddRow(
+				im.ID+"/"+spec.String(),
+				string(im.Kind),
+				fmt.Sprintf("%d goroutines, op mix", workers),
+				fmt.Sprintf("%d", ops),
+				fmt.Sprintf("%.1f", float64(elapsed.Nanoseconds())/float64(ops)),
+				fmt.Sprintf("%.2f", float64(ops)/elapsed.Seconds()/1e6),
+				outcome,
+			)
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("bench: unknown structure %q (registered: stack, queue, event)", filter)
+	}
+	t.AddNote("stack/queue ops are push+pop / enq+deq pairs over a guarded free list; event ops are signal/reset pulses (pid 0) and polls.")
+	t.AddNote("outcome is the quiescent audit plus the guards' detected-and-prevented ABA count; a corrupt raw audit is the §1 story, not a harness failure.")
+	return t, nil
+}
+
+// appRun drives one (structure, guard spec) cell: `workers` goroutines, a
+// fixed op count each, then a quiescent audit.
+func appRun(im registry.Impl, spec registry.GuardSpec, workers, perWorker, capacity int) (time.Duration, string, error) {
+	f := shmem.NewNativeFactory()
+	mk, err := registry.NewGuardMaker(f, workers, spec)
+	if err != nil {
+		return 0, "", err
+	}
+	// Structures that commit also route their free list through the guard
+	// regime; the event flag has no pool.
+	guardedPool := spec.Conditional()
+	inst, err := im.NewStructure(f, workers, capacity, mk, guardedPool)
+	if err != nil {
+		return 0, "", err
+	}
+	steps := make([]func(int), workers)
+	for pid := 0; pid < workers; pid++ {
+		if steps[pid], err = inst.Worker(pid); err != nil {
+			return 0, "", err
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < workers; pid++ {
+		wg.Add(1)
+		go func(step func(int)) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				step(i)
+			}
+		}(steps[pid])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	corrupt, detail := inst.Audit()
+	prevented := inst.GuardMetrics().NearMisses + inst.FreelistMetrics().NearMisses
+	outcome := fmt.Sprintf("corrupt=%v prevented-ABA=%d", corrupt, prevented)
+	if corrupt {
+		outcome += " (" + detail + ")"
+	}
+	return elapsed, outcome, nil
+}
+
+// AppSequentialProbe times `pairs` single-process ops of a registered
+// structure under the default LL/SC guard — the structure analog of
+// SequentialProbe, shared by abalab's -impl report.  The event instance
+// needs at least a signaler and a poller, so n is clamped to 2; only
+// worker 0 is driven either way.
+func AppSequentialProbe(im registry.Impl, f shmem.Factory, n int, pairs int) (string, time.Duration, error) {
+	if n < 2 {
+		n = 2
+	}
+	mk, err := registry.NewGuardMaker(f, n, registry.GuardSpec{Regime: guard.LLSC})
+	if err != nil {
+		return "", 0, err
+	}
+	inst, err := im.NewStructure(f, n, 16, mk, false)
+	if err != nil {
+		return "", 0, err
+	}
+	step, err := inst.Worker(0)
+	if err != nil {
+		return "", 0, err
+	}
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		step(i)
+	}
+	return "op pair (llsc guard)", time.Since(start), nil
+}

@@ -26,6 +26,8 @@ func Experiments() []Experiment {
 		{"E8", "Figure 4 ablations refuted (App. C)", E8Ablations},
 		{"E9", "constant-time LL/SC from one CAS + n registers ([2,15])", E9ConstantTime},
 		{"E10", "registry throughput: every implementation + sharded array", E10Throughput},
+		{"E11", "application throughput: structure × guard matrix (§1)",
+			func() (*Table, error) { return E11Apps("all") }},
 	}
 }
 

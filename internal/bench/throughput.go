@@ -30,6 +30,9 @@ func E10Throughput() (*Table, error) {
 
 	const pairs = 200_000
 	for _, im := range registry.All() {
+		if im.Kind == registry.KindStructure {
+			continue // the application layer has its own matrix (E11)
+		}
 		workload, elapsed, err := SequentialProbe(im, shmem.NewNativeFactory(), n, valueBits, pairs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: E10 %s: %w", im.ID, err)
@@ -106,6 +109,8 @@ func SequentialProbe(im registry.Impl, f shmem.Factory, n int, valueBits uint, p
 			}
 		}
 		return "LL+SC pair", time.Since(start), nil
+	case registry.KindStructure:
+		return AppSequentialProbe(im, f, n, pairs)
 	}
 	return "", 0, fmt.Errorf("unknown kind %q", im.Kind)
 }

@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"fmt"
+
+	"abadetect/internal/guard"
+	"abadetect/internal/shmem"
+)
+
+// GuardSpec selects a protection regime plus the registered implementation
+// backing it — one cell of the structure × guard matrix.
+type GuardSpec struct {
+	// Regime is the protection scheme.
+	Regime guard.Regime
+	// ImplID names the registered LL/SC or detector implementation behind
+	// an LLSC or Detector guard ("" picks the default: fig3 / fig5-fig3).
+	// Raw and Tagged guards use no registered implementation.
+	ImplID string
+	// TagBits is the tag width of a Tagged guard.
+	TagBits uint
+}
+
+// String renders the spec as it appears in experiment tables, e.g. "raw",
+// "tag16", "llsc:fig3", "detector:fig5-constant".
+func (s GuardSpec) String() string {
+	switch s.Regime {
+	case guard.Raw:
+		return "raw"
+	case guard.Tagged:
+		return fmt.Sprintf("tag%d", s.TagBits)
+	case guard.LLSC:
+		return "llsc:" + s.implOrDefault()
+	case guard.Detector:
+		return "detector:" + s.implOrDefault()
+	default:
+		return "unknown"
+	}
+}
+
+func (s GuardSpec) implOrDefault() string {
+	if s.ImplID != "" {
+		return s.ImplID
+	}
+	switch s.Regime {
+	case guard.LLSC:
+		return "fig3"
+	case guard.Detector:
+		return "fig5-fig3"
+	}
+	return ""
+}
+
+// Conditional reports whether guards built from this spec support Commit —
+// i.e. whether they can protect structures that conditionally swing
+// references (everything except the event flag requires it).  Detector
+// guards are conditional exactly when the backing detector has an LL/SC
+// core (LLSCBase).
+func (s GuardSpec) Conditional() bool {
+	if s.Regime != guard.Detector {
+		return true
+	}
+	im, ok := Lookup(s.implOrDefault())
+	return ok && im.LLSCBase != ""
+}
+
+// NewGuardMaker returns the guard.Maker realizing spec over f for n
+// processes: the registry-driven construction path that lets any registered
+// implementation protect a structure.
+func NewGuardMaker(f shmem.Factory, n int, spec GuardSpec) (guard.Maker, error) {
+	switch spec.Regime {
+	case guard.Raw:
+		return func(name string, valueBits uint, init Word) (guard.Guard, error) {
+			return guard.NewRaw(f, n, name, init)
+		}, nil
+	case guard.Tagged:
+		return func(name string, valueBits uint, init Word) (guard.Guard, error) {
+			return guard.NewTagged(f, n, name, valueBits, spec.TagBits, init)
+		}, nil
+	case guard.LLSC:
+		im, ok := Lookup(spec.implOrDefault())
+		if !ok || im.Kind != KindLLSC {
+			return nil, fmt.Errorf("registry: guard spec %s: %q is not a registered LL/SC implementation", spec, spec.implOrDefault())
+		}
+		return func(name string, valueBits uint, init Word) (guard.Guard, error) {
+			obj, err := im.NewLLSC(f, n, valueBits, init)
+			if err != nil {
+				return nil, err
+			}
+			return guard.NewLLSC(obj)
+		}, nil
+	case guard.Detector:
+		im, ok := Lookup(spec.implOrDefault())
+		if !ok || im.Kind != KindDetector {
+			return nil, fmt.Errorf("registry: guard spec %s: %q is not a registered detector implementation", spec, spec.implOrDefault())
+		}
+		if im.LLSCBase != "" {
+			// Figure 5 pairing: the commit primitive and the detection view
+			// share the detector's LL/SC core.
+			base := MustLookup(im.LLSCBase)
+			return func(name string, valueBits uint, init Word) (guard.Guard, error) {
+				obj, err := base.NewLLSC(f, n, valueBits, init)
+				if err != nil {
+					return nil, err
+				}
+				return guard.NewDetected(obj)
+			}, nil
+		}
+		// No LL/SC core: detection-only (the event flag's regime).
+		return func(name string, valueBits uint, init Word) (guard.Guard, error) {
+			det, err := im.NewDetector(f, n, valueBits, init)
+			if err != nil {
+				return nil, err
+			}
+			return guard.NewDetectionOnly(det, init)
+		}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown guard regime %d", spec.Regime)
+	}
+}
+
+// GuardSpecs enumerates the protection matrix: the raw and 16-bit-tag
+// baselines, an LLSC guard per registered LL/SC implementation, and a
+// Detector guard per registered detector.  With conditionalOnly, the
+// detection-only detectors (no LL/SC core) are dropped — the matrix for
+// structures that commit; the event flag takes the full list.
+func GuardSpecs(conditionalOnly bool) []GuardSpec {
+	specs := []GuardSpec{
+		{Regime: guard.Raw},
+		{Regime: guard.Tagged, TagBits: 16},
+	}
+	for _, im := range LLSCs() {
+		specs = append(specs, GuardSpec{Regime: guard.LLSC, ImplID: im.ID})
+	}
+	for _, im := range Detectors() {
+		s := GuardSpec{Regime: guard.Detector, ImplID: im.ID}
+		if conditionalOnly && im.LLSCBase == "" {
+			continue
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}

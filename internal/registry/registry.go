@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"sort"
 
+	"abadetect/internal/apps"
 	"abadetect/internal/core"
+	"abadetect/internal/guard"
 	"abadetect/internal/llsc"
 	"abadetect/internal/shmem"
 )
@@ -37,6 +39,10 @@ const (
 	KindDetector Kind = "detector"
 	// KindLLSC is an LL/SC/VL object.
 	KindLLSC Kind = "llsc"
+	// KindStructure is an application-level data structure built over
+	// Guards (internal/apps): the paper's §1 motivation, runnable across
+	// the whole protection × implementation matrix.
+	KindStructure Kind = "structure"
 )
 
 // Impl is one registered implementation: a named point of the paper's
@@ -66,11 +72,21 @@ type Impl struct {
 	// TagBits is the wrap-around tag width k of a bounded-tag foil (0
 	// otherwise); the foil's word repeats after exactly 2^k writes.
 	TagBits uint
+	// LLSCBase names, for a Figure 5 detector (an LL/SC object wrapped as a
+	// detecting register), the registered LL/SC implementation underneath.
+	// The guard layer uses it to build conditional detector guards: the
+	// detection view and the commit primitive then share one object.  Empty
+	// for detectors with no LL/SC core (Figure 4, the unbounded and
+	// bounded-tag baselines) — those can only back detection-only guards.
+	LLSCBase string
 
 	// NewDetector constructs the detector (Kind == KindDetector).
 	NewDetector func(f shmem.Factory, n int, valueBits uint, initial Word) (core.Detector, error)
 	// NewLLSC constructs the LL/SC/VL object (Kind == KindLLSC).
 	NewLLSC func(f shmem.Factory, n int, valueBits uint, initial Word) (llsc.Object, error)
+	// NewStructure constructs the benchmark instance of a data structure
+	// (Kind == KindStructure) for n processes over guards from mk.
+	NewStructure func(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (apps.Instance, error)
 }
 
 // impls is the one table.  Keep it ordered: detectors first, then LL/SC
@@ -91,15 +107,16 @@ var impls = []Impl{
 		},
 	},
 	{
-		ID:      "fig5-fig3",
-		Kind:    KindDetector,
-		Summary: "ABA-detecting register from one bounded CAS (Fig 5 over Fig 3), O(n) steps",
-		Theorem: "Theorem 2 (Figure 5 over Figure 3)",
-		Space:   "1 CAS",
-		SpaceFn: func(n int) int { return 1 },
-		Steps:   "O(n)",
-		Bounded: true,
-		Correct: true,
+		ID:       "fig5-fig3",
+		Kind:     KindDetector,
+		Summary:  "ABA-detecting register from one bounded CAS (Fig 5 over Fig 3), O(n) steps",
+		Theorem:  "Theorem 2 (Figure 5 over Figure 3)",
+		Space:    "1 CAS",
+		SpaceFn:  func(n int) int { return 1 },
+		Steps:    "O(n)",
+		Bounded:  true,
+		Correct:  true,
+		LLSCBase: "fig3",
 		NewDetector: func(f shmem.Factory, n int, valueBits uint, initial Word) (core.Detector, error) {
 			obj, err := llsc.NewCASBased(f, n, valueBits, initial)
 			if err != nil {
@@ -109,15 +126,16 @@ var impls = []Impl{
 		},
 	},
 	{
-		ID:      "fig5-constant",
-		Kind:    KindDetector,
-		Summary: "ABA-detecting register from one CAS + n registers (Fig 5 over ConstantTime), O(1) steps",
-		Theorem: "Theorem 4 over [2,15]",
-		Space:   "n+1 objects",
-		SpaceFn: func(n int) int { return n + 1 },
-		Steps:   "O(1)",
-		Bounded: true,
-		Correct: true,
+		ID:       "fig5-constant",
+		Kind:     KindDetector,
+		Summary:  "ABA-detecting register from one CAS + n registers (Fig 5 over ConstantTime), O(1) steps",
+		Theorem:  "Theorem 4 over [2,15]",
+		Space:    "n+1 objects",
+		SpaceFn:  func(n int) int { return n + 1 },
+		Steps:    "O(1)",
+		Bounded:  true,
+		Correct:  true,
+		LLSCBase: "constant",
 		NewDetector: func(f shmem.Factory, n int, valueBits uint, initial Word) (core.Detector, error) {
 			obj, err := llsc.NewConstantTime(f, n, valueBits, initial)
 			if err != nil {
@@ -127,15 +145,16 @@ var impls = []Impl{
 		},
 	},
 	{
-		ID:      "fig5-moir",
-		Kind:    KindDetector,
-		Summary: "ABA-detecting register from one unbounded CAS (Fig 5 over Moir), O(1) steps",
-		Theorem: "Theorem 4 over [26]",
-		Space:   "1 CAS (unbounded)",
-		SpaceFn: func(n int) int { return 1 },
-		Steps:   "O(1)",
-		Bounded: false,
-		Correct: true,
+		ID:       "fig5-moir",
+		Kind:     KindDetector,
+		Summary:  "ABA-detecting register from one unbounded CAS (Fig 5 over Moir), O(1) steps",
+		Theorem:  "Theorem 4 over [26]",
+		Space:    "1 CAS (unbounded)",
+		SpaceFn:  func(n int) int { return 1 },
+		Steps:    "O(1)",
+		Bounded:  false,
+		Correct:  true,
+		LLSCBase: "moir",
 		NewDetector: func(f shmem.Factory, n int, valueBits uint, initial Word) (core.Detector, error) {
 			obj, err := llsc.NewMoir(f, n, valueBits, initial)
 			if err != nil {
@@ -215,6 +234,42 @@ var impls = []Impl{
 			return llsc.NewMoir(f, n, valueBits, initial)
 		},
 	},
+	{
+		ID:           "stack",
+		Kind:         KindStructure,
+		Summary:      "Treiber stack over a guarded head and node pool (§1 motivation)",
+		Theorem:      "§1 (Treiber stack)",
+		Space:        "2·cap registers + guards",
+		SpaceFn:      func(n int) int { return 0 }, // capacity-dependent, not m(n)
+		Steps:        "O(1) + guard",
+		Bounded:      true,
+		Correct:      true,
+		NewStructure: apps.NewStackInstance,
+	},
+	{
+		ID:           "queue",
+		Kind:         KindStructure,
+		Summary:      "Michael–Scott queue with guarded head/tail/next references (§1 motivation)",
+		Theorem:      "§1 ([24], Michael–Scott)",
+		Space:        "cap registers + (cap+2) guards",
+		SpaceFn:      func(n int) int { return 0 }, // capacity-dependent, not m(n)
+		Steps:        "O(1) amortized + guard",
+		Bounded:      true,
+		Correct:      true,
+		NewStructure: apps.NewQueueInstance,
+	},
+	{
+		ID:           "event",
+		Kind:         KindStructure,
+		Summary:      "resettable busy-wait event flag over a guarded reference (§1 motivation)",
+		Theorem:      "§1 (busy-wait flag)",
+		Space:        "1 guard",
+		SpaceFn:      func(n int) int { return 0 }, // guard-dependent, not m(n)
+		Steps:        "O(1) + guard",
+		Bounded:      true,
+		Correct:      true,
+		NewStructure: apps.NewEventInstance,
+	},
 }
 
 // All returns every registered implementation in registration order.
@@ -225,6 +280,9 @@ func Detectors() []Impl { return byKind(KindDetector) }
 
 // LLSCs returns the registered LL/SC/VL objects.
 func LLSCs() []Impl { return byKind(KindLLSC) }
+
+// Structures returns the registered guard-built data structures.
+func Structures() []Impl { return byKind(KindStructure) }
 
 func byKind(k Kind) []Impl {
 	var out []Impl

@@ -18,12 +18,22 @@ func TestTableWellFormed(t *testing.T) {
 		seen[im.ID] = true
 		switch im.Kind {
 		case KindDetector:
-			if im.NewDetector == nil || im.NewLLSC != nil {
+			if im.NewDetector == nil || im.NewLLSC != nil || im.NewStructure != nil {
 				t.Errorf("%q: detector entry must set exactly NewDetector", im.ID)
 			}
+			if im.LLSCBase != "" {
+				base, ok := Lookup(im.LLSCBase)
+				if !ok || base.Kind != KindLLSC {
+					t.Errorf("%q: LLSCBase %q is not a registered LL/SC implementation", im.ID, im.LLSCBase)
+				}
+			}
 		case KindLLSC:
-			if im.NewLLSC == nil || im.NewDetector != nil {
+			if im.NewLLSC == nil || im.NewDetector != nil || im.NewStructure != nil {
 				t.Errorf("%q: llsc entry must set exactly NewLLSC", im.ID)
+			}
+		case KindStructure:
+			if im.NewStructure == nil || im.NewDetector != nil || im.NewLLSC != nil {
+				t.Errorf("%q: structure entry must set exactly NewStructure", im.ID)
 			}
 		default:
 			t.Errorf("%q: unknown kind %q", im.ID, im.Kind)
@@ -35,13 +45,16 @@ func TestTableWellFormed(t *testing.T) {
 			t.Errorf("%q: foil must declare its tag width", im.ID)
 		}
 	}
-	if len(Detectors())+len(LLSCs()) != len(All()) {
+	if len(Detectors())+len(LLSCs())+len(Structures()) != len(All()) {
 		t.Error("kinds do not partition the registry")
 	}
 }
 
 func TestEveryImplConstructsAndMatchesFootprint(t *testing.T) {
 	for _, im := range All() {
+		if im.Kind == KindStructure {
+			continue // structure footprints depend on capacity; covered below
+		}
 		for _, n := range []int{1, 2, 8} {
 			f := shmem.NewNativeFactory()
 			var err error
@@ -58,6 +71,90 @@ func TestEveryImplConstructsAndMatchesFootprint(t *testing.T) {
 				t.Errorf("%s: n=%d: footprint %d, SpaceFn says %d", im.ID, n, got, want)
 			}
 		}
+	}
+}
+
+// TestStructureMatrixConstructsAndRuns is the registry-level acceptance of
+// the guard refactor: every registered structure constructs and completes a
+// short workload under every guard spec of its matrix.
+func TestStructureMatrixConstructsAndRuns(t *testing.T) {
+	const n = 2
+	for _, im := range Structures() {
+		conditionalOnly := im.ID != "event"
+		for _, spec := range GuardSpecs(conditionalOnly) {
+			t.Run(im.ID+"/"+spec.String(), func(t *testing.T) {
+				f := shmem.NewNativeFactory()
+				mk, err := NewGuardMaker(f, n, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst, err := im.NewStructure(f, n, 8, mk, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pid := 0; pid < n; pid++ {
+					w, err := inst.Worker(pid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < 50; i++ {
+						w(i)
+					}
+				}
+				if corrupt, detail := inst.Audit(); corrupt {
+					// Even raw guards cannot corrupt a sequential workload.
+					t.Errorf("sequential workload corrupted: %s", detail)
+				}
+			})
+		}
+	}
+}
+
+func TestGuardSpecStrings(t *testing.T) {
+	for _, tc := range []struct {
+		spec GuardSpec
+		want string
+	}{
+		{GuardSpec{Regime: 1}, "raw"},
+		{GuardSpec{Regime: 2, TagBits: 16}, "tag16"},
+		{GuardSpec{Regime: 3}, "llsc:fig3"},
+		{GuardSpec{Regime: 3, ImplID: "constant"}, "llsc:constant"},
+		{GuardSpec{Regime: 4}, "detector:fig5-fig3"},
+		{GuardSpec{Regime: 4, ImplID: "fig4"}, "detector:fig4"},
+	} {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestGuardSpecsMatrix(t *testing.T) {
+	cond := GuardSpecs(true)
+	all := GuardSpecs(false)
+	if len(all) <= len(cond) {
+		t.Errorf("full matrix (%d) not larger than conditional matrix (%d)", len(all), len(cond))
+	}
+	for _, s := range cond {
+		if !s.Conditional() {
+			t.Errorf("conditional matrix contains detection-only spec %s", s)
+		}
+	}
+	// The full matrix must include the register-only Figure 4 detector: the
+	// event flag is precisely the workload it can serve.
+	found := false
+	for _, s := range all {
+		if s.String() == "detector:fig4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("full matrix lacks detector:fig4")
+	}
+	if _, err := NewGuardMaker(shmem.NewNativeFactory(), 2, GuardSpec{Regime: 3, ImplID: "fig4"}); err == nil {
+		t.Error("want error for an LLSC spec naming a detector impl")
+	}
+	if _, err := NewGuardMaker(shmem.NewNativeFactory(), 2, GuardSpec{Regime: 99}); err == nil {
+		t.Error("want error for an unknown regime")
 	}
 }
 

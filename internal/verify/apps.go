@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"fmt"
+
+	"abadetect/internal/apps"
+)
+
+// Structure conformance: run a script of non-overlapping operations against
+// a guarded structure and a sequential model in lockstep.  With no
+// concurrency the linearization order is the execution order, so every
+// response must match the model exactly — the property-test-friendly oracle
+// the detector and LL/SC implementations already have, extended to the
+// application layer.  Sequential scripts never open an ABA window, so every
+// protection regime — the raw foil included — must conform.
+
+// ConformStack interprets script against s and a LIFO model.  Each script
+// byte encodes one operation: pid = byte mod n; bit 4 selects Push; the top
+// three bits are the pushed value.
+func ConformStack(s *apps.Stack, script []byte) error {
+	n := s.NumProcs()
+	handles := make([]*apps.StackHandle, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := s.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	var model []Word
+	for i, code := range script {
+		pid := int(code) % n
+		if code&0x10 != 0 {
+			v := Word(code >> 5)
+			ok := handles[pid].Push(v)
+			wantOK := len(model) < s.Capacity()
+			if ok != wantOK {
+				return fmt.Errorf("verify: op %d: p%d.Push(%d) = %v, model (len %d/cap %d) says %v",
+					i, pid, v, ok, len(model), s.Capacity(), wantOK)
+			}
+			if ok {
+				model = append(model, v)
+			}
+		} else {
+			v, ok := handles[pid].Pop()
+			if !ok {
+				if len(model) != 0 {
+					return fmt.Errorf("verify: op %d: p%d.Pop() empty, model holds %d values", i, pid, len(model))
+				}
+				continue
+			}
+			if len(model) == 0 {
+				return fmt.Errorf("verify: op %d: p%d.Pop() = %d from an empty model", i, pid, v)
+			}
+			want := model[len(model)-1]
+			model = model[:len(model)-1]
+			if v != want {
+				return fmt.Errorf("verify: op %d: p%d.Pop() = %d, model says %d", i, pid, v, want)
+			}
+		}
+	}
+	if a := s.Audit(); a.Corrupt() {
+		return fmt.Errorf("verify: sequential script corrupted the stack: %s", a)
+	}
+	return nil
+}
+
+// ConformQueue is the FIFO twin of ConformStack: bit 4 selects Enq; the top
+// three bits are the enqueued value.
+func ConformQueue(q *apps.Queue, script []byte) error {
+	n := q.NumProcs()
+	handles := make([]*apps.QueueHandle, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := q.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	var model []Word
+	for i, code := range script {
+		pid := int(code) % n
+		if code&0x10 != 0 {
+			v := Word(code >> 5)
+			ok := handles[pid].Enq(v)
+			wantOK := len(model) < q.Capacity()
+			if ok != wantOK {
+				return fmt.Errorf("verify: op %d: p%d.Enq(%d) = %v, model (len %d/cap %d) says %v",
+					i, pid, v, ok, len(model), q.Capacity(), wantOK)
+			}
+			if ok {
+				model = append(model, v)
+			}
+		} else {
+			v, ok := handles[pid].Deq()
+			if !ok {
+				if len(model) != 0 {
+					return fmt.Errorf("verify: op %d: p%d.Deq() empty, model holds %d values", i, pid, len(model))
+				}
+				continue
+			}
+			if len(model) == 0 {
+				return fmt.Errorf("verify: op %d: p%d.Deq() = %d from an empty model", i, pid, v)
+			}
+			want := model[0]
+			model = model[1:]
+			if v != want {
+				return fmt.Errorf("verify: op %d: p%d.Deq() = %d, model says %d", i, pid, v, want)
+			}
+		}
+	}
+	if a := q.Audit(); a.Corrupt() {
+		return fmt.Errorf("verify: sequential script corrupted the queue: %s", a)
+	}
+	return nil
+}
+
+// ConformEvent interprets script against e and the signal/reset/poll model.
+// Each byte: pid = byte mod n; bits 5-6 select signal / reset / poll (poll
+// on the remaining codes).
+//
+// With exact=true the flag's fired result must equal the exact-detection
+// model: set now, or any write since this pid's previous poll (the
+// semantics every LL/SC- or detector-guarded flag realizes, and a
+// wide-enough tag within the script length).  With exact=false the model is
+// the raw register's: set now, or a *visibly changed* value — precisely
+// what a plain register can and cannot see, so even the §1 foil conforms to
+// its own (weaker) specification.
+func ConformEvent(e *apps.EventFlag, script []byte, exact bool) error {
+	n := e.NumProcs()
+	handles := make([]*apps.EventHandle, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := e.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	flag := false
+	writesAt := 0                    // total writes so far
+	lastPollWrites := make([]int, n) // writes seen at pid's previous poll
+	lastPollValue := make([]bool, n) // flag value at pid's previous poll
+	polled := make([]bool, n)
+	for i, code := range script {
+		pid := int(code) % n
+		switch (code >> 5) & 0x3 {
+		case 0:
+			handles[pid].Signal()
+			flag = true
+			writesAt++
+		case 1:
+			handles[pid].Reset()
+			flag = false
+			writesAt++
+		default:
+			set, fired := handles[pid].Poll()
+			if set != flag {
+				return fmt.Errorf("verify: op %d: p%d.Poll() set=%v, model says %v", i, pid, set, flag)
+			}
+			// The fired flag is only specified relative to a previous poll;
+			// a handle's very first poll just establishes the baseline.
+			if polled[pid] {
+				var want bool
+				if exact {
+					want = flag || writesAt > lastPollWrites[pid]
+				} else {
+					want = flag || flag != lastPollValue[pid]
+				}
+				if fired != want {
+					return fmt.Errorf("verify: op %d: p%d.Poll() fired=%v, model (exact=%v) says %v",
+						i, pid, fired, exact, want)
+				}
+			}
+			lastPollWrites[pid] = writesAt
+			lastPollValue[pid] = flag
+			polled[pid] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
+)
+
+// randomScript generates a reproducible operation script.
+func randomScript(seed int64, ops int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	script := make([]byte, ops)
+	rng.Read(script)
+	return script
+}
+
+// TestConformStackMatrix runs random sequential scripts against the stack
+// under every conditional guard spec; without concurrency there is no ABA
+// window, so even the raw foil must track the LIFO model exactly.
+func TestConformStackMatrix(t *testing.T) {
+	const n = 3
+	for _, spec := range registry.GuardSpecs(true) {
+		for _, guarded := range []bool{false, true} {
+			name := spec.String()
+			if guarded {
+				name += "/guardedpool"
+			}
+			t.Run(name, func(t *testing.T) {
+				for seed := int64(0); seed < 8; seed++ {
+					f := shmem.NewNativeFactory()
+					mk, err := registry.NewGuardMaker(f, n, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := []apps.StructOption{apps.WithMaker(mk)}
+					if guarded {
+						opts = append(opts, apps.WithGuardedPool())
+					}
+					s, err := apps.NewStack(f, n, 5, 0, 0, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ConformStack(s, randomScript(900+seed, 400)); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformQueueMatrix is the FIFO twin.
+func TestConformQueueMatrix(t *testing.T) {
+	const n = 3
+	for _, spec := range registry.GuardSpecs(true) {
+		t.Run(spec.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				f := shmem.NewNativeFactory()
+				mk, err := registry.NewGuardMaker(f, n, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q, err := apps.NewQueue(f, n, 5, 0, 0, apps.WithMaker(mk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ConformQueue(q, randomScript(1700+seed, 400)); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestConformEventMatrix checks every guard spec of the full (event)
+// matrix against its own specification: the exact-detection model for
+// LL/SC-, detector-, and wide-tag-guarded flags, the visible-change model
+// for the raw baseline.  The 1-bit bounded-tag foil conforms to neither and
+// is asserted to *fail* the exact model — its unsoundness is registered, not
+// accidental.
+func TestConformEventMatrix(t *testing.T) {
+	const n = 3
+	build := func(spec registry.GuardSpec) *apps.EventFlag {
+		t.Helper()
+		f := shmem.NewNativeFactory()
+		mk, err := registry.NewGuardMaker(f, n, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := apps.NewProtectedEventFlag(f, n, 0, 0, apps.WithMaker(mk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	for _, spec := range registry.GuardSpecs(false) {
+		im, registered := registry.Lookup(spec.ImplID)
+		foil := registered && !im.Correct
+		exact := spec.Regime != guard.Raw && !foil
+		t.Run(spec.String(), func(t *testing.T) {
+			if foil {
+				// The 2^k-write wraparound must eventually break the exact
+				// model on a long enough script.
+				failed := false
+				for seed := int64(0); seed < 16 && !failed; seed++ {
+					failed = ConformEvent(build(spec), randomScript(2500+seed, 600), true) != nil
+				}
+				if !failed {
+					t.Fatal("bounded-tag foil conformed to exact detection on every script")
+				}
+				return
+			}
+			for seed := int64(0); seed < 8; seed++ {
+				if err := ConformEvent(build(spec), randomScript(2500+seed, 400), exact); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

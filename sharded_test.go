@@ -265,6 +265,15 @@ func TestImplementationsCatalog(t *testing.T) {
 			if _, err := NewDetectingRegisterByID(info.ID, 3); err == nil {
 				t.Errorf("NewDetectingRegisterByID(%q) accepted an llsc ID", info.ID)
 			}
+		case "structure":
+			// Structures construct through their own public constructors
+			// (structures.go); the ByID paths must reject them.
+			if _, err := NewDetectingRegisterByID(info.ID, 3); err == nil {
+				t.Errorf("NewDetectingRegisterByID(%q) accepted a structure ID", info.ID)
+			}
+			if _, err := NewLLSCByID(info.ID, 3); err == nil {
+				t.Errorf("NewLLSCByID(%q) accepted a structure ID", info.ID)
+			}
 		default:
 			t.Errorf("%s: unknown kind %q", info.ID, info.Kind)
 		}

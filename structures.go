@@ -1,0 +1,327 @@
+package abadetect
+
+import (
+	"fmt"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/registry"
+)
+
+// This file is the public application layer: the lock-free data structures
+// of the paper's §1 motivation — Treiber stack, Michael–Scott queue, and
+// the resettable busy-wait event flag — each runnable under every
+// protection regime × registered implementation × backend this package
+// knows about.  It mirrors the Option plumbing of the base-object
+// constructors: WithBackend selects the substrate, WithProtection the guard
+// regime, WithGuardImpl the registered implementation behind an LL/SC or
+// detector guard, WithTagBits the tag width, and WithGuardedPool routes the
+// node allocator's free list through a guard of the same regime.
+
+// Protection selects how a structure's mutable references are guarded — the
+// paper's §1 ladder, weakest to strongest.
+type Protection int
+
+// Protection regimes.
+const (
+	// ProtectionRaw uses bare CAS on references: the ABA victim.  It exists
+	// for head-to-head comparison and the corruption experiments.
+	ProtectionRaw Protection = iota + 1
+	// ProtectionTagged packs a wrap-around tag beside each reference
+	// (WithTagBits, default 16): sound until 2^k writes land inside one
+	// operation's window.
+	ProtectionTagged
+	// ProtectionLLSC keeps references in LL/SC objects: immune by
+	// specification.  The default.
+	ProtectionLLSC
+	// ProtectionDetector keeps references behind an ABA-detecting view
+	// (Figure 5 over LL/SC): immune, and every prevented ABA is counted in
+	// the structure's GuardMetrics.
+	ProtectionDetector
+)
+
+// String names the regime.
+func (p Protection) String() string { return guard.Regime(p).String() }
+
+// GuardMetrics are a structure's aggregated guard audit counters.
+type GuardMetrics struct {
+	// Commits and Rejected count successful and failed conditional swings.
+	Commits, Rejected int64
+	// NearMisses counts rejected swings whose reference value compared
+	// equal: ABAs the regime detected and prevented.  Raw guards record
+	// none by construction — that structural zero is the vulnerability.
+	NearMisses int64
+	// DirtyLoads counts loads that observed detectable interference.
+	DirtyLoads int64
+}
+
+func publicMetrics(m guard.Metrics) GuardMetrics {
+	return GuardMetrics{Commits: m.Commits, Rejected: m.Rejected, NearMisses: m.NearMisses, DirtyLoads: m.DirtyLoads}
+}
+
+// StructureAudit is a quiescent-state structural check of a stack or queue.
+type StructureAudit struct {
+	// Corrupt reports structural damage: nodes simultaneously reachable and
+	// free, lost nodes, cycles, or a dangling tail.
+	Corrupt bool
+	// Detail renders the underlying counts.
+	Detail string
+}
+
+// WithProtection selects the guard regime of a structure constructor
+// (default ProtectionLLSC).  Base-object constructors ignore it.
+func WithProtection(p Protection) Option {
+	return func(o *options) { o.protection = p }
+}
+
+// WithTagBits sets the wrap-around tag width of ProtectionTagged (default
+// 16).  Other regimes ignore it.
+func WithTagBits(bits uint) Option {
+	return func(o *options) { o.tagBits = bits }
+}
+
+// WithGuardImpl selects the registered implementation behind a
+// ProtectionLLSC or ProtectionDetector guard (defaults: "fig3" and
+// "fig5-fig3"; see Implementations for the catalog).  For
+// ProtectionDetector, implementations with an LL/SC core (the fig5-*
+// family) support all structures; register-only detectors such as "fig4"
+// are detection-only and can guard only the event flag.
+func WithGuardImpl(id string) Option {
+	return func(o *options) { o.guardImpl = id }
+}
+
+// WithGuardedPool routes a structure's node free list through a guard of
+// the same regime, instead of the default mutex FIFO allocator model.  The
+// free list then becomes exactly as ABA-(in)vulnerable as the structure
+// above it, and FreelistMetrics exposes its counters.
+func WithGuardedPool() Option {
+	return func(o *options) { o.guardedPool = true }
+}
+
+// guardSpec resolves the options into the registry's guard matrix cell.
+func (o options) guardSpec() registry.GuardSpec {
+	p := o.protection
+	if p == 0 {
+		p = ProtectionLLSC
+	}
+	tagBits := o.tagBits
+	if tagBits == 0 {
+		tagBits = 16
+	}
+	return registry.GuardSpec{Regime: guard.Regime(p), ImplID: o.guardImpl, TagBits: tagBits}
+}
+
+// structOpts renders the apps-layer options for a constructor.
+func (o options) structOpts(mk guard.Maker) []apps.StructOption {
+	opts := []apps.StructOption{apps.WithMaker(mk)}
+	if o.guardedPool {
+		opts = append(opts, apps.WithGuardedPool())
+	}
+	return opts
+}
+
+// Stack is a Treiber stack over a fixed pool of recycled index-based nodes,
+// shared by n processes — the canonical ABA victim of §1, guarded by the
+// selected Protection.
+type Stack struct {
+	inner *apps.Stack
+	fp    Footprint
+}
+
+// NewStack builds a stack for n processes with the given node capacity.
+func NewStack(n, capacity int, opts ...Option) (*Stack, error) {
+	o := buildOptions(opts)
+	f := o.factory()
+	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: stack: %w", err)
+	}
+	inner, err := apps.NewStack(f, n, capacity, 0, 0, o.structOpts(mk)...)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: %w", err)
+	}
+	return &Stack{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// NumProcs returns n.
+func (s *Stack) NumProcs() int { return s.inner.NumProcs() }
+
+// Capacity returns the node-pool capacity.
+func (s *Stack) Capacity() int { return s.inner.Capacity() }
+
+// Protection returns the guard regime.
+func (s *Stack) Protection() Protection { return Protection(s.inner.Protection()) }
+
+// Footprint returns the base objects used (nodes, guards, and free list).
+func (s *Stack) Footprint() Footprint { return s.fp }
+
+// GuardMetrics returns the head guard's audit counters.
+func (s *Stack) GuardMetrics() GuardMetrics { return publicMetrics(s.inner.GuardMetrics()) }
+
+// FreelistMetrics returns the node pool's guard counters (zero unless built
+// WithGuardedPool).
+func (s *Stack) FreelistMetrics() GuardMetrics { return publicMetrics(s.inner.FreelistMetrics()) }
+
+// Audit checks the structure at quiescence (no handle mid-operation).
+func (s *Stack) Audit() StructureAudit {
+	a := s.inner.Audit()
+	return StructureAudit{Corrupt: a.Corrupt(), Detail: a.String()}
+}
+
+// Handle returns the endpoint for process pid in [0, n).  A handle must be
+// used by at most one goroutine at a time.
+func (s *Stack) Handle(pid int) (*StackHandle, error) {
+	h, err := s.inner.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &StackHandle{inner: h}, nil
+}
+
+// StackHandle is a process's stack endpoint.
+type StackHandle struct {
+	inner *apps.StackHandle
+}
+
+// Push pushes v.  It returns false when the node pool is exhausted.
+func (h *StackHandle) Push(v Word) bool { return h.inner.Push(v) }
+
+// Pop pops the top value.  It returns false when the stack is empty.
+func (h *StackHandle) Pop() (Word, bool) { return h.inner.Pop() }
+
+// PopBegin is an experiment hook: it performs the vulnerable first half of
+// a pop — load the head node and its successor — and stops right before the
+// conditional swing, exposing the ABA window the §1 scripts exploit.
+func (h *StackHandle) PopBegin() (top, next int, empty bool) { return h.inner.PopBegin() }
+
+// PopCommit completes the pop begun by PopBegin.  Under ProtectionRaw a
+// stale commit can succeed and corrupt the structure — the demonstration;
+// the other regimes reject it and the caller retries with a fresh PopBegin.
+func (h *StackHandle) PopCommit() (Word, bool) { return h.inner.PopCommit() }
+
+// Queue is a Michael–Scott FIFO queue with recycled index-based nodes,
+// shared by n processes; head, tail, and every next pointer are guarded by
+// the selected Protection.
+type Queue struct {
+	inner *apps.Queue
+	fp    Footprint
+}
+
+// NewQueue builds a queue for n processes with the given capacity (usable
+// nodes beyond the internal dummy).
+func NewQueue(n, capacity int, opts ...Option) (*Queue, error) {
+	o := buildOptions(opts)
+	f := o.factory()
+	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: queue: %w", err)
+	}
+	inner, err := apps.NewQueue(f, n, capacity, 0, 0, o.structOpts(mk)...)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: %w", err)
+	}
+	return &Queue{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// Capacity returns the number of usable nodes.
+func (q *Queue) Capacity() int { return q.inner.Capacity() }
+
+// Protection returns the guard regime.
+func (q *Queue) Protection() Protection { return Protection(q.inner.Protection()) }
+
+// Footprint returns the base objects used.
+func (q *Queue) Footprint() Footprint { return q.fp }
+
+// GuardMetrics returns the aggregated counters of every reference guard.
+func (q *Queue) GuardMetrics() GuardMetrics { return publicMetrics(q.inner.GuardMetrics()) }
+
+// FreelistMetrics returns the node pool's guard counters (zero unless built
+// WithGuardedPool).
+func (q *Queue) FreelistMetrics() GuardMetrics { return publicMetrics(q.inner.FreelistMetrics()) }
+
+// Audit checks the structure at quiescence.
+func (q *Queue) Audit() StructureAudit {
+	a := q.inner.Audit()
+	return StructureAudit{Corrupt: a.Corrupt(), Detail: a.String()}
+}
+
+// Handle returns the endpoint for process pid in [0, n).
+func (q *Queue) Handle(pid int) (*QueueHandle, error) {
+	h, err := q.inner.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &QueueHandle{inner: h}, nil
+}
+
+// QueueHandle is a process's queue endpoint.
+type QueueHandle struct {
+	inner *apps.QueueHandle
+}
+
+// Enq appends v.  It returns false when the node pool is exhausted.
+func (h *QueueHandle) Enq(v Word) bool { return h.inner.Enq(v) }
+
+// Deq removes the oldest value.  It returns false when the queue is empty.
+func (h *QueueHandle) Deq() (Word, bool) { return h.inner.Deq() }
+
+// EventFlag is the §1 busy-wait scenario: a signaler pulses (Signal, then
+// Reset) and waiters Poll.  Whether an in-window pulse is observable is
+// exactly the Protection ladder: raw misses it, a k-bit tag misses it at
+// wraparound, LL/SC and detector guards never do.
+//
+// The event flag never conditionally swings its reference, so it also
+// accepts detection-only guard implementations (WithGuardImpl "fig4",
+// "unbounded", "boundedtag1") under ProtectionDetector.
+type EventFlag struct {
+	inner *apps.EventFlag
+	fp    Footprint
+}
+
+// NewEventFlag builds an event flag for n processes.
+func NewEventFlag(n int, opts ...Option) (*EventFlag, error) {
+	o := buildOptions(opts)
+	f := o.factory()
+	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: event flag: %w", err)
+	}
+	inner, err := apps.NewProtectedEventFlag(f, n, 0, 0, apps.WithMaker(mk))
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: %w", err)
+	}
+	return &EventFlag{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// Protection returns the guard regime.
+func (e *EventFlag) Protection() Protection { return Protection(e.inner.Protection()) }
+
+// Footprint returns the base objects used.
+func (e *EventFlag) Footprint() Footprint { return e.fp }
+
+// GuardMetrics returns the flag guard's audit counters.
+func (e *EventFlag) GuardMetrics() GuardMetrics { return publicMetrics(e.inner.GuardMetrics()) }
+
+// Handle returns the endpoint for process pid in [0, n).
+func (e *EventFlag) Handle(pid int) (*EventHandle, error) {
+	h, err := e.inner.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &EventHandle{inner: h}, nil
+}
+
+// EventHandle is a process's event-flag endpoint.
+type EventHandle struct {
+	inner *apps.EventHandle
+}
+
+// Signal raises the flag.
+func (h *EventHandle) Signal() { h.inner.Signal() }
+
+// Reset lowers the flag for reuse.
+func (h *EventHandle) Reset() { h.inner.Reset() }
+
+// Poll returns the flag's value and whether an event fired since this
+// handle's previous Poll (set now, or any write the guard could detect).
+func (h *EventHandle) Poll() (set, fired bool) { return h.inner.Poll() }

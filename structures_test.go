@@ -1,0 +1,266 @@
+package abadetect_test
+
+import (
+	"sync"
+	"testing"
+
+	abadetect "abadetect"
+)
+
+// publicProtections is the sound half of the public matrix: the regimes a
+// concurrent workload must never corrupt.
+func publicProtections() []struct {
+	name string
+	prot abadetect.Protection
+} {
+	return []struct {
+		name string
+		prot abadetect.Protection
+	}{
+		{"tagged", abadetect.ProtectionTagged},
+		{"llsc", abadetect.ProtectionLLSC},
+		{"detector", abadetect.ProtectionDetector},
+	}
+}
+
+func TestStructureStackMPMC(t *testing.T) {
+	for _, tc := range publicProtections() {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 4
+			s, err := abadetect.NewStack(n, 16,
+				abadetect.WithProtection(tc.prot), abadetect.WithGuardedPool())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h, err := s.Handle(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(pid int, h *abadetect.StackHandle) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						h.Push(uint64(pid)<<32 | uint64(i))
+						h.Pop()
+					}
+				}(pid, h)
+			}
+			wg.Wait()
+			if a := s.Audit(); a.Corrupt {
+				t.Errorf("audit: %s", a.Detail)
+			}
+			if m := s.GuardMetrics(); m.Commits == 0 {
+				t.Errorf("no head commits recorded: %+v", m)
+			}
+			if m := s.FreelistMetrics(); m.Commits == 0 {
+				t.Errorf("no free-list commits recorded: %+v", m)
+			}
+		})
+	}
+}
+
+func TestStructureQueueMPMC(t *testing.T) {
+	for _, tc := range publicProtections() {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 4
+			q, err := abadetect.NewQueue(n, 16, abadetect.WithProtection(tc.prot))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h, err := q.Handle(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(pid int, h *abadetect.QueueHandle) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						h.Enq(uint64(pid)<<32 | uint64(i))
+						h.Deq()
+					}
+				}(pid, h)
+			}
+			wg.Wait()
+			if a := q.Audit(); a.Corrupt {
+				t.Errorf("audit: %s", a.Detail)
+			}
+		})
+	}
+}
+
+func TestStructureEventFlagPulse(t *testing.T) {
+	// The §1 pulse across the public ladder, including a detection-only
+	// Figure 4 guard.
+	cases := []struct {
+		name      string
+		opts      []abadetect.Option
+		wantFired bool
+	}{
+		{"raw", []abadetect.Option{abadetect.WithProtection(abadetect.ProtectionRaw)}, false},
+		{"tag1", []abadetect.Option{abadetect.WithProtection(abadetect.ProtectionTagged), abadetect.WithTagBits(1)}, false},
+		{"llsc", []abadetect.Option{abadetect.WithProtection(abadetect.ProtectionLLSC)}, true},
+		{"detector-fig5", []abadetect.Option{abadetect.WithProtection(abadetect.ProtectionDetector)}, true},
+		{"detector-fig4", []abadetect.Option{abadetect.WithProtection(abadetect.ProtectionDetector), abadetect.WithGuardImpl("fig4")}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := abadetect.NewEventFlag(2, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			signaler, err := e.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waiter, err := e.Handle(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if set, fired := waiter.Poll(); set || fired {
+				t.Fatal("initial poll should be quiet")
+			}
+			signaler.Signal()
+			signaler.Reset()
+			_, fired := waiter.Poll()
+			if fired != tc.wantFired {
+				t.Errorf("fired = %v, want %v", fired, tc.wantFired)
+			}
+		})
+	}
+}
+
+func TestStructureRawStackCorruptsDeterministically(t *testing.T) {
+	// The §1 script through the public experiment hooks: under ProtectionRaw
+	// the victim's stale PopCommit is accepted and the audit shows damage;
+	// under the default LL/SC protection the same script is rejected.
+	run := func(prot abadetect.Protection) (bool, abadetect.StructureAudit) {
+		s, err := abadetect.NewStack(2, 3, abadetect.WithProtection(prot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adversary, _ := s.Handle(0)
+		victim, _ := s.Handle(1)
+		for i := 1; i <= 3; i++ {
+			adversary.Push(uint64(100 + i))
+		}
+		if _, _, empty := victim.PopBegin(); empty {
+			t.Fatal("stack unexpectedly empty")
+		}
+		for i := 0; i < 3; i++ {
+			adversary.Pop()
+		}
+		adversary.Push(104)
+		_, fooled := victim.PopCommit()
+		return fooled, s.Audit()
+	}
+	if fooled, audit := run(abadetect.ProtectionRaw); !fooled || !audit.Corrupt {
+		t.Errorf("raw: fooled=%v corrupt=%v (%s), want corruption", fooled, audit.Corrupt, audit.Detail)
+	}
+	if fooled, audit := run(abadetect.ProtectionLLSC); fooled || audit.Corrupt {
+		t.Errorf("llsc: fooled=%v corrupt=%v (%s), want rejection", fooled, audit.Corrupt, audit.Detail)
+	}
+	if fooled, audit := run(abadetect.ProtectionDetector); fooled || audit.Corrupt {
+		t.Errorf("detector: fooled=%v corrupt=%v (%s), want rejection", fooled, audit.Corrupt, audit.Detail)
+	}
+}
+
+func TestStructureBackendsAndImpls(t *testing.T) {
+	// The matrix's third axis: structures over every direct backend and a
+	// non-default guard implementation.
+	for _, be := range []struct {
+		name    string
+		backend abadetect.Backend
+	}{
+		{"native", abadetect.NativeBackend()},
+		{"slab", abadetect.SlabBackend()},
+		{"padded", abadetect.PaddedBackend()},
+	} {
+		t.Run(be.name, func(t *testing.T) {
+			q, err := abadetect.NewQueue(2, 8,
+				abadetect.WithBackend(be.backend),
+				abadetect.WithProtection(abadetect.ProtectionDetector),
+				abadetect.WithGuardImpl("fig5-constant"),
+				abadetect.WithGuardedPool())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if !h.Enq(uint64(i)) {
+					t.Fatalf("enq %d failed", i)
+				}
+				if v, ok := h.Deq(); !ok || v != uint64(i) {
+					t.Fatalf("deq = (%d,%v)", v, ok)
+				}
+			}
+			if a := q.Audit(); a.Corrupt {
+				t.Errorf("audit: %s", a.Detail)
+			}
+			if q.Footprint().Objects() == 0 {
+				t.Error("empty footprint")
+			}
+		})
+	}
+}
+
+func TestStructureOptionValidation(t *testing.T) {
+	if _, err := abadetect.NewStack(0, 4); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := abadetect.NewStack(2, 0); err == nil {
+		t.Error("want error for capacity=0")
+	}
+	if _, err := abadetect.NewQueue(2, 4, abadetect.WithGuardImpl("no-such-impl")); err == nil {
+		t.Error("want error for unknown guard impl")
+	}
+	// A register-only detector cannot guard a structure that commits.
+	if _, err := abadetect.NewStack(2, 4,
+		abadetect.WithProtection(abadetect.ProtectionDetector),
+		abadetect.WithGuardImpl("fig4")); err == nil {
+		t.Error("want error for a detection-only guard behind a stack")
+	}
+	// ... but it can guard the event flag.
+	if _, err := abadetect.NewEventFlag(2,
+		abadetect.WithProtection(abadetect.ProtectionDetector),
+		abadetect.WithGuardImpl("fig4")); err != nil {
+		t.Errorf("fig4-guarded event flag: %v", err)
+	}
+	if got := abadetect.ProtectionRaw.String(); got != "raw-cas" {
+		t.Errorf("ProtectionRaw = %q", got)
+	}
+	if got := abadetect.ProtectionDetector.String(); got != "detector" {
+		t.Errorf("ProtectionDetector = %q", got)
+	}
+}
+
+func TestStructureNearMissVisible(t *testing.T) {
+	// A prevented ABA surfaces in the public metrics: replay the §1 script
+	// under LL/SC and check the near-miss counter.
+	s, err := abadetect.NewStack(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversary, _ := s.Handle(0)
+	victim, _ := s.Handle(1)
+	for i := 1; i <= 3; i++ {
+		adversary.Push(uint64(100 + i))
+	}
+	victim.PopBegin()
+	for i := 0; i < 3; i++ {
+		adversary.Pop()
+	}
+	adversary.Push(104)
+	if _, ok := victim.PopCommit(); ok {
+		t.Fatal("stale commit accepted under LL/SC")
+	}
+	if m := s.GuardMetrics(); m.NearMisses == 0 {
+		t.Errorf("prevented ABA not counted: %+v", m)
+	}
+}
