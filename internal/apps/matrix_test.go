@@ -606,6 +606,31 @@ func TestCommitWithoutPending(t *testing.T) {
 	if _, ok := sh.PopCommit(); ok {
 		t.Error("PopCommit after an empty PopBegin succeeded")
 	}
+	// Each Begin arms at most one Commit: after a successful PopCommit a
+	// second one without a fresh PopBegin must fail, not re-commit the stale
+	// snapshot (which double-releases the node once the head cycles back).
+	sh.Push(2)
+	if _, _, empty := sh.PopBegin(); empty {
+		t.Fatal("stack should have one value")
+	}
+	if v, ok := sh.PopCommit(); !ok || v != 2 {
+		t.Fatalf("PopCommit = (%d,%v), want (2,true)", v, ok)
+	}
+	if _, ok := sh.PopCommit(); ok {
+		t.Error("second PopCommit without a fresh PopBegin succeeded")
+	}
+	// Pop's internal commit path must disarm too: a bare PopCommit after a
+	// successful Pop (whose PopBegin armed the snapshot) must fail.
+	sh.Push(3)
+	if _, _, empty := sh.PopBegin(); empty {
+		t.Fatal("stack should have one value")
+	}
+	if v, ok := sh.Pop(); !ok || v != 3 {
+		t.Fatalf("Pop = (%d,%v), want (3,true)", v, ok)
+	}
+	if _, ok := sh.PopCommit(); ok {
+		t.Error("PopCommit after Pop consumed the snapshot succeeded")
+	}
 
 	q, err := NewQueue(shmem.NewNativeFactory(), 1, 3, LLSC, 0)
 	if err != nil {
@@ -633,6 +658,21 @@ func TestCommitWithoutPending(t *testing.T) {
 	}
 	if v, ok := qh.DeqCommit(); !ok || v != 2 {
 		t.Fatalf("DeqCommit = (%d,%v), want (2,true)", v, ok)
+	}
+	if _, ok := qh.DeqCommit(); ok {
+		t.Error("second DeqCommit without a fresh DeqBegin succeeded")
+	}
+	// Deq's internal commit path must disarm too: a DeqBegin snapshot that
+	// Deq consumed cannot be replayed by a later bare DeqCommit.
+	qh.Enq(3)
+	if _, nh, empty := qh.DeqBegin(); empty || nh == 0 {
+		t.Fatal("queue should have one value")
+	}
+	if v, ok := qh.Deq(); !ok || v != 3 {
+		t.Fatalf("Deq = (%d,%v), want (3,true)", v, ok)
+	}
+	if _, ok := qh.DeqCommit(); ok {
+		t.Error("DeqCommit after Deq consumed the snapshot succeeded")
 	}
 	if a := q.Audit(); a.Corrupt() {
 		t.Errorf("audit: %s", a)

@@ -148,6 +148,11 @@ type QueueHandle struct {
 
 	pendingHead int // head loaded by DeqBegin
 	pendingNext int // its successor, as read by DeqBegin
+
+	// testEnqAfterLink, when non-nil, runs right after Enq's linearizing
+	// next-pointer commit and before the tail help — a deterministic stall
+	// point for the helping-interleaving tests.
+	testEnqAfterLink func()
 }
 
 // spent reports whether a bounded handle has used up its spin budget.
@@ -175,8 +180,14 @@ func (h *QueueHandle) Enq(v Word) bool {
 		}
 		if nt == 0 {
 			if h.next[t].Commit(Word(idx)) {
-				// Linearized.  Help the tail forward; failure is fine.
-				h.tail.Load()
+				if h.testEnqAfterLink != nil {
+					h.testEnqAfterLink()
+				}
+				// Linearized.  Help the tail forward using the arm from this
+				// iteration's Load of t: the commit only lands while the tail
+				// is still t, so a helper that already advanced it makes the
+				// swing fail (fine) instead of dragging the tail backwards
+				// onto a node that may since have been dequeued and freed.
 				h.tail.Commit(Word(idx))
 				return true
 			}
@@ -233,8 +244,10 @@ func (h *QueueHandle) DeqBegin() (head, next int, empty bool) {
 
 // DeqCommit performs the second half of the dequeue begun by DeqBegin: the
 // conditional swing of the head past the old dummy.  On failure nothing
-// changes; the caller may retry with a fresh DeqBegin.  With no pending
-// dequeue (an empty DeqBegin, or none at all) it reports failure.
+// changes in the queue; the caller may retry with a fresh DeqBegin.  Each
+// DeqBegin arms at most one DeqCommit — with no pending dequeue (an empty
+// DeqBegin, a prior DeqCommit, or no DeqBegin at all) it reports failure,
+// so a stale snapshot can never be committed twice.
 func (h *QueueHandle) DeqCommit() (Word, bool) {
 	if h.pendingNext == 0 {
 		return 0, false
@@ -265,6 +278,9 @@ func (h *QueueHandle) deqSnapshot() (hd, nh int, empty, ok bool) {
 }
 
 func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
+	// Any commit attempt — DeqCommit's or Deq's own — consumes whatever
+	// snapshot a DeqBegin armed, so a later bare DeqCommit cannot replay it.
+	h.pendingHead, h.pendingNext = 0, 0
 	v := h.q.value[nh].Read(h.pid)
 	if h.head.Commit(Word(nh)) {
 		// The old dummy retires; nh is the new dummy.

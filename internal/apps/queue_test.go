@@ -237,6 +237,65 @@ func TestQueueStressMPMC(t *testing.T) {
 	}
 }
 
+// TestEnqTailHelpCannotSwingBackwards replays the backward-swing hazard in
+// Enq's post-linearization help: A links its node after the tail and stalls;
+// B's enqueue helps the tail past A's node and onto its own; C dequeues
+// both values, freeing A's node.  A's deferred tail help must now fail —
+// it is armed from A's original Load of the tail — rather than re-arm
+// against the current tail and drag it backwards onto the freed node.  A
+// value-blind re-armed commit would succeed under every regime, LL/SC
+// included, because no tail write intervenes between its re-Load and its
+// commit; only arming from the pre-link Load makes the regimes reject it.
+func TestEnqTailHelpCannotSwingBackwards(t *testing.T) {
+	for _, tc := range allProtections() {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := NewQueue(shmem.NewNativeFactory(), 3, 4, tc.prot, tc.tagBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := queueHandle(t, q, 0)
+			b := queueHandle(t, q, 1)
+			c := queueHandle(t, q, 2)
+
+			var tailAfterStall Word
+			a.testEnqAfterLink = func() {
+				a.testEnqAfterLink = nil
+				if !b.Enq(7) {
+					t.Fatal("stalled-window enq failed")
+				}
+				for _, want := range []Word{5, 7} {
+					if v, ok := c.Deq(); !ok || v != want {
+						t.Fatalf("stalled-window deq = (%d,%v), want (%d,true)", v, ok, want)
+					}
+				}
+				tailAfterStall = q.tail.Peek(-1)
+			}
+			if !a.Enq(5) {
+				t.Fatal("enq 5 failed")
+			}
+			if got := q.tail.Peek(-1); got != tailAfterStall {
+				t.Fatalf("tail swung backwards after stale help: %d -> %d", tailAfterStall, got)
+			}
+			if audit := q.Audit(); audit.Corrupt() {
+				t.Fatalf("audit after stale help: %s", audit)
+			}
+			// The pool keeps recycling cleanly afterwards: the node A's stale
+			// help targeted is reallocated and retired several times over.
+			for round := 0; round < 2*q.Capacity(); round++ {
+				if !b.Enq(Word(100 + round)) {
+					t.Fatalf("round %d: enq failed", round)
+				}
+				if v, ok := c.Deq(); !ok || v != Word(100+round) {
+					t.Fatalf("round %d: deq = (%d,%v)", round, v, ok)
+				}
+			}
+			if audit := q.Audit(); audit.Corrupt() {
+				t.Fatalf("final audit: %s", audit)
+			}
+		})
+	}
+}
+
 func TestQueueAuditStates(t *testing.T) {
 	q := newQueue(t, 1, 4)
 	h := queueHandle(t, q, 0)

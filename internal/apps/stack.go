@@ -167,9 +167,11 @@ func (h *StackHandle) PopBegin() (top, next int, empty bool) {
 // PopCommit performs the second half of the pop begun by PopBegin: the
 // conditional swing of the head.  On success it returns the popped value
 // (read *after* the swing, as the classic implementation does) and recycles
-// the node.  On failure nothing changes; the caller may retry with a fresh
-// PopBegin.  With no pending pop (an empty PopBegin, or none at all) it
-// reports failure.
+// the node.  On failure nothing changes in the stack; the caller may retry
+// with a fresh PopBegin.  Each PopBegin arms at most one PopCommit — with
+// no pending pop (an empty PopBegin, a prior PopCommit, or no PopBegin at
+// all) it reports failure, so a stale snapshot can never be committed
+// twice.
 func (h *StackHandle) PopCommit() (Word, bool) {
 	if h.pending == 0 {
 		return 0, false
@@ -178,6 +180,9 @@ func (h *StackHandle) PopCommit() (Word, bool) {
 }
 
 func (h *StackHandle) popCommit(top, next int) (Word, bool) {
+	// Any commit attempt — PopCommit's or Pop's own — consumes whatever
+	// snapshot a PopBegin armed, so a later bare PopCommit cannot replay it.
+	h.pending, h.next = 0, 0
 	if !h.head.Commit(Word(next)) {
 		return 0, false
 	}

@@ -101,7 +101,9 @@ type Metrics struct {
 	// is the vulnerability.
 	NearMisses int64
 	// DirtyLoads is the number of Loads that reported interference since
-	// the handle's previous Load.
+	// the handle's previous Load — plus, on a detection-only guard, each
+	// Validate that consumed a detected write (its DRead is destructive,
+	// so the following Load reports clean and would never count it).
 	DirtyLoads int64
 }
 

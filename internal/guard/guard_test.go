@@ -184,6 +184,44 @@ func TestDetectionOnlyGuard(t *testing.T) {
 	waiter.Commit(1)
 }
 
+// TestDetectionOnlyValidateCountsDirty: Validate's DRead is destructive —
+// it consumes the dirty signal and re-arms detection — so the write it
+// observes must land in DirtyLoads, or a Validate-then-Load sequence would
+// under-report a write that did occur.
+func TestDetectionOnlyValidateCountsDirty(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	det, err := core.NewRegisterBased(f, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewDetectionOnly(det, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := mustHandle(t, g, 0)
+	signaler := mustHandle(t, g, 1)
+	waiter.Load()
+	if !waiter.Validate() {
+		t.Fatal("Validate with no intervening write reported dirty")
+	}
+	signaler.Store(1)
+	signaler.Store(0)
+	if waiter.Validate() {
+		t.Fatal("Validate missed the pulse")
+	}
+	if m := g.Metrics(); m.DirtyLoads != 1 {
+		t.Fatalf("DirtyLoads = %d, want 1 (Validate consumed the write)", m.DirtyLoads)
+	}
+	// The destructive DRead re-armed detection: the following Load is clean
+	// and must not count the same write again.
+	if _, dirty := waiter.Load(); dirty {
+		t.Fatal("Load after a destructive Validate reported dirty")
+	}
+	if m := g.Metrics(); m.DirtyLoads != 1 {
+		t.Fatalf("DirtyLoads after clean Load = %d, want 1", m.DirtyLoads)
+	}
+}
+
 func TestConditionalFlag(t *testing.T) {
 	for name, mk := range allMakers(2) {
 		g := mustGuard(t, mk, "ref", 8, 0)

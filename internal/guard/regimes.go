@@ -318,7 +318,13 @@ func (h *detectionHandle) Commit(Word) bool {
 }
 
 func (h *detectionHandle) Validate() bool {
-	_, dirty := h.h.DRead() // destructive: re-arms detection
+	// Destructive: the DRead consumes the dirty signal and re-arms
+	// detection, so the write it observed is counted here — a following
+	// Load reports clean and must not be the only place DirtyLoads grows.
+	_, dirty := h.h.DRead()
+	if dirty {
+		h.g.m.dirtyLoads.Add(1)
+	}
 	return !dirty
 }
 
