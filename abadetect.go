@@ -85,8 +85,10 @@ type options struct {
 	// them.
 	protection  Protection
 	tagBits     uint
+	tagBitsSet  bool
 	guardImpl   string
 	guardedPool bool
+	reclaim     string
 }
 
 // Option configures a constructor.

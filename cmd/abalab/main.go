@@ -13,15 +13,18 @@
 //	abalab -impl all -n 8   # ... or every implementation
 //	abalab -app all         # application matrix: every structure × guard
 //	abalab -app queue       # ... or one structure across every guard
+//	abalab -reclaim all     # reclamation matrix: structure × regime × SMR
+//	abalab -reclaim hp -app stack   # ... filtered to one scheme/structure
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
-// objects, E11 application matrix) and diff them against a committed
-// snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
-// slab/devirtualized substrate, BENCH_pr3.json adds the application matrix):
+// objects, E11 application matrix, E12 reclamation matrix) and diff them
+// against a committed snapshot (BENCH_baseline.json is the seed,
+// BENCH_pr2.json the slab/devirtualized substrate, BENCH_pr3.json adds the
+// application matrix, BENCH_pr4.json the reclamation matrix):
 //
-//	abalab -bench-compare BENCH_pr3.json
-//	abalab -json > BENCH_pr4.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr4.json
+//	abalab -json > BENCH_pr5.json   # record a new snapshot
 package main
 
 import (
@@ -48,13 +51,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only    = fs.String("run", "", "run a single experiment (E1..E11)")
+		only    = fs.String("run", "", "run a single experiment (E1..E12)")
 		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
 		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
 		app     = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
+		reclaim = fs.String("reclaim", "", "run the reclamation matrix (E12): a scheme ID (hp, epoch, none) or 'all'; combine with -app to filter the structure")
 		n       = fs.Int("n", 8, "process count for -impl")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
-		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11) against a benchmark snapshot (e.g. BENCH_pr3.json)")
+		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12) against a benchmark snapshot (e.g. BENCH_pr4.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +88,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return emit(tables)
+	}
+
+	if *reclaim != "" {
+		structFilter := *app
+		if structFilter == "" {
+			structFilter = "all"
+		}
+		tbl, err := bench.E12Reclaim(structFilter, *reclaim)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	if *app != "" {
@@ -148,6 +164,11 @@ func printIndex(out io.Writer) error {
 			kind = "detection-only (event flag)"
 		}
 		fmt.Fprintf(out, "  %-22s %s\n", spec, kind)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "reclamation schemes (node-pool SMR, -reclaim matrix):")
+	for _, im := range registry.Reclaimers() {
+		fmt.Fprintf(out, "  %-22s %s\n", im.ID, im.Summary)
 	}
 	return nil
 }

@@ -16,10 +16,13 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("listing lacks experiment %s", id)
 		}
+	}
+	if !strings.Contains(out, "reclamation schemes") {
+		t.Error("listing lacks the reclamation-scheme section")
 	}
 	// Every registered implementation appears in the listing.
 	for _, id := range registry.IDs() {
@@ -264,6 +267,66 @@ func TestImplAllAtNOne(t *testing.T) {
 	for _, id := range []string{"stack", "queue", "event"} {
 		if !strings.Contains(buf.String(), id) {
 			t.Errorf("-impl all -n 1 report lacks %s", id)
+		}
+	}
+}
+
+func TestReclaimMatrixFlag(t *testing.T) {
+	// -reclaim runs E12; -app narrows the structure.  The event flag keeps
+	// the smoke test cheap (no node pool, no contention).
+	var buf bytes.Buffer
+	if err := run([]string{"-reclaim", "none", "-app", "event", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-reclaim -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E12" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	if len(tables[0].Rows) != 4 { // event × 4 regimes × 1 scheme
+		t.Fatalf("event/none matrix has %d rows, want 4", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "event/") || !strings.HasSuffix(row[0], "+none") {
+			t.Errorf("unexpected row key %q", row[0])
+		}
+	}
+	if err := run([]string{"-reclaim", "no-such-scheme"}, &buf); err == nil {
+		t.Error("want error for unknown reclamation scheme")
+	}
+	if err := run([]string{"-reclaim", "hp", "-app", "no-such-structure"}, &buf); err == nil {
+		t.Error("want error for unknown structure filter")
+	}
+}
+
+func TestBenchComparePR4CoversReclaim(t *testing.T) {
+	// The PR4 snapshot carries all three throughput tables; the comparison
+	// must diff E10, E11, and the new E12 reclamation matrix, and every row
+	// key must line up with a fresh run (no renames, no lost cells).
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr4.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 3 || tables[0].ID != "E10-compare" || tables[1].ID != "E11-compare" || tables[2].ID != "E12-compare" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			if row[4] == "new" || row[4] == "removed" {
+				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
+			}
 		}
 	}
 }

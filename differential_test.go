@@ -301,3 +301,58 @@ func TestDifferentialBoundedTagFoilFails(t *testing.T) {
 		t.Errorf("%s detected the wraparound burst; the foil is supposed to miss it past 2^k writes", foil.ID)
 	}
 }
+
+// replayRawStackScript runs the deterministic §1 recycling script through
+// the public hooks and reports whether the stale commit was accepted.
+func replayRawStackScript(t *testing.T, opts ...Option) (bool, StructureAudit) {
+	t.Helper()
+	s, err := NewStack(2, 3, append([]Option{WithProtection(ProtectionRaw)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversary, _ := s.Handle(0)
+	victim, _ := s.Handle(1)
+	for i := 1; i <= 3; i++ {
+		adversary.Push(uint64(100 + i))
+	}
+	if _, _, empty := victim.PopBegin(); empty {
+		t.Fatal("stack unexpectedly empty")
+	}
+	for i := 0; i < 3; i++ {
+		adversary.Pop()
+	}
+	adversary.Push(104) // may starve under a reclaimer: prevention either way
+	_, fooled := victim.PopCommit()
+	return fooled, s.Audit()
+}
+
+// TestDifferentialReclaimers mirrors the bounded-tag foil pattern on the
+// reclamation axis: enumerating the registered reclaimers from the
+// catalog, the "none" pass-through must reproduce the deterministic
+// raw-stack corruption while "hp" and "epoch" must prevent it — the same
+// schedule, three allocator disciplines, opposite outcomes.
+func TestDifferentialReclaimers(t *testing.T) {
+	schemes := 0
+	for _, info := range Implementations() {
+		if info.Kind != "reclaimer" {
+			continue
+		}
+		schemes++
+		t.Run(info.ID, func(t *testing.T) {
+			fooled, audit := replayRawStackScript(t, WithReclamation(info.ID))
+			wantFooled := info.ID == "none"
+			if fooled != wantFooled || audit.Corrupt != wantFooled {
+				t.Fatalf("fooled=%v corrupt=%v (%s), want both %v", fooled, audit.Corrupt, audit.Detail, wantFooled)
+			}
+			if audit.Reclaimer != info.ID {
+				t.Errorf("audit names reclaimer %q, want %q", audit.Reclaimer, info.ID)
+			}
+			if audit.Retired == 0 {
+				t.Errorf("no retire counted through scheme %q: %+v", info.ID, audit)
+			}
+		})
+	}
+	if schemes != 3 {
+		t.Errorf("catalog lists %d reclaimers, want 3 (hp, epoch, none)", schemes)
+	}
+}

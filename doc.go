@@ -78,6 +78,33 @@
 // The abalab -app command runs the whole structure × guard × implementation
 // matrix (experiment E11).
 //
+// # Safe memory reclamation
+//
+// WithReclamation selects the defense the guards never see: "hp" (hazard
+// pointers), "epoch" (epoch-based reclamation), or "none" (the explicit
+// immediate-reuse pass-through, also the default).  Under hp or epoch a
+// removed node retires into limbo and re-enters the allocator only once no
+// process protection can cover it, so the §1 recycle-inside-the-window ABA
+// never forms — a ProtectionRaw structure passes the deterministic
+// corruption scripts with zero near-misses, because prevention happens by
+// allocation discipline rather than detection.
+//
+// The trade-off is the paper's m(n)/t(n) vocabulary applied to SMR.  A
+// k-bit tag spends k bits of every guarded word and fails after 2^k
+// in-window writes (Theorem 1(a) prices that failure); LL/SC and detecting
+// registers spend m(n) base objects and t(n) steps per access to detect
+// every repeat.  Hazard pointers instead spend m(n) = n·H single-writer
+// registers (H = 2 published slots per process) plus deferred-node lists,
+// at O(1) expected amortized steps with an O(n·H) scan every threshold
+// retires, and a stalled process defers only the ≤H nodes it protects.
+// Epoch reclamation is cheaper — m(n) = n+1 objects, O(1) amortized — but
+// its epoch counter is unbounded (the same axis that separates the paper's
+// bounded and unbounded constructions) and one stalled pinned process
+// blocks every reuse in the system.  Audit surfaces the whole ledger:
+// retired/reclaimed/deferred counts, reclamation stalls, and pool
+// exhaustions.  The abalab -reclaim command runs the structure × regime ×
+// reclaimer matrix (experiment E12).
+//
 // # Scaling out
 //
 // NewShardedDetectingArray builds an array of independent detecting

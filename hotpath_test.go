@@ -85,6 +85,8 @@ func TestHotPathAllocs(t *testing.T) {
 					}
 				case "structure":
 					structureAllocs(t, info.ID, be)
+				case "reclaimer":
+					reclaimerAllocs(t, info.ID, be)
 				default:
 					t.Fatalf("unknown kind %q", info.Kind)
 				}
@@ -159,6 +161,33 @@ func structureAllocs(t *testing.T, id string, be Backend) {
 		}
 	default:
 		t.Fatalf("unknown structure %q", id)
+	}
+}
+
+// reclaimerAllocs pins the reclamation-wrapped hot path to zero
+// allocations: a raw-guarded stack over the lock-free pool whose every pop
+// publishes a protection (hp slot write / epoch pin), validates, retires,
+// and amortizes a scan — all on preallocated state.  This is the
+// whole-stack version of the reclaim package's own Protect/Clear guard.
+func reclaimerAllocs(t *testing.T, scheme string, be Backend) {
+	t.Helper()
+	s, err := NewStack(hotProcs, 16,
+		WithBackend(be), WithGuardedPool(),
+		WithProtection(ProtectionRaw), WithReclamation(scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i Word
+	if got := testing.AllocsPerRun(200, func() {
+		h.Push(i)
+		h.Pop()
+		i++
+	}); got != 0 {
+		t.Errorf("Push+Pop under %s reclamation allocates %.1f/op, want 0", scheme, got)
 	}
 }
 

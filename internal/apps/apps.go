@@ -32,6 +32,7 @@ package apps
 
 import (
 	"abadetect/internal/guard"
+	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
 )
 
@@ -66,6 +67,7 @@ type StructOption func(*structOptions)
 type structOptions struct {
 	maker       guard.Maker
 	guardedPool bool
+	reclaim     reclaim.Maker
 }
 
 // WithMaker makes the structure allocate its guards from mk instead of the
@@ -84,6 +86,17 @@ func WithMaker(mk guard.Maker) StructOption {
 // scripts rely on FIFO recycling order, so they use the default pool.
 func WithGuardedPool() StructOption {
 	return func(o *structOptions) { o.guardedPool = true }
+}
+
+// WithReclaimer routes the structure's node releases through a safe-memory-
+// reclamation scheme built by mk: releases retire nodes into limbo, and the
+// traversal loops' published protections keep a node from re-entering the
+// allocator while any process may still hold its index.  With a reclaimer
+// the recycle leg of the §1 ABA cannot happen inside a victim's window, so
+// even a Raw-guarded structure survives the deterministic corruption
+// scripts — prevention by allocation discipline instead of detection.
+func WithReclaimer(mk reclaim.Maker) StructOption {
+	return func(o *structOptions) { o.reclaim = mk }
 }
 
 // buildStructOptions resolves options, defaulting the maker to the guard

@@ -4,14 +4,16 @@ import (
 	"fmt"
 
 	"abadetect/internal/guard"
+	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
 )
 
 // Instance is one constructed structure plus its fixed benchmark workload —
-// the uniform driver behind the application-throughput matrix (experiment
-// E11, abalab -app).  The registry's KindStructure entries construct
+// the uniform driver behind the application-throughput matrices (E11's
+// structure × guard sweep, E12's structure × regime × reclaimer sweep,
+// abalab -app / -reclaim).  The registry's KindStructure entries construct
 // Instances, so the harness enumerates structures the same way it
-// enumerates detectors and LL/SC objects.
+// enumerates detectors, LL/SC objects, and reclaimers.
 type Instance interface {
 	// Worker returns pid's workload step; the argument is the op index.
 	// Workers are single-goroutine, like all handles.
@@ -23,6 +25,32 @@ type Instance interface {
 	// FreelistMetrics reports the node pool's guard counters (zero without
 	// a guarded pool).
 	FreelistMetrics() guard.Metrics
+	// PoolStats reports the allocator's exhaustion and reclamation
+	// counters (zero scheme "none" for the event flag, which has no pool).
+	PoolStats() PoolStats
+}
+
+// InstanceOptions selects the allocator configuration of a benchmark
+// instance: a guarded free list, a reclaimer, or both.
+type InstanceOptions struct {
+	// GuardedPool routes the free list through a guard of the structure's
+	// regime (see WithGuardedPool).
+	GuardedPool bool
+	// Reclaim, when non-nil, routes node releases through a safe-memory-
+	// reclamation scheme (see WithReclaimer).
+	Reclaim reclaim.Maker
+}
+
+// structOpts renders the instance options as constructor options.
+func (io InstanceOptions) structOpts(mk guard.Maker) []StructOption {
+	opts := []StructOption{WithMaker(mk)}
+	if io.GuardedPool {
+		opts = append(opts, WithGuardedPool())
+	}
+	if io.Reclaim != nil {
+		opts = append(opts, WithReclaimer(io.Reclaim))
+	}
+	return opts
 }
 
 // maxSpin bounds the queue's retry loops in matrix runs: a raw-guarded
@@ -32,12 +60,8 @@ const maxSpin = 10_000
 
 // NewStackInstance builds a stack of the given capacity whose workload is a
 // push/pop pair per op.
-func NewStackInstance(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (Instance, error) {
-	opts := []StructOption{WithMaker(mk)}
-	if guardedPool {
-		opts = append(opts, WithGuardedPool())
-	}
-	s, err := NewStack(f, n, capacity, 0, 0, opts...)
+func NewStackInstance(f shmem.Factory, n, capacity int, mk guard.Maker, io InstanceOptions) (Instance, error) {
+	s, err := NewStack(f, n, capacity, 0, 0, io.structOpts(mk)...)
 	if err != nil {
 		return nil, err
 	}
@@ -64,15 +88,12 @@ func (in stackInstance) Audit() (bool, string) {
 
 func (in stackInstance) GuardMetrics() guard.Metrics    { return in.s.GuardMetrics() }
 func (in stackInstance) FreelistMetrics() guard.Metrics { return in.s.FreelistMetrics() }
+func (in stackInstance) PoolStats() PoolStats           { return in.s.PoolStats() }
 
 // NewQueueInstance builds a queue of the given capacity whose workload is
 // an enq/deq pair per op, with bounded retry loops (see QueueHandle.MaxSpin).
-func NewQueueInstance(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (Instance, error) {
-	opts := []StructOption{WithMaker(mk)}
-	if guardedPool {
-		opts = append(opts, WithGuardedPool())
-	}
-	q, err := NewQueue(f, n, capacity, 0, 0, opts...)
+func NewQueueInstance(f shmem.Factory, n, capacity int, mk guard.Maker, io InstanceOptions) (Instance, error) {
+	q, err := NewQueue(f, n, capacity, 0, 0, io.structOpts(mk)...)
 	if err != nil {
 		return nil, err
 	}
@@ -100,11 +121,12 @@ func (in queueInstance) Audit() (bool, string) {
 
 func (in queueInstance) GuardMetrics() guard.Metrics    { return in.q.GuardMetrics() }
 func (in queueInstance) FreelistMetrics() guard.Metrics { return in.q.FreelistMetrics() }
+func (in queueInstance) PoolStats() PoolStats           { return in.q.PoolStats() }
 
 // NewEventInstance builds an event flag whose workload makes pid 0 the
 // signaler (alternating Signal/Reset) and every other pid a poller.  The
-// event flag has no node pool, so guardedPool is ignored.
-func NewEventInstance(f shmem.Factory, n, _ int, mk guard.Maker, _ bool) (Instance, error) {
+// event flag has no node pool, so the allocator options are ignored.
+func NewEventInstance(f shmem.Factory, n, _ int, mk guard.Maker, _ InstanceOptions) (Instance, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("apps: event instance needs n >= 2 (a signaler and a poller), got %d", n)
 	}
@@ -142,3 +164,4 @@ func (in eventInstance) Audit() (bool, string) {
 
 func (in eventInstance) GuardMetrics() guard.Metrics    { return in.e.GuardMetrics() }
 func (in eventInstance) FreelistMetrics() guard.Metrics { return guard.Metrics{} }
+func (in eventInstance) PoolStats() PoolStats           { return PoolStats{Scheme: "none"} }

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -122,6 +123,9 @@ func runQueueMPMC(t *testing.T, prot Protection, tagBits uint, opts ...StructOpt
 					t.Error("consumer timed out")
 					return
 				}
+				// Yield so a spinning consumer cannot monopolize a core
+				// (on small GOMAXPROCS the producers would starve).
+				runtime.Gosched()
 			}
 		}(c, h)
 	}
@@ -140,6 +144,10 @@ func runQueueMPMC(t *testing.T, prot Protection, tagBits uint, opts ...StructOpt
 						t.Error("producer timed out")
 						return
 					}
+					// A full pool means another process must run (a dequeue,
+					// or a reclaimer scan) before this Enq can succeed —
+					// yield instead of burning the whole time slice.
+					runtime.Gosched()
 				}
 			}
 		}(p, h)
@@ -392,12 +400,12 @@ func TestStackFoilDifferential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			fooled, audit, err := StackABAScenario(shmem.NewNativeFactory(), tc.prot, tc.tagBits)
+			res, err := StackABAScenario(shmem.NewNativeFactory(), tc.prot, tc.tagBits)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if fooled != tc.wantFooled || audit.Corrupt() != tc.wantFooled {
-				t.Fatalf("fooled=%v corrupt=%v (%s), want both %v", fooled, audit.Corrupt(), audit, tc.wantFooled)
+			if res.Fooled != tc.wantFooled || res.Corrupt != tc.wantFooled {
+				t.Fatalf("fooled=%v corrupt=%v (%s), want both %v", res.Fooled, res.Corrupt, res.Detail, tc.wantFooled)
 			}
 		})
 	}
@@ -420,12 +428,12 @@ func TestQueueFoilDifferential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			fooled, audit, err := QueueABAScenario(shmem.NewNativeFactory(), tc.prot, tc.tagBits)
+			res, err := QueueABAScenario(shmem.NewNativeFactory(), tc.prot, tc.tagBits)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if fooled != tc.wantFooled || audit.Corrupt() != tc.wantFooled {
-				t.Fatalf("fooled=%v corrupt=%v (%s), want both %v", fooled, audit.Corrupt(), audit, tc.wantFooled)
+			if res.Fooled != tc.wantFooled || res.Corrupt != tc.wantFooled {
+				t.Fatalf("fooled=%v corrupt=%v (%s), want both %v", res.Fooled, res.Corrupt, res.Detail, tc.wantFooled)
 			}
 		})
 	}

@@ -3,59 +3,123 @@ package apps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"abadetect/internal/guard"
+	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
 )
 
 // pool is the node allocator behind every structure.  Nodes are 1-based
 // indices; alloc returns 0 when the pool is exhausted.
 //
-// Two implementations exist because the allocator plays two roles in the
-// paper's story.  The fifoPool models the *system* allocator: a FIFO queue
-// under a mutex, deliberately outside the shared-memory cost model, whose
-// FIFO reuse maximizes the realism of the ABA window (a freed node comes
-// back exactly when an adversary wants it to).  The guardedPool brings the
-// allocator *into* the model: a lock-free LIFO free list whose head is a
-// Guard, making the free list itself exactly as ABA-vulnerable — or
-// protected — as the structure above it.
+// Two base implementations exist because the allocator plays two roles in
+// the paper's story.  The fifoPool models the *system* allocator: a FIFO
+// ring under a mutex, deliberately outside the shared-memory cost model,
+// whose FIFO reuse maximizes the realism of the ABA window (a freed node
+// comes back exactly when an adversary wants it to).  The guardedPool
+// brings the allocator *into* the model: a lock-free LIFO free list whose
+// head is a Guard, making the free list itself exactly as ABA-vulnerable —
+// or protected — as the structure above it.
+//
+// Either base can additionally be wrapped by a reclaimedPool (WithReclaimer):
+// release then *retires* nodes through a reclaim.Reclaimer instead of
+// freeing them, and the structures' traversal loops publish protections
+// before dereferencing — the safe-memory-reclamation defense that stops the
+// ABA before any guard has to detect it.
 type pool interface {
 	// handle returns process pid's allocator endpoint.
 	handle(pid int) (poolHandle, error)
-	// snapshot copies the current free set for auditing (quiescence only).
+	// snapshot copies the current free set — deferred (limbo) nodes
+	// included — for auditing (quiescence only).
 	snapshot() []int
 	// metrics returns the free-list guard's audit counters (zero for the
 	// unguarded FIFO model).
 	metrics() guard.Metrics
+	// stats returns the allocator's own counters: exhaustion events and,
+	// when a reclaimer is attached, its reclamation metrics.
+	stats() PoolStats
 }
 
 // poolHandle is a per-process allocator endpoint.
 type poolHandle interface {
 	// alloc takes a free node, or 0 when exhausted.
 	alloc() int
-	// release returns a node to the pool.
+	// release returns a node to the pool — immediately, or through the
+	// reclaimer's deferred-free path when one is attached.
 	release(idx int)
+	// protect publishes that this process may still dereference idx
+	// (reclaim slot semantics); a no-op without a reclaimer.
+	protect(slot, idx int)
+	// clear withdraws every protection this process published.
+	clear()
+	// drain makes reclamation progress for this process's deferred nodes.
+	// Structures call it when an operation finds nothing to do (empty pop,
+	// empty dequeue): a process that stops retiring would otherwise hold
+	// its pending nodes in limbo forever while allocators starve — drains
+	// only ride its own alloc/retire path.  A no-op without a reclaimer,
+	// and O(1) when nothing is pending.
+	drain() int
+	// reclaiming reports whether releases defer through a reclaimer —
+	// structures skip the publish-and-revalidate fence (and the empty-path
+	// drains) entirely when it is false, so the non-SMR configurations pay
+	// nothing for the seam.
+	reclaiming() bool
+}
+
+// PoolStats are an allocator's observability counters, surfaced through the
+// public StructureAudit so a saturated benchmark is distinguishable from a
+// livelock and reclamation pressure is visible.
+type PoolStats struct {
+	// Exhaustions counts alloc calls that found no free node — after
+	// draining the reclaimer, when one is attached.
+	Exhaustions int64
+	// Scheme names the active reclamation scheme; "none" means immediate
+	// reuse (the default allocator behavior).
+	Scheme string
+	// Reclaim holds the reclaimer's counters (zero without one).
+	Reclaim reclaim.Metrics
 }
 
 // newPoolFor builds the pool selected by the structure options: nodes
-// 1..capacity, chain links of idxBits bits.
-func newPoolFor(f shmem.Factory, o structOptions, name string, capacity int, idxBits uint) (pool, error) {
+// 1..capacity, chain links of idxBits bits, optionally wrapped by the
+// options' reclaimer.
+func newPoolFor(f shmem.Factory, o structOptions, name string, n, capacity int, idxBits uint) (pool, error) {
+	var p pool
 	if o.guardedPool {
-		return newGuardedPool(f, o.maker, name, capacity, idxBits)
+		gp, err := newGuardedPool(f, o.maker, name, capacity, idxBits)
+		if err != nil {
+			return nil, err
+		}
+		p = gp
+	} else {
+		p = newFIFOPool(capacity)
 	}
-	return newFIFOPool(capacity), nil
+	if o.reclaim != nil {
+		rec, err := o.reclaim(f, name, n, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("apps: reclaimer: %w", err)
+		}
+		p = &reclaimedPool{inner: p, rec: rec}
+	}
+	return p, nil
 }
 
-// fifoPool is the mutex FIFO allocator model.
+// fifoPool is the mutex FIFO allocator model: a preallocated ring, so the
+// steady-state alloc/release path never touches the heap.
 type fifoPool struct {
-	mu   sync.Mutex
-	free []int
+	mu    sync.Mutex
+	ring  []int
+	head  int
+	count int
+
+	exhaustions atomic.Int64
 }
 
 func newFIFOPool(capacity int) *fifoPool {
-	p := &fifoPool{free: make([]int, 0, capacity)}
-	for i := 1; i <= capacity; i++ {
-		p.free = append(p.free, i)
+	p := &fifoPool{ring: make([]int, capacity), count: capacity}
+	for i := 0; i < capacity; i++ {
+		p.ring[i] = i + 1
 	}
 	return p
 }
@@ -64,15 +128,21 @@ func (p *fifoPool) handle(int) (poolHandle, error) { return p, nil }
 
 func (p *fifoPool) metrics() guard.Metrics { return guard.Metrics{} }
 
+func (p *fifoPool) stats() PoolStats {
+	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
+}
+
 // alloc takes the oldest free node, or 0 when exhausted.
 func (p *fifoPool) alloc() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) == 0 {
+	if p.count == 0 {
+		p.exhaustions.Add(1)
 		return 0
 	}
-	idx := p.free[0]
-	p.free = p.free[1:]
+	idx := p.ring[p.head]
+	p.head = (p.head + 1) % len(p.ring)
+	p.count--
 	return idx
 }
 
@@ -80,15 +150,36 @@ func (p *fifoPool) alloc() int {
 func (p *fifoPool) release(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.free = append(p.free, idx)
+	if p.count == len(p.ring) {
+		// Only an ABA double-release (the corruption arms do this on
+		// purpose) can overfill the allocator model.  Grow instead of
+		// wrapping so the audit still sees the duplicate entry rather than
+		// a silently corrupted ring; the steady-state path never gets here.
+		grown := make([]int, 2*len(p.ring))
+		for i := 0; i < p.count; i++ {
+			grown[i] = p.ring[(p.head+i)%len(p.ring)]
+		}
+		p.ring, p.head = grown, 0
+	}
+	p.ring[(p.head+p.count)%len(p.ring)] = idx
+	p.count++
 }
 
-// snapshot copies the free queue for auditing.
+// snapshot copies the free queue, oldest first, for auditing.
 func (p *fifoPool) snapshot() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]int(nil), p.free...)
+	out := make([]int, 0, p.count)
+	for i := 0; i < p.count; i++ {
+		out = append(out, p.ring[(p.head+i)%len(p.ring)])
+	}
+	return out
 }
+
+func (p *fifoPool) protect(int, int) {}
+func (p *fifoPool) clear()           {}
+func (p *fifoPool) drain() int       { return 0 }
+func (p *fifoPool) reclaiming() bool { return false }
 
 // guardedPool is a Treiber-style free list: head is a Guard, chain links are
 // registers (a free node is owned by the allocator, so its link needs no
@@ -100,6 +191,8 @@ type guardedPool struct {
 	head     guard.Guard
 	next     []shmem.Register // next[i] links free node i; 0 ends the list
 	capacity int
+
+	exhaustions atomic.Int64
 }
 
 func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, idxBits uint) (*guardedPool, error) {
@@ -137,6 +230,10 @@ func (p *guardedPool) handle(pid int) (poolHandle, error) {
 
 func (p *guardedPool) metrics() guard.Metrics { return p.head.Metrics() }
 
+func (p *guardedPool) stats() PoolStats {
+	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
+}
+
 // snapshot walks the free chain as the observer.  A cycle (possible only
 // after a raw-guard ABA) is truncated at capacity hops; the structure audit
 // surfaces the damage as doubled or lost nodes.
@@ -164,6 +261,7 @@ func (h *guardedPoolHandle) alloc() int {
 	for {
 		top, _ := h.h.Load()
 		if top == 0 {
+			h.p.exhaustions.Add(1)
 			return 0
 		}
 		next := h.p.next[top].Read(h.pid)
@@ -183,3 +281,90 @@ func (h *guardedPoolHandle) release(idx int) {
 		}
 	}
 }
+
+func (h *guardedPoolHandle) protect(int, int) {}
+func (h *guardedPoolHandle) clear()           {}
+func (h *guardedPoolHandle) drain() int       { return 0 }
+func (h *guardedPoolHandle) reclaiming() bool { return false }
+
+// reclaimedPool routes release through a reclaim.Reclaimer: nodes retire
+// into limbo and re-enter the inner pool only once no process protection
+// can cover them.  alloc drains the reclaimer before reporting exhaustion,
+// so a full limbo triggers reclamation instead of failure.
+type reclaimedPool struct {
+	inner pool
+	rec   reclaim.Reclaimer
+
+	exhaustions atomic.Int64
+
+	mu      sync.Mutex
+	handles map[int]*reclaimedHandle
+}
+
+// handle is idempotent per pid: hazard slots and epoch announcements are
+// per-process state, so every structure handle of one process (the queue's
+// construction-time boot handle included) must share one reclaim endpoint.
+func (p *reclaimedPool) handle(pid int) (poolHandle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.handles[pid]; ok {
+		return h, nil
+	}
+	ih, err := p.inner.handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	rh, err := p.rec.Handle(pid, ih.release)
+	if err != nil {
+		return nil, err
+	}
+	h := &reclaimedHandle{p: p, inner: ih, rh: rh}
+	if p.handles == nil {
+		p.handles = make(map[int]*reclaimedHandle)
+	}
+	p.handles[pid] = h
+	return h, nil
+}
+
+func (p *reclaimedPool) metrics() guard.Metrics { return p.inner.metrics() }
+
+func (p *reclaimedPool) stats() PoolStats {
+	return PoolStats{
+		Exhaustions: p.exhaustions.Load(),
+		Scheme:      p.rec.Scheme(),
+		Reclaim:     p.rec.Metrics(),
+	}
+}
+
+// snapshot counts limbo nodes as allocator-owned: retired-not-yet-freed is
+// a reclamation state, not a leak, and audits must see it that way.
+func (p *reclaimedPool) snapshot() []int {
+	return append(p.inner.snapshot(), p.rec.Limbo()...)
+}
+
+type reclaimedHandle struct {
+	p     *reclaimedPool
+	inner poolHandle
+	rh    reclaim.Handle
+}
+
+// alloc takes a free node; on exhaustion it drains the reclaimer once and
+// retries, so deferred nodes flow back before failure is reported.
+func (h *reclaimedHandle) alloc() int {
+	idx := h.inner.alloc()
+	if idx == 0 {
+		if h.rh.Drain() > 0 {
+			idx = h.inner.alloc()
+		}
+		if idx == 0 {
+			h.p.exhaustions.Add(1)
+		}
+	}
+	return idx
+}
+
+func (h *reclaimedHandle) release(idx int)       { h.rh.Retire(idx) }
+func (h *reclaimedHandle) protect(slot, idx int) { h.rh.Protect(slot, idx) }
+func (h *reclaimedHandle) clear()                { h.rh.Clear() }
+func (h *reclaimedHandle) drain() int            { return h.rh.Drain() }
+func (h *reclaimedHandle) reclaiming() bool      { return true }

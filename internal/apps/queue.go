@@ -63,7 +63,7 @@ func NewQueue(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 			return nil, fmt.Errorf("apps: queue next[%d] guard: %w", i, err)
 		}
 	}
-	if q.pool, err = newPoolFor(f, o, "queue", total, idxBits); err != nil {
+	if q.pool, err = newPoolFor(f, o, "queue", n, total, idxBits); err != nil {
 		return nil, err
 	}
 	boot, err := q.pool.handle(0)
@@ -106,6 +106,9 @@ func (q *Queue) GuardMetrics() guard.Metrics {
 // queue was built WithGuardedPool).
 func (q *Queue) FreelistMetrics() guard.Metrics { return q.pool.metrics() }
 
+// PoolStats returns the allocator's exhaustion and reclamation counters.
+func (q *Queue) PoolStats() PoolStats { return q.pool.stats() }
+
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 	if pid < 0 || pid >= q.n {
@@ -113,6 +116,10 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 	}
 	h := &QueueHandle{q: q, pid: pid, next: make([]guard.Handle, len(q.next))}
 	var err error
+	if h.pool, err = q.pool.handle(pid); err != nil {
+		return nil, err
+	}
+	h.smr = h.pool.reclaiming()
 	if h.head, err = q.head.Handle(pid); err != nil {
 		return nil, err
 	}
@@ -123,9 +130,6 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 		if h.next[i], err = q.next[i].Handle(pid); err != nil {
 			return nil, err
 		}
-	}
-	if h.pool, err = q.pool.handle(pid); err != nil {
-		return nil, err
 	}
 	return h, nil
 }
@@ -138,6 +142,7 @@ type QueueHandle struct {
 	tail guard.Handle
 	next []guard.Handle
 	pool poolHandle
+	smr  bool // pool defers releases: run the protect/revalidate fence
 
 	// MaxSpin bounds the retry/helping loops of Enq and Deq; 0 means
 	// unbounded (the lock-free default).  A raw-guarded queue that has been
@@ -170,14 +175,23 @@ func (h *QueueHandle) Enq(v Word) bool {
 	h.next[idx].Store(0)
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
+			if h.smr {
+				h.pool.clear()
+			}
 			h.pool.release(idx)
 			return false
 		}
 		t, _ := h.tail.Load()
-		nt, _ := h.next[t].Load()
+		// Publish the protection on t, then validate: once the tail still
+		// reads t with the protection visible, t cannot be recycled until
+		// clear, so the next[t] dereference below is covered.
+		if h.smr {
+			h.pool.protect(0, int(t))
+		}
 		if !h.tail.Validate() {
 			continue // t is no longer the tail: the snapshot is stale
 		}
+		nt, _ := h.next[t].Load()
 		if nt == 0 {
 			if h.next[t].Commit(Word(idx)) {
 				if h.testEnqAfterLink != nil {
@@ -189,6 +203,9 @@ func (h *QueueHandle) Enq(v Word) bool {
 				// swing fail (fine) instead of dragging the tail backwards
 				// onto a node that may since have been dequeued and freed.
 				h.tail.Commit(Word(idx))
+				if h.smr {
+					h.pool.clear()
+				}
 				return true
 			}
 			continue
@@ -203,6 +220,9 @@ func (h *QueueHandle) Enq(v Word) bool {
 func (h *QueueHandle) Deq() (Word, bool) {
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
+			if h.smr {
+				h.pool.clear()
+			}
 			return 0, false
 		}
 		hd, nh, empty, ok := h.deqSnapshot()
@@ -226,6 +246,9 @@ func (h *QueueHandle) Deq() (Word, bool) {
 func (h *QueueHandle) DeqBegin() (head, next int, empty bool) {
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
+			if h.smr {
+				h.pool.clear()
+			}
 			h.pendingHead, h.pendingNext = 0, 0
 			return 0, 0, true
 		}
@@ -259,15 +282,43 @@ func (h *QueueHandle) DeqCommit() (Word, bool) {
 // returns ok=false when the snapshot was stale and must be retried, and
 // empty=true on a consistent empty queue; as a side effect it helps a
 // lagging tail forward.
+//
+// The reclamation protocol fences both dereferences: the head node hd is
+// protected before its next pointer is read, and the successor nh is
+// protected before the value read in deqCommit — each publish followed by a
+// head re-validation that proves the protected node was still reachable
+// with the protection visible.  The protections persist through a DeqBegin
+// stall and are withdrawn by the commit.
 func (h *QueueHandle) deqSnapshot() (hd, nh int, empty, ok bool) {
 	hdW, _ := h.head.Load()
+	if h.smr {
+		h.pool.protect(0, int(hdW))
+		if !h.head.Validate() {
+			return 0, 0, false, false // hd moved before the protection was visible
+		}
+	}
 	tW, _ := h.tail.Load()
 	nhW, _ := h.next[hdW].Load()
 	if !h.head.Validate() {
 		return 0, 0, false, false // hd is no longer the head: stale snapshot
 	}
 	if nhW == 0 {
+		if h.smr {
+			h.pool.clear()
+			// An empty dequeue is this process's idle moment: drain its
+			// own deferred nodes so an idle consumer cannot strand every
+			// node in limbo while the producers starve (the clear above
+			// must come first — an epoch drain cannot advance past its
+			// own pin).
+			h.pool.drain()
+		}
 		return 0, 0, true, true // consistent snapshot of an empty queue
+	}
+	if h.smr {
+		h.pool.protect(1, int(nhW))
+		if !h.head.Validate() {
+			return 0, 0, false, false
+		}
 	}
 	if hdW == tW {
 		// Tail lagging behind a half-finished enqueue: help.
@@ -283,9 +334,16 @@ func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
 	h.pendingHead, h.pendingNext = 0, 0
 	v := h.q.value[nh].Read(h.pid)
 	if h.head.Commit(Word(nh)) {
-		// The old dummy retires; nh is the new dummy.
+		// The old dummy is exclusively ours now; clearing before the
+		// release keeps our own protection from deferring its retirement.
+		if h.smr {
+			h.pool.clear()
+		}
 		h.pool.release(hd)
 		return v, true
+	}
+	if h.smr {
+		h.pool.clear()
 	}
 	return 0, false
 }

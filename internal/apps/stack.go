@@ -70,7 +70,7 @@ func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 		return nil, fmt.Errorf("apps: stack head needs a conditional guard; %s guard is detection-only", head.Regime())
 	}
 	s.head = head
-	if s.pool, err = newPoolFor(f, o, "stack", capacity, idxBits); err != nil {
+	if s.pool, err = newPoolFor(f, o, "stack", n, capacity, idxBits); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -92,6 +92,9 @@ func (s *Stack) GuardMetrics() guard.Metrics { return s.head.Metrics() }
 // stack was built WithGuardedPool).
 func (s *Stack) FreelistMetrics() guard.Metrics { return s.pool.metrics() }
 
+// PoolStats returns the allocator's exhaustion and reclamation counters.
+func (s *Stack) PoolStats() PoolStats { return s.pool.stats() }
+
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (s *Stack) Handle(pid int) (*StackHandle, error) {
 	if pid < 0 || pid >= s.n {
@@ -105,7 +108,7 @@ func (s *Stack) Handle(pid int) (*StackHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StackHandle{s: s, pid: pid, head: head, pool: ph}, nil
+	return &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.reclaiming()}, nil
 }
 
 // StackHandle is a per-process stack endpoint.
@@ -114,6 +117,7 @@ type StackHandle struct {
 	pid  int
 	head guard.Handle
 	pool poolHandle
+	smr  bool // pool defers releases: run the protect/revalidate fence
 
 	pending int // node loaded by PopBegin
 	next    int // its successor, as read by PopBegin
@@ -152,16 +156,39 @@ func (h *StackHandle) Pop() (Word, bool) {
 // read its successor — and stops right before the commit, exposing the ABA
 // window for the deterministic corruption experiments.  It returns
 // empty=true if the stack was empty.
+//
+// Under a reclaimer the window is fenced: the loaded head is published as a
+// protection *before* the successor dereference, and the head is
+// re-validated after the publish.  Once the validation passes, the node is
+// currently reachable with the protection visible, so it cannot re-enter
+// the allocator — and therefore cannot be recycled back under the head —
+// until the protection clears.  The protection stays up through the stall
+// and is withdrawn by the commit (either outcome).
 func (h *StackHandle) PopBegin() (top, next int, empty bool) {
-	topW, _ := h.head.Load()
-	top = int(topW)
-	if top == 0 {
-		h.pending, h.next = 0, 0
-		return 0, 0, true
+	for {
+		topW, _ := h.head.Load()
+		top = int(topW)
+		if top == 0 {
+			if h.smr {
+				h.pool.clear()
+				// An empty pop is this process's idle moment: drain its
+				// own deferred nodes so a popper that stops retiring
+				// cannot strand them in limbo while pushers starve.
+				h.pool.drain()
+			}
+			h.pending, h.next = 0, 0
+			return 0, 0, true
+		}
+		if h.smr {
+			h.pool.protect(0, top)
+			if !h.head.Validate() {
+				continue // head moved before the protection was visible
+			}
+		}
+		next = int(h.s.next[top].Read(h.pid))
+		h.pending, h.next = top, next
+		return top, next, false
 	}
-	next = int(h.s.next[top].Read(h.pid))
-	h.pending, h.next = top, next
-	return top, next, false
 }
 
 // PopCommit performs the second half of the pop begun by PopBegin: the
@@ -184,9 +211,17 @@ func (h *StackHandle) popCommit(top, next int) (Word, bool) {
 	// snapshot a PopBegin armed, so a later bare PopCommit cannot replay it.
 	h.pending, h.next = 0, 0
 	if !h.head.Commit(Word(next)) {
+		if h.smr {
+			h.pool.clear()
+		}
 		return 0, false
 	}
 	v := h.s.value[top].Read(h.pid)
+	// The popped node is exclusively ours now; clearing before the release
+	// keeps our own protection from deferring its retirement.
+	if h.smr {
+		h.pool.clear()
+	}
 	h.pool.release(top)
 	return v, true
 }

@@ -38,18 +38,40 @@ func E6Stack() (*Table, error) {
 		{"detector (Fig 5 over Fig 3)", apps.Detector, 0, false},
 	}
 	for _, l := range ladder {
-		fooled, audit, err := apps.StackABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
+		res, err := apps.StackABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
 		if err != nil {
 			return nil, err
 		}
 		outcome := "victim's commit rejected; stack intact"
-		if fooled {
-			outcome = fmt.Sprintf("victim's stale commit ACCEPTED; audit: %s", audit)
+		if res.Fooled {
+			outcome = fmt.Sprintf("victim's stale commit ACCEPTED; audit: %s", res.Detail)
 		}
-		if fooled != l.fooled {
-			return nil, fmt.Errorf("bench: ladder %q: fooled=%v, expected %v", l.name, fooled, l.fooled)
+		if res.Fooled != l.fooled {
+			return nil, fmt.Errorf("bench: ladder %q: fooled=%v, expected %v", l.name, res.Fooled, l.fooled)
 		}
 		t.AddRow("stack: deterministic window (4 swings)", l.name, outcome)
+	}
+
+	// The reclamation rung: the same raw-guarded stack survives the same
+	// script once a reclaimer blocks the recycle leg — the victim's
+	// protection keeps its node out of the allocator, so the head index
+	// never returns and the stale commit fails with zero guard-level
+	// near-misses (there was no ABA left to detect).
+	for _, scheme := range []string{"hp", "epoch"} {
+		mk := registry.MustLookup(scheme).NewReclaimer
+		res, err := apps.StackABAScenario(shmem.NewNativeFactory(), apps.Raw, 0, apps.WithReclaimer(mk))
+		if err != nil {
+			return nil, err
+		}
+		if res.Fooled || res.Corrupt {
+			return nil, fmt.Errorf("bench: raw+%s: fooled=%v corrupt=%v (%s), expected prevention", scheme, res.Fooled, res.Corrupt, res.Detail)
+		}
+		outcome := fmt.Sprintf("prevented by reclamation (near-misses=%d, deferred=%d", res.Guard.NearMisses, res.Pool.Reclaim.Deferred())
+		if res.Starved {
+			outcome += ", adversary's realloc starved"
+		}
+		outcome += ")"
+		t.AddRow("stack: deterministic window (4 swings)", "raw CAS + "+scheme+" reclamation", outcome)
 	}
 
 	// The queue twin: 3 head swings restore the head index through the
@@ -67,18 +89,38 @@ func E6Stack() (*Table, error) {
 		{"detector (Fig 5 over Fig 3)", apps.Detector, 0, false},
 	}
 	for _, l := range queueLadder {
-		fooled, audit, err := apps.QueueABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
+		res, err := apps.QueueABAScenario(shmem.NewNativeFactory(), l.prot, l.tagBits)
 		if err != nil {
 			return nil, err
 		}
 		outcome := "victim's commit rejected; queue intact"
-		if fooled {
-			outcome = fmt.Sprintf("stale value dequeued TWICE; audit: %s", audit)
+		if res.Fooled {
+			outcome = fmt.Sprintf("stale value dequeued TWICE; audit: %s", res.Detail)
 		}
-		if fooled != l.fooled {
-			return nil, fmt.Errorf("bench: queue ladder %q: fooled=%v, expected %v", l.name, fooled, l.fooled)
+		if res.Fooled != l.fooled {
+			return nil, fmt.Errorf("bench: queue ladder %q: fooled=%v, expected %v", l.name, res.Fooled, l.fooled)
 		}
 		t.AddRow("queue: deterministic window (3 swings)", l.name, outcome)
+	}
+
+	// The queue's reclamation rung: the victim's protections cover the
+	// snapshotted dummy and its successor, so the adversary's re-enqueue
+	// starves instead of recycling them; the head index never returns.
+	for _, scheme := range []string{"hp", "epoch"} {
+		mk := registry.MustLookup(scheme).NewReclaimer
+		res, err := apps.QueueABAScenario(shmem.NewNativeFactory(), apps.Raw, 0, apps.WithReclaimer(mk))
+		if err != nil {
+			return nil, err
+		}
+		if res.Fooled || res.Corrupt {
+			return nil, fmt.Errorf("bench: queue raw+%s: fooled=%v corrupt=%v (%s), expected prevention", scheme, res.Fooled, res.Corrupt, res.Detail)
+		}
+		outcome := fmt.Sprintf("prevented by reclamation (near-misses=%d, deferred=%d", res.Guard.NearMisses, res.Pool.Reclaim.Deferred())
+		if res.Starved {
+			outcome += ", adversary's realloc starved"
+		}
+		outcome += ")"
+		t.AddRow("queue: deterministic window (3 swings)", "raw CAS + "+scheme+" reclamation", outcome)
 	}
 
 	// Register-level wraparound: after exactly 2^k same-value writes, the

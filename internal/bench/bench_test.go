@@ -114,8 +114,8 @@ func TestE1AndE8Verdicts(t *testing.T) {
 
 func TestExperimentIndex(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("index has %d experiments, want 11", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("index has %d experiments, want 12", len(exps))
 	}
 	for i, e := range exps {
 		if want := "E" + string(rune('1'+i)); i < 9 && e.ID != want {

@@ -57,14 +57,16 @@ var throughputExperiments = []struct {
 }{
 	{"E10", E10Throughput},
 	{"E11", func() (*Table, error) { return E11Apps("all") }},
+	{"E12", func() (*Table, error) { return E12Reclaim("all", "all") }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot
-// contains — E10 (base objects) and E11 (the application matrix) — and
-// diffs each against its snapshot table, matched on implementation +
-// workload.  It returns one rendered comparison table per experiment plus
-// the raw results for programmatic thresholds.  Snapshots that predate E11
-// simply compare E10 alone, so old BENCH_*.json files stay usable.
+// contains — E10 (base objects), E11 (the application matrix), and E12
+// (the reclamation matrix) — and diffs each against its snapshot table,
+// matched on implementation + workload.  It returns one rendered comparison
+// table per experiment plus the raw results for programmatic thresholds.
+// Snapshots that predate E11/E12 simply compare what they have, so old
+// BENCH_*.json files stay usable.
 func CompareThroughput(snapshot []*Table) ([]*Table, []CompareResult, error) {
 	var tables []*Table
 	var results []CompareResult

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"abadetect/internal/apps"
 	"abadetect/internal/guard"
 	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
@@ -69,8 +70,8 @@ func appRun(im registry.Impl, spec registry.GuardSpec, workers, perWorker, capac
 	}
 	// Structures that commit also route their free list through the guard
 	// regime; the event flag has no pool.
-	guardedPool := spec.Conditional()
-	inst, err := im.NewStructure(f, workers, capacity, mk, guardedPool)
+	io := apps.InstanceOptions{GuardedPool: spec.Conditional()}
+	inst, err := im.NewStructure(f, workers, capacity, mk, io)
 	if err != nil {
 		return 0, "", err
 	}
@@ -116,7 +117,7 @@ func AppSequentialProbe(im registry.Impl, f shmem.Factory, n int, pairs int) (st
 	if err != nil {
 		return "", 0, err
 	}
-	inst, err := im.NewStructure(f, n, 16, mk, false)
+	inst, err := im.NewStructure(f, n, 16, mk, apps.InstanceOptions{})
 	if err != nil {
 		return "", 0, err
 	}

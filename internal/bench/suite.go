@@ -28,6 +28,8 @@ func Experiments() []Experiment {
 		{"E10", "registry throughput: every implementation + sharded array", E10Throughput},
 		{"E11", "application throughput: structure × guard matrix (§1)",
 			func() (*Table, error) { return E11Apps("all") }},
+		{"E12", "reclamation matrix: structure × regime × reclaimer (SMR as the ABA defense)",
+			func() (*Table, error) { return E12Reclaim("all", "all") }},
 	}
 }
 

@@ -30,8 +30,8 @@ func E10Throughput() (*Table, error) {
 
 	const pairs = 200_000
 	for _, im := range registry.All() {
-		if im.Kind == registry.KindStructure {
-			continue // the application layer has its own matrix (E11)
+		if im.Kind == registry.KindStructure || im.Kind == registry.KindReclaimer {
+			continue // structures have their own matrix (E11); reclaimers ride E12
 		}
 		workload, elapsed, err := SequentialProbe(im, shmem.NewNativeFactory(), n, valueBits, pairs)
 		if err != nil {
@@ -111,6 +111,26 @@ func SequentialProbe(im registry.Impl, f shmem.Factory, n int, valueBits uint, p
 		return "LL+SC pair", time.Since(start), nil
 	case registry.KindStructure:
 		return AppSequentialProbe(im, f, n, pairs)
+	case registry.KindReclaimer:
+		const capacity = 64
+		rec, err := im.NewReclaimer(f, im.ID, n, capacity)
+		if err != nil {
+			return "", 0, err
+		}
+		h, err := rec.Handle(0, func(int) {})
+		if err != nil {
+			return "", 0, err
+		}
+		start := time.Now()
+		idx := 1
+		for i := 0; i < pairs; i++ {
+			h.Protect(0, idx)
+			h.Clear()
+			h.Retire(idx)
+			idx = idx%capacity + 1
+		}
+		h.Drain()
+		return "protect+clear+retire cycle", time.Since(start), nil
 	}
 	return "", 0, fmt.Errorf("unknown kind %q", im.Kind)
 }

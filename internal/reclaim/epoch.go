@@ -1,0 +1,218 @@
+package reclaim
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// epochReclaimer is epoch-based reclamation [Fraser 2004]: a global epoch
+// counter plus one announcement register per process.  A process pins the
+// current epoch for the duration of its operation; a node retired while the
+// global epoch is g can be freed once the global epoch reaches g+2, because
+// every critical section that could hold a reference announced an epoch
+// ≤ g and the two advances in between each required every *active* process
+// to have announced the epoch being left.
+//
+// Space is n+1 shared objects (n announcements + the epoch counter) plus
+// three deferred-free buckets per process — asymptotically the same m(n)
+// as the paper's Figure 4 detector, amusingly.  Time is O(1) per
+// Protect/Clear/Retire with an O(n) announcement sweep amortized over
+// `threshold` retires.  The catch is the scheme's famous failure mode: the
+// epoch counter is unbounded, and one stalled process pinned at epoch g
+// blocks the second advance forever — every retired node in the system
+// stays in limbo until the straggler moves.  hp pays more space for
+// immunity to exactly that.
+type epochReclaimer struct {
+	n         int
+	capacity  int
+	threshold int
+	epoch     shmem.WritableCAS // global epoch counter (unbounded)
+	ann       []shmem.Register  // ann[pid] = epoch<<1 | active
+	m         metrics
+	limboT    limboTracker
+}
+
+// NewEpoch builds the epoch-based reclaimer over f: one global epoch CAS,
+// n announcement registers, three deferred buckets per process.
+func NewEpoch(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
+	if err := checkArgs(n, capacity); err != nil {
+		return nil, err
+	}
+	r := &epochReclaimer{
+		n:        n,
+		capacity: capacity,
+		epoch:    f.NewCAS(name+".epoch", 0),
+		ann:      make([]shmem.Register, n),
+	}
+	// Sweep the announcements once per ~n retires so the advance cost
+	// amortizes to O(1); clamp to capacity/n like hp so the n pending
+	// lists can never swallow the whole pool between drains.
+	r.threshold = 2 * n
+	if limit := capacity / n; r.threshold > limit {
+		r.threshold = limit
+	}
+	if r.threshold < 1 {
+		r.threshold = 1
+	}
+	for i := range r.ann {
+		r.ann[i] = f.NewRegister(fmt.Sprintf("%s.ann[%d]", name, i), 0)
+	}
+	return r, nil
+}
+
+func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
+	if err := checkHandle(pid, r.n, free); err != nil {
+		return nil, err
+	}
+	h := &epochHandle{r: r, pid: pid, free: free}
+	for b := range h.buckets {
+		h.buckets[b].nodes = make([]int, 0, r.capacity)
+	}
+	r.limboT.register(func() []int {
+		var out []int
+		for b := range h.buckets {
+			out = append(out, h.buckets[b].nodes...)
+		}
+		return out
+	})
+	return h, nil
+}
+
+func (r *epochReclaimer) Scheme() string   { return "epoch" }
+func (r *epochReclaimer) NumProcs() int    { return r.n }
+func (r *epochReclaimer) Limbo() []int     { return r.limboT.limbo() }
+func (r *epochReclaimer) Metrics() Metrics { return r.m.snapshot() }
+
+// canAdvance reports whether every active process has announced epoch e —
+// the precondition for advancing the global epoch to e+1.
+func (r *epochReclaimer) canAdvance(pid int, e Word) bool {
+	for i := range r.ann {
+		a := r.ann[i].Read(pid)
+		if a&1 == 1 && a>>1 != e {
+			return false
+		}
+	}
+	return true
+}
+
+// bucket is one deferred-free list, stamped with the epoch its nodes were
+// retired in.  Three buckets suffice: by the time the stamp's epoch slot
+// (mod 3) repeats, the previous occupants are two epochs old and freeable.
+type bucket struct {
+	epoch Word
+	nodes []int
+}
+
+type epochHandle struct {
+	r       *epochReclaimer
+	pid     int
+	free    Free
+	pinned  bool
+	at      Word // announced epoch while pinned
+	pending int
+	buckets [3]bucket
+}
+
+// Protect pins the current epoch on the first protection of an operation;
+// the published index is irrelevant — epochs protect *windows*, not nodes,
+// which is exactly why one stalled window blocks everything.
+func (h *epochHandle) Protect(int, int) {
+	if h.pinned {
+		return
+	}
+	for {
+		e := h.r.epoch.Read(h.pid)
+		h.r.ann[h.pid].Write(h.pid, e<<1|1)
+		// Re-read: if the epoch moved while we announced, our announcement
+		// may name an epoch an advancer already left — re-announce so the
+		// pin is never older than the epoch we proceed under.
+		if h.r.epoch.Read(h.pid) == e {
+			h.at, h.pinned = e, true
+			return
+		}
+	}
+}
+
+// Clear unpins: the announcement goes inactive, releasing the advance.
+func (h *epochHandle) Clear() {
+	if !h.pinned {
+		return
+	}
+	h.r.ann[h.pid].Write(h.pid, h.at<<1)
+	h.pinned = false
+}
+
+// Retire stamps idx with the current global epoch.  A bucket whose slot
+// comes around again holds nodes three epochs old — freeable, so they are
+// flushed before reuse.
+func (h *epochHandle) Retire(idx int) {
+	e := h.r.epoch.Read(h.pid)
+	b := &h.buckets[e%3]
+	if b.epoch != e && len(b.nodes) > 0 {
+		h.flush(b)
+	}
+	b.epoch = e
+	b.nodes = append(b.nodes, idx)
+	h.pending++
+	h.r.m.retired.Add(1)
+	if h.pending >= h.r.threshold {
+		h.drain()
+	}
+}
+
+// Drain tries to advance the global epoch and frees this handle's expired
+// buckets.
+func (h *epochHandle) Drain() int { return h.drain() }
+
+func (h *epochHandle) drain() int {
+	if h.pending == 0 {
+		return 0 // nothing deferred: no sweep, no advance attempt
+	}
+	h.r.m.scans.Add(1)
+	freed := 0
+	// Two advance attempts: a node retired at the current epoch needs the
+	// global counter to move twice before its bucket expires.  A pinned
+	// process (this handle included, if mid-operation) blocks the attempt
+	// that would leave its announced epoch.
+	for attempt := 0; attempt < 2 && h.pending > 0; attempt++ {
+		e := h.r.epoch.Read(h.pid)
+		freed += h.freeExpired(e)
+		if h.pending == 0 {
+			break
+		}
+		if !h.r.canAdvance(h.pid, e) {
+			break
+		}
+		h.r.epoch.CompareAndSwap(h.pid, e, e+1)
+	}
+	freed += h.freeExpired(h.r.epoch.Read(h.pid))
+	if freed == 0 && h.pending > 0 {
+		h.r.m.stalls.Add(1)
+	}
+	return freed
+}
+
+// freeExpired frees every bucket retired at least two epochs before e.
+func (h *epochHandle) freeExpired(e Word) int {
+	freed := 0
+	for b := range h.buckets {
+		bkt := &h.buckets[b]
+		if len(bkt.nodes) > 0 && bkt.epoch+2 <= e {
+			freed += h.flush(bkt)
+		}
+	}
+	return freed
+}
+
+// flush frees a whole bucket in retire order.
+func (h *epochHandle) flush(b *bucket) int {
+	n := len(b.nodes)
+	for _, idx := range b.nodes {
+		h.free(idx)
+	}
+	b.nodes = b.nodes[:0]
+	h.pending -= n
+	h.r.m.freed.Add(int64(n))
+	return n
+}

@@ -1,0 +1,163 @@
+package reclaim
+
+import (
+	"fmt"
+
+	"abadetect/internal/shmem"
+)
+
+// hpReclaimer is the hazard-pointer scheme [Michael 2004, the detectable-
+// objects line's practical ancestor]: every process owns Slots single-writer
+// registers; Protect publishes a node index there, and a retired node is
+// freed only once a scan of all n·Slots slots finds it unprotected.
+//
+// Space is n·Slots registers — the O(n·H) the issue's m(n) claim names —
+// plus at most capacity deferred indices per process.  Time is O(1) for
+// Protect/Clear/Retire, with an O(n·Slots) scan amortized over `threshold`
+// retires, so the expected per-op cost is O(1).  Robustness is hp's selling
+// point over epochs: a stalled process defers at most the Slots nodes it
+// protects; everything else keeps draining.
+type hpReclaimer struct {
+	n         int
+	capacity  int
+	threshold int
+	hazards   []shmem.Register // hazards[pid*Slots+slot]; 0 = unprotected
+	m         metrics
+	limboT    limboTracker
+}
+
+// NewHazard builds the hazard-pointer reclaimer: n·Slots hazard registers
+// over f, scan-and-free once a process has threshold retired nodes pending.
+func NewHazard(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
+	if err := checkArgs(n, capacity); err != nil {
+		return nil, err
+	}
+	r := &hpReclaimer{
+		n:        n,
+		capacity: capacity,
+		hazards:  make([]shmem.Register, n*Slots),
+	}
+	// The classic threshold is a multiple of the slot count, so each scan
+	// amortizes to O(1) per retire.  It is additionally clamped to
+	// capacity/n: with n per-process pending lists each below its
+	// threshold, the lists together must not be able to swallow the whole
+	// pool, or a workload whose retiring processes never reach the
+	// threshold (and whose allocating processes have nothing of their own
+	// to drain) would starve the allocator for good.
+	r.threshold = 2 * n * Slots
+	if limit := capacity / n; r.threshold > limit {
+		r.threshold = limit
+	}
+	if r.threshold < 1 {
+		r.threshold = 1
+	}
+	for i := range r.hazards {
+		r.hazards[i] = f.NewRegister(fmt.Sprintf("%s.hp[%d]", name, i), 0)
+	}
+	return r, nil
+}
+
+func (r *hpReclaimer) Handle(pid int, free Free) (Handle, error) {
+	if err := checkHandle(pid, r.n, free); err != nil {
+		return nil, err
+	}
+	h := &hpHandle{
+		r:       r,
+		pid:     pid,
+		free:    free,
+		retired: make([]int, 0, r.capacity),
+		snap:    make([]Word, 0, r.n*Slots),
+	}
+	r.limboT.register(func() []int { return h.retired })
+	return h, nil
+}
+
+func (r *hpReclaimer) Scheme() string   { return "hp" }
+func (r *hpReclaimer) NumProcs() int    { return r.n }
+func (r *hpReclaimer) Limbo() []int     { return r.limboT.limbo() }
+func (r *hpReclaimer) Metrics() Metrics { return r.m.snapshot() }
+
+type hpHandle struct {
+	r       *hpReclaimer
+	pid     int
+	free    Free
+	retired []int  // deferred nodes, in retire (FIFO) order
+	snap    []Word // scan scratch; reused so scans never allocate
+}
+
+// Protect publishes idx in this process's hazard slot.  The write must be
+// visible before the caller re-validates the source reference — that
+// ordering (publish, then re-check reachability) is what guarantees a
+// validated node stays allocated until Clear.
+func (h *hpHandle) Protect(slot, idx int) {
+	h.r.hazards[h.pid*Slots+slot].Write(h.pid, Word(idx))
+}
+
+// Clear withdraws this process's protections.
+func (h *hpHandle) Clear() {
+	base := h.pid * Slots
+	for s := 0; s < Slots; s++ {
+		h.r.hazards[base+s].Write(h.pid, 0)
+	}
+}
+
+// Retire defers idx and scans once the pending list reaches the threshold.
+func (h *hpHandle) Retire(idx int) {
+	h.retired = append(h.retired, idx)
+	h.r.m.retired.Add(1)
+	if len(h.retired) >= h.r.threshold {
+		h.scan()
+	}
+}
+
+// Drain scans immediately.
+func (h *hpHandle) Drain() int { return h.scan() }
+
+// scan reads every hazard slot and frees the pending nodes none of them
+// covers, preserving retire order so a FIFO allocator's recycling order
+// stays deterministic.
+func (h *hpHandle) scan() int {
+	if len(h.retired) == 0 {
+		// Nothing pending: skip the hazard sweep entirely.  An allocator
+		// spinning on exhaustion drains on every failed alloc; reading all
+		// n·Slots hazard words each time would ping-pong the very cache
+		// lines the other processes' Protect writes need.
+		return 0
+	}
+	h.r.m.scans.Add(1)
+	h.snap = h.snap[:0]
+	for i := range h.r.hazards {
+		if w := h.r.hazards[i].Read(h.pid); w != 0 {
+			h.snap = append(h.snap, w)
+		}
+	}
+	freed := 0
+	kept := h.retired[:0]
+	for _, idx := range h.retired {
+		if hazarded(h.snap, Word(idx)) {
+			kept = append(kept, idx)
+			continue
+		}
+		h.free(idx)
+		freed++
+	}
+	h.retired = kept
+	if freed > 0 {
+		h.r.m.freed.Add(int64(freed))
+	} else if len(h.retired) > 0 {
+		h.r.m.stalls.Add(1)
+	}
+	return freed
+}
+
+// hazarded reports whether w appears in the scanned slots (≤ n·Slots
+// entries: a linear pass beats building a set at these sizes and never
+// allocates).
+func hazarded(snap []Word, w Word) bool {
+	for _, s := range snap {
+		if s == w {
+			return true
+		}
+	}
+	return false
+}

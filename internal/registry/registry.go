@@ -24,6 +24,7 @@ import (
 	"abadetect/internal/core"
 	"abadetect/internal/guard"
 	"abadetect/internal/llsc"
+	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
 )
 
@@ -43,6 +44,11 @@ const (
 	// Guards (internal/apps): the paper's §1 motivation, runnable across
 	// the whole protection × implementation matrix.
 	KindStructure Kind = "structure"
+	// KindReclaimer is a safe-memory-reclamation scheme (internal/reclaim):
+	// the defense that prevents the ABA by blocking node reuse instead of
+	// detecting the repeat — the practical foil to the paper's tag-bit and
+	// LL/SC costs.
+	KindReclaimer Kind = "reclaimer"
 )
 
 // Impl is one registered implementation: a named point of the paper's
@@ -85,8 +91,12 @@ type Impl struct {
 	// NewLLSC constructs the LL/SC/VL object (Kind == KindLLSC).
 	NewLLSC func(f shmem.Factory, n int, valueBits uint, initial Word) (llsc.Object, error)
 	// NewStructure constructs the benchmark instance of a data structure
-	// (Kind == KindStructure) for n processes over guards from mk.
-	NewStructure func(f shmem.Factory, n, capacity int, mk guard.Maker, guardedPool bool) (apps.Instance, error)
+	// (Kind == KindStructure) for n processes over guards from mk, with the
+	// allocator configured by io (guarded free list, reclaimer).
+	NewStructure func(f shmem.Factory, n, capacity int, mk guard.Maker, io apps.InstanceOptions) (apps.Instance, error)
+	// NewReclaimer constructs the safe-memory-reclamation scheme
+	// (Kind == KindReclaimer) for one structure's node pool.
+	NewReclaimer reclaim.Maker
 }
 
 // impls is the one table.  Keep it ordered: detectors first, then LL/SC
@@ -270,6 +280,42 @@ var impls = []Impl{
 		Correct:      true,
 		NewStructure: apps.NewEventInstance,
 	},
+	{
+		ID:           "hp",
+		Kind:         KindReclaimer,
+		Summary:      "hazard pointers: per-process published slots, scan-and-free on a retire threshold",
+		Theorem:      "SMR foil to §1 (Michael [25]-style)",
+		Space:        "n·H registers (H=2)",
+		SpaceFn:      func(n int) int { return n * reclaim.Slots },
+		Steps:        "O(1) expected amortized (O(n·H) scan per threshold retires)",
+		Bounded:      true,
+		Correct:      true,
+		NewReclaimer: reclaim.NewHazard,
+	},
+	{
+		ID:           "epoch",
+		Kind:         KindReclaimer,
+		Summary:      "epoch-based reclamation: global epoch + per-process announcements, 3 deferred buckets",
+		Theorem:      "SMR foil to §1 (Fraser-style EBR)",
+		Space:        "n+1 objects (unbounded epoch)",
+		SpaceFn:      func(n int) int { return n + 1 },
+		Steps:        "O(1) amortized; reuse blocked system-wide by one stalled process",
+		Bounded:      false,
+		Correct:      true,
+		NewReclaimer: reclaim.NewEpoch,
+	},
+	{
+		ID:           "none",
+		Kind:         KindReclaimer,
+		Summary:      "pass-through reclaimer: immediate reuse, the §1 vulnerability preserved",
+		Theorem:      "§1 baseline (immediate reuse)",
+		Space:        "0",
+		SpaceFn:      func(n int) int { return 0 },
+		Steps:        "O(1)",
+		Bounded:      true,
+		Correct:      true,
+		NewReclaimer: reclaim.NewNone,
+	},
 }
 
 // All returns every registered implementation in registration order.
@@ -283,6 +329,28 @@ func LLSCs() []Impl { return byKind(KindLLSC) }
 
 // Structures returns the registered guard-built data structures.
 func Structures() []Impl { return byKind(KindStructure) }
+
+// Reclaimers returns the registered safe-memory-reclamation schemes.
+func Reclaimers() []Impl { return byKind(KindReclaimer) }
+
+// NewReclaimMaker returns the reclaim.Maker registered under id ("hp",
+// "epoch", "none") — the registry-driven construction path the public
+// WithReclamation option and the E12 harness share.
+func NewReclaimMaker(id string) (reclaim.Maker, error) {
+	im, ok := Lookup(id)
+	if !ok || im.Kind != KindReclaimer {
+		return nil, fmt.Errorf("registry: %q is not a registered reclamation scheme (try %v)", id, reclaimerIDs())
+	}
+	return im.NewReclaimer, nil
+}
+
+func reclaimerIDs() []string {
+	var out []string
+	for _, im := range Reclaimers() {
+		out = append(out, im.ID)
+	}
+	return out
+}
 
 func byKind(k Kind) []Impl {
 	var out []Impl

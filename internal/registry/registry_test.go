@@ -3,6 +3,7 @@ package registry
 import (
 	"testing"
 
+	"abadetect/internal/apps"
 	"abadetect/internal/shmem"
 )
 
@@ -32,8 +33,12 @@ func TestTableWellFormed(t *testing.T) {
 				t.Errorf("%q: llsc entry must set exactly NewLLSC", im.ID)
 			}
 		case KindStructure:
-			if im.NewStructure == nil || im.NewDetector != nil || im.NewLLSC != nil {
+			if im.NewStructure == nil || im.NewDetector != nil || im.NewLLSC != nil || im.NewReclaimer != nil {
 				t.Errorf("%q: structure entry must set exactly NewStructure", im.ID)
+			}
+		case KindReclaimer:
+			if im.NewReclaimer == nil || im.NewDetector != nil || im.NewLLSC != nil || im.NewStructure != nil {
+				t.Errorf("%q: reclaimer entry must set exactly NewReclaimer", im.ID)
 			}
 		default:
 			t.Errorf("%q: unknown kind %q", im.ID, im.Kind)
@@ -45,7 +50,7 @@ func TestTableWellFormed(t *testing.T) {
 			t.Errorf("%q: foil must declare its tag width", im.ID)
 		}
 	}
-	if len(Detectors())+len(LLSCs())+len(Structures()) != len(All()) {
+	if len(Detectors())+len(LLSCs())+len(Structures())+len(Reclaimers()) != len(All()) {
 		t.Error("kinds do not partition the registry")
 	}
 }
@@ -58,9 +63,12 @@ func TestEveryImplConstructsAndMatchesFootprint(t *testing.T) {
 		for _, n := range []int{1, 2, 8} {
 			f := shmem.NewNativeFactory()
 			var err error
-			if im.Kind == KindDetector {
+			switch im.Kind {
+			case KindDetector:
 				_, err = im.NewDetector(f, n, 8, 0)
-			} else {
+			case KindReclaimer:
+				_, err = im.NewReclaimer(f, im.ID, n, 8)
+			default:
 				_, err = im.NewLLSC(f, n, 8, 0)
 			}
 			if err != nil {
@@ -88,7 +96,7 @@ func TestStructureMatrixConstructsAndRuns(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				inst, err := im.NewStructure(f, n, 8, mk, false)
+				inst, err := im.NewStructure(f, n, 8, mk, apps.InstanceOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}

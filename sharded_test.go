@@ -236,7 +236,7 @@ func TestImplementationsCatalog(t *testing.T) {
 	for _, info := range infos {
 		byID[info.ID] = info
 	}
-	for _, id := range []string{"fig4", "fig5-fig3", "fig5-constant", "unbounded", "fig3", "constant", "moir", "boundedtag1"} {
+	for _, id := range []string{"fig4", "fig5-fig3", "fig5-constant", "unbounded", "fig3", "constant", "moir", "boundedtag1", "hp", "epoch", "none"} {
 		if _, ok := byID[id]; !ok {
 			t.Errorf("catalog lacks %q", id)
 		}
@@ -273,6 +273,15 @@ func TestImplementationsCatalog(t *testing.T) {
 			}
 			if _, err := NewLLSCByID(info.ID, 3); err == nil {
 				t.Errorf("NewLLSCByID(%q) accepted a structure ID", info.ID)
+			}
+		case "reclaimer":
+			// Reclaimers attach to structures (WithReclamation); the ByID
+			// paths must reject them.
+			if _, err := NewDetectingRegisterByID(info.ID, 3); err == nil {
+				t.Errorf("NewDetectingRegisterByID(%q) accepted a reclaimer ID", info.ID)
+			}
+			if _, err := NewLLSCByID(info.ID, 3); err == nil {
+				t.Errorf("NewLLSCByID(%q) accepted a reclaimer ID", info.ID)
 			}
 		default:
 			t.Errorf("%s: unknown kind %q", info.ID, info.Kind)

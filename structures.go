@@ -6,6 +6,7 @@ import (
 	"abadetect/internal/apps"
 	"abadetect/internal/guard"
 	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
 )
 
 // This file is the public application layer: the lock-free data structures
@@ -59,13 +60,44 @@ func publicMetrics(m guard.Metrics) GuardMetrics {
 	return GuardMetrics{Commits: m.Commits, Rejected: m.Rejected, NearMisses: m.NearMisses, DirtyLoads: m.DirtyLoads}
 }
 
-// StructureAudit is a quiescent-state structural check of a stack or queue.
+// StructureAudit is a quiescent-state structural check of a stack or queue,
+// together with the allocator's observability counters.
 type StructureAudit struct {
 	// Corrupt reports structural damage: nodes simultaneously reachable and
-	// free, lost nodes, cycles, or a dangling tail.
+	// free, lost nodes, cycles, or a dangling tail.  Nodes deferred by a
+	// reclaimer count as allocator-owned, not lost.
 	Corrupt bool
 	// Detail renders the underlying counts.
 	Detail string
+	// PoolExhaustions counts allocations that found no free node (after
+	// draining the reclaimer, when one is active): the signal that
+	// distinguishes a saturated pool from a livelock.
+	PoolExhaustions int64
+	// Reclaimer names the active reclamation scheme ("none" = immediate
+	// reuse, the default).
+	Reclaimer string
+	// Retired, Reclaimed, and Deferred are the reclaimer's counters: nodes
+	// handed to it, nodes returned to the allocator, and nodes currently in
+	// limbo.  Under "none" every retired node is reclaimed immediately.
+	Retired, Reclaimed, Deferred int64
+	// ReclaimStalls counts reclamation passes that could free nothing while
+	// nodes were pending — hazards covering every candidate, or an epoch
+	// advance blocked by a stalled process.
+	ReclaimStalls int64
+}
+
+// poolAudit merges the allocator counters into a structure audit.
+func poolAudit(corrupt bool, detail string, ps apps.PoolStats) StructureAudit {
+	return StructureAudit{
+		Corrupt:         corrupt,
+		Detail:          detail,
+		PoolExhaustions: ps.Exhaustions,
+		Reclaimer:       ps.Scheme,
+		Retired:         ps.Reclaim.Retired,
+		Reclaimed:       ps.Reclaim.Freed,
+		Deferred:        ps.Reclaim.Deferred(),
+		ReclaimStalls:   ps.Reclaim.Stalls,
+	}
 }
 
 // WithProtection selects the guard regime of a structure constructor
@@ -75,9 +107,30 @@ func WithProtection(p Protection) Option {
 }
 
 // WithTagBits sets the wrap-around tag width of ProtectionTagged (default
-// 16).  Other regimes ignore it.
+// 16).  An explicitly supplied width is validated regardless of regime:
+// zero is rejected at construction (it would silently degrade a tagged
+// guard to raw) and so is a width no 64-bit packed word can hold; under
+// ProtectionTagged the width must additionally leave room for the
+// structure's reference bits.  Regimes other than Tagged otherwise ignore
+// the value.
 func WithTagBits(bits uint) Option {
-	return func(o *options) { o.tagBits = bits }
+	return func(o *options) { o.tagBits, o.tagBitsSet = bits, true }
+}
+
+// WithReclamation routes a structure's node releases through a safe-memory-
+// reclamation scheme: "hp" (hazard pointers), "epoch" (epoch-based
+// reclamation), or "none" (the explicit immediate-reuse pass-through; also
+// the default when the option is absent).  Under "hp" and "epoch" a removed
+// node cannot re-enter the allocator while any process may still hold its
+// index, so the §1 recycle-inside-the-window ABA never forms — even under
+// ProtectionRaw.  That is the trade the paper's m(n)/t(n) vocabulary prices:
+// hp spends n·H published slots and an amortized scan, epoch spends n+1
+// words and an unbounded counter (and stalls all reuse behind one stalled
+// process), where tagging spends k bits of every guarded word.  The
+// reclaimer's counters surface through Audit().  The event flag has no node
+// pool; it accepts the option and ignores it.
+func WithReclamation(scheme string) Option {
+	return func(o *options) { o.reclaim = scheme }
 }
 
 // WithGuardImpl selects the registered implementation behind a
@@ -111,13 +164,44 @@ func (o options) guardSpec() registry.GuardSpec {
 	return registry.GuardSpec{Regime: guard.Regime(p), ImplID: o.guardImpl, TagBits: tagBits}
 }
 
-// structOpts renders the apps-layer options for a constructor.
-func (o options) structOpts(mk guard.Maker) []apps.StructOption {
+// structOpts renders the apps-layer options for a constructor, resolving
+// the reclamation scheme through the registry.
+func (o options) structOpts(mk guard.Maker) ([]apps.StructOption, error) {
 	opts := []apps.StructOption{apps.WithMaker(mk)}
 	if o.guardedPool {
 		opts = append(opts, apps.WithGuardedPool())
 	}
-	return opts
+	if o.reclaim != "" {
+		// An explicit "none" still goes through the registry, so the
+		// pass-through's retire/free counters stay comparable with hp and
+		// epoch; only the absent option skips the wrapper entirely.
+		rmk, err := registry.NewReclaimMaker(o.reclaim)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, apps.WithReclaimer(rmk))
+	}
+	return opts, nil
+}
+
+// checkTagBits validates an explicit WithTagBits width against the
+// structure's reference width (refBits).  An unset option keeps the
+// 16-bit default.
+func (o options) checkTagBits(refBits uint) error {
+	if !o.tagBitsSet {
+		return nil
+	}
+	if o.tagBits == 0 {
+		return fmt.Errorf("abadetect: WithTagBits(0): a zero-width tag cannot distinguish any write (it silently degrades ProtectionTagged to raw); use WithProtection(ProtectionRaw) if unprotected references are intended")
+	}
+	if o.tagBits > 63 {
+		return fmt.Errorf("abadetect: WithTagBits(%d): the tag and the reference value must pack into one 64-bit word", o.tagBits)
+	}
+	if Protection(o.guardSpec().Regime) == ProtectionTagged && refBits+o.tagBits > 64 {
+		return fmt.Errorf("abadetect: WithTagBits(%d): %d tag bits + %d reference bits exceed the 64-bit word; use at most %d tag bits for this capacity",
+			o.tagBits, o.tagBits, refBits, 64-refBits)
+	}
+	return nil
 }
 
 // Stack is a Treiber stack over a fixed pool of recycled index-based nodes,
@@ -131,12 +215,19 @@ type Stack struct {
 // NewStack builds a stack for n processes with the given node capacity.
 func NewStack(n, capacity int, opts ...Option) (*Stack, error) {
 	o := buildOptions(opts)
+	if err := o.checkTagBits(shmem.BitsFor(capacity + 1)); err != nil {
+		return nil, err
+	}
 	f := o.factory()
 	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: stack: %w", err)
 	}
-	inner, err := apps.NewStack(f, n, capacity, 0, 0, o.structOpts(mk)...)
+	sopts, err := o.structOpts(mk)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: stack: %w", err)
+	}
+	inner, err := apps.NewStack(f, n, capacity, 0, 0, sopts...)
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: %w", err)
 	}
@@ -165,7 +256,7 @@ func (s *Stack) FreelistMetrics() GuardMetrics { return publicMetrics(s.inner.Fr
 // Audit checks the structure at quiescence (no handle mid-operation).
 func (s *Stack) Audit() StructureAudit {
 	a := s.inner.Audit()
-	return StructureAudit{Corrupt: a.Corrupt(), Detail: a.String()}
+	return poolAudit(a.Corrupt(), a.String(), s.inner.PoolStats())
 }
 
 // Handle returns the endpoint for process pid in [0, n).  A handle must be
@@ -211,12 +302,19 @@ type Queue struct {
 // nodes beyond the internal dummy).
 func NewQueue(n, capacity int, opts ...Option) (*Queue, error) {
 	o := buildOptions(opts)
+	if err := o.checkTagBits(shmem.BitsFor(capacity + 2)); err != nil {
+		return nil, err
+	}
 	f := o.factory()
 	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: queue: %w", err)
 	}
-	inner, err := apps.NewQueue(f, n, capacity, 0, 0, o.structOpts(mk)...)
+	sopts, err := o.structOpts(mk)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: queue: %w", err)
+	}
+	inner, err := apps.NewQueue(f, n, capacity, 0, 0, sopts...)
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: %w", err)
 	}
@@ -242,7 +340,7 @@ func (q *Queue) FreelistMetrics() GuardMetrics { return publicMetrics(q.inner.Fr
 // Audit checks the structure at quiescence.
 func (q *Queue) Audit() StructureAudit {
 	a := q.inner.Audit()
-	return StructureAudit{Corrupt: a.Corrupt(), Detail: a.String()}
+	return poolAudit(a.Corrupt(), a.String(), q.inner.PoolStats())
 }
 
 // Handle returns the endpoint for process pid in [0, n).
@@ -281,6 +379,9 @@ type EventFlag struct {
 // NewEventFlag builds an event flag for n processes.
 func NewEventFlag(n int, opts ...Option) (*EventFlag, error) {
 	o := buildOptions(opts)
+	if err := o.checkTagBits(1); err != nil { // the flag guard holds 1 value bit
+		return nil, err
+	}
 	f := o.factory()
 	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
 	if err != nil {

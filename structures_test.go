@@ -264,3 +264,131 @@ func TestStructureNearMissVisible(t *testing.T) {
 		t.Errorf("prevented ABA not counted: %+v", m)
 	}
 }
+
+// --- Reclamation (PR 4) ------------------------------------------------------
+
+// TestStructureReclamationMPMC: the public stack and queue stay clean under
+// concurrent load with each reclaimer, and the audit surfaces the
+// reclamation counters.
+func TestStructureReclamationMPMC(t *testing.T) {
+	for _, scheme := range []string{"hp", "epoch"} {
+		t.Run("stack/"+scheme, func(t *testing.T) {
+			const n = 4
+			s, err := abadetect.NewStack(n, 16, abadetect.WithReclamation(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h, err := s.Handle(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(pid int, h *abadetect.StackHandle) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						h.Push(uint64(pid)<<32 | uint64(i))
+						h.Pop()
+					}
+				}(pid, h)
+			}
+			wg.Wait()
+			a := s.Audit()
+			if a.Corrupt {
+				t.Errorf("audit: %s", a.Detail)
+			}
+			if a.Retired == 0 || a.Reclaimed == 0 {
+				t.Errorf("reclamation counters empty: %+v", a)
+			}
+			if a.Deferred != a.Retired-a.Reclaimed {
+				t.Errorf("deferred %d != retired %d - reclaimed %d", a.Deferred, a.Retired, a.Reclaimed)
+			}
+		})
+		t.Run("queue/"+scheme, func(t *testing.T) {
+			q, err := abadetect.NewQueue(2, 8, abadetect.WithReclamation(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if !h.Enq(uint64(i)) {
+					t.Fatalf("enq %d failed", i)
+				}
+				if v, ok := h.Deq(); !ok || v != uint64(i) {
+					t.Fatalf("deq = (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if a := q.Audit(); a.Corrupt || a.Retired == 0 {
+				t.Errorf("audit: %+v", a)
+			}
+		})
+	}
+	// Unknown schemes are rejected with the registered IDs in the error.
+	if _, err := abadetect.NewStack(2, 4, abadetect.WithReclamation("no-such-scheme")); err == nil {
+		t.Error("want error for unknown reclamation scheme")
+	}
+	// The event flag has no pool; the option is accepted and ignored.
+	if _, err := abadetect.NewEventFlag(2, abadetect.WithReclamation("hp")); err != nil {
+		t.Errorf("event flag with reclamation: %v", err)
+	}
+}
+
+// TestStructureExhaustionSurfaced: a saturated pool is visible through the
+// audit instead of indistinguishable from livelock — the alloc that finds
+// no free node is counted, with and without a reclaimer.
+func TestStructureExhaustionSurfaced(t *testing.T) {
+	for _, opts := range [][]abadetect.Option{
+		nil,
+		{abadetect.WithReclamation("hp")},
+		{abadetect.WithGuardedPool()},
+	} {
+		s, err := abadetect.NewStack(1, 2, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Push(1) || !h.Push(2) {
+			t.Fatal("setup pushes failed")
+		}
+		if h.Push(3) {
+			t.Fatal("push beyond capacity succeeded")
+		}
+		if a := s.Audit(); a.PoolExhaustions == 0 {
+			t.Errorf("exhausted alloc not counted: %+v", a)
+		}
+	}
+}
+
+// TestStructureTagBitsValidation covers the WithTagBits edges: an explicit
+// zero width and a width that overflows the packed word are rejected with
+// descriptive errors; the widest fitting tag still constructs.
+func TestStructureTagBitsValidation(t *testing.T) {
+	tagged := abadetect.WithProtection(abadetect.ProtectionTagged)
+	if _, err := abadetect.NewStack(2, 4, tagged, abadetect.WithTagBits(0)); err == nil {
+		t.Error("want error for WithTagBits(0)")
+	}
+	if _, err := abadetect.NewQueue(2, 4, tagged, abadetect.WithTagBits(0)); err == nil {
+		t.Error("want error for WithTagBits(0) on the queue")
+	}
+	// capacity 4 -> 3 index bits: 61 tag bits fit exactly, 62 overflow.
+	if _, err := abadetect.NewStack(2, 4, tagged, abadetect.WithTagBits(61)); err != nil {
+		t.Errorf("widest fitting tag rejected: %v", err)
+	}
+	if _, err := abadetect.NewStack(2, 4, tagged, abadetect.WithTagBits(62)); err == nil {
+		t.Error("want error for a tag width that overflows the packed word")
+	}
+	if _, err := abadetect.NewStack(2, 4, tagged, abadetect.WithTagBits(64)); err == nil {
+		t.Error("want error for a 64-bit tag")
+	}
+	// The default (option absent) still selects the sound 16-bit tag.
+	if _, err := abadetect.NewStack(2, 4, tagged); err != nil {
+		t.Errorf("default tag width rejected: %v", err)
+	}
+}
