@@ -1,5 +1,5 @@
 // Command abalab runs the experiment suite of the reproduction — one
-// experiment per paper artifact (E1-E10) — and reports on the registered
+// experiment per paper artifact (E1-E13) — and reports on the registered
 // implementations.  Experiments and implementations are both enumerated
 // from their registries (internal/bench.Experiments, internal/registry), so
 // this command never needs editing when either grows.
@@ -15,16 +15,19 @@
 //	abalab -app queue       # ... or one structure across every guard
 //	abalab -reclaim all     # reclamation matrix: structure × regime × SMR
 //	abalab -reclaim hp -app stack   # ... filtered to one scheme/structure
+//	abalab -load all        # traffic matrix (E13): map × regime × SMR × profile
+//	abalab -load zipf-hot -reclaim hp   # ... filtered to one profile/scheme
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
-// objects, E11 application matrix, E12 reclamation matrix) and diff them
-// against a committed snapshot (BENCH_baseline.json is the seed,
-// BENCH_pr2.json the slab/devirtualized substrate, BENCH_pr3.json adds the
-// application matrix, BENCH_pr4.json the reclamation matrix):
+// objects, E11 application matrix, E12 reclamation matrix, E13 traffic
+// matrix) and diff them against a committed snapshot (BENCH_baseline.json
+// is the seed, BENCH_pr2.json the slab/devirtualized substrate,
+// BENCH_pr3.json adds the application matrix, BENCH_pr4.json the
+// reclamation matrix, BENCH_pr5.json the map and traffic matrices):
 //
-//	abalab -bench-compare BENCH_pr4.json
-//	abalab -json > BENCH_pr5.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr5.json
+//	abalab -json > BENCH_pr6.json   # record a new snapshot
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"abadetect/internal/bench"
+	"abadetect/internal/load"
 	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
@@ -51,14 +55,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only    = fs.String("run", "", "run a single experiment (E1..E12)")
+		only    = fs.String("run", "", "run a single experiment (E1..E13)")
 		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
 		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
 		app     = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
 		reclaim = fs.String("reclaim", "", "run the reclamation matrix (E12): a scheme ID (hp, epoch, none) or 'all'; combine with -app to filter the structure")
+		loadP   = fs.String("load", "", "run the traffic matrix (E13): a load-profile ID (see -list) or 'all'; combine with -app and -reclaim to filter")
 		n       = fs.Int("n", 8, "process count for -impl")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
-		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12) against a benchmark snapshot (e.g. BENCH_pr4.json)")
+		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr5.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +93,22 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return emit(tables)
+	}
+
+	if *loadP != "" {
+		structFilter := *app
+		if structFilter == "" {
+			structFilter = "map"
+		}
+		schemeFilter := *reclaim
+		if schemeFilter == "" {
+			schemeFilter = "all"
+		}
+		tbl, err := bench.E13LoadMatrix(structFilter, schemeFilter, *loadP)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	if *reclaim != "" {
@@ -169,6 +190,11 @@ func printIndex(out io.Writer) error {
 	fmt.Fprintln(out, "reclamation schemes (node-pool SMR, -reclaim matrix):")
 	for _, im := range registry.Reclaimers() {
 		fmt.Fprintf(out, "  %-22s %s\n", im.ID, im.Summary)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "load profiles (traffic generator, -load / E13):")
+	for _, p := range load.Profiles() {
+		fmt.Fprintf(out, "  %-22s %s\n", p.ID, p.Summary)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"abadetect/internal/bench"
+	"abadetect/internal/load"
 	"abadetect/internal/registry"
 )
 
@@ -16,13 +17,21 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("listing lacks experiment %s", id)
 		}
 	}
 	if !strings.Contains(out, "reclamation schemes") {
 		t.Error("listing lacks the reclamation-scheme section")
+	}
+	if !strings.Contains(out, "load profiles") {
+		t.Error("listing lacks the load-profile section")
+	}
+	for _, p := range load.Profiles() {
+		if !strings.Contains(out, p.ID) {
+			t.Errorf("listing lacks load profile %s", p.ID)
+		}
 	}
 	// Every registered implementation appears in the listing.
 	for _, id := range registry.IDs() {
@@ -249,6 +258,46 @@ func TestBenchComparePR3CoversApps(t *testing.T) {
 	}
 	for _, tbl := range tables {
 		for _, row := range tbl.Rows {
+			// The map structure postdates the PR3 snapshot, so its rows are
+			// legitimately "new"; anything else must line up.
+			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") {
+				t.Errorf("%s row %v missing from the committed snapshot", tbl.ID, row)
+			}
+			if row[4] == "removed" {
+				t.Errorf("%s snapshot row %v no longer produced by a fresh run", tbl.ID, row)
+			}
+		}
+	}
+}
+
+func TestBenchComparePR5CoversTraffic(t *testing.T) {
+	// The PR5 snapshot carries all four throughput tables — E10 base
+	// objects, E11 applications (map included), E12 reclamation, and the new
+	// E13 traffic matrix — and every row key must line up exactly with a
+	// fresh run.
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr5.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != wantIDs[i] {
+			t.Fatalf("table %d is %q, want %q", i, tbl.ID, wantIDs[i])
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s has no rows", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
 			if row[4] == "new" || row[4] == "removed" {
 				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
 			}
@@ -264,10 +313,57 @@ func TestImplAllAtNOne(t *testing.T) {
 	if err := run([]string{"-impl", "all", "-n", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []string{"stack", "queue", "event"} {
+	for _, id := range []string{"stack", "queue", "event", "map"} {
 		if !strings.Contains(buf.String(), id) {
 			t.Errorf("-impl all -n 1 report lacks %s", id)
 		}
+	}
+}
+
+func TestLoadMatrixFlag(t *testing.T) {
+	// -load runs E13; -reclaim and -app narrow the matrix.  One profile and
+	// one scheme keep the smoke test cheap: 4 regimes worth of rows, each
+	// carrying latency percentiles.
+	var buf bytes.Buffer
+	if err := run([]string{"-load", "steady", "-reclaim", "none", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-load -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E13" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	if len(tables[0].Rows) != 4 { // map × 4 regimes × 1 scheme × 1 profile
+		t.Fatalf("steady/none matrix has %d rows, want 4", len(tables[0].Rows))
+	}
+	wantCols := []string{"p50", "p99", "p999"}
+	for _, col := range wantCols {
+		found := false
+		for _, h := range tables[0].Header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("E13 header lacks the %s column", col)
+		}
+	}
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "map/") || !strings.HasSuffix(row[0], "+none/steady") {
+			t.Errorf("unexpected row key %q", row[0])
+		}
+	}
+	if err := run([]string{"-load", "no-such-profile"}, &buf); err == nil {
+		t.Error("want error for unknown load profile")
+	}
+	if err := run([]string{"-load", "steady", "-app", "no-such-structure"}, &buf); err == nil {
+		t.Error("want error for unknown structure filter")
 	}
 }
 
@@ -324,8 +420,13 @@ func TestBenchComparePR4CoversReclaim(t *testing.T) {
 	}
 	for _, tbl := range tables {
 		for _, row := range tbl.Rows {
-			if row[4] == "new" || row[4] == "removed" {
-				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
+			// Map rows postdate the PR4 snapshot (see the PR3 test); every
+			// pre-existing cell must still line up.
+			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") {
+				t.Errorf("%s row %v missing from the committed snapshot", tbl.ID, row)
+			}
+			if row[4] == "removed" {
+				t.Errorf("%s snapshot row %v no longer produced by a fresh run", tbl.ID, row)
 			}
 		}
 	}

@@ -61,11 +61,13 @@
 // # Application structures and guards
 //
 // The paper's §1 motivation ships as a public application layer: NewStack
-// (Treiber stack), NewQueue (Michael–Scott queue), and NewEventFlag (the
-// resettable busy-wait flag).  Each structure's mutable references — stack
-// head, queue head/tail and per-node next pointers, the flag itself — are
-// Guards (internal/guard): a unified Load / conditional-Commit / Validate
-// abstraction whose regime is a constructor option.  WithProtection selects
+// (Treiber stack), NewQueue (Michael–Scott queue), NewEventFlag (the
+// resettable busy-wait flag), and NewMap (a sharded lock-free hash map).
+// Each structure's mutable references — stack head, queue head/tail and
+// per-node next pointers, the flag itself, the map's bucket heads and
+// marked next links — are Guards (internal/guard): a unified Load /
+// conditional-Commit / Validate abstraction whose regime is a constructor
+// option.  WithProtection selects
 // the §1 ladder (ProtectionRaw, the ABA victim; ProtectionTagged with
 // WithTagBits; ProtectionLLSC, the immune default; ProtectionDetector, the
 // Figure 5 detecting view that also counts every prevented ABA),
@@ -74,9 +76,38 @@
 // the same regime, making free-list ABA observable.  GuardMetrics exposes
 // commits, rejections, near-misses (detected-and-prevented ABAs), and dirty
 // loads; Audit checks structural integrity at quiescence; the StackHandle's
-// PopBegin/PopCommit hooks replay the deterministic corruption scripts.
-// The abalab -app command runs the whole structure × guard × implementation
-// matrix (experiment E11).
+// PopBegin/PopCommit and MapHandle's DeleteBegin/DeleteCommit hooks replay
+// the deterministic corruption scripts.  The abalab -app command runs the
+// whole structure × guard × implementation matrix (experiment E11).
+//
+// The map (internal/kv) is the keyed cache shape: chained buckets of
+// recycled pool nodes under the Michael-style marked-link protocol.  A link
+// word packs (successor index, mark bit); inserts land only at bucket heads
+// (insert-at-head is ABA-immune), a delete marks its victim's next link
+// with a conditional commit — freezing the link — before unlinking it past
+// the predecessor, and traversals help finish unlinks.  Keys and values are
+// immutable per node (an overwrite inserts a shadowing node and kills the
+// duplicate), so reads never race updates.  In m(n)/t(n) vocabulary the map
+// spends one guard per bucket head plus one per node next-link (B + cap
+// guards over 2·cap value registers) and walks O(chain) guard hops per
+// operation — each hop paying the selected regime's t(n) — which is exactly
+// the per-reference cost model the paper prices, multiplied by a traversal.
+//
+// # Traffic layer
+//
+// internal/load is the measurement half of the production story: an open-
+// and closed-loop traffic generator that drives any registered structure
+// through the benchmark driver seam.  Closed-loop profiles measure service
+// time under saturation; open-loop profiles schedule arrivals (Poisson or
+// bursty) at a fixed rate and measure latency from the scheduled arrival,
+// so queueing delay is charged to the operation (no coordinated omission).
+// Keyed structures receive Zipf-skewed key popularity and a configurable
+// get/put/delete mix.  Latencies land in allocation-free log2-bucket
+// histograms — the record path is pinned at 0 allocs/op — and report
+// p50/p99/p999.  Experiment E13 (abalab -load) sweeps map × regime ×
+// reclaimer × profile: the table where a tag's extra word, a detector's
+// extra steps, and a reclaimer's deferred frees stop being asymptotics and
+// become tail latency.
 //
 // # Safe memory reclamation
 //

@@ -12,6 +12,9 @@ package abadetect
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"abadetect/internal/load"
 )
 
 // hotBackends are the direct substrates the devirtualized fast paths bind
@@ -138,6 +141,24 @@ func structureAllocs(t *testing.T, id string, be Backend) {
 		}); got != 0 {
 			t.Errorf("Enq+Deq allocates %.1f/op, want 0", got)
 		}
+	case "map":
+		m, err := NewMap(hotProcs, 16, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := m.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var i Word
+		if got := testing.AllocsPerRun(200, func() {
+			h.Put(i&7, i)
+			h.Get(i & 7)
+			h.Delete(i & 7)
+			i++
+		}); got != 0 {
+			t.Errorf("Put+Get+Delete allocates %.1f/op, want 0", got)
+		}
 	case "event":
 		e, err := NewEventFlag(hotProcs, WithBackend(be))
 		if err != nil {
@@ -188,6 +209,63 @@ func reclaimerAllocs(t *testing.T, scheme string, be Backend) {
 		i++
 	}); got != 0 {
 		t.Errorf("Push+Pop under %s reclamation allocates %.1f/op, want 0", scheme, got)
+	}
+}
+
+// TestHotPathAllocsMapRegimes pins the map's Get/Put/Delete cycle at zero
+// allocations on the slab backend under every sound protection regime, both
+// with immediate reuse and through the reclaimers — the traffic layer's hot
+// path must not pay the heap for its guards, its marks, or its hazards.
+func TestHotPathAllocsMapRegimes(t *testing.T) {
+	regimes := []struct {
+		name string
+		opts []Option
+	}{
+		{"tag16", []Option{WithProtection(ProtectionTagged), WithTagBits(16)}},
+		{"llsc", []Option{WithProtection(ProtectionLLSC)}},
+		{"detector", []Option{WithProtection(ProtectionDetector)}},
+	}
+	for _, re := range regimes {
+		for _, scheme := range []string{"none", "hp", "epoch"} {
+			t.Run(re.name+"+"+scheme, func(t *testing.T) {
+				opts := append([]Option{WithBackend(SlabBackend()), WithGuardedPool(),
+					WithReclamation(scheme)}, re.opts...)
+				m, err := NewMap(hotProcs, 16, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := m.Handle(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var i Word
+				if got := testing.AllocsPerRun(200, func() {
+					h.Put(i&7, i)
+					h.Get(i & 7)
+					h.Delete(i & 7)
+					i++
+				}); got != 0 {
+					t.Errorf("map cycle allocates %.1f/op, want 0", got)
+				}
+			})
+		}
+	}
+}
+
+// TestHotPathAllocsLoadRecord pins the load generator's measurement path:
+// recording a latency sample and drawing the next keyed op must stay off
+// the heap, or the generator would perturb the workload it measures.
+func TestHotPathAllocsLoadRecord(t *testing.T) {
+	var h load.Hist
+	if got := testing.AllocsPerRun(500, func() {
+		h.Record(time.Microsecond)
+	}); got != 0 {
+		t.Errorf("Hist.Record allocates %.1f/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		h.Quantile(0.99)
+	}); got != 0 {
+		t.Errorf("Hist.Quantile allocates %.1f/op, want 0", got)
 	}
 }
 

@@ -62,12 +62,21 @@ const (
 )
 
 // StructOption configures a structure constructor.
-type StructOption func(*structOptions)
+type StructOption func(*StructConfig)
 
-type structOptions struct {
-	maker       guard.Maker
-	guardedPool bool
-	reclaim     reclaim.Maker
+// StructConfig is the resolved constructor configuration: the guard maker
+// every mutable reference comes from plus the allocator selection.  It is
+// exported so structures outside this package (the hash map of internal/kv)
+// resolve the same options and feed the same pool seam.
+type StructConfig struct {
+	// Maker allocates every guard of the structure.
+	Maker guard.Maker
+	// GuardedPool selects the lock-free guarded free list over the mutex
+	// FIFO allocator model.
+	GuardedPool bool
+	// Reclaim, when non-nil, wraps the pool in a safe-memory-reclamation
+	// scheme.
+	Reclaim reclaim.Maker
 }
 
 // WithMaker makes the structure allocate its guards from mk instead of the
@@ -76,7 +85,7 @@ type structOptions struct {
 // backend, behind a structure.  The Protection and tagBits constructor
 // arguments are ignored when a maker is supplied.
 func WithMaker(mk guard.Maker) StructOption {
-	return func(o *structOptions) { o.maker = mk }
+	return func(o *StructConfig) { o.Maker = mk }
 }
 
 // WithGuardedPool replaces the mutex FIFO node allocator with a lock-free
@@ -85,7 +94,7 @@ func WithMaker(mk guard.Maker) StructOption {
 // guard metrics expose free-list near-misses.  The deterministic corruption
 // scripts rely on FIFO recycling order, so they use the default pool.
 func WithGuardedPool() StructOption {
-	return func(o *structOptions) { o.guardedPool = true }
+	return func(o *StructConfig) { o.GuardedPool = true }
 }
 
 // WithReclaimer routes the structure's node releases through a safe-memory-
@@ -96,18 +105,18 @@ func WithGuardedPool() StructOption {
 // even a Raw-guarded structure survives the deterministic corruption
 // scripts — prevention by allocation discipline instead of detection.
 func WithReclaimer(mk reclaim.Maker) StructOption {
-	return func(o *structOptions) { o.reclaim = mk }
+	return func(o *StructConfig) { o.Reclaim = mk }
 }
 
-// buildStructOptions resolves options, defaulting the maker to the guard
+// ResolveStructOptions resolves opts, defaulting the maker to the guard
 // package's stock construction of prot over f.
-func buildStructOptions(f shmem.Factory, n int, prot Protection, tagBits uint, opts []StructOption) structOptions {
-	var o structOptions
+func ResolveStructOptions(f shmem.Factory, n int, prot Protection, tagBits uint, opts []StructOption) StructConfig {
+	var o StructConfig
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.maker == nil {
-		o.maker = guard.NewMaker(f, n, prot, tagBits)
+	if o.Maker == nil {
+		o.Maker = guard.NewMaker(f, n, prot, tagBits)
 	}
 	return o
 }

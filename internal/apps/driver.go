@@ -30,6 +30,46 @@ type Instance interface {
 	PoolStats() PoolStats
 }
 
+// OpKind names one keyed operation of the traffic model: the op mix a load
+// profile configures is a distribution over these.
+type OpKind int
+
+// Keyed operations.
+const (
+	// OpGet looks a key up.
+	OpGet OpKind = iota
+	// OpPut binds a key to a value.
+	OpPut
+	// OpDelete removes a key's binding.
+	OpDelete
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Keyed is the richer driver seam a keyed structure (the hash map) offers on
+// top of Instance: a per-process step that takes the operation and the key
+// instead of an opaque op index, so the load generator's Zipf popularity and
+// get/put/delete mix actually reach the structure.  Structures without keys
+// (stack, queue, event flag) simply don't implement it and are driven
+// through Worker.
+type Keyed interface {
+	// KeyedWorker returns pid's keyed step.  Like Worker's step it is
+	// single-goroutine.
+	KeyedWorker(pid int) (func(op OpKind, key, val Word), error)
+}
+
 // InstanceOptions selects the allocator configuration of a benchmark
 // instance: a guarded free list, a reclaimer, or both.
 type InstanceOptions struct {
@@ -41,8 +81,8 @@ type InstanceOptions struct {
 	Reclaim reclaim.Maker
 }
 
-// structOpts renders the instance options as constructor options.
-func (io InstanceOptions) structOpts(mk guard.Maker) []StructOption {
+// StructOpts renders the instance options as constructor options.
+func (io InstanceOptions) StructOpts(mk guard.Maker) []StructOption {
 	opts := []StructOption{WithMaker(mk)}
 	if io.GuardedPool {
 		opts = append(opts, WithGuardedPool())
@@ -61,7 +101,7 @@ const maxSpin = 10_000
 // NewStackInstance builds a stack of the given capacity whose workload is a
 // push/pop pair per op.
 func NewStackInstance(f shmem.Factory, n, capacity int, mk guard.Maker, io InstanceOptions) (Instance, error) {
-	s, err := NewStack(f, n, capacity, 0, 0, io.structOpts(mk)...)
+	s, err := NewStack(f, n, capacity, 0, 0, io.StructOpts(mk)...)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +133,7 @@ func (in stackInstance) PoolStats() PoolStats           { return in.s.PoolStats(
 // NewQueueInstance builds a queue of the given capacity whose workload is
 // an enq/deq pair per op, with bounded retry loops (see QueueHandle.MaxSpin).
 func NewQueueInstance(f shmem.Factory, n, capacity int, mk guard.Maker, io InstanceOptions) (Instance, error) {
-	q, err := NewQueue(f, n, capacity, 0, 0, io.structOpts(mk)...)
+	q, err := NewQueue(f, n, capacity, 0, 0, io.StructOpts(mk)...)
 	if err != nil {
 		return nil, err
 	}

@@ -60,8 +60,8 @@ func NewProtectedEventFlag(f shmem.Factory, n int, prot Protection, tagBits uint
 	if n < 1 {
 		return nil, fmt.Errorf("apps: event flag needs n >= 1, got %d", n)
 	}
-	o := buildStructOptions(f, n, prot, tagBits, opts)
-	g, err := o.maker("flag", 1, 0)
+	o := ResolveStructOptions(f, n, prot, tagBits, opts)
+	g, err := o.Maker("flag", 1, 0)
 	if err != nil {
 		return nil, fmt.Errorf("apps: event flag guard: %w", err)
 	}

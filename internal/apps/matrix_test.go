@@ -465,12 +465,12 @@ func TestGuardedPoolFreeListABA(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ah, err := p.handle(0)
+			ah, err := p.Handle(0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			a := ah.(*guardedPoolHandle)
-			bh, err := p.handle(1)
+			bh, err := p.Handle(1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -485,13 +485,13 @@ func TestGuardedPoolFreeListABA(t *testing.T) {
 
 			// B: allocate 1 and 2, then free 1.  Head index is 1 again, but
 			// its link now bypasses the in-use node 2.
-			if got := b.alloc(); got != 1 {
+			if got := b.Alloc(); got != 1 {
 				t.Fatalf("B alloc = %d, want 1", got)
 			}
-			if got := b.alloc(); got != 2 {
+			if got := b.Alloc(); got != 2 {
 				t.Fatalf("B alloc = %d, want 2", got)
 			}
-			b.release(1)
+			b.Release(1)
 
 			// A resumes: committing the stale link hands the free list's head
 			// to the in-use node 2 iff the guard is fooled.
@@ -502,10 +502,10 @@ func TestGuardedPoolFreeListABA(t *testing.T) {
 			if fooled {
 				// The corrupted allocator now hands out node 2 although B
 				// still owns it: a double allocation.
-				if got := b.alloc(); got != 2 {
+				if got := b.Alloc(); got != 2 {
 					t.Fatalf("corrupted alloc = %d, want the in-use node 2", got)
 				}
-			} else if m := p.metrics(); m.NearMisses == 0 {
+			} else if m := p.Metrics(); m.NearMisses == 0 {
 				t.Errorf("prevented free-list ABA not counted: %s", m)
 			}
 		})

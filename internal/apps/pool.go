@@ -10,8 +10,11 @@ import (
 	"abadetect/internal/shmem"
 )
 
-// pool is the node allocator behind every structure.  Nodes are 1-based
-// indices; alloc returns 0 when the pool is exhausted.
+// Pool is the node allocator behind every structure.  Nodes are 1-based
+// indices; Alloc returns 0 when the pool is exhausted.  The seam is exported
+// so structures outside this package (the hash map of internal/kv) share the
+// same allocator models and reclamation plumbing instead of growing private
+// copies.
 //
 // Two base implementations exist because the allocator plays two roles in
 // the paper's story.  The fifoPool models the *system* allocator: a FIFO
@@ -23,55 +26,55 @@ import (
 // or protected — as the structure above it.
 //
 // Either base can additionally be wrapped by a reclaimedPool (WithReclaimer):
-// release then *retires* nodes through a reclaim.Reclaimer instead of
+// Release then *retires* nodes through a reclaim.Reclaimer instead of
 // freeing them, and the structures' traversal loops publish protections
 // before dereferencing — the safe-memory-reclamation defense that stops the
 // ABA before any guard has to detect it.
-type pool interface {
-	// handle returns process pid's allocator endpoint.
-	handle(pid int) (poolHandle, error)
-	// snapshot copies the current free set — deferred (limbo) nodes
+type Pool interface {
+	// Handle returns process pid's allocator endpoint.
+	Handle(pid int) (PoolHandle, error)
+	// Snapshot copies the current free set — deferred (limbo) nodes
 	// included — for auditing (quiescence only).
-	snapshot() []int
-	// metrics returns the free-list guard's audit counters (zero for the
+	Snapshot() []int
+	// Metrics returns the free-list guard's audit counters (zero for the
 	// unguarded FIFO model).
-	metrics() guard.Metrics
-	// stats returns the allocator's own counters: exhaustion events and,
+	Metrics() guard.Metrics
+	// Stats returns the allocator's own counters: exhaustion events and,
 	// when a reclaimer is attached, its reclamation metrics.
-	stats() PoolStats
+	Stats() PoolStats
 }
 
-// poolHandle is a per-process allocator endpoint.
-type poolHandle interface {
-	// alloc takes a free node, or 0 when exhausted.
-	alloc() int
-	// release returns a node to the pool — immediately, or through the
+// PoolHandle is a per-process allocator endpoint.
+type PoolHandle interface {
+	// Alloc takes a free node, or 0 when exhausted.
+	Alloc() int
+	// Release returns a node to the pool — immediately, or through the
 	// reclaimer's deferred-free path when one is attached.
-	release(idx int)
-	// protect publishes that this process may still dereference idx
+	Release(idx int)
+	// Protect publishes that this process may still dereference idx
 	// (reclaim slot semantics); a no-op without a reclaimer.
-	protect(slot, idx int)
-	// clear withdraws every protection this process published.
-	clear()
-	// drain makes reclamation progress for this process's deferred nodes.
+	Protect(slot, idx int)
+	// Clear withdraws every protection this process published.
+	Clear()
+	// Drain makes reclamation progress for this process's deferred nodes.
 	// Structures call it when an operation finds nothing to do (empty pop,
-	// empty dequeue): a process that stops retiring would otherwise hold
-	// its pending nodes in limbo forever while allocators starve — drains
-	// only ride its own alloc/retire path.  A no-op without a reclaimer,
-	// and O(1) when nothing is pending.
-	drain() int
-	// reclaiming reports whether releases defer through a reclaimer —
+	// empty dequeue, map miss): a process that stops retiring would
+	// otherwise hold its pending nodes in limbo forever while allocators
+	// starve — drains only ride its own alloc/retire path.  A no-op without
+	// a reclaimer, and O(1) when nothing is pending.
+	Drain() int
+	// Reclaiming reports whether releases defer through a reclaimer —
 	// structures skip the publish-and-revalidate fence (and the empty-path
 	// drains) entirely when it is false, so the non-SMR configurations pay
 	// nothing for the seam.
-	reclaiming() bool
+	Reclaiming() bool
 }
 
 // PoolStats are an allocator's observability counters, surfaced through the
 // public StructureAudit so a saturated benchmark is distinguishable from a
 // livelock and reclamation pressure is visible.
 type PoolStats struct {
-	// Exhaustions counts alloc calls that found no free node — after
+	// Exhaustions counts Alloc calls that found no free node — after
 	// draining the reclaimer, when one is attached.
 	Exhaustions int64
 	// Scheme names the active reclamation scheme; "none" means immediate
@@ -81,13 +84,13 @@ type PoolStats struct {
 	Reclaim reclaim.Metrics
 }
 
-// newPoolFor builds the pool selected by the structure options: nodes
-// 1..capacity, chain links of idxBits bits, optionally wrapped by the
-// options' reclaimer.
-func newPoolFor(f shmem.Factory, o structOptions, name string, n, capacity int, idxBits uint) (pool, error) {
-	var p pool
-	if o.guardedPool {
-		gp, err := newGuardedPool(f, o.maker, name, capacity, idxBits)
+// NewPool builds the pool selected by the resolved structure configuration:
+// nodes 1..capacity, chain links of idxBits bits, optionally wrapped by the
+// configuration's reclaimer.
+func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, idxBits uint) (Pool, error) {
+	var p Pool
+	if cfg.GuardedPool {
+		gp, err := newGuardedPool(f, cfg.Maker, name, capacity, idxBits)
 		if err != nil {
 			return nil, err
 		}
@@ -95,8 +98,8 @@ func newPoolFor(f shmem.Factory, o structOptions, name string, n, capacity int, 
 	} else {
 		p = newFIFOPool(capacity)
 	}
-	if o.reclaim != nil {
-		rec, err := o.reclaim(f, name, n, capacity)
+	if cfg.Reclaim != nil {
+		rec, err := cfg.Reclaim(f, name, n, capacity)
 		if err != nil {
 			return nil, fmt.Errorf("apps: reclaimer: %w", err)
 		}
@@ -124,16 +127,16 @@ func newFIFOPool(capacity int) *fifoPool {
 	return p
 }
 
-func (p *fifoPool) handle(int) (poolHandle, error) { return p, nil }
+func (p *fifoPool) Handle(int) (PoolHandle, error) { return p, nil }
 
-func (p *fifoPool) metrics() guard.Metrics { return guard.Metrics{} }
+func (p *fifoPool) Metrics() guard.Metrics { return guard.Metrics{} }
 
-func (p *fifoPool) stats() PoolStats {
+func (p *fifoPool) Stats() PoolStats {
 	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
 }
 
-// alloc takes the oldest free node, or 0 when exhausted.
-func (p *fifoPool) alloc() int {
+// Alloc takes the oldest free node, or 0 when exhausted.
+func (p *fifoPool) Alloc() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.count == 0 {
@@ -146,8 +149,8 @@ func (p *fifoPool) alloc() int {
 	return idx
 }
 
-// release returns a node to the back of the queue.
-func (p *fifoPool) release(idx int) {
+// Release returns a node to the back of the queue.
+func (p *fifoPool) Release(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.count == len(p.ring) {
@@ -165,8 +168,8 @@ func (p *fifoPool) release(idx int) {
 	p.count++
 }
 
-// snapshot copies the free queue, oldest first, for auditing.
-func (p *fifoPool) snapshot() []int {
+// Snapshot copies the free queue, oldest first, for auditing.
+func (p *fifoPool) Snapshot() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]int, 0, p.count)
@@ -176,15 +179,15 @@ func (p *fifoPool) snapshot() []int {
 	return out
 }
 
-func (p *fifoPool) protect(int, int) {}
-func (p *fifoPool) clear()           {}
-func (p *fifoPool) drain() int       { return 0 }
-func (p *fifoPool) reclaiming() bool { return false }
+func (p *fifoPool) Protect(int, int) {}
+func (p *fifoPool) Clear()           {}
+func (p *fifoPool) Drain() int       { return 0 }
+func (p *fifoPool) Reclaiming() bool { return false }
 
 // guardedPool is a Treiber-style free list: head is a Guard, chain links are
 // registers (a free node is owned by the allocator, so its link needs no
 // guard of its own).  With a raw head guard this free list reproduces the
-// textbook allocator ABA — alloc reads the head and its link, and a stale
+// textbook allocator ABA — Alloc reads the head and its link, and a stale
 // commit can hand out a node that was re-freed in between; the guard's
 // NearMisses counter records every such ABA a stronger regime caught.
 type guardedPool struct {
@@ -220,7 +223,7 @@ func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, 
 	return p, nil
 }
 
-func (p *guardedPool) handle(pid int) (poolHandle, error) {
+func (p *guardedPool) Handle(pid int) (PoolHandle, error) {
 	h, err := p.head.Handle(pid)
 	if err != nil {
 		return nil, err
@@ -228,16 +231,16 @@ func (p *guardedPool) handle(pid int) (poolHandle, error) {
 	return &guardedPoolHandle{p: p, h: h, pid: pid}, nil
 }
 
-func (p *guardedPool) metrics() guard.Metrics { return p.head.Metrics() }
+func (p *guardedPool) Metrics() guard.Metrics { return p.head.Metrics() }
 
-func (p *guardedPool) stats() PoolStats {
+func (p *guardedPool) Stats() PoolStats {
 	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
 }
 
-// snapshot walks the free chain as the observer.  A cycle (possible only
+// Snapshot walks the free chain as the observer.  A cycle (possible only
 // after a raw-guard ABA) is truncated at capacity hops; the structure audit
 // surfaces the damage as doubled or lost nodes.
-func (p *guardedPool) snapshot() []int {
+func (p *guardedPool) Snapshot() []int {
 	var out []int
 	cur := int(p.head.Peek(-1))
 	for hops := 0; cur != 0 && hops < p.capacity; hops++ {
@@ -253,11 +256,11 @@ type guardedPoolHandle struct {
 	pid int
 }
 
-// alloc pops the free-list head.  This is the vulnerable shape: between
+// Alloc pops the free-list head.  This is the vulnerable shape: between
 // loading the head and committing its successor, the head node can be
 // allocated, released, and re-chained — under a raw guard the stale commit
 // still succeeds and installs a dangling link.
-func (h *guardedPoolHandle) alloc() int {
+func (h *guardedPoolHandle) Alloc() int {
 	for {
 		top, _ := h.h.Load()
 		if top == 0 {
@@ -271,8 +274,8 @@ func (h *guardedPoolHandle) alloc() int {
 	}
 }
 
-// release pushes idx back onto the free list.
-func (h *guardedPoolHandle) release(idx int) {
+// Release pushes idx back onto the free list.
+func (h *guardedPoolHandle) Release(idx int) {
 	for {
 		top, _ := h.h.Load()
 		h.p.next[idx].Write(h.pid, top)
@@ -282,17 +285,17 @@ func (h *guardedPoolHandle) release(idx int) {
 	}
 }
 
-func (h *guardedPoolHandle) protect(int, int) {}
-func (h *guardedPoolHandle) clear()           {}
-func (h *guardedPoolHandle) drain() int       { return 0 }
-func (h *guardedPoolHandle) reclaiming() bool { return false }
+func (h *guardedPoolHandle) Protect(int, int) {}
+func (h *guardedPoolHandle) Clear()           {}
+func (h *guardedPoolHandle) Drain() int       { return 0 }
+func (h *guardedPoolHandle) Reclaiming() bool { return false }
 
-// reclaimedPool routes release through a reclaim.Reclaimer: nodes retire
+// reclaimedPool routes Release through a reclaim.Reclaimer: nodes retire
 // into limbo and re-enter the inner pool only once no process protection
-// can cover them.  alloc drains the reclaimer before reporting exhaustion,
+// can cover them.  Alloc drains the reclaimer before reporting exhaustion,
 // so a full limbo triggers reclamation instead of failure.
 type reclaimedPool struct {
-	inner pool
+	inner Pool
 	rec   reclaim.Reclaimer
 
 	exhaustions atomic.Int64
@@ -301,20 +304,20 @@ type reclaimedPool struct {
 	handles map[int]*reclaimedHandle
 }
 
-// handle is idempotent per pid: hazard slots and epoch announcements are
+// Handle is idempotent per pid: hazard slots and epoch announcements are
 // per-process state, so every structure handle of one process (the queue's
 // construction-time boot handle included) must share one reclaim endpoint.
-func (p *reclaimedPool) handle(pid int) (poolHandle, error) {
+func (p *reclaimedPool) Handle(pid int) (PoolHandle, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if h, ok := p.handles[pid]; ok {
 		return h, nil
 	}
-	ih, err := p.inner.handle(pid)
+	ih, err := p.inner.Handle(pid)
 	if err != nil {
 		return nil, err
 	}
-	rh, err := p.rec.Handle(pid, ih.release)
+	rh, err := p.rec.Handle(pid, ih.Release)
 	if err != nil {
 		return nil, err
 	}
@@ -326,9 +329,9 @@ func (p *reclaimedPool) handle(pid int) (poolHandle, error) {
 	return h, nil
 }
 
-func (p *reclaimedPool) metrics() guard.Metrics { return p.inner.metrics() }
+func (p *reclaimedPool) Metrics() guard.Metrics { return p.inner.Metrics() }
 
-func (p *reclaimedPool) stats() PoolStats {
+func (p *reclaimedPool) Stats() PoolStats {
 	return PoolStats{
 		Exhaustions: p.exhaustions.Load(),
 		Scheme:      p.rec.Scheme(),
@@ -336,25 +339,25 @@ func (p *reclaimedPool) stats() PoolStats {
 	}
 }
 
-// snapshot counts limbo nodes as allocator-owned: retired-not-yet-freed is
+// Snapshot counts limbo nodes as allocator-owned: retired-not-yet-freed is
 // a reclamation state, not a leak, and audits must see it that way.
-func (p *reclaimedPool) snapshot() []int {
-	return append(p.inner.snapshot(), p.rec.Limbo()...)
+func (p *reclaimedPool) Snapshot() []int {
+	return append(p.inner.Snapshot(), p.rec.Limbo()...)
 }
 
 type reclaimedHandle struct {
 	p     *reclaimedPool
-	inner poolHandle
+	inner PoolHandle
 	rh    reclaim.Handle
 }
 
-// alloc takes a free node; on exhaustion it drains the reclaimer once and
+// Alloc takes a free node; on exhaustion it drains the reclaimer once and
 // retries, so deferred nodes flow back before failure is reported.
-func (h *reclaimedHandle) alloc() int {
-	idx := h.inner.alloc()
+func (h *reclaimedHandle) Alloc() int {
+	idx := h.inner.Alloc()
 	if idx == 0 {
 		if h.rh.Drain() > 0 {
-			idx = h.inner.alloc()
+			idx = h.inner.Alloc()
 		}
 		if idx == 0 {
 			h.p.exhaustions.Add(1)
@@ -363,8 +366,8 @@ func (h *reclaimedHandle) alloc() int {
 	return idx
 }
 
-func (h *reclaimedHandle) release(idx int)       { h.rh.Retire(idx) }
-func (h *reclaimedHandle) protect(slot, idx int) { h.rh.Protect(slot, idx) }
-func (h *reclaimedHandle) clear()                { h.rh.Clear() }
-func (h *reclaimedHandle) drain() int            { return h.rh.Drain() }
-func (h *reclaimedHandle) reclaiming() bool      { return true }
+func (h *reclaimedHandle) Release(idx int)       { h.rh.Retire(idx) }
+func (h *reclaimedHandle) Protect(slot, idx int) { h.rh.Protect(slot, idx) }
+func (h *reclaimedHandle) Clear()                { h.rh.Clear() }
+func (h *reclaimedHandle) Drain() int            { return h.rh.Drain() }
+func (h *reclaimedHandle) Reclaiming() bool      { return true }

@@ -32,7 +32,7 @@ type Queue struct {
 	next  []guard.Guard // next[i] holds the successor index of node i
 	head  guard.Guard
 	tail  guard.Guard
-	pool  pool
+	pool  Pool
 	dummy int // initial dummy node (allocated at construction)
 }
 
@@ -47,7 +47,7 @@ func NewQueue(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 	if capacity < 1 {
 		return nil, fmt.Errorf("apps: queue needs capacity >= 1, got %d", capacity)
 	}
-	o := buildStructOptions(f, n, prot, tagBits, opts)
+	o := ResolveStructOptions(f, n, prot, tagBits, opts)
 	total := capacity + 1 // one extra node so the dummy never starves callers
 	idxBits := shmem.BitsFor(total + 1)
 	q := &Queue{
@@ -59,22 +59,22 @@ func NewQueue(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 	var err error
 	for i := 1; i <= total; i++ {
 		q.value[i] = f.NewRegister(fmt.Sprintf("qvalue[%d]", i), 0)
-		if q.next[i], err = o.maker(fmt.Sprintf("qnext[%d]", i), idxBits, 0); err != nil {
+		if q.next[i], err = o.Maker(fmt.Sprintf("qnext[%d]", i), idxBits, 0); err != nil {
 			return nil, fmt.Errorf("apps: queue next[%d] guard: %w", i, err)
 		}
 	}
-	if q.pool, err = newPoolFor(f, o, "queue", n, total, idxBits); err != nil {
+	if q.pool, err = NewPool(f, o, "queue", n, total, idxBits); err != nil {
 		return nil, err
 	}
-	boot, err := q.pool.handle(0)
+	boot, err := q.pool.Handle(0)
 	if err != nil {
 		return nil, err
 	}
-	q.dummy = boot.alloc()
-	if q.head, err = o.maker("qhead", idxBits, Word(q.dummy)); err != nil {
+	q.dummy = boot.Alloc()
+	if q.head, err = o.Maker("qhead", idxBits, Word(q.dummy)); err != nil {
 		return nil, fmt.Errorf("apps: queue head guard: %w", err)
 	}
-	if q.tail, err = o.maker("qtail", idxBits, Word(q.dummy)); err != nil {
+	if q.tail, err = o.Maker("qtail", idxBits, Word(q.dummy)); err != nil {
 		return nil, fmt.Errorf("apps: queue tail guard: %w", err)
 	}
 	if !q.head.Conditional() {
@@ -104,10 +104,10 @@ func (q *Queue) GuardMetrics() guard.Metrics {
 
 // FreelistMetrics returns the node pool's guard counters (zero unless the
 // queue was built WithGuardedPool).
-func (q *Queue) FreelistMetrics() guard.Metrics { return q.pool.metrics() }
+func (q *Queue) FreelistMetrics() guard.Metrics { return q.pool.Metrics() }
 
 // PoolStats returns the allocator's exhaustion and reclamation counters.
-func (q *Queue) PoolStats() PoolStats { return q.pool.stats() }
+func (q *Queue) PoolStats() PoolStats { return q.pool.Stats() }
 
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (q *Queue) Handle(pid int) (*QueueHandle, error) {
@@ -116,10 +116,10 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 	}
 	h := &QueueHandle{q: q, pid: pid, next: make([]guard.Handle, len(q.next))}
 	var err error
-	if h.pool, err = q.pool.handle(pid); err != nil {
+	if h.pool, err = q.pool.Handle(pid); err != nil {
 		return nil, err
 	}
-	h.smr = h.pool.reclaiming()
+	h.smr = h.pool.Reclaiming()
 	if h.head, err = q.head.Handle(pid); err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ type QueueHandle struct {
 	head guard.Handle
 	tail guard.Handle
 	next []guard.Handle
-	pool poolHandle
+	pool PoolHandle
 	smr  bool // pool defers releases: run the protect/revalidate fence
 
 	// MaxSpin bounds the retry/helping loops of Enq and Deq; 0 means
@@ -166,7 +166,7 @@ func (h *QueueHandle) spent(spins int) bool { return h.MaxSpin > 0 && spins >= h
 // Enq appends v.  It returns false when the node pool is exhausted (or a
 // MaxSpin budget ran out).
 func (h *QueueHandle) Enq(v Word) bool {
-	idx := h.pool.alloc()
+	idx := h.pool.Alloc()
 	if idx == 0 {
 		return false
 	}
@@ -176,9 +176,9 @@ func (h *QueueHandle) Enq(v Word) bool {
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
 			if h.smr {
-				h.pool.clear()
+				h.pool.Clear()
 			}
-			h.pool.release(idx)
+			h.pool.Release(idx)
 			return false
 		}
 		t, _ := h.tail.Load()
@@ -186,7 +186,7 @@ func (h *QueueHandle) Enq(v Word) bool {
 		// reads t with the protection visible, t cannot be recycled until
 		// clear, so the next[t] dereference below is covered.
 		if h.smr {
-			h.pool.protect(0, int(t))
+			h.pool.Protect(0, int(t))
 		}
 		if !h.tail.Validate() {
 			continue // t is no longer the tail: the snapshot is stale
@@ -204,7 +204,7 @@ func (h *QueueHandle) Enq(v Word) bool {
 				// onto a node that may since have been dequeued and freed.
 				h.tail.Commit(Word(idx))
 				if h.smr {
-					h.pool.clear()
+					h.pool.Clear()
 				}
 				return true
 			}
@@ -221,7 +221,7 @@ func (h *QueueHandle) Deq() (Word, bool) {
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
 			if h.smr {
-				h.pool.clear()
+				h.pool.Clear()
 			}
 			return 0, false
 		}
@@ -247,7 +247,7 @@ func (h *QueueHandle) DeqBegin() (head, next int, empty bool) {
 	for spins := 0; ; spins++ {
 		if h.spent(spins) {
 			if h.smr {
-				h.pool.clear()
+				h.pool.Clear()
 			}
 			h.pendingHead, h.pendingNext = 0, 0
 			return 0, 0, true
@@ -292,7 +292,7 @@ func (h *QueueHandle) DeqCommit() (Word, bool) {
 func (h *QueueHandle) deqSnapshot() (hd, nh int, empty, ok bool) {
 	hdW, _ := h.head.Load()
 	if h.smr {
-		h.pool.protect(0, int(hdW))
+		h.pool.Protect(0, int(hdW))
 		if !h.head.Validate() {
 			return 0, 0, false, false // hd moved before the protection was visible
 		}
@@ -304,18 +304,18 @@ func (h *QueueHandle) deqSnapshot() (hd, nh int, empty, ok bool) {
 	}
 	if nhW == 0 {
 		if h.smr {
-			h.pool.clear()
+			h.pool.Clear()
 			// An empty dequeue is this process's idle moment: drain its
 			// own deferred nodes so an idle consumer cannot strand every
 			// node in limbo while the producers starve (the clear above
 			// must come first — an epoch drain cannot advance past its
 			// own pin).
-			h.pool.drain()
+			h.pool.Drain()
 		}
 		return 0, 0, true, true // consistent snapshot of an empty queue
 	}
 	if h.smr {
-		h.pool.protect(1, int(nhW))
+		h.pool.Protect(1, int(nhW))
 		if !h.head.Validate() {
 			return 0, 0, false, false
 		}
@@ -337,13 +337,13 @@ func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
 		// The old dummy is exclusively ours now; clearing before the
 		// release keeps our own protection from deferring its retirement.
 		if h.smr {
-			h.pool.clear()
+			h.pool.Clear()
 		}
-		h.pool.release(hd)
+		h.pool.Release(hd)
 		return v, true
 	}
 	if h.smr {
-		h.pool.clear()
+		h.pool.Clear()
 	}
 	return 0, false
 }
@@ -396,7 +396,7 @@ func (q *Queue) Audit() QueueAudit {
 		}
 		cur = int(q.next[cur].Peek(-1))
 	}
-	for _, idx := range q.pool.snapshot() {
+	for _, idx := range q.pool.Snapshot() {
 		seen[idx]++
 		a.InFree++
 	}

@@ -36,7 +36,7 @@ type Stack struct {
 	value []shmem.Register // value[i] of node i (1-based)
 	next  []shmem.Register // next[i] of node i; 0 = nil
 
-	pool pool
+	pool Pool
 	head guard.Guard
 }
 
@@ -50,7 +50,7 @@ func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 	if capacity < 1 {
 		return nil, fmt.Errorf("apps: stack needs capacity >= 1, got %d", capacity)
 	}
-	o := buildStructOptions(f, n, prot, tagBits, opts)
+	o := ResolveStructOptions(f, n, prot, tagBits, opts)
 	idxBits := shmem.BitsFor(capacity + 1)
 	s := &Stack{
 		n:        n,
@@ -62,7 +62,7 @@ func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 		s.value[i] = f.NewRegister(fmt.Sprintf("value[%d]", i), 0)
 		s.next[i] = f.NewRegister(fmt.Sprintf("next[%d]", i), 0)
 	}
-	head, err := o.maker("head", idxBits, 0)
+	head, err := o.Maker("head", idxBits, 0)
 	if err != nil {
 		return nil, fmt.Errorf("apps: stack head guard: %w", err)
 	}
@@ -70,7 +70,7 @@ func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 		return nil, fmt.Errorf("apps: stack head needs a conditional guard; %s guard is detection-only", head.Regime())
 	}
 	s.head = head
-	if s.pool, err = newPoolFor(f, o, "stack", n, capacity, idxBits); err != nil {
+	if s.pool, err = NewPool(f, o, "stack", n, capacity, idxBits); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -90,10 +90,10 @@ func (s *Stack) GuardMetrics() guard.Metrics { return s.head.Metrics() }
 
 // FreelistMetrics returns the node pool's guard counters (zero unless the
 // stack was built WithGuardedPool).
-func (s *Stack) FreelistMetrics() guard.Metrics { return s.pool.metrics() }
+func (s *Stack) FreelistMetrics() guard.Metrics { return s.pool.Metrics() }
 
 // PoolStats returns the allocator's exhaustion and reclamation counters.
-func (s *Stack) PoolStats() PoolStats { return s.pool.stats() }
+func (s *Stack) PoolStats() PoolStats { return s.pool.Stats() }
 
 // Handle returns process pid's handle.  Handles are single-goroutine.
 func (s *Stack) Handle(pid int) (*StackHandle, error) {
@@ -104,11 +104,11 @@ func (s *Stack) Handle(pid int) (*StackHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	ph, err := s.pool.handle(pid)
+	ph, err := s.pool.Handle(pid)
 	if err != nil {
 		return nil, err
 	}
-	return &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.reclaiming()}, nil
+	return &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.Reclaiming()}, nil
 }
 
 // StackHandle is a per-process stack endpoint.
@@ -116,7 +116,7 @@ type StackHandle struct {
 	s    *Stack
 	pid  int
 	head guard.Handle
-	pool poolHandle
+	pool PoolHandle
 	smr  bool // pool defers releases: run the protect/revalidate fence
 
 	pending int // node loaded by PopBegin
@@ -125,7 +125,7 @@ type StackHandle struct {
 
 // Push pushes v.  It returns false when the node pool is exhausted.
 func (h *StackHandle) Push(v Word) bool {
-	idx := h.pool.alloc()
+	idx := h.pool.Alloc()
 	if idx == 0 {
 		return false
 	}
@@ -170,17 +170,17 @@ func (h *StackHandle) PopBegin() (top, next int, empty bool) {
 		top = int(topW)
 		if top == 0 {
 			if h.smr {
-				h.pool.clear()
+				h.pool.Clear()
 				// An empty pop is this process's idle moment: drain its
 				// own deferred nodes so a popper that stops retiring
 				// cannot strand them in limbo while pushers starve.
-				h.pool.drain()
+				h.pool.Drain()
 			}
 			h.pending, h.next = 0, 0
 			return 0, 0, true
 		}
 		if h.smr {
-			h.pool.protect(0, top)
+			h.pool.Protect(0, top)
 			if !h.head.Validate() {
 				continue // head moved before the protection was visible
 			}
@@ -212,7 +212,7 @@ func (h *StackHandle) popCommit(top, next int) (Word, bool) {
 	h.pending, h.next = 0, 0
 	if !h.head.Commit(Word(next)) {
 		if h.smr {
-			h.pool.clear()
+			h.pool.Clear()
 		}
 		return 0, false
 	}
@@ -220,9 +220,9 @@ func (h *StackHandle) popCommit(top, next int) (Word, bool) {
 	// The popped node is exclusively ours now; clearing before the release
 	// keeps our own protection from deferring its retirement.
 	if h.smr {
-		h.pool.clear()
+		h.pool.Clear()
 	}
-	h.pool.release(top)
+	h.pool.Release(top)
 	return v, true
 }
 
@@ -267,7 +267,7 @@ func (s *Stack) Audit() StackAudit {
 		a.InStack++
 		cur = int(s.next[cur].Read(-1))
 	}
-	for _, idx := range s.pool.snapshot() {
+	for _, idx := range s.pool.Snapshot() {
 		seen[idx]++
 		a.InFree++
 	}

@@ -114,8 +114,8 @@ func TestE1AndE8Verdicts(t *testing.T) {
 
 func TestExperimentIndex(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("index has %d experiments, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("index has %d experiments, want 13", len(exps))
 	}
 	for i, e := range exps {
 		if want := "E" + string(rune('1'+i)); i < 9 && e.ID != want {
@@ -153,6 +153,35 @@ func TestE10ThroughputShape(t *testing.T) {
 		if !ids[want] {
 			t.Errorf("throughput table lacks %q", want)
 		}
+	}
+}
+
+func TestE13LoadMatrixShape(t *testing.T) {
+	// One profile, one scheme: 4 regimes worth of rows with parseable
+	// latency columns; the filters reject unknown IDs.
+	tbl, err := E13LoadMatrix("map", "none", "steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (one per regime)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tbl.Header))
+		}
+		if row[6] == "" || row[7] == "" || row[8] == "" {
+			t.Errorf("row %v lacks latency percentiles", row)
+		}
+	}
+	if _, err := E13LoadMatrix("no-such-structure", "all", "all"); err == nil {
+		t.Error("want error for an unknown structure")
+	}
+	if _, err := E13LoadMatrix("map", "no-such-scheme", "all"); err == nil {
+		t.Error("want error for an unknown scheme")
+	}
+	if _, err := E13LoadMatrix("map", "all", "no-such-profile"); err == nil {
+		t.Error("want error for an unknown profile")
 	}
 }
 

@@ -58,6 +58,7 @@ var throughputExperiments = []struct {
 	{"E10", E10Throughput},
 	{"E11", func() (*Table, error) { return E11Apps("all") }},
 	{"E12", func() (*Table, error) { return E12Reclaim("all", "all") }},
+	{"E13", func() (*Table, error) { return E13LoadMatrix("map", "all", "all") }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot

@@ -53,11 +53,27 @@ func E11Apps(filter string) (*Table, error) {
 		}
 	}
 	if !matched {
-		return nil, fmt.Errorf("bench: unknown structure %q (registered: stack, queue, event)", filter)
+		return nil, fmt.Errorf("bench: unknown structure %q (registered: %s)", filter, structureIDs())
 	}
 	t.AddNote("stack/queue ops are push+pop / enq+deq pairs over a guarded free list; event ops are signal/reset pulses (pid 0) and polls.")
 	t.AddNote("outcome is the quiescent audit plus the guards' detected-and-prevented ABA count; a corrupt raw audit is the §1 story, not a harness failure.")
 	return t, nil
+}
+
+// structureIDs and reclaimerIDs render the registered choices for error
+// messages, so the hints can never drift from the registry.
+func structureIDs() string { return implIDs(registry.Structures()) }
+func reclaimerIDs() string { return implIDs(registry.Reclaimers()) }
+
+func implIDs(impls []registry.Impl) string {
+	out := ""
+	for i, im := range impls {
+		if i > 0 {
+			out += ", "
+		}
+		out += im.ID
+	}
+	return out
 }
 
 // appRun drives one (structure, guard spec) cell: `workers` goroutines, a

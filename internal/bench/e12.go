@@ -67,10 +67,10 @@ func E12Reclaim(structFilter, schemeFilter string) (*Table, error) {
 		}
 	}
 	if !structMatched {
-		return nil, fmt.Errorf("bench: unknown structure %q (registered: stack, queue, event)", structFilter)
+		return nil, fmt.Errorf("bench: unknown structure %q (registered: %s)", structFilter, structureIDs())
 	}
 	if !schemeMatched {
-		return nil, fmt.Errorf("bench: unknown reclamation scheme %q (registered: hp, epoch, none)", schemeFilter)
+		return nil, fmt.Errorf("bench: unknown reclamation scheme %q (registered: %s)", schemeFilter, reclaimerIDs())
 	}
 	t.AddNote("rows run on the default mutex FIFO pool so the reclaimer is the only allocator variable; the event flag has no pool and reports the same numbers on every scheme.")
 	t.AddNote("raw+none is the §1 victim (a corrupt audit is the expected result, not a harness failure); raw+hp and raw+epoch must audit clean — the reclaimer prevents the ABA the raw guard cannot see.")

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/load"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
+)
+
+// E13LoadMatrix measures the traffic layer: the keyed map (or any filtered
+// structure) driven by the load generator's named profiles across every
+// canonical protection regime × every registered reclaimer.  Where E11/E12
+// report throughput of a lockstep loop, E13 reports the latency
+// *distribution* — p50/p99/p999 from the generator's log2 histograms —
+// under closed-loop saturation, Poisson open-loop arrivals, and bursty
+// herds, with Zipf key popularity and a configurable get/put/delete mix.
+// abalab exposes it as `-load` (filterable with -app and -reclaim).
+func E13LoadMatrix(structFilter, schemeFilter, profileFilter string) (*Table, error) {
+	t := &Table{
+		ID:     "E13",
+		Title:  "traffic matrix: map × regime × reclaimer × load profile, with latency percentiles",
+		Header: []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s", "p50", "p99", "p999", "outcome"},
+	}
+	const capacity = 128
+
+	if structFilter == "" {
+		structFilter = "map"
+	}
+	regimes := []registry.GuardSpec{
+		{Regime: guard.Raw},
+		{Regime: guard.Tagged, TagBits: 16},
+		{Regime: guard.LLSC},
+		{Regime: guard.Detector},
+	}
+
+	structMatched, schemeMatched, profileMatched := false, false, false
+	for _, im := range registry.Structures() {
+		if structFilter != "all" && structFilter != im.ID {
+			continue
+		}
+		structMatched = true
+		for _, spec := range regimes {
+			for _, rim := range registry.Reclaimers() {
+				if schemeFilter != "" && schemeFilter != "all" && schemeFilter != rim.ID {
+					continue
+				}
+				schemeMatched = true
+				for _, p := range load.Profiles() {
+					if profileFilter != "" && profileFilter != "all" && profileFilter != p.ID {
+						continue
+					}
+					profileMatched = true
+					res, outcome, err := loadRun(im, spec, rim, p, capacity)
+					if err != nil {
+						return nil, fmt.Errorf("bench: E13 %s/%s+%s/%s: %w", im.ID, spec, rim.ID, p.ID, err)
+					}
+					p50, p99, p999 := res.Latency.Percentiles()
+					t.AddRow(
+						im.ID+"/"+spec.String()+"+"+rim.ID+"/"+p.ID,
+						string(im.Kind),
+						p.Workload(),
+						fmt.Sprintf("%d", res.Ops),
+						fmt.Sprintf("%.1f", float64(res.Elapsed.Nanoseconds())/float64(res.Ops)),
+						fmt.Sprintf("%.2f", float64(res.Ops)/res.Elapsed.Seconds()/1e6),
+						fmt.Sprintf("%v", p50),
+						fmt.Sprintf("%v", p99),
+						fmt.Sprintf("%v", p999),
+						outcome,
+					)
+				}
+			}
+		}
+	}
+	if !structMatched {
+		return nil, fmt.Errorf("bench: unknown structure %q (registered: %s)", structFilter, structureIDs())
+	}
+	if !schemeMatched {
+		return nil, fmt.Errorf("bench: unknown reclamation scheme %q (registered: %s)", schemeFilter, reclaimerIDs())
+	}
+	if !profileMatched {
+		return nil, fmt.Errorf("bench: unknown load profile %q (try abalab -list)", profileFilter)
+	}
+	t.AddNote("latency percentiles come from allocation-free log2 histograms; open-loop rows measure from the *scheduled* arrival, so queueing delay counts (no coordinated omission).")
+	t.AddNote("keyed structures receive the profile's Zipf popularity and get/put/delete mix through the Keyed seam; others run their fixed op under the same arrival process.")
+	t.AddNote("raw+none is the §1 victim (a corrupt audit is the expected result); the sound regimes and the hp/epoch reclaimers must audit clean under every profile.")
+	return t, nil
+}
+
+// loadRun drives one (structure, regime, reclaimer, profile) cell and
+// audits at quiescence.
+func loadRun(im registry.Impl, spec registry.GuardSpec, rim registry.Impl, p load.Profile, capacity int) (load.Result, string, error) {
+	f := shmem.NewNativeFactory()
+	mk, err := registry.NewGuardMaker(f, p.Workers, spec)
+	if err != nil {
+		return load.Result{}, "", err
+	}
+	inst, err := im.NewStructure(f, p.Workers, capacity, mk, apps.InstanceOptions{Reclaim: rim.NewReclaimer})
+	if err != nil {
+		return load.Result{}, "", err
+	}
+	res, err := load.Run(inst, p)
+	if err != nil {
+		return load.Result{}, "", err
+	}
+	corrupt, detail := inst.Audit()
+	prevented := inst.GuardMetrics().NearMisses
+	ps := inst.PoolStats()
+	outcome := fmt.Sprintf("corrupt=%v prevented-ABA=%d exhausted=%d deferred=%d",
+		corrupt, prevented, ps.Exhaustions, ps.Reclaim.Deferred())
+	if corrupt {
+		outcome += " (" + detail + ")"
+	}
+	return res, outcome, nil
+}

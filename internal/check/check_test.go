@@ -340,6 +340,51 @@ func TestQueueSpec(t *testing.T) {
 	}
 }
 
+func TestMapSpec(t *testing.T) {
+	ops := []Op{
+		mkOp(0, "Put", 1, 2, []uint64{7, 70}, []uint64{1}),
+		mkOp(1, "Get", 3, 4, []uint64{7}, []uint64{70, 1}),
+		mkOp(0, "Put", 5, 6, []uint64{7, 71}, []uint64{1}),
+		mkOp(1, "Get", 7, 8, []uint64{7}, []uint64{71, 1}),
+		mkOp(0, "Delete", 9, 10, []uint64{7}, []uint64{1}),
+		mkOp(1, "Get", 11, 12, []uint64{7}, []uint64{0, 0}),
+		mkOp(0, "Delete", 13, 14, []uint64{7}, []uint64{0}),
+	}
+	if res := Linearizable(MapSpec{}, ops); !res.Ok {
+		t.Error("valid map history rejected")
+	}
+	// A read of the overwritten value after the overwrite completed.
+	bad := append([]Op(nil), ops...)
+	bad[3].Rets = []uint64{70, 1}
+	if res := Linearizable(MapSpec{}, bad); res.Ok {
+		t.Error("stale read accepted by map spec")
+	}
+	// A delete that claims success on an absent key.
+	bad = append([]Op(nil), ops...)
+	bad[6].Rets = []uint64{1}
+	if res := Linearizable(MapSpec{}, bad); res.Ok {
+		t.Error("phantom delete accepted by map spec")
+	}
+	// A failed put is a legal no-op (allocator exhaustion).
+	noop := []Op{
+		mkOp(0, "Put", 1, 2, []uint64{7, 70}, []uint64{0}),
+		mkOp(1, "Get", 3, 4, []uint64{7}, []uint64{0, 0}),
+	}
+	if res := Linearizable(MapSpec{}, noop); !res.Ok {
+		t.Error("failed-put no-op rejected by map spec")
+	}
+	// Two keys stay independent.
+	multi := []Op{
+		mkOp(0, "Put", 1, 2, []uint64{1, 10}, []uint64{1}),
+		mkOp(0, "Put", 3, 4, []uint64{2, 20}, []uint64{1}),
+		mkOp(1, "Delete", 5, 6, []uint64{1}, []uint64{1}),
+		mkOp(1, "Get", 7, 8, []uint64{2}, []uint64{20, 1}),
+	}
+	if res := Linearizable(MapSpec{}, multi); !res.Ok {
+		t.Error("independent-key history rejected by map spec")
+	}
+}
+
 func TestEmptyHistory(t *testing.T) {
 	if res := Linearizable(RegisterSpec{}, nil); !res.Ok {
 		t.Error("empty history must be linearizable")

@@ -243,6 +243,137 @@ func (st stackState) Apply(op Op) (State, bool) {
 
 func (st stackState) Key() string { return st.items }
 
+// MapSpec is the sequential specification of a key-value map of words.
+// Get(k) returns (value, ok); Put(k,v) returns ok (a failed put — pool
+// exhaustion, an allocator property below the map's sequential semantics —
+// is a legal no-op); Delete(k) returns whether a binding was removed.
+type MapSpec struct{}
+
+var _ Spec = MapSpec{}
+
+// Initial returns the empty map.
+func (MapSpec) Initial() State { return kvState{} }
+
+// kvState encodes the bindings as "k=v;k=v" with keys in ascending order,
+// so equal abstract states share one Key.
+type kvState struct {
+	items string
+}
+
+// kvLookup scans the encoding for k, returning the value and the segment's
+// [start, end) bounds (end includes the trailing separator when present).
+func (st kvState) kvLookup(k uint64) (v uint64, start, end int, ok bool) {
+	s := st.items
+	i := 0
+	for i < len(s) {
+		j := i
+		for s[j] != ';' {
+			j++
+			if j == len(s) {
+				break
+			}
+		}
+		seg := s[i:j]
+		var kk, vv uint64
+		fmt.Sscanf(seg, "%d=%d", &kk, &vv)
+		if kk == k {
+			end := j
+			if end < len(s) {
+				end++ // swallow the separator
+			}
+			return vv, i, end, true
+		}
+		if kk > k {
+			return 0, i, i, false // insertion point (keys ascend)
+		}
+		i = j + 1
+	}
+	return 0, len(s), len(s), false
+}
+
+// kvWith returns the state with k bound to v.
+func (st kvState) kvWith(k, v uint64) kvState {
+	seg := fmt.Sprintf("%d=%d", k, v)
+	_, start, end, ok := st.kvLookup(k)
+	if ok {
+		rest := st.items[end:]
+		if rest == "" {
+			if start > 0 {
+				return kvState{items: st.items[:start] + seg}
+			}
+			return kvState{items: seg}
+		}
+		return kvState{items: st.items[:start] + seg + ";" + rest}
+	}
+	switch {
+	case st.items == "":
+		return kvState{items: seg}
+	case start == len(st.items):
+		return kvState{items: st.items + ";" + seg}
+	default:
+		return kvState{items: st.items[:start] + seg + ";" + st.items[start:]}
+	}
+}
+
+// kvWithout returns the state with k unbound.
+func (st kvState) kvWithout(k uint64) kvState {
+	_, start, end, ok := st.kvLookup(k)
+	if !ok {
+		return st
+	}
+	out := st.items[:start] + st.items[end:]
+	// A removed tail segment leaves a dangling separator.
+	if len(out) > 0 && out[len(out)-1] == ';' {
+		out = out[:len(out)-1]
+	}
+	return kvState{items: out}
+}
+
+func (st kvState) Apply(op Op) (State, bool) {
+	switch op.Method {
+	case "Get":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		v, _, _, present := st.kvLookup(op.Args[0])
+		if !op.Pending {
+			if len(op.Rets) != 2 {
+				return nil, false
+			}
+			if op.Rets[1] != boolWord(present) || (present && op.Rets[0] != v) {
+				return nil, false
+			}
+		}
+		return st, true
+	case "Put":
+		if len(op.Args) != 2 {
+			return nil, false
+		}
+		if !op.Pending {
+			if len(op.Rets) != 1 {
+				return nil, false
+			}
+			if op.Rets[0] == 0 {
+				return st, true // exhausted allocator: a no-op
+			}
+		}
+		return st.kvWith(op.Args[0], op.Args[1]), true
+	case "Delete":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		_, _, _, present := st.kvLookup(op.Args[0])
+		if !op.Pending && (len(op.Rets) != 1 || op.Rets[0] != boolWord(present)) {
+			return nil, false
+		}
+		return st.kvWithout(op.Args[0]), true
+	default:
+		return nil, false
+	}
+}
+
+func (st kvState) Key() string { return st.items }
+
 // QueueSpec is the sequential specification of a FIFO queue of words.
 // Enq(x) returns nothing; Deq returns (value, ok) with ok=0 on empty.
 type QueueSpec struct{}

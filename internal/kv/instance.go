@@ -1,0 +1,87 @@
+package kv
+
+import (
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/shmem"
+)
+
+// maxSpin bounds the map's traversal loops in matrix runs: a raw-guarded
+// map that has been ABA-corrupted can acquire a cycle through a bucket
+// chain, and a bounded spin turns the resulting livelock into failed
+// operations (the queue instance does the same).
+const maxSpin = 10_000
+
+// NewMapInstance builds a map of the given capacity for the benchmark
+// matrices.  The fixed Worker workload cycles put/get/get/delete over a
+// small shared key range (cross-process contention on bucket heads and
+// chains); the richer Keyed seam lets the load generator substitute its own
+// arrival process, key popularity, and op mix.
+func NewMapInstance(f shmem.Factory, n, capacity int, mk guard.Maker, io apps.InstanceOptions) (apps.Instance, error) {
+	m, err := NewMap(f, n, capacity, capacity, 0, 0, io.StructOpts(mk)...)
+	if err != nil {
+		return nil, err
+	}
+	return mapInstance{m}, nil
+}
+
+type mapInstance struct{ m *Map }
+
+func (in mapInstance) handle(pid int) (*Handle, error) {
+	h, err := in.m.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	h.MaxSpin = maxSpin
+	return h, nil
+}
+
+// Worker cycles put(k)/get(k)/get(hot)/delete(k) with k shared across
+// processes, so each 4-op cycle is allocation-balanced while bucket heads
+// and chains stay contended.
+func (in mapInstance) Worker(pid int) (func(i int), error) {
+	h, err := in.handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) {
+		k := Word((i >> 2) & 31)
+		switch i & 3 {
+		case 0:
+			h.Put(k, Word(pid)<<32|Word(i))
+		case 1:
+			h.Get(k)
+		case 2:
+			h.Get(1) // the hot key
+		default:
+			h.Delete(k)
+		}
+	}, nil
+}
+
+// KeyedWorker is the apps.Keyed seam the load generator drives.
+func (in mapInstance) KeyedWorker(pid int) (func(op apps.OpKind, key, val Word), error) {
+	h, err := in.handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return func(op apps.OpKind, key, val Word) {
+		switch op {
+		case apps.OpPut:
+			h.Put(key, val)
+		case apps.OpDelete:
+			h.Delete(key)
+		default:
+			h.Get(key)
+		}
+	}, nil
+}
+
+func (in mapInstance) Audit() (bool, string) {
+	a := in.m.Audit()
+	return a.Corrupt(), a.String()
+}
+
+func (in mapInstance) GuardMetrics() guard.Metrics    { return in.m.GuardMetrics() }
+func (in mapInstance) FreelistMetrics() guard.Metrics { return in.m.FreelistMetrics() }
+func (in mapInstance) PoolStats() apps.PoolStats      { return in.m.PoolStats() }

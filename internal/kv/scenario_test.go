@@ -1,0 +1,107 @@
+package kv
+
+import (
+	"testing"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/reclaim"
+	"abadetect/internal/shmem"
+)
+
+// TestMapABAScenarioLadder replays the deterministic recycling script
+// across the protection ladder with immediate reuse: the raw guard is
+// provably fooled and corrupts the map; a wide-enough tag, LL/SC, and the
+// detector all reject the stale unlink and count the near-miss (the bucket
+// head's value compared equal — an ABA caught in the act).
+func TestMapABAScenarioLadder(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		prot       Protection
+		tagBits    uint
+		wantFooled bool
+	}{
+		{"raw", apps.Raw, 0, true},
+		{"tag16", apps.Tagged, 16, false},
+		{"llsc", apps.LLSC, 0, false},
+		{"detector", apps.Detector, 0, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := MapABAScenario(shmem.NewNativeFactory(), tc.prot, tc.tagBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fooled != tc.wantFooled {
+				t.Fatalf("fooled = %v, want %v (%s)", res.Fooled, tc.wantFooled, res.Detail)
+			}
+			if res.Corrupt != tc.wantFooled {
+				t.Fatalf("corrupt = %v, want %v (%s)", res.Corrupt, tc.wantFooled, res.Detail)
+			}
+			if !tc.wantFooled && res.Guard.NearMisses == 0 {
+				t.Errorf("prevented map ABA not counted as a near-miss: %s", res.Guard)
+			}
+			if res.Starved {
+				t.Errorf("immediate reuse starved the adversary: %s", res.Detail)
+			}
+		})
+	}
+}
+
+// TestMapABAScenarioWrapsNarrowTag: the 1-bit folklore tag wraps inside the
+// victim's window (the head takes 3 successful swings before the stale
+// commit, and under a raw-free-running tag 2 swings restore a 1-bit tag...)
+// — the scenario's 3 swings leave a 1-bit tag UNequal, so use 2-swing
+// parity: with tagBits=1 the relevant question is simply whether the script
+// can fool it; it can't be fooled here (3 is odd), so assert the tag
+// survives this particular schedule while raw does not — the wraparound
+// refutation for the map rides E6's stack ladder, where the swing count is
+// even.
+func TestMapABAScenarioNarrowTagStillPrevented(t *testing.T) {
+	res, err := MapABAScenario(shmem.NewNativeFactory(), apps.Tagged, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fooled || res.Corrupt {
+		t.Fatalf("1-bit tag fooled by an odd-swing schedule: %s", res.Detail)
+	}
+}
+
+// TestMapReclaimPreventsScenarioWithZeroNearMisses: raw+hp and raw+epoch
+// pass the deterministic script that raw+none provably corrupts, with zero
+// guard near-misses — the recycle leg never happens, so there is no ABA for
+// the guard to see.  hp prevents by substitution (the adversary's put gets a
+// different node), epoch by starvation (every free node sits in limbo behind
+// the victim's pin).
+func TestMapReclaimPreventsScenarioWithZeroNearMisses(t *testing.T) {
+	for _, rc := range []struct {
+		name        string
+		mk          reclaim.Maker
+		wantStarved bool
+	}{
+		{"hp", reclaim.NewHazard, false},
+		{"epoch", reclaim.NewEpoch, true},
+	} {
+		t.Run("raw+"+rc.name, func(t *testing.T) {
+			res, err := MapABAScenario(shmem.NewNativeFactory(), apps.Raw, 0, apps.WithReclaimer(rc.mk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fooled || res.Corrupt {
+				t.Fatalf("fooled=%v corrupt=%v (%s)", res.Fooled, res.Corrupt, res.Detail)
+			}
+			if res.Guard.NearMisses != 0 {
+				t.Errorf("guard near-misses = %d, want 0 (prevention, not detection)", res.Guard.NearMisses)
+			}
+			if res.Starved != rc.wantStarved {
+				t.Errorf("starved = %v, want %v (%s)", res.Starved, rc.wantStarved, res.Detail)
+			}
+		})
+	}
+	// The control arm: the pass-through reclaimer reproduces the corruption.
+	res, err := MapABAScenario(shmem.NewNativeFactory(), apps.Raw, 0, apps.WithReclaimer(reclaim.NewNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fooled || !res.Corrupt {
+		t.Errorf("raw+none: fooled=%v corrupt=%v, want the corruption back (%s)", res.Fooled, res.Corrupt, res.Detail)
+	}
+}

@@ -1,0 +1,120 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/check"
+	"abadetect/internal/sim"
+)
+
+// mapWorkloadRun builds a simulated run of a map workload and returns the
+// runner.  ops[pid] is a string over 'p' (put key), 'q' (put the other
+// key), 'g' (get key), 'd' (delete key) — two keys that collide into the
+// single bucket, so every schedule contends on one chain.
+func mapWorkloadRun(t *testing.T, ops []string) *sim.Runner {
+	t.Helper()
+	n := len(ops)
+	runner := sim.NewRunner(n)
+	m, err := NewMap(runner.Factory(), n, 8, 1, apps.LLSC, 0)
+	if err != nil {
+		runner.Close()
+		t.Fatal(err)
+	}
+	for pid := range ops {
+		pid := pid
+		seq := ops[pid]
+		err := runner.SetProgram(pid, func(p *sim.Proc) {
+			h, herr := m.Handle(pid)
+			if herr != nil {
+				panic(herr)
+			}
+			boolw := func(b bool) Word {
+				if b {
+					return 1
+				}
+				return 0
+			}
+			for i, c := range seq {
+				v := Word(pid*100 + i)
+				switch c {
+				case 'p':
+					p.Invoke("Put", 1, v)
+					ok := h.Put(1, v)
+					p.Return(boolw(ok))
+				case 'q':
+					p.Invoke("Put", 2, v)
+					ok := h.Put(2, v)
+					p.Return(boolw(ok))
+				case 'g':
+					p.Invoke("Get", 1)
+					got, ok := h.Get(1)
+					p.Return(got, boolw(ok))
+				case 'd':
+					p.Invoke("Delete", 1)
+					ok := h.Delete(1)
+					p.Return(boolw(ok))
+				}
+			}
+		})
+		if err != nil {
+			runner.Close()
+			t.Fatal(err)
+		}
+	}
+	if err := runner.Start(); err != nil {
+		runner.Close()
+		t.Fatal(err)
+	}
+	return runner
+}
+
+func TestMapLinearizableUnderRandomSchedules(t *testing.T) {
+	ops := []string{"pgd", "pg", "dgq"}
+	for seed := int64(0); seed < 150; seed++ {
+		runner := mapWorkloadRun(t, ops)
+		if _, err := runner.Run(sim.NewRandom(9000+seed), 200000); err != nil {
+			t.Fatal(err)
+		}
+		if !runner.AllDone() {
+			t.Fatal("run did not finish")
+		}
+		hist, pending, err := check.PairOps(runner.History())
+		runner.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pending) != 0 {
+			t.Fatalf("seed %d: %d pending ops", seed, len(pending))
+		}
+		res := check.Linearizable(check.MapSpec{}, hist)
+		if !res.Ok {
+			var lines string
+			for _, op := range hist {
+				lines += fmt.Sprintf("  %s\n", op)
+			}
+			t.Fatalf("seed %d: map history not linearizable:\n%s", seed, lines)
+		}
+	}
+}
+
+func TestMapTinyWorkloadManySeeds(t *testing.T) {
+	// The map's help-and-restart traversals make full schedule enumeration
+	// explode (a Put is ~8 steps plus the duplicate sweep), so the tiny
+	// workload gets a dense random sample, like the queue's.
+	for seed := int64(0); seed < 400; seed++ {
+		runner := mapWorkloadRun(t, []string{"p", "d"})
+		if _, err := runner.Run(sim.NewRandom(51000+seed), 200000); err != nil {
+			t.Fatal(err)
+		}
+		hist, _, err := check.PairOps(runner.History())
+		runner.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := check.Linearizable(check.MapSpec{}, hist); !res.Ok {
+			t.Fatalf("seed %d: map history not linearizable", seed)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Hist is an allocation-free latency histogram with logarithmic (log2)
+// buckets: bucket b counts samples whose nanosecond value has bit-length b,
+// i.e. lies in [2^(b-1), 2^b).  65 buckets cover every possible
+// time.Duration, Record is two instructions plus an increment, and the
+// per-worker instances merge at the end of a run — so the measurement path
+// adds no contention and no heap traffic to the workload it measures.
+//
+// Quantiles interpolate linearly inside a bucket, which bounds the error by
+// the bucket's width — coarse at the top, but percentile *movement* (the
+// regression signal) survives, and the alternative (recording every sample)
+// is exactly the allocation the hot-path guards forbid.
+type Hist struct {
+	counts [65]int64
+	total  int64
+}
+
+// Record adds one latency sample.  Negative durations (clock steps) count
+// into the zero bucket.
+func (h *Hist) Record(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bits.Len64(ns)]++
+	h.total++
+}
+
+// Add merges o into h (for combining per-worker histograms).
+func (h *Hist) Add(o *Hist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total }
+
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded samples,
+// linearly interpolated inside the containing bucket.  It returns 0 when
+// the histogram is empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := bucketBounds(b)
+			frac := (target - cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	// Rounding left the target past the last bucket: return its upper edge.
+	for b := len(h.counts) - 1; b >= 0; b-- {
+		if h.counts[b] != 0 {
+			_, hi := bucketBounds(b)
+			return time.Duration(hi)
+		}
+	}
+	return 0
+}
+
+// bucketBounds returns bucket b's [lo, hi) nanosecond range.
+func bucketBounds(b int) (lo, hi uint64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return 1 << (b - 1), 1 << b
+}
+
+// Percentiles renders the p50/p99/p999 summary the experiment tables carry.
+func (h *Hist) Percentiles() (p50, p99, p999 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)
+}
+
+// String renders the summary.
+func (h *Hist) String() string {
+	p50, p99, p999 := h.Percentiles()
+	return fmt.Sprintf("p50=%v p99=%v p999=%v (n=%d)", p50, p99, p999, h.total)
+}

@@ -1,0 +1,350 @@
+// Package load is the traffic layer: an open- and closed-loop load
+// generator that drives any registered structure through the apps.Instance
+// driver seam and measures per-operation latency, not just throughput.
+//
+// The ROADMAP's north star is a system serving heavy traffic from millions
+// of users, and such traffic is never the benchmark loop's lockstep
+// hammering: arrivals cluster (Poisson and bursts), key popularity is
+// skewed (Zipf), and the health metric is the latency *distribution* —
+// p99/p999, where guard retries, reclamation stalls, and pool exhaustion
+// actually surface.  A Profile names one such traffic shape:
+//
+//   - Closed-loop: each worker issues its next operation immediately; the
+//     classic saturation benchmark, latency ≈ service time.
+//   - Poisson open-loop: operations are *scheduled* by a memoryless arrival
+//     process at a fixed rate, and latency is measured from the scheduled
+//     arrival — so a slow operation's queueing delay lands on the ops
+//     behind it instead of silently slowing the generator (the
+//     coordinated-omission correction).
+//   - Bursty open-loop: the same schedule, but arrivals land in groups —
+//     the thundering-herd shape that makes bucket-head contention and
+//     free-list pressure visible in the tail.
+//
+// Keyed structures (the hash map) receive the profile's op mix and Zipf key
+// choice through the apps.Keyed seam; structures without keys run their
+// fixed Instance workload under the same arrival process, so every
+// registered structure can be traffic-tested.  Latencies go into per-worker
+// log2 histograms (Hist) whose record path is allocation-free — pinned by
+// the hot-path guards — and merge into p50/p99/p999 for the E13 tables.
+package load
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"abadetect/internal/apps"
+)
+
+// Word is the key/value type of keyed workloads.
+type Word = apps.Word
+
+// Arrival selects the arrival process of a profile.
+type Arrival int
+
+// Arrival processes.
+const (
+	// Closed is the closed loop: the next op starts when the previous one
+	// finishes.
+	Closed Arrival = iota
+	// Poisson is the open loop with exponential inter-arrival times.
+	Poisson
+	// Burst is the open loop with arrivals grouped into batches.
+	Burst
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case Closed:
+		return "closed"
+	case Poisson:
+		return "poisson"
+	case Burst:
+		return "burst"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile is one named traffic shape.
+type Profile struct {
+	// ID is the stable identifier (abalab -load, the E13 matrix).
+	ID string
+	// Summary is a one-line description for the -list index.
+	Summary string
+	// Arrival selects the arrival process.
+	Arrival Arrival
+	// RatePerWorker is the open-loop arrival rate per worker in ops/sec
+	// (ignored by Closed).
+	RatePerWorker float64
+	// BurstSize groups open-loop arrivals into batches (Burst only).
+	BurstSize int
+	// Workers is the number of driving goroutines (processes).
+	Workers int
+	// OpsPerWorker is the op count each worker issues.
+	OpsPerWorker int
+	// Keys is the key-space size of keyed workloads.
+	Keys int
+	// ZipfS is the Zipf skew exponent; 0 means uniform popularity.
+	ZipfS float64
+	// GetPct, PutPct, and DeletePct are the keyed op mix in percent; they
+	// must sum to 100.
+	GetPct, PutPct, DeletePct int
+	// Seed makes the generator's choices deterministic per run.
+	Seed uint64
+}
+
+// Workload renders the profile as the experiment tables' workload column.
+func (p Profile) Workload() string {
+	shape := p.Arrival.String()
+	if p.Arrival != Closed {
+		shape = fmt.Sprintf("%s %.0fk/s", shape, p.RatePerWorker/1000)
+		if p.Arrival == Burst {
+			shape = fmt.Sprintf("%s x%d", shape, p.BurstSize)
+		}
+	}
+	pop := "uniform"
+	if p.ZipfS > 0 {
+		pop = fmt.Sprintf("zipf %.2f", p.ZipfS)
+	}
+	return fmt.Sprintf("%dw %s, %s, %d/%d/%d", p.Workers, shape, pop, p.GetPct, p.PutPct, p.DeletePct)
+}
+
+// Profiles returns the named traffic profiles, the load axis of the E13
+// matrix.  Keep the list short: every entry multiplies the matrix.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			ID: "steady", Summary: "closed loop, uniform keys, read-heavy 90/5/5",
+			Arrival: Closed, Workers: 4, OpsPerWorker: 5000,
+			Keys: 64, ZipfS: 0, GetPct: 90, PutPct: 5, DeletePct: 5, Seed: 0x5eed1,
+		},
+		{
+			ID: "zipf-hot", Summary: "closed loop, zipf-skewed keys (hot-spot contention), 70/20/10",
+			Arrival: Closed, Workers: 4, OpsPerWorker: 5000,
+			Keys: 64, ZipfS: 1.2, GetPct: 70, PutPct: 20, DeletePct: 10, Seed: 0x5eed2,
+		},
+		{
+			ID: "poisson", Summary: "open loop, Poisson arrivals at 150k ops/s per worker, zipf keys",
+			Arrival: Poisson, RatePerWorker: 150_000, Workers: 4, OpsPerWorker: 4000,
+			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed3,
+		},
+		{
+			ID: "burst", Summary: "open loop, bursts of 64 arrivals (thundering herd), zipf keys",
+			Arrival: Burst, RatePerWorker: 150_000, BurstSize: 64, Workers: 4, OpsPerWorker: 4000,
+			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed4,
+		},
+	}
+}
+
+// LookupProfile returns the profile registered under id.
+func LookupProfile(id string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Result is one load run's measurements.
+type Result struct {
+	// Ops is the number of operations issued.
+	Ops int
+	// Elapsed is the wall-clock span of the run.
+	Elapsed time.Duration
+	// Latency is the merged per-op latency histogram; under the open-loop
+	// profiles latency is measured from the *scheduled* arrival, so
+	// queueing delay counts.
+	Latency Hist
+}
+
+// rng is a small xorshift64* generator: deterministic, allocation-free, one
+// per worker so the sampling path shares nothing.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// float returns a uniform sample in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// zipfTable is the inverse-CDF sampler for rank popularity 1/r^s: exact,
+// precomputed once per run, allocation-free per sample (a binary search).
+type zipfTable struct {
+	cum []float64 // cum[i] = normalized CDF through rank i
+}
+
+func newZipfTable(keys int, s float64) *zipfTable {
+	t := &zipfTable{cum: make([]float64, keys)}
+	total := 0.0
+	for i := 0; i < keys; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		t.cum[i] = total
+	}
+	for i := range t.cum {
+		t.cum[i] /= total
+	}
+	return t
+}
+
+// sample maps a uniform u in [0,1) to a rank in [0, keys).
+func (t *zipfTable) sample(u float64) int {
+	return sort.SearchFloat64s(t.cum, u)
+}
+
+// sampler draws one worker's keyed operations from the profile's mix and
+// popularity model.
+type sampler struct {
+	r        rng
+	zipf     *zipfTable // nil = uniform
+	keys     uint64
+	getCut   uint64                              // next() % 100 below getCut → get
+	putCut   uint64                              // ... below putCut → put, else delete
+	fallback func(i int)                         // non-keyed step
+	keyed    func(op apps.OpKind, key, val Word) // keyed step
+}
+
+// step issues the i-th operation.
+func (s *sampler) step(i int) {
+	if s.keyed == nil {
+		s.fallback(i)
+		return
+	}
+	var key Word
+	if s.zipf != nil {
+		key = Word(s.zipf.sample(s.r.float()))
+	} else {
+		key = Word(s.r.next() % s.keys)
+	}
+	switch c := s.r.next() % 100; {
+	case c < s.getCut:
+		s.keyed(apps.OpGet, key, 0)
+	case c < s.putCut:
+		s.keyed(apps.OpPut, key, Word(i))
+	default:
+		s.keyed(apps.OpDelete, key, 0)
+	}
+}
+
+// Run drives inst with the profile's traffic and returns the merged
+// measurements.  Keyed structures are prepopulated (one put per key, until
+// the pool declines) so a read-heavy mix measures hits, not an empty map.
+func Run(inst apps.Instance, p Profile) (Result, error) {
+	if p.Workers < 1 || p.OpsPerWorker < 1 {
+		return Result{}, fmt.Errorf("load: profile %q needs workers and ops >= 1", p.ID)
+	}
+	if p.GetPct+p.PutPct+p.DeletePct != 100 {
+		return Result{}, fmt.Errorf("load: profile %q op mix %d/%d/%d does not sum to 100",
+			p.ID, p.GetPct, p.PutPct, p.DeletePct)
+	}
+	if p.Arrival != Closed && p.RatePerWorker <= 0 {
+		return Result{}, fmt.Errorf("load: open-loop profile %q needs a positive rate", p.ID)
+	}
+	if p.Arrival == Burst && p.BurstSize < 1 {
+		return Result{}, fmt.Errorf("load: burst profile %q needs a burst size >= 1", p.ID)
+	}
+	keyed, _ := inst.(apps.Keyed)
+	if keyed != nil && p.Keys < 1 {
+		return Result{}, fmt.Errorf("load: profile %q needs a key space >= 1 for a keyed structure", p.ID)
+	}
+	var zipf *zipfTable
+	if keyed != nil && p.ZipfS > 0 {
+		zipf = newZipfTable(p.Keys, p.ZipfS)
+	}
+
+	samplers := make([]*sampler, p.Workers)
+	for pid := 0; pid < p.Workers; pid++ {
+		s := &sampler{
+			r:      rng{s: p.Seed + uint64(pid)*0x9e3779b97f4a7c15 + 1},
+			zipf:   zipf,
+			keys:   uint64(p.Keys),
+			getCut: uint64(p.GetPct),
+			putCut: uint64(p.GetPct + p.PutPct),
+		}
+		if keyed != nil {
+			step, err := keyed.KeyedWorker(pid)
+			if err != nil {
+				return Result{}, err
+			}
+			s.keyed = step
+		} else {
+			step, err := inst.Worker(pid)
+			if err != nil {
+				return Result{}, err
+			}
+			s.fallback = step
+		}
+		samplers[pid] = s
+	}
+	if keyed != nil {
+		// Prepopulate through worker 0 so the mix's reads have something to
+		// hit; a declined put just means the pool is smaller than the key
+		// space, which the run tolerates.
+		for k := 0; k < p.Keys; k++ {
+			samplers[0].keyed(apps.OpPut, Word(k), Word(k))
+		}
+	}
+
+	hists := make([]Hist, p.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < p.Workers; pid++ {
+		wg.Add(1)
+		go func(s *sampler, h *Hist) {
+			defer wg.Done()
+			switch p.Arrival {
+			case Closed:
+				for i := 0; i < p.OpsPerWorker; i++ {
+					opStart := time.Now()
+					s.step(i)
+					h.Record(time.Since(opStart))
+				}
+			default:
+				interArrival := float64(time.Second) / p.RatePerWorker
+				target := time.Now()
+				for i := 0; i < p.OpsPerWorker; i++ {
+					switch p.Arrival {
+					case Poisson:
+						target = target.Add(time.Duration(s.expSample(interArrival)))
+					case Burst:
+						if i%p.BurstSize == 0 {
+							target = target.Add(time.Duration(interArrival * float64(p.BurstSize)))
+						}
+					}
+					for time.Now().Before(target) {
+						runtime.Gosched()
+					}
+					s.step(i)
+					// Open-loop latency counts from the scheduled arrival:
+					// delay inherited from a slow predecessor is real latency.
+					h.Record(time.Since(target))
+				}
+			}
+		}(samplers[pid], &hists[pid])
+	}
+	wg.Wait()
+	res := Result{Ops: p.Workers * p.OpsPerWorker, Elapsed: time.Since(start)}
+	for i := range hists {
+		res.Latency.Add(&hists[i])
+	}
+	return res, nil
+}
+
+// expSample draws an exponential inter-arrival time with the given mean (in
+// nanoseconds).
+func (s *sampler) expSample(mean float64) float64 {
+	u := s.r.float()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(u) * mean
+}

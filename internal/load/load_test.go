@@ -1,0 +1,251 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/kv"
+	"abadetect/internal/shmem"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 1000 samples at ~1µs, 10 at ~1ms: the p50 sits in the microsecond
+	// bucket, the p999 in the millisecond bucket.
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	if h.Count() != 1010 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p99, p999 := h.Percentiles()
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", p50)
+	}
+	if p999 < 512*time.Microsecond || p999 > 2*time.Millisecond {
+		t.Errorf("p999 = %v, want ~1ms", p999)
+	}
+	if p99 > p999 || p50 > p99 {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p99, p999)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	a.Add(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if q := a.Quantile(1.0); q < 512*time.Microsecond {
+		t.Errorf("merged max quantile = %v", q)
+	}
+}
+
+func TestProfilesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if p.ID == "" || p.Summary == "" {
+			t.Errorf("profile %+v: incomplete metadata", p)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate profile %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.GetPct+p.PutPct+p.DeletePct != 100 {
+			t.Errorf("%s: op mix sums to %d", p.ID, p.GetPct+p.PutPct+p.DeletePct)
+		}
+		if p.Arrival != Closed && p.RatePerWorker <= 0 {
+			t.Errorf("%s: open-loop profile without a rate", p.ID)
+		}
+		if p.Arrival == Burst && p.BurstSize < 1 {
+			t.Errorf("%s: burst profile without a burst size", p.ID)
+		}
+		if p.Workload() == "" {
+			t.Errorf("%s: empty workload label", p.ID)
+		}
+		if got, ok := LookupProfile(p.ID); !ok || got.ID != p.ID {
+			t.Errorf("LookupProfile(%q) = (%q, %v)", p.ID, got.ID, ok)
+		}
+	}
+	if _, ok := LookupProfile("no-such-profile"); ok {
+		t.Error("LookupProfile accepted an unknown ID")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipfTable(64, 1.2)
+	r := rng{s: 42}
+	counts := make([]int, 64)
+	for i := 0; i < 20000; i++ {
+		counts[z.sample(r.float())]++
+	}
+	if counts[0] <= counts[32]*4 {
+		t.Errorf("zipf not skewed: rank0=%d rank32=%d", counts[0], counts[32])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Errorf("samples lost: %d", total)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := rng{s: 7}, rng{s: 7}
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+}
+
+// buildMapInstance constructs the keyed structure the generator drives.
+func buildMapInstance(t *testing.T, n, capacity int) apps.Instance {
+	t.Helper()
+	f := shmem.NewNativeFactory()
+	mk := guard.NewMaker(f, n, guard.LLSC, 0)
+	inst, err := kv.NewMapInstance(f, n, capacity, mk, apps.InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestRunClosedLoopOnMap(t *testing.T) {
+	inst := buildMapInstance(t, 4, 128)
+	p, ok := LookupProfile("steady")
+	if !ok {
+		t.Fatal("steady profile missing")
+	}
+	p.OpsPerWorker = 500
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != p.Workers*p.OpsPerWorker {
+		t.Errorf("ops = %d", res.Ops)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+	if res.Latency.Quantile(0.5) <= 0 {
+		t.Error("p50 not positive")
+	}
+	if corrupt, detail := inst.Audit(); corrupt {
+		t.Errorf("load run corrupted the structure: %s", detail)
+	}
+}
+
+func TestRunOpenLoopPacing(t *testing.T) {
+	inst := buildMapInstance(t, 2, 64)
+	p := Profile{
+		ID: "test-open", Summary: "t", Arrival: Poisson, RatePerWorker: 50_000,
+		Workers: 2, OpsPerWorker: 200, Keys: 16, ZipfS: 1.1,
+		GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 1,
+	}
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 ops at 50k/s means the schedule alone spans ~4ms per worker; an
+	// open-loop run cannot finish faster than its arrival schedule.
+	if res.Elapsed < 2*time.Millisecond {
+		t.Errorf("open loop ran in %v, faster than its arrival schedule", res.Elapsed)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+}
+
+func TestRunBurstLoop(t *testing.T) {
+	inst := buildMapInstance(t, 2, 64)
+	p := Profile{
+		ID: "test-burst", Summary: "t", Arrival: Burst, RatePerWorker: 100_000, BurstSize: 32,
+		Workers: 2, OpsPerWorker: 128, Keys: 16, ZipfS: 0,
+		GetPct: 90, PutPct: 5, DeletePct: 5, Seed: 2,
+	}
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+}
+
+// TestRunFallbackWorker drives a structure without the Keyed seam: the
+// stack runs its fixed Instance workload under the generator's arrivals.
+func TestRunFallbackWorker(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	mk := guard.NewMaker(f, 2, guard.LLSC, 0)
+	inst, err := apps.NewStackInstance(f, 2, 32, mk, apps.InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := LookupProfile("steady")
+	p.Workers, p.OpsPerWorker = 2, 400
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+	if corrupt, detail := inst.Audit(); corrupt {
+		t.Errorf("fallback run corrupted the stack: %s", detail)
+	}
+}
+
+func TestRunRejectsBadProfiles(t *testing.T) {
+	inst := buildMapInstance(t, 2, 16)
+	if _, err := Run(inst, Profile{ID: "x", Workers: 0}); err == nil {
+		t.Error("want error for zero workers")
+	}
+	if _, err := Run(inst, Profile{ID: "x", Workers: 1, OpsPerWorker: 1, GetPct: 50}); err == nil {
+		t.Error("want error for a mix that does not sum to 100")
+	}
+	if _, err := Run(inst, Profile{ID: "x", Arrival: Poisson, Workers: 1, OpsPerWorker: 1,
+		GetPct: 100}); err == nil {
+		t.Error("want error for an open loop without a rate")
+	}
+	if _, err := Run(inst, Profile{ID: "x", Arrival: Burst, RatePerWorker: 1000, Workers: 1,
+		OpsPerWorker: 1, Keys: 4, GetPct: 100}); err == nil {
+		t.Error("want error for a burst profile without a burst size")
+	}
+	if _, err := Run(inst, Profile{ID: "x", Workers: 1, OpsPerWorker: 1, GetPct: 100}); err == nil {
+		t.Error("want error for a keyed run without a key space")
+	}
+}
+
+// TestRecordPathAllocFree pins the measurement path itself: recording a
+// latency sample and drawing the next keyed op must not allocate, or the
+// generator would perturb the workload it measures.
+func TestRecordPathAllocFree(t *testing.T) {
+	var h Hist
+	if got := testing.AllocsPerRun(500, func() {
+		h.Record(time.Microsecond)
+	}); got != 0 {
+		t.Errorf("Hist.Record allocates %.1f/op, want 0", got)
+	}
+	s := &sampler{
+		r: rng{s: 3}, zipf: newZipfTable(64, 1.1), keys: 64,
+		getCut: 90, putCut: 95,
+		keyed: func(apps.OpKind, Word, Word) {},
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		s.step(0)
+	}); got != 0 {
+		t.Errorf("sampler.step allocates %.1f/op, want 0", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"abadetect/internal/apps"
 	"abadetect/internal/core"
 	"abadetect/internal/guard"
+	"abadetect/internal/kv"
 	"abadetect/internal/llsc"
 	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
@@ -279,6 +280,18 @@ var impls = []Impl{
 		Bounded:      true,
 		Correct:      true,
 		NewStructure: apps.NewEventInstance,
+	},
+	{
+		ID:           "map",
+		Kind:         KindStructure,
+		Summary:      "sharded lock-free hash map: guarded bucket heads and marked next links over a recycled node pool",
+		Theorem:      "§1 motivation (Michael [25]-style hash map)",
+		Space:        "B + 2·cap guards + 2·cap registers",
+		SpaceFn:      func(n int) int { return 0 }, // capacity/bucket-dependent, not m(n)
+		Steps:        "O(chain) + guard per link hop",
+		Bounded:      true,
+		Correct:      true,
+		NewStructure: kv.NewMapInstance,
 	},
 	{
 		ID:           "hp",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abadetect/internal/apps"
+	"abadetect/internal/kv"
 )
 
 // Structure conformance: run a script of non-overlapping operations against
@@ -111,6 +112,62 @@ func ConformQueue(q *apps.Queue, script []byte) error {
 	}
 	if a := q.Audit(); a.Corrupt() {
 		return fmt.Errorf("verify: sequential script corrupted the queue: %s", a)
+	}
+	return nil
+}
+
+// ConformMap interprets script against m and a Go-map model.  Each script
+// byte encodes one operation: pid = byte mod n; bits 5-6 select Put /
+// Delete / Get (Get on the remaining codes); bits 2-4 are the key; the
+// whole byte is the put value.  A Put needs a free node even to overwrite
+// (keys and values are immutable per node), so the model expects success
+// exactly while the live count is below capacity — which also exercises the
+// reclaimers' deferred-free path: a sequential script must see deferred
+// nodes flow back before the allocator reports exhaustion.
+func ConformMap(m *kv.Map, script []byte) error {
+	n := m.NumProcs()
+	handles := make([]*kv.Handle, n)
+	for pid := 0; pid < n; pid++ {
+		h, err := m.Handle(pid)
+		if err != nil {
+			return err
+		}
+		handles[pid] = h
+	}
+	model := make(map[Word]Word)
+	for i, code := range script {
+		pid := int(code) % n
+		key := Word((code >> 2) & 7)
+		switch (code >> 5) & 0x3 {
+		case 0:
+			v := Word(code)
+			ok := handles[pid].Put(key, v)
+			wantOK := len(model) < m.Capacity()
+			if ok != wantOK {
+				return fmt.Errorf("verify: op %d: p%d.Put(%d) = %v, model (live %d/cap %d) says %v",
+					i, pid, key, ok, len(model), m.Capacity(), wantOK)
+			}
+			if ok {
+				model[key] = v
+			}
+		case 1:
+			ok := handles[pid].Delete(key)
+			_, want := model[key]
+			if ok != want {
+				return fmt.Errorf("verify: op %d: p%d.Delete(%d) = %v, model says %v", i, pid, key, ok, want)
+			}
+			delete(model, key)
+		default:
+			v, ok := handles[pid].Get(key)
+			want, present := model[key]
+			if ok != present || (present && v != want) {
+				return fmt.Errorf("verify: op %d: p%d.Get(%d) = (%d,%v), model says (%d,%v)",
+					i, pid, key, v, ok, want, present)
+			}
+		}
+	}
+	if a := m.Audit(); a.Corrupt() {
+		return fmt.Errorf("verify: sequential script corrupted the map: %s", a)
 	}
 	return nil
 }

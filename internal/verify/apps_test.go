@@ -6,6 +6,7 @@ import (
 
 	"abadetect/internal/apps"
 	"abadetect/internal/guard"
+	"abadetect/internal/kv"
 	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
@@ -73,6 +74,43 @@ func TestConformQueueMatrix(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestConformMapMatrix runs random sequential scripts against the map under
+// every conditional guard spec, with and without the guarded free list;
+// without concurrency there is no ABA window, so even the raw foil must
+// track the key-value model exactly — capacity edge (an overwrite needs a
+// free node) included.
+func TestConformMapMatrix(t *testing.T) {
+	const n = 3
+	for _, spec := range registry.GuardSpecs(true) {
+		for _, guarded := range []bool{false, true} {
+			name := spec.String()
+			if guarded {
+				name += "/guardedpool"
+			}
+			t.Run(name, func(t *testing.T) {
+				for seed := int64(0); seed < 8; seed++ {
+					f := shmem.NewNativeFactory()
+					mk, err := registry.NewGuardMaker(f, n, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := []apps.StructOption{apps.WithMaker(mk)}
+					if guarded {
+						opts = append(opts, apps.WithGuardedPool())
+					}
+					m, err := kv.NewMap(f, n, 5, 2, 0, 0, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ConformMap(m, randomScript(2600+seed, 400)); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"abadetect/internal/apps"
+	"abadetect/internal/kv"
 	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
 )
@@ -174,6 +175,54 @@ func TestConformWithReclamation(t *testing.T) {
 					t.Fatal(err)
 				}
 				if err := ConformQueue(q, script); err != nil {
+					t.Error(err)
+				}
+			})
+			t.Run("map/"+name, func(t *testing.T) {
+				m, err := kv.NewMap(shmem.NewNativeFactory(), 3, 5, 2, prot, 0, apps.WithReclaimer(rc.mk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ConformMap(m, script); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestMapConformAcrossProtectionByReclaimer widens the map's sequential
+// conformance to the full canonical protection × reclaimer grid (including
+// the explicit pass-through), since the map is the structure whose Put
+// success depends on deferred nodes flowing back in time.
+func TestMapConformAcrossProtectionByReclaimer(t *testing.T) {
+	script := conformScript(1213, 400)
+	prots := []struct {
+		name    string
+		prot    apps.Protection
+		tagBits uint
+	}{
+		{"raw", apps.Raw, 0},
+		{"tag16", apps.Tagged, 16},
+		{"llsc", apps.LLSC, 0},
+		{"detector", apps.Detector, 0},
+	}
+	schemes := []struct {
+		name string
+		mk   reclaim.Maker
+	}{
+		{"none", reclaim.NewNone},
+		{"hp", reclaim.NewHazard},
+		{"epoch", reclaim.NewEpoch},
+	}
+	for _, p := range prots {
+		for _, rc := range schemes {
+			t.Run(p.name+"+"+rc.name, func(t *testing.T) {
+				m, err := kv.NewMap(shmem.NewNativeFactory(), 3, 5, 2, p.prot, p.tagBits, apps.WithReclaimer(rc.mk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ConformMap(m, script); err != nil {
 					t.Error(err)
 				}
 			})

@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/apps"
 	"abadetect/internal/guard"
+	"abadetect/internal/kv"
 	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
 )
@@ -362,6 +363,108 @@ func (h *QueueHandle) Enq(v Word) bool { return h.inner.Enq(v) }
 
 // Deq removes the oldest value.  It returns false when the queue is empty.
 func (h *QueueHandle) Deq() (Word, bool) { return h.inner.Deq() }
+
+// Map is a sharded lock-free hash map over a fixed pool of recycled
+// index-based nodes, shared by n processes — the canonical cache-shaped
+// workload of the traffic layer.  Every bucket head and every node's next
+// link is guarded by the selected Protection, and node recycling routes
+// through the allocator (and, with WithReclamation, a safe-memory-
+// reclamation scheme), so the remove–recycle–reinsert ABA of §1 is
+// reproducible and preventable on a keyed structure exactly as on the
+// stack and queue.
+type Map struct {
+	inner *kv.Map
+	fp    Footprint
+}
+
+// NewMap builds a map for n processes with the given node capacity.  The
+// bucket count defaults to the capacity rounded up to a power of two.
+func NewMap(n, capacity int, opts ...Option) (*Map, error) {
+	o := buildOptions(opts)
+	// A link word carries the node index plus the mark bit.
+	if err := o.checkTagBits(shmem.BitsFor(capacity+1) + 1); err != nil {
+		return nil, err
+	}
+	f := o.factory()
+	mk, err := registry.NewGuardMaker(f, n, o.guardSpec())
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: map: %w", err)
+	}
+	sopts, err := o.structOpts(mk)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: map: %w", err)
+	}
+	inner, err := kv.NewMap(f, n, capacity, capacity, 0, 0, sopts...)
+	if err != nil {
+		return nil, fmt.Errorf("abadetect: %w", err)
+	}
+	return &Map{inner: inner, fp: footprintOf(f)}, nil
+}
+
+// NumProcs returns n.
+func (m *Map) NumProcs() int { return m.inner.NumProcs() }
+
+// Capacity returns the node-pool capacity.
+func (m *Map) Capacity() int { return m.inner.Capacity() }
+
+// Buckets returns the bucket count.
+func (m *Map) Buckets() int { return m.inner.Buckets() }
+
+// Protection returns the guard regime.
+func (m *Map) Protection() Protection { return Protection(m.inner.Protection()) }
+
+// Footprint returns the base objects used.
+func (m *Map) Footprint() Footprint { return m.fp }
+
+// GuardMetrics returns the aggregated counters of every reference guard
+// (bucket heads and next links).
+func (m *Map) GuardMetrics() GuardMetrics { return publicMetrics(m.inner.GuardMetrics()) }
+
+// FreelistMetrics returns the node pool's guard counters (zero unless built
+// WithGuardedPool).
+func (m *Map) FreelistMetrics() GuardMetrics { return publicMetrics(m.inner.FreelistMetrics()) }
+
+// Audit checks the structure at quiescence.
+func (m *Map) Audit() StructureAudit {
+	a := m.inner.Audit()
+	return poolAudit(a.Corrupt(), a.String(), m.inner.PoolStats())
+}
+
+// Handle returns the endpoint for process pid in [0, n).
+func (m *Map) Handle(pid int) (*MapHandle, error) {
+	h, err := m.inner.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &MapHandle{inner: h}, nil
+}
+
+// MapHandle is a process's map endpoint.
+type MapHandle struct {
+	inner *kv.Handle
+}
+
+// Get returns the value bound to k.
+func (h *MapHandle) Get(k Word) (Word, bool) { return h.inner.Get(k) }
+
+// Put binds k to v.  It returns false when the node pool is exhausted — a
+// fresh node is needed even to overwrite, since keys and values are
+// immutable per node.
+func (h *MapHandle) Put(k, v Word) bool { return h.inner.Put(k, v) }
+
+// Delete removes k's binding and reports whether one existed.
+func (h *MapHandle) Delete(k Word) bool { return h.inner.Delete(k) }
+
+// DeleteBegin is an experiment hook: it logically deletes the first live
+// k-node (marks its next link) and stops right before the physical unlink,
+// exposing the ABA window the deterministic map corruption script exploits.
+func (h *MapHandle) DeleteBegin(k Word) (cur, succ int, found bool) { return h.inner.DeleteBegin(k) }
+
+// DeleteCommit completes the delete begun by DeleteBegin.  Under
+// ProtectionRaw a stale commit can succeed after a recycle restored the
+// link word — the demonstration; the other regimes reject it (the marked
+// node is then unlinked by later traversals).
+func (h *MapHandle) DeleteCommit() bool { return h.inner.DeleteCommit() }
 
 // EventFlag is the §1 busy-wait scenario: a signaler pulses (Signal, then
 // Reset) and waiters Poll.  Whether an in-window pulse is observable is
