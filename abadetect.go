@@ -89,6 +89,9 @@ type options struct {
 	guardImpl   string
 	guardedPool bool
 	reclaim     string
+	elimination int
+	localCache  int
+	combining   bool
 }
 
 // Option configures a constructor.

@@ -17,6 +17,8 @@
 //	abalab -reclaim hp -app stack   # ... filtered to one scheme/structure
 //	abalab -load all        # traffic matrix (E13): map × regime × SMR × profile
 //	abalab -load zipf-hot -reclaim hp   # ... filtered to one profile/scheme
+//	abalab -load poisson -app stack -elim 2 -cache 16   # pin the fast-path knobs
+//	abalab -load poisson-shed -seed 42  # replay a profile on a different RNG seed
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
@@ -24,10 +26,11 @@
 // matrix) and diff them against a committed snapshot (BENCH_baseline.json
 // is the seed, BENCH_pr2.json the slab/devirtualized substrate,
 // BENCH_pr3.json adds the application matrix, BENCH_pr4.json the
-// reclamation matrix, BENCH_pr5.json the map and traffic matrices):
+// reclamation matrix, BENCH_pr5.json the map and traffic matrices,
+// BENCH_pr6.json the fast-path variants and backpressure profiles):
 //
-//	abalab -bench-compare BENCH_pr5.json
-//	abalab -json > BENCH_pr6.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr6.json
+//	abalab -json > BENCH_pr7.json   # record a new snapshot
 package main
 
 import (
@@ -63,7 +66,11 @@ func run(args []string, out io.Writer) error {
 		loadP   = fs.String("load", "", "run the traffic matrix (E13): a load-profile ID (see -list) or 'all'; combine with -app and -reclaim to filter")
 		n       = fs.Int("n", 8, "process count for -impl")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
-		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr5.json)")
+		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
+		seed    = fs.Uint64("seed", 0, "override the load profiles' RNG seed for -load runs (0 = each profile's committed default)")
+		elim    = fs.Int("elim", 0, "for -load: pin every cell to an elimination array of this many slots (stack)")
+		cache   = fs.Int("cache", 0, "for -load: pin every cell to per-worker node caches of this capacity")
+		combine = fs.Bool("combine", false, "for -load: pin every cell to flat-combining hot buckets (map)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +111,11 @@ func run(args []string, out io.Writer) error {
 		if schemeFilter == "" {
 			schemeFilter = "all"
 		}
-		tbl, err := bench.E13LoadMatrix(structFilter, schemeFilter, *loadP)
+		opts := bench.E13Options{Seed: *seed}
+		if *elim != 0 || *cache != 0 || *combine {
+			opts.Tuning = &bench.Tuning{Elimination: *elim, LocalCache: *cache, Combining: *combine}
+		}
+		tbl, err := bench.E13LoadMatrixOpts(structFilter, schemeFilter, *loadP, opts)
 		if err != nil {
 			return err
 		}

@@ -270,11 +270,25 @@ func TestBenchComparePR3CoversApps(t *testing.T) {
 	}
 }
 
+// pr6Row reports whether an E13 row key names a cell that postdates the PR5
+// snapshot: a tuned fast-path variant (+elim/+fc/+cache label suffixes), one
+// of the backpressure profiles, or a stack traffic cell.
+func pr6Row(key string) bool {
+	for _, marker := range []string{"+elim", "+fc", "+cache", "/poisson-shed", "/burst-block"} {
+		if strings.Contains(key, marker) {
+			return true
+		}
+	}
+	return strings.HasPrefix(key, "stack/")
+}
+
 func TestBenchComparePR5CoversTraffic(t *testing.T) {
 	// The PR5 snapshot carries all four throughput tables — E10 base
-	// objects, E11 applications (map included), E12 reclamation, and the new
-	// E13 traffic matrix — and every row key must line up exactly with a
-	// fresh run.
+	// objects, E11 applications (map included), E12 reclamation, and the
+	// E13 traffic matrix — and every pre-existing row key must line up with
+	// a fresh run.  E13 rows that postdate the snapshot (fast-path
+	// variants, backpressure profiles, stack cells) are legitimately "new";
+	// nothing may be "removed".
 	var buf bytes.Buffer
 	if err := run([]string{"-bench-compare", "../../BENCH_pr5.json", "-json"}, &buf); err != nil {
 		t.Fatal(err)
@@ -298,8 +312,56 @@ func TestBenchComparePR5CoversTraffic(t *testing.T) {
 			t.Errorf("%s has no rows", tbl.ID)
 		}
 		for _, row := range tbl.Rows {
-			if row[4] == "new" || row[4] == "removed" {
+			if row[4] == "new" && !(tbl.ID == "E13-compare" && pr6Row(row[0])) {
 				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
+			}
+			if row[4] == "removed" {
+				t.Errorf("%s snapshot row %v no longer produced by a fresh run", tbl.ID, row)
+			}
+		}
+	}
+}
+
+func TestBenchComparePR6CoversTraffic(t *testing.T) {
+	// The PR6 snapshot was taken after the tuned variants, backpressure
+	// profiles, and stack cells landed, so a fresh run must line up with it
+	// exactly: no "new" rows, no "removed" rows, anywhere.  It also carries
+	// the p999 column, so the E13 comparison must grow the tail-gain
+	// columns.
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr6.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != wantIDs[i] {
+			t.Fatalf("table %d is %q, want %q", i, tbl.ID, wantIDs[i])
+		}
+		for _, row := range tbl.Rows {
+			if row[4] == "new" || row[4] == "removed" {
+				t.Errorf("%s row %v does not line up with the PR6 snapshot", tbl.ID, row)
+			}
+		}
+		if tbl.ID == "E13-compare" {
+			want := []string{"snapshot p999", "current p999", "tail gain"}
+			if len(tbl.Header) != 8 {
+				t.Fatalf("E13-compare header %v lacks the tail columns", tbl.Header)
+			}
+			for j, name := range want {
+				if tbl.Header[5+j] != name {
+					t.Errorf("E13-compare header[%d] = %q, want %q", 5+j, tbl.Header[5+j], name)
+				}
 			}
 		}
 	}
@@ -339,10 +401,10 @@ func TestLoadMatrixFlag(t *testing.T) {
 	if len(tables) != 1 || tables[0].ID != "E13" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
-	if len(tables[0].Rows) != 4 { // map × 4 regimes × 1 scheme × 1 profile
-		t.Fatalf("steady/none matrix has %d rows, want 4", len(tables[0].Rows))
+	if len(tables[0].Rows) != 8 { // map × 4 regimes × 1 scheme × 1 profile × 2 variants
+		t.Fatalf("steady/none matrix has %d rows, want 8", len(tables[0].Rows))
 	}
-	wantCols := []string{"p50", "p99", "p999"}
+	wantCols := []string{"p50", "p99", "p999", "shed", "fast-path"}
 	for _, col := range wantCols {
 		found := false
 		for _, h := range tables[0].Header {
@@ -355,7 +417,8 @@ func TestLoadMatrixFlag(t *testing.T) {
 		}
 	}
 	for _, row := range tables[0].Rows {
-		if !strings.HasPrefix(row[0], "map/") || !strings.HasSuffix(row[0], "+none/steady") {
+		if !strings.HasPrefix(row[0], "map/") ||
+			!(strings.HasSuffix(row[0], "+none/steady") || strings.HasSuffix(row[0], "+none/steady+fc+cache16")) {
 			t.Errorf("unexpected row key %q", row[0])
 		}
 	}
@@ -364,6 +427,31 @@ func TestLoadMatrixFlag(t *testing.T) {
 	}
 	if err := run([]string{"-load", "steady", "-app", "no-such-structure"}, &buf); err == nil {
 		t.Error("want error for unknown structure filter")
+	}
+}
+
+func TestLoadMatrixTuningFlags(t *testing.T) {
+	// -elim/-cache/-combine pin every cell to one explicit tuning, and
+	// -seed replays the profile on a different RNG stream.
+	var buf bytes.Buffer
+	if err := run([]string{"-load", "steady", "-reclaim", "none", "-app", "stack",
+		"-elim", "2", "-cache", "8", "-seed", "42", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-load tuning -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("pinned matrix has %d tables / %d rows, want 1 / 4", len(tables), len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "stack/") || !strings.HasSuffix(row[0], "+elim2+cache8") {
+			t.Errorf("unexpected row key %q", row[0])
+		}
 	}
 }
 

@@ -77,6 +77,16 @@ type StructConfig struct {
 	// Reclaim, when non-nil, wraps the pool in a safe-memory-reclamation
 	// scheme.
 	Reclaim reclaim.Maker
+	// Elimination, when positive, adds an elimination-backoff exchanger of
+	// that many slots to structures that pair inverse operations (the
+	// stack); other structures ignore it.
+	Elimination int
+	// LocalCache, when positive, fronts the shared pool with per-process
+	// free stacks of that capacity.
+	LocalCache int
+	// Combining enables flat-combining batching on structures with
+	// publication-slot support (the map's buckets); others ignore it.
+	Combining bool
 }
 
 // WithMaker makes the structure allocate its guards from mk instead of the
@@ -106,6 +116,39 @@ func WithGuardedPool() StructOption {
 // scripts — prevention by allocation discipline instead of detection.
 func WithReclaimer(mk reclaim.Maker) StructOption {
 	return func(o *StructConfig) { o.Reclaim = mk }
+}
+
+// WithElimination adds an elimination-backoff exchanger of `slots` slots to
+// structures that pair inverse operations: a contending Push hands its node
+// directly to a colliding Pop through an exchanger slot, skipping the
+// top-of-stack guard entirely on a hit.  Each slot is a Guard from the same
+// maker as the structure, so the handoff protocol runs — and is audited —
+// under the structure's own protection regime.  Structures without an
+// inverse-operation pair (the map, the event flag) ignore the option.
+func WithElimination(slots int) StructOption {
+	return func(o *StructConfig) { o.Elimination = slots }
+}
+
+// WithLocalCache fronts the shared node pool with a bounded per-process
+// free stack of the given capacity: alloc/release pairs that stay on one
+// process never touch the shared allocator (no mutex, no free-list guard
+// traffic), and overflow spills back to the shared pool so no process can
+// hoard nodes.  Under a reclaimer the cache sits *below* the retire path —
+// nodes still pass through limbo before landing in a cache — so hp/epoch
+// accounting stays exact.
+func WithLocalCache(capacity int) StructOption {
+	return func(o *StructConfig) { o.LocalCache = capacity }
+}
+
+// WithCombining enables flat-combining on structures with publication-slot
+// support (the hash map's buckets): a writer that finds a bucket's combiner
+// lock free applies pending operations from other processes in a batch, so
+// the bucket chain is walked cache-hot by one process instead of being
+// fought over; when the lock is taken, operations publish and wait instead
+// of adding guard and SMR traffic.  Uncontended reads keep the existing
+// lock-free path.  Structures without combining support ignore the option.
+func WithCombining() StructOption {
+	return func(o *StructConfig) { o.Combining = true }
 }
 
 // ResolveStructOptions resolves opts, defaulting the maker to the guard

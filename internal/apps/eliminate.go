@@ -1,0 +1,202 @@
+package apps
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"abadetect/internal/guard"
+)
+
+// Elimination backoff [Hendler, Shavit, Yerushalmi 2004] adapted to the
+// index-based, guard-protected stack: an array of exchanger slots where a
+// contending Push parks its node and a colliding Pop takes it directly,
+// skipping the top-of-stack guard entirely on a hit.  In the paper's
+// vocabulary the exchanger trades m(n) — a few extra guarded base objects —
+// for t(n): a successful exchange costs two commits on an uncontended slot
+// word instead of a retry storm on the hottest word in the structure.
+//
+// Each slot is one guarded word holding the handoff state machine:
+//
+//	empty(0) --offer--> waiting(idx<<1) --take--> taken(1) --settle--> empty
+//	                            \--withdraw--> empty
+//
+// The protocol is single-writer per offer: only the offering process writes
+// waiting, only a taker moves waiting->taken (conditionally, so exactly one
+// taker wins), and only the offerer resets taken->empty.  The taker reads
+// the node's value *after* winning the take commit, when the node is
+// exclusively its own — so even a raw-guarded slot cannot hand out a stale
+// value: a raw take can only be "fooled" by the same node being re-offered
+// in the same slot, which is indistinguishable from (and linearizable as)
+// taking the new offer.  The exchanger therefore adds no new ABA surface,
+// while the sound regimes additionally reject stale take commits and count
+// them in the slot guards' metrics.
+//
+// SMR interaction: an offered node was never linked into the structure and
+// no process publishes a protection for it, so the handoff needs no fence —
+// the taker owns the node outright and releases it through the normal pool
+// path (which retires it under a reclaimer).
+const (
+	elimEmpty Word = 0
+	elimTaken Word = 1
+)
+
+// elimWaiting encodes an offered node index as a slot word.
+func elimWaiting(idx int) Word { return Word(idx) << 1 }
+
+// elimSpin bounds how long an offering push polls its slot before
+// withdrawing and returning to the main stack loop.
+const elimSpin = 16
+
+// elimArray is the shared exchanger: one guarded word per slot plus the
+// hit/miss counters the structure audit surfaces.
+type elimArray struct {
+	slots []guard.Guard
+
+	hits   atomic.Int64 // completed exchanges, counted by the taker
+	misses atomic.Int64 // withdrawn offers, full-slot offers, lost take races
+}
+
+func newElimArray(mk guard.Maker, name string, slots int, idxBits uint) (*elimArray, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("apps: elimination needs >= 1 slot, got %d", slots)
+	}
+	a := &elimArray{slots: make([]guard.Guard, slots)}
+	for i := range a.slots {
+		g, err := mk(fmt.Sprintf("%s.elim[%d]", name, i), idxBits+1, elimEmpty)
+		if err != nil {
+			return nil, fmt.Errorf("apps: elimination slot guard: %w", err)
+		}
+		if !g.Conditional() {
+			return nil, fmt.Errorf("apps: elimination needs conditional guards; %s guard is detection-only", g.Regime())
+		}
+		a.slots[i] = g
+	}
+	return a, nil
+}
+
+// stats returns the exchange counters.
+func (a *elimArray) stats() (hits, misses int64) {
+	return a.hits.Load(), a.misses.Load()
+}
+
+// metrics aggregates the slot guards' counters.  They are kept separate
+// from the structure's reference-guard metrics: a lost take race is slot
+// contention, not a prevented structure ABA.
+func (a *elimArray) metrics() guard.Metrics {
+	var agg guard.Metrics
+	for _, g := range a.slots {
+		agg = agg.Add(g.Metrics())
+	}
+	return agg
+}
+
+// waiting returns the node indices parked in slots, read as the observer.
+// At true quiescence it is empty; a scripted mid-exchange pause shows up
+// here so the audit counts the parked node as structure-owned, not lost.
+func (a *elimArray) waiting() []int {
+	var out []int
+	for _, g := range a.slots {
+		if w := g.Peek(-1); w != elimEmpty && w != elimTaken {
+			out = append(out, int(w>>1))
+		}
+	}
+	return out
+}
+
+// handle builds process pid's per-slot guard handles.
+func (a *elimArray) handle(pid int) (*elimHandle, error) {
+	e := &elimHandle{a: a, h: make([]guard.Handle, len(a.slots)), offerSlot: -1}
+	for i, g := range a.slots {
+		h, err := g.Handle(pid)
+		if err != nil {
+			return nil, err
+		}
+		e.h[i] = h
+	}
+	return e, nil
+}
+
+// elimHandle is a process's exchanger endpoint.  Like every handle it is
+// single-goroutine; at most one offer is pending at a time.
+type elimHandle struct {
+	a         *elimArray
+	h         []guard.Handle
+	cursor    int // rotates the starting slot so offers spread out
+	offerSlot int // slot of the pending offer; -1 = none
+}
+
+// offer parks idx in an empty slot.  false = no slot could be claimed.
+func (e *elimHandle) offer(idx int) bool {
+	for range e.h {
+		s := e.cursor
+		e.cursor++
+		if e.cursor == len(e.h) {
+			e.cursor = 0
+		}
+		h := e.h[s]
+		if w, _ := h.Load(); w != elimEmpty {
+			continue
+		}
+		if h.Commit(elimWaiting(idx)) {
+			e.offerSlot = s
+			return true
+		}
+	}
+	e.a.misses.Add(1)
+	return false
+}
+
+// taken polls whether the pending offer has been consumed (no writes).
+func (e *elimHandle) taken() bool {
+	w, _ := e.h[e.offerSlot].Load()
+	return w == elimTaken
+}
+
+// settle resolves the pending offer.  true = a pop took the node (it is no
+// longer ours); false = the offer was withdrawn and the caller still owns
+// the node.  The withdrawal is conditional, so it cannot race a take: the
+// only writer that can beat it is the winning taker, and then the re-load
+// observes taken.
+func (e *elimHandle) settle() bool {
+	h := e.h[e.offerSlot]
+	e.offerSlot = -1
+	for {
+		if w, _ := h.Load(); w == elimTaken {
+			h.Store(elimEmpty)
+			return true
+		}
+		if h.Commit(elimEmpty) {
+			e.a.misses.Add(1)
+			return false
+		}
+	}
+}
+
+// take scans for a waiting offer and consumes it.  The returned index is
+// exclusively the caller's on success.
+func (e *elimHandle) take() (int, bool) {
+	for s := range e.h {
+		h := e.h[s]
+		w, _ := h.Load()
+		if w == elimEmpty || w == elimTaken {
+			continue
+		}
+		if h.Commit(elimTaken) {
+			e.a.hits.Add(1)
+			return int(w >> 1), true
+		}
+		e.a.misses.Add(1) // lost the race for this slot; try the next
+	}
+	return 0, false
+}
+
+// await polls the pending offer for the bounded backoff window.
+func (e *elimHandle) await() {
+	for i := 0; i < elimSpin; i++ {
+		if e.taken() {
+			return
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,437 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"abadetect/internal/reclaim"
+	"abadetect/internal/shmem"
+)
+
+// This file tests the elimination-backoff exchanger and the per-worker node
+// caches: the deterministic handoff scripts (offer → take → settle, and the
+// withdraw path) across the full regime × reclaimer matrix, MPMC stress
+// with strict value accounting, and the cache's hit/spill books.
+
+// elimStack builds a stack with a 2-slot exchanger under one protection ×
+// reclaimer cell.
+func elimStack(t *testing.T, n, capacity int, prot Protection, tagBits uint, rmk reclaim.Maker) *Stack {
+	t.Helper()
+	opts := []StructOption{WithElimination(2)}
+	if rmk != nil {
+		opts = append(opts, WithReclaimer(rmk))
+	}
+	s, err := NewStack(shmem.NewNativeFactory(), n, capacity, prot, tagBits, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// elimMatrix is every regime × reclaimer cell the handoff scripts must
+// survive: the exchange protocol is ABA-free by construction, so unlike the
+// mainline stack scripts there is no corrupting cell here — not even
+// raw+none.
+func elimMatrix() []struct {
+	name    string
+	prot    Protection
+	tagBits uint
+	rmk     reclaim.Maker
+} {
+	var out []struct {
+		name    string
+		prot    Protection
+		tagBits uint
+		rmk     reclaim.Maker
+	}
+	for _, p := range allProtections() {
+		for _, r := range []struct {
+			name string
+			mk   reclaim.Maker
+		}{{"none", nil}, {"hp", reclaim.NewHazard}, {"epoch", reclaim.NewEpoch}} {
+			out = append(out, struct {
+				name    string
+				prot    Protection
+				tagBits uint
+				rmk     reclaim.Maker
+			}{p.name + "+" + r.name, p.prot, p.tagBits, r.mk})
+		}
+	}
+	return out
+}
+
+// TestElimHandoffDeterministic scripts one full exchange: a push parks its
+// node, a pop takes it, the push settles as exchanged.  At every pause the
+// audit must balance — the parked node is structure-owned, never lost — and
+// the hit lands exactly once, on the taker.
+func TestElimHandoffDeterministic(t *testing.T) {
+	for _, tc := range elimMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := elimStack(t, 2, 4, tc.prot, tc.tagBits, tc.rmk)
+			pusher := stackHandle(t, s, 0)
+			popper := stackHandle(t, s, 1)
+
+			if !pusher.ElimOffer(42) {
+				t.Fatal("offer on an idle exchanger failed")
+			}
+			if pusher.ElimOffer(43) {
+				t.Fatal("second offer accepted while one is pending")
+			}
+			a := s.Audit()
+			if a.Corrupt() || a.InElim != 1 {
+				t.Fatalf("mid-offer audit: %s", a)
+			}
+
+			v, ok := popper.ElimTake()
+			if !ok || v != 42 {
+				t.Fatalf("take = (%d,%v), want (42,true)", v, ok)
+			}
+			if !pusher.ElimSettle() {
+				t.Fatal("settle after a take must report exchanged")
+			}
+			a = s.Audit()
+			if a.Corrupt() || a.InStack != 0 || a.InElim != 0 {
+				t.Fatalf("post-exchange audit: %s", a)
+			}
+			if a.ElimHits != 1 {
+				t.Errorf("hits = %d, want exactly 1 (counted by the taker)", a.ElimHits)
+			}
+			if _, ok := popper.ElimTake(); ok {
+				t.Error("take from an empty exchanger succeeded")
+			}
+			if _, ok := popper.Pop(); ok {
+				t.Error("the exchanged value leaked into the stack")
+			}
+		})
+	}
+}
+
+// TestElimWithdrawCompletesPush scripts the miss path: an offer nobody
+// takes is withdrawn and the push must complete through the mainline stack
+// — the value is never lost, under any regime × reclaimer.
+func TestElimWithdrawCompletesPush(t *testing.T) {
+	for _, tc := range elimMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := elimStack(t, 2, 4, tc.prot, tc.tagBits, tc.rmk)
+			pusher := stackHandle(t, s, 0)
+			popper := stackHandle(t, s, 1)
+
+			if !pusher.ElimOffer(77) {
+				t.Fatal("offer failed")
+			}
+			if pusher.ElimSettle() {
+				t.Fatal("settle with no taker reported an exchange")
+			}
+			// The withdrawn offer became an ordinary push.
+			if v, ok := popper.Pop(); !ok || v != 77 {
+				t.Fatalf("pop after withdraw = (%d,%v), want (77,true)", v, ok)
+			}
+			a := s.Audit()
+			if a.Corrupt() || a.InElim != 0 {
+				t.Fatalf("post-withdraw audit: %s", a)
+			}
+			if a.ElimHits != 0 || a.ElimMisses == 0 {
+				t.Errorf("hits=%d misses=%d, want 0 hits and a counted withdraw", a.ElimHits, a.ElimMisses)
+			}
+		})
+	}
+}
+
+// TestElimTakeLinearizesOnEmpty: a pop that finds the stack empty but an
+// offer parked must take the offer (the concurrent push linearizes before
+// the pop), not report empty.
+func TestElimTakeLinearizesOnEmpty(t *testing.T) {
+	s := elimStack(t, 2, 4, LLSC, 0, nil)
+	pusher := stackHandle(t, s, 0)
+	popper := stackHandle(t, s, 1)
+	if !pusher.ElimOffer(11) {
+		t.Fatal("offer failed")
+	}
+	if v, ok := popper.Pop(); !ok || v != 11 {
+		t.Fatalf("Pop on empty stack with a parked offer = (%d,%v), want (11,true)", v, ok)
+	}
+	if !pusher.ElimSettle() {
+		t.Error("offerer must observe the exchange")
+	}
+}
+
+// TestElimSlotExhaustion: with every slot occupied, further offers fail
+// (and count as misses) instead of blocking or clobbering a parked node.
+func TestElimSlotExhaustion(t *testing.T) {
+	s := elimStack(t, 3, 8, LLSC, 0, nil) // 2 slots, 3 processes
+	h0 := stackHandle(t, s, 0)
+	h1 := stackHandle(t, s, 1)
+	h2 := stackHandle(t, s, 2)
+	if !h0.ElimOffer(1) || !h1.ElimOffer(2) {
+		t.Fatal("filling both slots failed")
+	}
+	if h2.ElimOffer(3) {
+		t.Fatal("offer into a full exchanger succeeded")
+	}
+	_, misses := s.ElimStats()
+	if misses == 0 {
+		t.Error("the rejected offer was not counted as a miss")
+	}
+	// Both parked nodes are still intact.
+	if v, ok := h2.ElimTake(); !ok || (v != 1 && v != 2) {
+		t.Fatalf("take = (%d,%v)", v, ok)
+	}
+	if v, ok := h2.ElimTake(); !ok || (v != 1 && v != 2) {
+		t.Fatalf("second take = (%d,%v)", v, ok)
+	}
+	h0.ElimSettle()
+	h1.ElimSettle()
+	if a := s.Audit(); a.Corrupt() {
+		t.Errorf("audit: %s", a)
+	}
+}
+
+// TestElimStressAccounting is the MPMC race test: pushers and poppers
+// hammer a small stack with the exchanger on, and every value must be
+// pushed and popped exactly once — through the head or through a slot,
+// indistinguishably.  Runs across the sound cells and the raw+SMR cells
+// (reclamation keeps even a raw mainline sound; the exchanger itself has no
+// corrupting cell).
+func TestElimStressAccounting(t *testing.T) {
+	cells := []struct {
+		name    string
+		prot    Protection
+		tagBits uint
+		rmk     reclaim.Maker
+	}{
+		{"llsc+none", LLSC, 0, nil},
+		{"detector+none", Detector, 0, nil},
+		{"tagged16+none", Tagged, 16, nil},
+		{"raw+hp", Raw, 0, reclaim.NewHazard},
+		{"raw+epoch", Raw, 0, reclaim.NewEpoch},
+	}
+	for _, tc := range cells {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 8
+			const perProc = 300
+			s := elimStack(t, n, 16, tc.prot, tc.tagBits, tc.rmk)
+			var wg sync.WaitGroup
+			popped := make([][]Word, n)
+			pushed := make([][]Word, n)
+			for pid := 0; pid < n; pid++ {
+				h := stackHandle(t, s, pid)
+				wg.Add(1)
+				go func(pid int, h *StackHandle) {
+					defer wg.Done()
+					for i := 0; i < perProc; i++ {
+						v := Word(pid)<<32 | Word(i)
+						if h.Push(v) {
+							pushed[pid] = append(pushed[pid], v)
+						}
+						if i%2 == 1 {
+							if v, ok := h.Pop(); ok {
+								popped[pid] = append(popped[pid], v)
+							}
+						}
+					}
+				}(pid, h)
+			}
+			wg.Wait()
+
+			counts := map[Word]int{}
+			for _, vs := range pushed {
+				for _, v := range vs {
+					counts[v]++
+				}
+			}
+			for _, vs := range popped {
+				for _, v := range vs {
+					counts[v]--
+					if counts[v] < 0 {
+						t.Fatalf("value %#x popped more often than pushed", v)
+					}
+				}
+			}
+			h := stackHandle(t, s, 0)
+			for {
+				v, ok := h.Pop()
+				if !ok {
+					break
+				}
+				counts[v]--
+				if counts[v] < 0 {
+					t.Fatalf("drained value %#x was never pushed (or popped twice)", v)
+				}
+			}
+			for v, c := range counts {
+				if c != 0 {
+					t.Fatalf("value %#x lost (count %d)", v, c)
+				}
+			}
+			// Quiesce the reclaimers so deferred nodes return before the audit.
+			if tc.rmk != nil {
+				for pid := 0; pid < n; pid++ {
+					hh := stackHandle(t, s, pid)
+					hh.pool.Drain()
+				}
+			}
+			a := s.Audit()
+			if a.Corrupt() {
+				t.Errorf("audit: %s", a)
+			}
+			hits, misses := s.ElimStats()
+			t.Logf("%s: elim hits=%d misses=%d", tc.name, hits, misses)
+		})
+	}
+}
+
+// TestStackElimOptionValidation: the exchanger needs conditional guards and
+// at least one slot.
+func TestStackElimOptionValidation(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	if _, err := NewStack(f, 2, 4, LLSC, 0, WithElimination(-1)); err == nil {
+		t.Error("want error for a negative slot count")
+	}
+	// Without elimination the hooks are inert, not panics.
+	s := newStack(t, 2, 4, LLSC, 0)
+	h := stackHandle(t, s, 0)
+	if h.ElimOffer(1) {
+		t.Error("ElimOffer on a stack without an exchanger succeeded")
+	}
+	if h.ElimSettle() {
+		t.Error("ElimSettle with no pending offer reported an exchange")
+	}
+	if _, ok := h.ElimTake(); ok {
+		t.Error("ElimTake on a stack without an exchanger succeeded")
+	}
+	if hits, misses := s.ElimStats(); hits != 0 || misses != 0 {
+		t.Error("exchanger counters on a stack without one")
+	}
+}
+
+// TestElimHotPathAllocs pins the exchanger's three hooks at zero heap
+// allocations: an offer parks a preallocated node, a take reads it, a
+// settle reuses the withdrawn node for the mainline push — none of them may
+// touch the allocator.
+func TestElimHotPathAllocs(t *testing.T) {
+	s := elimStack(t, 2, 4, LLSC, 0, nil)
+	offer := stackHandle(t, s, 0)
+	take := stackHandle(t, s, 1)
+	if got := testing.AllocsPerRun(200, func() {
+		if !offer.ElimOffer(7) {
+			t.Fatal("offer failed")
+		}
+		if _, ok := take.ElimTake(); !ok {
+			t.Fatal("take failed")
+		}
+		if !offer.ElimSettle() {
+			t.Fatal("settle missed the exchange")
+		}
+	}); got != 0 {
+		t.Errorf("offer+take+settle allocates %.1f/op, want 0", got)
+	}
+	// The withdraw leg (settle completing the push) must be free too.
+	if got := testing.AllocsPerRun(200, func() {
+		if !offer.ElimOffer(9) {
+			t.Fatal("offer failed")
+		}
+		if offer.ElimSettle() {
+			t.Fatal("phantom exchange")
+		}
+		if _, ok := offer.Pop(); !ok {
+			t.Fatal("withdrawn value lost")
+		}
+	}); got != 0 {
+		t.Errorf("offer+withdraw+pop allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestLocalCacheHitsAndSpills pins the cache books on a single process:
+// allocations drain the private stack (hits), overflowing releases spill
+// half back to the shared pool, and the audit still sees every node.
+func TestLocalCacheHitsAndSpills(t *testing.T) {
+	s, err := NewStack(shmem.NewNativeFactory(), 1, 16, LLSC, 0, WithLocalCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stackHandle(t, s, 0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			if !h.Push(Word(round*8 + i)) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := h.Pop(); !ok {
+				t.Fatal("pop failed")
+			}
+		}
+	}
+	st := s.PoolStats()
+	if st.Local.Hits == 0 {
+		t.Error("no allocation was served from the local cache")
+	}
+	if st.Local.Spills == 0 {
+		t.Error("8 releases into a 4-deep cache never spilled")
+	}
+	a := s.Audit()
+	if a.Corrupt() || a.InFree != 16 {
+		t.Errorf("audit after cached churn: %s", a)
+	}
+}
+
+// TestLocalCacheUnderReclaimers: the cache sits below retirement, so the
+// reclaim accounting must stay exact — every retired node is freed or
+// still deferred, and the audit balances with nodes parked in caches.
+func TestLocalCacheUnderReclaimers(t *testing.T) {
+	for _, tc := range reclaimSchemes() {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 4
+			s, err := NewStack(shmem.NewNativeFactory(), n, 32, LLSC, 0,
+				WithLocalCache(4), WithReclaimer(tc.mk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h := stackHandle(t, s, pid)
+				wg.Add(1)
+				go func(h *StackHandle) {
+					defer wg.Done()
+					for i := 0; i < 400; i++ {
+						h.Push(Word(i))
+						h.Pop()
+					}
+					h.pool.Drain()
+				}(h)
+			}
+			wg.Wait()
+			st := s.PoolStats()
+			if st.Reclaim.Retired != st.Reclaim.Freed+st.Reclaim.Deferred() {
+				t.Errorf("reclaim books don't balance: retired=%d freed=%d deferred=%d",
+					st.Reclaim.Retired, st.Reclaim.Freed, st.Reclaim.Deferred())
+			}
+			if a := s.Audit(); a.Corrupt() {
+				t.Errorf("audit: %s", a)
+			}
+		})
+	}
+}
+
+// TestLocalCacheIdempotentHandles: the driver seam fetches handles more
+// than once per pid; the cache must hand back the same underlying cache or
+// nodes parked in an earlier handle's stack would leak.
+func TestLocalCacheIdempotentHandles(t *testing.T) {
+	s, err := NewStack(shmem.NewNativeFactory(), 1, 8, LLSC, 0, WithLocalCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := stackHandle(t, s, 0)
+	h1.Push(1)
+	h1.Pop() // node now parked in pid 0's cache
+	h2 := stackHandle(t, s, 0)
+	h2.Push(2) // must come from the same cache
+	st := s.PoolStats()
+	if st.Local.Hits == 0 {
+		t.Error("a re-fetched handle did not see the cached node")
+	}
+	h2.Pop()
+	if a := s.Audit(); a.Corrupt() || a.InFree != 8 {
+		t.Errorf("audit: %s", a)
+	}
+}

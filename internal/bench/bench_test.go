@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -157,15 +158,16 @@ func TestE10ThroughputShape(t *testing.T) {
 }
 
 func TestE13LoadMatrixShape(t *testing.T) {
-	// One profile, one scheme: 4 regimes worth of rows with parseable
-	// latency columns; the filters reject unknown IDs.
+	// One profile, one scheme: 4 regimes × (baseline + tuned variant) rows
+	// with parseable latency columns; the filters reject unknown IDs.
 	tbl, err := E13LoadMatrix("map", "none", "steady")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 4 {
-		t.Fatalf("rows = %d, want 4 (one per regime)", len(tbl.Rows))
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (baseline + tuned per regime)", len(tbl.Rows))
 	}
+	tuned := 0
 	for _, row := range tbl.Rows {
 		if len(row) != len(tbl.Header) {
 			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tbl.Header))
@@ -173,6 +175,15 @@ func TestE13LoadMatrixShape(t *testing.T) {
 		if row[6] == "" || row[7] == "" || row[8] == "" {
 			t.Errorf("row %v lacks latency percentiles", row)
 		}
+		if strings.HasSuffix(row[0], "+fc+cache16") {
+			tuned++
+			if row[10] == "-" {
+				t.Errorf("tuned row %v reports no fast-path traffic", row)
+			}
+		}
+	}
+	if tuned != 4 {
+		t.Errorf("tuned rows = %d, want 4 (one per regime)", tuned)
 	}
 	if _, err := E13LoadMatrix("no-such-structure", "all", "all"); err == nil {
 		t.Error("want error for an unknown structure")
@@ -182,6 +193,48 @@ func TestE13LoadMatrixShape(t *testing.T) {
 	}
 	if _, err := E13LoadMatrix("map", "all", "no-such-profile"); err == nil {
 		t.Error("want error for an unknown profile")
+	}
+}
+
+func TestE13TrafficFilterAndTuningPin(t *testing.T) {
+	// "traffic" covers map and stack; an explicit Tuning pins every cell to
+	// exactly one variant, and a Seed override still produces full rows.
+	tbl, err := E13LoadMatrixOpts("traffic", "none", "steady",
+		E13Options{Seed: 42, Tuning: &Tuning{Elimination: 2, LocalCache: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (map + stack, 4 regimes, one pinned variant)", len(tbl.Rows))
+	}
+	structs := map[string]bool{}
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[0], "+elim2+cache8") {
+			t.Errorf("row %q lacks the pinned tuning label", row[0])
+		}
+		structs[strings.SplitN(row[0], "/", 2)[0]] = true
+	}
+	if !structs["map"] || !structs["stack"] {
+		t.Errorf("traffic filter covered %v, want map and stack", structs)
+	}
+}
+
+func TestE13BackpressureProfile(t *testing.T) {
+	// The poisson-shed profile runs behind a 4-deep admission queue: the
+	// shed column must account for every non-admitted arrival (ops + shed =
+	// offered is checked inside load; here the column must parse and the
+	// sound cells must stay clean).
+	tbl, err := E13LoadMatrix("map", "none", "poisson-shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if _, err := strconv.Atoi(row[9]); err != nil {
+			t.Errorf("row %q shed column %q is not a count: %v", row[0], row[9], err)
+		}
+		if strings.HasPrefix(row[0], "map/llsc") && strings.Contains(row[11], "corrupt=true") {
+			t.Errorf("row %q corrupted under llsc: %s", row[0], row[11])
+		}
 	}
 }
 

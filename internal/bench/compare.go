@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 )
 
 // This file is the benchmark regression harness: it re-runs the E10
@@ -47,6 +48,13 @@ type CompareResult struct {
 	BaseNs, CurNs float64
 	// Speedup is BaseNs / CurNs: > 1 got faster, < 1 regressed.
 	Speedup float64
+	// BaseP50..CurP999 carry the latency percentiles for tables that have
+	// them (E13); zero when either side lacks the column, so thresholds on
+	// tail latency can skip old snapshots gracefully.
+	BaseP50, CurP50, BaseP99, CurP99, BaseP999, CurP999 time.Duration
+	// TailGain is BaseP999 / CurP999: > 1 the tail got faster, < 1 it
+	// regressed.  0 when percentiles are unavailable on either side.
+	TailGain float64
 }
 
 // throughputExperiments maps each comparable experiment ID to its runner;
@@ -58,7 +66,7 @@ var throughputExperiments = []struct {
 	{"E10", E10Throughput},
 	{"E11", func() (*Table, error) { return E11Apps("all") }},
 	{"E12", func() (*Table, error) { return E12Reclaim("all", "all") }},
-	{"E13", func() (*Table, error) { return E13LoadMatrix("map", "all", "all") }},
+	{"E13", func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot
@@ -90,6 +98,11 @@ func CompareThroughput(snapshot []*Table) ([]*Table, []CompareResult, error) {
 }
 
 // compareOne diffs one fresh throughput run against its snapshot table.
+// When both sides carry latency percentile columns (E13), the p999 diff is
+// rendered next to the throughput diff and all three percentiles land in
+// the CompareResults — a tail regression is a first-class verdict, not a
+// detail hidden behind averages.  Snapshots that predate the latency
+// columns just compare throughput, so old BENCH_*.json files stay usable.
 func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []CompareResult, error) {
 	baseNs, err := nsPerOp(base)
 	if err != nil {
@@ -103,22 +116,41 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	if err != nil {
 		return nil, nil, err
 	}
+	baseP50, baseP99, baseP999 := durColumn(base, "p50"), durColumn(base, "p99"), durColumn(base, "p999")
+	curP50, curP99, curP999 := durColumn(fresh, "p50"), durColumn(fresh, "p99"), durColumn(fresh, "p999")
+	withTail := baseP999 != nil && curP999 != nil
 
 	t := &Table{
 		ID:     id + "-compare",
 		Title:  fmt.Sprintf("benchmark regression check: fresh %s run vs committed snapshot", id),
 		Header: []string{"implementation", "workload", "snapshot ns/op", "current ns/op", "speedup"},
 	}
+	if withTail {
+		t.Header = append(t.Header, "snapshot p999", "current p999", "tail gain")
+	}
+	pad := func(cells []string, verdict string) []string {
+		cells = append(cells, verdict)
+		if withTail {
+			cells = append(cells, "-", "-", verdict)
+		}
+		return cells
+	}
 	var results []CompareResult
-	var faster, slower int
+	var faster, slower, tailSlower int
 	seen := make(map[string]bool, len(fresh.Rows))
 	for _, row := range fresh.Rows {
 		key := rowKey(row)
 		seen[key] = true
 		b, inBase := baseNs[key]
-		c := curNs[key]
+		c, inCur := curNs[key]
 		if !inBase {
-			t.AddRow(row[0], row[2], "-", fmt.Sprintf("%.1f", c), "new")
+			t.AddRow(pad([]string{row[0], row[2], "-", fmt.Sprintf("%.1f", c)}, "new")...)
+			continue
+		}
+		if !inCur {
+			// A fully-shed open-loop cell admits zero ops and reports "-":
+			// there is no throughput to compare, only the fact of the shed.
+			t.AddRow(pad([]string{row[0], row[2], fmt.Sprintf("%.1f", b), "-"}, "no-admitted-ops")...)
 			continue
 		}
 		r := CompareResult{
@@ -128,6 +160,28 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 			BaseNs:         b,
 			CurNs:          c,
 			Speedup:        b / c,
+			BaseP50:        baseP50[key],
+			CurP50:         curP50[key],
+			BaseP99:        baseP99[key],
+			CurP99:         curP99[key],
+			BaseP999:       baseP999[key],
+			CurP999:        curP999[key],
+		}
+		cells := []string{row[0], row[2],
+			fmt.Sprintf("%.1f", b), fmt.Sprintf("%.1f", c), fmt.Sprintf("%.2fx", r.Speedup)}
+		if r.BaseP999 > 0 && r.CurP999 > 0 {
+			r.TailGain = float64(r.BaseP999) / float64(r.CurP999)
+			if r.TailGain <= 0.5 {
+				tailSlower++
+			}
+		}
+		if withTail {
+			if r.TailGain > 0 {
+				cells = append(cells, fmt.Sprintf("%v", r.BaseP999), fmt.Sprintf("%v", r.CurP999),
+					fmt.Sprintf("%.2fx", r.TailGain))
+			} else {
+				cells = append(cells, "-", "-", "-")
+			}
 		}
 		results = append(results, r)
 		switch {
@@ -136,8 +190,7 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 		case r.Speedup <= 0.95:
 			slower++
 		}
-		t.AddRow(row[0], row[2],
-			fmt.Sprintf("%.1f", b), fmt.Sprintf("%.1f", c), fmt.Sprintf("%.2fx", r.Speedup))
+		t.AddRow(cells...)
 	}
 	// Snapshot rows with no fresh counterpart would otherwise vanish
 	// silently, shrinking the regression surface without a signal — render
@@ -145,11 +198,14 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	// relabeled workloads).
 	for _, row := range base.Rows {
 		if !seen[rowKey(row)] {
-			t.AddRow(row[0], row[2], fmt.Sprintf("%.1f", baseNs[rowKey(row)]), "-", "removed")
+			t.AddRow(pad([]string{row[0], row[2], fmt.Sprintf("%.1f", baseNs[rowKey(row)]), "-"}, "removed")...)
 		}
 	}
 	t.AddNote("speedup = snapshot / current: above 1.00x is faster than the snapshot.")
 	t.AddNote("%d rows ≥1.05x faster, %d rows ≤0.95x slower (runs are single-shot; treat ±5%% as noise).", faster, slower)
+	if withTail {
+		t.AddNote("tail gain = snapshot p999 / current p999: above 1.00x the tail tightened; %d rows regressed past 2x (tails are noisier than means — judge trends, not single cells).", tailSlower)
+	}
 	return t, results, nil
 }
 
@@ -172,6 +228,9 @@ func nsPerOp(t *Table) (map[string]float64, error) {
 		if len(row) <= col {
 			return nil, fmt.Errorf("bench: table %s has a short row %v", t.ID, row)
 		}
+		if row[col] == "-" {
+			continue // a fully-shed cell admitted nothing: no ns/op to index
+		}
 		ns, err := strconv.ParseFloat(row[col], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bench: table %s row %v: %w", t.ID, row, err)
@@ -179,4 +238,31 @@ func nsPerOp(t *Table) (map[string]float64, error) {
 		out[rowKey(row)] = ns
 	}
 	return out, nil
+}
+
+// durColumn indexes a latency column (p50/p99/p999) by row key, or returns
+// nil when the table has no such column — which is how snapshots from
+// before the latency columns existed opt out of the tail diff.
+func durColumn(t *Table, name string) map[string]time.Duration {
+	col := -1
+	for i, h := range t.Header {
+		if h == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			continue
+		}
+		d, err := time.ParseDuration(row[col])
+		if err != nil {
+			continue // "-" or a foreign format: leave the row out of the diff
+		}
+		out[rowKey(row)] = d
+	}
+	return out
 }

@@ -30,8 +30,8 @@ func Experiments() []Experiment {
 			func() (*Table, error) { return E11Apps("all") }},
 		{"E12", "reclamation matrix: structure × regime × reclaimer (SMR as the ABA defense)",
 			func() (*Table, error) { return E12Reclaim("all", "all") }},
-		{"E13", "traffic matrix: map × regime × reclaimer × load profile, with latency percentiles",
-			func() (*Table, error) { return E13LoadMatrix("map", "all", "all") }},
+		{"E13", "traffic matrix: map+stack × regime × reclaimer × load profile, with latency percentiles and fast-path counters",
+			func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
 	}
 }
 

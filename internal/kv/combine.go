@@ -1,0 +1,169 @@
+package kv
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"abadetect/internal/apps"
+)
+
+// Flat combining [Hendler, Incze, Shavit, Tzafrir 2010] for hot buckets: a
+// per-bucket combiner lock plus one publication slot per process.  A writer
+// that finds the lock free becomes the combiner: it applies its own
+// operation through the ordinary lock-free code, then sweeps the bucket's
+// publication slots and applies every pending operation back-to-back.  A
+// writer that finds the lock taken — and a reader that would otherwise race
+// a running combiner — publishes its operation and waits for the answer.
+//
+// What this amortizes, in the paper's m(n)/t(n) vocabulary: the batch walks
+// one bucket chain cache-hot on one process, so each combined op costs the
+// combiner a warm traversal instead of costing its owner a cold one plus
+// the guard-commit interleaving of a contended chain; under a reclaimer the
+// combiner's two protection slots serve the whole batch where every waiter
+// would otherwise publish (and fence) its own.  The space price is explicit
+// and bounded: one lock word plus n publication slots per bucket, none of
+// them touched by the uncontended read path.
+//
+// The combiner applies waiters' operations with its *own* per-process
+// handles (it runs in its own goroutine; handles stay single-goroutine),
+// and every applied operation is the unmodified lock-free code — combining
+// is an optimization layered over an already-correct structure, so a
+// combiner racing lock-free readers is safe by construction.  Slot words
+// are Go atomics rather than shmem registers: like guard metrics they are
+// harness machinery, not base objects of the modeled structure, and they
+// are priced in the documentation instead of the footprint tables.
+const (
+	combEmpty   uint32 = iota // slot free
+	combPending               // op published, waiting for a combiner
+	combActive                // a combiner claimed the op and is applying it
+	combDone                  // result written; waiter must reset to empty
+)
+
+// combPasses bounds how many sweeps one combiner makes over the slots; a
+// second pass picks up ops published while the first was being applied.
+const combPasses = 2
+
+// combSlot is one process's publication slot on one bucket.  Padded so two
+// processes' slots never share a cache line.
+type combSlot struct {
+	state atomic.Uint32
+	op    atomic.Uint32
+	key   atomic.Uint64
+	val   atomic.Uint64
+	res   atomic.Uint64
+	ok    atomic.Uint32
+	_     [128 - 28]byte
+}
+
+// combiner is one bucket's combining state.
+type combiner struct {
+	lock  atomic.Uint32
+	_     [124]byte
+	slots []combSlot // indexed by pid
+}
+
+// combined routes an operation through the combining protocol.  done=false
+// means the caller should take the ordinary lock-free path: that happens
+// only for reads with no combiner active, so uncontended gets stay exactly
+// as cheap as before.
+func (h *Handle) combined(op apps.OpKind, k, v Word) (res Word, ok, done bool) {
+	c := &h.m.comb[h.m.bucket(k)]
+	if op == apps.OpGet {
+		if c.lock.Load() == 0 {
+			return 0, false, false
+		}
+		return h.publish(c, op, k, v)
+	}
+	if c.lock.CompareAndSwap(0, 1) {
+		res, ok = h.runCombiner(c, op, k, v)
+		return res, ok, true
+	}
+	return h.publish(c, op, k, v)
+}
+
+// runCombiner applies the caller's own operation, then sweeps the bucket's
+// publication slots applying every pending op, and releases the lock.
+func (h *Handle) runCombiner(c *combiner, op apps.OpKind, k, v Word) (Word, bool) {
+	res, ok := h.apply(op, k, v)
+	batch := int64(1) // the combiner's own op counts toward the batch
+	for pass := 0; pass < combPasses; pass++ {
+		var applied int64
+		for i := range c.slots {
+			s := &c.slots[i]
+			if s.state.Load() != combPending || !s.state.CompareAndSwap(combPending, combActive) {
+				continue
+			}
+			r, o := h.apply(apps.OpKind(s.op.Load()), Word(s.key.Load()), Word(s.val.Load()))
+			s.res.Store(uint64(r))
+			if o {
+				s.ok.Store(1)
+			} else {
+				s.ok.Store(0)
+			}
+			s.state.Store(combDone)
+			applied++
+		}
+		batch += applied
+		if applied == 0 {
+			break
+		}
+	}
+	c.lock.Store(0)
+	h.m.combBatches.Add(1)
+	h.m.combOps.Add(batch)
+	return res, ok
+}
+
+// apply dispatches one operation to the lock-free bodies.
+func (h *Handle) apply(op apps.OpKind, k, v Word) (Word, bool) {
+	switch op {
+	case apps.OpPut:
+		return 0, h.put(k, v)
+	case apps.OpDelete:
+		return 0, h.del(k)
+	default:
+		return h.get(k)
+	}
+}
+
+// publish parks the operation in this process's slot and waits for a
+// combiner to apply it.  If the combiner leaves without taking the op (its
+// passes ran out), the waiter reclaims the op and retries — becoming the
+// combiner itself when it can.  The wait respects MaxSpin like every other
+// retry loop: a bounded handle gives up and fails the op rather than hang
+// behind a livelocked (corrupted-raw) combiner.
+func (h *Handle) publish(c *combiner, op apps.OpKind, k, v Word) (Word, bool, bool) {
+	s := &c.slots[h.pid]
+	spins := 0
+	for {
+		s.op.Store(uint32(op))
+		s.key.Store(uint64(k))
+		s.val.Store(uint64(v))
+		s.state.Store(combPending)
+		republish := false
+		for !republish {
+			switch s.state.Load() {
+			case combDone:
+				s.state.Store(combEmpty)
+				return Word(s.res.Load()), s.ok.Load() == 1, true
+			case combPending:
+				if c.lock.Load() == 0 && s.state.CompareAndSwap(combPending, combEmpty) {
+					// No combiner is serving this bucket anymore: take the
+					// op back.  Become the combiner if the lock is still
+					// free; otherwise republish for the new one.
+					if c.lock.CompareAndSwap(0, 1) {
+						res, ok := h.runCombiner(c, op, k, v)
+						return res, ok, true
+					}
+					republish = true
+					continue
+				}
+				if h.spent(spins) && s.state.CompareAndSwap(combPending, combEmpty) {
+					return 0, false, true // budget exhausted: the op fails
+				}
+			}
+			spins++
+			runtime.Gosched()
+		}
+	}
+}

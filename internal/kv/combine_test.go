@@ -1,0 +1,141 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/reclaim"
+	"abadetect/internal/shmem"
+)
+
+// These tests hammer the flat combiner on a single hot bucket: every
+// mutation funnels through one combiner lock while uncontended gets stay on
+// the lock-free read path, so the combiner races directly against
+// concurrent readers — the seam the combining design has to get right.
+
+func buildCombiningMap(t *testing.T, n, capacity, buckets int, prot Protection, tagBits uint, rc reclaim.Maker) *Map {
+	t.Helper()
+	opts := []apps.StructOption{apps.WithCombining()}
+	if rc != nil {
+		opts = append(opts, apps.WithReclaimer(rc))
+	}
+	m, err := NewMap(shmem.NewNativeFactory(), n, capacity, buckets, prot, tagBits, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCombinerSingleBucketRace: n processes churn one bucket with
+// put/overwrite/delete while readers poll the same keys lock-free.  The
+// audit must balance, reads must never observe a torn binding, and the
+// combiner must actually have batched work.
+func TestCombinerSingleBucketRace(t *testing.T) {
+	for _, tc := range soundConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 8
+			const perProc = 400
+			m := buildCombiningMap(t, n, 16, 1, tc.prot, tc.tagBits, tc.rc)
+			if !m.Combining() {
+				t.Fatal("map ignored WithCombining")
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h, err := m.Handle(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(pid int, h *Handle) {
+					defer wg.Done()
+					key := Word(pid % 4) // 4 keys over 1 bucket: guaranteed collisions
+					for i := 0; i < perProc; i++ {
+						switch i % 4 {
+						case 0, 1:
+							h.Put(key, Word(pid)<<32|Word(i))
+						case 2:
+							// The lock-free read path races the combiner.  A hit
+							// must return some writer's full 64-bit binding, never
+							// a torn or recycled value for a different key.
+							if v, ok := h.Get(key); ok && v>>32 >= n {
+								t.Errorf("Get(%d) returned impossible value %#x", key, v)
+								return
+							}
+						case 3:
+							h.Delete(key)
+						}
+					}
+					h.pool.Drain()
+				}(pid, h)
+			}
+			wg.Wait()
+
+			a := m.Audit()
+			if a.Corrupt() {
+				t.Errorf("audit after combined churn: %s", a)
+			}
+			batches, ops := m.CombineStats()
+			if ops == 0 {
+				t.Error("no op went through the combiner on a single hot bucket")
+			}
+			if batches > ops {
+				t.Errorf("batches=%d > ops=%d: a batch must carry at least one op", batches, ops)
+			}
+			t.Logf("%s: combine batches=%d ops=%d (%.1f ops/batch)",
+				tc.name, batches, ops, float64(ops)/float64(maxInt64(batches, 1)))
+		})
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestCombinerSequentialEquivalence: with combining on, a single process
+// must see exactly the bindings it wrote — the publication slots add
+// machinery, not semantics.
+func TestCombinerSequentialEquivalence(t *testing.T) {
+	m := buildCombiningMap(t, 1, 8, 1, apps.LLSC, 0, nil)
+	h, err := m.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Word(0); k < 4; k++ {
+		if !h.Put(k, 100+k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	if !h.Put(2, 222) {
+		t.Fatal("overwrite failed")
+	}
+	if !h.Delete(3) {
+		t.Fatal("delete failed")
+	}
+	want := map[Word]Word{0: 100, 1: 101, 2: 222}
+	for k := Word(0); k < 4; k++ {
+		v, ok := h.Get(k)
+		wv, whit := want[k]
+		if ok != whit || (ok && v != wv) {
+			t.Errorf("Get(%d) = (%d,%v), want (%d,%v)", k, v, ok, wv, whit)
+		}
+	}
+	if a := m.Audit(); a.Corrupt() || a.Live != 3 {
+		t.Errorf("audit: %s", a)
+	}
+}
+
+// TestCombinerStatsOffByDefault: a map built without the option reports
+// zero combining and the inert stats.
+func TestCombinerStatsOffByDefault(t *testing.T) {
+	m := buildMap(t, 2, 8, 1, apps.LLSC, 0, nil)
+	if m.Combining() {
+		t.Fatal("combining on without WithCombining")
+	}
+	if b, o := m.CombineStats(); b != 0 || o != 0 {
+		t.Errorf("CombineStats = (%d,%d) on a plain map", b, o)
+	}
+}

@@ -85,3 +85,8 @@ func (in mapInstance) Audit() (bool, string) {
 func (in mapInstance) GuardMetrics() guard.Metrics    { return in.m.GuardMetrics() }
 func (in mapInstance) FreelistMetrics() guard.Metrics { return in.m.FreelistMetrics() }
 func (in mapInstance) PoolStats() apps.PoolStats      { return in.m.PoolStats() }
+
+func (in mapInstance) FastPathStats() apps.FastPathStats {
+	batches, ops := in.m.CombineStats()
+	return apps.FastPathStats{CombinedOps: ops, CombineBatches: batches}
+}

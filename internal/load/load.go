@@ -70,6 +70,33 @@ func (a Arrival) String() string {
 	}
 }
 
+// Policy selects what happens to an open-loop arrival that finds the
+// admission queue full (Profile.Queue).
+type Policy int
+
+// Admission policies.
+const (
+	// Shed drops the arrival: it is counted as shed load, never executed,
+	// and never recorded in the latency histogram.
+	Shed Policy = iota
+	// Block pushes the arrival process back: the arrival (and every one
+	// after it) is rescheduled so the backlog never exceeds the bound —
+	// the offered rate yields instead of the queue growing.
+	Block
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Shed:
+		return "shed"
+	case Block:
+		return "block"
+	default:
+		return "unknown"
+	}
+}
+
 // Profile is one named traffic shape.
 type Profile struct {
 	// ID is the stable identifier (abalab -load, the E13 matrix).
@@ -96,6 +123,12 @@ type Profile struct {
 	GetPct, PutPct, DeletePct int
 	// Seed makes the generator's choices deterministic per run.
 	Seed uint64
+	// Queue bounds the open-loop admission backlog, in arrivals per worker;
+	// 0 means unbounded (every arrival is admitted however late the worker
+	// runs — the coordinated-omission-by-meltdown shape PR5 measured).
+	Queue int
+	// Policy selects what happens to arrivals past the Queue bound.
+	Policy Policy
 }
 
 // Workload renders the profile as the experiment tables' workload column.
@@ -111,7 +144,11 @@ func (p Profile) Workload() string {
 	if p.ZipfS > 0 {
 		pop = fmt.Sprintf("zipf %.2f", p.ZipfS)
 	}
-	return fmt.Sprintf("%dw %s, %s, %d/%d/%d", p.Workers, shape, pop, p.GetPct, p.PutPct, p.DeletePct)
+	w := fmt.Sprintf("%dw %s, %s, %d/%d/%d", p.Workers, shape, pop, p.GetPct, p.PutPct, p.DeletePct)
+	if p.Queue > 0 {
+		w = fmt.Sprintf("%s, q%d %s", w, p.Queue, p.Policy)
+	}
+	return w
 }
 
 // Profiles returns the named traffic profiles, the load axis of the E13
@@ -138,6 +175,18 @@ func Profiles() []Profile {
 			Arrival: Burst, RatePerWorker: 150_000, BurstSize: 64, Workers: 4, OpsPerWorker: 4000,
 			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed4,
 		},
+		{
+			ID: "poisson-shed", Summary: "the poisson profile behind a 4-deep admission queue, late arrivals shed",
+			Arrival: Poisson, RatePerWorker: 150_000, Workers: 4, OpsPerWorker: 4000,
+			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed5,
+			Queue: 4, Policy: Shed,
+		},
+		{
+			ID: "burst-block", Summary: "the burst profile behind a 64-deep admission queue, excess arrivals pushed back",
+			Arrival: Burst, RatePerWorker: 150_000, BurstSize: 64, Workers: 4, OpsPerWorker: 4000,
+			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed6,
+			Queue: 64, Policy: Block,
+		},
 	}
 }
 
@@ -153,14 +202,31 @@ func LookupProfile(id string) (Profile, bool) {
 
 // Result is one load run's measurements.
 type Result struct {
-	// Ops is the number of operations issued.
+	// Ops is the number of operations *admitted and executed*.  Without an
+	// admission queue it equals Offered.
 	Ops int
+	// Offered is the number of scheduled arrivals (Ops + Shed).
+	Offered int
+	// Shed is the number of arrivals dropped by the Shed policy — reported,
+	// never silently lost.
+	Shed int
+	// Blocked is the number of arrivals the Block policy pushed back
+	// (rescheduled, then executed; they are included in Ops).
+	Blocked int
 	// Elapsed is the wall-clock span of the run.
 	Elapsed time.Duration
-	// Latency is the merged per-op latency histogram; under the open-loop
-	// profiles latency is measured from the *scheduled* arrival, so
-	// queueing delay counts.
+	// Latency is the merged latency histogram of *admitted* ops; under the
+	// open-loop profiles latency is measured from the scheduled arrival, so
+	// queueing delay counts (no coordinated omission).
 	Latency Hist
+}
+
+// Goodput is the admitted throughput in ops/sec.
+func (r Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
 // rng is a small xorshift64* generator: deterministic, allocation-free, one
@@ -252,6 +318,12 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 	if p.Arrival == Burst && p.BurstSize < 1 {
 		return Result{}, fmt.Errorf("load: burst profile %q needs a burst size >= 1", p.ID)
 	}
+	if p.Queue < 0 {
+		return Result{}, fmt.Errorf("load: profile %q queue bound must be >= 0, got %d", p.ID, p.Queue)
+	}
+	if p.Queue > 0 && p.Arrival == Closed {
+		return Result{}, fmt.Errorf("load: profile %q: an admission queue needs an open-loop arrival process", p.ID)
+	}
 	keyed, _ := inst.(apps.Keyed)
 	if keyed != nil && p.Keys < 1 {
 		return Result{}, fmt.Errorf("load: profile %q needs a key space >= 1 for a keyed structure", p.ID)
@@ -295,11 +367,12 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 	}
 
 	hists := make([]Hist, p.Workers)
+	counts := make([]workerCounts, p.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for pid := 0; pid < p.Workers; pid++ {
 		wg.Add(1)
-		go func(s *sampler, h *Hist) {
+		go func(s *sampler, h *Hist, w *workerCounts) {
 			defer wg.Done()
 			switch p.Arrival {
 			case Closed:
@@ -308,8 +381,13 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 					s.step(i)
 					h.Record(time.Since(opStart))
 				}
+				w.ops = p.OpsPerWorker
 			default:
 				interArrival := float64(time.Second) / p.RatePerWorker
+				// The admission bound in time units: an arrival more than
+				// `window` behind schedule found Queue arrivals already
+				// waiting.
+				window := time.Duration(float64(p.Queue) * interArrival)
 				target := time.Now()
 				for i := 0; i < p.OpsPerWorker; i++ {
 					switch p.Arrival {
@@ -320,23 +398,68 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 							target = target.Add(time.Duration(interArrival * float64(p.BurstSize)))
 						}
 					}
-					for time.Now().Before(target) {
-						runtime.Gosched()
+					if p.Queue > 0 && time.Since(target) > window {
+						if p.Policy == Shed {
+							w.shed++
+							continue
+						}
+						// Block: push the arrival process back so the
+						// backlog never exceeds the bound; later arrivals
+						// inherit the shift through target.
+						target = time.Now().Add(-window)
+						w.blocked++
 					}
+					waitUntil(target)
 					s.step(i)
 					// Open-loop latency counts from the scheduled arrival:
 					// delay inherited from a slow predecessor is real latency.
 					h.Record(time.Since(target))
+					w.ops++
 				}
 			}
-		}(samplers[pid], &hists[pid])
+		}(samplers[pid], &hists[pid], &counts[pid])
 	}
 	wg.Wait()
-	res := Result{Ops: p.Workers * p.OpsPerWorker, Elapsed: time.Since(start)}
+	res := Result{Elapsed: time.Since(start)}
 	for i := range hists {
 		res.Latency.Add(&hists[i])
+		res.Ops += counts[i].ops
+		res.Shed += counts[i].shed
+		res.Blocked += counts[i].blocked
 	}
+	res.Offered = res.Ops + res.Shed
 	return res, nil
+}
+
+// workerCounts are one worker's admission counters, padded so neighboring
+// workers' counters never share a cache line.
+type workerCounts struct {
+	ops, shed, blocked int
+	_                  [104]byte
+}
+
+// spinSlack is the stretch before a scheduled arrival where the worker
+// yields instead of sleeping: short enough that the final approach stays
+// precise, long enough that the runtime's timer wakes us in time.
+const spinSlack = 100 * time.Microsecond
+
+// waitUntil blocks until the scheduled arrival.  Distant arrivals sleep:
+// an open-loop worker that busy-spins between arrivals steals the very CPU
+// the admitted operations need, and on a small machine that scheduler-
+// induced queueing — not the structure — was the whole PR5 tail.  The last
+// spinSlack is yielded away so the op still starts close to its schedule.
+func waitUntil(target time.Time) {
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			return
+		}
+		if d > spinSlack {
+			time.Sleep(d - spinSlack)
+			continue
+		}
+		runtime.Gosched()
+	}
 }
 
 // expSample draws an exponential inter-arrival time with the given mean (in

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -225,6 +226,156 @@ func TestRunRejectsBadProfiles(t *testing.T) {
 	}
 	if _, err := Run(inst, Profile{ID: "x", Workers: 1, OpsPerWorker: 1, GetPct: 100}); err == nil {
 		t.Error("want error for a keyed run without a key space")
+	}
+}
+
+// TestPoissonInterArrivalStatistics checks the arrival process is actually
+// exponential: over many samples the mean must sit within 5% of the
+// configured inter-arrival time and the coefficient of variation within 5%
+// of 1 (the memoryless signature; a uniform or constant schedule would show
+// CV ≈ 0.3 or 0).
+func TestPoissonInterArrivalStatistics(t *testing.T) {
+	s := &sampler{r: rng{s: 0xfeed}}
+	const mean = 6666.0 // ns, the poisson profile's 150k/s
+	const n = 200_000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		d := s.expSample(mean)
+		if d < 0 {
+			t.Fatalf("negative inter-arrival %v", d)
+		}
+		sum += d
+		sumSq += d * d
+	}
+	m := sum / n
+	if m < mean*0.95 || m > mean*1.05 {
+		t.Errorf("sample mean = %.1f, want %.0f ±5%%", m, mean)
+	}
+	variance := sumSq/n - m*m
+	cv := math.Sqrt(variance) / m
+	if cv < 0.95 || cv > 1.05 {
+		t.Errorf("coefficient of variation = %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+// stallInstance is a minimal non-keyed Instance whose op 0 stalls; it lets
+// the tests pin the admission-queue accounting and the coordinated-omission
+// correction without a real structure's noise.
+type stallInstance struct {
+	stall time.Duration
+}
+
+func (in stallInstance) Worker(pid int) (func(i int), error) {
+	return func(i int) {
+		if i == 0 && in.stall > 0 {
+			time.Sleep(in.stall)
+		}
+	}, nil
+}
+func (in stallInstance) Audit() (bool, string)          { return false, "" }
+func (in stallInstance) GuardMetrics() guard.Metrics    { return guard.Metrics{} }
+func (in stallInstance) FreelistMetrics() guard.Metrics { return guard.Metrics{} }
+func (in stallInstance) PoolStats() apps.PoolStats      { return apps.PoolStats{} }
+
+// TestCoordinatedOmissionGuard pins the correction the open loop exists
+// for: when one operation stalls, the ops scheduled behind it must record
+// the queueing delay they inherited — measured from their scheduled
+// arrival — not just their own service time.  The histogram must still
+// account one sample per admitted op (a stalled worker omits nothing).
+func TestCoordinatedOmissionGuard(t *testing.T) {
+	const stall = 5 * time.Millisecond
+	p := Profile{
+		ID: "test-stall", Summary: "t", Arrival: Poisson, RatePerWorker: 1_000_000,
+		Workers: 1, OpsPerWorker: 200, GetPct: 100, Seed: 9,
+	}
+	res, err := Run(stallInstance{stall: stall}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != p.OpsPerWorker || res.Offered != res.Ops || res.Shed != 0 {
+		t.Fatalf("unbounded open loop admitted %d/%d with shed=%d", res.Ops, res.Offered, res.Shed)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d admitted ops", res.Latency.Count(), res.Ops)
+	}
+	// At 1µs inter-arrival, nearly every op is scheduled inside the 5ms
+	// stall and inherits (most of) it: the median must see the queueing
+	// delay, not the sub-microsecond service time.
+	if p50 := res.Latency.Quantile(0.5); p50 < stall/4 {
+		t.Errorf("p50 = %v: queueing delay behind the stall was omitted (want >= %v)", p50, stall/4)
+	}
+}
+
+// TestShedPolicyAccounting pins the Shed books: arrivals past the queue
+// bound are counted, not silently dropped, and only admitted ops reach the
+// latency histogram.
+func TestShedPolicyAccounting(t *testing.T) {
+	p := Profile{
+		ID: "test-shed", Summary: "t", Arrival: Poisson, RatePerWorker: 1_000_000,
+		Workers: 1, OpsPerWorker: 400, GetPct: 100, Seed: 11,
+		Queue: 2, Policy: Shed,
+	}
+	res, err := Run(stallInstance{stall: 10 * time.Millisecond}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("a 10ms stall behind a 2-deep queue at 1M/s shed nothing")
+	}
+	if res.Ops+res.Shed != res.Offered || res.Offered != p.OpsPerWorker {
+		t.Errorf("books don't balance: ops=%d shed=%d offered=%d", res.Ops, res.Shed, res.Offered)
+	}
+	if res.Blocked != 0 {
+		t.Errorf("shed policy blocked %d arrivals", res.Blocked)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d admitted ops (shed ops must not record)", res.Latency.Count(), res.Ops)
+	}
+	if res.Goodput() <= 0 {
+		t.Error("goodput not positive")
+	}
+}
+
+// TestBlockPolicyAccounting pins the Block books: every arrival executes
+// (pushed back, never dropped), and the pushbacks are counted.
+func TestBlockPolicyAccounting(t *testing.T) {
+	p := Profile{
+		ID: "test-block", Summary: "t", Arrival: Poisson, RatePerWorker: 1_000_000,
+		Workers: 1, OpsPerWorker: 400, GetPct: 100, Seed: 13,
+		Queue: 2, Policy: Block,
+	}
+	res, err := Run(stallInstance{stall: 10 * time.Millisecond}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocked == 0 {
+		t.Fatal("a 10ms stall behind a 2-deep queue at 1M/s blocked nothing")
+	}
+	if res.Shed != 0 || res.Ops != p.OpsPerWorker || res.Offered != res.Ops {
+		t.Errorf("block policy lost ops: ops=%d shed=%d offered=%d", res.Ops, res.Shed, res.Offered)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+	// Block bounds the backlog: the latency an op can inherit is capped by
+	// the admission window plus its own service time, so the tail must stay
+	// far below the 10ms stall that an unbounded queue would propagate.
+	if p99 := res.Latency.Quantile(0.99); p99 > 5*time.Millisecond {
+		t.Errorf("p99 = %v under Block, want the backlog bounded below the stall", p99)
+	}
+}
+
+// TestRunRejectsBadQueues covers the new validation: negative bounds and
+// closed-loop queues are configuration errors.
+func TestRunRejectsBadQueues(t *testing.T) {
+	inst := buildMapInstance(t, 2, 16)
+	if _, err := Run(inst, Profile{ID: "x", Workers: 1, OpsPerWorker: 1, Keys: 4,
+		GetPct: 100, Queue: -1}); err == nil {
+		t.Error("want error for a negative queue bound")
+	}
+	if _, err := Run(inst, Profile{ID: "x", Arrival: Closed, Workers: 1, OpsPerWorker: 1,
+		Keys: 4, GetPct: 100, Queue: 4}); err == nil {
+		t.Error("want error for an admission queue on a closed loop")
 	}
 }
 

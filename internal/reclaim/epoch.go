@@ -34,31 +34,53 @@ type epochReclaimer struct {
 }
 
 // NewEpoch builds the epoch-based reclaimer over f: one global epoch CAS,
-// n announcement registers, three deferred buckets per process.
+// n announcement registers, three deferred buckets per process, with the
+// default advance cadence of min(2n, capacity/n) retires.
 func NewEpoch(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
-	if err := checkArgs(n, capacity); err != nil {
-		return nil, err
+	return NewEpochEvery(0)(f, name, n, capacity)
+}
+
+// NewEpochEvery returns an epoch-reclaimer Maker whose handles attempt the
+// announcement sweep and epoch advance every k retires instead of the
+// default min(2n, capacity/n).  A larger k amortizes the O(n) sweep across
+// more retires — fewer Scans per op, cheaper retire fast path — at the
+// price of up to n·k extra nodes sitting in limbo between drains (m(n)
+// space traded for t(n) steps, the paper's axis).  k = 0 keeps the default;
+// the exhaustion path still drains eagerly, and the stall counters are
+// untouched, so a pinned straggler is as visible as ever.
+func NewEpochEvery(k int) Maker {
+	return func(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
+		if err := checkArgs(n, capacity); err != nil {
+			return nil, err
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("reclaim: epoch advance cadence must be >= 0, got %d", k)
+		}
+		r := &epochReclaimer{
+			n:        n,
+			capacity: capacity,
+			epoch:    f.NewCAS(name+".epoch", 0),
+			ann:      make([]shmem.Register, n),
+		}
+		if k > 0 {
+			r.threshold = k
+		} else {
+			// Sweep the announcements once per ~n retires so the advance cost
+			// amortizes to O(1); clamp to capacity/n like hp so the n pending
+			// lists can never swallow the whole pool between drains.
+			r.threshold = 2 * n
+			if limit := capacity / n; r.threshold > limit {
+				r.threshold = limit
+			}
+			if r.threshold < 1 {
+				r.threshold = 1
+			}
+		}
+		for i := range r.ann {
+			r.ann[i] = f.NewRegister(fmt.Sprintf("%s.ann[%d]", name, i), 0)
+		}
+		return r, nil
 	}
-	r := &epochReclaimer{
-		n:        n,
-		capacity: capacity,
-		epoch:    f.NewCAS(name+".epoch", 0),
-		ann:      make([]shmem.Register, n),
-	}
-	// Sweep the announcements once per ~n retires so the advance cost
-	// amortizes to O(1); clamp to capacity/n like hp so the n pending
-	// lists can never swallow the whole pool between drains.
-	r.threshold = 2 * n
-	if limit := capacity / n; r.threshold > limit {
-		r.threshold = limit
-	}
-	if r.threshold < 1 {
-		r.threshold = 1
-	}
-	for i := range r.ann {
-		r.ann[i] = f.NewRegister(fmt.Sprintf("%s.ann[%d]", name, i), 0)
-	}
-	return r, nil
 }
 
 func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {

@@ -1,0 +1,143 @@
+package reclaim
+
+import (
+	"testing"
+
+	"abadetect/internal/shmem"
+)
+
+// Tests for the amortized advance cadence (NewEpochEvery): the k knob must
+// bound how often the O(n) announcement sweep runs, without changing what
+// eventually gets freed.
+
+func TestEpochEveryCadenceHonored(t *testing.T) {
+	const k = 3
+	r, err := NewEpochEvery(k)(shmem.NewNativeFactory(), "t", 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	h, err := r.Handle(0, c.free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first k-1 retires must not trigger a sweep: no scans, no frees.
+	for idx := 1; idx < k; idx++ {
+		h.Retire(idx)
+		if m := r.Metrics(); m.Scans != 0 {
+			t.Fatalf("retire %d of %d triggered a sweep (scans=%d)", idx, k, m.Scans)
+		}
+		if len(c.freed) != 0 {
+			t.Fatalf("retire %d freed %v before the cadence was reached", idx, c.freed)
+		}
+	}
+	// The k-th retire crosses the threshold and drains.
+	h.Retire(k)
+	m := r.Metrics()
+	if m.Scans == 0 {
+		t.Fatal("the k-th retire did not trigger the amortized sweep")
+	}
+	if m.Retired != k {
+		t.Fatalf("retired = %d, want %d", m.Retired, k)
+	}
+	// With nobody pinned the sweep can advance twice and free everything.
+	for i := 0; i < 4 && len(c.freed) < k; i++ {
+		h.Drain()
+	}
+	if len(c.freed) != k {
+		t.Fatalf("freed %d of %d after drains: %v", len(c.freed), k, c.freed)
+	}
+}
+
+func TestEpochEveryLargerKDefersMore(t *testing.T) {
+	// Same retire stream under k=2 and k=8: the larger cadence must run
+	// strictly fewer sweeps — that is the whole t(n) trade.
+	scans := func(k int) int64 {
+		t.Helper()
+		r, err := NewEpochEvery(k)(shmem.NewNativeFactory(), "t", 2, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c collector
+		h, err := r.Handle(0, c.free)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := 1; idx <= 16; idx++ {
+			h.Retire(idx)
+		}
+		return r.Metrics().Scans
+	}
+	small, large := scans(2), scans(8)
+	if large >= small {
+		t.Errorf("k=8 swept %d times, k=2 swept %d — larger cadence must sweep less", large, small)
+	}
+}
+
+func TestEpochEveryZeroKeepsDefault(t *testing.T) {
+	// k=0 is the documented default cadence: behaviour must match NewEpoch.
+	for _, mk := range []Maker{NewEpoch, NewEpochEvery(0)} {
+		r, err := mk(shmem.NewNativeFactory(), "t", 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c collector
+		h, err := r.Handle(0, c.free)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := 1; idx <= 8; idx++ {
+			h.Retire(idx)
+		}
+		for i := 0; i < 4 && len(c.freed) < 8; i++ {
+			h.Drain()
+		}
+		if len(c.freed) != 8 {
+			t.Fatalf("default cadence freed %d of 8", len(c.freed))
+		}
+	}
+}
+
+func TestEpochEveryRejectsNegative(t *testing.T) {
+	if _, err := NewEpochEvery(-1)(shmem.NewNativeFactory(), "t", 2, 8); err == nil {
+		t.Error("want error for a negative cadence")
+	}
+}
+
+func TestEpochEveryPinStillBlocks(t *testing.T) {
+	// A larger cadence must not weaken safety: a pinned straggler still
+	// blocks the second advance, so nodes retired under its window stay in
+	// limbo until it clears.
+	r, err := NewEpochEvery(2)(shmem.NewNativeFactory(), "t", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c0, c1 collector
+	h0, err := r.Handle(0, c0.free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := r.Handle(1, c1.free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Protect(0, 3) // pid 1 pins the current epoch and stalls
+	h0.Retire(1)
+	h0.Retire(2) // crosses k=2: sweep runs but cannot advance past the pin
+	for i := 0; i < 4; i++ {
+		h0.Drain()
+	}
+	if len(c0.freed) != 0 {
+		t.Fatalf("nodes freed under a pinned straggler: %v", c0.freed)
+	}
+	if r.Metrics().Stalls == 0 {
+		t.Error("the blocked drains were not counted as stalls")
+	}
+	h1.Clear()
+	for i := 0; i < 4 && len(c0.freed) < 2; i++ {
+		h0.Drain()
+	}
+	if len(c0.freed) != 2 {
+		t.Fatalf("freed %d of 2 after the pin cleared", len(c0.freed))
+	}
+}

@@ -214,3 +214,28 @@ func TestDetectorsBehaveOnSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestNewReclaimMaker(t *testing.T) {
+	// Plain scheme IDs resolve; the epoch scheme alone takes a ":k" cadence
+	// argument, which must be a positive integer.
+	for _, id := range []string{"none", "hp", "epoch", "epoch:4"} {
+		mk, err := NewReclaimMaker(id)
+		if err != nil {
+			t.Errorf("%q: %v", id, err)
+			continue
+		}
+		r, err := mk(shmem.NewNativeFactory(), "t", 2, 8)
+		if err != nil {
+			t.Errorf("%q: maker failed: %v", id, err)
+			continue
+		}
+		if r.NumProcs() != 2 {
+			t.Errorf("%q: NumProcs = %d", id, r.NumProcs())
+		}
+	}
+	for _, id := range []string{"hp:4", "none:1", "epoch:0", "epoch:-2", "epoch:x", "bogus"} {
+		if _, err := NewReclaimMaker(id); err == nil {
+			t.Errorf("%q: want error", id)
+		}
+	}
+}

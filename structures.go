@@ -85,19 +85,35 @@ type StructureAudit struct {
 	// nodes were pending — hazards covering every candidate, or an epoch
 	// advance blocked by a stalled process.
 	ReclaimStalls int64
+	// LocalCacheHits and LocalCacheSpills are the per-worker node-cache
+	// counters (zero unless built WithLocalCache): allocations served from a
+	// worker's private free stack, and nodes spilled back to the shared pool
+	// when a cache overflowed.
+	LocalCacheHits, LocalCacheSpills int64
+	// ElimHits and ElimMisses are the elimination-array counters (zero
+	// unless a stack is built WithElimination): push/pop pairs that
+	// exchanged through a collision slot without touching the top-of-stack
+	// guard, and offers or takes that failed to pair.
+	ElimHits, ElimMisses int64
+	// CombinedOps and CombineBatches are the flat-combining counters (zero
+	// unless a map is built WithCombining): operations a combiner applied
+	// on behalf of other processes, and combiner passes that ran.
+	CombinedOps, CombineBatches int64
 }
 
 // poolAudit merges the allocator counters into a structure audit.
 func poolAudit(corrupt bool, detail string, ps apps.PoolStats) StructureAudit {
 	return StructureAudit{
-		Corrupt:         corrupt,
-		Detail:          detail,
-		PoolExhaustions: ps.Exhaustions,
-		Reclaimer:       ps.Scheme,
-		Retired:         ps.Reclaim.Retired,
-		Reclaimed:       ps.Reclaim.Freed,
-		Deferred:        ps.Reclaim.Deferred(),
-		ReclaimStalls:   ps.Reclaim.Stalls,
+		Corrupt:          corrupt,
+		Detail:           detail,
+		PoolExhaustions:  ps.Exhaustions,
+		Reclaimer:        ps.Scheme,
+		Retired:          ps.Reclaim.Retired,
+		Reclaimed:        ps.Reclaim.Freed,
+		Deferred:         ps.Reclaim.Deferred(),
+		ReclaimStalls:    ps.Reclaim.Stalls,
+		LocalCacheHits:   ps.Local.Hits,
+		LocalCacheSpills: ps.Local.Spills,
 	}
 }
 
@@ -152,6 +168,42 @@ func WithGuardedPool() Option {
 	return func(o *options) { o.guardedPool = true }
 }
 
+// WithElimination gives a stack an elimination array of the given number of
+// collision slots: a contending push hands its node directly to a colliding
+// pop, and the pair linearizes without touching the top-of-stack guard.
+// The exchange is ABA-free by construction (the taker reads the value only
+// after winning a conditional take), so it tightens the contended tail
+// without weakening any regime's guarantee.  The cost in the paper's
+// vocabulary is explicit: `slots` extra guards of m(n) space buy the
+// removal of the head guard from the t(n) of every eliminated pair.  The
+// counters surface in Audit().  Structures without a push/pop shape accept
+// the option and ignore it.
+func WithElimination(slots int) Option {
+	return func(o *options) { o.elimination = slots }
+}
+
+// WithLocalCache puts a bounded private free stack of the given capacity in
+// front of each worker's node allocator: release feeds the local stack,
+// alloc drains it, and only overflow or underflow touches the shared pool.
+// Under a reclaimer the cache sits *below* retirement — a retired node
+// clears limbo before it can land in any cache — so the Audit() reclaim
+// accounting stays exact.  The trade is n·capacity nodes of m(n) space for
+// the removal of the shared free-list round trip from the common-case t(n).
+func WithLocalCache(capacity int) Option {
+	return func(o *options) { o.localCache = capacity }
+}
+
+// WithCombining turns on flat combining for a map's hot buckets: one lock
+// word plus n publication slots per bucket; a writer that wins the lock
+// applies the other contenders' published operations back-to-back on a
+// cache-warm chain, and uncontended reads keep the plain lock-free path.
+// Combining is layered over the already-guarded structure, so it changes
+// the contended t(n), never the soundness story.  Structures without keyed
+// buckets accept the option and ignore it.
+func WithCombining() Option {
+	return func(o *options) { o.combining = true }
+}
+
 // guardSpec resolves the options into the registry's guard matrix cell.
 func (o options) guardSpec() registry.GuardSpec {
 	p := o.protection
@@ -171,6 +223,15 @@ func (o options) structOpts(mk guard.Maker) ([]apps.StructOption, error) {
 	opts := []apps.StructOption{apps.WithMaker(mk)}
 	if o.guardedPool {
 		opts = append(opts, apps.WithGuardedPool())
+	}
+	if o.elimination != 0 {
+		opts = append(opts, apps.WithElimination(o.elimination))
+	}
+	if o.localCache != 0 {
+		opts = append(opts, apps.WithLocalCache(o.localCache))
+	}
+	if o.combining {
+		opts = append(opts, apps.WithCombining())
 	}
 	if o.reclaim != "" {
 		// An explicit "none" still goes through the registry, so the
@@ -257,7 +318,9 @@ func (s *Stack) FreelistMetrics() GuardMetrics { return publicMetrics(s.inner.Fr
 // Audit checks the structure at quiescence (no handle mid-operation).
 func (s *Stack) Audit() StructureAudit {
 	a := s.inner.Audit()
-	return poolAudit(a.Corrupt(), a.String(), s.inner.PoolStats())
+	out := poolAudit(a.Corrupt(), a.String(), s.inner.PoolStats())
+	out.ElimHits, out.ElimMisses = s.inner.ElimStats()
+	return out
 }
 
 // Handle returns the endpoint for process pid in [0, n).  A handle must be
@@ -427,7 +490,9 @@ func (m *Map) FreelistMetrics() GuardMetrics { return publicMetrics(m.inner.Free
 // Audit checks the structure at quiescence.
 func (m *Map) Audit() StructureAudit {
 	a := m.inner.Audit()
-	return poolAudit(a.Corrupt(), a.String(), m.inner.PoolStats())
+	out := poolAudit(a.Corrupt(), a.String(), m.inner.PoolStats())
+	out.CombineBatches, out.CombinedOps = m.inner.CombineStats()
+	return out
 }
 
 // Handle returns the endpoint for process pid in [0, n).
