@@ -1,5 +1,5 @@
 // Command abalab runs the experiment suite of the reproduction — one
-// experiment per paper artifact (E1-E13) — and reports on the registered
+// experiment per paper artifact (E1-E14) — and reports on the registered
 // implementations.  Experiments and implementations are both enumerated
 // from their registries (internal/bench.Experiments, internal/registry), so
 // this command never needs editing when either grows.
@@ -8,6 +8,7 @@
 //
 //	abalab                  # run every experiment
 //	abalab -run E2          # run one experiment
+//	abalab -run E14         # read-scaling matrix: wait-free reads × workers
 //	abalab -list            # list experiments and implementations
 //	abalab -impl fig4 -n 8  # inspect one implementation at n processes
 //	abalab -impl all -n 8   # ... or every implementation
@@ -19,18 +20,21 @@
 //	abalab -load zipf-hot -reclaim hp   # ... filtered to one profile/scheme
 //	abalab -load poisson -app stack -elim 2 -cache 16   # pin the fast-path knobs
 //	abalab -load poisson-shed -seed 42  # replay a profile on a different RNG seed
+//	abalab -scale map       # read-scaling matrix (E14) for one structure
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
 // objects, E11 application matrix, E12 reclamation matrix, E13 traffic
-// matrix) and diff them against a committed snapshot (BENCH_baseline.json
-// is the seed, BENCH_pr2.json the slab/devirtualized substrate,
-// BENCH_pr3.json adds the application matrix, BENCH_pr4.json the
-// reclamation matrix, BENCH_pr5.json the map and traffic matrices,
-// BENCH_pr6.json the fast-path variants and backpressure profiles):
+// matrix, E14 read-scaling matrix) and diff them against a committed
+// snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
+// slab/devirtualized substrate, BENCH_pr3.json adds the application matrix,
+// BENCH_pr4.json the reclamation matrix, BENCH_pr5.json the map and traffic
+// matrices, BENCH_pr6.json the fast-path variants and backpressure
+// profiles, BENCH_pr7.json the wait-free read paths and the read-scaling
+// matrix):
 //
-//	abalab -bench-compare BENCH_pr6.json
-//	abalab -json > BENCH_pr7.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr7.json
+//	abalab -json > BENCH_pr8.json   # record a new snapshot
 package main
 
 import (
@@ -58,12 +62,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only    = fs.String("run", "", "run a single experiment (E1..E13)")
+		only    = fs.String("run", "", "run a single experiment (E1..E14)")
 		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
 		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
 		app     = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
 		reclaim = fs.String("reclaim", "", "run the reclamation matrix (E12): a scheme ID (hp, epoch, none) or 'all'; combine with -app to filter the structure")
 		loadP   = fs.String("load", "", "run the traffic matrix (E13): a load-profile ID (see -list) or 'all'; combine with -app and -reclaim to filter")
+		scale   = fs.String("scale", "", "run the read-scaling matrix (E14): a structure ID or 'all'; combine with -reclaim to filter the scheme")
 		n       = fs.Int("n", 8, "process count for -impl")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
@@ -100,6 +105,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return emit(tables)
+	}
+
+	if *scale != "" {
+		schemeFilter := *reclaim
+		if schemeFilter == "" {
+			schemeFilter = "all"
+		}
+		tbl, err := bench.E14ReadScaling(*scale, schemeFilter)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	if *loadP != "" {

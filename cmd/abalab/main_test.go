@@ -17,7 +17,7 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("listing lacks experiment %s", id)
 		}
@@ -361,6 +361,90 @@ func TestBenchComparePR6CoversTraffic(t *testing.T) {
 			for j, name := range want {
 				if tbl.Header[5+j] != name {
 					t.Errorf("E13-compare header[%d] = %q, want %q", 5+j, tbl.Header[5+j], name)
+				}
+			}
+		}
+	}
+}
+
+func TestScaleMatrixFlag(t *testing.T) {
+	// -scale runs E14; -reclaim narrows the scheme.  One structure and one
+	// scheme keep the smoke test cheap: 4 regimes × 4 worker counts.
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "stack", "-reclaim", "none", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-scale -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E14" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	if len(tables[0].Rows) != 16 { // stack × 4 regimes × 1 scheme × 4 worker counts
+		t.Fatalf("stack/none matrix has %d rows, want 16", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "stack/") || !strings.HasSuffix(row[0], "+none") {
+			t.Errorf("unexpected row key %q", row[0])
+		}
+		if !strings.HasSuffix(row[6], "x") {
+			t.Errorf("row %q scale column %q is not a ratio", row[0], row[6])
+		}
+	}
+	if err := run([]string{"-scale", "no-such-structure"}, &buf); err == nil {
+		t.Error("want error for unknown structure filter")
+	}
+	if err := run([]string{"-scale", "stack", "-reclaim", "no-such-scheme"}, &buf); err == nil {
+		t.Error("want error for unknown scheme filter")
+	}
+}
+
+func TestBenchComparePR7CoversReadScaling(t *testing.T) {
+	// The PR7 snapshot was taken after the wait-free read paths and the E14
+	// read-scaling matrix landed, so a fresh run must produce all five
+	// comparison tables and line up with the snapshot exactly — and the
+	// E14 diff must carry the scale columns alongside the throughput diff.
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-compare", "../../BENCH_pr7.json", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
+	}
+	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare", "E14-compare"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != wantIDs[i] {
+			t.Fatalf("table %d is %q, want %q", i, tbl.ID, wantIDs[i])
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s has no rows", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if row[4] == "new" || row[4] == "removed" {
+				t.Errorf("%s row %v does not line up with the PR7 snapshot", tbl.ID, row)
+			}
+		}
+		if tbl.ID == "E14-compare" {
+			want := []string{"snapshot scale", "current scale"}
+			if len(tbl.Header) < 7 {
+				t.Fatalf("E14-compare header %v lacks the scale columns", tbl.Header)
+			}
+			for j, name := range want {
+				if got := tbl.Header[len(tbl.Header)-2+j]; got != name {
+					t.Errorf("E14-compare header tail[%d] = %q, want %q", j, got, name)
 				}
 			}
 		}

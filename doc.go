@@ -109,6 +109,30 @@
 // extra steps, and a reclaimer's deferred frees stop being asymptotics and
 // become tail latency.
 //
+// # Read path
+//
+// Read-mostly traffic gets its own protocol.  A guarded read normally pays
+// the write-side machinery — a protection publish per node visited, a
+// shared counter bump per op — which serializes exactly the workload that
+// should scale.  The wait-free observers (the map's Get, the stack's and
+// queue's Peek and IsEmpty) instead run a seqlock read: traverse with no
+// hazard slot, no epoch pin, and no allocation, then accept the dependent
+// reads only if the links they hung off still Validate.  Soundness is the
+// regime's detection power restated: an ABA-detecting register answers
+// "did any write intervene?" in one read — t(n) = O(1) over the m(n) = n+2
+// registers of Figure 5 — so the detector's dirty bit is the seqlock
+// check; tags and LL/SC validate at their usual t(n); raw validates
+// value-blind, which is the §1 caveat, so raw under a reclaimer keeps the
+// protected path.  The folklore alternative — an unbounded sequence number
+// bumped per write, the scheme §1 ascribes to practice — costs O(1) steps
+// but unbounded space, the corner of the paper's trade-off the bounded
+// constructions exist to avoid.  A torn read retries a bounded number of
+// times, then falls back to the guarded lock-free mainline, so readers are
+// wait-free and progress never regresses; the retry and fallback counts
+// land in the structure audits.  Experiment E14 (abalab -scale) sweeps a
+// 90/5/5 read-mostly profile across structure × regime × reclaimer ×
+// worker count and reports per-worker scaling.
+//
 // # Tail-latency knobs
 //
 // Three contention-diffusion options trade m(n) space for t(n) steps on the

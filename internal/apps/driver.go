@@ -70,6 +70,17 @@ type Keyed interface {
 	KeyedWorker(pid int) (func(op OpKind, key, val Word), error)
 }
 
+// ReadMostly is the optional Instance seam for the read-scaling experiments:
+// a workload step that is ~90% wait-free reads (Peek/Get) with a 5%/5%
+// insert/remove trickle keeping the structure warm.  Structures without a
+// read fast path simply don't implement it and stay out of the read-scaling
+// matrix.
+type ReadMostly interface {
+	// ReadMostlyWorker returns pid's read-heavy step; the argument is the op
+	// index.  Single-goroutine, like Worker's step.
+	ReadMostlyWorker(pid int) (func(i int), error)
+}
+
 // InstanceOptions selects the allocator and fast-path configuration of a
 // benchmark instance: a guarded free list, a reclaimer, and the tail-latency
 // knobs (elimination, combining, local caches).
@@ -158,6 +169,26 @@ func (in stackInstance) Worker(pid int) (func(i int), error) {
 	}, nil
 }
 
+// ReadMostlyWorker: 1 push and 1 pop per 20 ops, 18 wait-free peeks between
+// them — the read-scaling workload (E14).  The push leads each cycle so the
+// peeks mostly observe a non-empty stack.
+func (in stackInstance) ReadMostlyWorker(pid int) (func(i int), error) {
+	h, err := in.s.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) {
+		switch i % 20 {
+		case 0:
+			h.Push(Word(pid)<<32 | Word(i))
+		case 19:
+			h.Pop()
+		default:
+			h.Peek()
+		}
+	}, nil
+}
+
 func (in stackInstance) Audit() (bool, string) {
 	a := in.s.Audit()
 	return a.Corrupt(), a.String()
@@ -193,6 +224,26 @@ func (in queueInstance) Worker(pid int) (func(i int), error) {
 	return func(i int) {
 		h.Enq(Word(pid)<<32 | Word(i))
 		h.Deq()
+	}, nil
+}
+
+// ReadMostlyWorker: 1 enq and 1 deq per 20 ops, 18 wait-free peeks between
+// them — the queue's read-scaling workload (E14).
+func (in queueInstance) ReadMostlyWorker(pid int) (func(i int), error) {
+	h, err := in.q.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	h.MaxSpin = maxSpin
+	return func(i int) {
+		switch i % 20 {
+		case 0:
+			h.Enq(Word(pid)<<32 | Word(i))
+		case 19:
+			h.Deq()
+		default:
+			h.Peek()
+		}
 	}, nil
 }
 

@@ -127,7 +127,7 @@ func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, id
 		if err != nil {
 			return nil, fmt.Errorf("apps: reclaimer: %w", err)
 		}
-		p = &reclaimedPool{inner: p, rec: rec}
+		p = &reclaimedPool{inner: p, rec: rec, exhaustions: shmem.NewStripedCounter()}
 	}
 	return p, nil
 }
@@ -219,13 +219,16 @@ type guardedPool struct {
 	next     []shmem.Register // next[i] links free node i; 0 ends the list
 	capacity int
 
-	exhaustions atomic.Int64
+	// Striped: exhaustion bursts hit every allocating process at once, which
+	// is exactly when a shared counter word would add contention.
+	exhaustions *shmem.StripedCounter
 }
 
 func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, idxBits uint) (*guardedPool, error) {
 	p := &guardedPool{
-		next:     make([]shmem.Register, capacity+1),
-		capacity: capacity,
+		next:        make([]shmem.Register, capacity+1),
+		capacity:    capacity,
+		exhaustions: shmem.NewStripedCounter(),
 	}
 	// Initial chain 1 -> 2 -> ... -> capacity, so the first allocations come
 	// out in index order like the FIFO model's.
@@ -252,7 +255,7 @@ func (p *guardedPool) Handle(pid int) (PoolHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &guardedPoolHandle{p: p, h: h, pid: pid}, nil
+	return &guardedPoolHandle{p: p, h: h, pid: pid, lane: shmem.StripeFor(pid)}, nil
 }
 
 func (p *guardedPool) Metrics() guard.Metrics { return p.head.Metrics() }
@@ -275,9 +278,10 @@ func (p *guardedPool) Snapshot() []int {
 }
 
 type guardedPoolHandle struct {
-	p   *guardedPool
-	h   guard.Handle
-	pid int
+	p    *guardedPool
+	h    guard.Handle
+	pid  int
+	lane int // counter stripe, shmem.StripeFor(pid)
 }
 
 // Alloc pops the free-list head.  This is the vulnerable shape: between
@@ -288,7 +292,7 @@ func (h *guardedPoolHandle) Alloc() int {
 	for {
 		top, _ := h.h.Load()
 		if top == 0 {
-			h.p.exhaustions.Add(1)
+			h.p.exhaustions.Add(h.lane, 1)
 			return 0
 		}
 		next := h.p.next[top].Read(h.pid)
@@ -322,7 +326,7 @@ type reclaimedPool struct {
 	inner Pool
 	rec   reclaim.Reclaimer
 
-	exhaustions atomic.Int64
+	exhaustions *shmem.StripedCounter
 
 	mu      sync.Mutex
 	handles map[int]*reclaimedHandle
@@ -345,7 +349,7 @@ func (p *reclaimedPool) Handle(pid int) (PoolHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &reclaimedHandle{p: p, inner: ih, rh: rh}
+	h := &reclaimedHandle{p: p, inner: ih, rh: rh, lane: shmem.StripeFor(pid)}
 	if p.handles == nil {
 		p.handles = make(map[int]*reclaimedHandle)
 	}
@@ -373,6 +377,7 @@ type reclaimedHandle struct {
 	p     *reclaimedPool
 	inner PoolHandle
 	rh    reclaim.Handle
+	lane  int // counter stripe, shmem.StripeFor(pid)
 }
 
 // Alloc takes a free node; on exhaustion it drains the reclaimer once and
@@ -384,7 +389,7 @@ func (h *reclaimedHandle) Alloc() int {
 			idx = h.inner.Alloc()
 		}
 		if idx == 0 {
-			h.p.exhaustions.Add(1)
+			h.p.exhaustions.Add(h.lane, 1)
 		}
 	}
 	return idx
@@ -407,15 +412,23 @@ type cachedPool struct {
 	inner Pool
 	size  int
 
-	hits   atomic.Int64
-	spills atomic.Int64
+	// Striped: the cache exists to keep the hot alloc/release cycle free of
+	// cross-process cache traffic; a shared hit counter would put it back.
+	hits   *shmem.StripedCounter
+	spills *shmem.StripedCounter
 
 	mu      sync.Mutex
 	handles map[int]*cachedHandle
 }
 
 func newCachedPool(inner Pool, size int) *cachedPool {
-	return &cachedPool{inner: inner, size: size, handles: make(map[int]*cachedHandle)}
+	return &cachedPool{
+		inner:   inner,
+		size:    size,
+		hits:    shmem.NewStripedCounter(),
+		spills:  shmem.NewStripedCounter(),
+		handles: make(map[int]*cachedHandle),
+	}
 }
 
 // Handle is idempotent per pid: a process's cache is per-process state,
@@ -431,7 +444,7 @@ func (p *cachedPool) Handle(pid int) (PoolHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &cachedHandle{p: p, inner: ih, local: make([]int, 0, p.size)}
+	h := &cachedHandle{p: p, inner: ih, lane: shmem.StripeFor(pid), local: make([]int, 0, p.size)}
 	p.handles[pid] = h
 	return h, nil
 }
@@ -459,6 +472,7 @@ func (p *cachedPool) Snapshot() []int {
 type cachedHandle struct {
 	p     *cachedPool
 	inner PoolHandle
+	lane  int   // counter stripe, shmem.StripeFor(pid)
 	local []int // LIFO free stack; fixed backing array, never reallocates
 }
 
@@ -468,7 +482,7 @@ func (h *cachedHandle) Alloc() int {
 	if n := len(h.local); n > 0 {
 		idx := h.local[n-1]
 		h.local = h.local[:n-1]
-		h.p.hits.Add(1)
+		h.p.hits.Add(h.lane, 1)
 		return idx
 	}
 	return h.inner.Alloc()
@@ -484,7 +498,7 @@ func (h *cachedHandle) Release(idx int) {
 		}
 		n := copy(h.local, h.local[spill:])
 		h.local = h.local[:n]
-		h.p.spills.Add(int64(spill))
+		h.p.spills.Add(h.lane, int64(spill))
 	}
 	h.local = append(h.local, idx)
 }

@@ -120,6 +120,11 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 		return nil, err
 	}
 	h.smr = h.pool.Reclaiming()
+	// Same eligibility rule as the stack's Peek and the map's fast Get: the
+	// wait-free read path skips the protection fence, which is sound unless
+	// the configuration is raw *and* reclaiming (where the protected path is
+	// what makes reads sound today).
+	h.fastOK = !h.smr || q.head.Regime() != guard.Raw
 	if h.head, err = q.head.Handle(pid); err != nil {
 		return nil, err
 	}
@@ -136,13 +141,14 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 
 // QueueHandle is a per-process queue endpoint.
 type QueueHandle struct {
-	q    *Queue
-	pid  int
-	head guard.Handle
-	tail guard.Handle
-	next []guard.Handle
-	pool PoolHandle
-	smr  bool // pool defers releases: run the protect/revalidate fence
+	q      *Queue
+	pid    int
+	head   guard.Handle
+	tail   guard.Handle
+	next   []guard.Handle
+	pool   PoolHandle
+	smr    bool // pool defers releases: run the protect/revalidate fence
+	fastOK bool // wait-free read fast path is sound for this configuration
 
 	// MaxSpin bounds the retry/helping loops of Enq and Deq; 0 means
 	// unbounded (the lock-free default).  A raw-guarded queue that has been
@@ -236,6 +242,82 @@ func (h *QueueHandle) Deq() (Word, bool) {
 			return v, true
 		}
 	}
+}
+
+// Peek returns the oldest value without dequeuing it.  ok=false means empty.
+//
+// The common case is the wait-free seqlock read: load the head, load its
+// successor link, read the successor's value, and accept the result only if
+// the head still validates — no hazard slot, no tail helping, and on a clean
+// read not a single shared write.  A node's next pointer is written only
+// while the node is free (Enq's reset) or 0→idx while linked, so with the
+// head unchanged across the fence the loaded successor and its value are a
+// consistent front-of-queue snapshot; any recycle under the reader fails the
+// validation on the sound regimes.  After peekRetries torn attempts Peek
+// falls back to the protected deqSnapshot path, which helps and is lock-free.
+func (h *QueueHandle) Peek() (Word, bool) {
+	if h.fastOK {
+		for attempt := 0; attempt < peekRetries; attempt++ {
+			hdW, _ := h.head.Load()
+			nhW, _ := h.next[hdW].Load()
+			if nhW == 0 {
+				if h.head.Validate() {
+					return 0, false // consistent snapshot of an empty queue
+				}
+				continue
+			}
+			v := h.q.value[nhW].Read(h.pid)
+			if h.head.Validate() {
+				return v, true
+			}
+		}
+	}
+	return h.peekGuarded()
+}
+
+// peekGuarded is the fallback read: the DeqBegin fence without the commit,
+// exactly as sound as a dequeue under the active configuration.
+func (h *QueueHandle) peekGuarded() (Word, bool) {
+	for spins := 0; ; spins++ {
+		if h.spent(spins) {
+			if h.smr {
+				h.pool.Clear()
+			}
+			return 0, false
+		}
+		_, nh, empty, ok := h.deqSnapshot()
+		if !ok {
+			continue
+		}
+		if empty {
+			return 0, false
+		}
+		v := h.q.value[nh].Read(h.pid)
+		if !h.head.Validate() {
+			continue // the head moved under the value read: stale front
+		}
+		if h.smr {
+			h.pool.Clear()
+		}
+		return v, true
+	}
+}
+
+// IsEmpty reports whether the queue was empty at some point during the call:
+// a consistent (head, next[head]==0) snapshot.  Wait-free via the same fast
+// path as Peek, falling back to the full snapshot loop only on torn reads.
+func (h *QueueHandle) IsEmpty() bool {
+	if h.fastOK {
+		for attempt := 0; attempt < peekRetries; attempt++ {
+			hdW, _ := h.head.Load()
+			nhW, _ := h.next[hdW].Load()
+			if h.head.Validate() {
+				return nhW == 0
+			}
+		}
+	}
+	_, ok := h.peekGuarded()
+	return !ok
 }
 
 // DeqBegin performs the vulnerable first half of a dequeue — snapshot the

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"testing"
+
+	"abadetect/internal/reclaim"
+	"abadetect/internal/shmem"
+)
+
+// The wait-free observers (Peek / IsEmpty) must agree with the mutating ops
+// across every protection regime and reclaimer — including the fallback
+// configurations where the fast path is disabled (raw under a reclaimer)
+// and the guarded peek carries the read.
+
+func readPathConfigs() []struct {
+	name    string
+	prot    Protection
+	tagBits uint
+	rc      reclaim.Maker
+} {
+	type cfg = struct {
+		name    string
+		prot    Protection
+		tagBits uint
+		rc      reclaim.Maker
+	}
+	var out []cfg
+	rcs := []struct {
+		name string
+		mk   reclaim.Maker
+	}{
+		{"none", nil},
+		{"hp", reclaim.NewHazard},
+		{"epoch", reclaim.NewEpoch},
+	}
+	for _, p := range allProtections() {
+		for _, r := range rcs {
+			out = append(out, cfg{p.name + "+" + r.name, p.prot, p.tagBits, r.mk})
+		}
+	}
+	return out
+}
+
+func TestStackPeekMatrix(t *testing.T) {
+	for _, c := range readPathConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			var opts []StructOption
+			if c.rc != nil {
+				opts = append(opts, WithReclaimer(c.rc))
+			}
+			s, err := NewStack(shmem.NewNativeFactory(), 1, 8, c.prot, c.tagBits, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := stackHandle(t, s, 0)
+			if !h.IsEmpty() {
+				t.Error("fresh stack not empty")
+			}
+			if _, ok := h.Peek(); ok {
+				t.Error("Peek on an empty stack hit")
+			}
+			for i := 1; i <= 3; i++ {
+				if !h.Push(Word(i * 10)) {
+					t.Fatalf("push %d failed", i)
+				}
+				if v, ok := h.Peek(); !ok || v != Word(i*10) {
+					t.Fatalf("Peek after push %d = (%d,%v), want (%d,true)", i, v, ok, i*10)
+				}
+				if h.IsEmpty() {
+					t.Fatalf("IsEmpty true with %d elements", i)
+				}
+			}
+			// Peek must not consume: the pops still see all three values.
+			for i := 3; i >= 1; i-- {
+				if v, ok := h.Peek(); !ok || v != Word(i*10) {
+					t.Fatalf("Peek before pop %d = (%d,%v)", i, v, ok)
+				}
+				if v, ok := h.Pop(); !ok || v != Word(i*10) {
+					t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, i*10)
+				}
+			}
+			if !h.IsEmpty() {
+				t.Error("drained stack not empty")
+			}
+			if a := s.Audit(); a.Corrupt() {
+				t.Errorf("audit: %s", a)
+			}
+		})
+	}
+}
+
+func TestQueuePeekMatrix(t *testing.T) {
+	for _, c := range readPathConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			var opts []StructOption
+			if c.rc != nil {
+				opts = append(opts, WithReclaimer(c.rc))
+			}
+			q, err := NewQueue(shmem.NewNativeFactory(), 1, 8, c.prot, c.tagBits, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.IsEmpty() {
+				t.Error("fresh queue not empty")
+			}
+			if _, ok := h.Peek(); ok {
+				t.Error("Peek on an empty queue hit")
+			}
+			for i := 1; i <= 3; i++ {
+				if !h.Enq(Word(i * 10)) {
+					t.Fatalf("enq %d failed", i)
+				}
+				// FIFO: the front stays the first value while the tail grows.
+				if v, ok := h.Peek(); !ok || v != 10 {
+					t.Fatalf("Peek after enq %d = (%d,%v), want (10,true)", i, v, ok)
+				}
+			}
+			for i := 1; i <= 3; i++ {
+				if v, ok := h.Peek(); !ok || v != Word(i*10) {
+					t.Fatalf("Peek before deq %d = (%d,%v)", i, v, ok)
+				}
+				if v, ok := h.Deq(); !ok || v != Word(i*10) {
+					t.Fatalf("deq = (%d,%v), want (%d,true)", v, ok, i*10)
+				}
+			}
+			if !h.IsEmpty() {
+				t.Error("drained queue not empty")
+			}
+			if a := q.Audit(); a.Corrupt() {
+				t.Errorf("audit: %s", a)
+			}
+		})
+	}
+}
+
+// TestPeekAllocsAndNoReclaimerTraffic is the stack/queue analogue of the
+// map's hot-path test: a clean Peek allocates nothing and takes zero
+// shared-memory steps on the reclaimer's state (no hazard publish, no epoch
+// pin), while a mutating op on the same handle proves the counter is live.
+func TestPeekAllocsAndNoReclaimerTraffic(t *testing.T) {
+	counting := shmem.NewCounting(shmem.NewNativeFactory(), 1)
+	counted := func(f shmem.Factory, name string, n, capacity int) (reclaim.Reclaimer, error) {
+		return reclaim.NewHazard(counting, name, n, capacity)
+	}
+	s, err := NewStack(shmem.NewNativeFactory(), 1, 8, LLSC, 0, WithReclaimer(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stackHandle(t, s, 0)
+	if !h.Push(42) {
+		t.Fatal("push failed")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, ok := h.Peek(); !ok || v != 42 {
+			t.Fatalf("Peek = (%d,%v)", v, ok)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("clean Peek allocates %.1f objects/op, want 0", allocs)
+	}
+	base := counting.Steps(0)
+	for i := 0; i < 100; i++ {
+		h.Peek()
+		h.IsEmpty()
+	}
+	if d := counting.Steps(0) - base; d != 0 {
+		t.Errorf("clean Peeks took %d reclaimer steps, want 0", d)
+	}
+	base = counting.Steps(0)
+	if _, ok := h.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if d := counting.Steps(0) - base; d == 0 {
+		t.Error("guarded Pop took no reclaimer steps — the counter is not observing the hazard slots")
+	}
+}

@@ -139,6 +139,12 @@ func (s *Stack) Handle(pid int) (*StackHandle, error) {
 		return nil, err
 	}
 	sh := &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.Reclaiming()}
+	// The wait-free Peek skips the protection fence; that is sound whenever a
+	// torn read is detectable (the sound regimes) or nothing defers frees (no
+	// reclaimer, where today's read path is equally value-blind).  Raw under
+	// a reclaimer keeps the protected path so its reads stay as sound as the
+	// reclaimer makes them — same eligibility rule as the map's fast Get.
+	sh.fastOK = !sh.smr || s.head.Regime() != guard.Raw
 	if s.elim != nil {
 		if sh.elim, err = s.elim.handle(pid); err != nil {
 			return nil, err
@@ -149,12 +155,13 @@ func (s *Stack) Handle(pid int) (*StackHandle, error) {
 
 // StackHandle is a per-process stack endpoint.
 type StackHandle struct {
-	s    *Stack
-	pid  int
-	head guard.Handle
-	pool PoolHandle
-	smr  bool // pool defers releases: run the protect/revalidate fence
-	elim *elimHandle
+	s      *Stack
+	pid    int
+	head   guard.Handle
+	pool   PoolHandle
+	smr    bool // pool defers releases: run the protect/revalidate fence
+	fastOK bool // wait-free read fast path is sound for this configuration
+	elim   *elimHandle
 
 	pending  int // node loaded by PopBegin
 	next     int // its successor, as read by PopBegin
@@ -296,6 +303,75 @@ func (h *StackHandle) popCommit(top, next int) (Word, bool) {
 	}
 	h.pool.Release(top)
 	return v, true
+}
+
+// peekRetries bounds the wait-free read path's torn-read restarts before a
+// Peek falls back to the protected traversal: the reader's step count stays
+// bounded regardless of writer behavior, and sustained write pressure
+// degrades to the lock-free mainline instead of starving the read.
+const peekRetries = 3
+
+// Peek returns the top value without popping it.  ok=false means empty.
+//
+// The common case is the seqlock read protocol of guard.ReadConsistent: load
+// the head, read the top node's value, and accept the pair only if the head
+// still validates — no hazard slot, no pool traffic, and on a clean read not
+// a single shared write.  The value read is memory-safe even mid-recycle
+// (nodes are array indices), and any recycle under the reader fails the
+// validation on the sound regimes.  After peekRetries torn attempts Peek
+// falls back to the protected read path.
+func (h *StackHandle) Peek() (Word, bool) {
+	if h.fastOK {
+		var v Word
+		top, clean := guard.ReadConsistent(h.head, peekRetries, func(w Word) {
+			if w != 0 {
+				v = h.s.value[int(w)].Read(h.pid)
+			}
+		})
+		if clean {
+			return v, top != 0
+		}
+	}
+	return h.peekGuarded()
+}
+
+// peekGuarded is the fallback read: the PopBegin fence (publish a protection,
+// re-validate, then dereference) without the commit, so it is exactly as
+// sound as a pop under the active configuration.
+func (h *StackHandle) peekGuarded() (Word, bool) {
+	for {
+		topW, _ := h.head.Load()
+		top := int(topW)
+		if top == 0 {
+			if h.smr {
+				h.pool.Clear()
+			}
+			return 0, false
+		}
+		if h.smr {
+			h.pool.Protect(0, top)
+			if !h.head.Validate() {
+				continue // head moved before the protection was visible
+			}
+		}
+		v := h.s.value[top].Read(h.pid)
+		if !h.smr && !h.head.Validate() {
+			continue // the node may have been recycled under the read
+		}
+		if h.smr {
+			h.pool.Clear()
+		}
+		return v, true
+	}
+}
+
+// IsEmpty reports whether the stack was empty at some point during the call.
+// A single head load answers it — wait-free on every regime — and the
+// Validate consumes the detection window the way the busy-wait scenarios
+// expect.
+func (h *StackHandle) IsEmpty() bool {
+	top, _ := guard.ReadConsistent(h.head, 1, nil)
+	return top == 0
 }
 
 // ElimOffer stages v for elimination: it allocates a node, writes v, and

@@ -115,8 +115,8 @@ func TestE1AndE8Verdicts(t *testing.T) {
 
 func TestExperimentIndex(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("index has %d experiments, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("index has %d experiments, want 14", len(exps))
 	}
 	for i, e := range exps {
 		if want := "E" + string(rune('1'+i)); i < 9 && e.ID != want {
@@ -235,6 +235,53 @@ func TestE13BackpressureProfile(t *testing.T) {
 		if strings.HasPrefix(row[0], "map/llsc") && strings.Contains(row[11], "corrupt=true") {
 			t.Errorf("row %q corrupted under llsc: %s", row[0], row[11])
 		}
+	}
+}
+
+func TestE14ReadScalingShape(t *testing.T) {
+	// One structure, one scheme: 4 regimes × 4 worker counts, each group
+	// anchored by a 1.00x 1-worker row; unknown filters are rejected.
+	tbl, err := E14ReadScaling("stack", "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (4 regimes × 4 worker counts)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if i%4 == 0 && row[6] != "1.00x" {
+			t.Errorf("1-worker row %q scale = %q, want 1.00x", row[0], row[6])
+		}
+		if !strings.HasSuffix(row[6], "x") {
+			t.Errorf("row %q scale %q not a ratio", row[0], row[6])
+		}
+		if _, err := strconv.ParseFloat(row[4], 64); err != nil {
+			t.Errorf("row %q ns/op %q: %v", row[0], row[4], err)
+		}
+		if !strings.Contains(row[2], ", w") {
+			t.Errorf("row %q workload %q does not encode the worker count", row[0], row[2])
+		}
+		// The stack's peeks are wait-free under every regime and "none"
+		// reclamation never recycles under this trickle, so even raw must
+		// audit clean here — the read protocol is regime-independent.
+		if strings.Contains(row[7], "corrupt=true") {
+			t.Errorf("row %q corrupted under the read-mostly trickle: %q", row[0], row[7])
+		}
+	}
+	if _, err := E14ReadScaling("no-such-structure", "all"); err == nil {
+		t.Error("want error for an unknown structure")
+	}
+	if _, err := E14ReadScaling("stack", "no-such-scheme"); err == nil {
+		t.Error("want error for an unknown scheme")
+	}
+	// The event flag has no read fast path: filtering to it matches the
+	// structure but contributes no rows, and the scheme check still runs.
+	evt, err := E14ReadScaling("event", "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evt.Rows) != 0 {
+		t.Errorf("event rows = %d, want 0 (no ReadMostly seam)", len(evt.Rows))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -55,6 +56,16 @@ type CompareResult struct {
 	// TailGain is BaseP999 / CurP999: > 1 the tail got faster, < 1 it
 	// regressed.  0 when percentiles are unavailable on either side.
 	TailGain float64
+	// BaseScale and CurScale carry the read-scaling column for tables that
+	// have one (E14): ops/s-per-worker relative to the same configuration at
+	// one worker.  Zero when either side lacks the column, so snapshots from
+	// before the read-scaling matrix diff without it.
+	BaseScale, CurScale float64
+	// BacklogDominated marks rows whose tail percentiles measure open-loop
+	// backlog depth rather than service time (unthrottled arrival processes,
+	// see E13); such rows are reported but never counted against the tail
+	// regression gate.
+	BacklogDominated bool
 }
 
 // throughputExperiments maps each comparable experiment ID to its runner;
@@ -67,6 +78,7 @@ var throughputExperiments = []struct {
 	{"E11", func() (*Table, error) { return E11Apps("all") }},
 	{"E12", func() (*Table, error) { return E12Reclaim("all", "all") }},
 	{"E13", func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
+	{"E14", func() (*Table, error) { return E14ReadScaling("all", "all") }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot
@@ -119,6 +131,9 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	baseP50, baseP99, baseP999 := durColumn(base, "p50"), durColumn(base, "p99"), durColumn(base, "p999")
 	curP50, curP99, curP999 := durColumn(fresh, "p50"), durColumn(fresh, "p99"), durColumn(fresh, "p999")
 	withTail := baseP999 != nil && curP999 != nil
+	baseScale, curScale := scaleColumn(base, "scale"), scaleColumn(fresh, "scale")
+	withScale := baseScale != nil && curScale != nil
+	outcomes := textColumn(fresh, "outcome")
 
 	t := &Table{
 		ID:     id + "-compare",
@@ -128,10 +143,16 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	if withTail {
 		t.Header = append(t.Header, "snapshot p999", "current p999", "tail gain")
 	}
+	if withScale {
+		t.Header = append(t.Header, "snapshot scale", "current scale")
+	}
 	pad := func(cells []string, verdict string) []string {
 		cells = append(cells, verdict)
 		if withTail {
 			cells = append(cells, "-", "-", verdict)
+		}
+		if withScale {
+			cells = append(cells, "-", "-")
 		}
 		return cells
 	}
@@ -166,12 +187,15 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 			CurP99:         curP99[key],
 			BaseP999:       baseP999[key],
 			CurP999:        curP999[key],
+			BaseScale:      baseScale[key],
+			CurScale:       curScale[key],
 		}
+		r.BacklogDominated = strings.Contains(outcomes[key], "backlog-dominated")
 		cells := []string{row[0], row[2],
 			fmt.Sprintf("%.1f", b), fmt.Sprintf("%.1f", c), fmt.Sprintf("%.2fx", r.Speedup)}
 		if r.BaseP999 > 0 && r.CurP999 > 0 {
 			r.TailGain = float64(r.BaseP999) / float64(r.CurP999)
-			if r.TailGain <= 0.5 {
+			if r.TailGain <= 0.5 && !r.BacklogDominated {
 				tailSlower++
 			}
 		}
@@ -181,6 +205,15 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 					fmt.Sprintf("%.2fx", r.TailGain))
 			} else {
 				cells = append(cells, "-", "-", "-")
+			}
+		}
+		if withScale {
+			for _, s := range []float64{r.BaseScale, r.CurScale} {
+				if s > 0 {
+					cells = append(cells, fmt.Sprintf("%.2fx", s))
+				} else {
+					cells = append(cells, "-")
+				}
 			}
 		}
 		results = append(results, r)
@@ -204,7 +237,10 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	t.AddNote("speedup = snapshot / current: above 1.00x is faster than the snapshot.")
 	t.AddNote("%d rows ≥1.05x faster, %d rows ≤0.95x slower (runs are single-shot; treat ±5%% as noise).", faster, slower)
 	if withTail {
-		t.AddNote("tail gain = snapshot p999 / current p999: above 1.00x the tail tightened; %d rows regressed past 2x (tails are noisier than means — judge trends, not single cells).", tailSlower)
+		t.AddNote("tail gain = snapshot p999 / current p999: above 1.00x the tail tightened; %d rows regressed past 2x (tails are noisier than means — judge trends, not single cells; backlog-dominated open-loop rows are reported but not counted).", tailSlower)
+	}
+	if withScale {
+		t.AddNote("scale is each run's own ops/s-per-worker vs its 1-worker cell — a within-run ratio, so it diffs meaningfully even when absolute ns/op drifts between machines.")
 	}
 	return t, results, nil
 }
@@ -238,6 +274,54 @@ func nsPerOp(t *Table) (map[string]float64, error) {
 		out[rowKey(row)] = ns
 	}
 	return out, nil
+}
+
+// scaleColumn indexes a "1.23x"-formatted ratio column by row key, or
+// returns nil when the table has no such column — which is how snapshots
+// from before the read-scaling matrix (E14) opt out of the scale diff.
+func scaleColumn(t *Table, name string) map[string]float64 {
+	col := -1
+	for i, h := range t.Header {
+		if h == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		if err != nil {
+			continue // "-" or a foreign format: leave the row out of the diff
+		}
+		out[rowKey(row)] = v
+	}
+	return out
+}
+
+// textColumn indexes a free-form column (e.g. "outcome") by row key; empty
+// when the table has no such column.
+func textColumn(t *Table, name string) map[string]string {
+	col := -1
+	for i, h := range t.Header {
+		if h == name {
+			col = i
+		}
+	}
+	out := make(map[string]string)
+	if col < 0 {
+		return out
+	}
+	for _, row := range t.Rows {
+		if len(row) > col {
+			out[rowKey(row)] = row[col]
+		}
+	}
+	return out
 }
 
 // durColumn indexes a latency column (p50/p99/p999) by row key, or returns

@@ -147,6 +147,96 @@ func TestCompareBothThroughputTables(t *testing.T) {
 	}
 }
 
+func TestCompareScaleColumn(t *testing.T) {
+	// When both sides carry the E14 scale column the diff renders it and the
+	// results carry both ratios; a snapshot from before the read-scaling
+	// matrix simply compares throughput (old-snapshot tolerance).
+	header := []string{"implementation", "kind", "workload", "ops", "ns/op", "Mops/s", "scale", "outcome"}
+	fresh := &Table{ID: "E14", Header: header, Rows: [][]string{
+		{"map/raw+none", "structure", "closed loop, w1", "100", "10.0", "0.10", "1.00x", "corrupt=false"},
+		{"map/raw+none", "structure", "closed loop, w4", "400", "12.0", "0.33", "0.83x", "corrupt=false"},
+	}}
+	base := &Table{ID: "E14", Header: header, Rows: [][]string{
+		{"map/raw+none", "structure", "closed loop, w1", "100", "11.0", "0.09", "1.00x", "corrupt=false"},
+		{"map/raw+none", "structure", "closed loop, w4", "400", "11.0", "0.36", "0.91x", "corrupt=false"},
+	}}
+	tbl, results, err := compareOne("E14", base, func() (*Table, error) { return fresh, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Header[len(tbl.Header)-2:]; got[0] != "snapshot scale" || got[1] != "current scale" {
+		t.Fatalf("scale columns not rendered: header %v", tbl.Header)
+	}
+	if len(results) != 2 {
+		t.Fatalf("compared %d rows, want 2", len(results))
+	}
+	if r := results[1]; r.BaseScale != 0.91 || r.CurScale != 0.83 {
+		t.Errorf("w4 scales = %v/%v, want 0.91/0.83", r.BaseScale, r.CurScale)
+	}
+
+	// Strip the scale column from the snapshot: the diff must fall back to
+	// throughput-only without error, with zero scales in the results.
+	old := &Table{ID: "E14", Header: header[:6], Rows: [][]string{
+		base.Rows[0][:6], base.Rows[1][:6],
+	}}
+	tbl, results, err = compareOne("E14", old, func() (*Table, error) { return fresh, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tbl.Header {
+		if h == "snapshot scale" {
+			t.Error("scale column rendered against a pre-E14 snapshot")
+		}
+	}
+	for _, r := range results {
+		// The fresh run's own scale stays available for programmatic
+		// thresholds; only the snapshot side is absent.
+		if r.BaseScale != 0 {
+			t.Errorf("base scale leaked from a snapshot without the column: %+v", r)
+		}
+		if r.CurScale == 0 {
+			t.Errorf("fresh scale lost when the snapshot lacks the column: %+v", r)
+		}
+	}
+}
+
+func TestCompareBacklogDominatedTailGate(t *testing.T) {
+	// A 3x tail regression counts against the gate on a closed-loop row but
+	// not on one tagged backlog-dominated (unthrottled open loop): those
+	// tails measure backlog depth, not service time.
+	header := []string{"implementation", "kind", "workload", "ops", "ns/op", "goodput", "p50", "p99", "p999", "shed", "fast-path", "outcome"}
+	row := func(p999, outcome string) []string {
+		return []string{"map/raw+none", "structure", "poisson", "100", "10.0", "0.10", "1µs", "2µs", p999, "0", "-", outcome}
+	}
+	base := &Table{ID: "E13", Header: header, Rows: [][]string{row("3µs", "corrupt=false")}}
+	regressed := &Table{ID: "E13", Header: header, Rows: [][]string{row("9µs", "corrupt=false")}}
+	tbl, results, err := compareOne("E13", base, func() (*Table, error) { return regressed, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].BacklogDominated {
+		t.Error("untagged row marked backlog-dominated")
+	}
+	if !strings.Contains(tbl.Notes[len(tbl.Notes)-1], "1 rows regressed") {
+		t.Errorf("tail gate did not count the regression: %q", tbl.Notes)
+	}
+
+	tagged := &Table{ID: "E13", Header: header, Rows: [][]string{row("9µs", "corrupt=false backlog-dominated")}}
+	tbl, results, err = compareOne("E13", base, func() (*Table, error) { return tagged, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].BacklogDominated {
+		t.Error("tagged row not marked backlog-dominated")
+	}
+	if results[0].TailGain >= 0.5 {
+		t.Errorf("tail gain = %v, test premise needs a >2x regression", results[0].TailGain)
+	}
+	if !strings.Contains(tbl.Notes[len(tbl.Notes)-1], "0 rows regressed") {
+		t.Errorf("backlog-dominated row counted against the tail gate: %q", tbl.Notes)
+	}
+}
+
 func TestNsPerOpErrors(t *testing.T) {
 	if _, err := nsPerOp(&Table{ID: "x", Header: []string{"a", "b"}}); err == nil {
 		t.Error("want error for missing ns/op column")

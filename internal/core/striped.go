@@ -1,0 +1,104 @@
+package core
+
+import "fmt"
+
+// StripedHandles is the core-aware binding layer over a ShardedArray: each
+// worker gets a home shard chosen by its process id, so steady-state
+// single-shard traffic from distinct workers lands on distinct shards — and, when the shards were allocated through a padded or striped
+// slab factory, on distinct cache lines.
+//
+// The affinity is procPin-free by construction: a worker's home follows its
+// pid, not the OS core it happens to run on, so no runtime pinning (and no
+// scheduler coupling) is needed — the repo's handles are single-goroutine
+// already, which makes pid the stable identity that survives migrations.
+// In the RMR vocabulary of the related mutual-exclusion work, the home
+// shard turns a worker's hot-loop references from remote (every worker
+// hammering shard 0) into local (each worker owning a line), which is the
+// whole scaling story: detection state is per (process, shard) pair, so a
+// DWrite to one home never dirties a DRead on another.
+//
+// Aggregation reads every shard (Sum, ReadAll) with per-shard observer
+// reads — the striped-counter pattern applied to detecting registers.
+type StripedHandles struct {
+	arr *ShardedArray
+	n   int
+}
+
+// NewStripedHandles binds workers to arr by home shard.  More workers than
+// shards is allowed (homes wrap around); more shards than workers just
+// leaves the excess cold.
+func NewStripedHandles(arr *ShardedArray) (*StripedHandles, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("core: StripedHandles needs a non-nil ShardedArray")
+	}
+	return &StripedHandles{arr: arr, n: arr.NumProcs()}, nil
+}
+
+// Shards returns the shard count of the underlying array.
+func (s *StripedHandles) Shards() int { return s.arr.Shards() }
+
+// Worker returns pid's striped endpoint: the full per-shard handle set of
+// the underlying array plus the pid-affine home shard.  Like every handle
+// in this repository it is single-goroutine.
+func (s *StripedHandles) Worker(pid int) (*StripedWorker, error) {
+	h, err := s.arr.Handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	// The home follows the pid itself, not shmem.StripeFor: counter stripes
+	// are capped by GOMAXPROCS (sharing a lane only costs a contended add),
+	// but shards hold per-worker *state*, so two workers folded onto one
+	// home would dirty each other's detection — wrap only at the array size.
+	return &StripedWorker{
+		h:      h,
+		home:   pid % s.arr.Shards(),
+		shards: s.arr.Shards(),
+	}, nil
+}
+
+// Sum reads every shard through pid's handle set and returns the total —
+// the aggregation half of the striped-counter pattern.  The per-shard reads
+// are DReads, so they also consume (and report) interference per shard.
+func (s *StripedHandles) Sum(w *StripedWorker) (total Word, dirtyShards int) {
+	for i := 0; i < w.shards; i++ {
+		v, dirty := w.h.DRead(i)
+		total += v
+		if dirty {
+			dirtyShards++
+		}
+	}
+	return total, dirtyShards
+}
+
+// StripedWorker is one worker's endpoint: home-shard fast ops plus indexed
+// access for the occasional cross-shard read.
+type StripedWorker struct {
+	h      *ShardedHandle
+	home   int
+	shards int
+}
+
+// Home returns this worker's home shard index.
+func (w *StripedWorker) Home() int { return w.home }
+
+// DWrite writes v to the worker's home shard.
+func (w *StripedWorker) DWrite(v Word) { w.h.DWrite(w.home, v) }
+
+// DRead reads the worker's home shard: the value and whether any process
+// wrote it since this worker's previous home DRead.
+func (w *StripedWorker) DRead() (Word, bool) { return w.h.DRead(w.home) }
+
+// DWriteShard writes v to an explicit shard (wrapped into range), for the
+// cross-shard slow paths.
+func (w *StripedWorker) DWriteShard(i int, v Word) { w.h.DWrite(w.index(i), v) }
+
+// DReadShard reads an explicit shard (wrapped into range).
+func (w *StripedWorker) DReadShard(i int) (Word, bool) { return w.h.DRead(w.index(i)) }
+
+func (w *StripedWorker) index(i int) int {
+	i %= w.shards
+	if i < 0 {
+		i += w.shards
+	}
+	return i
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+func newStriped(t *testing.T, n, shards int) *StripedHandles {
+	t.Helper()
+	s, err := NewStripedHandles(newShardedFig4(t, n, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStripedHandlesValidation(t *testing.T) {
+	if _, err := NewStripedHandles(nil); err == nil {
+		t.Error("want error for a nil array")
+	}
+	s := newStriped(t, 2, 4)
+	if _, err := s.Worker(2); err == nil {
+		t.Error("want error for an out-of-range pid")
+	}
+}
+
+// TestStripedHomeIndependence is the seam's contract: home-shard traffic
+// from one worker must never dirty another worker's home reads when their
+// homes differ.
+func TestStripedHomeIndependence(t *testing.T) {
+	const n = 4
+	s := newStriped(t, n, n)
+	ws := make([]*StripedWorker, n)
+	for pid := range ws {
+		var err error
+		if ws[pid], err = s.Worker(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	homes := map[int]bool{}
+	for _, w := range ws {
+		homes[w.Home()] = true
+	}
+	distinct := len(homes) > 1 // identical homes only when Stripes() == 1
+
+	// Arm every worker's home detection, then write each home.
+	for _, w := range ws {
+		w.DRead()
+	}
+	for pid, w := range ws {
+		w.DWrite(Word(10 + pid))
+	}
+	for pid, w := range ws {
+		v, dirty := w.DRead()
+		if v != Word(10+pid) {
+			t.Errorf("worker %d home read = %d, want %d", pid, v, 10+pid)
+		}
+		if !dirty {
+			t.Errorf("worker %d must see its own home write as dirty", pid)
+		}
+	}
+	// Quiescent re-reads are clean: nobody else touched a distinct home.
+	if distinct {
+		for pid, w := range ws {
+			if _, dirty := w.DRead(); dirty {
+				t.Errorf("worker %d home dirtied by a foreign write", pid)
+			}
+		}
+	}
+}
+
+// TestStripedSumAggregates checks the striped-counter read path: the sum
+// over shards sees every home write once.
+func TestStripedSumAggregates(t *testing.T) {
+	const n = 4
+	s := newStriped(t, n, n)
+	var want Word
+	w0, err := s.Worker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < n; pid++ {
+		w, err := s.Worker(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.DWriteShard(pid, Word(pid+1)) // one distinct shard each
+		want += Word(pid + 1)
+	}
+	total, _ := s.Sum(w0)
+	if total != want {
+		t.Fatalf("Sum = %d, want %d", total, want)
+	}
+}
+
+// TestStripedExplicitShardWraps checks the indexed access wrapping.
+func TestStripedExplicitShardWraps(t *testing.T) {
+	s := newStriped(t, 2, 4)
+	w, err := s.Worker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.DWriteShard(5, 42) // 5 mod 4 = shard 1
+	if v, _ := w.DReadShard(1); v != 42 {
+		t.Fatalf("shard 1 = %d, want 42 via wrapped index 5", v)
+	}
+	if v, _ := w.DReadShard(-3); v != 42 { // -3 mod 4 = shard 1
+		t.Fatalf("wrapped negative index read %d, want 42", v)
+	}
+}

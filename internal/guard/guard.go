@@ -107,21 +107,45 @@ type Metrics struct {
 	DirtyLoads int64
 }
 
-// metrics is the shared atomic backing of Metrics.
+// metrics is the shared atomic backing of Metrics, sharded across
+// cache-line padded stripes (shmem.Stripes of them) so the hot-path bumps of
+// distinct workers never contend on one atomic word: on a read-mostly
+// workload the metrics of a popular guard would otherwise be the one shared
+// write left on the clean path.  Handles cache their stripe
+// (shmem.StripeFor(pid)) at construction, so no bump pays a pid hash.
+//
+// The zero value is not usable; constructors call newMetrics.
 type metrics struct {
+	lanes []metricsLane
+}
+
+// metricsLane is one stripe's counters, padded to a whole cache line.
+type metricsLane struct {
 	commits    atomic.Int64
 	rejected   atomic.Int64
 	nearMisses atomic.Int64
 	dirtyLoads atomic.Int64
+	_          [shmem.CacheLineBytes - 32]byte
 }
 
+func newMetrics() metrics {
+	return metrics{lanes: make([]metricsLane, shmem.Stripes())}
+}
+
+func (m *metrics) addCommit(lane int)   { m.lanes[lane].commits.Add(1) }
+func (m *metrics) addRejected(lane int) { m.lanes[lane].rejected.Add(1) }
+func (m *metrics) addNearMiss(lane int) { m.lanes[lane].nearMisses.Add(1) }
+func (m *metrics) addDirty(lane int)    { m.lanes[lane].dirtyLoads.Add(1) }
+
 func (m *metrics) snapshot() Metrics {
-	return Metrics{
-		Commits:    m.commits.Load(),
-		Rejected:   m.rejected.Load(),
-		NearMisses: m.nearMisses.Load(),
-		DirtyLoads: m.dirtyLoads.Load(),
+	var out Metrics
+	for i := range m.lanes {
+		out.Commits += m.lanes[i].commits.Load()
+		out.Rejected += m.lanes[i].rejected.Load()
+		out.NearMisses += m.lanes[i].nearMisses.Load()
+		out.DirtyLoads += m.lanes[i].dirtyLoads.Load()
 	}
+	return out
 }
 
 // Add returns the field-wise sum of two metrics snapshots (for aggregating

@@ -59,6 +59,27 @@ func (in mapInstance) Worker(pid int) (func(i int), error) {
 	}, nil
 }
 
+// ReadMostlyWorker: 1 put and 1 delete per 20 ops, 18 wait-free gets between
+// them over a small key range — the map's read-scaling workload (E14).  The
+// put leads each cycle so the gets mostly hit.
+func (in mapInstance) ReadMostlyWorker(pid int) (func(i int), error) {
+	h, err := in.handle(pid)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) {
+		k := Word((i / 20) & 63)
+		switch i % 20 {
+		case 0:
+			h.Put(k, Word(pid)<<32|Word(i))
+		case 19:
+			h.Delete(k)
+		default:
+			h.Get(k)
+		}
+	}, nil
+}
+
 // KeyedWorker is the apps.Keyed seam the load generator drives.
 func (in mapInstance) KeyedWorker(pid int) (func(op apps.OpKind, key, val Word), error) {
 	h, err := in.handle(pid)

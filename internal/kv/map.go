@@ -83,6 +83,13 @@ type Map struct {
 	comb        []combiner // one per bucket; nil = combining off
 	combBatches atomic.Int64
 	combOps     atomic.Int64 // ops applied on behalf of other processes
+
+	// Read-path counters (striped: retries happen exactly under the write
+	// contention a shared counter would amplify).  The clean fast path bumps
+	// nothing — a per-Get counter would reintroduce the shared write the
+	// path exists to remove.
+	readRetries   *shmem.StripedCounter // torn fast-path attempts restarted
+	readFallbacks *shmem.StripedCounter // Gets that fell back to the guarded path
 }
 
 // NewMap builds a map for n processes with the given node capacity and
@@ -113,6 +120,9 @@ func NewMap(f shmem.Factory, n, capacity, buckets int, prot Protection, tagBits 
 		val:      make([]shmem.Register, capacity+1),
 		next:     make([]guard.Guard, capacity+1),
 		head:     make([]guard.Guard, buckets),
+
+		readRetries:   shmem.NewStripedCounter(),
+		readFallbacks: shmem.NewStripedCounter(),
 	}
 	var err error
 	for i := 1; i <= capacity; i++ {
@@ -215,6 +225,7 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 	h := &Handle{
 		m:    m,
 		pid:  pid,
+		lane: shmem.StripeFor(pid),
 		head: make([]guard.Handle, m.buckets),
 		next: make([]guard.Handle, len(m.next)),
 	}
@@ -223,6 +234,16 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 		return nil, err
 	}
 	h.smr = h.pool.Reclaiming()
+	// The wait-free fast path skips the hazard/epoch publish entirely; that
+	// is sound whenever torn reads are detectable.  Index-based nodes make
+	// the traversal memory-safe without protection (arrays are never freed),
+	// and the sound regimes turn any recycle under the reader into a failed
+	// Validate.  Raw cannot — its value-blind Validate is the §1 blindness —
+	// so under a reclaimer a raw-guarded map keeps the protected read path,
+	// which is what makes raw+hp/raw+epoch reads sound today.  Raw *without*
+	// a reclaimer already reads unprotected and value-blind on the mainline,
+	// so the fast path changes nothing there.
+	h.fastOK = !h.smr || m.head[0].Regime() != guard.Raw
 	for b := range m.head {
 		if h.head[b], err = m.head[b].Handle(pid); err != nil {
 			return nil, err
@@ -238,12 +259,20 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 
 // Handle is a per-process map endpoint.
 type Handle struct {
-	m    *Map
-	pid  int
-	head []guard.Handle
-	next []guard.Handle
-	pool apps.PoolHandle
-	smr  bool // pool defers releases: run the protect/revalidate fence
+	m      *Map
+	pid    int
+	lane   int  // read-counter stripe, shmem.StripeFor(pid)
+	fastOK bool // wait-free read fast path is sound for this configuration
+	head   []guard.Handle
+	next   []guard.Handle
+	pool   apps.PoolHandle
+	smr    bool // pool defers releases: run the protect/revalidate fence
+
+	// ReadStall, when non-nil, runs inside every fast-path read attempt
+	// right after the key load and before the validating fence — the
+	// deterministic stall point the torn-read scripts interleave a writer
+	// into.  Test/experiment hook, like DeleteBegin's split.
+	ReadStall func()
 
 	// MaxSpin bounds the traversal/retry steps of one operation; 0 means
 	// unbounded (the lock-free default).  A raw-guarded map that has been
@@ -377,13 +406,101 @@ func (h *Handle) release(idx, slot int) {
 }
 
 // Get returns the value bound to k.
+//
+// The common case is the wait-free seqlock fast path (getFast): an
+// unprotected traversal whose key/value snapshot is accepted only if the
+// link guards still validate — no hazard slot, no epoch pin, no retire
+// drain, no allocation, and on a clean read not a single shared write.
+// After fastGetRetries torn attempts Get falls back to the guarded
+// traversal (counted in MapAudit.ReadFallbacks), which is lock-free and
+// helps unlink, so progress is never worse than before the fast path.
 func (h *Handle) Get(k Word) (Word, bool) {
+	if h.fastOK {
+		if v, ok, done := h.getFast(k); done {
+			return v, ok
+		}
+		h.m.readFallbacks.Add(h.lane, 1)
+	}
 	if h.m.comb != nil {
 		if v, ok, done := h.combined(apps.OpGet, k, 0); done {
 			return v, ok
 		}
 	}
 	return h.get(k)
+}
+
+// fastGetRetries bounds the fast path's torn-read restarts before Get falls
+// back to the guarded traversal: the reader stays wait-free (its step count
+// is bounded regardless of writer behavior), and sustained write pressure
+// degrades to the lock-free mainline instead of starving the read.
+const fastGetRetries = 3
+
+// getFast runs the seqlock read protocol over the bucket chain.  done=false
+// means every attempt was torn and the caller must take the guarded path.
+func (h *Handle) getFast(k Word) (v Word, ok, done bool) {
+	b := h.m.bucket(k)
+	for attempt := 0; attempt < fastGetRetries; attempt++ {
+		if v, ok, clean := h.tryGetFast(b, k); clean {
+			return v, ok, true
+		}
+		h.m.readRetries.Add(h.lane, 1) // one bump per torn attempt
+	}
+	return 0, false, false
+}
+
+// tryGetFast is one wait-free attempt: walk the chain reading links, keys,
+// and — on a match — the value, accepting each dependent read only if the
+// link it hangs off still validates (the seqlock fence; guard.ReadConsistent
+// is this protocol for a single reference, inlined here because the payload
+// spans a chain).  clean=false reports a torn attempt.
+//
+// The walk takes no protection slot: nodes are array indices, so a recycled
+// node is readable garbage, never a dangling pointer, and the validating
+// fence rejects the garbage.  Marked nodes are skipped, not helped — the
+// read path must not write.  The hop bound covers the one structural hazard
+// validation cannot see mid-walk: a chain that acquired a cycle (possible
+// only after a raw-regime corruption) or grew past capacity under
+// concurrent inserts, either of which just turns the attempt torn.
+func (h *Handle) tryGetFast(b int, k Word) (v Word, ok, clean bool) {
+	prev := h.head[b]
+	prevW, _ := prev.Load()
+	for hops := 0; ; hops++ {
+		cur := linkIdx(prevW)
+		if cur == 0 {
+			// Miss: accept only if the final link is still current.
+			if !prev.Validate() {
+				return 0, false, false
+			}
+			return 0, false, true
+		}
+		if hops > h.m.capacity || h.spent(hops) {
+			return 0, false, false
+		}
+		curNext, _ := h.next[cur].Load()
+		ck := h.m.key[cur].Read(h.pid)
+		if h.ReadStall != nil {
+			h.ReadStall()
+		}
+		// The fence: prev's link is unchanged since its Load, so cur was
+		// linked at this position across both reads and its key/next belong
+		// to this chain state (exact under the sound regimes; value-blind
+		// under raw, the §1 caveat).
+		if !prev.Validate() {
+			return 0, false, false
+		}
+		if !linkMarked(curNext) && ck == k {
+			v = h.m.val[cur].Read(h.pid)
+			// Key and value are immutable while linked; a second fence on
+			// prev proves cur stayed linked across the value read, so the
+			// (key, value) pair is a consistent snapshot.
+			if !prev.Validate() {
+				return 0, false, false
+			}
+			return v, true, true
+		}
+		// Advance: cur's next handle is armed by its Load above.
+		prev, prevW = h.next[cur], curNext
+	}
 }
 
 // get is the lock-free Get body; the combiner applies it for waiters too.
@@ -470,9 +587,23 @@ func (h *Handle) del(k Word) bool {
 // sweep marks and unlinks every live k-node past the first `keep` live
 // matches, restarting from the bucket head after each kill.  It reports
 // whether it killed at least one node.
+//
+// Kill order matters: the first live match is the visible binding, and an
+// older live duplicate behind it is shadowed — readers take the first match.
+// Marking the binding while such a duplicate survives would promote the
+// duplicate to first match, resurrecting its stale value for the window
+// until the sweep reaches it.  So a keep=0 sweep first runs itself at
+// keep=1, killing every shadowed duplicate (those deaths are invisible:
+// the binding still shadows the position), and only then touches the
+// binding.  Inserts happen only at the bucket head, so no new duplicate
+// can appear *behind* the binding after that pass — the deep side of the
+// chain only ever shrinks.
 func (h *Handle) sweep(b int, k Word, keep int, spins *int) bool {
 	killed := false
 	for {
+		if keep == 0 && h.sweep(b, k, 1, spins) {
+			killed = true // shadowed duplicates died first; re-probe
+		}
 		prev, cur, curNext, ok := h.seek(b, k, keep, spins)
 		if !ok || cur == 0 {
 			return killed
@@ -558,6 +689,12 @@ type MapAudit struct {
 	Lost int
 	// Cycle reports whether some bucket chain contains a cycle.
 	Cycle bool
+	// ReadRetries is the number of torn wait-free read attempts that
+	// restarted (each is a write the seqlock fence caught mid-read).
+	ReadRetries int64
+	// ReadFallbacks is the number of Gets that exhausted the fast path's
+	// retry budget and fell back to the guarded traversal.
+	ReadFallbacks int64
 }
 
 // Corrupt reports whether the audit found structural damage.
@@ -565,8 +702,12 @@ func (a MapAudit) Corrupt() bool { return len(a.Doubled) > 0 || a.Lost > 0 || a.
 
 // String renders the audit result.
 func (a MapAudit) String() string {
-	return fmt.Sprintf("live=%d marked=%d inFree=%d doubled=%v lost=%d cycle=%v",
+	s := fmt.Sprintf("live=%d marked=%d inFree=%d doubled=%v lost=%d cycle=%v",
 		a.Live, a.Marked, a.InFree, a.Doubled, a.Lost, a.Cycle)
+	if a.ReadRetries > 0 || a.ReadFallbacks > 0 {
+		s += fmt.Sprintf(" readRetries=%d readFallbacks=%d", a.ReadRetries, a.ReadFallbacks)
+	}
+	return s
 }
 
 // Audit walks every bucket chain and the free set.  Call only at quiescence
@@ -602,5 +743,7 @@ func (m *Map) Audit() MapAudit {
 		}
 	}
 	a.Lost = m.capacity - len(seen)
+	a.ReadRetries = m.readRetries.Load()
+	a.ReadFallbacks = m.readFallbacks.Load()
 	return a
 }

@@ -129,6 +129,11 @@ type Profile struct {
 	Queue int
 	// Policy selects what happens to arrivals past the Queue bound.
 	Policy Policy
+	// ReadMostly routes the run through the instance's wait-free read
+	// workload (apps.ReadMostly) when it offers one: ~90% Peek/Get with a
+	// 5%/5% write trickle, the read-scaling shape of E14.  Instances without
+	// the seam fall back to their fixed Worker step.
+	ReadMostly bool
 }
 
 // Workload renders the profile as the experiment tables' workload column.
@@ -148,6 +153,9 @@ func (p Profile) Workload() string {
 	if p.Queue > 0 {
 		w = fmt.Sprintf("%s, q%d %s", w, p.Queue, p.Policy)
 	}
+	if p.ReadMostly {
+		w += ", read-mostly"
+	}
 	return w
 }
 
@@ -159,6 +167,12 @@ func Profiles() []Profile {
 			ID: "steady", Summary: "closed loop, uniform keys, read-heavy 90/5/5",
 			Arrival: Closed, Workers: 4, OpsPerWorker: 5000,
 			Keys: 64, ZipfS: 0, GetPct: 90, PutPct: 5, DeletePct: 5, Seed: 0x5eed1,
+		},
+		{
+			ID: "read-heavy", Summary: "closed loop on the wait-free read workload: 90% peeks/gets, 5/5 write trickle",
+			Arrival: Closed, Workers: 4, OpsPerWorker: 5000,
+			Keys: 64, ZipfS: 0, GetPct: 90, PutPct: 5, DeletePct: 5, Seed: 0x5eed7,
+			ReadMostly: true,
 		},
 		{
 			ID: "zipf-hot", Summary: "closed loop, zipf-skewed keys (hot-spot contention), 70/20/10",
@@ -325,6 +339,14 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 		return Result{}, fmt.Errorf("load: profile %q: an admission queue needs an open-loop arrival process", p.ID)
 	}
 	keyed, _ := inst.(apps.Keyed)
+	if p.ReadMostly {
+		if rm, ok := inst.(apps.ReadMostly); ok {
+			// The read-mostly workload replaces the sampler's keyed mix: the
+			// instance's own step exercises the wait-free read path directly.
+			keyed = nil
+			inst = readMostlyInstance{Instance: inst, rm: rm}
+		}
+	}
 	if keyed != nil && p.Keys < 1 {
 		return Result{}, fmt.Errorf("load: profile %q needs a key space >= 1 for a keyed structure", p.ID)
 	}
@@ -428,6 +450,60 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 		res.Blocked += counts[i].blocked
 	}
 	res.Offered = res.Ops + res.Shed
+	return res, nil
+}
+
+// readMostlyInstance rebinds an instance's Worker to its ReadMostlyWorker so
+// the generic driving loops need no second seam.
+type readMostlyInstance struct {
+	apps.Instance
+	rm apps.ReadMostly
+}
+
+func (r readMostlyInstance) Worker(pid int) (func(i int), error) {
+	return r.rm.ReadMostlyWorker(pid)
+}
+
+// RunThroughput drives inst with the profile's worker count and op count in
+// a bare closed loop and returns ops and wall-clock only — no per-op clock
+// reads, no histogram.  The E14 read-scaling matrix uses it because the
+// measured fast path is tens of nanoseconds and two time.Now calls per op
+// would be the workload; Run stays the tool when the latency *distribution*
+// is the question.
+func RunThroughput(inst apps.Instance, p Profile) (Result, error) {
+	if p.Workers < 1 || p.OpsPerWorker < 1 {
+		return Result{}, fmt.Errorf("load: profile %q needs workers and ops >= 1", p.ID)
+	}
+	if p.Arrival != Closed {
+		return Result{}, fmt.Errorf("load: RunThroughput is closed-loop only; profile %q is %s", p.ID, p.Arrival)
+	}
+	rm, _ := inst.(apps.ReadMostly)
+	steps := make([]func(i int), p.Workers)
+	for pid := 0; pid < p.Workers; pid++ {
+		var err error
+		if p.ReadMostly && rm != nil {
+			steps[pid], err = rm.ReadMostlyWorker(pid)
+		} else {
+			steps[pid], err = inst.Worker(pid)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < p.Workers; pid++ {
+		wg.Add(1)
+		go func(step func(i int)) {
+			defer wg.Done()
+			for i := 0; i < p.OpsPerWorker; i++ {
+				step(i)
+			}
+		}(steps[pid])
+	}
+	wg.Wait()
+	res := Result{Elapsed: time.Since(start), Ops: p.Workers * p.OpsPerWorker}
+	res.Offered = res.Ops
 	return res, nil
 }
 

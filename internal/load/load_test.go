@@ -208,6 +208,89 @@ func TestRunFallbackWorker(t *testing.T) {
 	}
 }
 
+// TestReadMostlyRunOnMap routes the read-heavy profile through the map's
+// wait-free read workload: the run completes, records every op, and leaves
+// the structure clean.
+func TestReadMostlyRunOnMap(t *testing.T) {
+	inst := buildMapInstance(t, 4, 128)
+	p, ok := LookupProfile("read-heavy")
+	if !ok {
+		t.Fatal("read-heavy profile missing")
+	}
+	if !p.ReadMostly {
+		t.Fatal("read-heavy profile is not marked ReadMostly")
+	}
+	p.OpsPerWorker = 500
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != p.Workers*p.OpsPerWorker {
+		t.Errorf("ops = %d, want %d", res.Ops, p.Workers*p.OpsPerWorker)
+	}
+	if res.Latency.Count() != int64(res.Ops) {
+		t.Errorf("recorded %d latencies for %d ops", res.Latency.Count(), res.Ops)
+	}
+	if corrupt, detail := inst.Audit(); corrupt {
+		t.Errorf("read-mostly run corrupted the map: %s", detail)
+	}
+}
+
+// TestReadMostlyFallbackWithoutSeam drives a structure without the
+// apps.ReadMostly seam under a ReadMostly profile: the run falls back to the
+// instance's fixed Worker instead of erroring.
+func TestReadMostlyFallbackWithoutSeam(t *testing.T) {
+	f := shmem.NewNativeFactory()
+	mk := guard.NewMaker(f, 2, guard.LLSC, 0)
+	inst, err := apps.NewEventInstance(f, 2, 0, mk, apps.InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inst.(apps.ReadMostly); ok {
+		t.Fatal("event instance grew a ReadMostly seam; pick another structure for the fallback test")
+	}
+	p, _ := LookupProfile("read-heavy")
+	p.Workers, p.OpsPerWorker = 2, 200
+	res, err := Run(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != p.Workers*p.OpsPerWorker {
+		t.Errorf("ops = %d, want %d", res.Ops, p.Workers*p.OpsPerWorker)
+	}
+}
+
+// TestRunThroughputReadMostly covers the lean E14 runner: ops and wall-clock
+// only, no per-op clock reads, so the histogram must stay empty.
+func TestRunThroughputReadMostly(t *testing.T) {
+	inst := buildMapInstance(t, 2, 64)
+	p, _ := LookupProfile("read-heavy")
+	p.Workers, p.OpsPerWorker = 2, 2000
+	res, err := RunThroughput(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != p.Workers*p.OpsPerWorker {
+		t.Errorf("ops = %d, want %d", res.Ops, p.Workers*p.OpsPerWorker)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not positive")
+	}
+	if res.Latency.Count() != 0 {
+		t.Errorf("RunThroughput recorded %d latencies, want none", res.Latency.Count())
+	}
+	if corrupt, detail := inst.Audit(); corrupt {
+		t.Errorf("throughput run corrupted the map: %s", detail)
+	}
+	open, _ := LookupProfile("poisson")
+	if _, err := RunThroughput(inst, open); err == nil {
+		t.Error("RunThroughput accepted an open-loop profile")
+	}
+	if _, err := RunThroughput(inst, Profile{ID: "x", Workers: 0}); err == nil {
+		t.Error("RunThroughput accepted zero workers")
+	}
+}
+
 func TestRunRejectsBadProfiles(t *testing.T) {
 	inst := buildMapInstance(t, 2, 16)
 	if _, err := Run(inst, Profile{ID: "x", Workers: 0}); err == nil {

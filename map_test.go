@@ -156,18 +156,22 @@ func TestMapDeleteHooksPublic(t *testing.T) {
 	if a.DeleteCommit() {
 		t.Error("a second DeleteCommit replayed a consumed snapshot")
 	}
-	// Helped: a reader that passes the marked node finishes the unlink, so
-	// the stalled deleter's own commit must fail instead of double-firing.
+	// Helped: readers are wait-free and never write, so a read that passes
+	// the marked node reports the miss without touching the chain; a
+	// *writer's* traversal finishes the unlink, and the stalled deleter's
+	// own commit must then fail instead of double-firing.
 	if !a.Put(6, 60) {
 		t.Fatal("put failed")
 	}
 	if _, _, found := a.DeleteBegin(6); !found {
 		t.Fatal("DeleteBegin missed the binding")
 	}
-	// The logical delete already hides the binding from readers — and this
-	// read helps complete the physical unlink.
+	// The logical delete already hides the binding from readers.
 	if _, ok := b.Get(6); ok {
 		t.Error("marked binding still visible")
+	}
+	if b.Delete(6) {
+		t.Error("helping Delete claimed the kill it only helped unlink")
 	}
 	if a.DeleteCommit() {
 		t.Error("DeleteCommit succeeded after a helper already unlinked the node")

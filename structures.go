@@ -99,6 +99,11 @@ type StructureAudit struct {
 	// unless a map is built WithCombining): operations a combiner applied
 	// on behalf of other processes, and combiner passes that ran.
 	CombinedOps, CombineBatches int64
+	// ReadRetries and ReadFallbacks are the map's wait-free read-path
+	// counters: torn fast-path Get attempts that were detected and retried,
+	// and Gets that exhausted the retry budget and fell back to the guarded
+	// lock-free traversal.  Both zero on clean read-mostly traffic.
+	ReadRetries, ReadFallbacks int64
 }
 
 // poolAudit merges the allocator counters into a structure audit.
@@ -344,6 +349,16 @@ func (h *StackHandle) Push(v Word) bool { return h.inner.Push(v) }
 // Pop pops the top value.  It returns false when the stack is empty.
 func (h *StackHandle) Pop() (Word, bool) { return h.inner.Pop() }
 
+// Peek returns the top value without popping it.  It is wait-free and
+// allocation-free: a seqlock read that accepts the value only if the head
+// guard still validates, retrying a bounded number of times before falling
+// back to the protected traversal.  ok=false means empty.
+func (h *StackHandle) Peek() (Word, bool) { return h.inner.Peek() }
+
+// IsEmpty reports whether the stack is empty, on the same wait-free read
+// path as Peek.
+func (h *StackHandle) IsEmpty() bool { return h.inner.IsEmpty() }
+
 // PopBegin is an experiment hook: it performs the vulnerable first half of
 // a pop — load the head node and its successor — and stops right before the
 // conditional swing, exposing the ABA window the §1 scripts exploit.
@@ -427,6 +442,15 @@ func (h *QueueHandle) Enq(v Word) bool { return h.inner.Enq(v) }
 // Deq removes the oldest value.  It returns false when the queue is empty.
 func (h *QueueHandle) Deq() (Word, bool) { return h.inner.Deq() }
 
+// Peek returns the oldest value without dequeuing it, on the wait-free
+// seqlock read path (bounded torn-read retries, then the protected
+// traversal).  ok=false means empty.
+func (h *QueueHandle) Peek() (Word, bool) { return h.inner.Peek() }
+
+// IsEmpty reports whether the queue is empty, on the same wait-free read
+// path as Peek.
+func (h *QueueHandle) IsEmpty() bool { return h.inner.IsEmpty() }
+
 // Map is a sharded lock-free hash map over a fixed pool of recycled
 // index-based nodes, shared by n processes — the canonical cache-shaped
 // workload of the traffic layer.  Every bucket head and every node's next
@@ -492,6 +516,7 @@ func (m *Map) Audit() StructureAudit {
 	a := m.inner.Audit()
 	out := poolAudit(a.Corrupt(), a.String(), m.inner.PoolStats())
 	out.CombineBatches, out.CombinedOps = m.inner.CombineStats()
+	out.ReadRetries, out.ReadFallbacks = a.ReadRetries, a.ReadFallbacks
 	return out
 }
 

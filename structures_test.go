@@ -392,3 +392,76 @@ func TestStructureTagBitsValidation(t *testing.T) {
 		t.Errorf("default tag width rejected: %v", err)
 	}
 }
+
+// TestStructureWaitFreeReadPath drives the exported wait-free observers:
+// stack and queue Peek/IsEmpty are non-consuming across every regime, and
+// the map's read-path audit counters surface through StructureAudit.
+func TestStructureWaitFreeReadPath(t *testing.T) {
+	for _, p := range publicProtections() {
+		t.Run(p.name, func(t *testing.T) {
+			s, err := abadetect.NewStack(2, 8, abadetect.WithProtection(p.prot))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := s.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sh.IsEmpty() {
+				t.Error("fresh stack not empty")
+			}
+			sh.Push(42)
+			if v, ok := sh.Peek(); !ok || v != 42 {
+				t.Fatalf("stack Peek = (%d,%v), want (42,true)", v, ok)
+			}
+			if v, ok := sh.Pop(); !ok || v != 42 {
+				t.Errorf("Pop after Peek = (%d,%v): Peek consumed the element", v, ok)
+			}
+
+			q, err := abadetect.NewQueue(2, 8, abadetect.WithProtection(p.prot))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qh, err := q.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !qh.IsEmpty() {
+				t.Error("fresh queue not empty")
+			}
+			qh.Enq(7)
+			qh.Enq(8)
+			if v, ok := qh.Peek(); !ok || v != 7 {
+				t.Fatalf("queue Peek = (%d,%v), want (7,true)", v, ok)
+			}
+			if v, ok := qh.Deq(); !ok || v != 7 {
+				t.Errorf("Deq after Peek = (%d,%v): Peek consumed the front", v, ok)
+			}
+		})
+	}
+
+	m, err := abadetect.NewMap(2, 16, abadetect.WithReclamation("hp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := m.Handle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mh.Put(7, 700) {
+		t.Fatal("Put declined")
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := mh.Get(7); !ok || v != 700 {
+			t.Fatalf("Get = (%d,%v), want (700,true)", v, ok)
+		}
+	}
+	a := m.Audit()
+	if a.Corrupt {
+		t.Errorf("audit corrupt: %s", a.Detail)
+	}
+	// Uncontended reads never tear: the exported counters exist and stay 0.
+	if a.ReadRetries != 0 || a.ReadFallbacks != 0 {
+		t.Errorf("uncontended reads counted retries=%d fallbacks=%d, want 0/0", a.ReadRetries, a.ReadFallbacks)
+	}
+}
