@@ -92,6 +92,7 @@ type options struct {
 	elimination int
 	localCache  int
 	combining   bool
+	growTo      int
 }
 
 // Option configures a constructor.

@@ -1,5 +1,5 @@
 // Command abalab runs the experiment suite of the reproduction — one
-// experiment per paper artifact (E1-E14) — and reports on the registered
+// experiment per paper artifact (E1-E15) — and reports on the registered
 // implementations.  Experiments and implementations are both enumerated
 // from their registries (internal/bench.Experiments, internal/registry), so
 // this command never needs editing when either grows.
@@ -21,20 +21,22 @@
 //	abalab -load poisson -app stack -elim 2 -cache 16   # pin the fast-path knobs
 //	abalab -load poisson-shed -seed 42  # replay a profile on a different RNG seed
 //	abalab -scale map       # read-scaling matrix (E14) for one structure
+//	abalab -grow            # growth matrix (E15): map growth 10k→1M keys under live traffic
+//	abalab -grow -grow-keys 10000   # ... capped to the 10k-key tier (CI smoke)
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
 // objects, E11 application matrix, E12 reclamation matrix, E13 traffic
-// matrix, E14 read-scaling matrix) and diff them against a committed
-// snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
+// matrix, E14 read-scaling matrix, E15 growth matrix) and diff them against
+// a committed snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
 // slab/devirtualized substrate, BENCH_pr3.json adds the application matrix,
 // BENCH_pr4.json the reclamation matrix, BENCH_pr5.json the map and traffic
 // matrices, BENCH_pr6.json the fast-path variants and backpressure
 // profiles, BENCH_pr7.json the wait-free read paths and the read-scaling
-// matrix):
+// matrix, BENCH_pr8.json the growth matrix):
 //
-//	abalab -bench-compare BENCH_pr7.json
-//	abalab -json > BENCH_pr8.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr8.json
+//	abalab -json > BENCH_pr9.json   # record a new snapshot
 package main
 
 import (
@@ -62,20 +64,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abalab", flag.ContinueOnError)
 	var (
-		only    = fs.String("run", "", "run a single experiment (E1..E14)")
-		list    = fs.Bool("list", false, "list experiments and implementations, then exit")
-		impl    = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
-		app     = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
-		reclaim = fs.String("reclaim", "", "run the reclamation matrix (E12): a scheme ID (hp, epoch, none) or 'all'; combine with -app to filter the structure")
-		loadP   = fs.String("load", "", "run the traffic matrix (E13): a load-profile ID (see -list) or 'all'; combine with -app and -reclaim to filter")
-		scale   = fs.String("scale", "", "run the read-scaling matrix (E14): a structure ID or 'all'; combine with -reclaim to filter the scheme")
-		n       = fs.Int("n", 8, "process count for -impl")
-		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
-		compare = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
-		seed    = fs.Uint64("seed", 0, "override the load profiles' RNG seed for -load runs (0 = each profile's committed default)")
-		elim    = fs.Int("elim", 0, "for -load: pin every cell to an elimination array of this many slots (stack)")
-		cache   = fs.Int("cache", 0, "for -load: pin every cell to per-worker node caches of this capacity")
-		combine = fs.Bool("combine", false, "for -load: pin every cell to flat-combining hot buckets (map)")
+		only     = fs.String("run", "", "run a single experiment (E1..E15)")
+		list     = fs.Bool("list", false, "list experiments and implementations, then exit")
+		impl     = fs.String("impl", "", "inspect a registered implementation by ID (or 'all')")
+		app      = fs.String("app", "", "run the application matrix: a structure ID (stack, queue, event) or 'all'")
+		reclaim  = fs.String("reclaim", "", "run the reclamation matrix (E12): a scheme ID (hp, epoch, none) or 'all'; combine with -app to filter the structure")
+		loadP    = fs.String("load", "", "run the traffic matrix (E13): a load-profile ID (see -list) or 'all'; combine with -app and -reclaim to filter")
+		scale    = fs.String("scale", "", "run the read-scaling matrix (E14): a structure ID or 'all'; combine with -reclaim to filter the scheme")
+		grow     = fs.Bool("grow", false, "run the growth matrix (E15): split-ordered map growth + geometric pool expansion under live traffic")
+		growKeys = fs.Int("grow-keys", 0, "for -grow: cap the key-space sweep at this many keys (0 = the full 10k→1M sweep)")
+		n        = fs.Int("n", 8, "process count for -impl")
+		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		compare  = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
+		seed     = fs.Uint64("seed", 0, "override the load profiles' RNG seed for -load runs (0 = each profile's committed default)")
+		elim     = fs.Int("elim", 0, "for -load: pin every cell to an elimination array of this many slots (stack)")
+		cache    = fs.Int("cache", 0, "for -load: pin every cell to per-worker node caches of this capacity")
+		combine  = fs.Bool("combine", false, "for -load: pin every cell to flat-combining hot buckets (map)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +109,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return emit(tables)
+	}
+
+	if *grow {
+		tbl, err := bench.E15GrowthMatrix(*growKeys)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
 	}
 
 	if *scale != "" {

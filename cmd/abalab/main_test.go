@@ -603,3 +603,78 @@ func TestBenchComparePR4CoversReclaim(t *testing.T) {
 		}
 	}
 }
+
+func TestBenchPR8SnapshotCarriesGrowthMatrix(t *testing.T) {
+	// The PR8 snapshot is the first to carry E15.  A full -bench-compare
+	// against it re-runs every throughput experiment including the
+	// multi-minute 1M-key growth tier, so CI does that report-only; here we
+	// pin the committed snapshot's shape instead — all six throughput tables
+	// present, and the E15 table carrying the growth columns the comparison
+	// keys on — so a regenerated snapshot can't silently drop the matrix.
+	snapshot, err := bench.LoadTables("../../BENCH_pr8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E10", "E11", "E12", "E13", "E14", "E15"} {
+		if _, ok := bench.FindTable(snapshot, id); !ok {
+			t.Errorf("BENCH_pr8.json lacks the %s table", id)
+		}
+	}
+	e15, _ := bench.FindTable(snapshot, "E15")
+	if e15 == nil {
+		return
+	}
+	for _, col := range []string{"ns/op", "p999", "splits", "appends", "resize-stalls", "outcome"} {
+		found := false
+		for _, h := range e15.Header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("E15 snapshot lacks the %s column", col)
+		}
+	}
+	// 10k tier: 4 regimes × 3 schemes; 100k tier: 2 × 2; 1M tier: 1 × 2.
+	if len(e15.Rows) != 18 {
+		t.Errorf("E15 snapshot has %d rows, want 18", len(e15.Rows))
+	}
+	for _, row := range e15.Rows {
+		outcome := row[len(row)-1]
+		if !strings.HasPrefix(row[0], "map/raw") && strings.Contains(outcome, "corrupt=true") {
+			t.Errorf("snapshot sound cell %s corrupted: %s", row[0], outcome)
+		}
+	}
+}
+
+func TestGrowMatrixFlag(t *testing.T) {
+	// -grow runs E15; -grow-keys caps the sweep to its smallest tier so the
+	// smoke stays cheap.  A cap below the smallest tier must error rather
+	// than silently produce an empty table.
+	var buf bytes.Buffer
+	if err := run([]string{"-grow", "-grow-keys", "10000", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-grow -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E15" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	if len(tables[0].Rows) != 12 { // 4 regimes × 3 schemes, 10k tier only
+		t.Fatalf("capped growth matrix has %d rows, want 12", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "map/") {
+			t.Errorf("unexpected row key %q", row[0])
+		}
+	}
+	if err := run([]string{"-grow", "-grow-keys", "5"}, &buf); err == nil {
+		t.Error("want error for a cap below the smallest tier")
+	}
+}

@@ -133,6 +133,37 @@
 // 90/5/5 read-mostly profile across structure × regime × reclaimer ×
 // worker count and reports per-worker scaling.
 //
+// # Growth
+//
+// WithGrowth(maxCapacity) makes the map resizable: it starts at its
+// constructed capacity and expands live — under concurrent gets, puts, and
+// deletes — up to the ceiling, with no stop-the-world phase and no rehash.
+// The protocol is split-ordered (Shalev–Shachnai) over the existing marked
+// links: every node lives in one list sorted by bit-reversed hash, so a
+// bucket-directory doubling moves no node — a new bucket is one dummy node
+// inserted at its bit-reversed sort position and published in a directory
+// slot, initialized lazily by recursively splitting its parent.  Node
+// storage grows in geometric segments through the pool seam (nodes are
+// array indices, so growth mints fresh indices and never relocates one),
+// and the hp/epoch reclaimers are sized for the ceiling up front, so
+// retirement accounting is untouched mid-resize.
+//
+// In m(n)/t(n) vocabulary: space is B + 2·cap guards plus 3·cap registers
+// where B and cap now grow geometrically to the ceiling — the map only ever
+// pays for the capacity tier it has reached, at ≤2x the live requirement —
+// and the resize work is O(1) amortized guard operations per insert (each
+// split inserts one dummy; each segment append is one publication), each
+// paying the selected regime's t(n) like any other guarded step.  A
+// directory split commits through the same Guards as normal traffic, which
+// makes resizing a new ABA surface rather than a trusted phase: a split's
+// dummy insert can restore a victim's armed link word bit-for-bit.  The
+// deterministic scenario runs the §1 ladder over exactly that interleaving
+// (raw+none corrupts; tagged/llsc/detector reject it as a counted
+// near-miss; hp/epoch prevent the recycle outright), and StructureAudit
+// reports Splits, SegmentAppends, and ResizeRetries alongside the
+// structural checks.  Experiment E15 (abalab -grow) sweeps the growth
+// matrix to 1M keys / 10M ops under live traffic.
+//
 // # Tail-latency knobs
 //
 // Three contention-diffusion options trade m(n) space for t(n) steps on the

@@ -87,6 +87,12 @@ type StructConfig struct {
 	// Combining enables flat-combining batching on structures with
 	// publication-slot support (the map's buckets); others ignore it.
 	Combining bool
+	// GrowTo, when positive, enables online growth on structures that
+	// support it (the map): the structure starts at its constructor capacity
+	// and extends its node space geometrically through Pool.Grow, up to
+	// GrowTo nodes, with no stop-the-world phase.  Structures without a
+	// growth protocol ignore it.
+	GrowTo int
 }
 
 // WithMaker makes the structure allocate its guards from mk instead of the
@@ -138,6 +144,17 @@ func WithElimination(slots int) StructOption {
 // accounting stays exact.
 func WithLocalCache(capacity int) StructOption {
 	return func(o *StructConfig) { o.LocalCache = capacity }
+}
+
+// WithGrowth lets the structure grow its node space online, up to
+// maxCapacity nodes: the constructor capacity becomes the *initial* size,
+// and when live occupancy crosses a threshold the structure doubles its
+// bucket directory (split-ordered expansion — nodes never move) and extends
+// its pool by geometric segment appends (indices never move).  Guards are
+// sized for maxCapacity from the start, so link words never need re-widening
+// mid-run.  Structures without a growth protocol ignore the option.
+func WithGrowth(maxCapacity int) StructOption {
+	return func(o *StructConfig) { o.GrowTo = maxCapacity }
 }
 
 // WithCombining enables flat-combining on structures with publication-slot

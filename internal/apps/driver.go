@@ -101,6 +101,9 @@ type InstanceOptions struct {
 	// Combining enables flat-combining batching on structures that support
 	// it (see WithCombining).
 	Combining bool
+	// GrowTo, when positive, enables online growth up to that many nodes on
+	// structures that support it (see WithGrowth).
+	GrowTo int
 }
 
 // StructOpts renders the instance options as constructor options.
@@ -120,6 +123,9 @@ func (io InstanceOptions) StructOpts(mk guard.Maker) []StructOption {
 	}
 	if io.Combining {
 		opts = append(opts, WithCombining())
+	}
+	if io.GrowTo > 0 {
+		opts = append(opts, WithGrowth(io.GrowTo))
 	}
 	return opts
 }

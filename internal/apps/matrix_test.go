@@ -481,7 +481,7 @@ func TestGuardedPoolFreeListABA(t *testing.T) {
 			if top != 1 {
 				t.Fatalf("free head = %d, want 1", top)
 			}
-			aNext := p.next[top].Read(0)
+			aNext := p.next.Get(int(top)).Read(0)
 
 			// B: allocate 1 and 2, then free 1.  Head index is 1 again, but
 			// its link now bypasses the in-use node 2.

@@ -42,6 +42,13 @@ type Pool interface {
 	// Stats returns the allocator's own counters: exhaustion events and,
 	// when a reclaimer is attached, its reclamation metrics.
 	Stats() PoolStats
+	// Grow extends the pool to newCapacity nodes (indices up to newCapacity
+	// become allocatable) and returns the resulting capacity.  Growth is
+	// monotone and idempotent: a newCapacity at or below the current
+	// capacity is a no-op.  Existing nodes never move — growth only extends
+	// the index space — so outstanding indices, protections, and limbo
+	// entries all stay valid across a Grow racing Alloc/Release.
+	Grow(newCapacity int) (int, error)
 }
 
 // PoolHandle is a per-process allocator endpoint.
@@ -85,6 +92,9 @@ type PoolStats struct {
 	// Local holds the per-process cache counters (zero without
 	// WithLocalCache).
 	Local LocalCacheStats
+	// Grows counts capacity extensions that actually extended the pool
+	// (no-op Grow calls at or below the current capacity don't count).
+	Grows int64
 }
 
 // LocalCacheStats are the per-process free-stack counters of a pool built
@@ -123,7 +133,15 @@ func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, id
 		p = newCachedPool(p, cfg.LocalCache)
 	}
 	if cfg.Reclaim != nil {
-		rec, err := cfg.Reclaim(f, name, n, capacity)
+		// Size the reclaimer for the growth ceiling up front: hp/epoch use
+		// capacity only to clamp retirement thresholds and pre-size limbo
+		// buckets, so building for GrowTo keeps them correct across every
+		// later Pool.Grow without a resize protocol of their own.
+		recCap := capacity
+		if cfg.GrowTo > recCap {
+			recCap = cfg.GrowTo
+		}
+		rec, err := cfg.Reclaim(f, name, n, recCap)
 		if err != nil {
 			return nil, fmt.Errorf("apps: reclaimer: %w", err)
 		}
@@ -139,12 +157,14 @@ type fifoPool struct {
 	ring  []int
 	head  int
 	count int
+	limit int // highest index ever minted; Grow raises it
 
 	exhaustions atomic.Int64
+	grows       atomic.Int64
 }
 
 func newFIFOPool(capacity int) *fifoPool {
-	p := &fifoPool{ring: make([]int, capacity), count: capacity}
+	p := &fifoPool{ring: make([]int, capacity), count: capacity, limit: capacity}
 	for i := 0; i < capacity; i++ {
 		p.ring[i] = i + 1
 	}
@@ -156,7 +176,23 @@ func (p *fifoPool) Handle(int) (PoolHandle, error) { return p, nil }
 func (p *fifoPool) Metrics() guard.Metrics { return guard.Metrics{} }
 
 func (p *fifoPool) Stats() PoolStats {
-	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
+	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none", Grows: p.grows.Load()}
+}
+
+// Grow mints the fresh indices limit+1..newCapacity into the back of the
+// ring.  The FIFO model is a mutex allocator, so growth is just more ring.
+func (p *fifoPool) Grow(newCapacity int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if newCapacity <= p.limit {
+		return p.limit, nil
+	}
+	for i := p.limit + 1; i <= newCapacity; i++ {
+		p.releaseLocked(i)
+	}
+	p.limit = newCapacity
+	p.grows.Add(1)
+	return newCapacity, nil
 }
 
 // Alloc takes the oldest free node, or 0 when exhausted.
@@ -177,11 +213,16 @@ func (p *fifoPool) Alloc() int {
 func (p *fifoPool) Release(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.releaseLocked(idx)
+}
+
+func (p *fifoPool) releaseLocked(idx int) {
 	if p.count == len(p.ring) {
-		// Only an ABA double-release (the corruption arms do this on
-		// purpose) can overfill the allocator model.  Grow instead of
-		// wrapping so the audit still sees the duplicate entry rather than
-		// a silently corrupted ring; the steady-state path never gets here.
+		// An ABA double-release (the corruption arms do this on purpose) or
+		// a capacity Grow can overfill the ring.  Grow the backing slice
+		// instead of wrapping so the audit still sees a duplicate entry
+		// rather than a silently corrupted ring; the steady-state
+		// alloc/release path never gets here.
 		grown := make([]int, 2*len(p.ring))
 		for i := 0; i < p.count; i++ {
 			grown[i] = p.ring[(p.head+i)%len(p.ring)]
@@ -216,8 +257,23 @@ func (p *fifoPool) Reclaiming() bool { return false }
 // NearMisses counter records every such ABA a stronger regime caught.
 type guardedPool struct {
 	head     guard.Guard
-	next     []shmem.Register // next[i] links free node i; 0 ends the list
-	capacity int
+	next     *shmem.Spine[shmem.Register] // next.Get(i) links free node i; 0 ends the list
+	capacity int                          // initial capacity (the pre-chained nodes)
+
+	// Growth state.  limit publishes the current capacity: indices 1..limit
+	// are mintable.  frontier is the next never-allocated ("wilderness")
+	// index — Alloc claims it by CAS when the recycled free list is empty.
+	// The claim is a monotone counter, not a pointer swing, so the frontier
+	// path is ABA-free under every regime.  Grow extends the link spine
+	// *before* raising limit, so an allocator that observes frontier<=limit
+	// always finds next.Get(frontier) built.
+	limit    shmem.Register
+	frontier shmem.CAS
+	factory  shmem.Factory
+	name     string
+
+	growMu sync.Mutex // serializes Grow; keeps limit monotone
+	grows  atomic.Int64
 
 	// Striped: exhaustion bursts hit every allocating process at once, which
 	// is exactly when a shared counter word would add contention.
@@ -226,19 +282,31 @@ type guardedPool struct {
 
 func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, idxBits uint) (*guardedPool, error) {
 	p := &guardedPool{
-		next:        make([]shmem.Register, capacity+1),
 		capacity:    capacity,
+		factory:     f,
+		name:        name,
 		exhaustions: shmem.NewStripedCounter(),
 	}
 	// Initial chain 1 -> 2 -> ... -> capacity, so the first allocations come
-	// out in index order like the FIFO model's.
-	for i := 1; i <= capacity; i++ {
+	// out in index order like the FIFO model's.  The links live in a Spine
+	// so Grow can extend the index space without moving a single register —
+	// a plain slice append would relocate links under unsynchronized readers.
+	next, err := shmem.NewSpine(capacity+1, func(i int) (shmem.Register, error) {
+		if i == 0 {
+			return nil, nil // index 0 is the nil link, never dereferenced
+		}
 		init := Word(i + 1)
 		if i == capacity {
 			init = 0
 		}
-		p.next[i] = f.NewRegister(fmt.Sprintf("%s.free[%d]", name, i), init)
+		return f.NewRegister(fmt.Sprintf("%s.free[%d]", name, i), init), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	p.next = next
+	p.limit = f.NewRegister(name+".limit", Word(capacity))
+	p.frontier = f.NewCAS(name+".frontier", Word(capacity+1))
 	head, err := mk(name+".freelist", idxBits, 1)
 	if err != nil {
 		return nil, fmt.Errorf("apps: free-list guard: %w", err)
@@ -248,6 +316,30 @@ func newGuardedPool(f shmem.Factory, mk guard.Maker, name string, capacity int, 
 	}
 	p.head = head
 	return p, nil
+}
+
+// Grow extends the pool to newCapacity: the link spine grows first (new
+// registers published segment-at-a-time, old ones never move), then limit is
+// raised, releasing the wilderness [old limit+1, newCapacity] to Alloc's
+// frontier claims.  New nodes are handed out through the frontier counter
+// rather than being chained, so Grow never touches the free-list head and
+// cannot race its guard.
+func (p *guardedPool) Grow(newCapacity int) (int, error) {
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	cur := int(p.limit.Read(-1))
+	if newCapacity <= cur {
+		return cur, nil
+	}
+	_, err := p.next.Grow(newCapacity+1, func(i int) (shmem.Register, error) {
+		return p.factory.NewRegister(fmt.Sprintf("%s.free[%d]", p.name, i), 0), nil
+	})
+	if err != nil {
+		return cur, err
+	}
+	p.limit.Write(-1, Word(newCapacity))
+	p.grows.Add(1)
+	return newCapacity, nil
 }
 
 func (p *guardedPool) Handle(pid int) (PoolHandle, error) {
@@ -261,18 +353,24 @@ func (p *guardedPool) Handle(pid int) (PoolHandle, error) {
 func (p *guardedPool) Metrics() guard.Metrics { return p.head.Metrics() }
 
 func (p *guardedPool) Stats() PoolStats {
-	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none"}
+	return PoolStats{Exhaustions: p.exhaustions.Load(), Scheme: "none", Grows: p.grows.Load()}
 }
 
-// Snapshot walks the free chain as the observer.  A cycle (possible only
-// after a raw-guard ABA) is truncated at capacity hops; the structure audit
-// surfaces the damage as doubled or lost nodes.
+// Snapshot walks the free chain as the observer, then appends the unclaimed
+// wilderness [frontier, limit] — never-allocated nodes are free nodes, and
+// audits must see them that way.  A chain cycle (possible only after a
+// raw-guard ABA) is truncated at limit hops; the structure audit surfaces
+// the damage as doubled or lost nodes.
 func (p *guardedPool) Snapshot() []int {
+	limit := int(p.limit.Read(-1))
 	var out []int
 	cur := int(p.head.Peek(-1))
-	for hops := 0; cur != 0 && hops < p.capacity; hops++ {
+	for hops := 0; cur != 0 && hops < limit; hops++ {
 		out = append(out, cur)
-		cur = int(p.next[cur].Read(-1))
+		cur = int(p.next.Get(cur).Read(-1))
+	}
+	for i := int(p.frontier.Read(-1)); i <= limit; i++ {
+		out = append(out, i)
 	}
 	return out
 }
@@ -284,20 +382,29 @@ type guardedPoolHandle struct {
 	lane int // counter stripe, shmem.StripeFor(pid)
 }
 
-// Alloc pops the free-list head.  This is the vulnerable shape: between
-// loading the head and committing its successor, the head node can be
-// allocated, released, and re-chained — under a raw guard the stale commit
-// still succeeds and installs a dangling link.
+// Alloc pops the free-list head; when the recycled list is empty it claims
+// the next wilderness index below limit instead.  The list pop is the
+// vulnerable shape: between loading the head and committing its successor,
+// the head node can be allocated, released, and re-chained — under a raw
+// guard the stale commit still succeeds and installs a dangling link.  The
+// wilderness claim is a monotone fetch-and-increment: immune by shape.
 func (h *guardedPoolHandle) Alloc() int {
 	for {
 		top, _ := h.h.Load()
-		if top == 0 {
+		if top != 0 {
+			next := h.p.next.Get(int(top)).Read(h.pid)
+			if h.h.Commit(next) {
+				return int(top)
+			}
+			continue
+		}
+		fr := h.p.frontier.Read(h.pid)
+		if fr > h.p.limit.Read(h.pid) {
 			h.p.exhaustions.Add(h.lane, 1)
 			return 0
 		}
-		next := h.p.next[top].Read(h.pid)
-		if h.h.Commit(next) {
-			return int(top)
+		if h.p.frontier.CompareAndSwap(h.pid, fr, fr+1) {
+			return int(fr)
 		}
 	}
 }
@@ -306,7 +413,7 @@ func (h *guardedPoolHandle) Alloc() int {
 func (h *guardedPoolHandle) Release(idx int) {
 	for {
 		top, _ := h.h.Load()
-		h.p.next[idx].Write(h.pid, top)
+		h.p.next.Get(idx).Write(h.pid, top)
 		if h.h.Commit(Word(idx)) {
 			return
 		}
@@ -372,6 +479,11 @@ func (p *reclaimedPool) Stats() PoolStats {
 func (p *reclaimedPool) Snapshot() []int {
 	return append(p.inner.Snapshot(), p.rec.Limbo()...)
 }
+
+// Grow passes through: the reclaimer was sized for the growth ceiling at
+// construction (its capacity only clamps retirement thresholds), so limbo
+// accounting needs no adjustment when the node space extends.
+func (p *reclaimedPool) Grow(newCapacity int) (int, error) { return p.inner.Grow(newCapacity) }
 
 type reclaimedHandle struct {
 	p     *reclaimedPool
@@ -450,6 +562,9 @@ func (p *cachedPool) Handle(pid int) (PoolHandle, error) {
 }
 
 func (p *cachedPool) Metrics() guard.Metrics { return p.inner.Metrics() }
+
+// Grow passes through: caches hold indices, and indices never move.
+func (p *cachedPool) Grow(newCapacity int) (int, error) { return p.inner.Grow(newCapacity) }
 
 func (p *cachedPool) Stats() PoolStats {
 	st := p.inner.Stats()

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+
+	"abadetect/internal/guard"
+	"abadetect/internal/reclaim"
+	"abadetect/internal/shmem"
+)
+
+// poolBooks checks the conservation law across a growth sequence: at every
+// quiescent point, Snapshot (free + limbo + cached + wilderness) plus the
+// indices the test still holds must be exactly 1..capacity, no duplicates.
+func poolBooks(t *testing.T, p Pool, held map[int]bool, capacity int, when string) {
+	t.Helper()
+	seen := make(map[int]int)
+	for _, idx := range p.Snapshot() {
+		seen[idx]++
+	}
+	for idx := range held {
+		seen[idx]++
+	}
+	var missing, doubled []int
+	for i := 1; i <= capacity; i++ {
+		switch seen[i] {
+		case 0:
+			missing = append(missing, i)
+		case 1:
+		default:
+			doubled = append(doubled, i)
+		}
+	}
+	var stray []int
+	for idx := range seen {
+		if idx < 1 || idx > capacity {
+			stray = append(stray, idx)
+		}
+	}
+	sort.Ints(missing)
+	sort.Ints(doubled)
+	sort.Ints(stray)
+	if len(missing)+len(doubled)+len(stray) > 0 {
+		t.Fatalf("%s: books off: missing=%v doubled=%v stray=%v (capacity %d)",
+			when, missing, doubled, stray, capacity)
+	}
+}
+
+// TestPoolGrowthBooks drives every pool composition (fifo/guarded base,
+// hp/epoch reclaimer, with and without a local cache) through a geometric
+// growth sequence under live alloc/release traffic and checks that Snapshot
+// and PoolStats stay exact across every segment append.
+func TestPoolGrowthBooks(t *testing.T) {
+	const (
+		n       = 2
+		initial = 4
+		ceiling = 32
+	)
+	for _, tc := range []struct {
+		name string
+		cfg  func(mk guard.Maker) StructConfig
+	}{
+		{"fifo+hp", func(mk guard.Maker) StructConfig {
+			return StructConfig{Maker: mk, Reclaim: reclaim.NewHazard, GrowTo: ceiling}
+		}},
+		{"fifo+epoch", func(mk guard.Maker) StructConfig {
+			return StructConfig{Maker: mk, Reclaim: reclaim.NewEpoch, GrowTo: ceiling}
+		}},
+		{"guarded+hp", func(mk guard.Maker) StructConfig {
+			return StructConfig{Maker: mk, GuardedPool: true, Reclaim: reclaim.NewHazard, GrowTo: ceiling}
+		}},
+		{"guarded+epoch", func(mk guard.Maker) StructConfig {
+			return StructConfig{Maker: mk, GuardedPool: true, Reclaim: reclaim.NewEpoch, GrowTo: ceiling}
+		}},
+		{"guarded+epoch+cache", func(mk guard.Maker) StructConfig {
+			return StructConfig{Maker: mk, GuardedPool: true, Reclaim: reclaim.NewEpoch, LocalCache: 4, GrowTo: ceiling}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := shmem.NewNativeFactory()
+			mk := guard.NewMaker(f, n, guard.LLSC, 0)
+			p, err := NewPool(f, tc.cfg(mk), "grow", n, initial, shmem.BitsFor(ceiling+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := p.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			held := make(map[int]bool)
+			alloc := func() bool {
+				idx := h.Alloc()
+				if idx == 0 {
+					return false
+				}
+				if held[idx] {
+					t.Fatalf("double allocation of %d (held %v)", idx, held)
+				}
+				held[idx] = true
+				return true
+			}
+
+			// Drain the initial capacity dry.
+			for i := 0; i < initial; i++ {
+				if !alloc() {
+					t.Fatalf("exhausted before initial capacity (%d held)", len(held))
+				}
+			}
+			if alloc() {
+				t.Fatalf("alloc past capacity %d succeeded", initial)
+			}
+			if st := p.Stats(); st.Exhaustions == 0 {
+				t.Errorf("exhaustion at initial capacity not counted: %+v", st)
+			}
+			poolBooks(t, p, held, initial, "at initial capacity")
+
+			// Geometric appends; after each one the new wilderness must be
+			// allocatable and the books exact.
+			for cap := initial * 2; cap <= ceiling; cap *= 2 {
+				got, err := p.Grow(cap)
+				if err != nil || got != cap {
+					t.Fatalf("Grow(%d) = %d, %v", cap, got, err)
+				}
+				poolBooks(t, p, held, cap, "after grow")
+				// Churn: release half of what we hold (into limbo), then
+				// allocate back up to the new capacity.
+				i := 0
+				for idx := range held {
+					if i++; i%2 == 0 {
+						h.Release(idx)
+						delete(held, idx)
+					}
+				}
+				for alloc() {
+				}
+				h.Clear()
+				for h.Drain() > 0 {
+				}
+				poolBooks(t, p, held, cap, "after churn")
+			}
+
+			st := p.Stats()
+			if want := int64(3); st.Grows != want { // 8, 16, 32
+				t.Errorf("Grows = %d, want %d", st.Grows, want)
+			}
+			if got, err := p.Grow(ceiling / 2); err != nil || got != ceiling {
+				t.Errorf("shrink request = %d, %v; want no-op at %d", got, err, ceiling)
+			}
+			if st := p.Stats(); st.Grows != 3 {
+				t.Errorf("no-op Grow counted: Grows = %d", st.Grows)
+			}
+		})
+	}
+}

@@ -164,6 +164,12 @@ type QueueHandle struct {
 	// next-pointer commit and before the tail help — a deterministic stall
 	// point for the helping-interleaving tests.
 	testEnqAfterLink func()
+
+	// ReadStall, when non-nil, runs inside every fast-path Peek attempt
+	// right after the front value read and before the validating fence —
+	// the deterministic stall point the torn-peek scripts interleave a
+	// writer into.  Test/experiment hook, like the map Handle's ReadStall.
+	ReadStall func()
 }
 
 // spent reports whether a bounded handle has used up its spin budget.
@@ -267,6 +273,9 @@ func (h *QueueHandle) Peek() (Word, bool) {
 				continue
 			}
 			v := h.q.value[nhW].Read(h.pid)
+			if h.ReadStall != nil {
+				h.ReadStall()
+			}
 			if h.head.Validate() {
 				return v, true
 			}

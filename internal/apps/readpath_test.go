@@ -178,3 +178,171 @@ func TestPeekAllocsAndNoReclaimerTraffic(t *testing.T) {
 		t.Error("guarded Pop took no reclaimer steps — the counter is not observing the hazard slots")
 	}
 }
+
+// TestStackPeekTornReadMatrix scripts the torn-peek interleaving: a reader
+// stalls between reading the top node's value and validating the head, while
+// a writer pops that node and recycles it under a new value.  Both the old
+// and the new value are linearizable answers, so the script measures the
+// *detection asymmetry*: the sound regimes must see the recycle (the head
+// guard was committed twice under the stalled reader), reject the attempt,
+// and re-read the current top — only value-blind raw+none accepts the
+// pre-recycle snapshot bit-for-bit, the stack-read shape of the §1 ABA.
+// Raw under a real reclaimer disables the fast path (StackHandle.fastOK), so
+// the stall hook never fires and the guarded peek carries the read.
+func TestStackPeekTornReadMatrix(t *testing.T) {
+	for _, c := range readPathConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			var opts []StructOption
+			if c.rc != nil {
+				opts = append(opts, WithReclaimer(c.rc))
+			}
+			// Capacity 1: the writer's push *must* recycle the popped node,
+			// so the head word is restored bit-for-bit for raw to accept.
+			s, err := NewStack(shmem.NewNativeFactory(), 2, 1, c.prot, c.tagBits, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := stackHandle(t, s, 0)
+			w := stackHandle(t, s, 1)
+			if !w.Push(100) {
+				t.Fatal("setup Push(100) failed")
+			}
+			fired := false
+			r.ReadStall = func() {
+				if fired {
+					return
+				}
+				fired = true
+				// The writer runs to completion inside the reader's stall:
+				// pop the node the reader is looking at, recycle it under a
+				// new value.  (Under hp/epoch the exhaustion path drains
+				// eagerly — the stalled reader holds no protection, so the
+				// node still recycles.)
+				if v, ok := w.Pop(); !ok || v != 100 {
+					t.Errorf("stall-window Pop = (%d, %v), want (100, true)", v, ok)
+				}
+				if !w.Push(999) {
+					t.Error("stall-window Push(999) failed")
+				}
+			}
+			v, ok := r.Peek()
+			r.ReadStall = nil
+
+			switch {
+			case c.prot == Raw && c.rc == nil:
+				if !fired {
+					t.Fatal("fast path never reached the stall point")
+				}
+				if !ok || v != 100 {
+					t.Errorf("Peek = (%d, %v); value-blind raw is documented to accept the recycled node's pre-recycle snapshot (100, true)", v, ok)
+				}
+			case c.prot == Raw:
+				// fastOK is off: the hook never fires, the writer never runs,
+				// and the guarded peek returns the undisturbed top.
+				if fired {
+					t.Error("raw under a reclaimer must not take the fast path")
+				}
+				if !ok || v != 100 {
+					t.Errorf("guarded Peek = (%d, %v), want (100, true)", v, ok)
+				}
+			default:
+				if !fired {
+					t.Fatal("fast path never reached the stall point")
+				}
+				// The recycle bumped the head guard twice under the reader:
+				// the torn attempt is rejected and the retry sees the
+				// current top.
+				if !ok || v != 999 {
+					t.Errorf("Peek = (%d, %v): a sound regime let the pre-recycle snapshot through, want the post-recycle (999, true)", v, ok)
+				}
+			}
+			if a := s.Audit(); a.Corrupt() {
+				t.Errorf("structural audit after the script: %s", a)
+			}
+		})
+	}
+}
+
+// TestQueuePeekTornReadMatrix is the queue shape of the same script, with a
+// sharper victim outcome: the reader stalls holding the front value while
+// the writer dequeues it, recycles its node through a second enqueue, and
+// dequeues again — returning the head word to the reader's armed index with
+// the queue now *empty*.  Raw+none validates the restored head and reports
+// the long-dequeued value as the front of an empty queue; the sound regimes
+// reject the attempt and the retry sees a consistent empty snapshot.
+func TestQueuePeekTornReadMatrix(t *testing.T) {
+	for _, c := range readPathConfigs() {
+		t.Run(c.name, func(t *testing.T) {
+			var opts []StructOption
+			if c.rc != nil {
+				opts = append(opts, WithReclaimer(c.rc))
+			}
+			// Capacity 1 (one usable node beyond the dummy): the writer's
+			// enqueue must recycle the retired dummy, and its second dequeue
+			// swings the head back onto that original index.
+			q, err := NewQueue(shmem.NewNativeFactory(), 2, 1, c.prot, c.tagBits, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := q.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := q.Handle(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w.Enq(100) {
+				t.Fatal("setup Enq(100) failed")
+			}
+			fired := false
+			r.ReadStall = func() {
+				if fired {
+					return
+				}
+				fired = true
+				if v, ok := w.Deq(); !ok || v != 100 {
+					t.Errorf("stall-window Deq = (%d, %v), want (100, true)", v, ok)
+				}
+				if !w.Enq(999) {
+					t.Error("stall-window Enq(999) failed")
+				}
+				if v, ok := w.Deq(); !ok || v != 999 {
+					t.Errorf("stall-window Deq = (%d, %v), want (999, true)", v, ok)
+				}
+			}
+			v, ok := r.Peek()
+			r.ReadStall = nil
+
+			switch {
+			case c.prot == Raw && c.rc == nil:
+				if !fired {
+					t.Fatal("fast path never reached the stall point")
+				}
+				if !ok || v != 100 {
+					t.Errorf("Peek = (%d, %v); value-blind raw is documented to report the dequeued value at the head of an empty queue (100, true)", v, ok)
+				}
+			case c.prot == Raw:
+				if fired {
+					t.Error("raw under a reclaimer must not take the fast path")
+				}
+				if !ok || v != 100 {
+					t.Errorf("guarded Peek = (%d, %v), want (100, true)", v, ok)
+				}
+			default:
+				if !fired {
+					t.Fatal("fast path never reached the stall point")
+				}
+				// The queue is empty by the time the stalled attempt
+				// validates: the sound regimes reject it and the retry
+				// reports a consistent miss.
+				if ok {
+					t.Errorf("Peek = (%d, true) on an empty queue: the torn attempt escaped the fence", v)
+				}
+			}
+			if a := q.Audit(); a.Corrupt() {
+				t.Errorf("structural audit after the script: %s", a)
+			}
+		})
+	}
+}

@@ -166,6 +166,12 @@ type StackHandle struct {
 	pending  int // node loaded by PopBegin
 	next     int // its successor, as read by PopBegin
 	offerIdx int // node parked by ElimOffer
+
+	// ReadStall, when non-nil, runs inside every fast-path Peek attempt
+	// right after the payload read and before the validating fence — the
+	// deterministic stall point the torn-peek scripts interleave a writer
+	// into.  Test/experiment hook, like the map Handle's ReadStall.
+	ReadStall func()
 }
 
 // Push pushes v.  It returns false when the node pool is exhausted.
@@ -326,6 +332,9 @@ func (h *StackHandle) Peek() (Word, bool) {
 		top, clean := guard.ReadConsistent(h.head, peekRetries, func(w Word) {
 			if w != 0 {
 				v = h.s.value[int(w)].Read(h.pid)
+			}
+			if h.ReadStall != nil {
+				h.ReadStall()
 			}
 		})
 		if clean {

@@ -79,6 +79,7 @@ var throughputExperiments = []struct {
 	{"E12", func() (*Table, error) { return E12Reclaim("all", "all") }},
 	{"E13", func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
 	{"E14", func() (*Table, error) { return E14ReadScaling("all", "all") }},
+	{"E15", func() (*Table, error) { return E15GrowthMatrix(0) }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot

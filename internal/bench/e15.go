@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/guard"
+	"abadetect/internal/load"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
+)
+
+// growthStats is the seam a growable structure instance exposes to the E15
+// table (see kv's mapInstance.GrowthStats).
+type growthStats interface {
+	GrowthStats() (splits, appends, retries int64, capNow int)
+}
+
+// e15Tier is one key-space magnitude of the growth matrix.  The small tier
+// runs the full regime × reclaimer cross; the larger tiers keep the sound
+// regimes that the small tier shows clean, because a 10M-op cell exists to
+// prove the ceiling is reachable, not to re-demonstrate raw's corruption at
+// greater expense.
+type e15Tier struct {
+	keys, ops int
+	regimes   []registry.GuardSpec
+	schemes   []string
+}
+
+// e15InitialCapacity is every growth cell's starting pool size: small enough
+// that a 10k-key cell already crosses several segment-append and
+// directory-split thresholds, so every tier measures resizes, not a
+// pre-provisioned map.
+const e15InitialCapacity = 1024
+
+// e15Tiers is the key sweep 10k → 1M.  The 1M-key tier drives 10M operations
+// into a map that must grow ~1000x past its initial capacity while serving
+// them — the ROADMAP's "millions of keys under live traffic" head-on.
+func e15Tiers() []e15Tier {
+	all := []registry.GuardSpec{
+		{Regime: guard.Raw},
+		{Regime: guard.Tagged, TagBits: 16},
+		{Regime: guard.LLSC},
+		{Regime: guard.Detector},
+	}
+	sound := []registry.GuardSpec{
+		{Regime: guard.Tagged, TagBits: 16},
+		{Regime: guard.LLSC},
+	}
+	headline := []registry.GuardSpec{{Regime: guard.Tagged, TagBits: 16}}
+	return []e15Tier{
+		{keys: 10_000, ops: 400_000, regimes: all, schemes: []string{"none", "hp", "epoch"}},
+		{keys: 100_000, ops: 1_000_000, regimes: sound, schemes: []string{"hp", "epoch"}},
+		{keys: 1_000_000, ops: 10_000_000, regimes: headline, schemes: []string{"hp", "epoch"}},
+	}
+}
+
+// E15GrowthMatrix measures split-ordered map growth under live traffic: the
+// map starts at a 1024-node pool and one-bucket-per-node directory, and a
+// write-leaning keyed workload (40/50/10 over a uniform key space) forces it
+// through geometric node-segment appends and recursive directory splits up
+// to a ceiling 50% above the key space — while every get, put, and delete
+// runs concurrently with the resizes.  Tiers sweep the key space 10k → 1M
+// (the 1M-key tier issues 10M operations); maxKeys trims the sweep for smoke
+// runs (0 = the full sweep).
+//
+// The columns to watch: appends and splits must be nonzero (the cell grew),
+// exhausted in the outcome should sit near appends (each append is triggered
+// by exactly one alloc miss; anything larger is reclaimer lag, not a growth
+// failure), and p999 is where a stop-the-world resize would show up as a
+// millisecond-scale spike; split-ordered growth has no such phase, so the
+// tail should look like the traffic, not like the resizes.  resize-stalls
+// counts directory doublings lost to a concurrent winner — contended-resize
+// work that was retried, never a pause.
+func E15GrowthMatrix(maxKeys int) (*Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "growth matrix: split-ordered map growth + geometric pool expansion under live traffic, keys 10k→1M",
+		Header: []string{"implementation", "kind", "workload", "keys", "ops", "ns/op", "goodput", "p999", "splits", "appends", "resize-stalls", "outcome"},
+	}
+	im, ok := registry.Lookup("map")
+	if !ok {
+		return nil, fmt.Errorf("bench: E15 needs the registered map structure")
+	}
+	const workers = 2
+	ran := false
+	for _, tier := range e15Tiers() {
+		if maxKeys > 0 && tier.keys > maxKeys {
+			t.AddNote("keys=%d tier skipped by the -grow-keys cap (%d).", tier.keys, maxKeys)
+			continue
+		}
+		ran = true
+		for _, spec := range tier.regimes {
+			for _, scheme := range tier.schemes {
+				rim := registry.MustLookup(scheme)
+				row, err := growRun(im, spec, rim, tier, workers)
+				if err != nil {
+					return nil, fmt.Errorf("bench: E15 %s+%s keys=%d: %w", spec, scheme, tier.keys, err)
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	if !ran {
+		return nil, fmt.Errorf("bench: E15: the -grow-keys cap %d admits no tier (smallest is 10000)", maxKeys)
+	}
+	t.AddNote("every cell starts at a %d-node pool and grows to a ceiling 50%% above its key space: appends counts geometric node-segment appends, splits counts directory doublings, resize-stalls counts doublings lost to a concurrent winner (retried work, never a pause).", e15InitialCapacity)
+	t.AddNote("the workload is the write-leaning growth profile (40/50/10, uniform keys, no prepopulation) — the map must grow *into* the key space while serving it; exhausted counts alloc attempts that found no free node, and each segment append is triggered by exactly one such miss — so exhausted≈appends means every miss was immediately repaired by growth, while epoch's large counts are reclaimer lag (retirees parked in limbo while allocators spin), not a growth failure.")
+	t.AddNote("p999 is the stop-the-world detector: a rehash phase would spike it by orders of magnitude; split-ordered growth moves no node and rehashes nothing, so the tail tracks traffic contention. This run had GOMAXPROCS=%d, so cells measure time-sliced concurrency, not parallelism.", runtime.GOMAXPROCS(0))
+	t.AddNote("larger tiers keep only sound regimes: raw's growth-path ABA is proven deterministically by the resize scenario (kv.MapGrowABAScenario), so a 10M-op victim cell would only re-roll the dice at 25x the cost.")
+	return t, nil
+}
+
+// growRun drives one growth cell and audits at quiescence.
+func growRun(im registry.Impl, spec registry.GuardSpec, rim registry.Impl, tier e15Tier, workers int) ([]string, error) {
+	f := shmem.NewNativeFactory()
+	mk, err := registry.NewGuardMaker(f, workers, spec)
+	if err != nil {
+		return nil, err
+	}
+	ceiling := tier.keys + tier.keys/2
+	inst, err := im.NewStructure(f, workers, e15InitialCapacity, mk, apps.InstanceOptions{
+		Reclaim: rim.NewReclaimer,
+		GrowTo:  ceiling,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := load.GrowthProfile(tier.keys, tier.ops, workers)
+	res, err := load.Run(inst, p)
+	if err != nil {
+		return nil, err
+	}
+	corrupt, detail := inst.Audit()
+	ps := inst.PoolStats()
+	var splits, appends, retries int64
+	capNow := 0
+	if gs, ok := inst.(growthStats); ok {
+		splits, appends, retries, capNow = gs.GrowthStats()
+	}
+	outcome := fmt.Sprintf("corrupt=%v prevented-ABA=%d exhausted=%d cap=%d→%d",
+		corrupt, inst.GuardMetrics().NearMisses, ps.Exhaustions, e15InitialCapacity, capNow)
+	if corrupt {
+		outcome += " (" + detail + ")"
+	}
+	_, _, p999 := res.Latency.Percentiles()
+	return []string{
+		im.ID + "/" + spec.String() + "+" + rim.ID,
+		string(im.Kind),
+		fmt.Sprintf("%s, %dk keys", p.Workload(), tier.keys/1000),
+		fmt.Sprintf("%d", tier.keys),
+		fmt.Sprintf("%d", res.Ops),
+		fmt.Sprintf("%.1f", float64(res.Elapsed.Nanoseconds())/float64(res.Ops)),
+		fmt.Sprintf("%.2f", res.Goodput()/1e6),
+		fmt.Sprintf("%v", p999),
+		fmt.Sprintf("%d", splits),
+		fmt.Sprintf("%d", appends),
+		fmt.Sprintf("%d", retries),
+		outcome,
+	}, nil
+}

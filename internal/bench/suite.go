@@ -34,6 +34,8 @@ func Experiments() []Experiment {
 			func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
 		{"E14", "read scaling: read-mostly traffic × regime × reclaimer × workers (wait-free read fast paths)",
 			func() (*Table, error) { return E14ReadScaling("all", "all") }},
+		{"E15", "growth matrix: split-ordered map growth + geometric pool expansion, keys 10k→1M under live traffic",
+			func() (*Table, error) { return E15GrowthMatrix(0) }},
 	}
 }
 

@@ -1,0 +1,122 @@
+package kv
+
+import (
+	"fmt"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/shmem"
+)
+
+// growScenarioKeys finds the three keys the resize script needs, by searching
+// the key space at construction time (the script is deterministic but the
+// hash is fixed, so the keys are found, not chosen): ka and kb hash even —
+// bucket 0 once the directory doubles to two buckets, with reversed-hash sort
+// keys preceding every dummy a split can mint — labeled so the global list
+// reads d0 → a → b regardless of insert order; kf hashes odd — bucket 1,
+// sorting after bucket 1's dummy.
+func growScenarioKeys() (ka, kb, kf Word) {
+	var even []Word
+	for k := Word(1); len(even) < 2 || kf == 0; k++ {
+		if hash64(k)&1 == 0 {
+			if len(even) < 2 {
+				even = append(even, k)
+			}
+		} else if kf == 0 {
+			kf = k
+		}
+	}
+	if sortKeyData(even[0]) > sortKeyData(even[1]) {
+		even[0], even[1] = even[1], even[0]
+	}
+	return even[0], even[1], kf
+}
+
+// MapGrowABAScenario plays the resize-under-traffic corruption script: a
+// victim deleter stalls mid-delete on a growing map, the adversary clears the
+// list behind it, the directory doubles, and the new bucket's lazy
+// initialization recycles a freed node into a dummy whose insert commit
+// restores exactly the link word the victim armed.
+//
+// The map grows from one bucket with the node pool at its ceiling (capacity =
+// maxCapacity = 3), so recycling is immediate and the split is the only
+// source of fresh structure.  With the list d0 → a → b in nodes 1, 2, 3:
+//
+//  1. the victim begins Delete(ka): it marks node 2 and stalls holding the
+//     armed unlink next[d0]: 2 → 3;
+//  2. the adversary's Delete(kb) first helps the victim's stalled unlink
+//     (freeing node 2), then unlinks and frees node 3 — the free ring is
+//     [2, 3] and the list is just d0;
+//  3. the directory doubles (the forced split a threshold crossing would
+//     perform);
+//  4. the adversary's Put(kf, ·) lands in the new bucket 1: lazy bucket
+//     initialization allocates node 2 back as bucket 1's dummy, and since the
+//     dummy's sort key places it at the end of the now-empty run, its insert
+//     commit swings next[d0] back to 2<<1 — the victim's armed word, restored
+//     by the growth machinery itself — before the data insert links kf
+//     (node 3) after the dummy and the directory publishes head[1] → 2;
+//  5. the victim resumes: committing next[d0]: 2 → 3 splices the freshly
+//     minted dummy out from under its own bucket iff the guard is fooled — a
+//     raw guard is, leaving head[1] pointing at a node sitting in the free
+//     ring (the audit's BadShortcuts smoking gun); tagged/LL/SC/detector
+//     guards reject with a near-miss.
+//
+// Under a reclaimer the victim's published protection slots keep node 2 (hp
+// and epoch) and node 3 (epoch: limbo behind the victim's pin) out of the
+// allocator, so the adversary's growth path starves at the pool ceiling
+// before the recycle completes, and the stale commit fails on plain
+// inequality — the armed word never repeats — with zero near-misses:
+// prevention by allocation discipline, before the guard ever sees an ABA.
+func MapGrowABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...apps.StructOption) (apps.ScenarioResult, error) {
+	var r apps.ScenarioResult
+	opts = append(opts, apps.WithGrowth(3))
+	m, err := NewMap(f, 2, 3, 1, prot, tagBits, opts...)
+	if err != nil {
+		return r, err
+	}
+	adversary, err := m.Handle(0)
+	if err != nil {
+		return r, err
+	}
+	victim, err := m.Handle(1)
+	if err != nil {
+		return r, err
+	}
+	ka, kb, kf := growScenarioKeys()
+	// Setup: put in sort order so nodes 2 and 3 carry ka and kb — the list is
+	// d0(1) → a(2) → b(3) either way, but the script names nodes.
+	if !adversary.Put(ka, 101) || !adversary.Put(kb, 102) {
+		return r, fmt.Errorf("kv: grow scenario setup puts failed")
+	}
+	// Victim: marks node 2 and stalls before the unlink, holding the armed
+	// commit next[d0]: 2 → 3 — and, when configured, its protection slots on
+	// nodes 1 and 2 (the two its walk traversed).
+	cur, succ, found := victim.DeleteBegin(ka)
+	if !found || cur != 2 || succ != 3 {
+		return r, fmt.Errorf("kv: grow scenario DeleteBegin = (%d,%d,%v), want (2,3,true)", cur, succ, found)
+	}
+	// Adversary: one Delete(kb) clears the whole run — its walk reaches the
+	// marked node 2 first and helps the victim's unlink (freeing it), then
+	// removes the live kb binding (freeing node 3).
+	if !adversary.Delete(kb) {
+		return r, fmt.Errorf("kv: grow scenario Delete(kb) failed")
+	}
+	// The resize: one forced directory doubling under the stalled delete (the
+	// scenario pool is too small for the threshold-derived bucket ceiling, so
+	// the split is forced through the in-package seam).
+	if !m.growBuckets(-1, int(m.grow.size.Read(-1)), true) {
+		return r, fmt.Errorf("kv: grow scenario directory doubling failed")
+	}
+	// The recycle leg: bucket 1 comes alive.  Unprotected, its dummy is node
+	// 2 — the dummy insert restores the victim's armed word — and its first
+	// binding is node 3; under a reclaimer the growth path starves at the
+	// ceiling instead.
+	r.Starved = !adversary.Put(kf, 104)
+	// Victim resumes: the unlink commit splices the new bucket's dummy out
+	// from under its published shortcut iff the guard is fooled.
+	r.Fooled = victim.DeleteCommit()
+	audit := m.Audit()
+	r.Corrupt, r.Detail = audit.Corrupt(), audit.String()
+	r.Guard = m.GuardMetrics()
+	r.Pool = m.PoolStats()
+	return r, nil
+}

@@ -107,6 +107,18 @@ func (in mapInstance) GuardMetrics() guard.Metrics    { return in.m.GuardMetrics
 func (in mapInstance) FreelistMetrics() guard.Metrics { return in.m.FreelistMetrics() }
 func (in mapInstance) PoolStats() apps.PoolStats      { return in.m.PoolStats() }
 
+// GrowthStats exposes the resize counters and the capacity trajectory for
+// the E15 growth matrix: directory splits, node-segment appends, doublings
+// lost to a concurrent winner, and the capacity the map ended at.  All zero
+// motion on a fixed map.
+func (in mapInstance) GrowthStats() (splits, appends, retries int64, capNow int) {
+	if in.m.grow == nil {
+		return 0, 0, 0, in.m.Capacity()
+	}
+	g := in.m.grow
+	return g.splits.Load(), g.appends.Load(), g.retries.Load(), in.m.Capacity()
+}
+
 func (in mapInstance) FastPathStats() apps.FastPathStats {
 	batches, ops := in.m.CombineStats()
 	return apps.FastPathStats{CombinedOps: ops, CombineBatches: batches}

@@ -90,6 +90,12 @@ type Map struct {
 	// path exists to remove.
 	readRetries   *shmem.StripedCounter // torn fast-path attempts restarted
 	readFallbacks *shmem.StripedCounter // Gets that fell back to the guarded path
+
+	// grow is the split-ordered resize state of a map built
+	// apps.WithGrowth; nil selects the fixed-capacity protocol above
+	// untouched (the key/val/next/head slices are then unused — growth mode
+	// keeps every per-node array in a Spine instead; see grow.go).
+	grow *growth
 }
 
 // NewMap builds a map for n processes with the given node capacity and
@@ -109,6 +115,9 @@ func NewMap(f shmem.Factory, n, capacity, buckets int, prot Protection, tagBits 
 	}
 	buckets = nextPow2(buckets)
 	cfg := apps.ResolveStructOptions(f, n, prot, tagBits, opts)
+	if cfg.GrowTo > 0 {
+		return newGrowMap(f, cfg, n, capacity, buckets)
+	}
 	idxBits := shmem.BitsFor(capacity + 1)
 	linkBits := idxBits + 1 // the mark bit rides beside the index
 	m := &Map{
@@ -164,19 +173,57 @@ func nextPow2(v int) int {
 // NumProcs returns n.
 func (m *Map) NumProcs() int { return m.n }
 
-// Capacity returns the node-pool capacity.
-func (m *Map) Capacity() int { return m.capacity }
+// Capacity returns the node-pool capacity — the current growth snapshot for
+// a map built apps.WithGrowth.
+func (m *Map) Capacity() int {
+	if m.grow != nil {
+		return m.grow.capacityNow(-1)
+	}
+	return m.capacity
+}
 
-// Buckets returns the bucket count.
-func (m *Map) Buckets() int { return m.buckets }
+// MaxCapacity returns the node-capacity ceiling: the growth ceiling for a
+// map built apps.WithGrowth, the fixed capacity otherwise.
+func (m *Map) MaxCapacity() int {
+	if m.grow != nil {
+		return m.grow.maxCapacity
+	}
+	return m.capacity
+}
+
+// Growing reports whether the map was built apps.WithGrowth.
+func (m *Map) Growing() bool { return m.grow != nil }
+
+// Buckets returns the bucket count — the current directory size for a map
+// built apps.WithGrowth.
+func (m *Map) Buckets() int {
+	if m.grow != nil {
+		return int(m.grow.size.Read(-1))
+	}
+	return m.buckets
+}
 
 // Protection returns the reference-guard regime.
-func (m *Map) Protection() Protection { return m.head[0].Regime() }
+func (m *Map) Protection() Protection {
+	if m.grow != nil {
+		return m.grow.head.Get(0).Regime()
+	}
+	return m.head[0].Regime()
+}
 
 // GuardMetrics returns the aggregated audit counters of every reference
 // guard (bucket heads and all next pointers).
 func (m *Map) GuardMetrics() guard.Metrics {
 	var agg guard.Metrics
+	if m.grow != nil {
+		for b := 0; b < m.grow.head.Len(); b++ {
+			agg = agg.Add(m.grow.head.Get(b).Metrics())
+		}
+		for i := 1; i < m.grow.next.Len(); i++ {
+			agg = agg.Add(m.grow.next.Get(i).Metrics())
+		}
+		return agg
+	}
 	for _, g := range m.head {
 		agg = agg.Add(g.Metrics())
 	}
@@ -210,11 +257,7 @@ func (m *Map) bucket(k Word) int {
 	if m.mask == 0 {
 		return 0
 	}
-	h := k
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return int(h & m.mask)
+	return int(hash64(k) & m.mask)
 }
 
 // Handle returns process pid's handle.  Handles are single-goroutine.
@@ -226,8 +269,16 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 		m:    m,
 		pid:  pid,
 		lane: shmem.StripeFor(pid),
-		head: make([]guard.Handle, m.buckets),
-		next: make([]guard.Handle, len(m.next)),
+	}
+	if m.grow == nil {
+		h.head = make([]guard.Handle, m.buckets)
+		h.next = make([]guard.Handle, len(m.next))
+	} else {
+		// Growth mode: lazy per-guard handle tables, sized to the current
+		// spines and re-extended after a resize (handles are
+		// single-goroutine, so plain slice growth suffices).
+		h.headG = make([]guard.Handle, m.grow.head.Len())
+		h.nextG = make([]guard.Handle, m.grow.next.Len())
 	}
 	var err error
 	if h.pool, err = m.pool.Handle(pid); err != nil {
@@ -243,7 +294,10 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 	// which is what makes raw+hp/raw+epoch reads sound today.  Raw *without*
 	// a reclaimer already reads unprotected and value-blind on the mainline,
 	// so the fast path changes nothing there.
-	h.fastOK = !h.smr || m.head[0].Regime() != guard.Raw
+	h.fastOK = !h.smr || m.Protection() != guard.Raw
+	if m.grow != nil {
+		return h, nil
+	}
 	for b := range m.head {
 		if h.head[b], err = m.head[b].Handle(pid); err != nil {
 			return nil, err
@@ -267,6 +321,12 @@ type Handle struct {
 	next   []guard.Handle
 	pool   apps.PoolHandle
 	smr    bool // pool defers releases: run the protect/revalidate fence
+
+	// Growth-mode state: lazy handle tables over the guard spines, plus the
+	// amortized threshold-check tick (see grow.go).
+	headG    []guard.Handle
+	nextG    []guard.Handle
+	growTick int
 
 	// ReadStall, when non-nil, runs inside every fast-path read attempt
 	// right after the key load and before the validating fence — the
@@ -415,6 +475,9 @@ func (h *Handle) release(idx, slot int) {
 // traversal (counted in MapAudit.ReadFallbacks), which is lock-free and
 // helps unlink, so progress is never worse than before the fast path.
 func (h *Handle) Get(k Word) (Word, bool) {
+	if h.m.grow != nil {
+		return h.getGrow(k)
+	}
 	if h.fastOK {
 		if v, ok, done := h.getFast(k); done {
 			return v, ok
@@ -526,6 +589,9 @@ func (h *Handle) get(k Word) (Word, bool) {
 // MaxSpin budget ran out) — a fresh node is needed even to overwrite, since
 // keys and values are immutable per node.
 func (h *Handle) Put(k, v Word) bool {
+	if h.m.grow != nil {
+		return h.putG(k, v)
+	}
 	if h.m.comb != nil {
 		if _, ok, done := h.combined(apps.OpPut, k, v); done {
 			return ok
@@ -568,6 +634,9 @@ func (h *Handle) put(k, v Word) bool {
 
 // Delete removes k's binding.  It reports whether any binding was removed.
 func (h *Handle) Delete(k Word) bool {
+	if h.m.grow != nil {
+		return h.delG(k)
+	}
 	if h.m.comb != nil {
 		if _, ok, done := h.combined(apps.OpDelete, k, 0); done {
 			return ok
@@ -635,6 +704,9 @@ func (h *Handle) sweep(b int, k Word, keep int, spins *int) bool {
 // the stall, so it cannot re-enter the allocator — and therefore cannot be
 // recycled back under the predecessor link — until the commit clears it.
 func (h *Handle) DeleteBegin(k Word) (cur, succ int, found bool) {
+	if h.m.grow != nil {
+		return h.deleteBeginG(k)
+	}
 	spins := 0
 	for {
 		prev, c, curNext, ok := h.seek(h.m.bucket(k), k, 0, &spins)
@@ -695,10 +767,27 @@ type MapAudit struct {
 	// ReadFallbacks is the number of Gets that exhausted the fast path's
 	// retry budget and fell back to the guarded traversal.
 	ReadFallbacks int64
+
+	// Growth-mode fields (zero for a fixed-capacity map).
+	//
+	// Dummies is the number of split-order dummy nodes on the global list.
+	Dummies int
+	// Disordered reports a split-order violation: some node's sort key is
+	// below its predecessor's — structural damage only an ABA (or a resize
+	// bug) can cause.
+	Disordered bool
+	// BadShortcuts counts initialized bucket shortcuts that don't land on
+	// their own, list-linked dummy.
+	BadShortcuts int
+	// Splits counts directory doublings; SegmentAppends counts node-space
+	// extensions; ResizeRetries counts lost resize CAS races.
+	Splits, SegmentAppends, ResizeRetries int64
 }
 
 // Corrupt reports whether the audit found structural damage.
-func (a MapAudit) Corrupt() bool { return len(a.Doubled) > 0 || a.Lost > 0 || a.Cycle }
+func (a MapAudit) Corrupt() bool {
+	return len(a.Doubled) > 0 || a.Lost > 0 || a.Cycle || a.Disordered || a.BadShortcuts > 0
+}
 
 // String renders the audit result.
 func (a MapAudit) String() string {
@@ -707,6 +796,10 @@ func (a MapAudit) String() string {
 	if a.ReadRetries > 0 || a.ReadFallbacks > 0 {
 		s += fmt.Sprintf(" readRetries=%d readFallbacks=%d", a.ReadRetries, a.ReadFallbacks)
 	}
+	if a.Dummies > 0 || a.Splits > 0 || a.SegmentAppends > 0 {
+		s += fmt.Sprintf(" dummies=%d disordered=%v badShortcuts=%d splits=%d appends=%d resizeRetries=%d",
+			a.Dummies, a.Disordered, a.BadShortcuts, a.Splits, a.SegmentAppends, a.ResizeRetries)
+	}
 	return s
 }
 
@@ -714,6 +807,9 @@ func (a MapAudit) String() string {
 // (no handle mid-operation); it reads with the observer pid, taking no
 // scheduled steps under the simulator.
 func (m *Map) Audit() MapAudit {
+	if m.grow != nil {
+		return m.auditG()
+	}
 	var a MapAudit
 	seen := make(map[int]int, m.capacity)
 	for b := range m.head {

@@ -134,6 +134,10 @@ type Profile struct {
 	// 5%/5% write trickle, the read-scaling shape of E14.  Instances without
 	// the seam fall back to their fixed Worker step.
 	ReadMostly bool
+	// NoPrepopulate skips the keyed warm-up puts.  The growth profiles set
+	// it: prepopulating a growable map would perform every resize before the
+	// measured run, and the resizes under live traffic are the experiment.
+	NoPrepopulate bool
 }
 
 // Workload renders the profile as the experiment tables' workload column.
@@ -201,6 +205,23 @@ func Profiles() []Profile {
 			Keys: 64, ZipfS: 1.1, GetPct: 80, PutPct: 10, DeletePct: 10, Seed: 0x5eed6,
 			Queue: 64, Policy: Block,
 		},
+	}
+}
+
+// GrowthProfile is the E15 traffic shape: a closed-loop, write-leaning mix
+// (40/50/10) over a key space the structure must *grow into* — the put-heavy
+// skew keeps the live count climbing through segment-append and
+// directory-split thresholds while gets and deletes run concurrently with
+// every resize.  It is parameterized rather than registered: the E15 matrix
+// sweeps the key space across orders of magnitude, and registering each
+// point would multiply the E13 matrix for no new information.
+func GrowthProfile(keys, totalOps, workers int) Profile {
+	return Profile{
+		ID:      fmt.Sprintf("grow-%dk", keys/1000),
+		Summary: "closed loop, uniform keys over a growing key space, 40/50/10",
+		Arrival: Closed, Workers: workers, OpsPerWorker: totalOps / workers,
+		Keys: keys, ZipfS: 0, GetPct: 40, PutPct: 50, DeletePct: 10, Seed: 0x5eed8,
+		NoPrepopulate: true,
 	}
 }
 
@@ -379,7 +400,7 @@ func Run(inst apps.Instance, p Profile) (Result, error) {
 		}
 		samplers[pid] = s
 	}
-	if keyed != nil {
+	if keyed != nil && !p.NoPrepopulate {
 		// Prepopulate through worker 0 so the mix's reads have something to
 		// hit; a declined put just means the pool is smaller than the key
 		// space, which the run tolerates.

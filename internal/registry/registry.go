@@ -286,9 +286,9 @@ var impls = []Impl{
 	{
 		ID:           "map",
 		Kind:         KindStructure,
-		Summary:      "sharded lock-free hash map: guarded bucket heads and marked next links over a recycled node pool",
-		Theorem:      "§1 motivation (Michael [25]-style hash map)",
-		Space:        "B + 2·cap guards + 2·cap registers",
+		Summary:      "lock-free hash map: guarded buckets and marked links over a recycled node pool; grows split-ordered to a ceiling",
+		Theorem:      "§1 motivation (Michael [25] / Shalev–Shachnai split-ordered hash map)",
+		Space:        "B + 2·cap guards + 3·cap registers (cap, B grow geometrically to the ceiling)",
 		SpaceFn:      func(n int) int { return 0 }, // capacity/bucket-dependent, not m(n)
 		Steps:        "O(chain) + guard per link hop",
 		Bounded:      true,

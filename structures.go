@@ -104,6 +104,11 @@ type StructureAudit struct {
 	// and Gets that exhausted the retry budget and fell back to the guarded
 	// lock-free traversal.  Both zero on clean read-mostly traffic.
 	ReadRetries, ReadFallbacks int64
+	// Splits, SegmentAppends, and ResizeRetries are the map's resize
+	// counters (zero unless built WithGrowth): bucket-directory doublings,
+	// geometric node-segment appends, and directory doublings lost to a
+	// concurrent winner.
+	Splits, SegmentAppends, ResizeRetries int64
 }
 
 // poolAudit merges the allocator counters into a structure audit.
@@ -198,6 +203,23 @@ func WithLocalCache(capacity int) Option {
 	return func(o *options) { o.localCache = capacity }
 }
 
+// WithGrowth lets a map grow its node pool and bucket directory up to
+// maxCapacity keys, with no stop-the-world: the node space extends by
+// geometric segment appends (existing nodes never move — new segments extend
+// the slab addressing), and the bucket directory doubles by split-ordered
+// recursive splitting (a new bucket is a lazily initialized shortcut into the
+// one global sorted list; no node is ever rehashed or migrated).  Both the
+// split path and the append path run through guards of the selected
+// Protection, so resizing is exactly as ABA-(in)vulnerable as the traffic
+// around it — the deterministic resize corruption script provably fools
+// ProtectionRaw and is rejected by every sounder regime.  Guards and tag
+// widths are sized for maxCapacity up front, so the m(n) ledger prices the
+// ceiling, not the current occupancy.  Structures without a growable shape
+// accept the option and ignore it.
+func WithGrowth(maxCapacity int) Option {
+	return func(o *options) { o.growTo = maxCapacity }
+}
+
 // WithCombining turns on flat combining for a map's hot buckets: one lock
 // word plus n publication slots per bucket; a writer that wins the lock
 // applies the other contenders' published operations back-to-back on a
@@ -237,6 +259,9 @@ func (o options) structOpts(mk guard.Maker) ([]apps.StructOption, error) {
 	}
 	if o.combining {
 		opts = append(opts, apps.WithCombining())
+	}
+	if o.growTo != 0 {
+		opts = append(opts, apps.WithGrowth(o.growTo))
 	}
 	if o.reclaim != "" {
 		// An explicit "none" still goes through the registry, so the
@@ -468,8 +493,15 @@ type Map struct {
 // bucket count defaults to the capacity rounded up to a power of two.
 func NewMap(n, capacity int, opts ...Option) (*Map, error) {
 	o := buildOptions(opts)
-	// A link word carries the node index plus the mark bit.
-	if err := o.checkTagBits(shmem.BitsFor(capacity+1) + 1); err != nil {
+	// A link word carries the node index plus the mark bit — and with
+	// WithGrowth the index must address the ceiling, not the initial
+	// capacity, so the tag-width check prices the largest map this one can
+	// become.
+	refCap := capacity
+	if o.growTo > refCap {
+		refCap = o.growTo
+	}
+	if err := o.checkTagBits(shmem.BitsFor(refCap+1) + 1); err != nil {
 		return nil, err
 	}
 	f := o.factory()
@@ -491,10 +523,19 @@ func NewMap(n, capacity int, opts ...Option) (*Map, error) {
 // NumProcs returns n.
 func (m *Map) NumProcs() int { return m.inner.NumProcs() }
 
-// Capacity returns the node-pool capacity.
+// Capacity returns the node-pool capacity — the current one, when the map
+// was built WithGrowth and has appended segments.
 func (m *Map) Capacity() int { return m.inner.Capacity() }
 
-// Buckets returns the bucket count.
+// MaxCapacity returns the growth ceiling (equal to Capacity unless built
+// WithGrowth).
+func (m *Map) MaxCapacity() int { return m.inner.MaxCapacity() }
+
+// Growing reports whether the map was built WithGrowth.
+func (m *Map) Growing() bool { return m.inner.Growing() }
+
+// Buckets returns the bucket count — the current directory size, when the
+// map was built WithGrowth and has split.
 func (m *Map) Buckets() int { return m.inner.Buckets() }
 
 // Protection returns the guard regime.
@@ -517,6 +558,7 @@ func (m *Map) Audit() StructureAudit {
 	out := poolAudit(a.Corrupt(), a.String(), m.inner.PoolStats())
 	out.CombineBatches, out.CombinedOps = m.inner.CombineStats()
 	out.ReadRetries, out.ReadFallbacks = a.ReadRetries, a.ReadFallbacks
+	out.Splits, out.SegmentAppends, out.ResizeRetries = a.Splits, a.SegmentAppends, a.ResizeRetries
 	return out
 }
 

@@ -465,3 +465,96 @@ func TestStructureWaitFreeReadPath(t *testing.T) {
 		t.Errorf("uncontended reads counted retries=%d fallbacks=%d, want 0/0", a.ReadRetries, a.ReadFallbacks)
 	}
 }
+
+// TestStructureMapGrowth drives the public growth seam: a map built
+// WithGrowth starts small, crosses its segment-append and directory-split
+// thresholds under concurrent keyed traffic, and stays structurally clean
+// with every binding intact — while the resize counters surface through
+// Audit and the capacity accessors report the moving figure against the
+// fixed ceiling.
+func TestStructureMapGrowth(t *testing.T) {
+	for _, tc := range publicProtections() {
+		t.Run(tc.name, func(t *testing.T) {
+			const (
+				n       = 4
+				initial = 32
+				ceiling = 4096
+				keys    = 600
+			)
+			m, err := abadetect.NewMap(n, initial,
+				abadetect.WithProtection(tc.prot),
+				abadetect.WithGrowth(ceiling),
+				abadetect.WithReclamation("hp"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Growing() || m.MaxCapacity() != ceiling {
+				t.Fatalf("Growing=%v MaxCapacity=%d, want true/%d", m.Growing(), m.MaxCapacity(), ceiling)
+			}
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				h, err := m.Handle(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(pid int, h *abadetect.MapHandle) {
+					defer wg.Done()
+					for k := pid; k < keys; k += n {
+						if !h.Put(uint64(k), uint64(1000+k)) {
+							t.Errorf("Put(%d) declined mid-growth", k)
+							return
+						}
+						if v, ok := h.Get(uint64(k)); !ok || v != uint64(1000+k) {
+							t.Errorf("Get(%d) = (%d,%v) right after Put", k, v, ok)
+							return
+						}
+					}
+				}(pid, h)
+			}
+			wg.Wait()
+			if got := m.Capacity(); got <= initial || got > ceiling {
+				t.Errorf("Capacity = %d, want grown within (%d, %d]", got, initial, ceiling)
+			}
+			h, err := m.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < keys; k++ {
+				if v, ok := h.Get(uint64(k)); !ok || v != uint64(1000+k) {
+					t.Fatalf("Get(%d) = (%d,%v) after growth, want (%d,true)", k, v, ok, 1000+k)
+				}
+			}
+			a := m.Audit()
+			if a.Corrupt {
+				t.Fatalf("audit corrupt after growth: %s", a.Detail)
+			}
+			if a.SegmentAppends == 0 {
+				t.Errorf("no segment appends recorded: %s", a.Detail)
+			}
+			if a.Splits == 0 {
+				t.Errorf("no directory splits recorded: %s", a.Detail)
+			}
+		})
+	}
+}
+
+// TestStructureMapGrowthTagWidth: the tag-width check prices the ceiling,
+// not the initial capacity — a tag that fits the small map must be rejected
+// when the growth ceiling's reference bits would no longer share the word.
+func TestStructureMapGrowthTagWidth(t *testing.T) {
+	// 16 initial nodes need 6 reference bits (index+mark); a 2^40 ceiling
+	// needs 42.  A 32-bit tag fits the former and must be rejected against
+	// the latter.
+	if _, err := abadetect.NewMap(2, 16,
+		abadetect.WithProtection(abadetect.ProtectionTagged),
+		abadetect.WithTagBits(32)); err != nil {
+		t.Fatalf("32-bit tag on the fixed map rejected: %v", err)
+	}
+	if _, err := abadetect.NewMap(2, 16,
+		abadetect.WithProtection(abadetect.ProtectionTagged),
+		abadetect.WithTagBits(32),
+		abadetect.WithGrowth(1<<40)); err == nil {
+		t.Fatal("32-bit tag accepted against a 2^40 growth ceiling")
+	}
+}
