@@ -1,5 +1,5 @@
 // Command abalab runs the experiment suite of the reproduction — one
-// experiment per paper artifact (E1-E15) — and reports on the registered
+// experiment per paper artifact (E1-E16) — and reports on the registered
 // implementations.  Experiments and implementations are both enumerated
 // from their registries (internal/bench.Experiments, internal/registry), so
 // this command never needs editing when either grows.
@@ -23,20 +23,23 @@
 //	abalab -scale map       # read-scaling matrix (E14) for one structure
 //	abalab -grow            # growth matrix (E15): map growth 10k→1M keys under live traffic
 //	abalab -grow -grow-keys 10000   # ... capped to the 10k-key tier (CI smoke)
+//	abalab -pressure full   # reclamation-pressure matrix (E16): limbo occupancy and alloc-miss lag
+//	abalab -pressure smoke  # ... trimmed per-cell ops (CI smoke)
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
 // objects, E11 application matrix, E12 reclamation matrix, E13 traffic
-// matrix, E14 read-scaling matrix, E15 growth matrix) and diff them against
-// a committed snapshot (BENCH_baseline.json is the seed, BENCH_pr2.json the
-// slab/devirtualized substrate, BENCH_pr3.json adds the application matrix,
-// BENCH_pr4.json the reclamation matrix, BENCH_pr5.json the map and traffic
-// matrices, BENCH_pr6.json the fast-path variants and backpressure
-// profiles, BENCH_pr7.json the wait-free read paths and the read-scaling
-// matrix, BENCH_pr8.json the growth matrix):
+// matrix, E14 read-scaling matrix, E15 growth matrix, E16 pressure matrix)
+// and diff them against a committed snapshot (BENCH_baseline.json is the
+// seed, BENCH_pr2.json the slab/devirtualized substrate, BENCH_pr3.json adds
+// the application matrix, BENCH_pr4.json the reclamation matrix,
+// BENCH_pr5.json the map and traffic matrices, BENCH_pr6.json the fast-path
+// variants and backpressure profiles, BENCH_pr7.json the wait-free read
+// paths and the read-scaling matrix, BENCH_pr8.json the growth matrix,
+// BENCH_pr9.json the reclamation-pressure matrix):
 //
-//	abalab -bench-compare BENCH_pr8.json
-//	abalab -json > BENCH_pr9.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr9.json
+//	abalab -json > BENCH_pr10.json   # record a new snapshot
 package main
 
 import (
@@ -73,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		scale    = fs.String("scale", "", "run the read-scaling matrix (E14): a structure ID or 'all'; combine with -reclaim to filter the scheme")
 		grow     = fs.Bool("grow", false, "run the growth matrix (E15): split-ordered map growth + geometric pool expansion under live traffic")
 		growKeys = fs.Int("grow-keys", 0, "for -grow: cap the key-space sweep at this many keys (0 = the full 10k→1M sweep)")
+		pressure = fs.String("pressure", "", "run the reclamation-pressure matrix (E16): 'full' or 'smoke' (trimmed per-cell ops for CI)")
 		n        = fs.Int("n", 8, "process count for -impl")
 		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 		compare  = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
@@ -113,6 +117,17 @@ func run(args []string, out io.Writer) error {
 
 	if *grow {
 		tbl, err := bench.E15GrowthMatrix(*growKeys)
+		if err != nil {
+			return err
+		}
+		return emit([]*bench.Table{tbl})
+	}
+
+	if *pressure != "" {
+		if *pressure != "full" && *pressure != "smoke" {
+			return fmt.Errorf("-pressure wants 'full' or 'smoke', got %q", *pressure)
+		}
+		tbl, err := bench.E16PressureMatrix(*pressure == "smoke")
 		if err != nil {
 			return err
 		}
@@ -231,6 +246,8 @@ func printIndex(out io.Writer) error {
 	for _, im := range registry.Reclaimers() {
 		fmt.Fprintf(out, "  %-22s %s\n", im.ID, im.Summary)
 	}
+	fmt.Fprintf(out, "  %-22s %s\n", "epoch:<k>",
+		"epoch with a fixed advance cadence of k retires (e.g. epoch:64); the default cadence is min(2n, cap/n)")
 	fmt.Fprintln(out)
 	fmt.Fprintln(out, "load profiles (traffic generator, -load / E13):")
 	for _, p := range load.Profiles() {

@@ -260,7 +260,7 @@ func TestBenchComparePR3CoversApps(t *testing.T) {
 		for _, row := range tbl.Rows {
 			// The map structure postdates the PR3 snapshot, so its rows are
 			// legitimately "new"; anything else must line up.
-			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") {
+			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") && !pr9Row(row[0]) {
 				t.Errorf("%s row %v missing from the committed snapshot", tbl.ID, row)
 			}
 			if row[4] == "removed" {
@@ -281,6 +281,11 @@ func pr6Row(key string) bool {
 	}
 	return strings.HasPrefix(key, "stack/")
 }
+
+// pr9Row reports whether a row key names a cell that postdates the pre-PR9
+// snapshots: registering the epoch:auto reclaimer expanded every
+// registry-driven matrix with new scheme cells.
+func pr9Row(key string) bool { return strings.Contains(key, "epoch:auto") }
 
 func TestBenchComparePR5CoversTraffic(t *testing.T) {
 	// The PR5 snapshot carries all four throughput tables — E10 base
@@ -312,7 +317,7 @@ func TestBenchComparePR5CoversTraffic(t *testing.T) {
 			t.Errorf("%s has no rows", tbl.ID)
 		}
 		for _, row := range tbl.Rows {
-			if row[4] == "new" && !(tbl.ID == "E13-compare" && pr6Row(row[0])) {
+			if row[4] == "new" && !pr9Row(row[0]) && !(tbl.ID == "E13-compare" && pr6Row(row[0])) {
 				t.Errorf("%s row %v did not match the committed snapshot", tbl.ID, row)
 			}
 			if row[4] == "removed" {
@@ -349,7 +354,7 @@ func TestBenchComparePR6CoversTraffic(t *testing.T) {
 			t.Fatalf("table %d is %q, want %q", i, tbl.ID, wantIDs[i])
 		}
 		for _, row := range tbl.Rows {
-			if row[4] == "new" || row[4] == "removed" {
+			if (row[4] == "new" && !pr9Row(row[0])) || row[4] == "removed" {
 				t.Errorf("%s row %v does not line up with the PR6 snapshot", tbl.ID, row)
 			}
 		}
@@ -433,7 +438,7 @@ func TestBenchComparePR7CoversReadScaling(t *testing.T) {
 			t.Errorf("%s has no rows", tbl.ID)
 		}
 		for _, row := range tbl.Rows {
-			if row[4] == "new" || row[4] == "removed" {
+			if (row[4] == "new" && !pr9Row(row[0])) || row[4] == "removed" {
 				t.Errorf("%s row %v does not line up with the PR7 snapshot", tbl.ID, row)
 			}
 		}
@@ -594,7 +599,7 @@ func TestBenchComparePR4CoversReclaim(t *testing.T) {
 		for _, row := range tbl.Rows {
 			// Map rows postdate the PR4 snapshot (see the PR3 test); every
 			// pre-existing cell must still line up.
-			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") {
+			if row[4] == "new" && !strings.HasPrefix(row[0], "map/") && !pr9Row(row[0]) {
 				t.Errorf("%s row %v missing from the committed snapshot", tbl.ID, row)
 			}
 			if row[4] == "removed" {
@@ -647,6 +652,56 @@ func TestBenchPR8SnapshotCarriesGrowthMatrix(t *testing.T) {
 	}
 }
 
+func TestBenchPR9SnapshotCarriesPressureMatrix(t *testing.T) {
+	// The PR9 snapshot is the first to carry E16.  As with PR8, the full
+	// -bench-compare re-run happens report-only in CI; here we pin the
+	// committed snapshot's shape — all seven throughput tables present, the
+	// E16 table carrying the pressure columns the comparison keys on, and
+	// the headline contrast recorded: the lazy fixed cadence starves
+	// allocations on the write-leaning cells while epoch:auto does not.
+	snapshot, err := bench.LoadTables("../../BENCH_pr9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+		if _, ok := bench.FindTable(snapshot, id); !ok {
+			t.Errorf("BENCH_pr9.json lacks the %s table", id)
+		}
+	}
+	e16, _ := bench.FindTable(snapshot, "E16")
+	if e16 == nil {
+		return
+	}
+	cols := map[string]int{}
+	for i, h := range e16.Header {
+		cols[h] = i
+	}
+	for _, col := range []string{"ns/op", "p999", "limbo", "alloc-miss", "scans", "skips", "batches", "tune", "outcome"} {
+		if _, ok := cols[col]; !ok {
+			t.Errorf("E16 snapshot lacks the %s column", col)
+		}
+	}
+	// stack runs write-lean only (5 schemes); the map runs both profiles.
+	if len(e16.Rows) != 15 {
+		t.Errorf("E16 snapshot has %d rows, want 15", len(e16.Rows))
+	}
+	miss := map[string]string{}
+	for _, row := range e16.Rows {
+		if strings.Contains(row[cols["outcome"]], "corrupt=true") {
+			t.Errorf("snapshot cell %s corrupted under sound guards: %s", row[0], row[cols["outcome"]])
+		}
+		miss[row[0]] = row[cols["alloc-miss"]]
+	}
+	for _, structID := range []string{"stack", "map"} {
+		if miss[structID+"/epoch:64/write-lean"] == "0" {
+			t.Errorf("%s: snapshot's lazy-cadence foil recorded no alloc-misses", structID)
+		}
+		if got := miss[structID+"/epoch:auto/write-lean"]; got != "0" {
+			t.Errorf("%s: snapshot records %s epoch:auto alloc-misses, want 0", structID, got)
+		}
+	}
+}
+
 func TestGrowMatrixFlag(t *testing.T) {
 	// -grow runs E15; -grow-keys caps the sweep to its smallest tier so the
 	// smoke stays cheap.  A cap below the smallest tier must error rather
@@ -676,5 +731,42 @@ func TestGrowMatrixFlag(t *testing.T) {
 	}
 	if err := run([]string{"-grow", "-grow-keys", "5"}, &buf); err == nil {
 		t.Error("want error for a cap below the smallest tier")
+	}
+}
+
+func TestPressureMatrixFlag(t *testing.T) {
+	// -pressure smoke runs E16 with trimmed per-cell ops; an unknown tier
+	// must error rather than silently run the full matrix.
+	var buf bytes.Buffer
+	if err := run([]string{"-pressure", "smoke", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatalf("-pressure -json is not valid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E16" {
+		t.Fatalf("unexpected JSON shape: %+v", tables)
+	}
+	for _, col := range []string{"limbo", "alloc-miss", "scans", "skips", "batches", "tune"} {
+		if !strings.Contains(strings.Join(tables[0].Header, ","), col) {
+			t.Errorf("pressure matrix lacks the %s column", col)
+		}
+	}
+	schemes := map[string]bool{}
+	for _, row := range tables[0].Rows {
+		schemes[strings.SplitN(row[0], "/", 3)[1]] = true
+	}
+	for _, s := range []string{"none", "hp", "epoch", "epoch:64", "epoch:auto"} {
+		if !schemes[s] {
+			t.Errorf("pressure matrix lacks scheme %q", s)
+		}
+	}
+	if err := run([]string{"-pressure", "medium-rare"}, &buf); err == nil {
+		t.Error("want error for an unknown pressure tier")
 	}
 }

@@ -329,8 +329,8 @@ func replayRawStackScript(t *testing.T, opts ...Option) (bool, StructureAudit) {
 // TestDifferentialReclaimers mirrors the bounded-tag foil pattern on the
 // reclamation axis: enumerating the registered reclaimers from the
 // catalog, the "none" pass-through must reproduce the deterministic
-// raw-stack corruption while "hp" and "epoch" must prevent it — the same
-// schedule, three allocator disciplines, opposite outcomes.
+// raw-stack corruption while "hp", "epoch", and "epoch:auto" must prevent
+// it — the same schedule, four allocator disciplines, opposite outcomes.
 func TestDifferentialReclaimers(t *testing.T) {
 	schemes := 0
 	for _, info := range Implementations() {
@@ -352,7 +352,7 @@ func TestDifferentialReclaimers(t *testing.T) {
 			}
 		})
 	}
-	if schemes != 3 {
-		t.Errorf("catalog lists %d reclaimers, want 3 (hp, epoch, none)", schemes)
+	if schemes != 4 {
+		t.Errorf("catalog lists %d reclaimers, want 4 (hp, epoch, epoch:auto, none)", schemes)
 	}
 }

@@ -200,8 +200,9 @@
 // # Safe memory reclamation
 //
 // WithReclamation selects the defense the guards never see: "hp" (hazard
-// pointers), "epoch" (epoch-based reclamation), or "none" (the explicit
-// immediate-reuse pass-through, also the default).  Under hp or epoch a
+// pointers), "epoch" (epoch-based reclamation), "epoch:k" (a pinned epoch
+// advance cadence), "epoch:auto" (a self-tuning cadence), or "none" (the
+// explicit immediate-reuse pass-through, also the default).  Under hp or epoch a
 // removed node retires into limbo and re-enters the allocator only once no
 // process protection can cover it, so the §1 recycle-inside-the-window ABA
 // never forms — a ProtectionRaw structure passes the deterministic
@@ -223,6 +224,24 @@
 // retired/reclaimed/deferred counts, reclamation stalls, and pool
 // exhaustions.  The abalab -reclaim command runs the structure × regime ×
 // reclaimer matrix (experiment E12).
+//
+// Limbo — the retired-but-not-freed residue — is itself m(n) spent to buy
+// t(n): every deferred node is pool capacity rented so that Retire can be
+// O(1) instead of paying the sweep inline.  The rent compounds with the
+// epoch advance cadence: a handle that accumulates k retires per advance
+// amortizes the O(n) announcement sweep k-fold but parks up to n·k nodes,
+// and on a tight pool that lag surfaces as allocation misses no local
+// drain can recover, because the stranded nodes sit in other handles'
+// pending lists.  "epoch:auto" closes the loop — allocator backpressure
+// and limbo pressure snap the cadence to 1, empty drains relax it
+// geometrically toward the min(2n, capacity/n) ceiling — keeping epoch's
+// n+1-register m(n) while tracking hp's alloc-miss behavior under
+// write-leaning churn.  Retirement is batched (RetireBatch through the
+// pool seam: the map flushes each operation's kill set at guard release),
+// and hp's threshold sweeps reuse a sorted hazard snapshot versioned by a
+// striped publication counter when no Protect or Clear intervened.  The
+// abalab -pressure command prices all of this as the reclamation-pressure
+// matrix (experiment E16).
 //
 // # Scaling out
 //

@@ -226,7 +226,9 @@ func TestHotPathAllocsMapRegimes(t *testing.T) {
 		{"detector", []Option{WithProtection(ProtectionDetector)}},
 	}
 	for _, re := range regimes {
-		for _, scheme := range []string{"none", "hp", "epoch"} {
+		// epoch:auto rides along to pin the adaptive cadence bookkeeping and
+		// the kv batched-retire flush (RetireBatch) to the same zero.
+		for _, scheme := range []string{"none", "hp", "epoch", "epoch:auto"} {
 			t.Run(re.name+"+"+scheme, func(t *testing.T) {
 				opts := append([]Option{WithBackend(SlabBackend()), WithGuardedPool(),
 					WithReclamation(scheme)}, re.opts...)

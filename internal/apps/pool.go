@@ -58,6 +58,11 @@ type PoolHandle interface {
 	// Release returns a node to the pool — immediately, or through the
 	// reclaimer's deferred-free path when one is attached.
 	Release(idx int)
+	// ReleaseBatch returns a whole batch of nodes in one call, preserving
+	// order, with the per-release bookkeeping (mutex acquisitions, free-list
+	// commits, reclaimer stamping) amortized over the batch.  The slice is
+	// copied out, never retained.
+	ReleaseBatch(idxs []int)
 	// Protect publishes that this process may still dereference idx
 	// (reclaim slot semantics); a no-op without a reclaimer.
 	Protect(slot, idx int)
@@ -133,10 +138,11 @@ func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, id
 		p = newCachedPool(p, cfg.LocalCache)
 	}
 	if cfg.Reclaim != nil {
-		// Size the reclaimer for the growth ceiling up front: hp/epoch use
-		// capacity only to clamp retirement thresholds and pre-size limbo
-		// buckets, so building for GrowTo keeps them correct across every
-		// later Pool.Grow without a resize protocol of their own.
+		// Size the reclaimer for the growth ceiling up front: limbo buffers
+		// never reallocate across Pool.Grow.  The cadence clamps then follow
+		// the *live* capacity through the Resizer seam — here for the seed
+		// capacity, and again on every growth — so a young pool is not
+		// drained on the ceiling's lazy cadence.
 		recCap := capacity
 		if cfg.GrowTo > recCap {
 			recCap = cfg.GrowTo
@@ -144,6 +150,9 @@ func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, id
 		rec, err := cfg.Reclaim(f, name, n, recCap)
 		if err != nil {
 			return nil, fmt.Errorf("apps: reclaimer: %w", err)
+		}
+		if rz, ok := rec.(reclaim.Resizer); ok {
+			rz.Resize(capacity)
 		}
 		p = &reclaimedPool{inner: p, rec: rec, exhaustions: shmem.NewStripedCounter()}
 	}
@@ -214,6 +223,18 @@ func (p *fifoPool) Release(idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.releaseLocked(idx)
+}
+
+// ReleaseBatch returns a batch under one mutex acquisition, in order.
+func (p *fifoPool) ReleaseBatch(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, idx := range idxs {
+		p.releaseLocked(idx)
+	}
 }
 
 func (p *fifoPool) releaseLocked(idx int) {
@@ -420,6 +441,27 @@ func (h *guardedPoolHandle) Release(idx int) {
 	}
 }
 
+// ReleaseBatch chains the batch locally — idxs[0] -> ... -> idxs[last] —
+// and swings the free-list head once: one guard commit per batch instead of
+// one per node.  The internal links are writes to allocator-owned nodes no
+// other process can reach, so only the head swing needs the retry loop.
+func (h *guardedPoolHandle) ReleaseBatch(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	for i := 0; i < len(idxs)-1; i++ {
+		h.p.next.Get(idxs[i]).Write(h.pid, Word(idxs[i+1]))
+	}
+	last := idxs[len(idxs)-1]
+	for {
+		top, _ := h.h.Load()
+		h.p.next.Get(last).Write(h.pid, top)
+		if h.h.Commit(Word(idxs[0])) {
+			return
+		}
+	}
+}
+
 func (h *guardedPoolHandle) Protect(int, int) {}
 func (h *guardedPoolHandle) Clear()           {}
 func (h *guardedPoolHandle) Drain() int       { return 0 }
@@ -456,7 +498,8 @@ func (p *reclaimedPool) Handle(pid int) (PoolHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &reclaimedHandle{p: p, inner: ih, rh: rh, lane: shmem.StripeFor(pid)}
+	press, _ := rh.(reclaim.Pressured)
+	h := &reclaimedHandle{p: p, inner: ih, rh: rh, press: press, lane: shmem.StripeFor(pid)}
 	if p.handles == nil {
 		p.handles = make(map[int]*reclaimedHandle)
 	}
@@ -480,23 +523,36 @@ func (p *reclaimedPool) Snapshot() []int {
 	return append(p.inner.Snapshot(), p.rec.Limbo()...)
 }
 
-// Grow passes through: the reclaimer was sized for the growth ceiling at
-// construction (its capacity only clamps retirement thresholds), so limbo
-// accounting needs no adjustment when the node space extends.
-func (p *reclaimedPool) Grow(newCapacity int) (int, error) { return p.inner.Grow(newCapacity) }
+// Grow extends the inner pool, then tells the reclaimer the new live
+// capacity so its capacity-derived cadence clamps are recomputed — a grown
+// pool must not keep draining on the pre-growth cadence.
+func (p *reclaimedPool) Grow(newCapacity int) (int, error) {
+	got, err := p.inner.Grow(newCapacity)
+	if err == nil {
+		if rz, ok := p.rec.(reclaim.Resizer); ok {
+			rz.Resize(got)
+		}
+	}
+	return got, err
+}
 
 type reclaimedHandle struct {
 	p     *reclaimedPool
 	inner PoolHandle
 	rh    reclaim.Handle
-	lane  int // counter stripe, shmem.StripeFor(pid)
+	press reclaim.Pressured // rh's backpressure hook; nil when not offered
+	lane  int               // counter stripe, shmem.StripeFor(pid)
 }
 
-// Alloc takes a free node; on exhaustion it drains the reclaimer once and
-// retries, so deferred nodes flow back before failure is reported.
+// Alloc takes a free node; on exhaustion it reports the miss to the
+// reclaimer's backpressure hook (an adaptive scheme tightens its cadence),
+// drains once, and retries, so deferred nodes flow back before failure.
 func (h *reclaimedHandle) Alloc() int {
 	idx := h.inner.Alloc()
 	if idx == 0 {
+		if h.press != nil {
+			h.press.AllocMiss()
+		}
 		if h.rh.Drain() > 0 {
 			idx = h.inner.Alloc()
 		}
@@ -507,11 +563,12 @@ func (h *reclaimedHandle) Alloc() int {
 	return idx
 }
 
-func (h *reclaimedHandle) Release(idx int)       { h.rh.Retire(idx) }
-func (h *reclaimedHandle) Protect(slot, idx int) { h.rh.Protect(slot, idx) }
-func (h *reclaimedHandle) Clear()                { h.rh.Clear() }
-func (h *reclaimedHandle) Drain() int            { return h.rh.Drain() }
-func (h *reclaimedHandle) Reclaiming() bool      { return true }
+func (h *reclaimedHandle) Release(idx int)         { h.rh.Retire(idx) }
+func (h *reclaimedHandle) ReleaseBatch(idxs []int) { h.rh.RetireBatch(idxs) }
+func (h *reclaimedHandle) Protect(slot, idx int)   { h.rh.Protect(slot, idx) }
+func (h *reclaimedHandle) Clear()                  { h.rh.Clear() }
+func (h *reclaimedHandle) Drain() int              { return h.rh.Drain() }
+func (h *reclaimedHandle) Reclaiming() bool        { return true }
 
 // cachedPool fronts a shared pool with bounded per-process free stacks
 // (WithLocalCache): an alloc/release pair that stays on one process is two
@@ -604,18 +661,24 @@ func (h *cachedHandle) Alloc() int {
 }
 
 // Release pushes onto the local stack, spilling the oldest (coldest) half
-// to the shared pool when the bound is hit.
+// to the shared pool in one batch when the bound is hit.
 func (h *cachedHandle) Release(idx int) {
 	if len(h.local) == cap(h.local) {
 		spill := cap(h.local)/2 + 1
-		for _, s := range h.local[:spill] {
-			h.inner.Release(s)
-		}
+		h.inner.ReleaseBatch(h.local[:spill])
 		n := copy(h.local, h.local[spill:])
 		h.local = h.local[:n]
 		h.p.spills.Add(h.lane, int64(spill))
 	}
 	h.local = append(h.local, idx)
+}
+
+// ReleaseBatch feeds the local stack; overflow spills ride the same batched
+// path Release uses.
+func (h *cachedHandle) ReleaseBatch(idxs []int) {
+	for _, idx := range idxs {
+		h.Release(idx)
+	}
 }
 
 func (h *cachedHandle) Protect(slot, idx int) { h.inner.Protect(slot, idx) }

@@ -46,6 +46,94 @@ func poolBooks(t *testing.T, p Pool, held map[int]bool, capacity int, when strin
 	}
 }
 
+// TestPoolGrowRetunesReclaimer pins the capacity seam: NewPool hands the
+// reclaimer (built for the growth ceiling) the *initial* capacity, and
+// Pool.Grow hands it each new live capacity (reclaim.Resizer), so the
+// capacity-derived drain cadence always reflects the pool the allocator is
+// actually running — a young pool drains eagerly, a grown pool lazily.
+// The cadence is observed behaviorally: the retire count at which a
+// scan/drain attempt fires, before and after growth.
+func TestPoolGrowRetunesReclaimer(t *testing.T) {
+	const (
+		n       = 4
+		initial = 8
+		ceiling = 64
+	)
+	for _, tc := range []struct {
+		name   string
+		maker  reclaim.Maker
+		before int // drain cadence at the initial capacity
+		after  int // drain cadence once grown to the ceiling
+	}{
+		// hp: threshold = min(2·n·Slots, c/n) = min(16, 8/4) young, min(16,
+		// 64/4) grown.
+		{"hp", reclaim.NewHazard, 2, 16},
+		// epoch: threshold = min(2n, c/n) = min(8, 2) young, min(8, 16)
+		// grown.
+		{"epoch", reclaim.NewEpoch, 2, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := shmem.NewNativeFactory()
+			mk := guard.NewMaker(f, n, guard.LLSC, 0)
+			cfg := StructConfig{Maker: mk, Reclaim: tc.maker, GrowTo: ceiling}
+			p, err := NewPool(f, cfg, "tune", n, initial, shmem.BitsFor(ceiling+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := p.Handle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// sweeps counts drain attempts: epoch advance passes plus hazard
+			// scans, cached or not (a threshold retire may be served from
+			// hp's snapshot cache — still a cadence firing).
+			sweeps := func() int64 {
+				m := p.Stats().Reclaim
+				return m.Scans + m.SkippedScans
+			}
+			// cycle allocates k nodes and retires them all.
+			cycle := func(k int) {
+				t.Helper()
+				idxs := make([]int, 0, k)
+				for i := 0; i < k; i++ {
+					idx := h.Alloc()
+					if idx == 0 {
+						t.Fatalf("alloc %d/%d failed", i+1, k)
+					}
+					idxs = append(idxs, idx)
+				}
+				for _, idx := range idxs {
+					h.Release(idx)
+				}
+			}
+			// Young pool: the cadence must derive from the LIVE capacity,
+			// not the construction ceiling the buffers are sized for.
+			cycle(tc.before - 1)
+			if s := sweeps(); s != 0 {
+				t.Fatalf("drain before the young-pool cadence (%d retires): sweeps=%d", tc.before-1, s)
+			}
+			cycle(1)
+			base := sweeps()
+			if base == 0 {
+				t.Fatalf("no drain at the young-pool cadence %d", tc.before)
+			}
+			// Grown pool: the cadence must be recomputed for the new
+			// capacity, not left at the young pool's eager setting.
+			if got, err := p.Grow(ceiling); err != nil || got != ceiling {
+				t.Fatalf("Grow(%d) = %d, %v", ceiling, got, err)
+			}
+			cycle(tc.after - 1)
+			if s := sweeps(); s != base {
+				t.Fatalf("drain before the grown cadence (%d retires): sweeps=%d, want %d", tc.after-1, s, base)
+			}
+			cycle(1)
+			if s := sweeps(); s <= base {
+				t.Fatalf("no drain at the grown cadence %d: sweeps=%d", tc.after, s)
+			}
+		})
+	}
+}
+
 // TestPoolGrowthBooks drives every pool composition (fifo/guarded base,
 // hp/epoch reclaimer, with and without a local cache) through a geometric
 // growth sequence under live alloc/release traffic and checks that Snapshot

@@ -160,6 +160,12 @@ type QueueHandle struct {
 	pendingHead int // head loaded by DeqBegin
 	pendingNext int // its successor, as read by DeqBegin
 
+	// relBuf is the commit path's scratch for the pool's batch-release
+	// seam: a dequeue retires exactly one dummy, and routing it through
+	// ReleaseBatch keeps the structure on the reclaimer's amortized batch
+	// path without allocating per commit.
+	relBuf [1]int
+
 	// testEnqAfterLink, when non-nil, runs right after Enq's linearizing
 	// next-pointer commit and before the tail help — a deterministic stall
 	// point for the helping-interleaving tests.
@@ -430,7 +436,8 @@ func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
 		if h.smr {
 			h.pool.Clear()
 		}
-		h.pool.Release(hd)
+		h.relBuf[0] = hd
+		h.pool.ReleaseBatch(h.relBuf[:])
 		return v, true
 	}
 	if h.smr {

@@ -61,6 +61,11 @@ type CompareResult struct {
 	// one worker.  Zero when either side lacks the column, so snapshots from
 	// before the read-scaling matrix diff without it.
 	BaseScale, CurScale float64
+	// BaseLimbo..CurMiss carry the reclamation-pressure columns for tables
+	// that have them (E16): limbo occupancy at quiescence and alloc-miss
+	// counts.  -1 when either side lacks the columns, so snapshots from
+	// before the pressure matrix diff without them.
+	BaseLimbo, CurLimbo, BaseMiss, CurMiss int64
 	// BacklogDominated marks rows whose tail percentiles measure open-loop
 	// backlog depth rather than service time (unthrottled arrival processes,
 	// see E13); such rows are reported but never counted against the tail
@@ -80,6 +85,7 @@ var throughputExperiments = []struct {
 	{"E13", func() (*Table, error) { return E13LoadMatrix("traffic", "all", "all") }},
 	{"E14", func() (*Table, error) { return E14ReadScaling("all", "all") }},
 	{"E15", func() (*Table, error) { return E15GrowthMatrix(0) }},
+	{"E16", func() (*Table, error) { return E16PressureMatrix(false) }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot
@@ -134,6 +140,9 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	withTail := baseP999 != nil && curP999 != nil
 	baseScale, curScale := scaleColumn(base, "scale"), scaleColumn(fresh, "scale")
 	withScale := baseScale != nil && curScale != nil
+	baseLimbo, curLimbo := countColumn(base, "limbo"), countColumn(fresh, "limbo")
+	baseMiss, curMiss := countColumn(base, "alloc-miss"), countColumn(fresh, "alloc-miss")
+	withPressure := baseLimbo != nil && curLimbo != nil && baseMiss != nil && curMiss != nil
 	outcomes := textColumn(fresh, "outcome")
 
 	t := &Table{
@@ -147,6 +156,9 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	if withScale {
 		t.Header = append(t.Header, "snapshot scale", "current scale")
 	}
+	if withPressure {
+		t.Header = append(t.Header, "snapshot limbo", "current limbo", "snapshot miss", "current miss")
+	}
 	pad := func(cells []string, verdict string) []string {
 		cells = append(cells, verdict)
 		if withTail {
@@ -154,6 +166,9 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 		}
 		if withScale {
 			cells = append(cells, "-", "-")
+		}
+		if withPressure {
+			cells = append(cells, "-", "-", "-", "-")
 		}
 		return cells
 	}
@@ -190,6 +205,10 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 			CurP999:        curP999[key],
 			BaseScale:      baseScale[key],
 			CurScale:       curScale[key],
+			BaseLimbo:      -1,
+			CurLimbo:       -1,
+			BaseMiss:       -1,
+			CurMiss:        -1,
 		}
 		r.BacklogDominated = strings.Contains(outcomes[key], "backlog-dominated")
 		cells := []string{row[0], row[2],
@@ -217,6 +236,23 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 				}
 			}
 		}
+		if withPressure {
+			read := func(m map[string]int64) (int64, string) {
+				if v, ok := m[key]; ok {
+					return v, fmt.Sprintf("%d", v)
+				}
+				return -1, "-"
+			}
+			var cell string
+			r.BaseLimbo, cell = read(baseLimbo)
+			cells = append(cells, cell)
+			r.CurLimbo, cell = read(curLimbo)
+			cells = append(cells, cell)
+			r.BaseMiss, cell = read(baseMiss)
+			cells = append(cells, cell)
+			r.CurMiss, cell = read(curMiss)
+			cells = append(cells, cell)
+		}
 		results = append(results, r)
 		switch {
 		case r.Speedup >= 1.05:
@@ -242,6 +278,9 @@ func compareOne(id string, base *Table, run func() (*Table, error)) (*Table, []C
 	}
 	if withScale {
 		t.AddNote("scale is each run's own ops/s-per-worker vs its 1-worker cell — a within-run ratio, so it diffs meaningfully even when absolute ns/op drifts between machines.")
+	}
+	if withPressure {
+		t.AddNote("limbo and miss diff the reclamation-pressure counters (retired-not-freed residue at quiescence, allocations that found the free list empty): a scheme change that parks more of the pool or starves more allocations shows up here before it shows up in ns/op.")
 	}
 	return t, results, nil
 }
@@ -296,6 +335,33 @@ func scaleColumn(t *Table, name string) map[string]float64 {
 			continue
 		}
 		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		if err != nil {
+			continue // "-" or a foreign format: leave the row out of the diff
+		}
+		out[rowKey(row)] = v
+	}
+	return out
+}
+
+// countColumn indexes an integer counter column (e.g. "limbo", "alloc-miss")
+// by row key, or returns nil when the table has no such column — which is how
+// snapshots from before the pressure matrix (E16) opt out of the limbo diff.
+func countColumn(t *Table, name string) map[string]int64 {
+	col := -1
+	for i, h := range t.Header {
+		if h == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) <= col {
+			continue
+		}
+		v, err := strconv.ParseInt(row[col], 10, 64)
 		if err != nil {
 			continue // "-" or a foreign format: leave the row out of the diff
 		}

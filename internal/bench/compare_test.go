@@ -200,6 +200,55 @@ func TestCompareScaleColumn(t *testing.T) {
 	}
 }
 
+func TestComparePressureColumns(t *testing.T) {
+	// When both sides carry the E16 limbo/alloc-miss columns the diff
+	// renders all four cells and the results carry the counts; a snapshot
+	// from before the pressure matrix simply compares throughput.
+	header := []string{"implementation", "kind", "workload", "ops", "ns/op", "p999", "limbo", "alloc-miss", "outcome"}
+	fresh := &Table{ID: "E16", Header: header, Rows: [][]string{
+		{"stack/epoch:auto/write-lean", "structure", "closed loop", "16000", "10.0", "1µs", "0", "0", "corrupt=false"},
+		{"stack/epoch:64/write-lean", "structure", "closed loop", "16000", "12.0", "2µs", "96", "6000", "corrupt=false"},
+	}}
+	base := &Table{ID: "E16", Header: header, Rows: [][]string{
+		{"stack/epoch:auto/write-lean", "structure", "closed loop", "16000", "11.0", "1µs", "32", "0", "corrupt=false"},
+		{"stack/epoch:64/write-lean", "structure", "closed loop", "16000", "11.0", "2µs", "96", "5000", "corrupt=false"},
+	}}
+	tbl, results, err := compareOne("E16", base, func() (*Table, error) { return fresh, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Header[len(tbl.Header)-4:]
+	if got[0] != "snapshot limbo" || got[3] != "current miss" {
+		t.Fatalf("pressure columns not rendered: header %v", tbl.Header)
+	}
+	if len(results) != 2 {
+		t.Fatalf("compared %d rows, want 2", len(results))
+	}
+	if r := results[1]; r.BaseLimbo != 96 || r.CurLimbo != 96 || r.BaseMiss != 5000 || r.CurMiss != 6000 {
+		t.Errorf("lazy-cadence counters = %d/%d limbo, %d/%d miss", r.BaseLimbo, r.CurLimbo, r.BaseMiss, r.CurMiss)
+	}
+
+	// Strip the counter columns from the snapshot: the diff must fall back
+	// to throughput-only without error, with -1 sentinels in the results.
+	old := &Table{ID: "E16", Header: header[:6], Rows: [][]string{
+		base.Rows[0][:6], base.Rows[1][:6],
+	}}
+	tbl, results, err = compareOne("E16", old, func() (*Table, error) { return fresh, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tbl.Header {
+		if h == "snapshot limbo" {
+			t.Error("pressure column rendered against a pre-E16 snapshot")
+		}
+	}
+	for _, r := range results {
+		if r.BaseLimbo != -1 || r.CurMiss != -1 {
+			t.Errorf("pressure counters leaked from a snapshot without the columns: %+v", r)
+		}
+	}
+}
+
 func TestCompareBacklogDominatedTailGate(t *testing.T) {
 	// A 3x tail regression counts against the gate on a closed-loop row but
 	// not on one tagged backlog-dominated (unthrottled open loop): those

@@ -36,6 +36,8 @@ func Experiments() []Experiment {
 			func() (*Table, error) { return E14ReadScaling("all", "all") }},
 		{"E15", "growth matrix: split-ordered map growth + geometric pool expansion, keys 10k→1M under live traffic",
 			func() (*Table, error) { return E15GrowthMatrix(0) }},
+		{"E16", "reclamation-pressure matrix: scheme × structure × profile, limbo occupancy and alloc-miss lag",
+			func() (*Table, error) { return E16PressureMatrix(false) }},
 	}
 }
 

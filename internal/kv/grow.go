@@ -363,12 +363,19 @@ retry:
 // segment append and a retry, until the ceiling.  Re-reading the capacity
 // snapshot before each attempt is what keeps the exhaustion report honest
 // mid-resize — Alloc failing against capacity another process already
-// extended must retry, not report a false "exhausted".
+// extended must retry, not report a false "exhausted".  A miss with kills
+// still sitting in the operation's retire buffer flushes them first and
+// retries — those nodes are freeable once handed to the reclaimer, and
+// growing (or reporting exhaustion) while holding them would be spurious.
 func (h *Handle) allocNode() int {
 	for {
 		seen := h.m.grow.capacityNow(h.pid)
 		if idx := h.pool.Alloc(); idx != 0 {
 			return idx
+		}
+		if len(h.retireBuf) > 0 {
+			h.flushRetires()
+			continue
 		}
 		if !h.m.growNodes(seen) {
 			return 0
@@ -567,11 +574,13 @@ func (h *Handle) putG(k, v Word) bool {
 	for {
 		if h.spent(spins) {
 			h.retire(idx) // never linked: hand the node straight back
+			h.flushRetires()
 			return false
 		}
 		prev, cur, _, ok := h.walkG(b, sk, k, true, 0, &spins)
 		if !ok {
 			h.retire(idx)
+			h.flushRetires()
 			return false
 		}
 		// Reset the recycled node's link; only we touch an unlinked node.

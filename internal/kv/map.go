@@ -345,31 +345,56 @@ type Handle struct {
 	pendingPrev guard.Handle
 	pendingCur  int
 	pendingSucc Word
+
+	// retireBuf batches this operation's unlinked nodes (the helped unlinks
+	// of a traversal plus the sweep's own kills) into one RetireBatch at the
+	// operation boundary — one epoch stamp and one cadence check for the
+	// whole kill set instead of one per node.  SMR only: without a reclaimer
+	// releases stay immediate, keeping the FIFO recycling order the
+	// deterministic corruption scripts depend on.
+	retireBuf []int
 }
 
 // spent reports whether a bounded handle has used up its spin budget.
 func (h *Handle) spent(spins int) bool { return h.MaxSpin > 0 && spins >= h.MaxSpin }
 
-// endOp closes an operation's reclamation window: protections drop, and a
-// miss — this process's idle moment — drains its own deferred nodes so an
-// idle reader cannot strand every node in limbo while writers starve.
+// endOp closes an operation's reclamation window: protections drop, the
+// operation's buffered kills retire as one batch, and a miss — this
+// process's idle moment — drains its own deferred nodes so an idle reader
+// cannot strand every node in limbo while writers starve.  The flush runs
+// after the Clear so this process's own protections cannot defer its own
+// retirements.
 func (h *Handle) endOp(miss bool) {
 	if !h.smr {
 		return
 	}
 	h.pool.Clear()
+	h.flushRetires()
 	if miss {
 		h.pool.Drain()
 	}
 }
 
-// retire hands a node the caller exclusively owns back to the pool.  All
-// protections are cleared first so this process's own hazard or pin cannot
-// defer the retirement (callers restart their traversal afterwards, so no
-// stale trust survives the clear).
+// flushRetires hands the operation's buffered kills to the pool in one
+// batch.  Callers that bypass endOp (the budget-exhausted put) call it
+// directly so no node is ever stranded in the private buffer.
+func (h *Handle) flushRetires() {
+	if len(h.retireBuf) > 0 {
+		h.pool.ReleaseBatch(h.retireBuf)
+		h.retireBuf = h.retireBuf[:0]
+	}
+}
+
+// retire hands a node the caller exclusively owns back to the pool.  Under
+// a reclaimer all protections are cleared first — this process's own hazard
+// or pin must not defer the retirement (callers restart their traversal
+// afterwards, so no stale trust survives the clear) — and the node joins
+// the operation's retire batch, flushed at the operation boundary.
 func (h *Handle) retire(idx int) {
 	if h.smr {
 		h.pool.Clear()
+		h.retireBuf = append(h.retireBuf, idx)
+		return
 	}
 	h.pool.Release(idx)
 }
@@ -454,13 +479,18 @@ retry:
 	}
 }
 
-// release returns a node this process just unlinked.  The node's own
-// protection slot is dropped first (a published index would defer its
-// retirement against ourselves); the other slot — still covering the
-// predecessor — stays up because the traversal continues from it.
+// release returns a node this process just unlinked mid-traversal.  The
+// node's own protection slot is dropped first (a published index would
+// defer its retirement against ourselves); the other slot — still covering
+// the predecessor — stays up because the traversal continues from it.
+// Under a reclaimer the node joins the operation's retire batch: it is
+// unreachable and not yet allocatable (the buffer is private), so deferring
+// the retirement to the operation boundary only delays reuse, never safety.
 func (h *Handle) release(idx, slot int) {
 	if h.smr {
 		h.pool.Protect(slot, 0)
+		h.retireBuf = append(h.retireBuf, idx)
+		return
 	}
 	h.pool.Release(idx)
 }
@@ -614,6 +644,7 @@ func (h *Handle) put(k, v Word) bool {
 	for {
 		if h.spent(spins) {
 			h.retire(idx) // never linked: hand the node straight back
+			h.flushRetires()
 			return false
 		}
 		spins++

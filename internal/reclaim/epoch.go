@@ -2,6 +2,7 @@ package reclaim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"abadetect/internal/shmem"
 )
@@ -15,27 +16,55 @@ import (
 // to have announced the epoch being left.
 //
 // Space is n+1 shared objects (n announcements + the epoch counter) plus
-// three deferred-free buckets per process — asymptotically the same m(n)
+// the deferred-free lists per process — asymptotically the same m(n)
 // as the paper's Figure 4 detector, amusingly.  Time is O(1) per
 // Protect/Clear/Retire with an O(n) announcement sweep amortized over
-// `threshold` retires.  The catch is the scheme's famous failure mode: the
-// epoch counter is unbounded, and one stalled process pinned at epoch g
-// blocks the second advance forever — every retired node in the system
-// stays in limbo until the straggler moves.  hp pays more space for
-// immunity to exactly that.
+// `threshold` retires.  Retire itself touches no shared word at all: a
+// retired node lands in a private unstamped list, and the drain boundary
+// reads the global epoch once to stamp the whole batch (a later stamp is
+// always conservative — the node only waits longer).  The catch is the
+// scheme's famous failure mode: the epoch counter is unbounded, and one
+// stalled process pinned at epoch g blocks the second advance forever —
+// every retired node in the system stays in limbo until the straggler
+// moves.  hp pays more space for immunity to exactly that.
 type epochReclaimer struct {
-	n         int
-	capacity  int
-	threshold int
-	epoch     shmem.WritableCAS // global epoch counter (unbounded)
-	ann       []shmem.Register  // ann[pid] = epoch<<1 | active
-	m         metrics
-	limboT    limboTracker
+	n        int
+	capacity int    // construction ceiling; pre-sizes the deferred lists
+	scheme   string // "epoch" or "epoch:auto"
+	fixedK   int    // explicit cadence (epoch:k); 0 = derived from capacity
+	auto     bool   // self-tuning cadence (epoch:auto)
+
+	// threshold is the advance cadence derived from the *live* capacity
+	// (Resize recomputes it after Pool.Grow); under epoch:auto it is the
+	// cadence ceiling the per-handle k relaxes toward.  Atomic because
+	// handles read it while a concurrent Grow rewrites it.
+	threshold atomic.Int64
+	liveCap   atomic.Int64
+
+	epoch  shmem.WritableCAS // global epoch counter (unbounded)
+	ann    []shmem.Register  // ann[pid] = epoch<<1 | active
+	m      metrics
+	limboT limboTracker
+}
+
+// epochThreshold is the default advance cadence for a live capacity c:
+// sweep the announcements once per ~n retires so the advance cost amortizes
+// to O(1), clamped to c/n like hp so the n pending lists can never swallow
+// the whole pool between drains.
+func epochThreshold(n, c int) int {
+	t := 2 * n
+	if limit := c / n; t > limit {
+		t = limit
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // NewEpoch builds the epoch-based reclaimer over f: one global epoch CAS,
-// n announcement registers, three deferred buckets per process, with the
-// default advance cadence of min(2n, capacity/n) retires.
+// n announcement registers, per-process deferred lists, with the default
+// advance cadence of min(2n, capacity/n) retires.
 func NewEpoch(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
 	return NewEpochEvery(0)(f, name, n, capacity)
 }
@@ -50,37 +79,66 @@ func NewEpoch(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) 
 // untouched, so a pinned straggler is as visible as ever.
 func NewEpochEvery(k int) Maker {
 	return func(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
-		if err := checkArgs(n, capacity); err != nil {
-			return nil, err
-		}
 		if k < 0 {
 			return nil, fmt.Errorf("reclaim: epoch advance cadence must be >= 0, got %d", k)
 		}
-		r := &epochReclaimer{
-			n:        n,
-			capacity: capacity,
-			epoch:    f.NewCAS(name+".epoch", 0),
-			ann:      make([]shmem.Register, n),
-		}
-		if k > 0 {
-			r.threshold = k
-		} else {
-			// Sweep the announcements once per ~n retires so the advance cost
-			// amortizes to O(1); clamp to capacity/n like hp so the n pending
-			// lists can never swallow the whole pool between drains.
-			r.threshold = 2 * n
-			if limit := capacity / n; r.threshold > limit {
-				r.threshold = limit
-			}
-			if r.threshold < 1 {
-				r.threshold = 1
-			}
-		}
-		for i := range r.ann {
-			r.ann[i] = f.NewRegister(fmt.Sprintf("%s.ann[%d]", name, i), 0)
-		}
-		return r, nil
+		return newEpoch(f, name, n, capacity, k, false)
 	}
+}
+
+// NewEpochAuto builds the self-tuning epoch reclaimer ("epoch:auto"): the
+// same n+1 shared registers and drain protocol as NewEpoch, but each
+// handle's advance cadence k floats in [1, default].  The cadence tightens
+// — halves — when limbo pressure builds (this handle's pending list claims
+// a disproportionate share of the live capacity, or a drain frees nothing
+// while nodes wait) and collapses to 1 on allocator backpressure (the pool
+// reports an alloc miss through the AllocMiss hook); it relaxes — doubles,
+// back toward the default — whenever a drain empties the pending list.
+// The result is epoch's cheap m(n) with hp-like responsiveness under
+// write-leaning churn, without hand-picking k per workload; the Tightens
+// and Relaxes counters record every cadence move.
+func NewEpochAuto(f shmem.Factory, name string, n, capacity int) (Reclaimer, error) {
+	return newEpoch(f, name, n, capacity, 0, true)
+}
+
+func newEpoch(f shmem.Factory, name string, n, capacity, k int, auto bool) (Reclaimer, error) {
+	if err := checkArgs(n, capacity); err != nil {
+		return nil, err
+	}
+	r := &epochReclaimer{
+		n:        n,
+		capacity: capacity,
+		scheme:   "epoch",
+		fixedK:   k,
+		auto:     auto,
+		epoch:    f.NewCAS(name+".epoch", 0),
+		ann:      make([]shmem.Register, n),
+	}
+	if auto {
+		r.scheme = "epoch:auto"
+	}
+	r.Resize(capacity)
+	for i := range r.ann {
+		r.ann[i] = f.NewRegister(fmt.Sprintf("%s.ann[%d]", name, i), 0)
+	}
+	return r, nil
+}
+
+// Resize recomputes the cadence clamp for a new live capacity — pools call
+// it after Grow, so a grown pool does not keep draining on the pre-growth
+// cadence.  An explicit epoch:k cadence is pinned by the caller and stays;
+// the deferred-list buffers are sized for the construction ceiling, so
+// Resize never reallocates.
+func (r *epochReclaimer) Resize(capacity int) {
+	if capacity < 1 {
+		return
+	}
+	r.liveCap.Store(int64(capacity))
+	if r.fixedK > 0 {
+		r.threshold.Store(int64(r.fixedK))
+		return
+	}
+	r.threshold.Store(int64(epochThreshold(r.n, capacity)))
 }
 
 func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
@@ -88,11 +146,13 @@ func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
 		return nil, err
 	}
 	h := &epochHandle{r: r, pid: pid, free: free}
+	h.fresh = make([]int, 0, r.capacity)
+	h.k = int(r.threshold.Load())
 	for b := range h.buckets {
 		h.buckets[b].nodes = make([]int, 0, r.capacity)
 	}
 	r.limboT.register(func() []int {
-		var out []int
+		out := append([]int(nil), h.fresh...)
 		for b := range h.buckets {
 			out = append(out, h.buckets[b].nodes...)
 		}
@@ -101,7 +161,7 @@ func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
 	return h, nil
 }
 
-func (r *epochReclaimer) Scheme() string   { return "epoch" }
+func (r *epochReclaimer) Scheme() string   { return r.scheme }
 func (r *epochReclaimer) NumProcs() int    { return r.n }
 func (r *epochReclaimer) Limbo() []int     { return r.limboT.limbo() }
 func (r *epochReclaimer) Metrics() Metrics { return r.m.snapshot() }
@@ -127,12 +187,20 @@ type bucket struct {
 }
 
 type epochHandle struct {
-	r       *epochReclaimer
-	pid     int
-	free    Free
-	pinned  bool
-	at      Word // announced epoch while pinned
-	pending int
+	r      *epochReclaimer
+	pid    int
+	free   Free
+	pinned bool
+	at     Word // announced epoch while pinned
+
+	// fresh holds retired-but-unstamped nodes: Retire appends here without
+	// touching a single shared word, and the next drain boundary reads the
+	// global epoch once and stamps the whole batch.  Stamping late is safe —
+	// the stamp is ≥ every node's actual retire epoch, so nodes only become
+	// freeable later, never earlier.
+	fresh   []int
+	pending int // fresh + bucketed
+	k       int // current advance cadence (floats only under epoch:auto)
 	buckets [3]bucket
 }
 
@@ -165,20 +233,57 @@ func (h *epochHandle) Clear() {
 	h.pinned = false
 }
 
-// Retire stamps idx with the current global epoch.  A bucket whose slot
-// comes around again holds nodes three epochs old — freeable, so they are
-// flushed before reuse.
+// Retire defers idx into the private fresh list — no shared-memory steps at
+// all; the epoch read it used to pay per node now happens once per drain.
 func (h *epochHandle) Retire(idx int) {
-	e := h.r.epoch.Read(h.pid)
-	b := &h.buckets[e%3]
-	if b.epoch != e && len(b.nodes) > 0 {
-		h.flush(b)
-	}
-	b.epoch = e
-	b.nodes = append(b.nodes, idx)
+	h.fresh = append(h.fresh, idx)
 	h.pending++
 	h.r.m.retired.Add(1)
-	if h.pending >= h.r.threshold {
+	h.maybeDrain()
+}
+
+// RetireBatch defers a whole batch in one call: one pending-list append, one
+// counter bump, at most one drain — the amortization the kv unlink and
+// overwrite paths buy.  The batch is copied out; idxs is not retained.
+func (h *epochHandle) RetireBatch(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	h.fresh = append(h.fresh, idxs...)
+	h.pending += len(idxs)
+	h.r.m.retired.Add(int64(len(idxs)))
+	h.r.m.batches.Add(1)
+	h.maybeDrain()
+}
+
+// AllocMiss is the pool's backpressure hook: the allocator found no free
+// node while this handle may be sitting on limbo.  Under epoch:auto the
+// cadence collapses to 1 — drain on every retire until the pressure clears.
+func (h *epochHandle) AllocMiss() {
+	h.r.m.pressure.Add(1)
+	if h.r.auto && h.k > 1 {
+		h.k = 1
+		h.r.m.tightens.Add(1)
+	}
+}
+
+// maybeDrain applies the cadence: drain once pending reaches the threshold.
+// Under epoch:auto the threshold is the per-handle k, tightened here when
+// this handle's limbo claims more than half its fair share of the live
+// capacity — pending/capacity ratio pressure — before the drain decision.
+func (h *epochHandle) maybeDrain() {
+	t := int(h.r.threshold.Load())
+	if h.r.auto {
+		if h.k > t {
+			h.k = t // a Resize lowered the ceiling
+		}
+		if limit := int(h.r.liveCap.Load()) / (2 * h.r.n); limit > 0 && h.pending >= limit && h.k > 1 {
+			h.k = 1
+			h.r.m.tightens.Add(1)
+		}
+		t = h.k
+	}
+	if h.pending >= t {
 		h.drain()
 	}
 }
@@ -192,6 +297,8 @@ func (h *epochHandle) drain() int {
 		return 0 // nothing deferred: no sweep, no advance attempt
 	}
 	h.r.m.scans.Add(1)
+	// The drain boundary's single shared epoch read stamps every fresh node.
+	h.stamp(h.r.epoch.Read(h.pid))
 	freed := 0
 	// Two advance attempts: a node retired at the current epoch needs the
 	// global counter to move twice before its bucket expires.  A pinned
@@ -211,20 +318,58 @@ func (h *epochHandle) drain() int {
 	freed += h.freeExpired(h.r.epoch.Read(h.pid))
 	if freed == 0 && h.pending > 0 {
 		h.r.m.stalls.Add(1)
+		if h.r.auto && h.k > 1 {
+			h.k >>= 1 // a fruitless sweep: tighten toward eager advancement
+			h.r.m.tightens.Add(1)
+		}
+	} else if h.r.auto && h.pending == 0 {
+		if ceiling := int(h.r.threshold.Load()); h.k < ceiling {
+			h.k <<= 1 // the drain emptied the pending list: relax
+			if h.k > ceiling {
+				h.k = ceiling
+			}
+			h.r.m.relaxes.Add(1)
+		}
 	}
 	return freed
 }
 
-// freeExpired frees every bucket retired at least two epochs before e.
+// stamp moves the fresh list into the bucket of epoch e.  A bucket whose
+// slot comes around again holds nodes at least three epochs old — freeable,
+// so they are flushed before reuse.
+func (h *epochHandle) stamp(e Word) {
+	if len(h.fresh) == 0 {
+		return
+	}
+	b := &h.buckets[e%3]
+	if b.epoch != e && len(b.nodes) > 0 {
+		h.flush(b)
+	}
+	b.epoch = e
+	b.nodes = append(b.nodes, h.fresh...)
+	h.fresh = h.fresh[:0]
+}
+
+// freeExpired frees every bucket retired at least two epochs before e,
+// oldest stamp first, so frees stay in retire order even when two buckets
+// expire in one pass.
 func (h *epochHandle) freeExpired(e Word) int {
 	freed := 0
-	for b := range h.buckets {
-		bkt := &h.buckets[b]
-		if len(bkt.nodes) > 0 && bkt.epoch+2 <= e {
-			freed += h.flush(bkt)
+	for {
+		var oldest *bucket
+		for b := range h.buckets {
+			bkt := &h.buckets[b]
+			if len(bkt.nodes) > 0 && bkt.epoch+2 <= e {
+				if oldest == nil || bkt.epoch < oldest.epoch {
+					oldest = bkt
+				}
+			}
 		}
+		if oldest == nil {
+			return freed
+		}
+		freed += h.flush(oldest)
 	}
-	return freed
 }
 
 // flush frees a whole bucket in retire order.

@@ -84,9 +84,34 @@ type Handle interface {
 	// possibly immediately, possibly on a later Retire or Drain — once no
 	// protection can cover it.
 	Retire(idx int)
+	// RetireBatch hands over a whole batch of removed nodes at once, with
+	// the per-retire bookkeeping (epoch stamping, cadence checks, counter
+	// bumps) amortized over the batch.  Retire order within the batch is
+	// preserved.  The slice is copied out, never retained.
+	RetireBatch(idxs []int)
 	// Drain attempts reclamation now and returns the number of nodes this
 	// handle freed.  Allocators call it before reporting exhaustion.
 	Drain() int
+}
+
+// Pressured is the optional backpressure seam of a Handle: a pool that
+// finds no free node calls AllocMiss before draining, so an adaptive
+// scheme (epoch:auto) can tighten its advance cadence instead of letting
+// limbo lag starve the allocator again.  Schemes without a cadence to tune
+// may implement it as a pure counter.
+type Pressured interface {
+	AllocMiss()
+}
+
+// Resizer is the optional capacity seam of a Reclaimer: pools whose node
+// space grows (Pool.Grow) call Resize with the new live capacity so
+// capacity-derived cadence clamps are recomputed — a reclaimer built for a
+// growth ceiling would otherwise drain a small young pool on the ceiling's
+// lazy cadence, and a grown pool on the seed's eager one.  Resize must not
+// reallocate per-handle buffers (they are sized for the construction
+// ceiling) and must be safe against concurrent handle traffic.
+type Resizer interface {
+	Resize(capacity int)
 }
 
 // Reclaimer manages safe reuse of the node indices of one structure.
@@ -124,6 +149,20 @@ type Metrics struct {
 	// nodes were pending — hazards covering every retired node, or an epoch
 	// advance blocked by a pinned process.
 	Stalls int64
+	// Batches counts RetireBatch calls: multi-node retirements whose
+	// bookkeeping was amortized over the batch.
+	Batches int64
+	// SkippedScans counts hazard scans served from the cached snapshot
+	// because no hazard word changed since the last sweep (hp only).
+	SkippedScans int64
+	// Pressure counts allocator backpressure signals (AllocMiss): failed
+	// allocations reported to the reclaimer before the exhaustion drain.
+	Pressure int64
+	// Tightens and Relaxes count the self-tuning cadence moves of
+	// epoch:auto: threshold reductions under limbo pressure or stalled
+	// drains, and threshold increases after drains that emptied the
+	// pending list.
+	Tightens, Relaxes int64
 }
 
 // Deferred returns the nodes currently in limbo (retired, not yet freed).
@@ -132,33 +171,48 @@ func (m Metrics) Deferred() int64 { return m.Retired - m.Freed }
 // Add returns the field-wise sum of two snapshots.
 func (m Metrics) Add(o Metrics) Metrics {
 	return Metrics{
-		Retired: m.Retired + o.Retired,
-		Freed:   m.Freed + o.Freed,
-		Scans:   m.Scans + o.Scans,
-		Stalls:  m.Stalls + o.Stalls,
+		Retired:      m.Retired + o.Retired,
+		Freed:        m.Freed + o.Freed,
+		Scans:        m.Scans + o.Scans,
+		Stalls:       m.Stalls + o.Stalls,
+		Batches:      m.Batches + o.Batches,
+		SkippedScans: m.SkippedScans + o.SkippedScans,
+		Pressure:     m.Pressure + o.Pressure,
+		Tightens:     m.Tightens + o.Tightens,
+		Relaxes:      m.Relaxes + o.Relaxes,
 	}
 }
 
 // String renders the counters.
 func (m Metrics) String() string {
-	return fmt.Sprintf("retired=%d freed=%d deferred=%d scans=%d stalls=%d",
-		m.Retired, m.Freed, m.Deferred(), m.Scans, m.Stalls)
+	return fmt.Sprintf("retired=%d freed=%d deferred=%d scans=%d stalls=%d batches=%d skips=%d pressure=%d tightens=%d relaxes=%d",
+		m.Retired, m.Freed, m.Deferred(), m.Scans, m.Stalls, m.Batches, m.SkippedScans, m.Pressure, m.Tightens, m.Relaxes)
 }
 
 // metrics is the shared atomic backing of Metrics.
 type metrics struct {
-	retired atomic.Int64
-	freed   atomic.Int64
-	scans   atomic.Int64
-	stalls  atomic.Int64
+	retired  atomic.Int64
+	freed    atomic.Int64
+	scans    atomic.Int64
+	stalls   atomic.Int64
+	batches  atomic.Int64
+	skips    atomic.Int64
+	pressure atomic.Int64
+	tightens atomic.Int64
+	relaxes  atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
 	return Metrics{
-		Retired: m.retired.Load(),
-		Freed:   m.freed.Load(),
-		Scans:   m.scans.Load(),
-		Stalls:  m.stalls.Load(),
+		Retired:      m.retired.Load(),
+		Freed:        m.freed.Load(),
+		Scans:        m.scans.Load(),
+		Stalls:       m.stalls.Load(),
+		Batches:      m.batches.Load(),
+		SkippedScans: m.skips.Load(),
+		Pressure:     m.pressure.Load(),
+		Tightens:     m.tightens.Load(),
+		Relaxes:      m.relaxes.Load(),
 	}
 }
 
@@ -248,6 +302,18 @@ func (h *noneHandle) Retire(idx int) {
 	h.r.m.retired.Add(1)
 	h.free(idx)
 	h.r.m.freed.Add(1)
+}
+
+func (h *noneHandle) RetireBatch(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	for _, idx := range idxs {
+		h.free(idx)
+	}
+	h.r.m.retired.Add(int64(len(idxs)))
+	h.r.m.freed.Add(int64(len(idxs)))
+	h.r.m.batches.Add(1)
 }
 
 func (h *noneHandle) Drain() int { return 0 }

@@ -320,6 +320,18 @@ var impls = []Impl{
 		NewReclaimer: reclaim.NewEpoch,
 	},
 	{
+		ID:           "epoch:auto",
+		Kind:         KindReclaimer,
+		Summary:      "self-tuning epoch reclamation: advance cadence tightens under limbo pressure, relaxes when drains run empty",
+		Theorem:      "SMR foil to §1 (adaptive EBR)",
+		Space:        "n+1 objects (unbounded epoch)",
+		SpaceFn:      func(n int) int { return n + 1 },
+		Steps:        "O(1) amortized; cadence k in [1, min(2n, cap/n)] tuned by allocator backpressure",
+		Bounded:      false,
+		Correct:      true,
+		NewReclaimer: reclaim.NewEpochAuto,
+	},
+	{
 		ID:           "none",
 		Kind:         KindReclaimer,
 		Summary:      "pass-through reclaimer: immediate reuse, the §1 vulnerability preserved",
@@ -352,15 +364,20 @@ func Reclaimers() []Impl { return byKind(KindReclaimer) }
 // "epoch", "none") — the registry-driven construction path the public
 // WithReclamation option and the E12 harness share.  The epoch scheme
 // accepts a tuned advance cadence as "epoch:k" (attempt the announcement
-// sweep every k retires instead of the default min(2n, capacity/n)).
+// sweep every k retires instead of the default min(2n, capacity/n)), and
+// "epoch:auto" selects the self-tuning cadence driven by allocator
+// backpressure.
 func NewReclaimMaker(id string) (reclaim.Maker, error) {
 	if base, arg, ok := strings.Cut(id, ":"); ok {
 		if base != "epoch" {
 			return nil, fmt.Errorf("registry: only the epoch scheme takes a %q argument (got %q)", ":k", id)
 		}
+		if arg == "auto" {
+			return reclaim.NewEpochAuto, nil
+		}
 		k, err := strconv.Atoi(arg)
 		if err != nil || k < 1 {
-			return nil, fmt.Errorf("registry: %q: the epoch advance cadence must be a positive integer", id)
+			return nil, fmt.Errorf("registry: %q: the epoch advance cadence must be a positive integer (or %q)", id, "auto")
 		}
 		return reclaim.NewEpochEvery(k), nil
 	}

@@ -85,6 +85,22 @@ type StructureAudit struct {
 	// nodes were pending — hazards covering every candidate, or an epoch
 	// advance blocked by a stalled process.
 	ReclaimStalls int64
+	// RetireBatches counts multi-node retirements handed to the reclaimer
+	// in one call (the structures' commit paths and the map's per-operation
+	// kill sets), whose bookkeeping was amortized over the batch.
+	RetireBatches int64
+	// SkippedScans counts hazard sweeps served from the cached sorted
+	// snapshot because no hazard slot changed since the last sweep (hp
+	// only).
+	SkippedScans int64
+	// AllocPressure counts allocator backpressure signals: failed
+	// allocations reported to the reclaimer before the exhaustion drain.
+	AllocPressure int64
+	// CadenceTightens and CadenceRelaxes count the self-tuning moves of the
+	// epoch:auto scheme: advance-cadence reductions under limbo pressure or
+	// stalled drains, and increases after drains that emptied the pending
+	// list.  Zero for the fixed-cadence schemes.
+	CadenceTightens, CadenceRelaxes int64
 	// LocalCacheHits and LocalCacheSpills are the per-worker node-cache
 	// counters (zero unless built WithLocalCache): allocations served from a
 	// worker's private free stack, and nodes spilled back to the shared pool
@@ -122,6 +138,11 @@ func poolAudit(corrupt bool, detail string, ps apps.PoolStats) StructureAudit {
 		Reclaimed:        ps.Reclaim.Freed,
 		Deferred:         ps.Reclaim.Deferred(),
 		ReclaimStalls:    ps.Reclaim.Stalls,
+		RetireBatches:    ps.Reclaim.Batches,
+		SkippedScans:     ps.Reclaim.SkippedScans,
+		AllocPressure:    ps.Reclaim.Pressure,
+		CadenceTightens:  ps.Reclaim.Tightens,
+		CadenceRelaxes:   ps.Reclaim.Relaxes,
 		LocalCacheHits:   ps.Local.Hits,
 		LocalCacheSpills: ps.Local.Spills,
 	}
@@ -146,10 +167,12 @@ func WithTagBits(bits uint) Option {
 
 // WithReclamation routes a structure's node releases through a safe-memory-
 // reclamation scheme: "hp" (hazard pointers), "epoch" (epoch-based
-// reclamation), or "none" (the explicit immediate-reuse pass-through; also
-// the default when the option is absent).  Under "hp" and "epoch" a removed
-// node cannot re-enter the allocator while any process may still hold its
-// index, so the §1 recycle-inside-the-window ABA never forms — even under
+// reclamation), "epoch:k" (epoch with a fixed advance cadence of k retires),
+// "epoch:auto" (epoch whose cadence self-tunes to allocator backpressure),
+// or "none" (the explicit immediate-reuse pass-through; also the default
+// when the option is absent).  Under every scheme but "none" a removed node
+// cannot re-enter the allocator while any process may still hold its index,
+// so the §1 recycle-inside-the-window ABA never forms — even under
 // ProtectionRaw.  That is the trade the paper's m(n)/t(n) vocabulary prices:
 // hp spends n·H published slots and an amortized scan, epoch spends n+1
 // words and an unbounded counter (and stalls all reuse behind one stalled
