@@ -93,6 +93,7 @@ type options struct {
 	localCache  int
 	combining   bool
 	growTo      int
+	traceCap    int
 }
 
 // Option configures a constructor.

@@ -1,5 +1,5 @@
 // Command abalab runs the experiment suite of the reproduction — one
-// experiment per paper artifact (E1-E16) — and reports on the registered
+// experiment per paper artifact (E1-E17) — and reports on the registered
 // implementations.  Experiments and implementations are both enumerated
 // from their registries (internal/bench.Experiments, internal/registry), so
 // this command never needs editing when either grows.
@@ -25,21 +25,26 @@
 //	abalab -grow -grow-keys 10000   # ... capped to the 10k-key tier (CI smoke)
 //	abalab -pressure full   # reclamation-pressure matrix (E16): limbo occupancy and alloc-miss lag
 //	abalab -pressure smoke  # ... trimmed per-cell ops (CI smoke)
+//	abalab -run E17         # observability matrix: flight-recorder overhead, trace off/on
+//	abalab -serve :8080     # live metrics over a traced structure: /metrics, /debug/vars, /trace, /debug/pprof
+//	abalab -trace-dump map  # run a deterministic ABA scenario and print its incident flight record
 //	abalab -json ...        # any of the above, as machine-readable JSON
 //
 // Benchmark regression check: re-run the throughput experiments (E10 base
 // objects, E11 application matrix, E12 reclamation matrix, E13 traffic
-// matrix, E14 read-scaling matrix, E15 growth matrix, E16 pressure matrix)
-// and diff them against a committed snapshot (BENCH_baseline.json is the
-// seed, BENCH_pr2.json the slab/devirtualized substrate, BENCH_pr3.json adds
-// the application matrix, BENCH_pr4.json the reclamation matrix,
-// BENCH_pr5.json the map and traffic matrices, BENCH_pr6.json the fast-path
-// variants and backpressure profiles, BENCH_pr7.json the wait-free read
-// paths and the read-scaling matrix, BENCH_pr8.json the growth matrix,
-// BENCH_pr9.json the reclamation-pressure matrix):
+// matrix, E14 read-scaling matrix, E15 growth matrix, E16 pressure matrix,
+// E17 observability matrix) and diff them against a committed snapshot
+// (BENCH_baseline.json is the seed, BENCH_pr2.json the slab/devirtualized
+// substrate, BENCH_pr3.json adds the application matrix, BENCH_pr4.json the
+// reclamation matrix, BENCH_pr5.json the map and traffic matrices,
+// BENCH_pr6.json the fast-path variants and backpressure profiles,
+// BENCH_pr7.json the wait-free read paths and the read-scaling matrix,
+// BENCH_pr8.json the growth matrix, BENCH_pr9.json the reclamation-pressure
+// matrix, BENCH_pr10.json the observability matrix — and, from pr10 on, a
+// Machine header identifying the recording host, echoed by -bench-compare):
 //
-//	abalab -bench-compare BENCH_pr9.json
-//	abalab -json > BENCH_pr10.json   # record a new snapshot
+//	abalab -bench-compare BENCH_pr10.json
+//	abalab -json > BENCH_pr11.json   # record a new snapshot
 package main
 
 import (
@@ -80,6 +85,8 @@ func run(args []string, out io.Writer) error {
 		n        = fs.Int("n", 8, "process count for -impl")
 		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 		compare  = fs.String("bench-compare", "", "diff fresh throughput runs (E10/E11/E12/E13) against a benchmark snapshot (e.g. BENCH_pr6.json)")
+		serveAt  = fs.String("serve", "", "serve live metrics over a traced structure under background churn at this address (e.g. :8080): /metrics, /debug/vars, /trace, /debug/pprof")
+		dump     = fs.String("trace-dump", "", "run a deterministic ABA scenario (stack, queue, map, map-grow, or 'all') under raw+none and pretty-print its incident flight record")
 		seed     = fs.Uint64("seed", 0, "override the load profiles' RNG seed for -load runs (0 = each profile's committed default)")
 		elim     = fs.Int("elim", 0, "for -load: pin every cell to an elimination array of this many slots (stack)")
 		cache    = fs.Int("cache", 0, "for -load: pin every cell to per-worker node caches of this capacity")
@@ -103,14 +110,32 @@ func run(args []string, out io.Writer) error {
 		return printIndex(out)
 	}
 
+	if *serveAt != "" {
+		return serveMain(*serveAt, out)
+	}
+
+	if *dump != "" {
+		return runTraceDump(out, *dump)
+	}
+
 	if *compare != "" {
-		snapshot, err := bench.LoadTables(*compare)
+		snap, err := bench.LoadSnapshot(*compare)
 		if err != nil {
 			return err
 		}
-		tables, _, err := bench.CompareThroughput(snapshot)
+		tables, _, err := bench.CompareThroughput(snap.Tables)
 		if err != nil {
 			return err
+		}
+		if !*asJSON {
+			// A cross-machine or cross-toolchain diff is context every
+			// verdict below depends on — print both headers first.
+			if snap.Machine == (bench.Machine{}) {
+				fmt.Fprintln(out, "snapshot machine: unrecorded (pre-envelope snapshot)")
+			} else {
+				fmt.Fprintf(out, "snapshot machine: %s\n", snap.Machine)
+			}
+			fmt.Fprintf(out, "current machine:  %s\n\n", bench.CurrentMachine())
 		}
 		return emit(tables)
 	}

@@ -11,6 +11,22 @@ import (
 	"abadetect/internal/registry"
 )
 
+// unmarshalTables decodes the Tables array out of the machine-header
+// envelope every -json table output now carries (bench.WriteJSON).
+func unmarshalTables(t *testing.T, data []byte, into any) {
+	t.Helper()
+	var snap struct{ Tables json.RawMessage }
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-json output is not a snapshot envelope: %v", err)
+	}
+	if snap.Tables == nil {
+		t.Fatalf("-json envelope has no Tables: %s", data)
+	}
+	if err := json.Unmarshal(snap.Tables, into); err != nil {
+		t.Fatalf("snapshot Tables do not decode: %v", err)
+	}
+}
+
 func TestList(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-list"}, &buf); err != nil {
@@ -112,9 +128,7 @@ func TestImplAllCoversRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tables []struct{ ID string }
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-impl all -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	seen := map[string]bool{}
 	for _, tbl := range tables {
 		seen[tbl.ID] = true
@@ -144,9 +158,7 @@ func TestBenchCompare(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E10-compare" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -182,9 +194,7 @@ func TestJSONExperiment(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-json output is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E2" || len(tables[0].Rows) == 0 {
 		t.Errorf("unexpected JSON shape: %+v", tables)
 	}
@@ -201,9 +211,7 @@ func TestAppMatrix(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-app all -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E11" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -250,9 +258,7 @@ func TestBenchComparePR3CoversApps(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 2 || tables[0].ID != "E10-compare" || tables[1].ID != "E11-compare" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -302,9 +308,7 @@ func TestBenchComparePR5CoversTraffic(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
@@ -342,9 +346,7 @@ func TestBenchComparePR6CoversTraffic(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
@@ -384,9 +386,7 @@ func TestScaleMatrixFlag(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-scale -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E14" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -423,9 +423,7 @@ func TestBenchComparePR7CoversReadScaling(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	wantIDs := []string{"E10-compare", "E11-compare", "E12-compare", "E13-compare", "E14-compare"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("comparison has %d tables, want %d", len(tables), len(wantIDs))
@@ -484,9 +482,7 @@ func TestLoadMatrixFlag(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-load -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E13" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -531,9 +527,7 @@ func TestLoadMatrixTuningFlags(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-load tuning -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || len(tables[0].Rows) != 4 {
 		t.Fatalf("pinned matrix has %d tables / %d rows, want 1 / 4", len(tables), len(tables[0].Rows))
 	}
@@ -555,9 +549,7 @@ func TestReclaimMatrixFlag(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-reclaim -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E12" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -589,9 +581,7 @@ func TestBenchComparePR4CoversReclaim(t *testing.T) {
 		ID   string
 		Rows [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-bench-compare -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 3 || tables[0].ID != "E10-compare" || tables[1].ID != "E11-compare" || tables[2].ID != "E12-compare" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -715,9 +705,7 @@ func TestGrowMatrixFlag(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-grow -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E15" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}
@@ -746,9 +734,7 @@ func TestPressureMatrixFlag(t *testing.T) {
 		Header []string
 		Rows   [][]string
 	}
-	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
-		t.Fatalf("-pressure -json is not valid JSON: %v", err)
-	}
+	unmarshalTables(t, buf.Bytes(), &tables)
 	if len(tables) != 1 || tables[0].ID != "E16" {
 		t.Fatalf("unexpected JSON shape: %+v", tables)
 	}

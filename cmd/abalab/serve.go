@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/bench"
+	"abadetect/internal/guard"
+	"abadetect/internal/registry"
+	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
+)
+
+// This file is abalab's serve mode: a live observability endpoint over a
+// traced structure under continuous background churn.  It exists so the
+// flight recorder and the registry's audit counters are inspectable while
+// the structure runs, not just at quiescence:
+//
+//	/metrics     Prometheus text: guard, allocator, and reclaimer counters
+//	/debug/vars  the same snapshot as expvar JSON
+//	/trace       the merged flight-recorder dump as JSON
+//	/debug/pprof the standard profiling endpoints
+//	/            a short index
+
+const (
+	// serveWorkers is the background churn's process count — modest, since
+	// serve mode shares the host with whatever is scraping it.
+	serveWorkers = 4
+	// serveCapacity and serveRingCap size the structure and its recorder.
+	serveCapacity = 256
+	serveRingCap  = 1024
+	// servePause is inserted every serveBatch background ops so the churn
+	// exercises every seam without pegging the host.
+	serveBatch = 4096
+	servePause = time.Millisecond
+)
+
+// liveServer owns the traced structure, its background workers, and the
+// counters the endpoints render.
+type liveServer struct {
+	inst  apps.Instance
+	rec   *trace.Recorder
+	ops   atomic.Int64
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// newLiveServer builds the traced instance: the map (the richest seam set —
+// guards, allocator, reclaimer, op hooks all fire) under the default LL/SC
+// regime with the self-tuning epoch reclaimer.
+func newLiveServer() (*liveServer, error) {
+	f := shmem.NewNativeFactory()
+	mk, err := registry.NewGuardMaker(f, serveWorkers, registry.GuardSpec{Regime: guard.LLSC})
+	if err != nil {
+		return nil, err
+	}
+	mkr, err := registry.NewReclaimMaker("epoch:auto")
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New(serveWorkers, serveRingCap)
+	inst, err := registry.MustLookup("map").NewStructure(f, serveWorkers, serveCapacity, mk,
+		apps.InstanceOptions{Reclaim: mkr, Trace: rec})
+	if err != nil {
+		return nil, err
+	}
+	return &liveServer{inst: inst, rec: rec, start: time.Now(), stop: make(chan struct{})}, nil
+}
+
+// run starts the background churn: one goroutine per pid driving the
+// instance's own workload step.
+func (s *liveServer) run() error {
+	for pid := 0; pid < serveWorkers; pid++ {
+		step, err := s.inst.Worker(pid)
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func(step func(int)) {
+			defer s.wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				step(i)
+				s.ops.Add(1)
+				if i%serveBatch == serveBatch-1 {
+					time.Sleep(servePause)
+				}
+			}
+		}(step)
+	}
+	return nil
+}
+
+// shutdown stops the churn and waits for the workers.
+func (s *liveServer) shutdown() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// snapshot renders the live counters as one flat map — the payload behind
+// both /debug/vars and /metrics.
+func (s *liveServer) snapshot() map[string]int64 {
+	gm := s.inst.GuardMetrics()
+	ps := s.inst.PoolStats()
+	return map[string]int64{
+		"abalab_ops_total":               s.ops.Load(),
+		"abalab_uptime_seconds":          int64(time.Since(s.start).Seconds()),
+		"abalab_workers":                 serveWorkers,
+		"abalab_guard_commits_total":     gm.Commits,
+		"abalab_guard_rejects_total":     gm.Rejected,
+		"abalab_guard_near_misses_total": gm.NearMisses,
+		"abalab_guard_dirty_loads_total": gm.DirtyLoads,
+		"abalab_pool_exhaustions_total":  ps.Exhaustions,
+		"abalab_reclaim_retired_total":   ps.Reclaim.Retired,
+		"abalab_reclaim_freed_total":     ps.Reclaim.Freed,
+		"abalab_reclaim_limbo":           ps.Reclaim.Deferred(),
+		"abalab_reclaim_scans_total":     ps.Reclaim.Scans,
+		"abalab_reclaim_stalls_total":    ps.Reclaim.Stalls,
+		"abalab_trace_events":            int64(len(s.rec.Merge())),
+	}
+}
+
+// activeServer backs the process-global expvar registration: expvar.Publish
+// panics on re-registration, so the published Func indirects through the
+// current server (tests build several).
+var activeServer atomic.Pointer[liveServer]
+
+var publishExpvarOnce sync.Once
+
+func (s *liveServer) publishExpvar() {
+	activeServer.Store(s)
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("abalab", expvar.Func(func() any {
+			if cur := activeServer.Load(); cur != nil {
+				return cur.snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// handler builds the serve-mode mux.
+func (s *liveServer) handler() http.Handler {
+	s.publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", s.metricsHandler)
+	mux.HandleFunc("/trace", s.traceHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.indexHandler)
+	return mux
+}
+
+// metricsHandler renders the snapshot in the Prometheus text exposition
+// format (untyped-free: counters are counters, point-in-time values gauges).
+func (s *liveServer) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.snapshot()
+	for _, m := range metricOrder {
+		v, ok := snap[m.name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, v)
+	}
+}
+
+// metricOrder fixes the exposition order and metadata of /metrics.
+var metricOrder = []struct{ name, kind, help string }{
+	{"abalab_ops_total", "counter", "background churn operations completed"},
+	{"abalab_uptime_seconds", "gauge", "seconds since the server started"},
+	{"abalab_workers", "gauge", "background churn worker count"},
+	{"abalab_guard_commits_total", "counter", "successful guarded conditional swings"},
+	{"abalab_guard_rejects_total", "counter", "rejected guarded conditional swings"},
+	{"abalab_guard_near_misses_total", "counter", "rejected swings whose value compared equal: detected-and-prevented ABAs"},
+	{"abalab_guard_dirty_loads_total", "counter", "loads that observed detectable interference"},
+	{"abalab_pool_exhaustions_total", "counter", "allocations that found no free node"},
+	{"abalab_reclaim_retired_total", "counter", "nodes handed to the reclaimer"},
+	{"abalab_reclaim_freed_total", "counter", "nodes the reclaimer returned to the allocator"},
+	{"abalab_reclaim_limbo", "gauge", "retired-but-not-freed nodes right now"},
+	{"abalab_reclaim_scans_total", "counter", "reclamation scan passes"},
+	{"abalab_reclaim_stalls_total", "counter", "scan passes that freed nothing while nodes were pending"},
+	{"abalab_trace_events", "gauge", "events currently retained across the flight recorder's rings"},
+}
+
+// traceHandler dumps the merged flight record as JSON.
+func (s *liveServer) traceHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(s.rec.Merge())
+}
+
+// indexHandler lists the endpoints.
+func (s *liveServer) indexHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "abalab live observability (%s, %s)\n\n", bench.CurrentMachine(), runtime.Version())
+	fmt.Fprintln(w, "endpoints:")
+	fmt.Fprintln(w, "  /metrics      Prometheus text: guard, allocator, reclaimer counters")
+	fmt.Fprintln(w, "  /debug/vars   the same snapshot as expvar JSON")
+	fmt.Fprintln(w, "  /trace        merged flight-recorder dump (JSON)")
+	fmt.Fprintln(w, "  /debug/pprof  profiling")
+}
+
+// serveMain is the -serve entry point: build the traced instance, start the
+// churn, and serve until the process is killed.
+func serveMain(addr string, out io.Writer) error {
+	s, err := newLiveServer()
+	if err != nil {
+		return err
+	}
+	if err := s.run(); err != nil {
+		s.shutdown()
+		return err
+	}
+	defer s.shutdown()
+	fmt.Fprintf(out, "abalab: serving live metrics on %s (endpoints: /metrics /debug/vars /trace /debug/pprof)\n", addr)
+	return http.ListenAndServe(addr, s.handler())
+}
+
+// traceEventVocabulary is referenced by the README's observability section;
+// keeping it here (rather than prose-only) pins the names the docs promise
+// to the names the recorder emits.
+var _ = []trace.Kind{
+	trace.KindGuardLoad, trace.KindGuardDirtyLoad, trace.KindGuardCommit,
+	trace.KindGuardReject, trace.KindGuardNearMiss,
+	trace.KindAlloc, trace.KindRelease, trace.KindRetire, trace.KindExhaust, trace.KindGrow,
+	trace.KindProtect, trace.KindDrain, trace.KindScan, trace.KindEpochAdvance, trace.KindTighten,
+	trace.KindOpBegin, trace.KindOpCommit,
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestServer builds a live server with its churn running and an
+// httptest frontend; the cleanup stops both.
+func startTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := newLiveServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(); err != nil {
+		s.shutdown()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.shutdown()
+	})
+	// Let the churn generate some traffic so every endpoint has data.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.ops.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.ops.Load() == 0 {
+		t.Fatal("background churn performed no operations")
+	}
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints smoke-tests every serve-mode endpoint against a live
+// churning instance: the Prometheus text, the expvar JSON, the merged trace
+// dump, and the index.
+func TestServeEndpoints(t *testing.T) {
+	ts := startTestServer(t)
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE abalab_ops_total counter",
+		"abalab_guard_commits_total",
+		"abalab_reclaim_retired_total",
+		"abalab_trace_events",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Abalab map[string]int64 `json:"abalab"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Abalab["abalab_ops_total"] == 0 {
+		t.Errorf("/debug/vars reports zero ops: %v", vars.Abalab)
+	}
+
+	code, body = get(t, ts.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("/trace dump is empty under live churn")
+	}
+	if _, ok := events[0]["Kind"].(string); !ok {
+		t.Errorf("/trace events lack a symbolic Kind: %v", events[0])
+	}
+
+	code, body = get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+
+	if code, _ = get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestTraceDumpCommand smoke-tests the -trace-dump flag through the real
+// flag parser: every scenario prints a non-empty incident record.
+func TestTraceDumpCommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace-dump", "all"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stack (raw+none)", "queue (raw+none)", "map (raw+none)", "map-grow (raw+none)", "guard-commit", "release", "alloc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace-dump all output missing %q", want)
+		}
+	}
+	if err := run([]string{"-trace-dump", "bogus"}, io.Discard); err == nil {
+		t.Error("-trace-dump bogus should fail")
+	}
+}

@@ -243,6 +243,29 @@
 // abalab -pressure command prices all of this as the reclamation-pressure
 // matrix (experiment E16).
 //
+// # Observability
+//
+// WithTracing(capacity) attaches a flight recorder (internal/trace) to a
+// structure: one single-writer event ring per process, each cache-line
+// padded and capacity (rounded up to a power of two) events deep, recording
+// the guard, allocator, reclaimer, and operation transitions as they happen.
+// In the paper's vocabulary the recorder costs m(n) = n rings × capacity
+// fixed words — allocated once at construction, never grown — and
+// t(n) = O(1) steps per event: a record is one ring-local slot write plus
+// one fetch-add on a global sequence ticket drawn after the traced
+// transition completes, so sorting a merged dump by that ticket yields a
+// happens-before-consistent interleaving without stopping any writer.
+// Untraced structures carry a nil recorder and every hook compiles to a nil
+// check — the hot paths stay allocation-free and within noise of the
+// untraced build (pinned by the hot-path tests and experiment E17).
+// StructureTrace returns the merged dump; the deterministic ABA scenarios
+// arm a Watch that freezes the rings at the first near-miss (or attaches
+// the full dump when a raw guard is silently fooled), so every scenario
+// verdict ships with the incident flight record that explains it.  The
+// abalab -trace-dump command pretty-prints those records, and abalab -serve
+// exports live metrics (expvar, Prometheus text, pprof, and the current
+// trace as JSON) from a structure under churn.
+//
 // # Scaling out
 //
 // NewShardedDetectingArray builds an array of independent detecting

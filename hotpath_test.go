@@ -343,6 +343,60 @@ func TestHotPathAllocsTuned(t *testing.T) {
 	})
 }
 
+// TestHotPathAllocsTracing pins the flight recorder's two promises: with
+// tracing OFF the structures are byte-identical to the untraced builds
+// (every other test in this file is that pin — no recorder is attached
+// anywhere above), and with tracing ON every recorded event is written into
+// the preallocated ring without touching the heap.  Event recording that
+// allocates would perturb exactly the interleavings it exists to capture.
+func TestHotPathAllocsTracing(t *testing.T) {
+	t.Run("stack+trace", func(t *testing.T) {
+		s, err := NewStack(hotProcs, 8,
+			WithBackend(SlabBackend()), WithGuardedPool(), WithTracing(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var i Word
+		if got := testing.AllocsPerRun(200, func() {
+			h.Push(i)
+			h.Pop()
+			i++
+		}); got != 0 {
+			t.Errorf("traced Push+Pop allocates %.1f/op, want 0", got)
+		}
+		if len(s.StructureTrace()) == 0 {
+			t.Error("the traced cycle recorded nothing")
+		}
+	})
+	t.Run("map+trace+reclaim", func(t *testing.T) {
+		// The deepest instrumented path: guard events, op hooks, retire/alloc
+		// events, and the epoch reclaimer's scan/advance events all fire.
+		m, err := NewMap(hotProcs, 16,
+			WithBackend(SlabBackend()), WithGuardedPool(),
+			WithProtection(ProtectionLLSC), WithReclamation("epoch:auto"), WithTracing(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := m.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var i Word
+		if got := testing.AllocsPerRun(200, func() {
+			h.Put(i&7, i)
+			h.Get(i & 7)
+			h.Delete(i & 7)
+			i++
+		}); got != 0 {
+			t.Errorf("traced map cycle allocates %.1f/op, want 0", got)
+		}
+	})
+}
+
 // TestHotPathAllocsLoadRecord pins the load generator's measurement path:
 // recording a latency sample and drawing the next keyed op must stay off
 // the heap, or the generator would perturb the workload it measures.

@@ -34,6 +34,7 @@ import (
 	"abadetect/internal/guard"
 	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Word is the element type of the data structures.
@@ -93,6 +94,11 @@ type StructConfig struct {
 	// GrowTo nodes, with no stop-the-world phase.  Structures without a
 	// growth protocol ignore it.
 	GrowTo int
+	// Trace, when non-nil, is the flight recorder every seam of the
+	// structure records into: its guards (through a wrapped Maker), its
+	// pool, its reclaimer, and its split-operation hooks.  Nil — the
+	// default — means no wrapper exists anywhere on the hot path.
+	Trace *trace.Recorder
 }
 
 // WithMaker makes the structure allocate its guards from mk instead of the
@@ -168,6 +174,14 @@ func WithCombining() StructOption {
 	return func(o *StructConfig) { o.Combining = true }
 }
 
+// WithTrace routes every seam of the structure — guards, pool, reclaimer,
+// split-operation hooks — into rec's per-process event rings.  The
+// structure's guard maker is wrapped at resolution time, so the tracing-off
+// configuration (no WithTrace) carries no wrapper and no branch anywhere.
+func WithTrace(rec *trace.Recorder) StructOption {
+	return func(o *StructConfig) { o.Trace = rec }
+}
+
 // ResolveStructOptions resolves opts, defaulting the maker to the guard
 // package's stock construction of prot over f.
 func ResolveStructOptions(f shmem.Factory, n int, prot Protection, tagBits uint, opts []StructOption) StructConfig {
@@ -177,6 +191,9 @@ func ResolveStructOptions(f shmem.Factory, n int, prot Protection, tagBits uint,
 	}
 	if o.Maker == nil {
 		o.Maker = guard.NewMaker(f, n, prot, tagBits)
+	}
+	if o.Trace != nil {
+		o.Maker = guard.TracedMaker(o.Maker, o.Trace)
 	}
 	return o
 }

@@ -6,6 +6,7 @@ import (
 	"abadetect/internal/guard"
 	"abadetect/internal/reclaim"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Instance is one constructed structure plus its fixed benchmark workload —
@@ -104,6 +105,9 @@ type InstanceOptions struct {
 	// GrowTo, when positive, enables online growth up to that many nodes on
 	// structures that support it (see WithGrowth).
 	GrowTo int
+	// Trace, when non-nil, attaches a flight recorder to every guard,
+	// allocator, and reclaimer seam (see WithTrace).
+	Trace *trace.Recorder
 }
 
 // StructOpts renders the instance options as constructor options.
@@ -126,6 +130,9 @@ func (io InstanceOptions) StructOpts(mk guard.Maker) []StructOption {
 	}
 	if io.GrowTo > 0 {
 		opts = append(opts, WithGrowth(io.GrowTo))
+	}
+	if io.Trace != nil {
+		opts = append(opts, WithTrace(io.Trace))
 	}
 	return opts
 }

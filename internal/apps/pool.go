@@ -85,6 +85,12 @@ type PoolHandle interface {
 // PoolStats are an allocator's observability counters, surfaced through the
 // public StructureAudit so a saturated benchmark is distinguishable from a
 // livelock and reclamation pressure is visible.
+//
+// Like guard.Metrics, a PoolStats snapshot is relaxed: each counter is read
+// atomically, but the struct is assembled from many independent loads (and,
+// for the reclaimer, per-handle sums), so a snapshot taken under live
+// traffic can catch an operation between its counter bumps.  At quiescence
+// the snapshot is exact and repeatable.
 type PoolStats struct {
 	// Exhaustions counts Alloc calls that found no free node — after
 	// draining the reclaimer, when one is attached.
@@ -154,7 +160,20 @@ func NewPool(f shmem.Factory, cfg StructConfig, name string, n, capacity int, id
 		if rz, ok := rec.(reclaim.Resizer); ok {
 			rz.Resize(capacity)
 		}
+		if cfg.Trace != nil {
+			// Attach before any Handle exists, so reclaim handles can cache
+			// their per-process ring at creation.
+			if tr, ok := rec.(reclaim.Traced); ok {
+				tr.SetTracer(cfg.Trace)
+			}
+		}
 		p = &reclaimedPool{inner: p, rec: rec, exhaustions: shmem.NewStripedCounter()}
+	}
+	if cfg.Trace != nil {
+		// Outermost, so the recorded alloc/release order is the order the
+		// structure observed — retires surface as retires, and an alloc that
+		// succeeded only after a drain still records as one alloc.
+		p = &tracedPool{inner: p, rec: cfg.Trace, name: name}
 	}
 	return p, nil
 }

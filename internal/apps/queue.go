@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Queue is a Michael–Scott FIFO queue whose mutable references — head, tail,
@@ -33,7 +34,8 @@ type Queue struct {
 	head  guard.Guard
 	tail  guard.Guard
 	pool  Pool
-	dummy int // initial dummy node (allocated at construction)
+	dummy int             // initial dummy node (allocated at construction)
+	tr    *trace.Recorder // nil unless built WithTrace
 }
 
 // NewQueue builds a queue for n processes with the given capacity (usable
@@ -55,6 +57,7 @@ func NewQueue(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 		capacity: total,
 		value:    make([]shmem.Register, total+1),
 		next:     make([]guard.Guard, total+1),
+		tr:       o.Trace,
 	}
 	var err error
 	for i := 1; i <= total; i++ {
@@ -114,7 +117,7 @@ func (q *Queue) Handle(pid int) (*QueueHandle, error) {
 	if pid < 0 || pid >= q.n {
 		return nil, fmt.Errorf("apps: pid %d out of range [0,%d)", pid, q.n)
 	}
-	h := &QueueHandle{q: q, pid: pid, next: make([]guard.Handle, len(q.next))}
+	h := &QueueHandle{q: q, pid: pid, next: make([]guard.Handle, len(q.next)), ring: q.tr.Ring(pid)}
 	var err error
 	if h.pool, err = q.pool.Handle(pid); err != nil {
 		return nil, err
@@ -147,8 +150,9 @@ type QueueHandle struct {
 	tail   guard.Handle
 	next   []guard.Handle
 	pool   PoolHandle
-	smr    bool // pool defers releases: run the protect/revalidate fence
-	fastOK bool // wait-free read fast path is sound for this configuration
+	smr    bool        // pool defers releases: run the protect/revalidate fence
+	fastOK bool        // wait-free read fast path is sound for this configuration
+	ring   *trace.Ring // nil without WithTrace; Record on nil is a no-op
 
 	// MaxSpin bounds the retry/helping loops of Enq and Deq; 0 means
 	// unbounded (the lock-free default).  A raw-guarded queue that has been
@@ -358,6 +362,7 @@ func (h *QueueHandle) DeqBegin() (head, next int, empty bool) {
 			return 0, 0, true
 		}
 		h.pendingHead, h.pendingNext = hd, nh
+		h.ring.Record(trace.KindOpBegin, "deq", uint64(hd), uint64(nh))
 		return hd, nh, false
 	}
 }
@@ -431,6 +436,7 @@ func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
 	h.pendingHead, h.pendingNext = 0, 0
 	v := h.q.value[nh].Read(h.pid)
 	if h.head.Commit(Word(nh)) {
+		h.ring.Record(trace.KindOpCommit, "deq", 1, uint64(hd))
 		// The old dummy is exclusively ours now; clearing before the
 		// release keeps our own protection from deferring its retirement.
 		if h.smr {
@@ -443,6 +449,7 @@ func (h *QueueHandle) deqCommit(hd, nh int) (Word, bool) {
 	if h.smr {
 		h.pool.Clear()
 	}
+	h.ring.Record(trace.KindOpCommit, "deq", 0, uint64(hd))
 	return 0, false
 }
 

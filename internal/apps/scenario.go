@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // This file holds the deterministic §1 corruption scripts, shared by the
@@ -34,6 +35,33 @@ type ScenarioResult struct {
 	Guard guard.Metrics
 	// Pool carries the allocator's exhaustion and reclamation counters.
 	Pool PoolStats
+	// Incident is the merged flight-recorder dump of the script: the watch
+	// snapshot frozen at the first near-miss or allocator exhaustion when
+	// one fired, the full end-of-run merge otherwise (a fooled raw run has
+	// no near-miss to fire on — the corruption IS the absence of detection,
+	// and the full dump carries the armed load, the recycle, and the
+	// corrupting commit in happens-before order).
+	Incident []trace.Event
+}
+
+// scenarioRecorder builds the per-script flight recorder and its incident
+// predicate: the first detected-and-prevented ABA or the first allocator
+// exhaustion freezes the rings.
+func scenarioRecorder(n int) *trace.Recorder {
+	rec := trace.New(n, 128)
+	rec.Watch(func(e trace.Event) bool {
+		return e.Kind == trace.KindGuardNearMiss || e.Kind == trace.KindExhaust
+	})
+	return rec
+}
+
+// scenarioIncident resolves the dump to attach: the frozen watch snapshot
+// when the predicate fired, the final merge otherwise.
+func scenarioIncident(rec *trace.Recorder) []trace.Event {
+	if inc := rec.Incident(); inc != nil {
+		return inc
+	}
+	return rec.Merge()
 }
 
 // StackABAScenario plays the paper's §1 corruption script against a stack:
@@ -47,6 +75,8 @@ type ScenarioResult struct {
 // detection.
 func StackABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...StructOption) (ScenarioResult, error) {
 	var r ScenarioResult
+	rec := scenarioRecorder(2)
+	opts = append(opts, WithTrace(rec))
 	s, err := NewStack(f, 2, 3, prot, tagBits, opts...)
 	if err != nil {
 		return r, err
@@ -88,6 +118,7 @@ func StackABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...St
 	r.Corrupt, r.Detail = audit.Corrupt(), audit.String()
 	r.Guard = s.GuardMetrics()
 	r.Pool = s.PoolStats()
+	r.Incident = scenarioIncident(rec)
 	return r, nil
 }
 
@@ -103,6 +134,8 @@ func StackABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...St
 // adversary's enqueue starves instead of reusing them).
 func QueueABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...StructOption) (ScenarioResult, error) {
 	var r ScenarioResult
+	rec := scenarioRecorder(2)
+	opts = append(opts, WithTrace(rec))
 	q, err := NewQueue(f, 2, 2, prot, tagBits, opts...) // 3 nodes: dummy 1, free 2 and 3
 	if err != nil {
 		return r, err
@@ -159,5 +192,6 @@ func QueueABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...St
 	r.Corrupt, r.Detail = audit.Corrupt(), audit.String()
 	r.Guard = q.GuardMetrics()
 	r.Pool = q.PoolStats()
+	r.Incident = scenarioIncident(rec)
 	return r, nil
 }

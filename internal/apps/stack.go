@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Stack is a Treiber stack over a fixed pool of index-based nodes, the
@@ -38,7 +39,8 @@ type Stack struct {
 
 	pool Pool
 	head guard.Guard
-	elim *elimArray // nil unless built WithElimination
+	elim *elimArray      // nil unless built WithElimination
+	tr   *trace.Recorder // nil unless built WithTrace
 }
 
 // NewStack builds a stack for n processes with the given node capacity.
@@ -58,6 +60,7 @@ func NewStack(f shmem.Factory, n, capacity int, prot Protection, tagBits uint, o
 		capacity: capacity,
 		value:    make([]shmem.Register, capacity+1),
 		next:     make([]shmem.Register, capacity+1),
+		tr:       o.Trace,
 	}
 	for i := 1; i <= capacity; i++ {
 		s.value[i] = f.NewRegister(fmt.Sprintf("value[%d]", i), 0)
@@ -138,7 +141,7 @@ func (s *Stack) Handle(pid int) (*StackHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh := &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.Reclaiming()}
+	sh := &StackHandle{s: s, pid: pid, head: head, pool: ph, smr: ph.Reclaiming(), ring: s.tr.Ring(pid)}
 	// The wait-free Peek skips the protection fence; that is sound whenever a
 	// torn read is detectable (the sound regimes) or nothing defers frees (no
 	// reclaimer, where today's read path is equally value-blind).  Raw under
@@ -159,8 +162,9 @@ type StackHandle struct {
 	pid    int
 	head   guard.Handle
 	pool   PoolHandle
-	smr    bool // pool defers releases: run the protect/revalidate fence
-	fastOK bool // wait-free read fast path is sound for this configuration
+	smr    bool        // pool defers releases: run the protect/revalidate fence
+	fastOK bool        // wait-free read fast path is sound for this configuration
+	ring   *trace.Ring // nil without WithTrace; Record on nil is a no-op
 	elim   *elimHandle
 
 	pending  int // node loaded by PopBegin
@@ -278,6 +282,7 @@ func (h *StackHandle) PopBegin() (top, next int, empty bool) {
 		}
 		next = int(h.s.next[top].Read(h.pid))
 		h.pending, h.next = top, next
+		h.ring.Record(trace.KindOpBegin, "pop", uint64(top), uint64(next))
 		return top, next, false
 	}
 }
@@ -305,8 +310,10 @@ func (h *StackHandle) popCommit(top, next int) (Word, bool) {
 		if h.smr {
 			h.pool.Clear()
 		}
+		h.ring.Record(trace.KindOpCommit, "pop", 0, uint64(top))
 		return 0, false
 	}
+	h.ring.Record(trace.KindOpCommit, "pop", 1, uint64(top))
 	v := h.s.value[top].Read(h.pid)
 	// The popped node is exclusively ours now; clearing before the release
 	// keeps our own protection from deferring its retirement.

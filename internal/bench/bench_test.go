@@ -115,8 +115,8 @@ func TestE1AndE8Verdicts(t *testing.T) {
 
 func TestExperimentIndex(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("index has %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("index has %d experiments, want 17", len(exps))
 	}
 	for i, e := range exps {
 		if want := "E" + string(rune('1'+i)); i < 9 && e.ID != want {

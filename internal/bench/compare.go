@@ -15,18 +15,37 @@ import (
 // work), so "did the hot paths get slower?" is one abalab invocation
 // instead of archaeology.  cmd/abalab exposes it as -bench-compare.
 
-// LoadTables reads a JSON snapshot written by WriteJSON (the format behind
-// abalab -json and the committed BENCH_*.json files).
-func LoadTables(path string) ([]*Table, error) {
+// LoadSnapshot reads a JSON snapshot written by WriteJSON.  Both on-disk
+// forms load: the Machine-stamped envelope (BENCH_pr10.json onward) and the
+// bare table array of older snapshots, whose Machine comes back zero — the
+// first byte of the payload distinguishes them.
+func LoadSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("bench: %w", err)
+		return snap, fmt.Errorf("bench: %w", err)
 	}
-	var tables []*Table
-	if err := json.Unmarshal(data, &tables); err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &snap.Tables); err != nil {
+			return snap, fmt.Errorf("bench: %s: %w", path, err)
+		}
+		return snap, nil
 	}
-	return tables, nil
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// LoadTables reads a JSON snapshot's tables (either on-disk form; see
+// LoadSnapshot for the machine header).
+func LoadTables(path string) ([]*Table, error) {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Tables, nil
 }
 
 // FindTable returns the table with the given experiment ID.
@@ -86,6 +105,7 @@ var throughputExperiments = []struct {
 	{"E14", func() (*Table, error) { return E14ReadScaling("all", "all") }},
 	{"E15", func() (*Table, error) { return E15GrowthMatrix(0) }},
 	{"E16", func() (*Table, error) { return E16PressureMatrix(false) }},
+	{"E17", func() (*Table, error) { return E17ObservabilityMatrix(false) }},
 }
 
 // CompareThroughput re-runs every throughput experiment the snapshot

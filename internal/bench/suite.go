@@ -38,6 +38,8 @@ func Experiments() []Experiment {
 			func() (*Table, error) { return E15GrowthMatrix(0) }},
 		{"E16", "reclamation-pressure matrix: scheme × structure × profile, limbo occupancy and alloc-miss lag",
 			func() (*Table, error) { return E16PressureMatrix(false) }},
+		{"E17", "observability matrix: flight-recorder overhead, trace off/on × structure × regime × reclaimer",
+			func() (*Table, error) { return E17ObservabilityMatrix(false) }},
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"text/tabwriter"
 )
@@ -76,10 +78,58 @@ func FprintAll(w io.Writer, tables []*Table) error {
 	return nil
 }
 
-// WriteJSON renders tables as an indented JSON array — the machine-readable
-// form behind abalab -json and the BENCH_baseline.json snapshot.
+// Machine identifies the host a benchmark snapshot was recorded on — the
+// context every ns/op comparison silently assumes.  It is stamped on every
+// snapshot WriteJSON emits and echoed by -bench-compare, so a diff across
+// machines or toolchains announces itself instead of masquerading as a
+// regression.
+type Machine struct {
+	// GoMaxProcs and NumCPU are the scheduler width and the host's logical
+	// CPU count at recording time.
+	GoMaxProcs, NumCPU int
+	// GoVersion is the recording toolchain (runtime.Version()).
+	GoVersion string
+	// Commit is the VCS revision baked into the binary, or "unknown" for
+	// uncommitted / non-VCS builds.
+	Commit string
+}
+
+// CurrentMachine samples the recording host.
+func CurrentMachine() Machine {
+	m := Machine{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Commit:     "unknown",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.Commit = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// String renders the header line -bench-compare prints.
+func (m Machine) String() string {
+	return fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d %s commit=%s", m.GoMaxProcs, m.NumCPU, m.GoVersion, m.Commit)
+}
+
+// Snapshot is the on-disk envelope of a BENCH_*.json file: the tables plus
+// the machine header they were recorded on.
+type Snapshot struct {
+	Machine Machine
+	Tables  []*Table
+}
+
+// WriteJSON renders tables as an indented JSON envelope — the machine-
+// readable form behind abalab -json and the BENCH_*.json snapshots — with
+// the recording host's Machine header stamped on top.  (Snapshots up to
+// BENCH_pr9.json are bare arrays; LoadTables reads both forms.)
 func WriteJSON(w io.Writer, tables []*Table) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(tables)
+	return enc.Encode(Snapshot{Machine: CurrentMachine(), Tables: tables})
 }

@@ -137,6 +137,16 @@ func (m *metrics) addRejected(lane int) { m.lanes[lane].rejected.Add(1) }
 func (m *metrics) addNearMiss(lane int) { m.lanes[lane].nearMisses.Add(1) }
 func (m *metrics) addDirty(lane int)    { m.lanes[lane].dirtyLoads.Add(1) }
 
+// snapshot sums the lanes.  Each per-lane load is atomic, but the cross-lane
+// sum is deliberately relaxed: under live traffic a bump can land in an
+// already-summed lane while its logical partner (e.g. the Rejected half of a
+// near-miss) lands in one still to come, so concurrent snapshots may be
+// mid-operation — individual counters are never torn, and totals are only
+// monotone per lane, not across the whole sum.  At quiescence (every handle
+// parked) the sum is exact and two back-to-back snapshots are equal; a
+// race-mode test at the repository root pins that contract.  Making the sum
+// linearizable would put a lock or a global sequence word on the hot path —
+// the exact cost the stripes exist to remove.
 func (m *metrics) snapshot() Metrics {
 	var out Metrics
 	for i := range m.lanes {

@@ -9,6 +9,7 @@ import (
 	"abadetect/internal/apps"
 	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Growth mode: split-ordered expansion (Shalev–Shachnai recursive split
@@ -193,6 +194,7 @@ func newGrowMap(f shmem.Factory, cfg apps.StructConfig, n, capacity, buckets int
 
 		readRetries:   shmem.NewStripedCounter(),
 		readFallbacks: shmem.NewStripedCounter(),
+		tr:            cfg.Trace,
 	}
 	if m.pool, err = apps.NewPool(f, cfg, "map", n, capacity, idxBits); err != nil {
 		return nil, err
@@ -672,6 +674,7 @@ func (h *Handle) deleteBeginG(k Word) (cur, succ int, found bool) {
 		}
 		h.m.grow.live.Add(h.lane, -1)
 		h.pendingPrev, h.pendingCur, h.pendingSucc = prev, c, curNext&^1
+		h.ring.Record(trace.KindOpBegin, "delete", uint64(c), uint64(linkIdx(curNext)))
 		return c, linkIdx(curNext), true
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/apps"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // growScenarioKeys finds the three keys the resize script needs, by searching
@@ -68,7 +69,11 @@ func growScenarioKeys() (ka, kb, kf Word) {
 // prevention by allocation discipline, before the guard ever sees an ABA.
 func MapGrowABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...apps.StructOption) (apps.ScenarioResult, error) {
 	var r apps.ScenarioResult
-	opts = append(opts, apps.WithGrowth(3))
+	rec := trace.New(2, 128)
+	rec.Watch(func(e trace.Event) bool {
+		return e.Kind == trace.KindGuardNearMiss || e.Kind == trace.KindExhaust
+	})
+	opts = append(opts, apps.WithGrowth(3), apps.WithTrace(rec))
 	m, err := NewMap(f, 2, 3, 1, prot, tagBits, opts...)
 	if err != nil {
 		return r, err
@@ -118,5 +123,10 @@ func MapGrowABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...
 	r.Corrupt, r.Detail = audit.Corrupt(), audit.String()
 	r.Guard = m.GuardMetrics()
 	r.Pool = m.PoolStats()
+	if inc := rec.Incident(); inc != nil {
+		r.Incident = inc
+	} else {
+		r.Incident = rec.Merge()
+	}
 	return r, nil
 }

@@ -38,6 +38,7 @@ import (
 	"abadetect/internal/apps"
 	"abadetect/internal/guard"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Word is the key and value type.
@@ -96,6 +97,10 @@ type Map struct {
 	// untouched (the key/val/next/head slices are then unused — growth mode
 	// keeps every per-node array in a Spine instead; see grow.go).
 	grow *growth
+
+	// tr is the flight recorder of a map built apps.WithTrace; nil means no
+	// tracing anywhere on the hot path.
+	tr *trace.Recorder
 }
 
 // NewMap builds a map for n processes with the given node capacity and
@@ -132,6 +137,7 @@ func NewMap(f shmem.Factory, n, capacity, buckets int, prot Protection, tagBits 
 
 		readRetries:   shmem.NewStripedCounter(),
 		readFallbacks: shmem.NewStripedCounter(),
+		tr:            cfg.Trace,
 	}
 	var err error
 	for i := 1; i <= capacity; i++ {
@@ -269,6 +275,7 @@ func (m *Map) Handle(pid int) (*Handle, error) {
 		m:    m,
 		pid:  pid,
 		lane: shmem.StripeFor(pid),
+		ring: m.tr.Ring(pid),
 	}
 	if m.grow == nil {
 		h.head = make([]guard.Handle, m.buckets)
@@ -320,7 +327,8 @@ type Handle struct {
 	head   []guard.Handle
 	next   []guard.Handle
 	pool   apps.PoolHandle
-	smr    bool // pool defers releases: run the protect/revalidate fence
+	smr    bool        // pool defers releases: run the protect/revalidate fence
+	ring   *trace.Ring // nil without apps.WithTrace; Record on nil is a no-op
 
 	// Growth-mode state: lazy handle tables over the guard spines, plus the
 	// amortized threshold-check tick (see grow.go).
@@ -750,6 +758,7 @@ func (h *Handle) DeleteBegin(k Word) (cur, succ int, found bool) {
 			continue
 		}
 		h.pendingPrev, h.pendingCur, h.pendingSucc = prev, c, curNext&^1
+		h.ring.Record(trace.KindOpBegin, "delete", uint64(c), uint64(linkIdx(curNext)))
 		return c, linkIdx(curNext), true
 	}
 }
@@ -768,9 +777,11 @@ func (h *Handle) DeleteCommit() bool {
 	prev, cur, succ := h.pendingPrev, h.pendingCur, h.pendingSucc
 	h.pendingPrev, h.pendingCur, h.pendingSucc = nil, 0, 0
 	if !prev.Commit(succ) {
+		h.ring.Record(trace.KindOpCommit, "delete", 0, uint64(cur))
 		h.endOp(false)
 		return false
 	}
+	h.ring.Record(trace.KindOpCommit, "delete", 1, uint64(cur))
 	h.retire(cur)
 	h.endOp(false)
 	return true

@@ -5,6 +5,7 @@ import (
 
 	"abadetect/internal/apps"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // MapABAScenario plays the §1 corruption script against the map: a victim
@@ -35,6 +36,11 @@ import (
 // no ABA left for the guard to see.
 func MapABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...apps.StructOption) (apps.ScenarioResult, error) {
 	var r apps.ScenarioResult
+	rec := trace.New(2, 128)
+	rec.Watch(func(e trace.Event) bool {
+		return e.Kind == trace.KindGuardNearMiss || e.Kind == trace.KindExhaust
+	})
+	opts = append(opts, apps.WithTrace(rec))
 	m, err := NewMap(f, 2, 3, 1, prot, tagBits, opts...) // one bucket: every key collides
 	if err != nil {
 		return r, err
@@ -80,5 +86,10 @@ func MapABAScenario(f shmem.Factory, prot Protection, tagBits uint, opts ...apps
 	r.Corrupt, r.Detail = audit.Corrupt(), audit.String()
 	r.Guard = m.GuardMetrics()
 	r.Pool = m.PoolStats()
+	if inc := rec.Incident(); inc != nil {
+		r.Incident = inc
+	} else {
+		r.Incident = rec.Merge()
+	}
 	return r, nil
 }

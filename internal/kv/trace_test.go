@@ -1,0 +1,85 @@
+package kv
+
+import (
+	"testing"
+
+	"abadetect/internal/apps"
+	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
+)
+
+// TestMapScenarioIncidentOrder is the flight recorder's acceptance test:
+// the raw+none MapABAScenario must attach an incident dump whose merged
+// event sequence tells the whole §1 story in happens-before order —
+//
+//  1. the victim's armed load of the bucket head (the reference it will
+//     later commit against),
+//  2. the adversary's release of node 3 (the helped unlink frees it),
+//  3. the adversary's re-allocation of node 3 (the recycle that restores
+//     the head word),
+//  4. the victim's corrupting commit on the bucket head, *accepted* —
+//     because for a raw guard the recycled word compares equal.
+func TestMapScenarioIncidentOrder(t *testing.T) {
+	r, err := MapABAScenario(shmem.NewNativeFactory(), apps.Raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Fooled || !r.Corrupt {
+		t.Fatalf("raw+none scenario no longer corrupts: fooled=%v corrupt=%v", r.Fooled, r.Corrupt)
+	}
+	if len(r.Incident) == 0 {
+		t.Fatal("scenario attached no incident dump")
+	}
+
+	// pid 0 is the adversary, pid 1 the victim (scenario construction order).
+	armedLoad, release, realloc, commit := -1, -1, -1, -1
+	for i, e := range r.Incident {
+		switch {
+		case e.Pid == 1 && e.Kind == trace.KindGuardLoad && e.Obj == "mhead[0]" && armedLoad < 0:
+			armedLoad = i // the victim's first head load is the armed one
+		case e.Pid == 0 && e.Kind == trace.KindRelease && e.A == 3:
+			release = i
+		case e.Pid == 0 && e.Kind == trace.KindAlloc && e.A == 3 && release >= 0:
+			realloc = i // node 3's re-allocation after its release
+		case e.Pid == 1 && e.Kind == trace.KindGuardCommit && e.Obj == "mhead[0]":
+			commit = i // the victim's accepted unlink commit
+		}
+	}
+	if armedLoad < 0 || release < 0 || realloc < 0 || commit < 0 {
+		t.Fatalf("incident dump missing legs: armedLoad=%d release=%d realloc=%d commit=%d\n%s",
+			armedLoad, release, realloc, commit, trace.Format(r.Incident))
+	}
+	if !(armedLoad < release && release < realloc && realloc < commit) {
+		t.Fatalf("incident legs out of happens-before order: armedLoad=%d release=%d realloc=%d commit=%d\n%s",
+			armedLoad, release, realloc, commit, trace.Format(r.Incident))
+	}
+	// The dump itself must be GSeq-ordered (Merge's contract).
+	for i := 1; i < len(r.Incident); i++ {
+		if r.Incident[i].GSeq <= r.Incident[i-1].GSeq {
+			t.Fatalf("incident dump not GSeq-ordered at %d", i)
+		}
+	}
+}
+
+// TestMapScenarioWatchFiresOnNearMiss checks the watch leg: a tagged run of
+// the same script detects the ABA, so the incident is the *frozen* watch
+// snapshot ending at the near-miss, not the end-of-run merge.
+func TestMapScenarioWatchFiresOnNearMiss(t *testing.T) {
+	r, err := MapABAScenario(shmem.NewNativeFactory(), apps.Tagged, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fooled || r.Corrupt {
+		t.Fatalf("tagged scenario corrupted: fooled=%v corrupt=%v", r.Fooled, r.Corrupt)
+	}
+	if r.Guard.NearMisses == 0 {
+		t.Fatal("tagged scenario recorded no near-miss")
+	}
+	if len(r.Incident) == 0 {
+		t.Fatal("scenario attached no incident dump")
+	}
+	last := r.Incident[len(r.Incident)-1]
+	if last.Kind != trace.KindGuardNearMiss {
+		t.Fatalf("watch snapshot does not end at the near-miss: last=%v\n%s", last, trace.Format(r.Incident))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // epochReclaimer is epoch-based reclamation [Fraser 2004]: a global epoch
@@ -45,6 +46,7 @@ type epochReclaimer struct {
 	ann    []shmem.Register  // ann[pid] = epoch<<1 | active
 	m      metrics
 	limboT limboTracker
+	tr     *trace.Recorder // nil unless the pool attached a flight recorder
 }
 
 // epochThreshold is the default advance cadence for a live capacity c:
@@ -145,7 +147,7 @@ func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
 	if err := checkHandle(pid, r.n, free); err != nil {
 		return nil, err
 	}
-	h := &epochHandle{r: r, pid: pid, free: free}
+	h := &epochHandle{r: r, pid: pid, free: free, ring: r.tr.Ring(pid)}
 	h.fresh = make([]int, 0, r.capacity)
 	h.k = int(r.threshold.Load())
 	for b := range h.buckets {
@@ -160,6 +162,10 @@ func (r *epochReclaimer) Handle(pid int, free Free) (Handle, error) {
 	})
 	return h, nil
 }
+
+// SetTracer attaches the flight recorder.  Pools call it right after
+// construction, before any Handle exists, so handles cache their ring once.
+func (r *epochReclaimer) SetTracer(rec *trace.Recorder) { r.tr = rec }
 
 func (r *epochReclaimer) Scheme() string   { return r.scheme }
 func (r *epochReclaimer) NumProcs() int    { return r.n }
@@ -202,6 +208,7 @@ type epochHandle struct {
 	pending int // fresh + bucketed
 	k       int // current advance cadence (floats only under epoch:auto)
 	buckets [3]bucket
+	ring    *trace.Ring // nil without a tracer; Record on nil is a no-op
 }
 
 // Protect pins the current epoch on the first protection of an operation;
@@ -264,6 +271,7 @@ func (h *epochHandle) AllocMiss() {
 	if h.r.auto && h.k > 1 {
 		h.k = 1
 		h.r.m.tightens.Add(1)
+		h.ring.Record(trace.KindTighten, "epoch", 1, 0)
 	}
 }
 
@@ -280,6 +288,7 @@ func (h *epochHandle) maybeDrain() {
 		if limit := int(h.r.liveCap.Load()) / (2 * h.r.n); limit > 0 && h.pending >= limit && h.k > 1 {
 			h.k = 1
 			h.r.m.tightens.Add(1)
+			h.ring.Record(trace.KindTighten, "epoch", 1, 0)
 		}
 		t = h.k
 	}
@@ -313,7 +322,9 @@ func (h *epochHandle) drain() int {
 		if !h.r.canAdvance(h.pid, e) {
 			break
 		}
-		h.r.epoch.CompareAndSwap(h.pid, e, e+1)
+		if h.r.epoch.CompareAndSwap(h.pid, e, e+1) {
+			h.ring.Record(trace.KindEpochAdvance, "epoch", uint64(e+1), 0)
+		}
 	}
 	freed += h.freeExpired(h.r.epoch.Read(h.pid))
 	if freed == 0 && h.pending > 0 {
@@ -321,6 +332,7 @@ func (h *epochHandle) drain() int {
 		if h.r.auto && h.k > 1 {
 			h.k >>= 1 // a fruitless sweep: tighten toward eager advancement
 			h.r.m.tightens.Add(1)
+			h.ring.Record(trace.KindTighten, "epoch", uint64(h.k), 0)
 		}
 	} else if h.r.auto && h.pending == 0 {
 		if ceiling := int(h.r.threshold.Load()); h.k < ceiling {
@@ -331,6 +343,7 @@ func (h *epochHandle) drain() int {
 			h.r.m.relaxes.Add(1)
 		}
 	}
+	h.ring.Record(trace.KindScan, "epoch", uint64(freed), uint64(h.pending))
 	return freed
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // hpReclaimer is the hazard-pointer scheme [Michael 2004, the detectable-
@@ -44,6 +45,7 @@ type hpReclaimer struct {
 
 	m      metrics
 	limboT limboTracker
+	tr     *trace.Recorder // nil unless the pool attached a flight recorder
 }
 
 // hpSortCutover is the snapshot size below which the linear membership
@@ -107,10 +109,15 @@ func (r *hpReclaimer) Handle(pid int, free Free) (Handle, error) {
 		free:    free,
 		retired: make([]int, 0, r.capacity),
 		snap:    make([]Word, 0, r.n*Slots),
+		ring:    r.tr.Ring(pid),
 	}
 	r.limboT.register(func() []int { return h.retired })
 	return h, nil
 }
+
+// SetTracer attaches the flight recorder.  Pools call it right after
+// construction, before any Handle exists, so handles cache their ring once.
+func (r *hpReclaimer) SetTracer(rec *trace.Recorder) { r.tr = rec }
 
 func (r *hpReclaimer) Scheme() string   { return "hp" }
 func (r *hpReclaimer) NumProcs() int    { return r.n }
@@ -122,10 +129,11 @@ type hpHandle struct {
 	pid     int
 	lane    int // publication-counter stripe, shmem.StripeFor(pid)
 	free    Free
-	retired []int  // deferred nodes, in retire (FIFO) order
-	snap    []Word // sorted hazard snapshot; reused so scans never allocate
-	snapVer int64  // publication version the snapshot was taken at
-	snapOK  bool   // snap/snapVer hold a completed scan's snapshot
+	retired []int       // deferred nodes, in retire (FIFO) order
+	snap    []Word      // sorted hazard snapshot; reused so scans never allocate
+	snapVer int64       // publication version the snapshot was taken at
+	snapOK  bool        // snap/snapVer hold a completed scan's snapshot
+	ring    *trace.Ring // nil without a tracer; Record on nil is a no-op
 }
 
 // Protect publishes idx in this process's hazard slot.  The write must be
@@ -227,6 +235,7 @@ func (h *hpHandle) scan() int {
 	} else if len(h.retired) > 0 {
 		h.r.m.stalls.Add(1)
 	}
+	h.ring.Record(trace.KindScan, "hp", uint64(freed), uint64(len(h.retired)))
 	return freed
 }
 

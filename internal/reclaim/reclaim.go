@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // Word is the value type of the shared reclamation words.
@@ -101,6 +102,16 @@ type Handle interface {
 // may implement it as a pure counter.
 type Pressured interface {
 	AllocMiss()
+}
+
+// Traced is the optional observability seam of a Reclaimer: a pool built
+// with tracing attaches the flight recorder here, immediately after
+// construction and before any Handle exists, so handles can cache their
+// per-process ring once.  Schemes record their internal milestones —
+// sweeps, epoch advances, cadence tightenings — into the owning process's
+// ring; a scheme without internal milestones may ignore the seam.
+type Traced interface {
+	SetTracer(rec *trace.Recorder)
 }
 
 // Resizer is the optional capacity seam of a Reclaimer: pools whose node

@@ -1,0 +1,457 @@
+// Package trace is the flight recorder behind the observability layer: a
+// per-process ring of typed events — guard loads and commits, reclaimer
+// milestones, allocator traffic, structure-level operation begin/commit
+// marks — recorded as they happen and merged, on demand, into one
+// happens-before-consistent interleaving.  Where the audit counters
+// (guard.Metrics, apps.PoolStats) answer "how many", the recorder answers
+// the forensic question the paper's §1 scripts pose: *which* load armed the
+// victim, *which* release/alloc pair recycled the node inside its window,
+// and *which* commit corrupted the structure — the last K events per
+// process before the incident, in order.
+//
+// In the paper's cost vocabulary the recorder is deliberately cheap and
+// deliberately off-model: m(n) is n rings × capacity event slots of
+// instrumentation memory (fixed at construction, never grown), and t(n) is
+// O(1) per event — a slot write, a sequence bump, and one global
+// fetch-and-increment that doubles as the happens-before order.  The
+// recorder allocates nothing after construction: rings are preallocated,
+// event payloads are plain words plus a string header copy, and Merge/
+// Snapshot write into caller-visible fresh slices only on the (cold) read
+// side.
+//
+// Writer discipline is single-writer per ring — the same discipline every
+// handle in this repository already obeys — and each ring carries a tiny
+// mutex so a concurrent Merge (the /trace endpoint, a Watch snapshot)
+// reads consistent slots under the race detector.  The lock is per-ring
+// and uncontended on the hot path; its cost is part of what the E17
+// overhead matrix prices.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abadetect/internal/shmem"
+)
+
+// Kind names an event type — the trace vocabulary of the guard, reclaim,
+// pool, and structure seams.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindNone is the zero Kind; no recorded event carries it.
+	KindNone Kind = iota
+
+	// Guard events (one per Load/Commit call on a traced guard).
+
+	// KindGuardLoad is a clean Load: the guard observed no interference
+	// since the handle's previous Load.  A is the loaded value.
+	KindGuardLoad
+	// KindGuardDirtyLoad is a Load that reported interference.  A is the
+	// loaded value.
+	KindGuardDirtyLoad
+	// KindGuardCommit is a successful conditional swing.  A is the value
+	// written.
+	KindGuardCommit
+	// KindGuardReject is a failed commit whose reference had visibly
+	// changed.  A is the value the commit tried to write.
+	KindGuardReject
+	// KindGuardNearMiss is a failed commit whose reference *value* compared
+	// equal to the handle's loaded value — an ABA the regime detected and
+	// prevented.  A is the value the commit tried to write, B the restored
+	// reference value.
+	KindGuardNearMiss
+
+	// Reclaimer events.
+
+	// KindProtect is a published protection (hazard slot write / epoch
+	// pin).  A is the slot, B the protected index.
+	KindProtect
+	// KindRetire is a node handed to the reclaimer's limbo.  A is the node.
+	KindRetire
+	// KindDrain is a reclamation pass requested through the pool seam.  A
+	// is the number of nodes freed.
+	KindDrain
+	// KindScan is a reclaimer-internal sweep (hp hazard scan, epoch
+	// announcement sweep).  A is the number of nodes freed, B the number
+	// still pending after the sweep.
+	KindScan
+	// KindEpochAdvance is a successful global-epoch CAS.  A is the epoch
+	// advanced to.
+	KindEpochAdvance
+	// KindTighten is a cadence tightening of the self-tuning epoch scheme.
+	// A is the new cadence.
+	KindTighten
+
+	// Pool events.
+
+	// KindAlloc is a successful node allocation.  A is the node index.
+	KindAlloc
+	// KindRelease is a node returned to the allocator (immediate reuse; a
+	// reclaimed pool records KindRetire instead).  A is the node index.
+	KindRelease
+	// KindGrow is a pool capacity extension.  A is the new capacity.
+	KindGrow
+	// KindExhaust is an allocation that found no free node.
+	KindExhaust
+
+	// Structure-level operation marks (the experiment hooks' begin/commit
+	// split, so a dump shows where a victim armed and where it resumed).
+
+	// KindOpBegin marks the vulnerable first half of a split operation
+	// (PopBegin, DeqBegin, DeleteBegin).  A is kind-specific (the key, the
+	// loaded node).
+	KindOpBegin
+	// KindOpCommit marks the completion of a split operation.  A is 1 when
+	// the commit was accepted, 0 when rejected.
+	KindOpCommit
+
+	kindCount // sentinel
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGuardLoad:
+		return "guard-load"
+	case KindGuardDirtyLoad:
+		return "guard-dirty-load"
+	case KindGuardCommit:
+		return "guard-commit"
+	case KindGuardReject:
+		return "guard-reject"
+	case KindGuardNearMiss:
+		return "guard-near-miss"
+	case KindProtect:
+		return "protect"
+	case KindRetire:
+		return "retire"
+	case KindDrain:
+		return "drain"
+	case KindScan:
+		return "scan"
+	case KindEpochAdvance:
+		return "epoch-advance"
+	case KindTighten:
+		return "tighten"
+	case KindAlloc:
+		return "alloc"
+	case KindRelease:
+		return "release"
+	case KindGrow:
+		return "grow"
+	case KindExhaust:
+		return "exhaust"
+	case KindOpBegin:
+		return "op-begin"
+	case KindOpCommit:
+		return "op-commit"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded step.  GSeq is drawn from a recorder-global counter
+// at record time, so sorting a merged dump by GSeq yields an interleaving
+// consistent with happens-before: if event x completed before event y
+// began, x drew the smaller ticket.  Seq is the per-process sequence (gaps
+// reveal ring eviction), and TS is a coarse wall-clock stamp — sampled
+// every tsEvery events per ring, so it orients a human reader without
+// putting a clock read on every hot-path record.
+type Event struct {
+	// GSeq is the global happens-before ticket.
+	GSeq uint64
+	// Seq is the per-process monotonic sequence (starts at 1).
+	Seq uint64
+	// TS is the coarse UnixNano timestamp of the event's cohort.
+	TS int64
+	// Pid is the recording process.
+	Pid int32
+	// Kind types the event.
+	Kind Kind
+	// Obj names the object the event is about (a guard name, a pool name,
+	// an operation label).
+	Obj string
+	// A and B are kind-specific arguments (see the Kind constants).
+	A, B uint64
+}
+
+// String renders one event.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d p%d/%d %s %s a=%d b=%d", e.GSeq, e.Pid, e.Seq, e.Kind, e.Obj, e.A, e.B)
+}
+
+// MarshalJSON renders the kind symbolically so /trace dumps read without
+// the constant table.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		GSeq uint64
+		Seq  uint64
+		TS   int64
+		Pid  int32
+		Kind string
+		Obj  string
+		A, B uint64
+	}{e.GSeq, e.Seq, e.TS, e.Pid, e.Kind.String(), e.Obj, e.A, e.B})
+}
+
+// tsEvery is the timestamp sampling cohort: one clock read per this many
+// events per ring.
+const tsEvery = 32
+
+// Ring is one process's event buffer: fixed power-of-two capacity,
+// single-writer (the owning process), oldest events evicted in order.  The
+// struct is cache-line padded so adjacent rings never share a line.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event // len = capacity (power of two)
+	seq    uint64  // events recorded so far; next Seq is seq+1
+	lastTS int64   // the cohort timestamp
+	rec    *Recorder
+	pid    int32
+	_      [shmem.CacheLineBytes]byte
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+// O(1), allocation-free: a slot write, two counter bumps, and a clock read
+// once per tsEvery events.  Single-writer: only the owning process calls
+// it; the mutex exists for concurrent readers (Merge, Watch snapshots).
+func (r *Ring) Record(k Kind, obj string, a, b uint64) {
+	if r == nil {
+		return
+	}
+	g := r.rec.gseq.Add(1)
+	r.mu.Lock()
+	if r.seq%tsEvery == 0 {
+		r.lastTS = time.Now().UnixNano()
+	}
+	r.seq++
+	r.events[(r.seq-1)&uint64(len(r.events)-1)] = Event{
+		GSeq: g, Seq: r.seq, TS: r.lastTS, Pid: r.pid, Kind: k, Obj: obj, A: a, B: b,
+	}
+	r.mu.Unlock()
+	if r.rec.watching.Load() {
+		r.rec.checkWatch(Event{GSeq: g, Seq: r.seq, Pid: r.pid, Kind: k, Obj: obj, A: a, B: b})
+	}
+}
+
+// snapshot appends the ring's live events, oldest first, to dst.
+func (r *Ring) snapshot(dst []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq
+	capacity := uint64(len(r.events))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	for s := start; s < n; s++ {
+		dst = append(dst, r.events[s&(capacity-1)])
+	}
+	return dst
+}
+
+// Recorder owns one ring per process plus the global happens-before
+// counter and the watch hook.
+type Recorder struct {
+	rings []*Ring
+	gseq  atomic.Uint64
+
+	watching atomic.Bool // fast-path gate: a predicate is armed and unfired
+	watchMu  sync.Mutex
+	pred     func(Event) bool
+	incident []Event
+	fired    atomic.Bool
+	firedOn  Event
+}
+
+// New builds a recorder for n processes with the given per-ring capacity,
+// rounded up to a power of two (minimum 8).  All memory is allocated here;
+// recording never allocates.
+func New(n, capacity int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	r := &Recorder{rings: make([]*Ring, n)}
+	for pid := range r.rings {
+		r.rings[pid] = &Ring{events: make([]Event, c), rec: r, pid: int32(pid)}
+	}
+	return r
+}
+
+// NumProcs returns the ring count.
+func (r *Recorder) NumProcs() int { return len(r.rings) }
+
+// Capacity returns the per-ring event capacity.
+func (r *Recorder) Capacity() int { return len(r.rings[0].events) }
+
+// Ring returns pid's ring (nil for out-of-range pids, so observer handles
+// degrade to no-ops instead of panicking).
+func (r *Recorder) Ring(pid int) *Ring {
+	if r == nil || pid < 0 || pid >= len(r.rings) {
+		return nil
+	}
+	return r.rings[pid]
+}
+
+// Record is the convenience form of Ring(pid).Record.
+func (r *Recorder) Record(pid int, k Kind, obj string, a, b uint64) {
+	r.Ring(pid).Record(k, obj, a, b)
+}
+
+// Watch arms a predicate: the first recorded event it matches freezes a
+// merged snapshot of every ring — the last K events per process *before
+// and including* the incident — retrievable via Incident.  One shot: after
+// the first match the predicate is disarmed and later events no longer
+// snapshot.  Re-arming replaces the predicate and clears a prior incident.
+func (r *Recorder) Watch(pred func(Event) bool) {
+	r.watchMu.Lock()
+	r.pred = pred
+	r.incident = nil
+	r.firedOn = Event{}
+	r.fired.Store(false)
+	r.watching.Store(pred != nil)
+	r.watchMu.Unlock()
+}
+
+// checkWatch runs the armed predicate against ev and snapshots on the
+// first match.  Called after the event is in its ring (and after the
+// ring's lock is released), so the snapshot includes the triggering event.
+func (r *Recorder) checkWatch(ev Event) {
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
+	if r.pred == nil || r.fired.Load() {
+		return
+	}
+	if !r.pred(ev) {
+		return
+	}
+	r.fired.Store(true)
+	r.watching.Store(false)
+	r.firedOn = ev
+	r.incident = r.merge()
+}
+
+// Fired reports whether the watch predicate matched, and on what.
+func (r *Recorder) Fired() (Event, bool) {
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
+	return r.firedOn, r.fired.Load()
+}
+
+// Incident returns the snapshot frozen when the watch predicate fired
+// (nil if it never did).  The slice is the frozen copy; callers must not
+// mutate it.
+func (r *Recorder) Incident() []Event {
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
+	return r.incident
+}
+
+// Events returns one ring's live events, oldest first.
+func (r *Recorder) Events(pid int) []Event {
+	ring := r.Ring(pid)
+	if ring == nil {
+		return nil
+	}
+	return ring.snapshot(nil)
+}
+
+// Merge interleaves every ring's live events into one dump ordered by the
+// global ticket — a total order consistent with happens-before: any event
+// that completed before another began precedes it.  Concurrent writers are
+// safe (each ring is locked for its copy); events recorded *during* the
+// merge may or may not appear, exactly like any racing read of a live
+// counter.
+func (r *Recorder) Merge() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.merge()
+}
+
+func (r *Recorder) merge() []Event {
+	var out []Event
+	for _, ring := range r.rings {
+		out = ring.snapshot(out)
+	}
+	// Insertion sort is fine for forensic dumps (rings are short and
+	// per-ring runs are pre-sorted), but sort.Slice is clearer and this is
+	// the cold path.
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders by GSeq ascending (stable by construction: tickets are
+// unique).
+func sortEvents(evs []Event) {
+	// Rings are individually ordered, so a simple merge-friendly insertion
+	// pass degenerates to O(n·rings); use stdlib sort semantics via a
+	// hand-rolled pdq-free loop to keep the package dependency-light.
+	quicksortEvents(evs, 0, len(evs)-1)
+}
+
+func quicksortEvents(evs []Event, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && evs[j].GSeq < evs[j-1].GSeq; j-- {
+					evs[j], evs[j-1] = evs[j-1], evs[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if evs[mid].GSeq < evs[lo].GSeq {
+			evs[mid], evs[lo] = evs[lo], evs[mid]
+		}
+		if evs[hi].GSeq < evs[lo].GSeq {
+			evs[hi], evs[lo] = evs[lo], evs[hi]
+		}
+		if evs[hi].GSeq < evs[mid].GSeq {
+			evs[hi], evs[mid] = evs[mid], evs[hi]
+		}
+		pivot := evs[mid].GSeq
+		i, j := lo, hi
+		for i <= j {
+			for evs[i].GSeq < pivot {
+				i++
+			}
+			for evs[j].GSeq > pivot {
+				j--
+			}
+			if i <= j {
+				evs[i], evs[j] = evs[j], evs[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j-lo < hi-i {
+			quicksortEvents(evs, lo, j)
+			lo = i
+		} else {
+			quicksortEvents(evs, i, hi)
+			hi = j
+		}
+	}
+}
+
+// Format pretty-prints a dump, one event per line.
+func Format(evs []Event) string {
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingWraparound fills a ring past capacity and asserts the oldest
+// events are evicted in order: the survivors are exactly the last
+// `capacity` events, oldest first, with contiguous sequence numbers.
+func TestRingWraparound(t *testing.T) {
+	r := New(1, 8)
+	if r.Capacity() != 8 {
+		t.Fatalf("capacity: got %d, want 8", r.Capacity())
+	}
+	const total = 21 // 2×capacity + 5: wraps more than twice
+	for i := 0; i < total; i++ {
+		r.Record(0, KindGuardLoad, "obj", uint64(i), 0)
+	}
+	evs := r.Events(0)
+	if len(evs) != 8 {
+		t.Fatalf("live events: got %d, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(total - 8 + i + 1) // Seq starts at 1
+		wantA := uint64(total - 8 + i)
+		if e.Seq != wantSeq || e.A != wantA {
+			t.Fatalf("slot %d: got seq=%d a=%d, want seq=%d a=%d", i, e.Seq, e.A, wantSeq, wantA)
+		}
+		if i > 0 && evs[i].GSeq <= evs[i-1].GSeq {
+			t.Fatalf("slot %d: GSeq not increasing (%d after %d)", i, evs[i].GSeq, evs[i-1].GSeq)
+		}
+	}
+}
+
+// TestCapacityRounding pins the power-of-two rounding and the minimum.
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {100, 128}, {128, 128},
+	} {
+		if got := New(1, tc.ask).Capacity(); got != tc.want {
+			t.Errorf("New(1, %d).Capacity() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestMergeOrder interleaves two writers deterministically and asserts the
+// merged dump is ordered by the global ticket — i.e. by real record order.
+func TestMergeOrder(t *testing.T) {
+	r := New(2, 16)
+	r.Record(0, KindGuardLoad, "x", 1, 0)
+	r.Record(1, KindAlloc, "pool", 7, 0)
+	r.Record(0, KindGuardCommit, "x", 2, 0)
+	r.Record(1, KindRelease, "pool", 7, 0)
+
+	evs := r.Merge()
+	if len(evs) != 4 {
+		t.Fatalf("merged: got %d events, want 4", len(evs))
+	}
+	wantPids := []int32{0, 1, 0, 1}
+	wantKinds := []Kind{KindGuardLoad, KindAlloc, KindGuardCommit, KindRelease}
+	for i, e := range evs {
+		if e.Pid != wantPids[i] || e.Kind != wantKinds[i] {
+			t.Fatalf("merged[%d] = %v, want pid=%d kind=%v", i, e, wantPids[i], wantKinds[i])
+		}
+		if i > 0 && evs[i].GSeq <= evs[i-1].GSeq {
+			t.Fatalf("merged[%d]: GSeq out of order", i)
+		}
+	}
+}
+
+// TestMergeRace is the single-writer-discipline race test: one writer per
+// pid hammering its own ring while Merge runs concurrently.  Run under
+// -race this proves the per-ring lock covers reader/writer overlap; the
+// assertions prove per-ring ordering survives in every merged snapshot.
+func TestMergeRace(t *testing.T) {
+	const procs, perProc = 4, 400
+	r := New(procs, 64)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				r.Record(pid, KindGuardLoad, "g", uint64(i), 0)
+			}
+		}(pid)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			evs := r.Merge()
+			lastSeq := make(map[int32]uint64)
+			var lastG uint64
+			for _, e := range evs {
+				if e.GSeq <= lastG {
+					t.Errorf("merge: GSeq not strictly increasing")
+					return
+				}
+				lastG = e.GSeq
+				if e.Seq <= lastSeq[e.Pid] {
+					t.Errorf("merge: pid %d Seq not increasing", e.Pid)
+					return
+				}
+				lastSeq[e.Pid] = e.Seq
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	evs := r.Merge()
+	if len(evs) != procs*64 {
+		t.Fatalf("final merge: got %d events, want %d (full rings)", len(evs), procs*64)
+	}
+}
+
+// TestWatch arms a predicate and checks the one-shot snapshot includes the
+// triggering event and everything before it.
+func TestWatch(t *testing.T) {
+	r := New(2, 16)
+	r.Watch(func(e Event) bool { return e.Kind == KindGuardNearMiss })
+
+	r.Record(0, KindGuardLoad, "x", 1, 0)
+	r.Record(1, KindRelease, "pool", 3, 0)
+	if _, fired := r.Fired(); fired {
+		t.Fatal("watch fired before the predicate matched")
+	}
+	r.Record(0, KindGuardNearMiss, "x", 2, 1)
+	ev, fired := r.Fired()
+	if !fired || ev.Kind != KindGuardNearMiss {
+		t.Fatalf("watch: fired=%v on %v, want near-miss", fired, ev)
+	}
+	// Later events must not contaminate the frozen snapshot.
+	r.Record(1, KindAlloc, "pool", 3, 0)
+	inc := r.Incident()
+	if len(inc) != 3 {
+		t.Fatalf("incident: got %d events, want 3", len(inc))
+	}
+	if inc[len(inc)-1].Kind != KindGuardNearMiss {
+		t.Fatalf("incident does not end at the triggering event: %v", inc)
+	}
+
+	// Re-arming clears the old incident.
+	r.Watch(func(e Event) bool { return e.Kind == KindExhaust })
+	if r.Incident() != nil {
+		t.Fatal("re-arm did not clear the prior incident")
+	}
+}
+
+// TestRecordNoAllocs pins the tentpole's allocation-free claim: recording
+// into a live ring (including wraparound) costs zero heap allocations.
+func TestRecordNoAllocs(t *testing.T) {
+	r := New(2, 32)
+	ring := r.Ring(1)
+	if got := testing.AllocsPerRun(200, func() {
+		ring.Record(KindGuardCommit, "head", 42, 7)
+	}); got != 0 {
+		t.Fatalf("Ring.Record allocates: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		r.Record(0, KindAlloc, "pool", 3, 0)
+	}); got != 0 {
+		t.Fatalf("Recorder.Record allocates: %v allocs/op, want 0", got)
+	}
+	// A nil ring (out-of-range pid, tracing off) must be a free no-op.
+	var nilRing *Ring
+	if got := testing.AllocsPerRun(200, func() {
+		nilRing.Record(KindGuardLoad, "x", 0, 0)
+	}); got != 0 {
+		t.Fatalf("nil Ring.Record allocates: %v allocs/op, want 0", got)
+	}
+}
+
+// TestFormatAndJSON sanity-checks the human and machine renderings.
+func TestFormatAndJSON(t *testing.T) {
+	r := New(1, 8)
+	r.Record(0, KindEpochAdvance, "epoch", 5, 0)
+	evs := r.Merge()
+
+	s := Format(evs)
+	if !strings.Contains(s, "epoch-advance") || !strings.Contains(s, "epoch") {
+		t.Fatalf("Format output missing fields: %q", s)
+	}
+
+	raw, err := json.Marshal(evs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `"Kind":"epoch-advance"`) {
+		t.Fatalf("JSON kind not symbolic: %s", raw)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded[0]["Obj"] != "epoch" {
+		t.Fatalf("roundtrip lost Obj: %v", decoded[0])
+	}
+}
+
+// TestNilRecorder checks every read-side accessor degrades on nil — the
+// tracing-off configuration threads nil recorders everywhere.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Ring(0) != nil {
+		t.Fatal("nil recorder returned a ring")
+	}
+}

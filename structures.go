@@ -8,6 +8,7 @@ import (
 	"abadetect/internal/kv"
 	"abadetect/internal/registry"
 	"abadetect/internal/shmem"
+	"abadetect/internal/trace"
 )
 
 // This file is the public application layer: the lock-free data structures
@@ -63,6 +64,16 @@ func publicMetrics(m guard.Metrics) GuardMetrics {
 
 // StructureAudit is a quiescent-state structural check of a stack or queue,
 // together with the allocator's observability counters.
+//
+// Snapshot semantics, made explicit: GuardMetrics and FreelistMetrics are
+// assembled from independent atomic loads of cache-line-striped lanes, so
+// they are safe to read under live traffic but deliberately relaxed — no
+// individual counter is ever torn, yet related counters can be caught
+// between the bumps of one in-flight operation.  The full Audit additionally
+// walks the reclaimer's pending lists and the structure's links, which is
+// why it (unchanged from its contract) requires quiescence.  At quiescence
+// every snapshot is exact and repeatable: two back-to-back audits are deeply
+// equal, a contract pinned by a race-mode test at the repository root.
 type StructureAudit struct {
 	// Corrupt reports structural damage: nodes simultaneously reachable and
 	// free, lost nodes, cycles, or a dangling tail.  Nodes deferred by a
@@ -254,6 +265,57 @@ func WithCombining() Option {
 	return func(o *options) { o.combining = true }
 }
 
+// WithTracing attaches a flight recorder to a structure: one fixed ring of
+// `capacity` events per process (rounded up to a power of two, minimum 8),
+// recording guard loads/commits/rejects/near-misses, allocator
+// alloc/release/retire/exhaustion, reclaimer scans/epoch advances, and the
+// begin/commit halves of the split operations.  Recording is allocation-free
+// and single-writer per ring; StructureTrace() merges the rings into one
+// happens-before-consistent dump.  Without this option tracing costs nothing:
+// the hooks are nil and the hot paths are byte-identical to the untraced
+// build.  The m(n) price is explicit: n rings × capacity events of fixed
+// space, O(1) steps per event.
+func WithTracing(capacity int) Option {
+	return func(o *options) { o.traceCap = capacity }
+}
+
+// TraceEvent is one flight-recorder event in a StructureTrace dump.
+type TraceEvent struct {
+	// GSeq is the global merge ticket: the dump is strictly ascending in
+	// GSeq, and GSeq order is consistent with happens-before (an event's
+	// ticket is drawn after the recorded transition completed).
+	GSeq uint64
+	// Seq is the per-process event number, and Pid the recording process.
+	Seq uint64
+	Pid int32
+	// TS is a coarse wall-clock sample (nanoseconds; refreshed every few
+	// events, 0 in between — ordering lives in GSeq, not here).
+	TS int64
+	// Kind names the transition ("guard-load", "guard-near-miss", "alloc",
+	// "retire", "scan", "op-begin", ...) and Obj the object it happened on
+	// ("head", "mhead[0]", "map", "pop", ...).
+	Kind string
+	Obj  string
+	// A and B are the kind-specific operands (values, node indices, counts).
+	A, B uint64
+}
+
+// String renders the event one-per-line, matching the -trace-dump format.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d p%d/%d %s %s a=%d b=%d", e.GSeq, e.Pid, e.Seq, e.Kind, e.Obj, e.A, e.B)
+}
+
+func publicTrace(events []trace.Event) []TraceEvent {
+	if events == nil {
+		return nil
+	}
+	out := make([]TraceEvent, len(events))
+	for i, e := range events {
+		out[i] = TraceEvent{GSeq: e.GSeq, Seq: e.Seq, Pid: e.Pid, TS: e.TS, Kind: e.Kind.String(), Obj: e.Obj, A: e.A, B: e.B}
+	}
+	return out
+}
+
 // guardSpec resolves the options into the registry's guard matrix cell.
 func (o options) guardSpec() registry.GuardSpec {
 	p := o.protection
@@ -268,9 +330,16 @@ func (o options) guardSpec() registry.GuardSpec {
 }
 
 // structOpts renders the apps-layer options for a constructor, resolving
-// the reclamation scheme through the registry.
-func (o options) structOpts(mk guard.Maker) ([]apps.StructOption, error) {
+// the reclamation scheme through the registry and building the flight
+// recorder (nil unless WithTracing) — n is the process count the recorder's
+// per-process rings are sized for.
+func (o options) structOpts(n int, mk guard.Maker) ([]apps.StructOption, *trace.Recorder, error) {
 	opts := []apps.StructOption{apps.WithMaker(mk)}
+	var rec *trace.Recorder
+	if o.traceCap > 0 {
+		rec = trace.New(n, o.traceCap)
+		opts = append(opts, apps.WithTrace(rec))
+	}
 	if o.guardedPool {
 		opts = append(opts, apps.WithGuardedPool())
 	}
@@ -292,11 +361,11 @@ func (o options) structOpts(mk guard.Maker) ([]apps.StructOption, error) {
 		// epoch; only the absent option skips the wrapper entirely.
 		rmk, err := registry.NewReclaimMaker(o.reclaim)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		opts = append(opts, apps.WithReclaimer(rmk))
 	}
-	return opts, nil
+	return opts, rec, nil
 }
 
 // checkTagBits validates an explicit WithTagBits width against the
@@ -325,6 +394,7 @@ func (o options) checkTagBits(refBits uint) error {
 type Stack struct {
 	inner *apps.Stack
 	fp    Footprint
+	tr    *trace.Recorder
 }
 
 // NewStack builds a stack for n processes with the given node capacity.
@@ -338,7 +408,7 @@ func NewStack(n, capacity int, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: stack: %w", err)
 	}
-	sopts, err := o.structOpts(mk)
+	sopts, rec, err := o.structOpts(n, mk)
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: stack: %w", err)
 	}
@@ -346,8 +416,12 @@ func NewStack(n, capacity int, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: %w", err)
 	}
-	return &Stack{inner: inner, fp: footprintOf(f)}, nil
+	return &Stack{inner: inner, fp: footprintOf(f), tr: rec}, nil
 }
+
+// StructureTrace merges the flight recorder's per-process rings into one
+// happens-before-consistent dump (nil unless built WithTracing).
+func (s *Stack) StructureTrace() []TraceEvent { return publicTrace(s.tr.Merge()) }
 
 // NumProcs returns n.
 func (s *Stack) NumProcs() int { return s.inner.NumProcs() }
@@ -423,6 +497,7 @@ func (h *StackHandle) PopCommit() (Word, bool) { return h.inner.PopCommit() }
 type Queue struct {
 	inner *apps.Queue
 	fp    Footprint
+	tr    *trace.Recorder
 }
 
 // NewQueue builds a queue for n processes with the given capacity (usable
@@ -437,7 +512,7 @@ func NewQueue(n, capacity int, opts ...Option) (*Queue, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: queue: %w", err)
 	}
-	sopts, err := o.structOpts(mk)
+	sopts, rec, err := o.structOpts(n, mk)
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: queue: %w", err)
 	}
@@ -445,8 +520,12 @@ func NewQueue(n, capacity int, opts ...Option) (*Queue, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: %w", err)
 	}
-	return &Queue{inner: inner, fp: footprintOf(f)}, nil
+	return &Queue{inner: inner, fp: footprintOf(f), tr: rec}, nil
 }
+
+// StructureTrace merges the flight recorder's per-process rings into one
+// happens-before-consistent dump (nil unless built WithTracing).
+func (q *Queue) StructureTrace() []TraceEvent { return publicTrace(q.tr.Merge()) }
 
 // Capacity returns the number of usable nodes.
 func (q *Queue) Capacity() int { return q.inner.Capacity() }
@@ -510,6 +589,7 @@ func (h *QueueHandle) IsEmpty() bool { return h.inner.IsEmpty() }
 type Map struct {
 	inner *kv.Map
 	fp    Footprint
+	tr    *trace.Recorder
 }
 
 // NewMap builds a map for n processes with the given node capacity.  The
@@ -532,7 +612,7 @@ func NewMap(n, capacity int, opts ...Option) (*Map, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: map: %w", err)
 	}
-	sopts, err := o.structOpts(mk)
+	sopts, rec, err := o.structOpts(n, mk)
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: map: %w", err)
 	}
@@ -540,8 +620,12 @@ func NewMap(n, capacity int, opts ...Option) (*Map, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abadetect: %w", err)
 	}
-	return &Map{inner: inner, fp: footprintOf(f)}, nil
+	return &Map{inner: inner, fp: footprintOf(f), tr: rec}, nil
 }
+
+// StructureTrace merges the flight recorder's per-process rings into one
+// happens-before-consistent dump (nil unless built WithTracing).
+func (m *Map) StructureTrace() []TraceEvent { return publicTrace(m.tr.Merge()) }
 
 // NumProcs returns n.
 func (m *Map) NumProcs() int { return m.inner.NumProcs() }
